@@ -1,0 +1,172 @@
+//! A Jacobi eigensolver for small symmetric matrices.
+//!
+//! Tucker/HOOI needs the leading eigenvectors of the Gram matrix
+//! `Y₍ₙ₎ Y₍ₙ₎ᵀ` (size `I_n × I_n`); for the moderate mode sizes the example
+//! drives, the classic cyclic Jacobi rotation method is simple and robust.
+
+use pasta_core::{DenseMatrix, Value};
+
+/// The eigendecomposition of a symmetric matrix: `A = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymEig<V> {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<V>,
+    /// Eigenvectors as matrix *columns*, in the order of `values`.
+    pub vectors: DenseMatrix<V>,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix by cyclic Jacobi
+/// rotations.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn sym_eig<V: Value>(a: &DenseMatrix<V>, sweeps: usize) -> SymEig<V> {
+    assert_eq!(a.rows(), a.cols(), "matrix must be square");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = DenseMatrix::<V>::zeros(n, n);
+    for i in 0..n {
+        v.set(i, i, V::ONE);
+    }
+
+    for _ in 0..sweeps {
+        let mut off = V::ZERO;
+        for p in 0..n {
+            for q in p + 1..n {
+                off += m.get(p, q) * m.get(p, q);
+            }
+        }
+        if off.to_f64() < 1e-24 {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m.get(p, q);
+                if apq == V::ZERO {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Rotation angle.
+                let theta = 0.5 * (aqq.to_f64() - app.to_f64()) / apq.to_f64();
+                let t = {
+                    let s = if theta >= 0.0 { 1.0 } else { -1.0 };
+                    s / (theta.abs() + (theta * theta + 1.0).sqrt())
+                };
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                let (c, s) = (V::from_f64(c), V::from_f64(s));
+
+                // Apply the rotation to rows/columns p, q of m.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                let _ = (app, aqq);
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    // Extract and sort descending by eigenvalue.
+    let mut pairs: Vec<(V, usize)> = (0..n).map(|i| (m.get(i, i), i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite eigenvalues"));
+    let values: Vec<V> = pairs.iter().map(|&(val, _)| val).collect();
+    let mut vectors = DenseMatrix::zeros(n, n);
+    for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+        for r in 0..n {
+            vectors.set(r, new_col, v.get(r, old_col));
+        }
+    }
+    SymEig { values, vectors }
+}
+
+/// The first `r` eigenvector columns as an `n × r` matrix.
+pub fn leading_vectors<V: Value>(eig: &SymEig<V>, r: usize) -> DenseMatrix<V> {
+    let n = eig.vectors.rows();
+    assert!(r <= n, "rank exceeds dimension");
+    DenseMatrix::from_fn(n, r, |i, j| eig.vectors.get(i, j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let a = DenseMatrix::from_fn(3, 3, |i, j| if i == j { (3 - i) as f64 } else { 0.0 });
+        let e = sym_eig(&a, 10);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = DenseMatrix::from_vec(2, 2, vec![2.0_f64, 1.0, 1.0, 2.0]);
+        let e = sym_eig(&a, 20);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = (e.vectors.get(0, 0), e.vectors.get(1, 0));
+        assert!((v0.0.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v0.0 - v0.1).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstructs_matrix() {
+        // A = V diag(l) V^T for a random-ish symmetric matrix.
+        let base = DenseMatrix::from_fn(5, 5, |i, j| ((i * 3 + j * 7) % 11) as f64 / 11.0);
+        let a = DenseMatrix::from_fn(5, 5, |i, j| base.get(i, j) + base.get(j, i));
+        let e = sym_eig(&a, 30);
+        for i in 0..5 {
+            for j in 0..5 {
+                let mut s = 0.0;
+                for k in 0..5 {
+                    s += e.vectors.get(i, k) * e.values[k] * e.vectors.get(j, k);
+                }
+                assert!((s - a.get(i, j)).abs() < 1e-8, "({i},{j}): {s} vs {}", a.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = DenseMatrix::from_fn(4, 4, |i, j| 1.0 / (1.0 + (i + j) as f64));
+        let e = sym_eig(&a, 30);
+        for p in 0..4 {
+            for q in 0..4 {
+                let mut dot = 0.0;
+                for k in 0..4 {
+                    dot += e.vectors.get(k, p) * e.vectors.get(k, q);
+                }
+                let want = if p == q { 1.0 } else { 0.0 };
+                assert!((dot - want).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn leading_vectors_shape() {
+        let a = DenseMatrix::from_fn(4, 4, |i, j| if i == j { 1.0_f32 } else { 0.0 });
+        let e = sym_eig(&a, 5);
+        let lead = leading_vectors(&e, 2);
+        assert_eq!(lead.rows(), 4);
+        assert_eq!(lead.cols(), 2);
+    }
+}

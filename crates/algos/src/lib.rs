@@ -1,0 +1,45 @@
+//! # pasta-algos — tensor methods on top of the PASTA kernels
+//!
+//! The applications that motivate the benchmark suite's kernels, implemented
+//! end-to-end on the suite's own sparse kernels (also covering the paper's
+//! declared future work: "more complete tensor methods, such as
+//! CANDECOMP/PARAFAC and Tucker decompositions", "TTM-chain in Tucker
+//! decomposition"):
+//!
+//! - [`cp_als`] — CANDECOMP/PARAFAC via alternating least squares, the
+//!   MTTKRP workhorse (COO or HiCOO backend);
+//! - [`tucker_hooi`] — Tucker decomposition by higher-order orthogonal
+//!   iteration, driving sparse [`ttm_chain`]s;
+//! - [`tensor_power_method`] — the TTV-based tensor power iteration for
+//!   dominant rank-1 structure;
+//! - [`eig`] — the small symmetric Jacobi eigensolver HOOI needs.
+//!
+//! # Examples
+//!
+//! ```
+//! use pasta_core::{CooTensor, Shape};
+//! use pasta_algos::{cp_als, CpdOptions};
+//!
+//! # fn main() -> Result<(), pasta_core::Error> {
+//! let x = CooTensor::<f32>::from_entries(
+//!     Shape::new(vec![4, 4, 4]),
+//!     vec![(vec![0, 1, 2], 1.0), (vec![1, 2, 3], 2.0), (vec![2, 0, 1], 3.0)],
+//! )?;
+//! let model = cp_als(&x, &CpdOptions { rank: 4, ..Default::default() })?;
+//! assert_eq!(model.factors.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cpd;
+pub mod eig;
+pub mod power;
+pub mod tucker;
+
+pub use cpd::{cp_als, CpdBackend, CpdModel, CpdOptions};
+pub use eig::{leading_vectors, sym_eig, SymEig};
+pub use power::{tensor_power_method, PowerOptions, PowerResult};
+pub use tucker::{ttm_chain, tucker_hooi, TuckerModel, TuckerOptions};

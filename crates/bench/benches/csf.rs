@@ -1,0 +1,38 @@
+//! Criterion bench: CSF vs COO vs HiCOO MTTKRP — the format the paper
+//! names as its next addition. CSF hoists shared-prefix work up the fiber
+//! tree and needs no atomics in its root mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pasta_bench::datasets::{load_one, RANK};
+use pasta_core::{seeded_matrix, CsfTensor, DenseMatrix};
+use pasta_kernels::{csf::mttkrp_csf_root, mttkrp_coo, mttkrp_hicoo, Ctx};
+
+fn bench_csf(c: &mut Criterion) {
+    let ctx = Ctx::parallel();
+    let mut group = c.benchmark_group("csf/mttkrp");
+    group.sample_size(10);
+    for key in ["regS", "irrS"] {
+        let bt = load_one(key, 0.5).expect("profile");
+        let m = bt.tensor.nnz();
+        group.throughput(Throughput::Elements(3 * RANK as u64 * m as u64));
+        let factors: Vec<DenseMatrix<f32>> = (0..bt.tensor.order())
+            .map(|mm| seeded_matrix(bt.tensor.shape().dim(mm) as usize, RANK, 11 + mm as u64))
+            .collect();
+        let order: Vec<usize> = (0..bt.tensor.order()).collect();
+        let csf = CsfTensor::from_coo(&bt.tensor, &order).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("csf", key), &m, |b, _| {
+            b.iter(|| mttkrp_csf_root(&csf, &factors, &ctx).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("coo", key), &m, |b, _| {
+            b.iter(|| mttkrp_coo(&bt.tensor, &factors, 0, &ctx).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("hicoo", key), &m, |b, _| {
+            b.iter(|| mttkrp_hicoo(&bt.hicoo, &factors, 0, &ctx).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_csf);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: format-conversion costs and the HiCOO block-size
+//! ablation (the design choice the paper fixes at B = 128).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pasta_bench::datasets::load_one;
+use pasta_core::{GHiCooTensor, HiCooTensor};
+
+fn bench_formats(c: &mut Criterion) {
+    let bt = load_one("irrS", 0.5).expect("profile");
+    let mut group = c.benchmark_group("formats");
+    group.sample_size(10);
+
+    // COO -> HiCOO conversion across block sizes (ablation).
+    for bs in [4u32, 16, 64, 128, 256] {
+        group.bench_with_input(BenchmarkId::new("coo_to_hicoo", bs), &bs, |b, &bs| {
+            b.iter(|| HiCooTensor::from_coo(&bt.tensor, bs).unwrap());
+        });
+    }
+
+    // gHiCOO with the last mode kept in COO form (the TTV/TTM layout).
+    let order = bt.tensor.order();
+    let blocked: Vec<bool> = (0..order).map(|m| m + 1 != order).collect();
+    group.bench_function("coo_to_ghicoo", |b| {
+        b.iter(|| GHiCooTensor::from_coo(&bt.tensor, 128, &blocked).unwrap());
+    });
+
+    // Mode-last sort (TTV/TTM pre-processing).
+    group.bench_function("sort_mode_last", |b| {
+        b.iter(|| {
+            let mut t = bt.tensor.clone();
+            t.sort_mode_last(order - 1);
+            t
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

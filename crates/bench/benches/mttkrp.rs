@@ -1,0 +1,36 @@
+//! Criterion bench: MTTKRP with R = 16 — atomic non-zero-parallel COO vs
+//! block-parallel HiCOO, plus the sequential baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pasta_bench::datasets::{load_one, RANK};
+use pasta_core::{seeded_matrix, DenseMatrix};
+use pasta_kernels::{mttkrp_coo, mttkrp_hicoo, Ctx};
+
+fn bench_mttkrp(c: &mut Criterion) {
+    let par = Ctx::parallel();
+    let seq = Ctx::sequential();
+    let mut group = c.benchmark_group("mttkrp");
+    group.sample_size(10);
+    for key in ["regS", "irrS"] {
+        let bt = load_one(key, 0.5).expect("profile");
+        let m = bt.tensor.nnz();
+        group.throughput(Throughput::Elements(3 * RANK as u64 * m as u64));
+        let factors: Vec<DenseMatrix<f32>> = (0..bt.tensor.order())
+            .map(|mm| seeded_matrix(bt.tensor.shape().dim(mm) as usize, RANK, 11 + mm as u64))
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("coo-par", key), &m, |b, _| {
+            b.iter(|| mttkrp_coo(&bt.tensor, &factors, 0, &par).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("coo-seq", key), &m, |b, _| {
+            b.iter(|| mttkrp_coo(&bt.tensor, &factors, 0, &seq).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("hicoo-par", key), &m, |b, _| {
+            b.iter(|| mttkrp_hicoo(&bt.hicoo, &factors, 0, &par).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mttkrp);
+criterion_main!(benches);

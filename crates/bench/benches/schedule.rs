@@ -1,0 +1,36 @@
+//! Criterion bench: scheduling-strategy ablation for the irregular TTV loop
+//! (the paper evaluates OpenMP "under different scheduling strategies").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pasta_bench::datasets::load_one;
+use pasta_core::seeded_vector;
+use pasta_kernels::{Ctx, TtvCooPlan};
+use pasta_par::Schedule;
+
+fn bench_schedule(c: &mut Criterion) {
+    // irrS has skewed fiber lengths -> scheduling matters.
+    let bt = load_one("irrS", 0.5).expect("profile");
+    let n = 0; // mode with power-law fibers
+    let plan = TtvCooPlan::new(&bt.tensor, n).unwrap();
+    let v = seeded_vector::<f32>(bt.tensor.shape().dim(n) as usize, 7);
+    let mut out = vec![0.0f32; plan.num_fibers()];
+
+    let mut group = c.benchmark_group("schedule/ttv");
+    group.sample_size(20);
+    let threads = pasta_par::default_threads();
+    for (label, sched) in [
+        ("static", Schedule::Static),
+        ("dynamic64", Schedule::Dynamic(64)),
+        ("dynamic1024", Schedule::Dynamic(1024)),
+        ("guided", Schedule::Guided),
+    ] {
+        let ctx = Ctx::new(threads, sched);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| plan.execute_values(&v, &mut out, &ctx).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: the TEW value kernel (COO and HiCOO), host-measured.
+//!
+//! Together with `ts`/`ttv`/`ttm`/`mttkrp` this regenerates the host column
+//! of the paper's Figures 4–7 with statistically sound timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pasta_bench::datasets::load_one;
+use pasta_kernels::{tew_values_into, Ctx, EwOp};
+
+fn bench_tew(c: &mut Criterion) {
+    let ctx = Ctx::parallel();
+    let mut group = c.benchmark_group("tew");
+    group.sample_size(20);
+    for key in ["regS", "irrS"] {
+        let bt = load_one(key, 0.5).expect("profile");
+        let m = bt.tensor.nnz();
+        group.throughput(Throughput::Elements(m as u64)); // 1 flop per element
+        let y = bt.tensor.like_pattern(1.5f32);
+        let mut out = vec![0.0f32; m];
+
+        let (xv, yv) = (bt.tensor.vals().to_vec(), y.vals().to_vec());
+        group.bench_with_input(BenchmarkId::new("coo", key), &m, |b, _| {
+            b.iter(|| tew_values_into(EwOp::Add, &xv, &yv, &mut out, &ctx).unwrap());
+        });
+
+        let xh = bt.hicoo.vals().to_vec();
+        group.bench_with_input(BenchmarkId::new("hicoo", key), &m, |b, _| {
+            b.iter(|| tew_values_into(EwOp::Add, &xh, &yv, &mut out, &ctx).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tew);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench: the TS value kernel (COO and HiCOO), host-measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pasta_bench::datasets::load_one;
+use pasta_kernels::{ts_values_into, Ctx, TsOp};
+
+fn bench_ts(c: &mut Criterion) {
+    let ctx = Ctx::parallel();
+    let mut group = c.benchmark_group("ts");
+    group.sample_size(20);
+    for key in ["regS", "irrS"] {
+        let bt = load_one(key, 0.5).expect("profile");
+        let m = bt.tensor.nnz();
+        group.throughput(Throughput::Elements(m as u64));
+        let mut out = vec![0.0f32; m];
+
+        let xv = bt.tensor.vals().to_vec();
+        group.bench_with_input(BenchmarkId::new("coo", key), &m, |b, _| {
+            b.iter(|| ts_values_into(TsOp::Mul, &xv, 1.5, &mut out, &ctx).unwrap());
+        });
+
+        let xh = bt.hicoo.vals().to_vec();
+        group.bench_with_input(BenchmarkId::new("hicoo", key), &m, |b, _| {
+            b.iter(|| ts_values_into(TsOp::Mul, &xh, 1.5, &mut out, &ctx).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ts);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: TTM with the paper's R = 16 (COO vs HiCOO).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pasta_bench::datasets::{load_one, BLOCK_SIZE, RANK};
+use pasta_core::seeded_matrix;
+use pasta_kernels::{Ctx, TtmCooPlan, TtmHicooPlan};
+
+fn bench_ttm(c: &mut Criterion) {
+    let ctx = Ctx::parallel();
+    let mut group = c.benchmark_group("ttm");
+    group.sample_size(20);
+    for key in ["regS", "irrS"] {
+        let bt = load_one(key, 0.5).expect("profile");
+        let m = bt.tensor.nnz();
+        group.throughput(Throughput::Elements(2 * RANK as u64 * m as u64));
+        let n = bt.tensor.order() - 1;
+        let u = seeded_matrix::<f32>(bt.tensor.shape().dim(n) as usize, RANK, 9);
+
+        let coo_plan = TtmCooPlan::new(&bt.tensor, n).unwrap();
+        let mut out = vec![0.0f32; coo_plan.num_fibers() * RANK];
+        group.bench_with_input(BenchmarkId::new("coo", key), &m, |b, _| {
+            b.iter(|| coo_plan.execute_values(&u, &mut out, &ctx).unwrap());
+        });
+
+        let hicoo_plan = TtmHicooPlan::new(&bt.tensor, n, BLOCK_SIZE).unwrap();
+        let mut out_h = vec![0.0f32; hicoo_plan.num_fibers() * RANK];
+        group.bench_with_input(BenchmarkId::new("hicoo", key), &m, |b, _| {
+            b.iter(|| hicoo_plan.execute_values(&u, &mut out_h, &ctx).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ttm);
+criterion_main!(benches);

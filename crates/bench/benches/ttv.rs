@@ -1,0 +1,35 @@
+//! Criterion bench: TTV (COO fiber-parallel vs HiCOO block-parallel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pasta_bench::datasets::{load_one, BLOCK_SIZE};
+use pasta_core::seeded_vector;
+use pasta_kernels::{Ctx, TtvCooPlan, TtvHicooPlan};
+
+fn bench_ttv(c: &mut Criterion) {
+    let ctx = Ctx::parallel();
+    let mut group = c.benchmark_group("ttv");
+    group.sample_size(20);
+    for key in ["regS", "irrS"] {
+        let bt = load_one(key, 0.5).expect("profile");
+        let m = bt.tensor.nnz();
+        group.throughput(Throughput::Elements(2 * m as u64)); // 2 flops per nnz
+        let n = bt.tensor.order() - 1;
+        let v = seeded_vector::<f32>(bt.tensor.shape().dim(n) as usize, 7);
+
+        let coo_plan = TtvCooPlan::new(&bt.tensor, n).unwrap();
+        let mut out = vec![0.0f32; coo_plan.num_fibers()];
+        group.bench_with_input(BenchmarkId::new("coo", key), &m, |b, _| {
+            b.iter(|| coo_plan.execute_values(&v, &mut out, &ctx).unwrap());
+        });
+
+        let hicoo_plan = TtvHicooPlan::new(&bt.tensor, n, BLOCK_SIZE).unwrap();
+        let mut out_h = vec![0.0f32; hicoo_plan.num_fibers()];
+        group.bench_with_input(BenchmarkId::new("hicoo", key), &m, |b, _| {
+            b.iter(|| hicoo_plan.execute_values(&v, &mut out_h, &ctx).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ttv);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! ERT-style bandwidth sweep of the host machine (the measured part of the
+//! Figure 3 methodology).
+//!
+//! Usage: `ert [threads] [max_mb]`
+
+use pasta_par::default_threads;
+use pasta_platform::{run_ert, StreamKernel};
+
+fn main() {
+    let threads: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or_else(default_threads);
+    let max_mb: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(256);
+    println!("# Host ERT sweep — {threads} threads, up to {max_mb} MiB working set");
+    for kernel in [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad]
+    {
+        let r = run_ert(kernel, threads, 1 << 16, max_mb << 20);
+        println!("## {kernel:?}");
+        println!("working_set_bytes,bandwidth_gbps");
+        for p in &r.points {
+            println!("{},{:.2}", p.working_set_bytes, p.bandwidth / 1e9);
+        }
+        println!(
+            "summary: cache {:.1} GB/s, dram {:.1} GB/s\n",
+            r.cache_bandwidth() / 1e9,
+            r.dram_bandwidth() / 1e9
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 3: Roofline models for the four platforms with the
+//! kernels' operational intensities marked on the ERT-DRAM line.
+
+use pasta_bench::figures::fig3;
+use pasta_platform::all_platforms;
+
+fn main() {
+    println!("Figure 3 — Roofline models (CSV series per platform)\n");
+    print!("{}", fig3(&all_platforms()));
+}

@@ -1,0 +1,46 @@
+//! Host-measured kernel performance over a dataset — the real-execution
+//! complement to the modeled Figures 4–7 (this machine is a fifth,
+//! "Host" platform column).
+//!
+//! Usage: `hostrun [real|synthetic] [scale] [threads]`
+
+use pasta_bench::datasets::{load_dataset, DatasetKind};
+use pasta_bench::runner::{mode_avg_cost, run_host};
+use pasta_kernels::{Ctx, Kernel};
+use pasta_par::Schedule;
+use pasta_platform::Format;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kind: DatasetKind = args
+        .first()
+        .map(|s| s.parse().unwrap_or(DatasetKind::Synthetic))
+        .unwrap_or(DatasetKind::Synthetic);
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let threads: usize =
+        args.get(2).and_then(|s| s.parse().ok()).unwrap_or_else(pasta_par::default_threads);
+    let ctx = Ctx::new(threads, Schedule::Dynamic(256));
+
+    eprintln!("materializing dataset at scale {scale}...");
+    let tensors = load_dataset(kind, scale);
+    println!("tensor,name,nnz,kernel,format,time_s,gflops,oi");
+    for bt in &tensors {
+        for k in Kernel::ALL {
+            for fmt in [Format::Coo, Format::Hicoo] {
+                let run = run_host(bt, k, fmt, &ctx);
+                let (flops, bytes) = mode_avg_cost(bt, k, fmt);
+                println!(
+                    "{},{},{},{},{},{:.6e},{:.4},{:.4}",
+                    bt.profile.id,
+                    bt.profile.name,
+                    bt.stats.nnz,
+                    k,
+                    fmt,
+                    run.time,
+                    run.gflops,
+                    flops / bytes
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates Table I: the kernel flop/byte/OI analysis.
+//!
+//! Usage: `table1 [tensor-id]` — with a tensor id (default `s2`/regM) the
+//! parameters `M`, `M_F`, `n_b` come from the actually generated tensor.
+
+use pasta_bench::datasets::{load_one, BLOCK_SIZE, RANK};
+use pasta_bench::tables::table1;
+
+fn main() {
+    let key = std::env::args().nth(1).unwrap_or_else(|| "s2".to_string());
+    let scale: f64 =
+        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let bt = load_one(&key, scale).unwrap_or_else(|| {
+        eprintln!("unknown tensor {key:?}; try r1..r15, s1..s15 or a name like regM");
+        std::process::exit(2);
+    });
+    // Use the mode with the fewest fibers, as Table I's M_F ≪ M intends.
+    let mf = bt.stats.min_fiber_count() as f64;
+    println!(
+        "Tensor {} ({}), {} non-zeros, HiCOO B = {BLOCK_SIZE}, R = {RANK}\n",
+        bt.profile.id,
+        bt.profile.name,
+        bt.stats.nnz
+    );
+    println!(
+        "{}",
+        table1(
+            bt.stats.nnz as f64,
+            mf,
+            RANK as f64,
+            bt.block_stats.num_blocks as f64,
+            BLOCK_SIZE as f64
+        )
+    );
+}

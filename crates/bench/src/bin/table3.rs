@@ -1,0 +1,9 @@
+//! Regenerates Table III: platform parameters.
+
+use pasta_bench::tables::table3;
+use pasta_platform::all_platforms;
+
+fn main() {
+    println!("Table III — platform parameters\n");
+    println!("{}", table3(&all_platforms()));
+}

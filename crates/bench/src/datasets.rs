@@ -1,0 +1,108 @@
+//! Dataset loading for the experiment harness.
+//!
+//! Materializes the Table II profiles (synthetic `s1`–`s15`, real analogs
+//! `r1`–`r15`) together with the statistics every experiment needs: tensor
+//! stats (nnz, per-mode fiber counts), HiCOO conversion at the paper's
+//! `B = 128`, and block statistics.
+
+use pasta_core::{BlockStats, CooTensor, HiCooTensor, TensorStats};
+use pasta_gen::{real_profiles, synthetic_profiles, TensorProfile};
+
+/// The paper's fixed HiCOO block size.
+pub const BLOCK_SIZE: u32 = 128;
+/// The paper's dense-operand rank for TTM/MTTKRP.
+pub const RANK: usize = 16;
+
+/// Which dataset of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Table II(a): real-tensor analogs `r1`–`r15`.
+    Real,
+    /// Table II(b): synthetic tensors `s1`–`s15`.
+    Synthetic,
+}
+
+impl std::str::FromStr for DatasetKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "real" | "r" => Ok(DatasetKind::Real),
+            "synthetic" | "syn" | "s" => Ok(DatasetKind::Synthetic),
+            other => Err(format!("unknown dataset {other:?} (expected real|synthetic)")),
+        }
+    }
+}
+
+/// A fully materialized benchmark tensor.
+#[derive(Debug, Clone)]
+pub struct BenchTensor {
+    /// The generating profile (ids, names, paper-scale characteristics).
+    pub profile: TensorProfile,
+    /// The generated COO tensor.
+    pub tensor: CooTensor<f32>,
+    /// Tensor statistics (per-mode fiber counts, density, …).
+    pub stats: TensorStats,
+    /// The HiCOO conversion at `B = 128`.
+    pub hicoo: HiCooTensor<f32>,
+    /// HiCOO block statistics.
+    pub block_stats: BlockStats,
+}
+
+impl BenchTensor {
+    /// Materializes one profile at the given non-zero scale fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if generation fails (built-in profiles never fail).
+    pub fn materialize(profile: &TensorProfile, scale: f64) -> Self {
+        let tensor = profile.generate_scaled(scale).expect("built-in profile generates");
+        let stats = TensorStats::compute(&tensor);
+        let hicoo = HiCooTensor::from_coo(&tensor, BLOCK_SIZE).expect("valid block size");
+        let block_stats = BlockStats::compute(&hicoo);
+        Self { profile: profile.clone(), tensor, stats, hicoo, block_stats }
+    }
+}
+
+/// Loads a dataset at `scale` (1.0 = the suite's full scaled targets;
+/// use ~0.05 for quick runs).
+pub fn load_dataset(kind: DatasetKind, scale: f64) -> Vec<BenchTensor> {
+    let profiles = match kind {
+        DatasetKind::Real => real_profiles(),
+        DatasetKind::Synthetic => synthetic_profiles(),
+    };
+    profiles.iter().map(|p| BenchTensor::materialize(p, scale)).collect()
+}
+
+/// Loads a single profile by id or name.
+pub fn load_one(key: &str, scale: f64) -> Option<BenchTensor> {
+    pasta_gen::find_profile(key).map(|p| BenchTensor::materialize(&p, scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_kind_parses() {
+        assert_eq!("real".parse::<DatasetKind>().unwrap(), DatasetKind::Real);
+        assert_eq!("SYN".parse::<DatasetKind>().unwrap(), DatasetKind::Synthetic);
+        assert!("bogus".parse::<DatasetKind>().is_err());
+    }
+
+    #[test]
+    fn materialize_small() {
+        let bt = load_one("regS", 0.02).unwrap();
+        assert!(bt.tensor.nnz() > 0);
+        assert_eq!(bt.stats.order, 3);
+        assert_eq!(bt.hicoo.block_size(), BLOCK_SIZE);
+        assert!(bt.block_stats.num_blocks > 0);
+    }
+
+    #[test]
+    fn tiny_dataset_load() {
+        // Loading all 15 synthetic profiles at minuscule scale must work.
+        let all = load_dataset(DatasetKind::Synthetic, 0.002);
+        assert_eq!(all.len(), 15);
+        assert!(all.iter().all(|t| t.tensor.nnz() > 0));
+    }
+}

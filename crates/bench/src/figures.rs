@@ -1,0 +1,192 @@
+//! Regenerators for the paper's figures.
+//!
+//! Figure 3 (Roofline models with kernel OI markers) comes straight from
+//! `pasta-platform`; Figures 4–7 (five kernels × two formats × 30 tensors ×
+//! four platforms, with the per-tensor "Roofline performance" bound) are
+//! produced by evaluating the calibrated performance model — and optionally
+//! the SIMT simulator for the GPU platforms — on the materialized datasets.
+
+use crate::datasets::{BenchTensor, RANK};
+use pasta_kernels::Kernel;
+use pasta_platform::{model_run, Format, PlatformSpec, Roofline, TensorFeatures};
+
+/// One bar of Figures 4–7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureRow {
+    /// Tensor id (`r1`, `s7`, …).
+    pub tensor_id: String,
+    /// Tensor name.
+    pub tensor_name: String,
+    /// Non-zero count of the materialized tensor.
+    pub nnz: usize,
+    /// Kernel.
+    pub kernel: Kernel,
+    /// Format.
+    pub format: Format,
+    /// Modeled (or simulated) GFLOPS, mode-averaged.
+    pub gflops: f64,
+    /// The per-tensor Roofline bound in GFLOPS (the red line).
+    pub roofline: f64,
+    /// `gflops / roofline`.
+    pub efficiency: f64,
+}
+
+/// Working-set bytes of one kernel invocation (tensor + operands + output),
+/// the quantity compared against the LLC for Observation 2.
+pub fn working_set(bt: &BenchTensor, kernel: Kernel, format: Format, mode: usize) -> f64 {
+    let m = bt.stats.nnz as f64;
+    let mf = bt.stats.fiber_counts[mode] as f64;
+    let storage = match format {
+        Format::Coo => bt.tensor.storage_bytes() as f64,
+        Format::Hicoo => bt.hicoo.storage_bytes() as f64,
+    };
+    let dim_n = bt.stats.dims[mode] as f64;
+    let r = RANK as f64;
+    match kernel {
+        Kernel::Tew => 12.0 * m,
+        Kernel::Ts => 8.0 * m,
+        Kernel::Ttv => storage + 4.0 * dim_n + 12.0 * mf,
+        Kernel::Ttm => storage + 4.0 * dim_n * r + (4.0 * r + 8.0) * mf,
+        Kernel::Mttkrp => {
+            let all_rows: f64 = bt.stats.dims.iter().map(|&d| d as f64).sum();
+            storage + 4.0 * r * all_rows
+        }
+    }
+}
+
+/// Evaluates the performance model for one tensor × kernel × format on one
+/// platform, averaging over modes as the paper does.
+pub fn model_row(
+    spec: &PlatformSpec,
+    bt: &BenchTensor,
+    kernel: Kernel,
+    format: Format,
+) -> FigureRow {
+    let order = bt.stats.order;
+    let mut gflops = 0.0;
+    let mut roofline = 0.0;
+    for n in 0..order {
+        let features = TensorFeatures::from_stats(
+            &bt.stats,
+            &bt.block_stats,
+            n,
+            RANK,
+            working_set(bt, kernel, format, n),
+        );
+        let run = model_run(spec, kernel, format, &features, RANK);
+        gflops += run.gflops;
+        roofline += run.roofline_gflops;
+    }
+    gflops /= order as f64;
+    roofline /= order as f64;
+    FigureRow {
+        tensor_id: bt.profile.id.to_string(),
+        tensor_name: bt.profile.name.to_string(),
+        nnz: bt.stats.nnz,
+        kernel,
+        format,
+        gflops,
+        roofline,
+        efficiency: gflops / roofline,
+    }
+}
+
+/// All rows of one performance figure (Figures 4–7): every kernel × format
+/// for every tensor.
+pub fn figure_rows(spec: &PlatformSpec, tensors: &[BenchTensor]) -> Vec<FigureRow> {
+    let mut rows = Vec::new();
+    for bt in tensors {
+        for k in Kernel::ALL {
+            for fmt in [Format::Coo, Format::Hicoo] {
+                rows.push(model_row(spec, bt, k, fmt));
+            }
+        }
+    }
+    rows
+}
+
+/// Renders rows as CSV (one figure panel per kernel, as in the paper).
+pub fn to_csv(rows: &[FigureRow]) -> String {
+    let mut out = String::from("tensor,name,nnz,kernel,format,gflops,roofline_gflops,efficiency\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{:.4},{:.4},{:.4}\n",
+            r.tensor_id, r.tensor_name, r.nnz, r.kernel, r.format, r.gflops, r.roofline, r.efficiency
+        ));
+    }
+    out
+}
+
+/// Figure 3's data: the Roofline series plus kernel OI markers per platform.
+pub fn fig3(platforms: &[PlatformSpec]) -> String {
+    let mut out = String::new();
+    for spec in platforms {
+        let r = Roofline::for_platform(spec);
+        out.push_str(&format!(
+            "# {} — peak {:.1} TFLOPS, theoretical DRAM {:.0} GB/s, ERT-DRAM {:.0} GB/s, ERT-LLC {:.0} GB/s, ridge OI {:.1}\n",
+            spec.name,
+            r.peak_flops / 1e12,
+            r.theoretical_dram_bw / 1e9,
+            r.ert_dram_bw / 1e9,
+            r.ert_llc_bw / 1e9,
+            r.ridge_oi(),
+        ));
+        out.push_str("oi,ert_dram_gflops,ert_llc_gflops,theoretical_gflops\n");
+        for (oi, att) in r.series(0.01, 64.0, 25) {
+            out.push_str(&format!(
+                "{:.4},{:.2},{:.2},{:.2}\n",
+                oi,
+                att / 1e9,
+                r.attainable_llc(oi) / 1e9,
+                r.attainable_theoretical(oi) / 1e9
+            ));
+        }
+        out.push_str("kernel,oi,attainable_gflops\n");
+        for (k, oi, att) in r.kernel_markers() {
+            out.push_str(&format!("{k},{oi:.4},{:.2}\n", att / 1e9));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::load_one;
+    use pasta_platform::{all_platforms, bluesky, dgx1v};
+
+    #[test]
+    fn model_rows_cover_all_cells() {
+        let bt = load_one("irrS", 0.01).unwrap();
+        let rows = figure_rows(&bluesky(), &[bt]);
+        assert_eq!(rows.len(), 10); // 5 kernels x 2 formats
+        assert!(rows.iter().all(|r| r.gflops > 0.0 && r.roofline > 0.0));
+    }
+
+    #[test]
+    fn csv_renders() {
+        let bt = load_one("regS4d", 0.01).unwrap();
+        let rows = figure_rows(&dgx1v(), &[bt]);
+        let csv = to_csv(&rows);
+        assert!(csv.lines().count() == rows.len() + 1);
+        assert!(csv.contains("MTTKRP"));
+    }
+
+    #[test]
+    fn fig3_covers_platforms_and_kernels() {
+        let s = fig3(&all_platforms());
+        for p in ["Bluesky", "Wingtip", "DGX-1P", "DGX-1V"] {
+            assert!(s.contains(p));
+        }
+        assert!(s.matches("MTTKRP").count() >= 4);
+    }
+
+    #[test]
+    fn working_set_grows_with_rank_kernels() {
+        let bt = load_one("regS", 0.01).unwrap();
+        let ttv = working_set(&bt, Kernel::Ttv, Format::Coo, 0);
+        let ttm = working_set(&bt, Kernel::Ttm, Format::Coo, 0);
+        assert!(ttm > ttv);
+    }
+}

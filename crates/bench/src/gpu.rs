@@ -1,0 +1,137 @@
+//! Driving the SIMT simulator over the benchmark datasets.
+//!
+//! The figure harness's `--simulate` path: instead of the calibrated
+//! analytic model, run the actual GPU kernels on `pasta-simt` and report
+//! simulated GFLOPS. Slower but first-principles — coalescing, L2 and
+//! atomic behavior come from the executed access stream.
+
+use crate::datasets::{BenchTensor, RANK};
+use pasta_core::{seeded_matrix, seeded_vector, DenseMatrix, Result};
+use pasta_kernels::{EwOp, Kernel, TsOp};
+use pasta_platform::Format;
+use pasta_simt::{launch, DeviceSpec, LaunchStats};
+
+/// One simulated kernel result (mode-averaged).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRun {
+    /// Mean simulated time.
+    pub time: f64,
+    /// Achieved GFLOPS over the mode-averaged launch.
+    pub gflops: f64,
+    /// Aggregate stats of the last launch (diagnostics).
+    pub last: LaunchStats,
+}
+
+/// Simulates one kernel × format on a device, averaging over modes.
+///
+/// HiCOO shares the COO GPU kernels for TEW/TS/TTV/TTM (as the paper
+/// states); MTTKRP switches to the block-per-CUDA-block HiCOO kernel.
+///
+/// # Errors
+///
+/// Propagates kernel construction errors.
+pub fn simulate(
+    bt: &BenchTensor,
+    device: &DeviceSpec,
+    kernel: Kernel,
+    format: Format,
+) -> Result<SimRun> {
+    let x = &bt.tensor;
+    let order = x.order();
+    match kernel {
+        Kernel::Tew => {
+            let y = x.like_pattern(1.5f32);
+            let mut k = pasta_simt::GpuTewCoo::new(x, &y, EwOp::Add)?;
+            let stats = launch(device, &mut k);
+            Ok(SimRun { time: stats.time, gflops: stats.gflops(), last: stats })
+        }
+        Kernel::Ts => {
+            let mut k = pasta_simt::GpuTsCoo::new(x, TsOp::Mul, 1.5)?;
+            let stats = launch(device, &mut k);
+            Ok(SimRun { time: stats.time, gflops: stats.gflops(), last: stats })
+        }
+        Kernel::Ttv => {
+            let mut total = 0.0;
+            let mut last = None;
+            for n in 0..order {
+                let v = seeded_vector(x.shape().dim(n) as usize, 7);
+                let mut k = pasta_simt::GpuTtvCoo::new(x, &v, n)?;
+                let stats = launch(device, &mut k);
+                total += stats.time;
+                last = Some(stats);
+            }
+            let time = total / order as f64;
+            let flops = 2.0 * x.nnz() as f64;
+            Ok(SimRun { time, gflops: flops / time / 1e9, last: last.expect("order >= 1") })
+        }
+        Kernel::Ttm => {
+            let mut total = 0.0;
+            let mut last = None;
+            for n in 0..order {
+                let u = seeded_matrix(x.shape().dim(n) as usize, RANK, 9);
+                let mut k = pasta_simt::GpuTtmCoo::new(x, &u, n)?;
+                let stats = launch(device, &mut k);
+                total += stats.time;
+                last = Some(stats);
+            }
+            let time = total / order as f64;
+            let flops = 2.0 * x.nnz() as f64 * RANK as f64;
+            Ok(SimRun { time, gflops: flops / time / 1e9, last: last.expect("order >= 1") })
+        }
+        Kernel::Mttkrp => {
+            let factors: Vec<DenseMatrix<f32>> = (0..order)
+                .map(|m| seeded_matrix(x.shape().dim(m) as usize, RANK, 11 + m as u64))
+                .collect();
+            let mut total = 0.0;
+            let mut last = None;
+            for n in 0..order {
+                let stats = match format {
+                    Format::Coo => {
+                        let mut k = pasta_simt::GpuMttkrpCoo::new(x, &factors, n)?;
+                        launch(device, &mut k)
+                    }
+                    Format::Hicoo => {
+                        let mut k = pasta_simt::GpuMttkrpHicoo::new(&bt.hicoo, &factors, n)?;
+                        launch(device, &mut k)
+                    }
+                };
+                total += stats.time;
+                last = Some(stats);
+            }
+            let time = total / order as f64;
+            let flops = 3.0 * x.nnz() as f64 * RANK as f64;
+            Ok(SimRun { time, gflops: flops / time / 1e9, last: last.expect("order >= 1") })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::load_one;
+    use pasta_simt::{p100, v100};
+
+    #[test]
+    fn simulate_all_kernels_tiny() {
+        let bt = load_one("irrS", 0.005).unwrap();
+        for k in Kernel::ALL {
+            let r = simulate(&bt, &p100(), k, Format::Coo).unwrap();
+            assert!(r.time > 0.0 && r.gflops > 0.0, "{k}");
+        }
+    }
+
+    #[test]
+    fn hicoo_mttkrp_uses_block_grid() {
+        let bt = load_one("regS", 0.005).unwrap();
+        let r = simulate(&bt, &v100(), Kernel::Mttkrp, Format::Hicoo).unwrap();
+        assert_eq!(r.last.blocks, bt.hicoo.num_blocks());
+    }
+
+    #[test]
+    fn v100_not_slower_than_p100_on_streaming() {
+        let bt = load_one("irrS", 0.5).unwrap(); // enough blocks to fill both GPUs
+        let p = simulate(&bt, &p100(), Kernel::Ts, Format::Coo).unwrap();
+        let v = simulate(&bt, &v100(), Kernel::Ts, Format::Coo).unwrap();
+        assert!(v.time <= p.time * 1.05, "{} vs {}", v.time, p.time);
+    }
+}

@@ -1,0 +1,31 @@
+//! # pasta-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | Artifact | Binary | Module |
+//! |---|---|---|
+//! | Table I (kernel analysis / OI) | `table1` | [`tables`] |
+//! | Table II (datasets) | `table2` | [`tables`], [`datasets`] |
+//! | Table III (platforms) | `table3` | [`tables`] |
+//! | Figure 3 (Rooflines + OI markers) | `fig3` | [`figures`] |
+//! | Figures 4–7 (kernel GFLOPS per platform) | `figures` | [`figures`], [`gpu`] |
+//! | Observations 1–5 | `observations` | [`observations`] |
+//! | Host ERT sweep | `ert` | `pasta_platform::ert` |
+//! | Host-measured kernel runs | `hostrun` | [`runner`] |
+//!
+//! Criterion benches (`benches/`) time the real kernels on the host machine,
+//! one bench per kernel plus format-conversion and scheduling ablations.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod datasets;
+pub mod figures;
+pub mod gpu;
+pub mod observations;
+pub mod runner;
+pub mod tables;
+
+pub use datasets::{load_dataset, load_one, BenchTensor, DatasetKind, BLOCK_SIZE, RANK};
+pub use figures::{figure_rows, model_row, to_csv, FigureRow};
+pub use runner::{run_host, HostRun};

@@ -1,0 +1,194 @@
+//! Host-measured kernel execution.
+//!
+//! Mirrors the paper's methodology on the machine running the suite: each
+//! kernel is timed over five repetitions of the *value computation* (plans
+//! and output allocation are pre-processing), and TTV/TTM/MTTKRP times are
+//! further averaged over all tensor modes. GFLOPS uses the Table I flop
+//! counts, exactly as the paper computes its y-axes.
+
+use crate::datasets::{BenchTensor, RANK};
+use pasta_core::{seeded_matrix, seeded_vector, DenseMatrix, DenseVector};
+use pasta_kernels::{
+    kernel_cost, mttkrp_coo, mttkrp_hicoo, tew_values_into, ts_values_into, CostParams, Ctx,
+    EwOp, Kernel, TsOp, TtmCooPlan, TtmHicooPlan, TtvCooPlan, TtvHicooPlan,
+};
+use pasta_platform::Format;
+use std::time::Instant;
+
+/// Repetitions per measurement (the paper runs each kernel five times).
+pub const REPS: usize = 5;
+
+/// One host-measured kernel result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostRun {
+    /// Mean kernel time in seconds (mode-averaged where applicable).
+    pub time: f64,
+    /// Table I flop count for the run.
+    pub flops: f64,
+    /// Achieved GFLOPS.
+    pub gflops: f64,
+}
+
+fn time_reps<F: FnMut()>(mut f: F) -> f64 {
+    // Warm-up once, then average REPS timed runs.
+    f();
+    let start = Instant::now();
+    for _ in 0..REPS {
+        f();
+    }
+    start.elapsed().as_secs_f64() / REPS as f64
+}
+
+/// Runs one kernel × format on the host and reports mode-averaged GFLOPS.
+///
+/// # Panics
+///
+/// Panics only on internal errors (operands are constructed consistently).
+pub fn run_host(bt: &BenchTensor, kernel: Kernel, format: Format, ctx: &Ctx) -> HostRun {
+    let x = &bt.tensor;
+    let order = x.order();
+    let m = x.nnz() as f64;
+
+    match kernel {
+        Kernel::Tew => {
+            let y = x.like_pattern(1.5f32);
+            let mut out = vec![0.0f32; x.nnz()];
+            let (xv, yv): (Vec<f32>, Vec<f32>) = match format {
+                Format::Coo => (x.vals().to_vec(), y.vals().to_vec()),
+                Format::Hicoo => (bt.hicoo.vals().to_vec(), vec![1.5f32; x.nnz()]),
+            };
+            let time = time_reps(|| {
+                tew_values_into(EwOp::Add, &xv, &yv, &mut out, ctx).expect("tew");
+            });
+            HostRun { time, flops: m, gflops: m / time / 1e9 }
+        }
+        Kernel::Ts => {
+            let mut out = vec![0.0f32; x.nnz()];
+            let xv: Vec<f32> = match format {
+                Format::Coo => x.vals().to_vec(),
+                Format::Hicoo => bt.hicoo.vals().to_vec(),
+            };
+            let time = time_reps(|| {
+                ts_values_into(TsOp::Mul, &xv, 1.5, &mut out, ctx).expect("ts");
+            });
+            HostRun { time, flops: m, gflops: m / time / 1e9 }
+        }
+        Kernel::Ttv => {
+            let mut total = 0.0;
+            for n in 0..order {
+                let v: DenseVector<f32> = seeded_vector(x.shape().dim(n) as usize, 7);
+                total += match format {
+                    Format::Coo => {
+                        let plan = TtvCooPlan::new(x, n).expect("plan");
+                        let mut out = vec![0.0f32; plan.num_fibers()];
+                        time_reps(|| plan.execute_values(&v, &mut out, ctx).expect("ttv"))
+                    }
+                    Format::Hicoo => {
+                        let plan =
+                            TtvHicooPlan::new(x, n, crate::datasets::BLOCK_SIZE).expect("plan");
+                        let mut out = vec![0.0f32; plan.num_fibers()];
+                        time_reps(|| plan.execute_values(&v, &mut out, ctx).expect("ttv"))
+                    }
+                };
+            }
+            let time = total / order as f64;
+            let flops = 2.0 * m;
+            HostRun { time, flops, gflops: flops / time / 1e9 }
+        }
+        Kernel::Ttm => {
+            let mut total = 0.0;
+            for n in 0..order {
+                let u: DenseMatrix<f32> = seeded_matrix(x.shape().dim(n) as usize, RANK, 9);
+                total += match format {
+                    Format::Coo => {
+                        let plan = TtmCooPlan::new(x, n).expect("plan");
+                        let mut out = vec![0.0f32; plan.num_fibers() * RANK];
+                        time_reps(|| plan.execute_values(&u, &mut out, ctx).expect("ttm"))
+                    }
+                    Format::Hicoo => {
+                        let plan =
+                            TtmHicooPlan::new(x, n, crate::datasets::BLOCK_SIZE).expect("plan");
+                        let mut out = vec![0.0f32; plan.num_fibers() * RANK];
+                        time_reps(|| plan.execute_values(&u, &mut out, ctx).expect("ttm"))
+                    }
+                };
+            }
+            let time = total / order as f64;
+            let flops = 2.0 * m * RANK as f64;
+            HostRun { time, flops, gflops: flops / time / 1e9 }
+        }
+        Kernel::Mttkrp => {
+            let factors: Vec<DenseMatrix<f32>> = (0..order)
+                .map(|mm| seeded_matrix(x.shape().dim(mm) as usize, RANK, 11 + mm as u64))
+                .collect();
+            let mut total = 0.0;
+            for n in 0..order {
+                total += match format {
+                    Format::Coo => time_reps(|| {
+                        mttkrp_coo(x, &factors, n, ctx).expect("mttkrp");
+                    }),
+                    Format::Hicoo => time_reps(|| {
+                        mttkrp_hicoo(&bt.hicoo, &factors, n, ctx).expect("mttkrp");
+                    }),
+                };
+            }
+            let time = total / order as f64;
+            let flops = 3.0 * m * RANK as f64;
+            HostRun { time, flops, gflops: flops / time / 1e9 }
+        }
+    }
+}
+
+/// Mode-averaged Table I cost of a kernel on this tensor (for Roofline
+/// bounds and efficiency reporting).
+pub fn mode_avg_cost(bt: &BenchTensor, kernel: Kernel, format: Format) -> (f64, f64) {
+    let order = bt.stats.order;
+    let mut flops = 0.0;
+    let mut bytes = 0.0;
+    for n in 0..order {
+        let p = CostParams {
+            m: bt.stats.nnz as f64,
+            mf: bt.stats.fiber_counts[n] as f64,
+            r: RANK as f64,
+            nb: bt.block_stats.num_blocks as f64,
+            block_size: bt.block_stats.block_size as f64,
+        };
+        let c = kernel_cost(kernel, &p);
+        flops += c.flops;
+        bytes += match format {
+            Format::Coo => c.coo_bytes,
+            Format::Hicoo => c.hicoo_bytes,
+        };
+    }
+    (flops / order as f64, bytes / order as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::load_one;
+
+    #[test]
+    fn host_runs_all_kernels_small() {
+        let bt = load_one("regS", 0.01).unwrap();
+        let ctx = Ctx::new(2, pasta_par::Schedule::Dynamic(256));
+        for k in Kernel::ALL {
+            for fmt in [Format::Coo, Format::Hicoo] {
+                let r = run_host(&bt, k, fmt, &ctx);
+                assert!(r.time > 0.0 && r.time.is_finite(), "{k} {fmt}");
+                assert!(r.gflops > 0.0, "{k} {fmt}");
+            }
+        }
+    }
+
+    #[test]
+    fn mode_avg_cost_positive() {
+        let bt = load_one("irrS", 0.01).unwrap();
+        for k in Kernel::ALL {
+            let (f, b) = mode_avg_cost(&bt, k, Format::Coo);
+            assert!(f > 0.0 && b > 0.0, "{k}");
+            let (_, bh) = mode_avg_cost(&bt, k, Format::Hicoo);
+            assert!(bh > 0.0);
+        }
+    }
+}

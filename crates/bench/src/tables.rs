@@ -1,0 +1,155 @@
+//! Regenerators for the paper's tables.
+
+use pasta_gen::TensorProfile;
+use pasta_kernels::{kernel_cost, CostParams, Kernel};
+use pasta_platform::PlatformSpec;
+
+/// Table I: kernel analysis for third-order cubical tensors — the paper's
+/// symbolic formulas plus a numeric evaluation at the given parameters.
+pub fn table1(m: f64, mf: f64, r: f64, nb: f64, block_size: f64) -> String {
+    let p = CostParams { m, mf, r, nb, block_size };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table I — kernel analysis (M = {m:.3e}, M_F = {mf:.3e}, R = {r}, n_b = {nb:.3e}, B = {block_size})\n"
+    ));
+    out.push_str(
+        "| Kernel | Work (#Flops) | COO bytes (upper bound) | HiCOO bytes (upper bound) | OI (COO) | OI (HiCOO) | OI (paper approx) |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|\n");
+    let formulas = [
+        (Kernel::Tew, "M", "12M", "12M"),
+        (Kernel::Ts, "M", "8M", "8M"),
+        (Kernel::Ttv, "2M", "12M + 12M_F", "12M + 12M_F"),
+        (
+            Kernel::Ttm,
+            "2MR",
+            "4MR + 4M_F·R + 8M_F + 8M + 8M_F",
+            "4MR + 4M_F·R + 8M + 8M_F",
+        ),
+        (Kernel::Mttkrp, "3MR", "12MR + 16M", "12R·min{n_b·B, M} + 7M + 20n_b"),
+    ];
+    for (k, wf, cf, hf) in formulas {
+        let c = kernel_cost(k, &p);
+        out.push_str(&format!(
+            "| {k} | {wf} = {:.3e} | {cf} = {:.3e} | {hf} = {:.3e} | {:.4} | {:.4} | {} |\n",
+            c.flops,
+            c.coo_bytes,
+            c.hicoo_bytes,
+            c.coo_oi(),
+            c.hicoo_oi(),
+            oi_label(k),
+        ));
+    }
+    out
+}
+
+fn oi_label(k: Kernel) -> &'static str {
+    match k {
+        Kernel::Tew => "1/12",
+        Kernel::Ts => "1/8",
+        Kernel::Ttv => "~1/6",
+        Kernel::Ttm => "~1/2",
+        Kernel::Mttkrp => "~1/4",
+    }
+}
+
+fn fmt_dims(dims: &[u64]) -> String {
+    dims.iter().map(|d| pasta_core::stats::human_count(*d as usize)).collect::<Vec<_>>().join("x")
+}
+
+/// Table II: one dataset's description. `actual_nnz` optionally reports the
+/// generated (post-dedup) non-zero counts alongside the targets.
+pub fn table2(profiles: &[TensorProfile], actual_nnz: Option<&[usize]>) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| No. | Tensor | Gen. | Order | Dims (scaled) | #Nnz (scaled) | Density (scaled) | Dims (paper) | #Nnz (paper) |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|\n");
+    for (i, p) in profiles.iter().enumerate() {
+        let nnz = actual_nnz.map(|a| a[i]).unwrap_or(p.target_nnz);
+        let dims64: Vec<u64> = p.dims.iter().map(|&d| d as u64).collect();
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {:.2e} | {} | {} |\n",
+            p.id,
+            p.name,
+            p.method,
+            p.order(),
+            fmt_dims(&dims64),
+            pasta_core::stats::human_count(nnz),
+            p.density(),
+            fmt_dims(&p.paper_dims),
+            pasta_core::stats::human_count(p.paper_nnz as usize),
+        ));
+    }
+    out
+}
+
+/// Table III: platform parameters.
+pub fn table3(platforms: &[PlatformSpec]) -> String {
+    let mut out = String::new();
+    let row = |label: &str, f: &dyn Fn(&PlatformSpec) -> String| {
+        let cells: Vec<String> = platforms.iter().map(f).collect();
+        format!("| {label} | {} |\n", cells.join(" | "))
+    };
+    out.push_str(&row("Parameters", &|p| p.name.to_string()));
+    out.push_str(&format!("|---|{}\n", "---|".repeat(platforms.len())));
+    out.push_str(&row("Processor", &|p| p.processor.to_string()));
+    out.push_str(&row("Microarch", &|p| p.microarch.to_string()));
+    out.push_str(&row("Frequency", &|p| format!("{:.2} GHz", p.freq_ghz)));
+    out.push_str(&row("#Cores", &|p| match p.kind {
+        pasta_platform::PlatformKind::Cpu { sockets, cores } => {
+            format!("{cores} ({} x {sockets})", cores / sockets)
+        }
+        pasta_platform::PlatformKind::Gpu { cores, .. } => format!("{cores}"),
+    }));
+    out.push_str(&row("Peak SP Perf.", &|p| format!("{:.1} TFLOPS", p.peak_sp_tflops)));
+    out.push_str(&row("LLC size", &|p| format!("{} MB", p.llc_bytes >> 20)));
+    out.push_str(&row("Mem. size", &|p| format!("{} GB", p.mem_gb)));
+    out.push_str(&row("Mem. type", &|p| p.mem_type.to_string()));
+    out.push_str(&row("Mem. freq.", &|p| format!("{:.3} GHz", p.mem_freq_ghz)));
+    out.push_str(&row("Mem. BW", &|p| format!("{} GB/s", p.mem_bw_gbps)));
+    out.push_str(&row("Compiler", &|p| p.compiler.to_string()));
+    out.push_str(&row("ERT-DRAM BW (modeled)", &|p| {
+        format!("{:.0} GB/s", p.ert_dram_bw() / 1e9)
+    }));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_gen::synthetic_profiles;
+    use pasta_platform::all_platforms;
+
+    #[test]
+    fn table1_contains_all_kernels_and_matches_approximations() {
+        let s = table1(1e6, 1e5, 16.0, 2e4, 128.0);
+        for k in ["TEW", "TS", "TTV", "TTM", "MTTKRP"] {
+            assert!(s.contains(k), "{k} missing");
+        }
+        assert!(s.contains("1/12"));
+        assert!(s.contains("~1/4"));
+    }
+
+    #[test]
+    fn table2_lists_every_profile() {
+        let profiles = synthetic_profiles();
+        let s = table2(&profiles, None);
+        for p in &profiles {
+            assert!(s.contains(p.name), "{} missing", p.name);
+        }
+        assert!(s.contains("Kron."));
+        assert!(s.contains("PL"));
+    }
+
+    #[test]
+    fn table3_lists_every_platform() {
+        let s = table3(&all_platforms());
+        for name in ["Bluesky", "Wingtip", "DGX-1P", "DGX-1V"] {
+            assert!(s.contains(name));
+        }
+        assert!(s.contains("Skylake"));
+        assert!(s.contains("HBM2"));
+        assert!(s.contains("900 GB/s"));
+    }
+}

@@ -1,0 +1,304 @@
+//! The Compressed Sparse Fiber (CSF) format.
+//!
+//! The paper's conclusion lists CSF (Smith et al., SPLATT) as the next
+//! format to add to the suite; this module provides it. CSF stores the
+//! non-zeros of an `N`th-order tensor as a forest: level 0 holds the
+//! distinct indices of the first mode (in a chosen *mode order*), each node
+//! pointing at its children in the next level, with leaves carrying values.
+//! Unlike COO/HiCOO it is *mode specific*: one representation favors
+//! computations rooted at its first mode.
+
+use crate::coo::CooTensor;
+use crate::error::{Error, Result};
+use crate::shape::{Coord, Shape};
+use crate::value::Value;
+
+/// A sparse tensor in CSF form.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{CooTensor, CsfTensor, Shape};
+///
+/// # fn main() -> Result<(), pasta_core::Error> {
+/// let coo = CooTensor::from_entries(
+///     Shape::new(vec![2, 3, 4]),
+///     vec![(vec![0, 0, 1], 1.0_f32), (vec![0, 0, 3], 2.0), (vec![1, 2, 0], 3.0)],
+/// )?;
+/// let csf = CsfTensor::from_coo(&coo, &[0, 1, 2])?;
+/// assert_eq!(csf.nnz(), 3);
+/// assert_eq!(csf.level_size(0), 2); // two distinct i indices
+/// assert_eq!(csf.level_size(1), 2); // fibers (0,0) and (1,2)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsfTensor<V> {
+    shape: Shape,
+    mode_order: Vec<usize>,
+    /// Node index values per level (`fids[l].len()` = nodes at level `l`;
+    /// the last level has one node per non-zero).
+    fids: Vec<Vec<Coord>>,
+    /// Child pointers per non-leaf level: node `i` of level `l` owns
+    /// children `fptr[l][i]..fptr[l][i+1]` of level `l + 1`.
+    fptr: Vec<Vec<usize>>,
+    /// Leaf values (parallel to the last level's `fids`).
+    vals: Vec<V>,
+}
+
+impl<V: Value> CsfTensor<V> {
+    /// Builds CSF from COO under the given mode order (a permutation of
+    /// `0..order`; the first listed mode becomes the tree root).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `mode_order` is not a permutation of the modes.
+    pub fn from_coo(coo: &CooTensor<V>, mode_order: &[usize]) -> Result<Self> {
+        let order = coo.order();
+        let mut check: Vec<usize> = mode_order.to_vec();
+        check.sort_unstable();
+        if check != (0..order).collect::<Vec<_>>() {
+            return Err(Error::OperandMismatch {
+                what: format!("mode order {mode_order:?} is not a permutation of 0..{order}"),
+            });
+        }
+        let mut sorted = coo.clone();
+        sorted.sort_by_mode_order(mode_order);
+
+        let m = sorted.nnz();
+        let mut fids: Vec<Vec<Coord>> = vec![Vec::new(); order];
+        let mut fptr: Vec<Vec<usize>> = vec![Vec::new(); order.saturating_sub(1)];
+
+        // Walk entries; at each level a new node starts when any coordinate
+        // at that level or above changes.
+        for x in 0..m {
+            let mut new_from: Option<usize> = None;
+            if x == 0 {
+                new_from = Some(0);
+            } else {
+                for (l, &mode) in mode_order.iter().enumerate() {
+                    if sorted.mode_inds(mode)[x] != sorted.mode_inds(mode)[x - 1] {
+                        new_from = Some(l);
+                        break;
+                    }
+                }
+            }
+            if let Some(from) = new_from {
+                for l in from..order {
+                    let mode = mode_order[l];
+                    if l > 0 {
+                        // A new node at level l may require opening its
+                        // parent's child range; parents push a pointer when
+                        // they are created (handled below).
+                    }
+                    fids[l].push(sorted.mode_inds(mode)[x]);
+                    if l < order - 1 {
+                        fptr[l].push(fids[l + 1].len()); // start of children
+                    }
+                }
+            } else {
+                // Same leaf coordinates as previous entry cannot happen for
+                // deduplicated tensors; treat as a new leaf node anyway.
+                let mode = mode_order[order - 1];
+                fids[order - 1].push(sorted.mode_inds(mode)[x]);
+            }
+        }
+        // Close the pointer arrays with sentinels.
+        for l in 0..order.saturating_sub(1) {
+            fptr[l].push(fids[l + 1].len());
+        }
+
+        Ok(Self {
+            shape: sorted.shape().clone(),
+            mode_order: mode_order.to_vec(),
+            fids,
+            fptr,
+            vals: sorted.vals().to_vec(),
+        })
+    }
+
+    /// The tensor shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The tensor order.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.shape.order()
+    }
+
+    /// The number of non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The mode order of the tree (root first).
+    #[inline]
+    pub fn mode_order(&self) -> &[usize] {
+        &self.mode_order
+    }
+
+    /// The number of nodes at tree level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= self.order()`.
+    pub fn level_size(&self, l: usize) -> usize {
+        self.fids[l].len()
+    }
+
+    /// The index values at level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= self.order()`.
+    pub fn fids(&self, l: usize) -> &[Coord] {
+        &self.fids[l]
+    }
+
+    /// The child range of node `i` at non-leaf level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= self.order() - 1` or `i` is out of range.
+    pub fn children(&self, l: usize, i: usize) -> std::ops::Range<usize> {
+        self.fptr[l][i]..self.fptr[l][i + 1]
+    }
+
+    /// The leaf values.
+    #[inline]
+    pub fn vals(&self) -> &[V] {
+        &self.vals
+    }
+
+    /// Storage bytes: 4 B per node id plus 8 B per pointer plus values.
+    pub fn storage_bytes(&self) -> usize {
+        let ids: usize = self.fids.iter().map(|l| 4 * l.len()).sum();
+        let ptrs: usize = self.fptr.iter().map(|l| 8 * l.len()).sum();
+        ids + ptrs + self.vals.len() * V::BYTES
+    }
+
+    /// Expands back to COO (entries in tree order).
+    pub fn to_coo(&self) -> CooTensor<V> {
+        let order = self.order();
+        let mut out = CooTensor::with_capacity(self.shape.clone(), self.nnz());
+        let mut coords = vec![0 as Coord; order];
+        self.walk(0, 0..self.level_size(0), &mut coords, &mut out);
+        out
+    }
+
+    fn walk(
+        &self,
+        l: usize,
+        range: std::ops::Range<usize>,
+        coords: &mut Vec<Coord>,
+        out: &mut CooTensor<V>,
+    ) {
+        let order = self.order();
+        for i in range {
+            coords[self.mode_order[l]] = self.fids[l][i];
+            if l == order - 1 {
+                out.push(coords, self.vals[i]).expect("CSF coords are valid by construction");
+            } else {
+                self.walk(l + 1, self.children(l, i), coords, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooTensor<f64> {
+        CooTensor::from_entries(
+            Shape::new(vec![3, 4, 5]),
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 0, 4], 2.0),
+                (vec![0, 2, 1], 3.0),
+                (vec![2, 0, 0], 4.0),
+                (vec![2, 3, 3], 5.0),
+                (vec![2, 3, 4], 6.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tree_structure_counts() {
+        let csf = CsfTensor::from_coo(&sample(), &[0, 1, 2]).unwrap();
+        assert_eq!(csf.level_size(0), 2); // roots i = 0, 2
+        assert_eq!(csf.level_size(1), 4); // fibers (0,0), (0,2), (2,0), (2,3)
+        assert_eq!(csf.level_size(2), 6); // leaves
+        assert_eq!(csf.nnz(), 6);
+        assert_eq!(csf.fids(0), &[0, 2]);
+        assert_eq!(csf.children(0, 0), 0..2); // i=0 has fibers j=0 and j=2
+        assert_eq!(csf.children(1, 0), 0..2); // fiber (0,0) has two leaves
+    }
+
+    #[test]
+    fn roundtrip_every_mode_order() {
+        let x = sample();
+        let mut want = x.clone();
+        want.sort();
+        for order in [[0, 1, 2], [2, 1, 0], [1, 0, 2], [1, 2, 0], [0, 2, 1], [2, 0, 1]] {
+            let csf = CsfTensor::from_coo(&x, &order).unwrap();
+            let mut got = csf.to_coo();
+            got.sort();
+            assert_eq!(got, want, "{order:?}");
+            assert_eq!(csf.mode_order(), &order);
+        }
+    }
+
+    #[test]
+    fn fourth_order_roundtrip() {
+        let x = CooTensor::<f64>::from_entries(
+            Shape::new(vec![3, 3, 3, 3]),
+            vec![
+                (vec![0, 1, 2, 0], 1.0),
+                (vec![0, 1, 2, 2], 2.0),
+                (vec![2, 0, 1, 1], 3.0),
+            ],
+        )
+        .unwrap();
+        let csf = CsfTensor::from_coo(&x, &[3, 2, 1, 0]).unwrap();
+        let mut got = csf.to_coo();
+        got.sort();
+        let mut want = x;
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rejects_bad_mode_order() {
+        let x = sample();
+        assert!(CsfTensor::from_coo(&x, &[0, 1]).is_err());
+        assert!(CsfTensor::from_coo(&x, &[0, 1, 1]).is_err());
+        assert!(CsfTensor::from_coo(&x, &[0, 1, 3]).is_err());
+    }
+
+    #[test]
+    fn csf_compresses_shared_prefixes() {
+        // Many non-zeros share the same (i, j) prefix: CSF stores them once.
+        let entries: Vec<(Vec<Coord>, f64)> =
+            (0..50u32).map(|k| (vec![1, 2, k], k as f64 + 1.0)).collect();
+        let x = CooTensor::from_entries(Shape::new(vec![4, 4, 64]), entries).unwrap();
+        let csf = CsfTensor::from_coo(&x, &[0, 1, 2]).unwrap();
+        assert_eq!(csf.level_size(0), 1);
+        assert_eq!(csf.level_size(1), 1);
+        assert!(csf.storage_bytes() < x.storage_bytes());
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let x = CooTensor::<f64>::new(Shape::new(vec![2, 2]));
+        let csf = CsfTensor::from_coo(&x, &[0, 1]).unwrap();
+        assert_eq!(csf.nnz(), 0);
+        assert_eq!(csf.level_size(0), 0);
+        assert_eq!(csf.to_coo().nnz(), 0);
+    }
+}

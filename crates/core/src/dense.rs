@@ -1,0 +1,328 @@
+//! Dense matrices and vectors used as kernel operands.
+//!
+//! TTV multiplies a sparse tensor by a dense vector; TTM and MTTKRP multiply
+//! by dense factor matrices stored row-major (the paper transposes the
+//! Kolda-Bader convention so `U ∈ R^{I_n × R}` is traversed row-wise,
+//! matching C row-major storage).
+
+use crate::shape::Coord;
+use crate::value::Value;
+
+/// A dense row-major matrix.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::DenseMatrix;
+///
+/// let mut m = DenseMatrix::<f32>::zeros(2, 3);
+/// m.set(1, 2, 5.0);
+/// assert_eq!(m.get(1, 2), 5.0);
+/// assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix<V> {
+    rows: usize,
+    cols: usize,
+    data: Vec<V>,
+}
+
+impl<V: Value> DenseMatrix<V> {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![V::ZERO; rows * cols] }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<V>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix whose entry `(i, j)` is `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> V) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> V {
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets element `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: V) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[V] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [V] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The backing row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[V] {
+        &self.data
+    }
+
+    /// Mutable access to the backing row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [V] {
+        &mut self.data
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(V::ZERO);
+    }
+
+    /// The storage footprint in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() * V::BYTES
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> V {
+        self.data.iter().map(|&v| v * v).sum::<V>().sqrt()
+    }
+}
+
+/// A dense vector.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::DenseVector;
+///
+/// let v = DenseVector::from_vec(vec![1.0_f32, 2.0, 3.0]);
+/// assert_eq!(v.len(), 3);
+/// assert_eq!(v[1], 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseVector<V> {
+    data: Vec<V>,
+}
+
+impl<V: Value> DenseVector<V> {
+    /// Creates a zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Self { data: vec![V::ZERO; n] }
+    }
+
+    /// Creates a vector from raw data.
+    pub fn from_vec(data: Vec<V>) -> Self {
+        Self { data }
+    }
+
+    /// Creates a vector whose entry `i` is `f(i)`.
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> V) -> Self {
+        Self { data: (0..n).map(f).collect() }
+    }
+
+    /// Vector length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The backing data.
+    #[inline]
+    pub fn as_slice(&self) -> &[V] {
+        &self.data
+    }
+
+    /// Mutable access to the backing data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [V] {
+        &mut self.data
+    }
+
+    /// Euclidean norm.
+    pub fn norm2(&self) -> V {
+        self.data.iter().map(|&v| v * v).sum::<V>().sqrt()
+    }
+
+    /// Scales the vector to unit norm; returns the previous norm.
+    ///
+    /// A zero vector is left unchanged and `0` is returned.
+    pub fn normalize(&mut self) -> V {
+        let n = self.norm2();
+        if n != V::ZERO {
+            for v in &mut self.data {
+                *v /= n;
+            }
+        }
+        n
+    }
+}
+
+impl<V> std::ops::Index<usize> for DenseVector<V> {
+    type Output = V;
+    fn index(&self, i: usize) -> &V {
+        &self.data[i]
+    }
+}
+
+impl<V> std::ops::IndexMut<usize> for DenseVector<V> {
+    fn index_mut(&mut self, i: usize) -> &mut V {
+        &mut self.data[i]
+    }
+}
+
+impl<V: Value> FromIterator<V> for DenseVector<V> {
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        Self { data: iter.into_iter().collect() }
+    }
+}
+
+/// Fills a matrix with a deterministic quasi-random pattern in `[0, 1)`,
+/// keyed by `seed` — used by examples and benches to build factor matrices
+/// without depending on `rand` in the core crate.
+pub fn seeded_matrix<V: Value>(rows: usize, cols: usize, seed: u64) -> DenseMatrix<V> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    DenseMatrix::from_fn(rows, cols, |_, _| {
+        // SplitMix64 step.
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        V::from_f64((z >> 11) as f64 / (1u64 << 53) as f64)
+    })
+}
+
+/// Fills a vector with a deterministic quasi-random pattern in `[0, 1)`.
+pub fn seeded_vector<V: Value>(n: usize, seed: u64) -> DenseVector<V> {
+    let m = seeded_matrix::<V>(n, 1, seed);
+    DenseVector::from_vec(m.as_slice().to_vec())
+}
+
+/// Converts a `u32` tensor coordinate to a `usize` row index.
+#[inline]
+pub fn ix(c: Coord) -> usize {
+    c as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = DenseMatrix::from_fn(3, 2, |i, j| (i * 10 + j) as f32);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(2, 1), 21.0);
+        assert_eq!(m.row(1), &[10.0, 11.0]);
+        assert_eq!(m.as_slice().len(), 6);
+        assert_eq!(m.storage_bytes(), 24);
+    }
+
+    #[test]
+    fn matrix_mutation() {
+        let mut m = DenseMatrix::<f64>::zeros(2, 2);
+        m.set(0, 1, 3.0);
+        m.row_mut(1)[0] = 4.0;
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.get(1, 0), 4.0);
+        m.fill_zero();
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn from_vec_length_checked() {
+        let _ = DenseMatrix::from_vec(2, 2, vec![1.0_f32; 3]);
+    }
+
+    #[test]
+    fn vector_norms() {
+        let mut v = DenseVector::from_vec(vec![3.0_f32, 4.0]);
+        assert_eq!(v.norm2(), 5.0);
+        let n = v.normalize();
+        assert_eq!(n, 5.0);
+        assert!((v.norm2() - 1.0).abs() < 1e-6);
+
+        let mut z = DenseVector::<f32>::zeros(4);
+        assert_eq!(z.normalize(), 0.0);
+        assert_eq!(z.len(), 4);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn frobenius_norm() {
+        let m = DenseMatrix::from_vec(1, 2, vec![3.0_f32, 4.0]);
+        assert_eq!(m.frobenius_norm(), 5.0);
+    }
+
+    #[test]
+    fn seeded_data_is_deterministic_and_bounded() {
+        let a = seeded_matrix::<f32>(4, 4, 42);
+        let b = seeded_matrix::<f32>(4, 4, 42);
+        let c = seeded_matrix::<f32>(4, 4, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|&v| (0.0..1.0).contains(&v)));
+        let v = seeded_vector::<f64>(8, 7);
+        assert_eq!(v.len(), 8);
+    }
+
+    #[test]
+    fn vector_from_iterator() {
+        let v: DenseVector<f32> = (0..3).map(|i| i as f32).collect();
+        assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Error types for the PASTA core crate.
+
+use std::fmt;
+
+/// A convenient alias for `Result` with [`Error`] as the error type.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by tensor construction, conversion, I/O and kernels.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{CooTensor, Shape};
+///
+/// let shape = Shape::new(vec![2, 2]);
+/// let err = CooTensor::<f32>::from_entries(shape, vec![(vec![5, 0], 1.0)]).unwrap_err();
+/// assert!(err.to_string().contains("index"));
+/// ```
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Two tensors were expected to have the same shape but do not.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Vec<u32>,
+        /// Shape of the right operand.
+        right: Vec<u32>,
+    },
+    /// Two tensors were expected to have the same order (number of modes).
+    OrderMismatch {
+        /// Order of the left operand.
+        left: usize,
+        /// Order of the right operand.
+        right: usize,
+    },
+    /// An index along `mode` was out of range for that mode's dimension.
+    IndexOutOfBounds {
+        /// The offending mode.
+        mode: usize,
+        /// The offending index.
+        index: u32,
+        /// The dimension size of that mode.
+        dim: u32,
+    },
+    /// A mode number was out of range for the tensor order.
+    InvalidMode {
+        /// The requested mode.
+        mode: usize,
+        /// The tensor order.
+        order: usize,
+    },
+    /// The block size for HiCOO was invalid (must be a power of two in `2..=256`).
+    InvalidBlockSize {
+        /// The requested block size.
+        size: u32,
+    },
+    /// An operand dimension did not match the tensor mode it multiplies
+    /// (e.g. TTV vector length vs. `I_n`).
+    OperandMismatch {
+        /// Human-readable description of the mismatch.
+        what: String,
+    },
+    /// Two tensors were expected to share a non-zero pattern but do not.
+    PatternMismatch,
+    /// Division by a zero element in element-wise division.
+    DivisionByZero,
+    /// A tensor had no modes or no dimensions where at least one was required.
+    EmptyShape,
+    /// An I/O failure while reading or writing a tensor file.
+    Io(std::io::Error),
+    /// A parse failure while reading a text tensor file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// A binary tensor file had an invalid header or truncated payload.
+    Corrupt(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            Error::OrderMismatch { left, right } => {
+                write!(f, "tensor order mismatch: {left} vs {right}")
+            }
+            Error::IndexOutOfBounds { mode, index, dim } => {
+                write!(f, "index {index} out of bounds for mode {mode} with dimension {dim}")
+            }
+            Error::InvalidMode { mode, order } => {
+                write!(f, "mode {mode} invalid for tensor of order {order}")
+            }
+            Error::InvalidBlockSize { size } => {
+                write!(f, "invalid HiCOO block size {size}: must be a power of two in 2..=256")
+            }
+            Error::OperandMismatch { what } => write!(f, "operand mismatch: {what}"),
+            Error::PatternMismatch => write!(f, "tensors do not share a non-zero pattern"),
+            Error::DivisionByZero => write!(f, "element-wise division by zero"),
+            Error::EmptyShape => write!(f, "tensor shape must have at least one mode"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            Error::Corrupt(msg) => write!(f, "corrupt tensor file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let cases: Vec<Error> = vec![
+            Error::ShapeMismatch { left: vec![2], right: vec![3] },
+            Error::OrderMismatch { left: 3, right: 4 },
+            Error::IndexOutOfBounds { mode: 1, index: 9, dim: 4 },
+            Error::InvalidMode { mode: 5, order: 3 },
+            Error::InvalidBlockSize { size: 3 },
+            Error::OperandMismatch { what: "vector length 3 vs mode dim 4".into() },
+            Error::PatternMismatch,
+            Error::DivisionByZero,
+            Error::EmptyShape,
+            Error::Parse { line: 2, msg: "bad float".into() },
+            Error::Corrupt("short read".into()),
+        ];
+        for e in cases {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error as _;
+        let e = Error::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,248 @@
+//! The flagged COO (F-COO) format.
+//!
+//! F-COO (Liu et al., CLUSTER'17 — cited in Section III of the paper) is a
+//! GPU-oriented, *computation-specific* format: for a chosen product mode it
+//! stores the non-zeros sorted fiber-contiguously with a **bit flag** per
+//! non-zero marking fiber starts, plus the product-mode index. Work is then
+//! partitioned by *non-zeros* (perfectly balanced) and fiber sums are
+//! assembled by segmented reduction over the flags — trading COO-TTV's
+//! fiber-level load imbalance for a little combine traffic.
+
+use crate::coo::CooTensor;
+use crate::error::{Error, Result};
+use crate::fiber::FiberIndex;
+use crate::shape::{Coord, Shape};
+use crate::value::Value;
+
+/// A sparse tensor in F-COO form for one product mode.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{CooTensor, FCooTensor, Shape};
+///
+/// # fn main() -> Result<(), pasta_core::Error> {
+/// let coo = CooTensor::from_entries(
+///     Shape::new(vec![2, 2, 4]),
+///     vec![(vec![0, 1, 0], 1.0_f32), (vec![0, 1, 3], 2.0), (vec![1, 0, 2], 3.0)],
+/// )?;
+/// let fcoo = FCooTensor::from_coo(&coo, 2)?;
+/// assert_eq!(fcoo.num_fibers(), 2);
+/// assert_eq!(fcoo.start_flags(), &[true, false, true]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FCooTensor<V> {
+    shape: Shape,
+    mode: usize,
+    /// Values, fiber-contiguous.
+    vals: Vec<V>,
+    /// Product-mode index per non-zero.
+    product_inds: Vec<Coord>,
+    /// `true` where a new fiber starts (the bit-flag array).
+    start_flags: Vec<bool>,
+    /// Per fiber: the non-product coordinates, increasing mode order.
+    fiber_coords: Vec<Vec<Coord>>,
+}
+
+impl<V: Value> FCooTensor<V> {
+    /// Builds F-COO for product mode `mode` from a COO tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidMode`] for an out-of-range mode or
+    /// first-order tensor.
+    pub fn from_coo(coo: &CooTensor<V>, mode: usize) -> Result<Self> {
+        coo.shape().check_mode(mode)?;
+        if coo.order() < 2 {
+            return Err(Error::InvalidMode { mode, order: coo.order() });
+        }
+        let mut sorted = coo.clone();
+        sorted.sort_mode_last(mode);
+        let fibers = FiberIndex::build(&sorted, mode);
+        let m = sorted.nnz();
+        let mut start_flags = vec![false; m];
+        let mut fiber_coords = Vec::with_capacity(fibers.num_fibers());
+        for f in 0..fibers.num_fibers() {
+            start_flags[fibers.fiber_range(f).start] = true;
+            fiber_coords.push(fibers.fiber_coords(&sorted, f));
+        }
+        Ok(Self {
+            shape: sorted.shape().clone(),
+            mode,
+            product_inds: sorted.mode_inds(mode).to_vec(),
+            vals: sorted.vals().to_vec(),
+            start_flags,
+            fiber_coords,
+        })
+    }
+
+    /// The tensor shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The product mode this representation serves.
+    #[inline]
+    pub fn mode(&self) -> usize {
+        self.mode
+    }
+
+    /// Number of non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Number of fibers (output non-zeros for TTV).
+    #[inline]
+    pub fn num_fibers(&self) -> usize {
+        self.fiber_coords.len()
+    }
+
+    /// The values.
+    #[inline]
+    pub fn vals(&self) -> &[V] {
+        &self.vals
+    }
+
+    /// The product-mode indices.
+    #[inline]
+    pub fn product_inds(&self) -> &[Coord] {
+        &self.product_inds
+    }
+
+    /// The fiber-start flags.
+    #[inline]
+    pub fn start_flags(&self) -> &[bool] {
+        &self.start_flags
+    }
+
+    /// The fiber id of entry `x` (count of starts up to `x`) — `O(x)`;
+    /// intended for tests. Kernels carry fiber ids incrementally.
+    pub fn fiber_of(&self, x: usize) -> usize {
+        self.start_flags[..=x].iter().filter(|&&f| f).count() - 1
+    }
+
+    /// The non-product coordinates of fiber `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    pub fn fiber_coords(&self, f: usize) -> &[Coord] {
+        &self.fiber_coords[f]
+    }
+
+    /// Storage bytes: values + product indices + one *bit* per flag plus
+    /// per-fiber output coordinates.
+    pub fn storage_bytes(&self) -> usize {
+        self.vals.len() * V::BYTES
+            + self.product_inds.len() * 4
+            + self.start_flags.len().div_ceil(8)
+            + self.num_fibers() * (self.shape.order() - 1) * 4
+    }
+
+    /// Expands back to COO.
+    pub fn to_coo(&self) -> CooTensor<V> {
+        let order = self.shape.order();
+        let mut out = CooTensor::with_capacity(self.shape.clone(), self.nnz());
+        let mut coords = vec![0 as Coord; order];
+        let mut f = usize::MAX;
+        for x in 0..self.nnz() {
+            if self.start_flags[x] {
+                f = f.wrapping_add(1);
+                let fc = &self.fiber_coords[f];
+                let mut k = 0;
+                for m in 0..order {
+                    if m != self.mode {
+                        coords[m] = fc[k];
+                        k += 1;
+                    }
+                }
+            }
+            coords[self.mode] = self.product_inds[x];
+            out.push(&coords, self.vals[x]).expect("F-COO coords valid by construction");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooTensor<f64> {
+        CooTensor::from_entries(
+            Shape::new(vec![3, 3, 8]),
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 0, 7], 2.0),
+                (vec![0, 0, 3], 2.5),
+                (vec![1, 2, 4], 3.0),
+                (vec![2, 2, 1], 4.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn structure() {
+        let f = FCooTensor::from_coo(&sample(), 2).unwrap();
+        assert_eq!(f.nnz(), 5);
+        assert_eq!(f.num_fibers(), 3);
+        assert_eq!(f.start_flags().iter().filter(|&&b| b).count(), 3);
+        assert!(f.start_flags()[0]);
+        assert_eq!(f.mode(), 2);
+        assert_eq!(f.fiber_coords(0), &[0, 0]);
+        assert_eq!(f.fiber_of(0), 0);
+        assert_eq!(f.fiber_of(4), 2);
+    }
+
+    #[test]
+    fn roundtrip_every_mode() {
+        let x = sample();
+        let mut want = x.clone();
+        want.sort();
+        for mode in 0..3 {
+            let f = FCooTensor::from_coo(&x, mode).unwrap();
+            let mut got = f.to_coo();
+            got.sort();
+            assert_eq!(got, want, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn flags_cost_one_bit() {
+        let f = FCooTensor::from_coo(&sample(), 2).unwrap();
+        // 5 vals*8 + 5 inds*4 + 1 flag byte + 3 fibers * 2 coords * 4.
+        assert_eq!(f.storage_bytes(), 40 + 20 + 1 + 24);
+    }
+
+    #[test]
+    fn rejects_bad_mode() {
+        let x = sample();
+        assert!(FCooTensor::from_coo(&x, 5).is_err());
+        let first = CooTensor::<f64>::from_entries(Shape::new(vec![3]), vec![(vec![0], 1.0)])
+            .unwrap();
+        assert!(FCooTensor::from_coo(&first, 0).is_err());
+    }
+
+    #[test]
+    fn fourth_order_roundtrip() {
+        let x = CooTensor::<f64>::from_entries(
+            Shape::new(vec![2, 3, 2, 3]),
+            vec![(vec![0, 2, 1, 0], 1.0), (vec![1, 0, 0, 2], 2.0), (vec![1, 0, 0, 1], 3.0)],
+        )
+        .unwrap();
+        let f = FCooTensor::from_coo(&x, 1).unwrap();
+        // Fibers are distinct (i, k, l) triples: (0,1,0), (1,0,1), (1,0,2).
+        assert_eq!(f.num_fibers(), 3);
+        let mut got = f.to_coo();
+        got.sort();
+        let mut want = x;
+        want.sort();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,188 @@
+//! Mode-`n` fiber structure of a sparse tensor.
+//!
+//! A mode-`n` fiber is the vector obtained by fixing every index but the
+//! `n`-th. TTV and TTM iterate over the (sparse) fibers of the product mode:
+//! the pre-processing step of Algorithm 1 computes the number of non-empty
+//! fibers `M_F` and a fiber pointer array `fptr` marking where each fiber's
+//! non-zeros begin in the (mode-last sorted) entry order.
+
+use crate::coo::CooTensor;
+use crate::shape::Coord;
+use crate::value::Value;
+
+/// The mode-`n` fiber decomposition of a sorted COO tensor.
+///
+/// Produced by [`FiberIndex::build`]; consumed by the TTV/TTM kernels and the
+/// operational-intensity analysis (the `M_F` term of Table I).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiberIndex {
+    /// The product mode `n`.
+    mode: usize,
+    /// Start offset of each fiber in the entry order, plus a final sentinel:
+    /// fiber `f` spans entries `fptr[f]..fptr[f+1]`.
+    fptr: Vec<usize>,
+}
+
+impl FiberIndex {
+    /// Builds the mode-`n` fiber index of `t`.
+    ///
+    /// `t` must already be sorted with mode `n` last (see
+    /// [`CooTensor::sort_mode_last`]); this is asserted in debug builds via
+    /// the tensor's sort cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn build<V: Value>(t: &CooTensor<V>, n: usize) -> Self {
+        assert!(n < t.order(), "mode out of range");
+        debug_assert_eq!(
+            t.sorted_by().map(|o| o.last().copied()),
+            Some(Some(n)),
+            "tensor must be sorted with the product mode last"
+        );
+        let m = t.nnz();
+        if m == 0 {
+            return Self { mode: n, fptr: vec![0] };
+        }
+        let mut fptr = Vec::with_capacity(m / 2 + 2);
+        fptr.push(0);
+        let other: Vec<usize> = (0..t.order()).filter(|&mm| mm != n).collect();
+        for x in 1..m {
+            let boundary = other.iter().any(|&mm| t.mode_inds(mm)[x] != t.mode_inds(mm)[x - 1]);
+            if boundary {
+                fptr.push(x);
+            }
+        }
+        fptr.push(m);
+        Self { mode: n, fptr }
+    }
+
+    /// The product mode this index was built for.
+    #[inline]
+    pub fn mode(&self) -> usize {
+        self.mode
+    }
+
+    /// The number of non-empty mode-`n` fibers, `M_F`.
+    #[inline]
+    pub fn num_fibers(&self) -> usize {
+        self.fptr.len().saturating_sub(1)
+    }
+
+    /// The entry range of fiber `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= self.num_fibers()`.
+    #[inline]
+    pub fn fiber_range(&self, f: usize) -> std::ops::Range<usize> {
+        self.fptr[f]..self.fptr[f + 1]
+    }
+
+    /// The raw fiber pointer array (length `M_F + 1`).
+    #[inline]
+    pub fn fptr(&self) -> &[usize] {
+        &self.fptr
+    }
+
+    /// The length of the longest fiber (for load-imbalance diagnostics).
+    pub fn max_fiber_len(&self) -> usize {
+        (0..self.num_fibers()).map(|f| self.fptr[f + 1] - self.fptr[f]).max().unwrap_or(0)
+    }
+
+    /// The coordinates of fiber `f` in the non-product modes, in increasing
+    /// mode order (i.e. the output coordinates for TTV).
+    pub fn fiber_coords<V: Value>(&self, t: &CooTensor<V>, f: usize) -> Vec<Coord> {
+        let first = self.fptr[f];
+        (0..t.order()).filter(|&m| m != self.mode).map(|m| t.mode_inds(m)[first]).collect()
+    }
+}
+
+/// Counts the number of non-empty mode-`n` fibers without keeping the index.
+///
+/// Sorts a clone of the tensor; use [`FiberIndex::build`] when the caller has
+/// already sorted. Used by the analysis module to obtain the `M_F` values of
+/// Table I for every mode.
+pub fn count_fibers<V: Value>(t: &CooTensor<V>, n: usize) -> usize {
+    let mut c = t.clone();
+    c.sort_mode_last(n);
+    FiberIndex::build(&c, n).num_fibers()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    fn sorted_sample() -> CooTensor<f32> {
+        let mut t = CooTensor::from_entries(
+            Shape::new(vec![2, 2, 4]),
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 0, 2], 2.0),
+                (vec![0, 1, 1], 3.0),
+                (vec![1, 1, 0], 4.0),
+                (vec![1, 1, 3], 5.0),
+            ],
+        )
+        .unwrap();
+        t.sort_mode_last(2);
+        t
+    }
+
+    #[test]
+    fn fiber_boundaries() {
+        let t = sorted_sample();
+        let fi = FiberIndex::build(&t, 2);
+        assert_eq!(fi.num_fibers(), 3);
+        assert_eq!(fi.fptr(), &[0, 2, 3, 5]);
+        assert_eq!(fi.fiber_range(0), 0..2);
+        assert_eq!(fi.fiber_range(2), 3..5);
+        assert_eq!(fi.max_fiber_len(), 2);
+        assert_eq!(fi.mode(), 2);
+    }
+
+    #[test]
+    fn fiber_coords_drop_product_mode() {
+        let t = sorted_sample();
+        let fi = FiberIndex::build(&t, 2);
+        assert_eq!(fi.fiber_coords(&t, 0), vec![0, 0]);
+        assert_eq!(fi.fiber_coords(&t, 1), vec![0, 1]);
+        assert_eq!(fi.fiber_coords(&t, 2), vec![1, 1]);
+    }
+
+    #[test]
+    fn count_fibers_every_mode() {
+        let t = sorted_sample();
+        // Mode 0 fibers: (j,k) pairs = (0,0),(0,2),(1,1),(1,0),(1,3) -> 5.
+        assert_eq!(count_fibers(&t, 0), 5);
+        // Mode 1 fibers: (i,k) pairs = (0,0),(0,2),(0,1),(1,0),(1,3) -> 5.
+        assert_eq!(count_fibers(&t, 1), 5);
+        assert_eq!(count_fibers(&t, 2), 3);
+    }
+
+    #[test]
+    fn single_entry_single_fiber() {
+        let mut t =
+            CooTensor::<f32>::from_entries(Shape::new(vec![3, 3]), vec![(vec![1, 2], 1.0)])
+                .unwrap();
+        t.sort_mode_last(0);
+        let fi = FiberIndex::build(&t, 0);
+        assert_eq!(fi.num_fibers(), 1);
+        assert_eq!(fi.fiber_coords(&t, 0), vec![2]);
+    }
+
+    #[test]
+    fn dense_fiber_collapses_to_one() {
+        // All entries share the non-product coordinates -> one fiber.
+        let mut t = CooTensor::<f32>::from_entries(
+            Shape::new(vec![2, 4]),
+            (0..4).map(|k| (vec![1, k], k as f32)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        t.sort_mode_last(1);
+        let fi = FiberIndex::build(&t, 1);
+        assert_eq!(fi.num_fibers(), 1);
+        assert_eq!(fi.max_fiber_len(), 4);
+    }
+}

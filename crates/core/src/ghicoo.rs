@@ -1,0 +1,397 @@
+//! The generalized HiCOO (gHiCOO) format.
+//!
+//! gHiCOO (Figure 2(b) of the paper, introduced by this benchmark suite)
+//! lets the user pick *which* modes are compressed in HiCOO's block/element
+//! form and which stay as plain COO index arrays. Two uses:
+//!
+//! 1. **Hyper-sparse tensors** where blocking every mode yields one-non-zero
+//!    blocks: compressing only the denser modes keeps HiCOO's savings.
+//! 2. **TTV/TTM**, where the product mode's indices are consumed wholesale:
+//!    leaving that mode uncompressed lets the kernels bypass HiCOO's blocking
+//!    and reuse the COO computation without data races between blocks.
+
+use crate::coo::CooTensor;
+use crate::error::{Error, Result};
+use crate::hicoo::block_bits_for;
+use crate::morton::morton_cmp;
+use crate::shape::{Coord, Shape};
+use crate::sort::sort_permutation;
+use crate::value::Value;
+
+/// Per-mode index storage inside a [`GHiCooTensor`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModeIndex {
+    /// HiCOO-style: 32-bit block indices per block + 8-bit element indices
+    /// per non-zero.
+    Blocked {
+        /// Block index per block (length `num_blocks`).
+        binds: Vec<Coord>,
+        /// Element index per non-zero (length `nnz`).
+        einds: Vec<u8>,
+    },
+    /// COO-style: a full 32-bit index per non-zero.
+    Full(
+        /// Index per non-zero (length `nnz`).
+        Vec<Coord>,
+    ),
+}
+
+impl ModeIndex {
+    /// Whether this mode is block-compressed.
+    pub fn is_blocked(&self) -> bool {
+        matches!(self, ModeIndex::Blocked { .. })
+    }
+}
+
+/// A sparse tensor in generalized HiCOO format.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{CooTensor, GHiCooTensor, Shape};
+///
+/// # fn main() -> Result<(), pasta_core::Error> {
+/// let coo = CooTensor::from_entries(
+///     Shape::new(vec![8, 8, 1 << 20]),
+///     vec![(vec![0, 0, 12345], 1.0_f32), (vec![1, 1, 99999], 2.0)],
+/// )?;
+/// // Compress modes 0 and 1, keep the huge mode 2 in COO form.
+/// let g = GHiCooTensor::from_coo(&coo, 4, &[true, true, false])?;
+/// assert_eq!(g.nnz(), 2);
+/// assert!(g.mode_index(0).is_blocked());
+/// assert!(!g.mode_index(2).is_blocked());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GHiCooTensor<V> {
+    shape: Shape,
+    block_bits: u8,
+    /// Modes that are block-compressed, in increasing order.
+    blocked_modes: Vec<usize>,
+    /// Block pointer over the blocked modes (length `num_blocks + 1`).
+    bptr: Vec<usize>,
+    modes: Vec<ModeIndex>,
+    vals: Vec<V>,
+}
+
+impl<V: Value> GHiCooTensor<V> {
+    /// Converts COO to gHiCOO, compressing exactly the modes where
+    /// `blocked[m]` is `true`.
+    ///
+    /// Entries are sorted by the Morton order of the blocked modes' block
+    /// coordinates, then lexicographically by blocked-mode coordinates, then
+    /// by uncompressed-mode coordinates — so runs of equal blocked
+    /// coordinates (e.g. TTV fibers when only the product mode is
+    /// uncompressed) are contiguous.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid block size, a `blocked` slice of the
+    /// wrong length, or no blocked mode at all.
+    pub fn from_coo(coo: &CooTensor<V>, block_size: u32, blocked: &[bool]) -> Result<Self> {
+        let bits = block_bits_for(block_size)?;
+        let order = coo.order();
+        if blocked.len() != order {
+            return Err(Error::OrderMismatch { left: order, right: blocked.len() });
+        }
+        let blocked_modes: Vec<usize> = (0..order).filter(|&m| blocked[m]).collect();
+        if blocked_modes.is_empty() {
+            return Err(Error::OperandMismatch {
+                what: "gHiCOO needs at least one blocked mode".into(),
+            });
+        }
+        let full_modes: Vec<usize> = (0..order).filter(|&m| !blocked[m]).collect();
+
+        let m = coo.nnz();
+        let block_coord = |x: usize| -> Vec<Coord> {
+            blocked_modes.iter().map(|&md| coo.mode_inds(md)[x] >> bits).collect()
+        };
+        let perm = sort_permutation(m, |a, b| {
+            morton_cmp(&block_coord(a), &block_coord(b))
+                .then_with(|| {
+                    for &md in &blocked_modes {
+                        let ord = coo.mode_inds(md)[a].cmp(&coo.mode_inds(md)[b]);
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                })
+                .then_with(|| {
+                    for &md in &full_modes {
+                        let ord = coo.mode_inds(md)[a].cmp(&coo.mode_inds(md)[b]);
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                })
+        });
+
+        let mask = block_size - 1;
+        let mut bptr = Vec::new();
+        let mut modes: Vec<ModeIndex> = (0..order)
+            .map(|md| {
+                if blocked[md] {
+                    ModeIndex::Blocked { binds: Vec::new(), einds: Vec::with_capacity(m) }
+                } else {
+                    ModeIndex::Full(Vec::with_capacity(m))
+                }
+            })
+            .collect();
+        let mut vals = Vec::with_capacity(m);
+        let mut prev_block: Option<Vec<Coord>> = None;
+
+        for (pos, &p) in perm.iter().enumerate() {
+            let x = p as usize;
+            let bc = block_coord(x);
+            let new_block = prev_block.as_ref() != Some(&bc);
+            if new_block {
+                bptr.push(pos);
+                prev_block = Some(bc.clone());
+            }
+            for (md, mode) in modes.iter_mut().enumerate() {
+                let c = coo.mode_inds(md)[x];
+                match mode {
+                    ModeIndex::Blocked { binds, einds } => {
+                        if new_block {
+                            binds.push(c >> bits);
+                        }
+                        einds.push((c & mask) as u8);
+                    }
+                    ModeIndex::Full(finds) => finds.push(c),
+                }
+            }
+            vals.push(coo.vals()[x]);
+        }
+        bptr.push(m);
+
+        Ok(Self { shape: coo.shape().clone(), block_bits: bits, blocked_modes, bptr, modes, vals })
+    }
+
+    /// The tensor shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The tensor order.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.shape.order()
+    }
+
+    /// The number of non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The number of blocks over the blocked modes.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.bptr.len().saturating_sub(1)
+    }
+
+    /// The block size `B`.
+    #[inline]
+    pub fn block_size(&self) -> u32 {
+        1 << self.block_bits
+    }
+
+    /// `log2` of the block size.
+    #[inline]
+    pub fn block_bits(&self) -> u8 {
+        self.block_bits
+    }
+
+    /// The blocked modes, in increasing order.
+    #[inline]
+    pub fn blocked_modes(&self) -> &[usize] {
+        &self.blocked_modes
+    }
+
+    /// The block pointer array.
+    #[inline]
+    pub fn bptr(&self) -> &[usize] {
+        &self.bptr
+    }
+
+    /// The index storage of mode `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= self.order()`.
+    #[inline]
+    pub fn mode_index(&self, m: usize) -> &ModeIndex {
+        &self.modes[m]
+    }
+
+    /// The value array, in block-major order.
+    #[inline]
+    pub fn vals(&self) -> &[V] {
+        &self.vals
+    }
+
+    /// The entry range of block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= self.num_blocks()`.
+    #[inline]
+    pub fn block_range(&self, b: usize) -> std::ops::Range<usize> {
+        self.bptr[b]..self.bptr[b + 1]
+    }
+
+    /// Reconstructs the mode-`m` coordinate of non-zero `x` in block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn coord(&self, m: usize, b: usize, x: usize) -> Coord {
+        match &self.modes[m] {
+            ModeIndex::Blocked { binds, einds } => {
+                (binds[self.block_of(b)] << self.block_bits) | einds[x] as Coord
+            }
+            ModeIndex::Full(finds) => finds[x],
+        }
+    }
+
+    #[inline]
+    fn block_of(&self, b: usize) -> usize {
+        b
+    }
+
+    /// Reconstructs the full coordinates of non-zero `x` inside block `b`.
+    pub fn coords_of(&self, b: usize, x: usize) -> Vec<Coord> {
+        (0..self.order()).map(|m| self.coord(m, b, x)).collect()
+    }
+
+    /// The storage footprint in bytes: blocked modes cost `4·n_b + M` each,
+    /// full modes `4M` each, plus `8·n_b` for `bptr` and the values.
+    pub fn storage_bytes(&self) -> usize {
+        let nb = self.num_blocks();
+        let m = self.nnz();
+        let mut bytes = 8 * nb + m * V::BYTES;
+        for mode in &self.modes {
+            bytes += match mode {
+                ModeIndex::Blocked { .. } => 4 * nb + m,
+                ModeIndex::Full(_) => 4 * m,
+            };
+        }
+        bytes
+    }
+
+    /// Expands back to COO.
+    pub fn to_coo(&self) -> CooTensor<V> {
+        let mut out = CooTensor::with_capacity(self.shape.clone(), self.nnz());
+        for b in 0..self.num_blocks() {
+            for x in self.block_range(b) {
+                let coords = self.coords_of(b, x);
+                out.push(&coords, self.vals[x]).expect("gHiCOO coords are valid by construction");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_coo() -> CooTensor<f32> {
+        CooTensor::from_entries(
+            Shape::new(vec![8, 8, 1024]),
+            vec![
+                (vec![0, 0, 100], 1.0),
+                (vec![0, 1, 200], 2.0),
+                (vec![1, 0, 100], 3.0),
+                (vec![4, 4, 999], 4.0),
+                (vec![5, 5, 0], 5.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mixed_compression_roundtrip() {
+        let coo = sample_coo();
+        let g = GHiCooTensor::from_coo(&coo, 2, &[true, true, false]).unwrap();
+        assert_eq!(g.nnz(), 5);
+        assert!(g.mode_index(0).is_blocked());
+        assert!(g.mode_index(1).is_blocked());
+        assert!(!g.mode_index(2).is_blocked());
+        assert_eq!(g.blocked_modes(), &[0, 1]);
+        let mut back = g.to_coo();
+        back.sort();
+        let mut orig = coo;
+        orig.sort();
+        assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn all_blocked_matches_hicoo_block_count() {
+        use crate::hicoo::HiCooTensor;
+        let coo = CooTensor::from_entries(
+            Shape::new(vec![16, 16, 16]),
+            (0..16u32).map(|i| (vec![i, (i * 3) % 16, (i * 7) % 16], i as f32)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let g = GHiCooTensor::from_coo(&coo, 4, &[true, true, true]).unwrap();
+        let h = HiCooTensor::from_coo(&coo, 4).unwrap();
+        assert_eq!(g.num_blocks(), h.num_blocks());
+        assert_eq!(g.vals(), h.vals());
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let coo = sample_coo();
+        assert!(GHiCooTensor::from_coo(&coo, 3, &[true, true, false]).is_err());
+        assert!(GHiCooTensor::from_coo(&coo, 2, &[true, true]).is_err());
+        assert!(GHiCooTensor::from_coo(&coo, 2, &[false, false, false]).is_err());
+    }
+
+    #[test]
+    fn blocking_fewer_modes_saves_space_when_one_mode_is_scattered() {
+        // Mode 2 is huge and scattered: blocking it explodes the block count.
+        let entries: Vec<(Vec<Coord>, f32)> =
+            (0..64u32).map(|i| (vec![i % 4, (i / 4) % 4, i * 16], 1.0)).collect();
+        let coo = CooTensor::from_entries(Shape::new(vec![4, 4, 1024]), entries).unwrap();
+        let all = GHiCooTensor::from_coo(&coo, 4, &[true, true, true]).unwrap();
+        let partial = GHiCooTensor::from_coo(&coo, 4, &[true, true, false]).unwrap();
+        assert!(partial.num_blocks() < all.num_blocks());
+        assert!(partial.storage_bytes() < all.storage_bytes());
+    }
+
+    #[test]
+    fn fibers_contiguous_when_product_mode_uncompressed() {
+        // With modes {0,1} blocked and mode 2 full, entries sharing (i, j)
+        // must be contiguous — the property HiCOO-TTV relies on.
+        let coo = sample_coo();
+        let g = GHiCooTensor::from_coo(&coo, 2, &[true, true, false]).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut prev: Option<(Coord, Coord)> = None;
+        for b in 0..g.num_blocks() {
+            for x in g.block_range(b) {
+                let key = (g.coord(0, b, x), g.coord(1, b, x));
+                if prev != Some(key) {
+                    assert!(seen.insert(key), "fiber {key:?} split into non-contiguous runs");
+                    prev = Some(key);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coords_reconstruct_all_entries() {
+        let coo = sample_coo();
+        let g = GHiCooTensor::from_coo(&coo, 4, &[true, false, true]).unwrap();
+        for b in 0..g.num_blocks() {
+            for x in g.block_range(b) {
+                let c = g.coords_of(b, x);
+                assert_eq!(coo.get(&c), Some(g.vals()[x]));
+            }
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! The Hierarchical COOrdinate (HiCOO) format.
+//!
+//! HiCOO (Li et al., SC'18; Section III-C of the benchmark paper) compresses
+//! COO indices in units of sparse blocks with a pre-specified block size `B`
+//! (a power of two, ≤ 256 so element indices fit in 8 bits). Indices split
+//! into per-block 32-bit *block indices* and per-non-zero 8-bit *element
+//! indices*; a block pointer array `bptr` records where each block's
+//! non-zeros start. Blocks are laid out in Morton (Z-) order, which both
+//! compresses the block index arrays and improves locality.
+
+use crate::coo::CooTensor;
+use crate::error::{Error, Result};
+use crate::morton::morton_cmp;
+use crate::shape::{Coord, Shape};
+use crate::sort::sort_permutation;
+use crate::value::Value;
+
+/// Checks a HiCOO block size and returns `log2(B)`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidBlockSize`] unless `size` is a power of two in
+/// `2..=256`.
+pub fn block_bits_for(size: u32) -> Result<u8> {
+    if size.is_power_of_two() && (2..=256).contains(&size) {
+        Ok(size.trailing_zeros() as u8)
+    } else {
+        Err(Error::InvalidBlockSize { size })
+    }
+}
+
+/// A sparse tensor in HiCOO format.
+///
+/// Storage for an `N`th-order tensor with `M` non-zeros in `n_b` blocks is
+/// `n_b (4N + 8)` bytes of block metadata plus `M (N + 4)` bytes of element
+/// indices and `f32` values — usually well below COO's `4(N+1)M`.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{CooTensor, HiCooTensor, Shape};
+///
+/// # fn main() -> Result<(), pasta_core::Error> {
+/// let coo = CooTensor::from_entries(
+///     Shape::new(vec![4, 4, 4]),
+///     vec![(vec![0, 0, 1], 1.0_f32), (vec![3, 3, 3], 2.0)],
+/// )?;
+/// let hicoo = HiCooTensor::from_coo(&coo, 2)?; // B = 2
+/// assert_eq!(hicoo.nnz(), 2);
+/// assert_eq!(hicoo.num_blocks(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HiCooTensor<V> {
+    shape: Shape,
+    block_bits: u8,
+    /// Block pointer: block `b` spans entries `bptr[b]..bptr[b+1]`.
+    bptr: Vec<usize>,
+    /// Block indices, one array per mode, each of length `num_blocks`.
+    binds: Vec<Vec<Coord>>,
+    /// Element indices within the block, one array per mode, length `nnz`.
+    einds: Vec<Vec<u8>>,
+    vals: Vec<V>,
+}
+
+impl<V: Value> HiCooTensor<V> {
+    /// Converts a COO tensor into HiCOO with block size `block_size`.
+    ///
+    /// Non-zeros are sorted by the Morton order of their block coordinates
+    /// (ties broken lexicographically within the block), then grouped into
+    /// blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidBlockSize`] for a block size that is not a
+    /// power of two in `2..=256`.
+    pub fn from_coo(coo: &CooTensor<V>, block_size: u32) -> Result<Self> {
+        let bits = block_bits_for(block_size)?;
+        let order = coo.order();
+        let m = coo.nnz();
+
+        let block_coord = |x: usize| -> Vec<Coord> {
+            (0..order).map(|md| coo.mode_inds(md)[x] >> bits).collect()
+        };
+        let perm = sort_permutation(m, |a, b| {
+            let ba = block_coord(a);
+            let bb = block_coord(b);
+            morton_cmp(&ba, &bb).then_with(|| {
+                for md in 0..order {
+                    let ord = coo.mode_inds(md)[a].cmp(&coo.mode_inds(md)[b]);
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            })
+        });
+
+        let mask = block_size - 1;
+        let mut bptr = Vec::new();
+        let mut binds: Vec<Vec<Coord>> = vec![Vec::new(); order];
+        let mut einds: Vec<Vec<u8>> = vec![Vec::with_capacity(m); order];
+        let mut vals = Vec::with_capacity(m);
+        let mut prev_block: Option<Vec<Coord>> = None;
+
+        for (pos, &p) in perm.iter().enumerate() {
+            let x = p as usize;
+            let bc = block_coord(x);
+            if prev_block.as_ref() != Some(&bc) {
+                bptr.push(pos);
+                for (md, col) in binds.iter_mut().enumerate() {
+                    col.push(bc[md]);
+                }
+                prev_block = Some(bc);
+            }
+            for md in 0..order {
+                einds[md].push((coo.mode_inds(md)[x] & mask) as u8);
+            }
+            vals.push(coo.vals()[x]);
+        }
+        bptr.push(m);
+
+        Ok(Self { shape: coo.shape().clone(), block_bits: bits, bptr, binds, einds, vals })
+    }
+
+    /// Assembles a HiCOO tensor directly from its constituent arrays.
+    ///
+    /// Intended for kernels that construct their output's block structure
+    /// analytically (e.g. HiCOO-TTV inherits the input's blocks restricted to
+    /// the non-product modes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the arrays are mutually inconsistent: wrong number
+    /// of index arrays, mismatched lengths, a non-monotone `bptr`, element
+    /// indices outside the block, or block coordinates outside the shape.
+    pub fn from_raw_parts(
+        shape: Shape,
+        block_size: u32,
+        bptr: Vec<usize>,
+        binds: Vec<Vec<Coord>>,
+        einds: Vec<Vec<u8>>,
+        vals: Vec<V>,
+    ) -> Result<Self> {
+        let bits = block_bits_for(block_size)?;
+        let order = shape.order();
+        let nb = bptr.len().saturating_sub(1);
+        let m = vals.len();
+        let consistent = binds.len() == order
+            && einds.len() == order
+            && binds.iter().all(|c| c.len() == nb)
+            && einds.iter().all(|c| c.len() == m)
+            && bptr.first() == Some(&0)
+            && bptr.last() == Some(&m)
+            && bptr.windows(2).all(|w| w[0] <= w[1]);
+        if !consistent {
+            return Err(Error::OperandMismatch { what: "inconsistent HiCOO arrays".into() });
+        }
+        for md in 0..order {
+            let dim = shape.dim(md);
+            if binds[md].iter().any(|&b| (b << bits) >= dim && b != 0)
+                || einds[md].iter().any(|&e| (e as u32) >= (1 << bits))
+            {
+                return Err(Error::OperandMismatch {
+                    what: format!("mode {md} block/element indices out of range"),
+                });
+            }
+        }
+        Ok(Self { shape, block_bits: bits, bptr, binds, einds, vals })
+    }
+
+    /// The tensor shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The tensor order `N`.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.shape.order()
+    }
+
+    /// The number of non-zeros `M`.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The number of non-empty blocks `n_b`.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.bptr.len().saturating_sub(1)
+    }
+
+    /// The block size `B`.
+    #[inline]
+    pub fn block_size(&self) -> u32 {
+        1 << self.block_bits
+    }
+
+    /// `log2` of the block size.
+    #[inline]
+    pub fn block_bits(&self) -> u8 {
+        self.block_bits
+    }
+
+    /// The block pointer array (length `n_b + 1`).
+    #[inline]
+    pub fn bptr(&self) -> &[usize] {
+        &self.bptr
+    }
+
+    /// The block index array of mode `m` (length `n_b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= self.order()`.
+    #[inline]
+    pub fn mode_binds(&self, m: usize) -> &[Coord] {
+        &self.binds[m]
+    }
+
+    /// The element index array of mode `m` (length `nnz`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= self.order()`.
+    #[inline]
+    pub fn mode_einds(&self, m: usize) -> &[u8] {
+        &self.einds[m]
+    }
+
+    /// The value array, in block-major Morton order.
+    #[inline]
+    pub fn vals(&self) -> &[V] {
+        &self.vals
+    }
+
+    /// Mutable access to the value array.
+    #[inline]
+    pub fn vals_mut(&mut self) -> &mut [V] {
+        &mut self.vals
+    }
+
+    /// The entry range of block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= self.num_blocks()`.
+    #[inline]
+    pub fn block_range(&self, b: usize) -> std::ops::Range<usize> {
+        self.bptr[b]..self.bptr[b + 1]
+    }
+
+    /// The block coordinates of block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= self.num_blocks()`.
+    pub fn block_coords(&self, b: usize) -> Vec<Coord> {
+        self.binds.iter().map(|col| col[b]).collect()
+    }
+
+    /// Reconstructs the full coordinates of non-zero `x` inside block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` or `x` is out of range or `x` is not in block `b`
+    /// (debug builds).
+    pub fn coords_of(&self, b: usize, x: usize) -> Vec<Coord> {
+        debug_assert!(self.block_range(b).contains(&x));
+        (0..self.order())
+            .map(|md| (self.binds[md][b] << self.block_bits) | self.einds[md][x] as Coord)
+            .collect()
+    }
+
+    /// Iterates over block views.
+    pub fn blocks(&self) -> Blocks<'_, V> {
+        Blocks { t: self, b: 0 }
+    }
+
+    /// The HiCOO storage footprint in bytes: `n_b (4N + 8)` block metadata
+    /// (32-bit block indices + 64-bit `bptr`) plus `M·N` element-index bytes
+    /// plus values — the formula underlying Table I's HiCOO rows.
+    pub fn storage_bytes(&self) -> usize {
+        let n = self.order();
+        self.num_blocks() * (4 * n + 8) + self.nnz() * (n + V::BYTES)
+    }
+
+    /// Expands back to COO (entries in block-major Morton order).
+    pub fn to_coo(&self) -> CooTensor<V> {
+        let mut out = CooTensor::with_capacity(self.shape.clone(), self.nnz());
+        for b in 0..self.num_blocks() {
+            for x in self.block_range(b) {
+                let coords = self.coords_of(b, x);
+                out.push(&coords, self.vals[x]).expect("HiCOO coords are valid by construction");
+            }
+        }
+        out
+    }
+
+    /// The average number of non-zeros per block (the paper's block density
+    /// diagnostic: HiCOO degrades when this approaches 1).
+    pub fn avg_block_nnz(&self) -> f64 {
+        if self.num_blocks() == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.num_blocks() as f64
+        }
+    }
+}
+
+/// A borrowed view of one HiCOO block.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockView<'a, V> {
+    t: &'a HiCooTensor<V>,
+    /// The block number.
+    pub index: usize,
+}
+
+impl<'a, V: Value> BlockView<'a, V> {
+    /// The entry range of this block.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.t.block_range(self.index)
+    }
+
+    /// The block coordinates.
+    pub fn coords(&self) -> Vec<Coord> {
+        self.t.block_coords(self.index)
+    }
+
+    /// The number of non-zeros in this block.
+    pub fn len(&self) -> usize {
+        let r = self.range();
+        r.end - r.start
+    }
+
+    /// Whether the block is empty (never true for well-formed tensors).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Iterator over the blocks of a [`HiCooTensor`].
+#[derive(Debug)]
+pub struct Blocks<'a, V> {
+    t: &'a HiCooTensor<V>,
+    b: usize,
+}
+
+impl<'a, V: Value> Iterator for Blocks<'a, V> {
+    type Item = BlockView<'a, V>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.b >= self.t.num_blocks() {
+            return None;
+        }
+        let v = BlockView { t: self.t, index: self.b };
+        self.b += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.t.num_blocks() - self.b;
+        (rem, Some(rem))
+    }
+}
+
+impl<'a, V: Value> ExactSizeIterator for Blocks<'a, V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_coo() -> CooTensor<f32> {
+        CooTensor::from_entries(
+            Shape::new(vec![8, 8, 8]),
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![1, 1, 0], 2.0),
+                (vec![0, 1, 1], 3.0),
+                (vec![4, 4, 4], 4.0),
+                (vec![5, 5, 5], 5.0),
+                (vec![7, 0, 0], 6.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn block_bits_validation() {
+        assert_eq!(block_bits_for(2).unwrap(), 1);
+        assert_eq!(block_bits_for(128).unwrap(), 7);
+        assert_eq!(block_bits_for(256).unwrap(), 8);
+        assert!(block_bits_for(1).is_err());
+        assert!(block_bits_for(3).is_err());
+        assert!(block_bits_for(512).is_err());
+        assert!(block_bits_for(0).is_err());
+    }
+
+    #[test]
+    fn groups_into_blocks() {
+        let hicoo = HiCooTensor::from_coo(&sample_coo(), 2).unwrap();
+        assert_eq!(hicoo.nnz(), 6);
+        // Blocks (B=2): (0,0,0) holds 3 entries, (2,2,2) holds 2, (3,0,0) holds 1.
+        assert_eq!(hicoo.num_blocks(), 3);
+        assert_eq!(hicoo.block_size(), 2);
+        let sizes: Vec<usize> = hicoo.blocks().map(|b| b.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 6);
+        assert!(hicoo.blocks().all(|b| !b.is_empty()));
+        assert_eq!(hicoo.avg_block_nnz(), 2.0);
+    }
+
+    #[test]
+    fn roundtrips_to_coo() {
+        let coo = sample_coo();
+        for bs in [2, 4, 8, 128] {
+            let hicoo = HiCooTensor::from_coo(&coo, bs).unwrap();
+            let mut back = hicoo.to_coo();
+            back.sort();
+            let mut orig = coo.clone();
+            orig.sort();
+            assert_eq!(back, orig, "block size {bs}");
+        }
+    }
+
+    #[test]
+    fn blocks_are_in_morton_order() {
+        let hicoo = HiCooTensor::from_coo(&sample_coo(), 2).unwrap();
+        for b in 1..hicoo.num_blocks() {
+            let prev = hicoo.block_coords(b - 1);
+            let cur = hicoo.block_coords(b);
+            assert_eq!(morton_cmp(&prev, &cur), std::cmp::Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn element_indices_fit_block() {
+        let hicoo = HiCooTensor::from_coo(&sample_coo(), 4).unwrap();
+        for md in 0..3 {
+            assert!(hicoo.mode_einds(md).iter().all(|&e| (e as u32) < 4));
+        }
+    }
+
+    #[test]
+    fn coords_reconstruct() {
+        let coo = sample_coo();
+        let hicoo = HiCooTensor::from_coo(&coo, 2).unwrap();
+        for b in 0..hicoo.num_blocks() {
+            for x in hicoo.block_range(b) {
+                let c = hicoo.coords_of(b, x);
+                assert_eq!(coo.get(&c), Some(hicoo.vals()[x]));
+            }
+        }
+    }
+
+    #[test]
+    fn storage_beats_coo_for_clustered_tensors() {
+        // A dense-ish cluster: every entry in one 4x4x4 corner.
+        let entries: Vec<(Vec<Coord>, f32)> = (0..4u32)
+            .flat_map(|i| (0..4u32).flat_map(move |j| (0..4u32).map(move |k| (vec![i, j, k], 1.0))))
+            .collect();
+        let coo = CooTensor::from_entries(Shape::new(vec![256, 256, 256]), entries).unwrap();
+        let hicoo = HiCooTensor::from_coo(&coo, 4).unwrap();
+        assert_eq!(hicoo.num_blocks(), 1);
+        assert!(hicoo.storage_bytes() < coo.storage_bytes());
+    }
+
+    #[test]
+    fn hypersparse_tensors_inflate_hicoo() {
+        // One non-zero per far-apart block: HiCOO pays block overhead per nnz.
+        let entries: Vec<(Vec<Coord>, f32)> =
+            (0..32u32).map(|i| (vec![i * 8, i * 8, i * 8], 1.0)).collect();
+        let coo = CooTensor::from_entries(Shape::new(vec![256, 256, 256]), entries).unwrap();
+        let hicoo = HiCooTensor::from_coo(&coo, 8).unwrap();
+        assert_eq!(hicoo.num_blocks(), 32);
+        assert!(hicoo.storage_bytes() > coo.storage_bytes());
+        assert_eq!(hicoo.avg_block_nnz(), 1.0);
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let coo = CooTensor::<f32>::new(Shape::new(vec![4, 4]));
+        let hicoo = HiCooTensor::from_coo(&coo, 2).unwrap();
+        assert_eq!(hicoo.nnz(), 0);
+        assert_eq!(hicoo.num_blocks(), 0);
+        assert_eq!(hicoo.avg_block_nnz(), 0.0);
+        assert_eq!(hicoo.to_coo().nnz(), 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Reading and writing sparse tensors.
+//!
+//! Two formats are supported:
+//!
+//! - **`.tns` text** — the FROSTT interchange format: one non-zero per line,
+//!   `N` 1-based indices followed by the value, whitespace-separated. This is
+//!   the format the paper's dataset repositories (FROSTT, HaTen2) use.
+//! - **binary** — a simple little-endian container (`PSTA` magic) for fast
+//!   reloads of generated tensors, built with the `bytes` crate.
+
+use crate::coo::CooTensor;
+use crate::error::{Error, Result};
+use crate::shape::{Coord, Shape};
+use crate::value::Value;
+use bytes::{Buf, BufMut};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Reads a `.tns` text tensor, inferring the shape from the maximum index in
+/// each mode.
+///
+/// A mut reference is a fine reader: `read_tns(&mut file)?`.
+///
+/// # Errors
+///
+/// Returns a [`Error::Parse`] for malformed lines, inconsistent orders or
+/// non-finite values, and [`Error::Io`] for read failures.
+pub fn read_tns<V: Value, R: Read>(reader: R) -> Result<CooTensor<V>> {
+    let buf = BufReader::new(reader);
+    let mut order: Option<usize> = None;
+    let mut inds: Vec<Vec<Coord>> = Vec::new();
+    let mut vals: Vec<V> = Vec::new();
+    let mut dims: Vec<Coord> = Vec::new();
+
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() < 2 {
+            return Err(Error::Parse { line: lineno + 1, msg: "expected indices and a value".into() });
+        }
+        let n = toks.len() - 1;
+        match order {
+            None => {
+                order = Some(n);
+                inds = vec![Vec::new(); n];
+                dims = vec![0; n];
+            }
+            Some(o) if o != n => {
+                return Err(Error::Parse {
+                    line: lineno + 1,
+                    msg: format!("expected {o} indices, found {n}"),
+                });
+            }
+            _ => {}
+        }
+        for (m, tok) in toks[..n].iter().enumerate() {
+            let one_based: u64 = tok.parse().map_err(|_| Error::Parse {
+                line: lineno + 1,
+                msg: format!("invalid index {tok:?}"),
+            })?;
+            if one_based == 0 || one_based > u64::from(u32::MAX) {
+                return Err(Error::Parse {
+                    line: lineno + 1,
+                    msg: format!("index {one_based} out of the 1-based 32-bit range"),
+                });
+            }
+            let c = (one_based - 1) as Coord;
+            dims[m] = dims[m].max(c + 1);
+            inds[m].push(c);
+        }
+        let v: f64 = toks[n].parse().map_err(|_| Error::Parse {
+            line: lineno + 1,
+            msg: format!("invalid value {:?}", toks[n]),
+        })?;
+        if !v.is_finite() {
+            return Err(Error::Parse { line: lineno + 1, msg: "non-finite value".into() });
+        }
+        vals.push(V::from_f64(v));
+    }
+
+    let order = order.ok_or(Error::EmptyShape)?;
+    debug_assert_eq!(inds.len(), order);
+    let shape = Shape::try_new(dims)?;
+    CooTensor::from_parts(shape, inds, vals)
+}
+
+/// Writes a tensor in `.tns` text format (1-based indices).
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] on write failure.
+pub fn write_tns<V: Value, W: Write>(t: &CooTensor<V>, mut writer: W) -> Result<()> {
+    for x in 0..t.nnz() {
+        for m in 0..t.order() {
+            write!(writer, "{} ", t.mode_inds(m)[x] + 1)?;
+        }
+        writeln!(writer, "{}", t.vals()[x])?;
+    }
+    Ok(())
+}
+
+const MAGIC: &[u8; 4] = b"PSTA";
+const VERSION: u8 = 1;
+
+/// Writes a tensor in the suite's little-endian binary format.
+///
+/// Layout: magic, version, value width, order, dims, nnz, then per-mode index
+/// arrays and the value array.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] on write failure.
+pub fn write_binary<V: Value, W: Write>(t: &CooTensor<V>, mut writer: W) -> Result<()> {
+    let mut header = Vec::with_capacity(16 + 4 * t.order());
+    header.put_slice(MAGIC);
+    header.put_u8(VERSION);
+    header.put_u8(V::BYTES as u8);
+    header.put_u16_le(t.order() as u16);
+    for &d in t.shape().dims() {
+        header.put_u32_le(d);
+    }
+    header.put_u64_le(t.nnz() as u64);
+    writer.write_all(&header)?;
+
+    let mut body = Vec::with_capacity(t.nnz() * (4 * t.order() + V::BYTES));
+    for m in 0..t.order() {
+        for &c in t.mode_inds(m) {
+            body.put_u32_le(c);
+        }
+    }
+    for &v in t.vals() {
+        if V::BYTES == 4 {
+            body.put_f32_le(v.to_f64() as f32);
+        } else {
+            body.put_f64_le(v.to_f64());
+        }
+    }
+    writer.write_all(&body)?;
+    Ok(())
+}
+
+/// Reads a tensor written by [`write_binary`].
+///
+/// # Errors
+///
+/// Returns [`Error::Corrupt`] for a bad magic/version/width or truncated
+/// payload, and [`Error::Io`] for read failures.
+pub fn read_binary<V: Value, R: Read>(mut reader: R) -> Result<CooTensor<V>> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+
+    if buf.remaining() < 8 {
+        return Err(Error::Corrupt("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(Error::Corrupt("bad magic".into()));
+    }
+    if buf.get_u8() != VERSION {
+        return Err(Error::Corrupt("unsupported version".into()));
+    }
+    let width = buf.get_u8() as usize;
+    if width != V::BYTES {
+        return Err(Error::Corrupt(format!(
+            "value width {width} does not match requested type ({} bytes)",
+            V::BYTES
+        )));
+    }
+    let order = buf.get_u16_le() as usize;
+    if order == 0 || buf.remaining() < 4 * order + 8 {
+        return Err(Error::Corrupt("truncated dims".into()));
+    }
+    let dims: Vec<Coord> = (0..order).map(|_| buf.get_u32_le()).collect();
+    let nnz = buf.get_u64_le() as usize;
+    let need = nnz.checked_mul(4 * order + width).ok_or_else(|| Error::Corrupt("overflow".into()))?;
+    if buf.remaining() < need {
+        return Err(Error::Corrupt("truncated payload".into()));
+    }
+    let mut inds = Vec::with_capacity(order);
+    for _ in 0..order {
+        inds.push((0..nnz).map(|_| buf.get_u32_le()).collect::<Vec<Coord>>());
+    }
+    let vals: Vec<V> = (0..nnz)
+        .map(|_| {
+            if width == 4 {
+                V::from_f64(buf.get_f32_le() as f64)
+            } else {
+                V::from_f64(buf.get_f64_le())
+            }
+        })
+        .collect();
+
+    let shape = Shape::try_new(dims)?;
+    CooTensor::from_parts(shape, inds, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooTensor<f32> {
+        CooTensor::from_entries(
+            Shape::new(vec![3, 4, 5]),
+            vec![(vec![0, 0, 0], 1.5), (vec![2, 3, 4], -2.25), (vec![1, 2, 3], 0.5)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tns_roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_tns(&t, &mut buf).unwrap();
+        let back: CooTensor<f32> = read_tns(&buf[..]).unwrap();
+        // Shape is inferred from max indices: 3x4x5 here because the corner
+        // entry (2,3,4) pins every mode.
+        assert_eq!(back.shape().dims(), &[3, 4, 5]);
+        assert_eq!(back.nnz(), 3);
+        assert_eq!(back.get(&[2, 3, 4]), Some(-2.25));
+    }
+
+    #[test]
+    fn tns_skips_comments_and_blank_lines() {
+        let text = "# comment\n\n% another\n1 1 2.0\n2 2 3.0\n";
+        let t: CooTensor<f64> = read_tns(text.as_bytes()).unwrap();
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.order(), 2);
+        assert_eq!(t.get(&[1, 1]), Some(3.0));
+    }
+
+    #[test]
+    fn tns_rejects_malformed() {
+        assert!(read_tns::<f32, _>("1 2\n1 2 3 4.0\n".as_bytes()).is_err()); // order change
+        assert!(read_tns::<f32, _>("x 2 3.0\n".as_bytes()).is_err()); // bad index
+        assert!(read_tns::<f32, _>("1 2 zzz\n".as_bytes()).is_err()); // bad value
+        assert!(read_tns::<f32, _>("0 2 1.0\n".as_bytes()).is_err()); // 0 in 1-based
+        assert!(read_tns::<f32, _>("1\n".as_bytes()).is_err()); // too short
+        assert!(read_tns::<f32, _>("".as_bytes()).is_err()); // empty
+        assert!(read_tns::<f32, _>("1 2 inf\n".as_bytes()).is_err()); // non-finite
+    }
+
+    #[test]
+    fn binary_roundtrip_f32() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let back: CooTensor<f32> = read_binary(&buf[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn binary_roundtrip_f64() {
+        let t = CooTensor::<f64>::from_entries(
+            Shape::new(vec![2, 2]),
+            vec![(vec![0, 1], std::f64::consts::PI)],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let back: CooTensor<f64> = read_binary(&buf[..]).unwrap();
+        assert_eq!(back.get(&[0, 1]), Some(std::f64::consts::PI));
+    }
+
+    #[test]
+    fn binary_detects_corruption() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+
+        let short = &buf[..buf.len() - 4];
+        assert!(matches!(read_binary::<f32, _>(short), Err(Error::Corrupt(_))));
+
+        let mut bad_magic = buf.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(read_binary::<f32, _>(&bad_magic[..]), Err(Error::Corrupt(_))));
+
+        // Wrong value type.
+        assert!(matches!(read_binary::<f64, _>(&buf[..]), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn binary_header_is_compact() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        // 4 magic + 1 ver + 1 width + 2 order + 12 dims + 8 nnz + payload.
+        assert_eq!(buf.len(), 28 + 3 * (12 + 4));
+    }
+}

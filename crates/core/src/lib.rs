@@ -1,0 +1,78 @@
+//! # pasta-core — sparse tensor formats and data structures
+//!
+//! The foundation crate of **PASTA-rs**, a Rust reproduction of the IISWC
+//! 2020 paper *"A Sparse Tensor Benchmark Suite for CPUs and GPUs"*. It
+//! provides the sparse tensor formats the paper's kernels operate on:
+//!
+//! - [`CooTensor`] — coordinate format, the mode-generic default;
+//! - [`SemiCooTensor`] — sCOO for semi-sparse tensors with dense mode(s);
+//! - [`HiCooTensor`] — hierarchical COO with blocked 8-bit element indices;
+//! - [`GHiCooTensor`] — gHiCOO with a per-mode blocked/full choice;
+//! - [`SHiCooTensor`] — sHiCOO for semi-sparse tensors;
+//!
+//! plus dense operands ([`DenseMatrix`], [`DenseVector`]), small dense linear
+//! algebra for the example tensor methods ([`linalg`]), Morton-order helpers
+//! ([`morton`]), fiber indexing ([`FiberIndex`]), tensor statistics
+//! ([`TensorStats`]) and `.tns`/binary I/O ([`io`]).
+//!
+//! # Examples
+//!
+//! Build a third-order tensor, convert it to HiCOO and inspect its blocks:
+//!
+//! ```
+//! use pasta_core::{CooTensor, HiCooTensor, Shape};
+//!
+//! # fn main() -> Result<(), pasta_core::Error> {
+//! let coo = CooTensor::from_entries(
+//!     Shape::new(vec![8, 8, 8]),
+//!     vec![
+//!         (vec![0, 0, 0], 1.0_f32),
+//!         (vec![1, 0, 1], 2.0),
+//!         (vec![7, 7, 7], 3.0),
+//!     ],
+//! )?;
+//! let hicoo = HiCooTensor::from_coo(&coo, 2)?;
+//! assert_eq!(hicoo.num_blocks(), 2);
+//! assert!(hicoo.storage_bytes() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coo;
+pub mod csf;
+pub mod dense;
+pub mod error;
+pub mod fcoo;
+pub mod fiber;
+pub mod ghicoo;
+pub mod hicoo;
+pub mod io;
+pub mod linalg;
+pub mod morton;
+pub mod reorder;
+pub mod scoo;
+pub mod shape;
+pub mod shicoo;
+pub mod sort;
+pub mod stats;
+pub mod validate;
+pub mod value;
+
+pub use coo::CooTensor;
+pub use csf::CsfTensor;
+pub use dense::{seeded_matrix, seeded_vector, DenseMatrix, DenseVector};
+pub use error::{Error, Result};
+pub use fcoo::FCooTensor;
+pub use fiber::FiberIndex;
+pub use ghicoo::{GHiCooTensor, ModeIndex};
+pub use hicoo::{block_bits_for, HiCooTensor};
+pub use reorder::Relabel;
+pub use scoo::SemiCooTensor;
+pub use shape::{Coord, Shape};
+pub use shicoo::SHiCooTensor;
+pub use stats::{BlockStats, TensorStats};
+pub use validate::{validate_coo, validate_csf, validate_ghicoo, validate_hicoo, validate_scoo};
+pub use value::Value;

@@ -1,0 +1,290 @@
+//! Small dense linear algebra for the example tensor methods.
+//!
+//! CP-ALS (the application driving MTTKRP) needs Gram matrices, Hadamard
+//! products and a small SPD solve; the rank `R` is small (the paper uses
+//! `R = 16`), so an unblocked Cholesky factorization is ample.
+
+use crate::dense::DenseMatrix;
+use crate::value::Value;
+
+/// Computes the Gram matrix `Aᵀ A` (`cols × cols`) of a row-major matrix.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{DenseMatrix, linalg};
+///
+/// let a = DenseMatrix::from_vec(2, 2, vec![1.0_f32, 0.0, 0.0, 2.0]);
+/// let g = linalg::gram(&a);
+/// assert_eq!(g.get(0, 0), 1.0);
+/// assert_eq!(g.get(1, 1), 4.0);
+/// ```
+pub fn gram<V: Value>(a: &DenseMatrix<V>) -> DenseMatrix<V> {
+    let (n, r) = (a.rows(), a.cols());
+    let mut g = DenseMatrix::zeros(r, r);
+    for i in 0..n {
+        let row = a.row(i);
+        for p in 0..r {
+            let ap = row[p];
+            if ap == V::ZERO {
+                continue;
+            }
+            for q in 0..r {
+                let add = ap * row[q];
+                g.set(p, q, g.get(p, q) + add);
+            }
+        }
+    }
+    g
+}
+
+/// Element-wise (Hadamard) product of two equally sized matrices.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn hadamard<V: Value>(a: &DenseMatrix<V>, b: &DenseMatrix<V>) -> DenseMatrix<V> {
+    assert_eq!(a.rows(), b.rows(), "row mismatch");
+    assert_eq!(a.cols(), b.cols(), "col mismatch");
+    let mut out = a.clone();
+    for (o, &x) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *o *= x;
+    }
+    out
+}
+
+/// Dense matrix product `A B`.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul<V: Value>(a: &DenseMatrix<V>, b: &DenseMatrix<V>) -> DenseMatrix<V> {
+    assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = DenseMatrix::zeros(m, n);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a.get(i, p);
+            if aip == V::ZERO {
+                continue;
+            }
+            let brow = b.row(p);
+            let crow = c.row_mut(i);
+            for j in 0..n {
+                crow[j] += aip * brow[j];
+            }
+        }
+    }
+    c
+}
+
+/// A Cholesky factorization `M = L Lᵀ` of a symmetric positive-definite
+/// matrix, with a small diagonal ridge available for near-singular systems.
+#[derive(Debug, Clone)]
+pub struct Cholesky<V> {
+    l: DenseMatrix<V>,
+}
+
+impl<V: Value> Cholesky<V> {
+    /// Factors the SPD matrix `m`.
+    ///
+    /// `ridge` is added to the diagonal before factoring (pass `V::ZERO` for
+    /// none); CP-ALS passes a tiny ridge so rank-deficient Hadamard products
+    /// of Grams stay factorable.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the matrix is not positive definite even after the
+    /// ridge.
+    pub fn factor(m: &DenseMatrix<V>, ridge: V) -> Option<Self> {
+        assert_eq!(m.rows(), m.cols(), "matrix must be square");
+        let n = m.rows();
+        let mut l = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = m.get(i, j);
+                if i == j {
+                    sum += ridge;
+                }
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= V::ZERO || !sum.is_finite() {
+                        return None;
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Some(Self { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &DenseMatrix<V> {
+        &self.l
+    }
+
+    /// Solves `M x = b` in place for one right-hand side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the factor dimension.
+    pub fn solve_in_place(&self, b: &mut [V]) {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Forward: L y = b.
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l.get(i, k) * b[k];
+            }
+            b[i] = s / self.l.get(i, i);
+        }
+        // Backward: Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut s = b[i];
+            for k in i + 1..n {
+                s -= self.l.get(k, i) * b[k];
+            }
+            b[i] = s / self.l.get(i, i);
+        }
+    }
+
+    /// Solves `X M = B` for a row-major `B` (each *row* of `B` is a RHS of
+    /// the transposed system, which is how CP-ALS consumes the MTTKRP
+    /// output: `A ← M_mttkrp · V⁻¹` with symmetric `V`).
+    pub fn solve_rows(&self, b: &mut DenseMatrix<V>) {
+        assert_eq!(b.cols(), self.l.rows(), "column count must match factor dimension");
+        for i in 0..b.rows() {
+            self.solve_in_place(b.row_mut(i));
+        }
+    }
+}
+
+/// Normalizes each column of `a` to unit 2-norm and returns the previous
+/// column norms (the CP-ALS `λ` weights). Zero columns are left unchanged.
+pub fn normalize_columns<V: Value>(a: &mut DenseMatrix<V>) -> Vec<V> {
+    let (n, r) = (a.rows(), a.cols());
+    let mut norms = vec![V::ZERO; r];
+    for i in 0..n {
+        for (j, nj) in norms.iter_mut().enumerate() {
+            let v = a.get(i, j);
+            *nj += v * v;
+        }
+    }
+    for nj in &mut norms {
+        *nj = nj.sqrt();
+    }
+    for i in 0..n {
+        for j in 0..r {
+            if norms[j] != V::ZERO {
+                a.set(i, j, a.get(i, j) / norms[j]);
+            }
+        }
+    }
+    norms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gram_is_symmetric() {
+        let a = DenseMatrix::from_fn(5, 3, |i, j| (i + 2 * j) as f64 * 0.5);
+        let g = gram(&a);
+        for p in 0..3 {
+            for q in 0..3 {
+                assert!((g.get(p, q) - g.get(q, p)).abs() < 1e-12);
+            }
+        }
+        // g[0][0] = sum_i a[i][0]^2
+        let expect: f64 = (0..5).map(|i| (i as f64 * 0.5).powi(2)).sum();
+        assert!((g.get(0, 0) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_elementwise() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0_f32, 2.0, 3.0, 4.0]);
+        let b = DenseMatrix::from_vec(2, 2, vec![5.0_f32, 6.0, 7.0, 8.0]);
+        let h = hadamard(&a, &b);
+        assert_eq!(h.as_slice(), &[5.0, 12.0, 21.0, 32.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = DenseMatrix::from_fn(3, 3, |i, j| if i == j { 1.0_f64 } else { 0.0 });
+        let b = DenseMatrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        let c = matmul(&a, &b);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // M = A^T A + I is SPD.
+        let a = DenseMatrix::from_fn(4, 3, |i, j| ((i + j) % 3) as f64 + 0.5);
+        let mut m = gram(&a);
+        for i in 0..3 {
+            m.set(i, i, m.get(i, i) + 1.0);
+        }
+        let ch = Cholesky::factor(&m, 0.0).expect("SPD");
+        // Verify L L^T = M.
+        let l = ch.l().clone();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += l.get(i, k) * l.get(j, k);
+                }
+                assert!((s - m.get(i, j)).abs() < 1e-10);
+            }
+        }
+        // Solve against a known x.
+        let x = [1.0, -2.0, 3.0];
+        let mut b = [0.0; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                b[i] += m.get(i, j) * x[j];
+            }
+        }
+        ch.solve_in_place(&mut b);
+        for i in 0..3 {
+            assert!((b[i] - x[i]).abs() < 1e-9, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let m = DenseMatrix::from_vec(2, 2, vec![1.0_f64, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(Cholesky::factor(&m, 0.0).is_none());
+        // A big enough ridge rescues it.
+        assert!(Cholesky::factor(&m, 1.5).is_some());
+    }
+
+    #[test]
+    fn solve_rows_matches_per_row_solve() {
+        let m = DenseMatrix::from_vec(2, 2, vec![4.0_f64, 1.0, 1.0, 3.0]);
+        let ch = Cholesky::factor(&m, 0.0).unwrap();
+        let mut b = DenseMatrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 2.0, 2.0]);
+        let rows: Vec<Vec<f64>> = (0..3).map(|i| b.row(i).to_vec()).collect();
+        ch.solve_rows(&mut b);
+        for (i, r) in rows.iter().enumerate() {
+            let mut one = r.clone();
+            ch.solve_in_place(&mut one);
+            assert_eq!(b.row(i), &one[..]);
+        }
+    }
+
+    #[test]
+    fn normalize_columns_returns_norms() {
+        let mut a = DenseMatrix::from_vec(2, 2, vec![3.0_f32, 0.0, 4.0, 0.0]);
+        let norms = normalize_columns(&mut a);
+        assert_eq!(norms, vec![5.0, 0.0]);
+        assert!((a.get(0, 0) - 0.6).abs() < 1e-6);
+        assert!((a.get(1, 0) - 0.8).abs() < 1e-6);
+        assert_eq!(a.get(0, 1), 0.0); // zero column untouched
+    }
+}

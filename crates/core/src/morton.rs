@@ -1,0 +1,142 @@
+//! Morton (Z-) order comparison and encoding for arbitrary-order coordinates.
+//!
+//! HiCOO sorts tensor blocks in Morton order to obtain spatial locality
+//! (Section III-C of the paper). For arbitrary tensor orders we avoid building
+//! wide interleaved keys and instead compare coordinate tuples directly with
+//! the classic most-significant-differing-bit technique (Chan's trick).
+
+use crate::shape::Coord;
+use std::cmp::Ordering;
+
+/// Returns `true` if the most significant set bit of `b` is higher than the
+/// most significant set bit of `a` ("less in most-significant-bit order").
+#[inline]
+fn less_msb(a: Coord, b: Coord) -> bool {
+    a < b && a < (a ^ b)
+}
+
+/// Compares two coordinate tuples in Morton (Z-curve) order.
+///
+/// Both tuples must have the same length; bits of each coordinate are
+/// conceptually interleaved mode-major (mode 0 contributes the most
+/// significant bit among equal bit positions), matching an interleaved-key
+/// encoding.
+///
+/// # Panics
+///
+/// Panics in debug builds if the tuples have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::morton::morton_cmp;
+/// use std::cmp::Ordering;
+///
+/// assert_eq!(morton_cmp(&[0, 0], &[1, 1]), Ordering::Less);
+/// assert_eq!(morton_cmp(&[1, 0], &[0, 1]), Ordering::Greater);
+/// assert_eq!(morton_cmp(&[2, 3], &[2, 3]), Ordering::Equal);
+/// ```
+pub fn morton_cmp(a: &[Coord], b: &[Coord]) -> Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    // Find the mode whose differing bit is the most significant overall.
+    let mut msd = 0usize;
+    let mut best = a[0] ^ b[0];
+    for d in 1..a.len() {
+        let x = a[d] ^ b[d];
+        if less_msb(best, x) {
+            msd = d;
+            best = x;
+        }
+    }
+    a[msd].cmp(&b[msd])
+}
+
+/// Encodes up to four 16-bit coordinates into a single interleaved 64-bit
+/// Morton key (used by tests as an independent oracle for [`morton_cmp`] and
+/// by the statistics module for compact block labels).
+///
+/// # Panics
+///
+/// Panics if more than 4 coordinates are given or any coordinate exceeds
+/// 16 bits.
+pub fn morton_encode16(coords: &[Coord]) -> u64 {
+    assert!(coords.len() <= 4, "morton_encode16 supports at most 4 modes");
+    let n = coords.len() as u64;
+    let mut key = 0u64;
+    for bit in 0..16u64 {
+        for (d, &c) in coords.iter().enumerate() {
+            assert!(c < (1 << 16), "coordinate exceeds 16 bits");
+            let b = ((c as u64) >> (15 - bit)) & 1;
+            key = (key << 1) | b;
+            let _ = d;
+        }
+    }
+    debug_assert!(16 * n <= 64);
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn less_msb_examples() {
+        assert!(less_msb(1, 2)); // 0b01 vs 0b10
+        assert!(!less_msb(2, 1));
+        assert!(!less_msb(3, 3));
+        assert!(less_msb(0, 1));
+    }
+
+    #[test]
+    fn matches_encoded_key_order_2d() {
+        // Exhaustive 2-D check against the interleaved-key oracle.
+        let pts: Vec<[Coord; 2]> = (0..8).flat_map(|i| (0..8).map(move |j| [i, j])).collect();
+        for a in &pts {
+            for b in &pts {
+                let by_cmp = morton_cmp(a, b);
+                let by_key = morton_encode16(a).cmp(&morton_encode16(b));
+                assert_eq!(by_cmp, by_key, "a={a:?} b={b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_encoded_key_order_3d() {
+        let pts: Vec<[Coord; 3]> = (0..4)
+            .flat_map(|i| (0..4).flat_map(move |j| (0..4).map(move |k| [i, j, k])))
+            .collect();
+        for a in &pts {
+            for b in &pts {
+                assert_eq!(
+                    morton_cmp(a, b),
+                    morton_encode16(a).cmp(&morton_encode16(b)),
+                    "a={a:?} b={b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn z_curve_first_quadrant_precedes_others() {
+        // Everything in the all-low-bits quadrant precedes any point with a
+        // high bit set in any mode.
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(morton_cmp(&[i, j], &[4, 0]), Ordering::Less);
+                assert_eq!(morton_cmp(&[i, j], &[0, 4]), Ordering::Less);
+            }
+        }
+    }
+
+    #[test]
+    fn total_order_properties() {
+        let pts: Vec<[Coord; 2]> = (0..16).flat_map(|i| (0..16).map(move |j| [i, j])).collect();
+        let mut sorted = pts.clone();
+        sorted.sort_by(|a, b| morton_cmp(a, b));
+        // Sorting twice is a fixpoint and all elements are retained.
+        let mut again = sorted.clone();
+        again.sort_by(|a, b| morton_cmp(a, b));
+        assert_eq!(sorted, again);
+        assert_eq!(sorted.len(), pts.len());
+    }
+}

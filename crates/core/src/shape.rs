@@ -1,0 +1,240 @@
+//! Tensor shapes: the ordered list of mode dimensions.
+
+use crate::error::{Error, Result};
+
+/// The integer type used for tensor coordinates.
+///
+/// The paper stores indices in 32 bits; all formats here do the same.
+pub type Coord = u32;
+
+/// The shape of an `N`th-order tensor: its `N` mode dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::Shape;
+///
+/// let shape = Shape::new(vec![4, 3, 5]);
+/// assert_eq!(shape.order(), 3);
+/// assert_eq!(shape.dim(2), 5);
+/// assert_eq!(shape.num_entries(), 60.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<Coord>,
+}
+
+impl Shape {
+    /// Creates a shape from mode dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or any dimension is zero; use
+    /// [`Shape::try_new`] for a fallible constructor.
+    pub fn new(dims: Vec<Coord>) -> Self {
+        Self::try_new(dims).expect("invalid shape")
+    }
+
+    /// Creates a shape, returning an error for an empty shape or a
+    /// zero-sized mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyShape`] if `dims` is empty or contains a zero.
+    pub fn try_new(dims: Vec<Coord>) -> Result<Self> {
+        if dims.is_empty() || dims.contains(&0) {
+            return Err(Error::EmptyShape);
+        }
+        Ok(Self { dims })
+    }
+
+    /// The tensor order (number of modes), `N`.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The dimension of mode `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= self.order()`.
+    #[inline]
+    pub fn dim(&self, n: usize) -> Coord {
+        self.dims[n]
+    }
+
+    /// All mode dimensions.
+    #[inline]
+    pub fn dims(&self) -> &[Coord] {
+        &self.dims
+    }
+
+    /// The total number of entries `I_1 × ⋯ × I_N` as `f64`.
+    ///
+    /// Returned as a float because real tensors overflow `u64` (e.g. the
+    /// paper's `deli4d` has ~2.3e19 entries).
+    pub fn num_entries(&self) -> f64 {
+        self.dims.iter().map(|&d| d as f64).product()
+    }
+
+    /// The density of a tensor of this shape holding `nnz` non-zeros.
+    pub fn density(&self, nnz: usize) -> f64 {
+        nnz as f64 / self.num_entries()
+    }
+
+    /// Checks that `mode` is valid for this shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidMode`] if `mode >= self.order()`.
+    pub fn check_mode(&self, mode: usize) -> Result<()> {
+        if mode >= self.order() {
+            Err(Error::InvalidMode { mode, order: self.order() })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Checks one coordinate tuple against this shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OrderMismatch`] if the tuple length differs from the
+    /// order, or [`Error::IndexOutOfBounds`] for an out-of-range index.
+    pub fn check_coords(&self, coords: &[Coord]) -> Result<()> {
+        if coords.len() != self.order() {
+            return Err(Error::OrderMismatch { left: self.order(), right: coords.len() });
+        }
+        for (mode, (&c, &d)) in coords.iter().zip(&self.dims).enumerate() {
+            if c >= d {
+                return Err(Error::IndexOutOfBounds { mode, index: c, dim: d });
+            }
+        }
+        Ok(())
+    }
+
+    /// The shape obtained by removing mode `n` (the TTV output shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range or the tensor is first-order (the result
+    /// would be empty).
+    pub fn remove_mode(&self, n: usize) -> Shape {
+        assert!(n < self.order(), "mode out of range");
+        assert!(self.order() > 1, "cannot remove the only mode");
+        let mut dims = self.dims.clone();
+        dims.remove(n);
+        Shape { dims }
+    }
+
+    /// The shape obtained by replacing the dimension of mode `n` with `r`
+    /// (the TTM output shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range or `r == 0`.
+    pub fn replace_mode(&self, n: usize, r: Coord) -> Shape {
+        assert!(n < self.order(), "mode out of range");
+        assert!(r > 0, "dimension must be positive");
+        let mut dims = self.dims.clone();
+        dims[n] = r;
+        Shape { dims }
+    }
+
+    /// The row-major linear offset of `coords`, for dense oracles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the linearized size overflows `usize`; callers use this only
+    /// for small test tensors.
+    pub fn linearize(&self, coords: &[Coord]) -> usize {
+        debug_assert_eq!(coords.len(), self.order());
+        let mut off = 0usize;
+        for (&c, &d) in coords.iter().zip(&self.dims) {
+            off = off.checked_mul(d as usize).and_then(|o| o.checked_add(c as usize)).expect("dense offset overflow");
+        }
+        off
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for d in &self.dims {
+            if !first {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl From<&[Coord]> for Shape {
+    fn from(dims: &[Coord]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl AsRef<[Coord]> for Shape {
+    fn as_ref(&self) -> &[Coord] {
+        &self.dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let s = Shape::new(vec![4, 3, 5]);
+        assert_eq!(s.order(), 3);
+        assert_eq!(s.dims(), &[4, 3, 5]);
+        assert_eq!(s.dim(0), 4);
+        assert_eq!(s.num_entries(), 60.0);
+        assert_eq!(s.density(6), 0.1);
+        assert_eq!(s.to_string(), "4x3x5");
+    }
+
+    #[test]
+    fn rejects_empty_and_zero() {
+        assert!(Shape::try_new(vec![]).is_err());
+        assert!(Shape::try_new(vec![3, 0, 2]).is_err());
+    }
+
+    #[test]
+    fn check_coords_validates() {
+        let s = Shape::new(vec![2, 3]);
+        assert!(s.check_coords(&[1, 2]).is_ok());
+        assert!(matches!(s.check_coords(&[2, 0]), Err(Error::IndexOutOfBounds { mode: 0, .. })));
+        assert!(matches!(s.check_coords(&[0, 0, 0]), Err(Error::OrderMismatch { .. })));
+    }
+
+    #[test]
+    fn mode_surgery() {
+        let s = Shape::new(vec![4, 3, 5]);
+        assert_eq!(s.remove_mode(1).dims(), &[4, 5]);
+        assert_eq!(s.replace_mode(2, 16).dims(), &[4, 3, 16]);
+        assert!(s.check_mode(2).is_ok());
+        assert!(s.check_mode(3).is_err());
+    }
+
+    #[test]
+    fn linearize_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.linearize(&[0, 0, 0]), 0);
+        assert_eq!(s.linearize(&[0, 0, 3]), 3);
+        assert_eq!(s.linearize(&[0, 1, 0]), 4);
+        assert_eq!(s.linearize(&[1, 2, 3]), 23);
+    }
+
+    #[test]
+    fn huge_shapes_do_not_overflow_num_entries() {
+        let s = Shape::new(vec![u32::MAX, u32::MAX, u32::MAX, u32::MAX]);
+        assert!(s.num_entries() > 1e38);
+        assert!(s.density(1_000_000) < 1e-30);
+    }
+}

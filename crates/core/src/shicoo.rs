@@ -1,0 +1,369 @@
+//! The semi-sparse HiCOO (sHiCOO) format.
+//!
+//! sHiCOO (Figure 2(c) of the paper) is to HiCOO what sCOO is to COO: the
+//! dense mode(s) are stored as dense per-fiber arrays while the sparse modes
+//! use HiCOO's block/element index compression. The HiCOO-TTM kernel writes
+//! its semi-sparse output in this format.
+
+use crate::error::Result;
+use crate::hicoo::block_bits_for;
+use crate::morton::morton_cmp;
+use crate::scoo::SemiCooTensor;
+use crate::shape::{Coord, Shape};
+use crate::sort::sort_permutation;
+use crate::value::Value;
+
+/// A semi-sparse tensor with HiCOO-compressed sparse modes.
+///
+/// The unit of sparsity is the *fiber* (one per distinct sparse coordinate
+/// tuple); fibers are grouped into blocks over the sparse modes exactly as
+/// HiCOO groups non-zeros.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{SemiCooTensor, SHiCooTensor, Shape};
+///
+/// # fn main() -> Result<(), pasta_core::Error> {
+/// let scoo = SemiCooTensor::from_fibers(
+///     Shape::new(vec![4, 4, 2]),
+///     vec![2],
+///     vec![vec![0, 3], vec![1, 3]],
+///     vec![1.0_f32, 2.0, 3.0, 4.0],
+/// )?;
+/// let sh = SHiCooTensor::from_scoo(&scoo, 2)?;
+/// assert_eq!(sh.num_fibers(), 2);
+/// assert_eq!(sh.num_blocks(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SHiCooTensor<V> {
+    shape: Shape,
+    block_bits: u8,
+    dense_modes: Vec<usize>,
+    sparse_modes: Vec<usize>,
+    /// Fiber range per block (length `num_blocks + 1`).
+    bptr: Vec<usize>,
+    /// Block indices per sparse mode (parallel to `sparse_modes`).
+    binds: Vec<Vec<Coord>>,
+    /// Element indices per sparse mode, one per fiber.
+    einds: Vec<Vec<u8>>,
+    /// `num_fibers × dense_volume` values.
+    vals: Vec<V>,
+}
+
+impl<V: Value> SHiCooTensor<V> {
+    /// Converts an sCOO tensor into sHiCOO with the given block size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidBlockSize`] for an invalid block size.
+    pub fn from_scoo(scoo: &SemiCooTensor<V>, block_size: u32) -> Result<Self> {
+        let bits = block_bits_for(block_size)?;
+        let ns = scoo.sparse_modes().len();
+        let nf = scoo.num_fibers();
+        let d = scoo.dense_volume();
+
+        let block_coord =
+            |f: usize| -> Vec<Coord> { (0..ns).map(|k| scoo.sparse_inds(k)[f] >> bits).collect() };
+        let perm = sort_permutation(nf, |a, b| {
+            morton_cmp(&block_coord(a), &block_coord(b)).then_with(|| {
+                for k in 0..ns {
+                    let ord = scoo.sparse_inds(k)[a].cmp(&scoo.sparse_inds(k)[b]);
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            })
+        });
+
+        let mask = block_size - 1;
+        let mut bptr = Vec::new();
+        let mut binds: Vec<Vec<Coord>> = vec![Vec::new(); ns];
+        let mut einds: Vec<Vec<u8>> = vec![Vec::with_capacity(nf); ns];
+        let mut vals = Vec::with_capacity(nf * d);
+        let mut prev_block: Option<Vec<Coord>> = None;
+
+        for (pos, &p) in perm.iter().enumerate() {
+            let f = p as usize;
+            let bc = block_coord(f);
+            if prev_block.as_ref() != Some(&bc) {
+                bptr.push(pos);
+                for (k, col) in binds.iter_mut().enumerate() {
+                    col.push(bc[k]);
+                }
+                prev_block = Some(bc);
+            }
+            for (k, col) in einds.iter_mut().enumerate() {
+                col.push((scoo.sparse_inds(k)[f] & mask) as u8);
+            }
+            vals.extend_from_slice(scoo.fiber_vals(f));
+        }
+        bptr.push(nf);
+
+        Ok(Self {
+            shape: scoo.shape().clone(),
+            block_bits: bits,
+            dense_modes: scoo.dense_modes().to_vec(),
+            sparse_modes: scoo.sparse_modes().to_vec(),
+            bptr,
+            binds,
+            einds,
+            vals,
+        })
+    }
+
+    /// Assembles an sHiCOO tensor directly from its constituent arrays.
+    ///
+    /// Intended for kernels (HiCOO-TTM) that derive their output's block
+    /// structure from the input's.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the arrays are mutually inconsistent.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        shape: Shape,
+        block_size: u32,
+        dense_modes: Vec<usize>,
+        bptr: Vec<usize>,
+        binds: Vec<Vec<Coord>>,
+        einds: Vec<Vec<u8>>,
+        vals: Vec<V>,
+    ) -> Result<Self> {
+        use crate::error::Error;
+        let bits = block_bits_for(block_size)?;
+        let mut dm = dense_modes;
+        dm.sort_unstable();
+        dm.dedup();
+        if dm.is_empty() || dm.len() >= shape.order() {
+            return Err(Error::OperandMismatch { what: "bad dense mode set".into() });
+        }
+        for &m in &dm {
+            shape.check_mode(m)?;
+        }
+        let sparse_modes: Vec<usize> = (0..shape.order()).filter(|m| !dm.contains(m)).collect();
+        let ns = sparse_modes.len();
+        let nb = bptr.len().saturating_sub(1);
+        let nf = einds.first().map_or(0, Vec::len);
+        let dvol: usize = dm.iter().map(|&m| shape.dim(m) as usize).product();
+        let consistent = binds.len() == ns
+            && einds.len() == ns
+            && binds.iter().all(|c| c.len() == nb)
+            && einds.iter().all(|c| c.len() == nf)
+            && bptr.first() == Some(&0)
+            && bptr.last() == Some(&nf)
+            && bptr.windows(2).all(|w| w[0] <= w[1])
+            && vals.len() == nf * dvol;
+        if !consistent {
+            return Err(Error::OperandMismatch { what: "inconsistent sHiCOO arrays".into() });
+        }
+        Ok(Self {
+            shape,
+            block_bits: bits,
+            dense_modes: dm,
+            sparse_modes,
+            bptr,
+            binds,
+            einds,
+            vals,
+        })
+    }
+
+    /// The tensor shape (including dense modes).
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dense modes, in increasing order.
+    #[inline]
+    pub fn dense_modes(&self) -> &[usize] {
+        &self.dense_modes
+    }
+
+    /// The sparse modes, in increasing order.
+    #[inline]
+    pub fn sparse_modes(&self) -> &[usize] {
+        &self.sparse_modes
+    }
+
+    /// The number of stored fibers.
+    pub fn num_fibers(&self) -> usize {
+        self.einds.first().map_or(0, Vec::len)
+    }
+
+    /// The number of blocks over the sparse modes.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.bptr.len().saturating_sub(1)
+    }
+
+    /// The block size `B`.
+    #[inline]
+    pub fn block_size(&self) -> u32 {
+        1 << self.block_bits
+    }
+
+    /// The product of the dense mode dimensions.
+    pub fn dense_volume(&self) -> usize {
+        self.dense_modes.iter().map(|&m| self.shape.dim(m) as usize).product()
+    }
+
+    /// The fiber range of block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= self.num_blocks()`.
+    #[inline]
+    pub fn block_range(&self, b: usize) -> std::ops::Range<usize> {
+        self.bptr[b]..self.bptr[b + 1]
+    }
+
+    /// The dense values of fiber `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= self.num_fibers()`.
+    #[inline]
+    pub fn fiber_vals(&self, f: usize) -> &[V] {
+        let d = self.dense_volume();
+        &self.vals[f * d..(f + 1) * d]
+    }
+
+    /// Mutable dense values of fiber `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= self.num_fibers()`.
+    #[inline]
+    pub fn fiber_vals_mut(&mut self, f: usize) -> &mut [V] {
+        let d = self.dense_volume();
+        &mut self.vals[f * d..(f + 1) * d]
+    }
+
+    /// The whole value array.
+    #[inline]
+    pub fn vals(&self) -> &[V] {
+        &self.vals
+    }
+
+    /// Reconstructs the sparse coordinates of fiber `f` in block `b`
+    /// (parallel to [`Self::sparse_modes`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn fiber_coords(&self, b: usize, f: usize) -> Vec<Coord> {
+        debug_assert!(self.block_range(b).contains(&f));
+        (0..self.sparse_modes.len())
+            .map(|k| (self.binds[k][b] << self.block_bits) | self.einds[k][f] as Coord)
+            .collect()
+    }
+
+    /// The storage footprint in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        let ns = self.sparse_modes.len();
+        self.num_blocks() * (4 * ns + 8) + self.num_fibers() * ns + self.vals.len() * V::BYTES
+    }
+
+    /// Expands back to sCOO (fibers in block-major Morton order).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a well-formed tensor; the `Result` mirrors the sCOO
+    /// constructor.
+    pub fn to_scoo(&self) -> Result<SemiCooTensor<V>> {
+        let ns = self.sparse_modes.len();
+        let mut inds: Vec<Vec<Coord>> = vec![Vec::with_capacity(self.num_fibers()); ns];
+        for b in 0..self.num_blocks() {
+            for f in self.block_range(b) {
+                let coords = self.fiber_coords(b, f);
+                for (k, col) in inds.iter_mut().enumerate() {
+                    col.push(coords[k]);
+                }
+            }
+        }
+        SemiCooTensor::from_fibers(
+            self.shape.clone(),
+            self.dense_modes.clone(),
+            inds,
+            self.vals.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_scoo() -> SemiCooTensor<f32> {
+        // 8x8x2, dense mode 2, four fibers.
+        SemiCooTensor::from_fibers(
+            Shape::new(vec![8, 8, 2]),
+            vec![2],
+            vec![vec![0, 1, 4, 7], vec![0, 1, 5, 7]],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn blocks_group_nearby_fibers() {
+        let sh = SHiCooTensor::from_scoo(&sample_scoo(), 2).unwrap();
+        assert_eq!(sh.num_fibers(), 4);
+        // Fibers (0,0) & (1,1) share block (0,0); (4,5) is block (2,2); (7,7) is block (3,3).
+        assert_eq!(sh.num_blocks(), 3);
+        assert_eq!(sh.block_size(), 2);
+        assert_eq!(sh.dense_volume(), 2);
+    }
+
+    #[test]
+    fn roundtrip_to_scoo() {
+        let scoo = sample_scoo();
+        let sh = SHiCooTensor::from_scoo(&scoo, 4).unwrap();
+        let back = sh.to_scoo().unwrap();
+        // Same fibers, possibly reordered: compare via COO expansion.
+        let mut a = scoo.to_coo();
+        a.sort();
+        let mut b = back.to_coo();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fiber_values_follow_reordering() {
+        let sh = SHiCooTensor::from_scoo(&sample_scoo(), 2).unwrap();
+        for b in 0..sh.num_blocks() {
+            for f in sh.block_range(b) {
+                let coords = sh.fiber_coords(b, f);
+                // Fiber (0,0) carried [1,2]; (1,1) carried [3,4]; etc.
+                let expect_first = match (coords[0], coords[1]) {
+                    (0, 0) => 1.0,
+                    (1, 1) => 3.0,
+                    (4, 5) => 5.0,
+                    (7, 7) => 7.0,
+                    other => panic!("unexpected fiber {other:?}"),
+                };
+                assert_eq!(sh.fiber_vals(f)[0], expect_first);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_block_size_rejected() {
+        assert!(matches!(
+            SHiCooTensor::from_scoo(&sample_scoo(), 5),
+            Err(crate::error::Error::InvalidBlockSize { size: 5 })
+        ));
+    }
+
+    #[test]
+    fn storage_accounts_blocks_fibers_values() {
+        let sh = SHiCooTensor::from_scoo(&sample_scoo(), 2).unwrap();
+        // 3 blocks x (4*2 + 8) + 4 fibers x 2 sparse modes x 1B + 8 vals x 4B.
+        assert_eq!(sh.storage_bytes(), 3 * 16 + 8 + 32);
+    }
+}

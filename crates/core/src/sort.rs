@@ -1,0 +1,131 @@
+//! Sorting utilities shared by the sparse formats.
+//!
+//! Sparse tensor kernels rely on specific non-zero orderings: lexicographic in
+//! a given mode permutation (COO fibers) or Morton order of block coordinates
+//! (HiCOO). Sorting is performed indirectly: a permutation of entry positions
+//! is sorted with the requested comparator and then applied to every index
+//! array and the value array with a single gather each.
+
+use crate::shape::Coord;
+use std::cmp::Ordering;
+
+/// Computes a permutation `perm` of `0..n` such that visiting entries in
+/// `perm` order satisfies `cmp`.
+///
+/// The sort is stable so that equal entries keep their input order (useful
+/// for deterministic deduplication).
+pub fn sort_permutation<F>(n: usize, mut cmp: F) -> Vec<u32>
+where
+    F: FnMut(usize, usize) -> Ordering,
+{
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.sort_by(|&a, &b| cmp(a as usize, b as usize));
+    perm
+}
+
+/// Gathers `src` through `perm`: `out[i] = src[perm[i]]`.
+pub fn gather<T: Copy>(src: &[T], perm: &[u32]) -> Vec<T> {
+    perm.iter().map(|&p| src[p as usize]).collect()
+}
+
+/// Applies `perm` in place to every column of `inds` and to `vals`.
+///
+/// # Panics
+///
+/// Panics if lengths are inconsistent.
+pub fn apply_permutation<T: Copy>(inds: &mut [Vec<Coord>], vals: &mut Vec<T>, perm: &[u32]) {
+    assert_eq!(vals.len(), perm.len());
+    for col in inds.iter_mut() {
+        assert_eq!(col.len(), perm.len());
+        *col = gather(col, perm);
+    }
+    *vals = gather(vals, perm);
+}
+
+/// Compares entry `a` and entry `b` lexicographically in the mode order given
+/// by `mode_order` over the columnar index arrays `inds`.
+#[inline]
+pub fn lex_cmp(inds: &[Vec<Coord>], mode_order: &[usize], a: usize, b: usize) -> Ordering {
+    for &m in mode_order {
+        let ord = inds[m][a].cmp(&inds[m][b]);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// The mode permutation that keeps all modes in increasing order except that
+/// `product_mode` is moved last.
+///
+/// This is the sort order required before computing the mode-`n` fiber
+/// structure for TTV/TTM (Algorithm 1, line 1 of the paper): non-zeros of the
+/// same fiber (identical indices in every mode but `n`) become contiguous.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::sort::mode_last_order;
+///
+/// assert_eq!(mode_last_order(4, 1), vec![0, 2, 3, 1]);
+/// assert_eq!(mode_last_order(3, 2), vec![0, 1, 2]);
+/// ```
+pub fn mode_last_order(order: usize, product_mode: usize) -> Vec<usize> {
+    assert!(product_mode < order);
+    let mut v: Vec<usize> = (0..order).filter(|&m| m != product_mode).collect();
+    v.push(product_mode);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_sorts_values() {
+        let vals = [3, 1, 2];
+        let perm = sort_permutation(3, |a, b| vals[a].cmp(&vals[b]));
+        assert_eq!(gather(&vals, &perm), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stable_for_equal_keys() {
+        let keys = [1, 0, 1, 0];
+        let perm = sort_permutation(4, |a, b| keys[a].cmp(&keys[b]));
+        assert_eq!(perm, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn apply_permutation_gathers_all_columns() {
+        let mut inds = vec![vec![2, 0, 1], vec![20, 0, 10]];
+        let mut vals = vec![2.0_f32, 0.0, 1.0];
+        let perm = sort_permutation(3, |a, b| inds[0][a].cmp(&inds[0][b]));
+        apply_permutation(&mut inds, &mut vals, &perm);
+        assert_eq!(inds[0], vec![0, 1, 2]);
+        assert_eq!(inds[1], vec![0, 10, 20]);
+        assert_eq!(vals, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn lex_cmp_respects_mode_order() {
+        let inds = vec![vec![0, 1], vec![1, 0]];
+        // In natural order entry 0 < entry 1; ordering by mode 1 first flips it.
+        assert_eq!(lex_cmp(&inds, &[0, 1], 0, 1), Ordering::Less);
+        assert_eq!(lex_cmp(&inds, &[1, 0], 0, 1), Ordering::Greater);
+        assert_eq!(lex_cmp(&inds, &[0], 0, 0), Ordering::Equal);
+    }
+
+    #[test]
+    fn mode_last_order_is_permutation() {
+        for order in 1..6 {
+            for n in 0..order {
+                let p = mode_last_order(order, n);
+                assert_eq!(p.len(), order);
+                assert_eq!(*p.last().unwrap(), n);
+                let mut sorted = p.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..order).collect::<Vec<_>>());
+            }
+        }
+    }
+}

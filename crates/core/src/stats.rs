@@ -1,0 +1,215 @@
+//! Tensor feature statistics.
+//!
+//! The paper's Table II characterizes every dataset by order, dimensions,
+//! non-zero count and density; the kernel analysis (Table I) additionally
+//! needs the per-mode fiber counts `M_F`, and the HiCOO discussion relies on
+//! block-occupancy statistics. [`TensorStats`] gathers all of these.
+
+use crate::coo::CooTensor;
+use crate::hicoo::HiCooTensor;
+use crate::shape::Coord;
+use crate::value::Value;
+
+/// Summary statistics of a sparse tensor.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{CooTensor, Shape, TensorStats};
+///
+/// # fn main() -> Result<(), pasta_core::Error> {
+/// let t = CooTensor::from_entries(
+///     Shape::new(vec![4, 4]),
+///     vec![(vec![0, 0], 1.0_f32), (vec![0, 1], 2.0)],
+/// )?;
+/// let s = TensorStats::compute(&t);
+/// assert_eq!(s.nnz, 2);
+/// assert_eq!(s.fiber_counts[0], 2); // two mode-0 fibers: columns 0 and 1
+/// assert_eq!(s.fiber_counts[1], 1); // one mode-1 fiber: row 0
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorStats {
+    /// Tensor order `N`.
+    pub order: usize,
+    /// Mode dimensions.
+    pub dims: Vec<Coord>,
+    /// Number of non-zeros `M`.
+    pub nnz: usize,
+    /// Density `M / ∏ I_n`.
+    pub density: f64,
+    /// Number of non-empty mode-`n` fibers for each mode (`M_F` in Table I).
+    pub fiber_counts: Vec<usize>,
+    /// Longest mode-`n` fiber per mode (load-imbalance indicator for
+    /// fiber-parallel TTV/TTM).
+    pub max_fiber_lens: Vec<usize>,
+}
+
+impl TensorStats {
+    /// Computes statistics for a COO tensor (sorts internal clones per mode).
+    pub fn compute<V: Value>(t: &CooTensor<V>) -> Self {
+        let order = t.order();
+        let mut fiber_counts = Vec::with_capacity(order);
+        let mut max_fiber_lens = Vec::with_capacity(order);
+        for n in 0..order {
+            let mut c = t.clone();
+            c.sort_mode_last(n);
+            let fi = crate::fiber::FiberIndex::build(&c, n);
+            fiber_counts.push(fi.num_fibers());
+            max_fiber_lens.push(fi.max_fiber_len());
+        }
+        Self {
+            order,
+            dims: t.shape().dims().to_vec(),
+            nnz: t.nnz(),
+            density: t.shape().density(t.nnz()),
+            fiber_counts,
+            max_fiber_lens,
+        }
+    }
+
+    /// The smallest per-mode fiber count (a proxy for the best TTV mode).
+    pub fn min_fiber_count(&self) -> usize {
+        self.fiber_counts.iter().copied().min().unwrap_or(0)
+    }
+
+    /// The average fiber count across modes, used by the mode-averaged
+    /// experiment harness (the paper averages TTV/TTM/MTTKRP over all modes).
+    pub fn avg_fiber_count(&self) -> f64 {
+        if self.fiber_counts.is_empty() {
+            0.0
+        } else {
+            self.fiber_counts.iter().sum::<usize>() as f64 / self.fiber_counts.len() as f64
+        }
+    }
+}
+
+/// Block-occupancy statistics of a HiCOO tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockStats {
+    /// Block size `B`.
+    pub block_size: u32,
+    /// Number of non-empty blocks `n_b`.
+    pub num_blocks: usize,
+    /// Mean non-zeros per block.
+    pub avg_nnz: f64,
+    /// Largest block population (GPU HiCOO-MTTKRP imbalance indicator).
+    pub max_nnz: usize,
+    /// Fraction of blocks holding exactly one non-zero (hyper-sparsity
+    /// indicator: HiCOO stops paying off as this approaches 1).
+    pub singleton_fraction: f64,
+}
+
+impl BlockStats {
+    /// Computes block statistics for a HiCOO tensor.
+    pub fn compute<V: Value>(t: &HiCooTensor<V>) -> Self {
+        let nb = t.num_blocks();
+        let mut max_nnz = 0usize;
+        let mut singles = 0usize;
+        for b in 0..nb {
+            let len = t.block_range(b).len();
+            max_nnz = max_nnz.max(len);
+            if len == 1 {
+                singles += 1;
+            }
+        }
+        Self {
+            block_size: t.block_size(),
+            num_blocks: nb,
+            avg_nnz: t.avg_block_nnz(),
+            max_nnz,
+            singleton_fraction: if nb == 0 { 0.0 } else { singles as f64 / nb as f64 },
+        }
+    }
+}
+
+/// Formats a non-zero count the way Table II does (`26M`, `1.1M`, `5K`).
+pub fn human_count(n: usize) -> String {
+    let nf = n as f64;
+    if nf >= 1e9 {
+        format!("{:.1}B", nf / 1e9)
+    } else if nf >= 1e6 {
+        let m = nf / 1e6;
+        if m >= 10.0 {
+            format!("{m:.0}M")
+        } else {
+            format!("{m:.1}M")
+        }
+    } else if nf >= 1e3 {
+        let k = nf / 1e3;
+        if k >= 10.0 {
+            format!("{k:.0}K")
+        } else {
+            format!("{k:.1}K")
+        }
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Re-export of [`crate::fiber::count_fibers`] at the stats level for convenience.
+pub use crate::fiber::count_fibers as mode_fiber_count;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fiber::count_fibers;
+    use crate::shape::Shape;
+
+    fn sample() -> CooTensor<f32> {
+        CooTensor::from_entries(
+            Shape::new(vec![4, 4, 4]),
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 0, 1], 2.0),
+                (vec![0, 1, 0], 3.0),
+                (vec![3, 3, 3], 4.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stats_fields() {
+        let s = TensorStats::compute(&sample());
+        assert_eq!(s.order, 3);
+        assert_eq!(s.nnz, 4);
+        assert!((s.density - 4.0 / 64.0).abs() < 1e-12);
+        // Mode-2 fibers: (0,0), (0,1), (3,3) -> 3.
+        assert_eq!(s.fiber_counts[2], 3);
+        assert_eq!(s.max_fiber_lens[2], 2);
+        assert_eq!(s.min_fiber_count(), 3);
+        assert!(s.avg_fiber_count() >= 3.0);
+    }
+
+    #[test]
+    fn stats_agree_with_count_fibers() {
+        let t = sample();
+        let s = TensorStats::compute(&t);
+        for n in 0..3 {
+            assert_eq!(s.fiber_counts[n], count_fibers(&t, n));
+        }
+    }
+
+    #[test]
+    fn block_stats() {
+        let h = HiCooTensor::from_coo(&sample(), 2).unwrap();
+        let b = BlockStats::compute(&h);
+        assert_eq!(b.block_size, 2);
+        assert_eq!(b.num_blocks, 2);
+        assert_eq!(b.max_nnz, 3);
+        assert!((b.avg_nnz - 2.0).abs() < 1e-12);
+        assert!((b.singleton_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn human_count_formatting() {
+        assert_eq!(human_count(0), "0");
+        assert_eq!(human_count(999), "999");
+        assert_eq!(human_count(1_500), "1.5K");
+        assert_eq!(human_count(26_000_000), "26M");
+        assert_eq!(human_count(1_100_000), "1.1M");
+        assert_eq!(human_count(2_300_000_000), "2.3B");
+    }
+}

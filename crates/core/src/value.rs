@@ -1,0 +1,169 @@
+//! The scalar value abstraction used throughout the suite.
+//!
+//! The paper stores tensor values as single-precision (32-bit) floats; every
+//! kernel and format in this workspace is generic over [`Value`] so that both
+//! `f32` (the paper's configuration) and `f64` are supported.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A floating-point scalar usable as a tensor value.
+///
+/// Implemented for `f32` and `f64`. The trait is deliberately small: just the
+/// arithmetic the five PASTA kernels need, conversions for test oracles, and
+/// the byte width used by the storage/operational-intensity analysis
+/// (Table I of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::Value;
+///
+/// fn axpy<V: Value>(a: V, x: V, y: V) -> V {
+///     a * x + y
+/// }
+/// assert_eq!(axpy(2.0_f32, 3.0, 1.0), 7.0);
+/// ```
+pub trait Value:
+    Copy
+    + Send
+    + Sync
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + 'static
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// Size of one value in bytes (4 for `f32`, 8 for `f64`).
+    const BYTES: usize;
+
+    /// Converts from `f64`, rounding as needed.
+    fn from_f64(x: f64) -> Self;
+    /// Converts to `f64` exactly (`f32` widens losslessly).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Whether the value is finite (neither NaN nor infinite).
+    fn is_finite(self) -> bool;
+
+    /// Converts from `usize` (used by test oracles and generators).
+    fn from_usize(x: usize) -> Self {
+        Self::from_f64(x as f64)
+    }
+
+    /// Approximate equality with a relative/absolute tolerance, used by the
+    /// test suites to compare kernel outputs against dense oracles.
+    fn approx_eq(self, other: Self, tol: f64) -> bool {
+        let (a, b) = (self.to_f64(), other.to_f64());
+        let scale = a.abs().max(b.abs()).max(1.0);
+        (a - b).abs() <= tol * scale
+    }
+}
+
+impl Value for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 4;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Value for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 8;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_std() {
+        assert_eq!(f32::ZERO, 0.0_f32);
+        assert_eq!(f32::ONE, 1.0_f32);
+        assert_eq!(f64::ZERO, 0.0_f64);
+        assert_eq!(<f32 as Value>::BYTES, 4);
+        assert_eq!(<f64 as Value>::BYTES, 8);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(f32::from_f64(1.5).to_f64(), 1.5);
+        assert_eq!(f64::from_f64(-2.25).to_f64(), -2.25);
+        assert_eq!(f32::from_usize(7), 7.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_error() {
+        assert!(1.0_f32.approx_eq(1.0 + 1e-7, 1e-5));
+        assert!(!1.0_f32.approx_eq(1.1, 1e-5));
+        // Relative scaling: large magnitudes allow proportionally more slack.
+        assert!(1.0e6_f64.approx_eq(1.0e6 + 1.0, 1e-5));
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(1.0_f32.is_finite());
+        assert!(!(f32::NAN).is_finite());
+        assert!(!Value::is_finite(f64::INFINITY));
+    }
+}

@@ -1,0 +1,36 @@
+//! # pasta-gen — synthetic sparse tensor generation
+//!
+//! The paper's Section IV: real-world tensors are scarce, privacy-bound and
+//! hard to obtain, so the suite generates synthetic tensors preserving
+//! real-graph properties. Two generators are provided:
+//!
+//! - [`KroneckerGen`] — the stochastic Kronecker model (Graph500 lineage),
+//!   extended to order-`N` tensors; power-law, small-diameter, clustered.
+//! - [`PowerLawGen`] — the FireHose-style biased power-law streaming
+//!   generator, stacking edge streams into higher-order tensors with short
+//!   nearly-dense modes.
+//!
+//! [`profiles`] packages Table II's 30 datasets (15 synthetic, 15 real-world
+//! analogs) as reproducible, scaled recipes.
+//!
+//! # Examples
+//!
+//! ```
+//! use pasta_gen::find_profile;
+//!
+//! let t = find_profile("regS").unwrap().generate_scaled(0.01).unwrap();
+//! assert_eq!(t.order(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod kron;
+pub mod mimic;
+pub mod powerlaw;
+pub mod profiles;
+
+pub use kron::KroneckerGen;
+pub use mimic::{extract_features, feature_distance, MimicSpec, ModeProfile};
+pub use powerlaw::{ModeDist, PowerLawGen};
+pub use profiles::{find_profile, real_profiles, synthetic_profiles, Method, TensorProfile};

@@ -1,0 +1,206 @@
+//! Feature-mimicking synthetic generation.
+//!
+//! Observation 5 of the paper closes with: "Extracting features from real
+//! tensors as a basis to create more complete synthetic tensors would be
+//! very helpful for sparse tensor research." This module does exactly that:
+//! [`extract_features`] measures a tensor's per-mode index-popularity skew
+//! (a truncated-power-law exponent fit) and shape, and
+//! [`MimicSpec::generate`] synthesizes a new tensor with the same order,
+//! dimensions, non-zero budget and per-mode skew profile.
+
+use crate::powerlaw::{ModeDist, PowerLawGen};
+use pasta_core::{CooTensor, Coord, Result, TensorStats, Value};
+
+/// Measured per-mode skew: how concentrated the mode's index usage is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeProfile {
+    /// Mode dimension.
+    pub dim: Coord,
+    /// Distinct indices actually used.
+    pub distinct: usize,
+    /// Fraction of non-zeros landing on the top 1% most popular indices.
+    pub head_mass: f64,
+    /// Fitted truncated-power-law exponent (`0` ⇒ effectively uniform).
+    pub exponent: f64,
+}
+
+/// A generator recipe extracted from an example tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MimicSpec {
+    /// Tensor order.
+    pub order: usize,
+    /// Mode dimensions.
+    pub dims: Vec<Coord>,
+    /// Target non-zeros (the example's count).
+    pub nnz: usize,
+    /// Per-mode skew profiles.
+    pub modes: Vec<ModeProfile>,
+}
+
+/// Measures one mode's popularity skew.
+fn profile_mode<V: Value>(t: &CooTensor<V>, m: usize) -> ModeProfile {
+    let dim = t.shape().dim(m);
+    let mut counts: std::collections::HashMap<Coord, u64> = std::collections::HashMap::new();
+    for &c in t.mode_inds(m) {
+        *counts.entry(c).or_insert(0) += 1;
+    }
+    let distinct = counts.len();
+    let mut sorted: Vec<u64> = counts.values().copied().collect();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let head = (distinct.max(100) / 100).max(1);
+    let head_mass =
+        sorted.iter().take(head).sum::<u64>() as f64 / t.nnz().max(1) as f64;
+
+    // Exponent fit: on a rank-frequency plot, a power law has
+    // freq(rank) ∝ rank^(-s). Regress log-freq on log-rank over the head.
+    let take = sorted.len().min(256);
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut n = 0.0;
+    for (rank, &f) in sorted.iter().take(take).enumerate() {
+        let x = ((rank + 1) as f64).ln();
+        let y = (f as f64).ln();
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+        n += 1.0;
+    }
+    let exponent = if n >= 2.0 && (n * sxx - sx * sx).abs() > 1e-12 {
+        (-(n * sxy - sx * sy) / (n * sxx - sx * sx)).max(0.0)
+    } else {
+        0.0
+    };
+    ModeProfile { dim, distinct, head_mass, exponent }
+}
+
+/// Extracts a [`MimicSpec`] from an example tensor.
+pub fn extract_features<V: Value>(t: &CooTensor<V>) -> MimicSpec {
+    MimicSpec {
+        order: t.order(),
+        dims: t.shape().dims().to_vec(),
+        nnz: t.nnz(),
+        modes: (0..t.order()).map(|m| profile_mode(t, m)).collect(),
+    }
+}
+
+impl MimicSpec {
+    /// The per-mode distribution choice the spec implies: modes with
+    /// meaningful skew become power-law, near-flat modes uniform.
+    pub fn mode_dists(&self) -> Vec<ModeDist> {
+        self.modes
+            .iter()
+            .map(|p| if p.exponent > 0.3 && p.head_mass > 0.02 { ModeDist::PowerLaw } else { ModeDist::Uniform })
+            .collect()
+    }
+
+    /// The blended skew exponent used for the power-law modes.
+    pub fn blended_exponent(&self) -> f64 {
+        let skewed: Vec<f64> = self
+            .modes
+            .iter()
+            .filter(|p| p.exponent > 0.3)
+            .map(|p| p.exponent)
+            .collect();
+        if skewed.is_empty() {
+            1.0
+        } else {
+            (skewed.iter().sum::<f64>() / skewed.len() as f64).clamp(0.5, 3.0)
+        }
+    }
+
+    /// Generates a synthetic tensor matching the extracted features.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors (none for well-formed specs).
+    pub fn generate(&self, seed: u64) -> Result<CooTensor<f32>> {
+        PowerLawGen::new(self.blended_exponent()).generate(
+            &self.dims,
+            &self.mode_dists(),
+            self.nnz,
+            seed,
+        )
+    }
+}
+
+/// Compares two tensors' feature vectors; returns the worst relative error
+/// over (per-mode head mass, density) — the fidelity metric for mimicry.
+pub fn feature_distance<V: Value>(a: &CooTensor<V>, b: &CooTensor<V>) -> f64 {
+    let (fa, fb) = (extract_features(a), extract_features(b));
+    let mut worst = 0.0f64;
+    for (pa, pb) in fa.modes.iter().zip(&fb.modes) {
+        let denom = pa.head_mass.max(0.01);
+        worst = worst.max((pa.head_mass - pb.head_mass).abs() / denom);
+    }
+    let (sa, sb) = (TensorStats::compute(a), TensorStats::compute(b));
+    let ddist = (sa.density - sb.density).abs() / sa.density.max(1e-300);
+    worst.max(ddist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::powerlaw::PowerLawGen;
+
+    #[test]
+    fn uniform_mode_detected_as_flat() {
+        let g = PowerLawGen::new(1.5);
+        let t = g.generate3(5_000, 64, 20_000, 1).unwrap();
+        let spec = extract_features(&t);
+        assert_eq!(spec.order, 3);
+        let dists = spec.mode_dists();
+        // Modes 0/1 are power-law, mode 2 uniform.
+        assert_eq!(dists[0], ModeDist::PowerLaw);
+        assert_eq!(dists[1], ModeDist::PowerLaw);
+        assert_eq!(dists[2], ModeDist::Uniform);
+        assert!(spec.modes[0].head_mass > spec.modes[2].head_mass);
+    }
+
+    #[test]
+    fn exponent_fit_orders_correctly() {
+        // Steeper generators must yield larger fitted exponents.
+        let flat = PowerLawGen::new(0.8).generate3(20_000, 8, 30_000, 2).unwrap();
+        let steep = PowerLawGen::new(2.2).generate3(20_000, 8, 30_000, 2).unwrap();
+        let ef = extract_features(&flat).modes[0].exponent;
+        let es = extract_features(&steep).modes[0].exponent;
+        assert!(es > ef, "steep {es} vs flat {ef}");
+    }
+
+    #[test]
+    fn mimic_reproduces_skew_profile() {
+        let original = PowerLawGen::new(1.6).generate3(10_000, 32, 40_000, 3).unwrap();
+        let spec = extract_features(&original);
+        let clone = spec.generate(99).unwrap();
+        assert_eq!(clone.shape(), original.shape());
+        // Head mass of the skewed modes should be in the same ballpark.
+        let fo = extract_features(&original);
+        let fc = extract_features(&clone);
+        for m in 0..2 {
+            let (a, b) = (fo.modes[m].head_mass, fc.modes[m].head_mass);
+            assert!((a - b).abs() < 0.5 * a.max(b), "mode {m}: {a} vs {b}");
+        }
+        assert!(feature_distance(&original, &clone) < 1.0);
+    }
+
+    #[test]
+    fn mimicking_uniform_data_stays_uniform() {
+        let g = PowerLawGen::new(1.0);
+        let t = g
+            .generate(&[500, 500], &[ModeDist::Uniform, ModeDist::Uniform], 10_000, 4)
+            .unwrap();
+        let spec = extract_features(&t);
+        assert!(spec.mode_dists().iter().all(|d| *d == ModeDist::Uniform));
+        assert_eq!(spec.blended_exponent(), 1.0, "fallback when no skewed modes");
+        let clone = spec.generate(5).unwrap();
+        assert_eq!(clone.shape(), t.shape());
+    }
+
+    #[test]
+    fn feature_distance_zero_ish_for_self() {
+        let t = PowerLawGen::new(1.4).generate3(2_000, 16, 8_000, 6).unwrap();
+        assert!(feature_distance(&t, &t) < 1e-12);
+    }
+}

@@ -1,0 +1,229 @@
+//! The biased power-law streaming generator (Section IV-B-2).
+//!
+//! Models the FireHose benchmark's biased power-law edge generator: a stream
+//! of edges whose endpoint popularity follows a (truncated) power law.
+//! Rooted in a graph (sparse matrix), the stream is stacked into slices to
+//! form a third-order tensor, and the process repeated to add further modes
+//! — the paper's irregular tensors have two large equidimensional power-law
+//! modes and one or two small, nearly dense modes.
+
+use pasta_core::{CooTensor, Coord, Error, Result, Shape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How one tensor mode's indices are drawn by [`PowerLawGen`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModeDist {
+    /// Truncated power-law (Pareto-like) over `0..dim`: index popularity
+    /// decays as `rank^(-exponent)`.
+    PowerLaw,
+    /// Uniform over `0..dim` (the small, nearly dense modes).
+    Uniform,
+}
+
+/// A biased power-law tensor generator.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_gen::{ModeDist, PowerLawGen};
+///
+/// let gen = PowerLawGen::new(1.5);
+/// let t = gen
+///     .generate(
+///         &[10_000, 10_000, 64],
+///         &[ModeDist::PowerLaw, ModeDist::PowerLaw, ModeDist::Uniform],
+///         5_000,
+///         42,
+///     )
+///     .unwrap();
+/// assert_eq!(t.order(), 3);
+/// assert!(t.nnz() > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawGen {
+    exponent: f64,
+}
+
+impl PowerLawGen {
+    /// Creates a generator whose power-law modes decay with the given
+    /// exponent (> 0; FireHose-like skew around 1.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `exponent` is finite and positive.
+    pub fn new(exponent: f64) -> Self {
+        assert!(exponent.is_finite() && exponent > 0.0, "exponent must be positive");
+        Self { exponent }
+    }
+
+    /// The decay exponent.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Draws one index in `0..dim` from the truncated power law using the
+    /// inverse-CDF of a continuous Pareto truncated at `dim`.
+    fn sample_powerlaw(&self, dim: Coord, rng: &mut StdRng) -> Coord {
+        let n = dim as f64;
+        let u: f64 = rng.gen::<f64>().max(1e-300);
+        let s = self.exponent;
+        let k = if (s - 1.0).abs() < 1e-9 {
+            // s = 1: CDF ∝ ln(k), inverse is exponential in u.
+            n.powf(u)
+        } else {
+            let a = 1.0 - s;
+            ((u * (n.powf(a) - 1.0)) + 1.0).powf(1.0 / a)
+        };
+        ((k.floor() as u64).min(dim as u64 - 1)) as Coord
+    }
+
+    /// Generates a sparse tensor: each mode's indices drawn per `dists`,
+    /// approximately `target_nnz` edges (duplicates collapse into weighted
+    /// non-zeros).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on dims/dists length mismatch, zero dims or zero
+    /// `target_nnz`.
+    pub fn generate(
+        &self,
+        dims: &[Coord],
+        dists: &[ModeDist],
+        target_nnz: usize,
+        seed: u64,
+    ) -> Result<CooTensor<f32>> {
+        if dims.len() != dists.len() {
+            return Err(Error::OrderMismatch { left: dims.len(), right: dists.len() });
+        }
+        if target_nnz == 0 {
+            return Err(Error::OperandMismatch { what: "target_nnz must be positive".into() });
+        }
+        let shape = Shape::try_new(dims.to_vec())?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = CooTensor::with_capacity(shape, target_nnz);
+        let mut coords = vec![0 as Coord; dims.len()];
+        for _ in 0..target_nnz {
+            for (m, c) in coords.iter_mut().enumerate() {
+                *c = match dists[m] {
+                    ModeDist::PowerLaw => self.sample_powerlaw(dims[m], &mut rng),
+                    ModeDist::Uniform => rng.gen_range(0..dims[m]),
+                };
+            }
+            t.push(&coords, 1.0)?;
+        }
+        t.dedup_sum();
+        Ok(t)
+    }
+
+    /// Convenience: the paper's irregular third-order shape — two
+    /// equidimensional power-law modes of extent `dim` and one small uniform
+    /// mode of extent `k`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::generate`].
+    pub fn generate3(
+        &self,
+        dim: Coord,
+        k: Coord,
+        target_nnz: usize,
+        seed: u64,
+    ) -> Result<CooTensor<f32>> {
+        self.generate(
+            &[dim, dim, k],
+            &[ModeDist::PowerLaw, ModeDist::PowerLaw, ModeDist::Uniform],
+            target_nnz,
+            seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g = PowerLawGen::new(1.5);
+        let a = g.generate3(1000, 16, 2000, 1).unwrap();
+        let b = g.generate3(1000, 16, 2000, 1).unwrap();
+        let c = g.generate3(1000, 16, 2000, 2).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn powerlaw_mode_is_skewed_uniform_mode_is_not() {
+        let g = PowerLawGen::new(1.8);
+        let t = g.generate3(100_000, 32, 50_000, 3).unwrap();
+        // Mode 0 (power law): a heavy head — index 0 should be very popular.
+        let head = t.mode_inds(0).iter().filter(|&&c| c < 10).count();
+        assert!(head as f64 > 0.2 * t.nnz() as f64, "head={head} of {}", t.nnz());
+        // Mode 2 (uniform over 32): every slice populated, roughly balanced.
+        let mut counts = vec![0usize; 32];
+        for &c in t.mode_inds(2) {
+            counts[c as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0));
+        let (mn, mx) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*mx < mn * 3, "uniform mode too skewed: {mn}..{mx}");
+    }
+
+    #[test]
+    fn small_mode_is_nearly_dense() {
+        // The paper's irregular tensors have their short mode(s) completely
+        // dense: with enough samples every index of the short mode appears.
+        let g = PowerLawGen::new(1.5);
+        let t = g.generate3(50_000, 64, 20_000, 9).unwrap();
+        let distinct: std::collections::HashSet<_> = t.mode_inds(2).iter().collect();
+        assert_eq!(distinct.len(), 64);
+    }
+
+    #[test]
+    fn respects_bounds_and_order() {
+        let g = PowerLawGen::new(2.2);
+        let t = g
+            .generate(
+                &[5000, 5000, 30, 100],
+                &[ModeDist::PowerLaw, ModeDist::PowerLaw, ModeDist::Uniform, ModeDist::Uniform],
+                4000,
+                4,
+            )
+            .unwrap();
+        assert_eq!(t.order(), 4);
+        for m in 0..4 {
+            let d = t.shape().dim(m);
+            assert!(t.mode_inds(m).iter().all(|&c| c < d));
+        }
+    }
+
+    #[test]
+    fn exponent_one_special_case() {
+        let g = PowerLawGen::new(1.0);
+        let t = g.generate3(10_000, 8, 5000, 6).unwrap();
+        assert!(t.nnz() > 0);
+        assert_eq!(g.exponent(), 1.0);
+    }
+
+    #[test]
+    fn arg_validation() {
+        let g = PowerLawGen::new(1.5);
+        assert!(g.generate(&[10, 10], &[ModeDist::PowerLaw], 100, 0).is_err());
+        assert!(g.generate3(10, 10, 0, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_exponent() {
+        let _ = PowerLawGen::new(-1.0);
+    }
+
+    #[test]
+    fn duplicate_mass_preserved() {
+        let g = PowerLawGen::new(1.5);
+        let t = g.generate3(16, 2, 1000, 8).unwrap();
+        let total: f32 = t.vals().iter().sum();
+        assert_eq!(total, 1000.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Operational-intensity analysis (Table I of the paper).
+//!
+//! For a third-order cubical tensor with `M` non-zeros and `M_F` mode-`n`
+//! fibers (`I ≪ M_F ≪ M`), 32-bit indices and `f32` values, Table I gives
+//! per-kernel flop counts and *upper-bound* memory traffic (irregular
+//! accesses counted as misses). These formulas drive the Roofline analysis:
+//! `attainable GFLOPS = OI × obtainable bandwidth`.
+
+use pasta_core::{BlockStats, TensorStats};
+
+/// The five PASTA kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Tensor element-wise (two-operand streaming).
+    Tew,
+    /// Tensor-scalar (one-operand streaming).
+    Ts,
+    /// Tensor-times-vector.
+    Ttv,
+    /// Tensor-times-matrix.
+    Ttm,
+    /// Matricized tensor times Khatri-Rao product.
+    Mttkrp,
+}
+
+impl Kernel {
+    /// All five kernels in the paper's order.
+    pub const ALL: [Kernel; 5] = [Kernel::Tew, Kernel::Ts, Kernel::Ttv, Kernel::Ttm, Kernel::Mttkrp];
+
+    /// The paper's nominal OI approximation for this kernel
+    /// (the "OI" column of Table I).
+    pub fn nominal_oi(self) -> f64 {
+        match self {
+            Kernel::Tew => 1.0 / 12.0,
+            Kernel::Ts => 1.0 / 8.0,
+            Kernel::Ttv => 1.0 / 6.0,
+            Kernel::Ttm => 1.0 / 2.0,
+            Kernel::Mttkrp => 1.0 / 4.0,
+        }
+    }
+
+    /// Whether the paper classifies the kernel as *streaming* (regular,
+    /// bandwidth-saturating access) — Observation 3 contrasts TEW/TS against
+    /// the non-streaming TTV/TTM/MTTKRP.
+    pub fn is_streaming(self) -> bool {
+        matches!(self, Kernel::Tew | Kernel::Ts)
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Kernel::Tew => "TEW",
+            Kernel::Ts => "TS",
+            Kernel::Ttv => "TTV",
+            Kernel::Ttm => "TTM",
+            Kernel::Mttkrp => "MTTKRP",
+        })
+    }
+}
+
+/// Inputs to the Table I cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Non-zero count `M`.
+    pub m: f64,
+    /// Mode-`n` fiber count `M_F` (TTV/TTM only).
+    pub mf: f64,
+    /// Dense-operand column count `R` (TTM/MTTKRP; the paper uses 16).
+    pub r: f64,
+    /// HiCOO block count `n_b`.
+    pub nb: f64,
+    /// HiCOO block size `B` (the paper fixes 128).
+    pub block_size: f64,
+}
+
+impl CostParams {
+    /// Builds cost parameters from tensor statistics for the given product
+    /// mode, rank and HiCOO block statistics.
+    pub fn from_stats(stats: &TensorStats, mode: usize, r: usize, blocks: &BlockStats) -> Self {
+        Self {
+            m: stats.nnz as f64,
+            mf: stats.fiber_counts[mode] as f64,
+            r: r as f64,
+            nb: blocks.num_blocks as f64,
+            block_size: blocks.block_size as f64,
+        }
+    }
+}
+
+/// One row of Table I: flops, upper-bound bytes for both formats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCost {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Upper-bound bytes moved by the COO implementation.
+    pub coo_bytes: f64,
+    /// Upper-bound bytes moved by the HiCOO implementation.
+    pub hicoo_bytes: f64,
+}
+
+impl KernelCost {
+    /// Operational intensity of the COO implementation.
+    pub fn coo_oi(&self) -> f64 {
+        self.flops / self.coo_bytes
+    }
+
+    /// Operational intensity of the HiCOO implementation.
+    pub fn hicoo_oi(&self) -> f64 {
+        self.flops / self.hicoo_bytes
+    }
+}
+
+/// Evaluates the Table I formulas for `kernel` under `p`.
+pub fn kernel_cost(kernel: Kernel, p: &CostParams) -> KernelCost {
+    let CostParams { m, mf, r, nb, block_size } = *p;
+    match kernel {
+        Kernel::Tew => KernelCost { flops: m, coo_bytes: 12.0 * m, hicoo_bytes: 12.0 * m },
+        Kernel::Ts => KernelCost { flops: m, coo_bytes: 8.0 * m, hicoo_bytes: 8.0 * m },
+        Kernel::Ttv => {
+            let bytes = 12.0 * m + 12.0 * mf;
+            KernelCost { flops: 2.0 * m, coo_bytes: bytes, hicoo_bytes: bytes }
+        }
+        Kernel::Ttm => KernelCost {
+            flops: 2.0 * m * r,
+            coo_bytes: 4.0 * m * r + 4.0 * mf * r + 8.0 * mf + 8.0 * m + 8.0 * mf,
+            hicoo_bytes: 4.0 * m * r + 4.0 * mf * r + 8.0 * m + 8.0 * mf,
+        },
+        Kernel::Mttkrp => KernelCost {
+            flops: 3.0 * m * r,
+            coo_bytes: 12.0 * m * r + 16.0 * m,
+            hicoo_bytes: 12.0 * r * (nb * block_size).min(m) + 7.0 * m + 20.0 * nb,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CostParams {
+        CostParams { m: 1e6, mf: 1e5, r: 16.0, nb: 2e4, block_size: 128.0 }
+    }
+
+    #[test]
+    fn tew_ts_exact_ois() {
+        let p = params();
+        let tew = kernel_cost(Kernel::Tew, &p);
+        assert!((tew.coo_oi() - 1.0 / 12.0).abs() < 1e-12);
+        assert_eq!(tew.coo_bytes, tew.hicoo_bytes);
+        let ts = kernel_cost(Kernel::Ts, &p);
+        assert!((ts.coo_oi() - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ttv_oi_approaches_one_sixth() {
+        // With M_F ≪ M the OI tends to 2M / 12M = 1/6.
+        let p = CostParams { m: 1e8, mf: 1e4, ..params() };
+        let c = kernel_cost(Kernel::Ttv, &p);
+        assert!((c.coo_oi() - 1.0 / 6.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ttm_oi_approaches_one_half() {
+        // With R large and M_F ≪ M: 2MR / 4MR = 1/2.
+        let p = CostParams { m: 1e8, mf: 1e4, r: 256.0, ..params() };
+        let c = kernel_cost(Kernel::Ttm, &p);
+        assert!((c.coo_oi() - 0.5).abs() < 0.01);
+        // HiCOO moves strictly fewer bytes (drops one 8·M_F term).
+        assert!(c.hicoo_bytes < c.coo_bytes);
+    }
+
+    #[test]
+    fn mttkrp_oi_approaches_one_quarter() {
+        let p = CostParams { m: 1e8, r: 1024.0, ..params() };
+        let c = kernel_cost(Kernel::Mttkrp, &p);
+        assert!((c.coo_oi() - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn mttkrp_hicoo_benefits_from_dense_blocks() {
+        // Dense blocks: n_b·B < M, so the matrix traffic term shrinks.
+        let dense_blocks = CostParams { m: 1e6, nb: 1e3, block_size: 128.0, ..params() };
+        let c = kernel_cost(Kernel::Mttkrp, &dense_blocks);
+        assert!(c.hicoo_bytes < c.coo_bytes);
+        // Hyper-sparse blocks (one nnz per block): min() clamps at M and the
+        // advantage shrinks to the index compression alone.
+        let hyper = CostParams { m: 1e6, nb: 1e6, block_size: 128.0, ..params() };
+        let ch = kernel_cost(Kernel::Mttkrp, &hyper);
+        assert!(ch.hicoo_bytes > c.hicoo_bytes);
+    }
+
+    #[test]
+    fn nominal_ois_match_table() {
+        assert_eq!(Kernel::Tew.nominal_oi(), 1.0 / 12.0);
+        assert_eq!(Kernel::Ts.nominal_oi(), 1.0 / 8.0);
+        assert_eq!(Kernel::Ttv.nominal_oi(), 1.0 / 6.0);
+        assert_eq!(Kernel::Ttm.nominal_oi(), 1.0 / 2.0);
+        assert_eq!(Kernel::Mttkrp.nominal_oi(), 1.0 / 4.0);
+    }
+
+    #[test]
+    fn streaming_classification() {
+        assert!(Kernel::Tew.is_streaming());
+        assert!(Kernel::Ts.is_streaming());
+        assert!(!Kernel::Ttv.is_streaming());
+        assert!(!Kernel::Mttkrp.is_streaming());
+        assert_eq!(Kernel::ALL.len(), 5);
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = Kernel::ALL.iter().map(|k| k.to_string()).collect();
+        assert_eq!(names, vec!["TEW", "TS", "TTV", "TTM", "MTTKRP"]);
+    }
+}

@@ -1,0 +1,350 @@
+//! CSF-based kernels — the paper's declared next step ("data
+//! representations, such as compressed sparse fiber (CSF)").
+//!
+//! CSF's tree factors out shared index prefixes, so MTTKRP can hoist
+//! partial Hadamard products up the tree (SPLATT's key trick): the root-mode
+//! MTTKRP performs `2 M R + 2 F R` flops instead of COO's `3 M R`, where
+//! `F` is the number of internal nodes. TTV in the leaf mode reduces each
+//! leaf run with a single dot product.
+
+use crate::ctx::Ctx;
+use pasta_core::{CooTensor, Coord, CsfTensor, DenseMatrix, DenseVector, Error, Result, Value};
+use pasta_par::{parallel_for, SharedSlice};
+
+fn check_csf_factors<V: Value>(
+    x: &CsfTensor<V>,
+    factors: &[DenseMatrix<V>],
+) -> Result<usize> {
+    if factors.len() != x.order() {
+        return Err(Error::OperandMismatch {
+            what: format!("expected {} factor matrices, got {}", x.order(), factors.len()),
+        });
+    }
+    let r = factors[0].cols();
+    if r == 0 {
+        return Err(Error::OperandMismatch { what: "rank must be at least 1".into() });
+    }
+    for (m, f) in factors.iter().enumerate() {
+        if f.cols() != r || f.rows() != x.shape().dim(m) as usize {
+            return Err(Error::OperandMismatch { what: format!("factor {m} shape mismatch") });
+        }
+    }
+    Ok(r)
+}
+
+/// CSF-MTTKRP in the tree's *root* mode (`x.mode_order()[0]`).
+///
+/// Parallelizes over root nodes; since every root owns a distinct output
+/// row, no atomics are needed — the structural advantage over COO-MTTKRP.
+///
+/// # Errors
+///
+/// Returns [`Error::OperandMismatch`] for inconsistent factors.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{CooTensor, CsfTensor, DenseMatrix, Shape};
+/// use pasta_kernels::{csf::mttkrp_csf_root, Ctx};
+///
+/// # fn main() -> Result<(), pasta_core::Error> {
+/// let coo = CooTensor::from_entries(
+///     Shape::new(vec![2, 2, 2]),
+///     vec![(vec![1, 0, 1], 2.0_f32)],
+/// )?;
+/// let csf = CsfTensor::from_coo(&coo, &[0, 1, 2])?;
+/// let ones = DenseMatrix::from_fn(2, 3, |_, _| 1.0_f32);
+/// let out = mttkrp_csf_root(&csf, &[ones.clone(), ones.clone(), ones], &Ctx::sequential())?;
+/// assert_eq!(out.row(1), &[2.0, 2.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mttkrp_csf_root<V: Value>(
+    x: &CsfTensor<V>,
+    factors: &[DenseMatrix<V>],
+    ctx: &Ctx,
+) -> Result<DenseMatrix<V>> {
+    let r = check_csf_factors(x, factors)?;
+    let root_mode = x.mode_order()[0];
+    let rows = x.shape().dim(root_mode) as usize;
+    let mut out = DenseMatrix::zeros(rows, r);
+    if x.nnz() == 0 {
+        return Ok(out);
+    }
+    let roots = x.level_size(0);
+    let shared = SharedSlice::new(out.as_mut_slice());
+    parallel_for(roots, ctx.threads, ctx.schedule, |range| {
+        let mut scratch: Vec<Vec<V>> = vec![vec![V::ZERO; r]; x.order()];
+        for i in range {
+            let mut acc = vec![V::ZERO; r];
+            for c in x.children(0, i) {
+                subtree(x, factors, 1, c, r, &mut scratch);
+                for (a, &s) in acc.iter_mut().zip(&scratch[1]) {
+                    *a += s;
+                }
+            }
+            let row_idx = x.fids(0)[i] as usize;
+            // SAFETY: root fids are distinct, so output rows are disjoint.
+            let row = unsafe { shared.slice_mut(row_idx * r..(row_idx + 1) * r) };
+            for (o, &a) in row.iter_mut().zip(&acc) {
+                *o += a;
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// Accumulates the rank-`r` contribution of the subtree rooted at node
+/// `node` of level `l` into `scratch[l]`.
+fn subtree<V: Value>(
+    x: &CsfTensor<V>,
+    factors: &[DenseMatrix<V>],
+    l: usize,
+    node: usize,
+    r: usize,
+    scratch: &mut [Vec<V>],
+) {
+    let order = x.order();
+    let mode = x.mode_order()[l];
+    if l == order - 1 {
+        // Leaf: val * U^{leaf mode}(k, :).
+        let k = x.fids(l)[node] as usize;
+        let val = x.vals()[node];
+        let row = factors[mode].row(k);
+        for (s, &u) in scratch[l].iter_mut().zip(row) {
+            *s = val * u;
+        }
+        return;
+    }
+    // Internal: (sum of children) ∘ U^{mode}(fid, :).
+    let mut acc = vec![V::ZERO; r];
+    for c in x.children(l, node) {
+        subtree(x, factors, l + 1, c, r, scratch);
+        for (a, &s) in acc.iter_mut().zip(&scratch[l + 1]) {
+            *a += s;
+        }
+    }
+    let fid = x.fids(l)[node] as usize;
+    let row = factors[mode].row(fid);
+    for ((s, &a), &u) in scratch[l].iter_mut().zip(&acc).zip(row) {
+        *s = a * u;
+    }
+}
+
+/// CSF-TTV in the tree's *leaf* mode (`x.mode_order().last()`): each
+/// second-to-last node's leaf run collapses into one output non-zero via a
+/// dot product with `v`.
+///
+/// # Errors
+///
+/// Returns an error for a mismatched vector length or a first-order tensor.
+pub fn ttv_csf_leaf<V: Value>(
+    x: &CsfTensor<V>,
+    v: &DenseVector<V>,
+    ctx: &Ctx,
+) -> Result<CooTensor<V>> {
+    let order = x.order();
+    if order < 2 {
+        return Err(Error::InvalidMode { mode: 0, order });
+    }
+    let leaf_mode = *x.mode_order().last().expect("order >= 2");
+    if v.len() != x.shape().dim(leaf_mode) as usize {
+        return Err(Error::OperandMismatch {
+            what: format!("vector length {} vs mode dim {}", v.len(), x.shape().dim(leaf_mode)),
+        });
+    }
+    let out_shape = x.shape().remove_mode(leaf_mode);
+    let parents = if x.nnz() == 0 { 0 } else { x.level_size(order - 2) };
+
+    // Pre-compute each parent's full coordinate path (pre-processing).
+    let mut paths: Vec<Vec<Coord>> = vec![vec![0; order - 1]; parents];
+    if parents > 0 {
+        // Walk the tree to fill coordinates for the first N-1 levels.
+        fn fill<V: Value>(
+            x: &CsfTensor<V>,
+            l: usize,
+            range: std::ops::Range<usize>,
+            prefix: &mut Vec<(usize, Coord)>,
+            paths: &mut [Vec<Coord>],
+        ) {
+            let order = x.order();
+            for i in range {
+                prefix.push((x.mode_order()[l], x.fids(l)[i]));
+                if l == order - 2 {
+                    // Record the output coordinates (all modes except leaf),
+                    // in increasing mode order with the leaf mode removed.
+                    let leaf_mode = x.mode_order()[order - 1];
+                    let mut coords: Vec<(usize, Coord)> = prefix.clone();
+                    coords.sort_by_key(|&(m, _)| m);
+                    paths[i] = coords
+                        .into_iter()
+                        .map(|(m, c)| if m > leaf_mode { (m - 1, c) } else { (m, c) })
+                        .map(|(_, c)| c)
+                        .collect();
+                } else {
+                    fill(x, l + 1, x.children(l, i), prefix, paths);
+                }
+                prefix.pop();
+            }
+        }
+        let mut prefix = Vec::new();
+        fill(x, 0, 0..x.level_size(0), &mut prefix, &mut paths);
+    }
+
+    // The timed reduction: one dot product per parent, parallel over parents.
+    let mut vals = vec![V::ZERO; parents];
+    let leaf_fids = if parents > 0 { x.fids(order - 1) } else { &[] };
+    let vv = v.as_slice();
+    {
+        let shared = SharedSlice::new(&mut vals);
+        parallel_for(parents, ctx.threads, ctx.schedule, |range| {
+            for p in range {
+                let mut acc = V::ZERO;
+                for leaf in x.children(order - 2, p) {
+                    acc += x.vals()[leaf] * vv[leaf_fids[leaf] as usize];
+                }
+                // SAFETY: one parent -> one output slot.
+                unsafe { shared.write(p, acc) };
+            }
+        });
+    }
+
+    let mut inds: Vec<Vec<Coord>> = vec![Vec::with_capacity(parents); order - 1];
+    for path in &paths {
+        for (m, col) in inds.iter_mut().enumerate() {
+            col.push(path[m]);
+        }
+    }
+    CooTensor::from_parts(out_shape, inds, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense_ref::{dense_approx_eq, mttkrp_dense, ttv_dense};
+    use pasta_core::{seeded_matrix, seeded_vector, Shape};
+
+    fn sample() -> CooTensor<f64> {
+        CooTensor::from_entries(
+            Shape::new(vec![4, 5, 6]),
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 0, 5], 2.0),
+                (vec![1, 2, 3], 3.0),
+                (vec![3, 4, 1], 4.0),
+                (vec![3, 4, 2], 5.0),
+                (vec![2, 1, 0], -1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn factors_for(x: &CooTensor<f64>, r: usize) -> Vec<DenseMatrix<f64>> {
+        (0..x.order())
+            .map(|m| seeded_matrix(x.shape().dim(m) as usize, r, 31 + m as u64))
+            .collect()
+    }
+
+    #[test]
+    fn csf_mttkrp_matches_dense_every_root_mode() {
+        let x = sample();
+        let fs = factors_for(&x, 4);
+        for n in 0..3 {
+            // Build the CSF rooted at mode n (other modes in natural order).
+            let mut order: Vec<usize> = vec![n];
+            order.extend((0..3).filter(|&m| m != n));
+            let csf = CsfTensor::from_coo(&x, &order).unwrap();
+            let got = mttkrp_csf_root(&csf, &fs, &Ctx::sequential()).unwrap();
+            let want = mttkrp_dense(&x, &fs, n);
+            assert!(
+                dense_approx_eq(got.as_slice(), want.as_slice(), 1e-10),
+                "root mode {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn csf_mttkrp_parallel_matches_sequential() {
+        let entries: Vec<(Vec<Coord>, f64)> = (0..5000u32)
+            .map(|i| (vec![i % 50, (i / 50) % 40, (i * 3) % 60], (i as f64).sin()))
+            .collect();
+        let mut x = CooTensor::from_entries(Shape::new(vec![50, 40, 60]), entries).unwrap();
+        x.dedup_sum();
+        let fs = factors_for(&x, 8);
+        let csf = CsfTensor::from_coo(&x, &[0, 1, 2]).unwrap();
+        let seq = mttkrp_csf_root(&csf, &fs, &Ctx::sequential()).unwrap();
+        let par =
+            mttkrp_csf_root(&csf, &fs, &Ctx::new(8, pasta_par::Schedule::Dynamic(8))).unwrap();
+        assert!(dense_approx_eq(seq.as_slice(), par.as_slice(), 1e-10));
+    }
+
+    #[test]
+    fn csf_mttkrp_matches_coo_kernel() {
+        let x = sample();
+        let fs = factors_for(&x, 3);
+        let csf = CsfTensor::from_coo(&x, &[1, 0, 2]).unwrap();
+        let got = mttkrp_csf_root(&csf, &fs, &Ctx::sequential()).unwrap();
+        let via_coo = crate::mttkrp::mttkrp_coo(&x, &fs, 1, &Ctx::sequential()).unwrap();
+        assert!(dense_approx_eq(got.as_slice(), via_coo.as_slice(), 1e-10));
+    }
+
+    #[test]
+    fn csf_ttv_matches_dense() {
+        let x = sample();
+        for leaf in 0..3 {
+            let mut order: Vec<usize> = (0..3).filter(|&m| m != leaf).collect();
+            order.push(leaf);
+            let csf = CsfTensor::from_coo(&x, &order).unwrap();
+            let v = seeded_vector::<f64>(x.shape().dim(leaf) as usize, 5);
+            let got = ttv_csf_leaf(&csf, &v, &Ctx::sequential()).unwrap();
+            let (shape, want) = ttv_dense(&x, &v, leaf);
+            assert_eq!(got.shape(), &shape, "leaf {leaf}");
+            assert!(dense_approx_eq(&got.to_dense(1 << 12), &want, 1e-10), "leaf {leaf}");
+        }
+    }
+
+    #[test]
+    fn fourth_order_csf_kernels() {
+        let x = CooTensor::<f64>::from_entries(
+            Shape::new(vec![3, 4, 3, 5]),
+            vec![
+                (vec![0, 1, 2, 0], 1.5),
+                (vec![0, 1, 2, 4], 2.0),
+                (vec![2, 2, 2, 1], -3.0),
+                (vec![1, 3, 0, 2], 0.5),
+            ],
+        )
+        .unwrap();
+        let fs = factors_for(&x, 4);
+        let csf = CsfTensor::from_coo(&x, &[2, 0, 1, 3]).unwrap();
+        let got = mttkrp_csf_root(&csf, &fs, &Ctx::sequential()).unwrap();
+        let want = mttkrp_dense(&x, &fs, 2);
+        assert!(dense_approx_eq(got.as_slice(), want.as_slice(), 1e-10));
+
+        let v = seeded_vector::<f64>(5, 5);
+        let got = ttv_csf_leaf(&csf, &v, &Ctx::sequential()).unwrap();
+        let (_, want) = ttv_dense(&x, &v, 3);
+        assert!(dense_approx_eq(&got.to_dense(1 << 10), &want, 1e-10));
+    }
+
+    #[test]
+    fn validation() {
+        let x = sample();
+        let csf = CsfTensor::from_coo(&x, &[0, 1, 2]).unwrap();
+        let fs = factors_for(&x, 3);
+        assert!(mttkrp_csf_root(&csf, &fs[..2], &Ctx::sequential()).is_err());
+        let bad = seeded_vector::<f64>(3, 1);
+        assert!(ttv_csf_leaf(&csf, &bad, &Ctx::sequential()).is_err());
+    }
+
+    #[test]
+    fn empty_csf_kernels() {
+        let x = CooTensor::<f64>::new(Shape::new(vec![3, 3, 3]));
+        let csf = CsfTensor::from_coo(&x, &[0, 1, 2]).unwrap();
+        let fs = factors_for(&x, 2);
+        let out = mttkrp_csf_root(&csf, &fs, &Ctx::sequential()).unwrap();
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+        let v = seeded_vector::<f64>(3, 1);
+        assert_eq!(ttv_csf_leaf(&csf, &v, &Ctx::sequential()).unwrap().nnz(), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Kernel execution context: thread count and scheduling strategy.
+
+use pasta_par::Schedule;
+
+/// How a kernel should execute: worker count and loop schedule.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_kernels::Ctx;
+/// use pasta_par::Schedule;
+///
+/// let seq = Ctx::sequential();
+/// assert_eq!(seq.threads, 1);
+/// let par = Ctx::new(8, Schedule::Static);
+/// assert_eq!(par.threads, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ctx {
+    /// Number of worker threads (1 = sequential).
+    pub threads: usize,
+    /// Loop scheduling strategy for the parallel loops.
+    pub schedule: Schedule,
+}
+
+impl Ctx {
+    /// A context with explicit thread count and schedule.
+    pub fn new(threads: usize, schedule: Schedule) -> Self {
+        Self { threads: threads.max(1), schedule }
+    }
+
+    /// Single-threaded execution.
+    pub fn sequential() -> Self {
+        Self { threads: 1, schedule: Schedule::Static }
+    }
+
+    /// All available cores with the suite's default dynamic schedule
+    /// (the paper sets threads to the number of physical cores).
+    pub fn parallel() -> Self {
+        Self { threads: pasta_par::default_threads(), schedule: Schedule::default_dynamic() }
+    }
+
+    /// Whether this context runs on one thread.
+    pub fn is_sequential(&self) -> bool {
+        self.threads == 1
+    }
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Self::parallel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(Ctx::sequential().is_sequential());
+        assert!(!Ctx::new(4, Schedule::Guided).is_sequential());
+        assert_eq!(Ctx::new(0, Schedule::Static).threads, 1, "clamped to 1");
+        assert!(Ctx::default().threads >= 1);
+    }
+}

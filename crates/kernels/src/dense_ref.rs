@@ -1,0 +1,187 @@
+//! Dense reference oracles.
+//!
+//! Brute-force dense implementations of every kernel, used by the unit,
+//! integration and property tests to validate the sparse kernels. They
+//! densify the tensor and loop over every entry — only usable on small
+//! shapes, which is exactly what tests need.
+
+use pasta_core::{CooTensor, DenseMatrix, DenseVector, Shape, Value};
+
+/// Upper bound on dense entries a test oracle will materialize.
+pub const ORACLE_MAX_ENTRIES: usize = 1 << 22;
+
+/// Dense TTV: `Y = X ×_n v` computed entry by entry.
+///
+/// Returns the dense row-major output of shape `X.shape().remove_mode(n)`.
+///
+/// # Panics
+///
+/// Panics if the dense size exceeds [`ORACLE_MAX_ENTRIES`] or operands
+/// mismatch.
+pub fn ttv_dense<V: Value>(x: &CooTensor<V>, v: &DenseVector<V>, n: usize) -> (Shape, Vec<V>) {
+    assert_eq!(v.len(), x.shape().dim(n) as usize, "vector length must match mode dim");
+    let out_shape = x.shape().remove_mode(n);
+    assert!(out_shape.num_entries() <= ORACLE_MAX_ENTRIES as f64);
+    let mut out = vec![V::ZERO; out_shape.num_entries() as usize];
+    for (coords, val) in x.iter() {
+        let k = coords[n] as usize;
+        let mut oc = coords.clone();
+        oc.remove(n);
+        out[out_shape.linearize(&oc)] += val * v[k];
+    }
+    (out_shape, out)
+}
+
+/// Dense TTM: `Y = X ×_n U` with `U ∈ R^{I_n × R}`.
+///
+/// Returns the dense row-major output of shape with mode `n` replaced by `R`.
+///
+/// # Panics
+///
+/// Panics if the dense size exceeds [`ORACLE_MAX_ENTRIES`] or operands
+/// mismatch.
+pub fn ttm_dense<V: Value>(x: &CooTensor<V>, u: &DenseMatrix<V>, n: usize) -> (Shape, Vec<V>) {
+    assert_eq!(u.rows(), x.shape().dim(n) as usize, "matrix rows must match mode dim");
+    let r = u.cols();
+    let out_shape = x.shape().replace_mode(n, r as u32);
+    assert!(out_shape.num_entries() <= ORACLE_MAX_ENTRIES as f64);
+    let mut out = vec![V::ZERO; out_shape.num_entries() as usize];
+    for (coords, val) in x.iter() {
+        let k = coords[n] as usize;
+        let mut oc = coords.clone();
+        let urow = u.row(k);
+        for (rr, &uval) in urow.iter().enumerate().take(r) {
+            oc[n] = rr as u32;
+            out[out_shape.linearize(&oc)] += val * uval;
+        }
+    }
+    (out_shape, out)
+}
+
+/// Dense MTTKRP in mode `n` for an arbitrary-order tensor:
+/// `Ã(i_n, r) = Σ_x val(x) · ∏_{m≠n} U^{(m)}(i_m, r)`.
+///
+/// `factors[m]` must have `X.shape().dim(m)` rows and a common column count
+/// `R`; `factors[n]` is ignored (only its shape participates in CPD).
+///
+/// # Panics
+///
+/// Panics on operand mismatch.
+pub fn mttkrp_dense<V: Value>(
+    x: &CooTensor<V>,
+    factors: &[DenseMatrix<V>],
+    n: usize,
+) -> DenseMatrix<V> {
+    let order = x.order();
+    assert_eq!(factors.len(), order, "one factor per mode");
+    let r = factors[0].cols();
+    for (m, f) in factors.iter().enumerate() {
+        assert_eq!(f.cols(), r, "factor {m} has inconsistent rank");
+        assert_eq!(f.rows(), x.shape().dim(m) as usize, "factor {m} has wrong row count");
+    }
+    let mut out = DenseMatrix::zeros(x.shape().dim(n) as usize, r);
+    for (coords, val) in x.iter() {
+        let row = out.row_mut(coords[n] as usize);
+        for (rr, cell) in row.iter_mut().enumerate() {
+            let mut prod = val;
+            for m in 0..order {
+                if m != n {
+                    prod *= factors[m].get(coords[m] as usize, rr);
+                }
+            }
+            *cell += prod;
+        }
+    }
+    out
+}
+
+/// Compares two dense arrays with per-element approximate equality.
+pub fn dense_approx_eq<V: Value>(a: &[V], b: &[V], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(&x, &y)| x.approx_eq(y, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_core::Shape;
+
+    fn small() -> CooTensor<f64> {
+        CooTensor::from_entries(
+            Shape::new(vec![2, 3, 4]),
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 2, 3], 2.0),
+                (vec![1, 1, 2], 3.0),
+                (vec![1, 2, 0], 4.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ttv_by_hand() {
+        let x = small();
+        let v = DenseVector::from_vec(vec![1.0, 10.0, 100.0, 1000.0]);
+        let (shape, out) = ttv_dense(&x, &v, 2);
+        assert_eq!(shape.dims(), &[2, 3]);
+        assert_eq!(out[shape.linearize(&[0, 0])], 1.0); // 1*v[0]
+        assert_eq!(out[shape.linearize(&[0, 2])], 2000.0); // 2*v[3]
+        assert_eq!(out[shape.linearize(&[1, 1])], 300.0); // 3*v[2]
+        assert_eq!(out[shape.linearize(&[1, 2])], 4.0); // 4*v[0]
+    }
+
+    #[test]
+    fn ttm_by_hand() {
+        let x = small();
+        let u = DenseMatrix::from_fn(4, 2, |i, j| (i + 1) as f64 * if j == 0 { 1.0 } else { -1.0 });
+        let (shape, out) = ttm_dense(&x, &u, 2);
+        assert_eq!(shape.dims(), &[2, 3, 2]);
+        // Entry (0,0,·) comes from x[0,0,0]=1 times row 0 of U = (1, -1).
+        assert_eq!(out[shape.linearize(&[0, 0, 0])], 1.0);
+        assert_eq!(out[shape.linearize(&[0, 0, 1])], -1.0);
+        // Entry (1,1,·): x[1,1,2]=3 times row 2 = (3, -3) -> (9, -9).
+        assert_eq!(out[shape.linearize(&[1, 1, 0])], 9.0);
+        assert_eq!(out[shape.linearize(&[1, 1, 1])], -9.0);
+    }
+
+    #[test]
+    fn mttkrp_by_hand_third_order() {
+        // Single non-zero: result row i gets val * B[j,:] ∘ C[k,:].
+        let x = CooTensor::<f64>::from_entries(
+            Shape::new(vec![2, 2, 2]),
+            vec![(vec![1, 0, 1], 2.0)],
+        )
+        .unwrap();
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64); // row 0: 0,1,2
+        let c = DenseMatrix::from_fn(2, 3, |i, j| (i + j) as f64); // row 1: 1,2,3
+        let out = mttkrp_dense(&x, &[a, b, c], 0);
+        assert_eq!(out.row(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(out.row(1), &[0.0, 4.0, 12.0]); // 2 * (0,1,2)∘(1,2,3)
+    }
+
+    #[test]
+    fn mttkrp_fourth_order() {
+        let x = CooTensor::<f64>::from_entries(
+            Shape::new(vec![2, 2, 2, 2]),
+            vec![(vec![0, 1, 1, 0], 1.0), (vec![0, 0, 0, 0], 1.0)],
+        )
+        .unwrap();
+        let fs: Vec<DenseMatrix<f64>> =
+            (0..4).map(|m| DenseMatrix::from_fn(2, 2, |i, j| (m + i + j) as f64 + 1.0)).collect();
+        let out = mttkrp_dense(&x, &fs, 1);
+        // Row 1 from first nnz: 1 * f0[0,:] ∘ f2[1,:] ∘ f3[0,:]
+        let expect_r0 = fs[0].get(0, 0) * fs[2].get(1, 0) * fs[3].get(0, 0);
+        assert_eq!(out.get(1, 0), expect_r0);
+        // Row 0 from second nnz.
+        let expect2 = fs[0].get(0, 1) * fs[2].get(0, 1) * fs[3].get(0, 1);
+        assert_eq!(out.get(0, 1), expect2);
+    }
+
+    #[test]
+    fn approx_eq_helper() {
+        assert!(dense_approx_eq(&[1.0_f32, 2.0], &[1.0, 2.0 + 1e-7], 1e-5));
+        assert!(!dense_approx_eq(&[1.0_f32], &[1.0, 2.0], 1e-5));
+        assert!(!dense_approx_eq(&[1.0_f32], &[1.5], 1e-5));
+    }
+}

@@ -1,0 +1,201 @@
+//! F-COO kernels: non-zero-balanced TTV by segmented reduction.
+//!
+//! COO-TTV parallelizes over fibers, so one long fiber serializes on one
+//! worker (the load-imbalance problem the paper flags for COO-TTV and
+//! COO-TTM). F-COO instead splits *non-zeros* evenly: each worker reduces
+//! its chunk with the fiber-start flags, and fibers straddling chunk
+//! boundaries are patched up with per-boundary carries — the CPU analog of
+//! F-COO's GPU segmented scan.
+
+use crate::ctx::Ctx;
+use pasta_core::{CooTensor, Coord, DenseVector, Error, FCooTensor, Result, Value};
+use pasta_par::parallel_reduce;
+
+/// F-COO TTV: `Y = X ×_mode v` with non-zero-balanced parallelism.
+///
+/// # Errors
+///
+/// Returns an error for a mismatched vector length.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{CooTensor, DenseVector, FCooTensor, Shape};
+/// use pasta_kernels::{fcoo::ttv_fcoo, Ctx};
+///
+/// # fn main() -> Result<(), pasta_core::Error> {
+/// let coo = CooTensor::from_entries(
+///     Shape::new(vec![2, 2, 3]),
+///     vec![(vec![0, 1, 0], 2.0_f32), (vec![0, 1, 2], 3.0)],
+/// )?;
+/// let fcoo = FCooTensor::from_coo(&coo, 2)?;
+/// let v = DenseVector::from_vec(vec![1.0, 10.0, 100.0]);
+/// let y = ttv_fcoo(&fcoo, &v, &Ctx::sequential())?;
+/// assert_eq!(y.get(&[0, 1]), Some(302.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn ttv_fcoo<V: Value>(
+    x: &FCooTensor<V>,
+    v: &DenseVector<V>,
+    ctx: &Ctx,
+) -> Result<CooTensor<V>> {
+    let mode = x.mode();
+    if v.len() != x.shape().dim(mode) as usize {
+        return Err(Error::OperandMismatch {
+            what: format!("vector length {} vs mode dim {}", v.len(), x.shape().dim(mode)),
+        });
+    }
+    let mf = x.num_fibers();
+    let out_shape = x.shape().remove_mode(mode);
+    let mut inds: Vec<Vec<Coord>> = vec![Vec::with_capacity(mf); out_shape.order()];
+    for f in 0..mf {
+        for (m, col) in inds.iter_mut().enumerate() {
+            col.push(x.fiber_coords(f)[m]);
+        }
+    }
+
+    // Each chunk produces (first fiber id seen, partial sums per fiber in
+    // the chunk). A chunk's first segment may continue the previous chunk's
+    // last fiber; the reduce step merges those carries.
+    #[derive(Clone)]
+    struct Partial<V> {
+        /// Fiber partial sums, in order: (fiber id, sum). Empty for empty
+        /// ranges.
+        sums: Vec<(usize, V)>,
+    }
+
+    let flags = x.start_flags();
+    let vals = x.vals();
+    let pinds = x.product_inds();
+    let vv = v.as_slice();
+
+    let merged = parallel_reduce(
+        x.nnz(),
+        ctx.threads,
+        || Partial { sums: Vec::new() },
+        |mut acc, range| {
+            let start = range.start;
+            // Fiber id of entry `start` = starts in [0..=start] minus one
+            // (entry 0 always carries a start flag).
+            let mut fid = flags[..=start].iter().filter(|&&b| b).count() - 1;
+            for i in range {
+                if i > start && flags[i] {
+                    fid += 1;
+                }
+                let contrib = vals[i] * vv[pinds[i] as usize];
+                match acc.sums.last_mut() {
+                    Some((last, sum)) if *last == fid => *sum += contrib,
+                    _ => acc.sums.push((fid, contrib)),
+                }
+            }
+            acc
+        },
+        // Chunks arrive in index order; a fiber straddling a boundary shows
+        // up as the same fiber id at the tail of one partial and the head of
+        // the next — merge those carries.
+        |mut a, b| {
+            for (fid, sum) in b.sums {
+                match a.sums.last_mut() {
+                    Some((last, s)) if *last == fid => *s += sum,
+                    _ => a.sums.push((fid, sum)),
+                }
+            }
+            a
+        },
+    );
+
+    let mut out_vals = vec![V::ZERO; mf];
+    for (fid, sum) in merged.sums {
+        out_vals[fid] += sum;
+    }
+    let mut out = CooTensor::from_parts(out_shape, inds, out_vals)?;
+    out.assume_sorted_by((0..x.shape().order() - 1).collect());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense_ref::{dense_approx_eq, ttv_dense};
+    use pasta_core::{seeded_vector, Shape};
+
+    fn sample() -> CooTensor<f64> {
+        CooTensor::from_entries(
+            Shape::new(vec![4, 5, 6]),
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 0, 5], 2.0),
+                (vec![1, 2, 3], 3.0),
+                (vec![3, 4, 1], 4.0),
+                (vec![3, 4, 2], 5.0),
+                (vec![2, 1, 0], -1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_dense_every_mode() {
+        let x = sample();
+        for mode in 0..3 {
+            let f = FCooTensor::from_coo(&x, mode).unwrap();
+            let v = seeded_vector::<f64>(x.shape().dim(mode) as usize, 3);
+            let got = ttv_fcoo(&f, &v, &Ctx::sequential()).unwrap();
+            let (shape, want) = ttv_dense(&x, &v, mode);
+            assert_eq!(got.shape(), &shape);
+            assert!(dense_approx_eq(&got.to_dense(1 << 12), &want, 1e-10), "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn parallel_chunks_with_straddling_fibers() {
+        // One giant fiber plus many tiny ones: chunk boundaries cut through
+        // the giant fiber, exercising the carry merge.
+        let mut entries: Vec<(Vec<u32>, f64)> = Vec::new();
+        for k in 0..500u32 {
+            entries.push((vec![0, 0, k], (k as f64 * 0.01).sin()));
+        }
+        for f in 1..50u32 {
+            entries.push((vec![f % 40, f, f % 500], f as f64));
+        }
+        let mut x = CooTensor::from_entries(Shape::new(vec![40, 50, 500]), entries).unwrap();
+        x.dedup_sum();
+        let fc = FCooTensor::from_coo(&x, 2).unwrap();
+        let v = seeded_vector::<f64>(500, 9);
+        let seq = ttv_fcoo(&fc, &v, &Ctx::sequential()).unwrap();
+        for threads in [2usize, 3, 8] {
+            let par =
+                ttv_fcoo(&fc, &v, &Ctx::new(threads, pasta_par::Schedule::Static)).unwrap();
+            assert_eq!(par.nnz(), seq.nnz());
+            for (a, b) in par.vals().iter().zip(seq.vals()) {
+                assert!(a.approx_eq(*b, 1e-10), "{threads} threads: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_coo_ttv() {
+        let x = sample();
+        let v = seeded_vector::<f64>(6, 5);
+        let via_coo = crate::ttv::ttv_coo(&x, &v, 2, &Ctx::sequential()).unwrap();
+        let fc = FCooTensor::from_coo(&x, 2).unwrap();
+        let via_fcoo = ttv_fcoo(&fc, &v, &Ctx::sequential()).unwrap();
+        assert_eq!(via_coo.nnz(), via_fcoo.nnz());
+        let mut a = via_coo;
+        a.sort();
+        let mut b = via_fcoo;
+        b.sort();
+        for (x1, x2) in a.vals().iter().zip(b.vals()) {
+            assert!(x1.approx_eq(*x2, 1e-12));
+        }
+    }
+
+    #[test]
+    fn vector_length_checked() {
+        let x = sample();
+        let fc = FCooTensor::from_coo(&x, 0).unwrap();
+        let bad = seeded_vector::<f64>(2, 1);
+        assert!(ttv_fcoo(&fc, &bad, &Ctx::sequential()).is_err());
+    }
+}

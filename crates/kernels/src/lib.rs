@@ -1,0 +1,62 @@
+//! # pasta-kernels — the five PASTA sparse tensor kernels
+//!
+//! Reference implementations of the benchmark suite's kernels (Sections II
+//! and III of the paper), in COO and HiCOO formats, sequential and parallel:
+//!
+//! | Kernel | COO | HiCOO | Output |
+//! |--------|-----|-------|--------|
+//! | TEW    | [`tew_coo`] | [`tew_hicoo`] | same pattern as inputs |
+//! | TS     | [`ts_coo`] | [`ts_hicoo`] | same pattern as input |
+//! | TTV    | [`ttv_coo`] / [`TtvCooPlan`] | [`ttv_hicoo`] / [`TtvHicooPlan`] | sparse, order N−1 |
+//! | TTM    | [`ttm_coo`] / [`TtmCooPlan`] | [`ttm_hicoo`] / [`TtmHicooPlan`] | semi-sparse (sCOO / sHiCOO) |
+//! | MTTKRP | [`mttkrp_coo`] | [`mttkrp_hicoo`] | dense `I_n × R` matrix |
+//!
+//! All kernels operate directly on non-zero entries — no tensor-matrix
+//! transformation — and support arbitrary tensor orders. The plan types
+//! separate pre-processing (sorting, fiber discovery, output allocation)
+//! from the timed value computation, matching the paper's measurement
+//! methodology. The [`analysis`] module encodes Table I's flop/byte model.
+//!
+//! # Examples
+//!
+//! ```
+//! use pasta_core::{CooTensor, DenseVector, Shape};
+//! use pasta_kernels::{ttv_coo, Ctx};
+//!
+//! # fn main() -> Result<(), pasta_core::Error> {
+//! let x = CooTensor::from_entries(
+//!     Shape::new(vec![2, 2, 2]),
+//!     vec![(vec![0, 1, 0], 1.0_f32), (vec![0, 1, 1], 2.0)],
+//! )?;
+//! let v = DenseVector::from_vec(vec![3.0, 4.0]);
+//! let y = ttv_coo(&x, &v, 2, &Ctx::sequential())?;
+//! assert_eq!(y.get(&[0, 1]), Some(11.0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod csf;
+pub mod ctx;
+pub mod dense_ref;
+pub mod fcoo;
+pub mod mttkrp;
+pub mod ops;
+pub mod tew;
+pub mod ts;
+pub mod ttm;
+pub mod ttv;
+
+pub use analysis::{kernel_cost, CostParams, Kernel, KernelCost};
+pub use csf::{mttkrp_csf_root, ttv_csf_leaf};
+pub use fcoo::ttv_fcoo;
+pub use ctx::Ctx;
+pub use mttkrp::{mttkrp_coo, mttkrp_hicoo};
+pub use ops::{EwOp, TsOp};
+pub use tew::{tew_coo, tew_coo_general, tew_coo_same_pattern, tew_hicoo, tew_values_into};
+pub use ts::{ts_coo, ts_hicoo, ts_values_into};
+pub use ttm::{ttm_coo, ttm_hicoo, ttm_scoo, TtmCooPlan, TtmHicooPlan};
+pub use ttv::{ttv_coo, ttv_hicoo, TtvCooPlan, TtvHicooPlan};

@@ -1,0 +1,334 @@
+//! MTTKRP — matricized tensor times Khatri-Rao product (Section II-E,
+//! Algorithm 3).
+//!
+//! For mode `n` of an `N`th-order tensor with factor matrices
+//! `U⁽¹⁾ … U⁽ᴺ⁾` (common rank `R`):
+//!
+//! `Ã(i_n, r) = Σ_x val(x) · ∏_{m≠n} U⁽ᵐ⁾(i_m, r)`
+//!
+//! The Khatri-Rao product is never materialized — it is fused into the
+//! sparse traversal, as all practical implementations do. COO-MTTKRP
+//! parallelizes over non-zeros and protects the dense output with atomic
+//! adds (the paper's `omp atomic`); HiCOO-MTTKRP parallelizes over tensor
+//! blocks, localizing factor accesses to per-block sub-matrices.
+
+use crate::ctx::Ctx;
+use pasta_core::{CooTensor, DenseMatrix, Error, HiCooTensor, Result, Shape, Value};
+use pasta_par::{parallel_for, Atomically};
+
+fn check_factors<V: Value>(shape: &Shape, factors: &[DenseMatrix<V>], n: usize) -> Result<usize> {
+    shape.check_mode(n)?;
+    if factors.len() != shape.order() {
+        return Err(Error::OperandMismatch {
+            what: format!("expected {} factor matrices, got {}", shape.order(), factors.len()),
+        });
+    }
+    let r = factors[0].cols();
+    if r == 0 {
+        return Err(Error::OperandMismatch { what: "rank must be at least 1".into() });
+    }
+    for (m, f) in factors.iter().enumerate() {
+        if f.cols() != r {
+            return Err(Error::OperandMismatch {
+                what: format!("factor {m} has rank {} but factor 0 has rank {r}", f.cols()),
+            });
+        }
+        if f.rows() != shape.dim(m) as usize {
+            return Err(Error::OperandMismatch {
+                what: format!(
+                    "factor {m} has {} rows but mode {m} has dimension {}",
+                    f.rows(),
+                    shape.dim(m)
+                ),
+            });
+        }
+    }
+    Ok(r)
+}
+
+/// COO-MTTKRP: `Ã ← X₍ₙ₎ (U⁽ᴺ⁾ ⊙ ⋯ ⊙ U⁽ⁿ⁺¹⁾ ⊙ U⁽ⁿ⁻¹⁾ ⊙ ⋯ ⊙ U⁽¹⁾)`.
+///
+/// Sequential contexts use plain accumulation; parallel contexts distribute
+/// non-zeros across threads and use atomic adds on the shared output.
+///
+/// # Errors
+///
+/// Returns [`Error::OperandMismatch`] for inconsistent factor matrices.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{CooTensor, DenseMatrix, Shape};
+/// use pasta_kernels::{mttkrp_coo, Ctx};
+///
+/// # fn main() -> Result<(), pasta_core::Error> {
+/// let x = CooTensor::from_entries(Shape::new(vec![2, 2, 2]), vec![(vec![1, 0, 1], 2.0_f32)])?;
+/// let ones = DenseMatrix::from_fn(2, 4, |_, _| 1.0_f32);
+/// let factors = vec![ones.clone(), ones.clone(), ones];
+/// let a = mttkrp_coo(&x, &factors, 0, &Ctx::sequential())?;
+/// assert_eq!(a.row(1), &[2.0, 2.0, 2.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mttkrp_coo<V: Value + Atomically>(
+    x: &CooTensor<V>,
+    factors: &[DenseMatrix<V>],
+    n: usize,
+    ctx: &Ctx,
+) -> Result<DenseMatrix<V>> {
+    let r = check_factors(x.shape(), factors, n)?;
+    let order = x.order();
+    let mut out = DenseMatrix::zeros(x.shape().dim(n) as usize, r);
+
+    if ctx.is_sequential() {
+        let mut tmp = vec![V::ZERO; r];
+        for xx in 0..x.nnz() {
+            accumulate_row(x, factors, n, order, xx, &mut tmp);
+            let row = out.row_mut(x.mode_inds(n)[xx] as usize);
+            for (o, &t) in row.iter_mut().zip(&tmp) {
+                *o += t;
+            }
+        }
+        return Ok(out);
+    }
+
+    let cells = V::as_atomics(out.as_mut_slice());
+    parallel_for(x.nnz(), ctx.threads, ctx.schedule, |range| {
+        let mut tmp = vec![V::ZERO; r];
+        for xx in range {
+            accumulate_row(x, factors, n, order, xx, &mut tmp);
+            let base = x.mode_inds(n)[xx] as usize * r;
+            for (rr, &t) in tmp.iter().enumerate() {
+                V::atomic_add(&cells[base + rr], t);
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// Computes `tmp[r] = val · ∏_{m≠n} U⁽ᵐ⁾(i_m, r)` for non-zero `xx`.
+#[inline]
+fn accumulate_row<V: Value>(
+    x: &CooTensor<V>,
+    factors: &[DenseMatrix<V>],
+    n: usize,
+    order: usize,
+    xx: usize,
+    tmp: &mut [V],
+) {
+    let val = x.vals()[xx];
+    tmp.fill(val);
+    for m in 0..order {
+        if m == n {
+            continue;
+        }
+        let row = factors[m].row(x.mode_inds(m)[xx] as usize);
+        for (t, &u) in tmp.iter_mut().zip(row) {
+            *t *= u;
+        }
+    }
+}
+
+/// HiCOO-MTTKRP (Algorithm 3): parallel over tensor blocks.
+///
+/// Within a block, factor accesses go through per-block sub-matrix bases
+/// (`A_b = A + bi·B·R` etc.), so rows are addressed by the 8-bit element
+/// indices alone — the locality HiCOO is designed for. Because distinct
+/// blocks can still touch the same output rows, parallel contexts use
+/// atomic adds.
+///
+/// # Errors
+///
+/// Returns [`Error::OperandMismatch`] for inconsistent factor matrices.
+pub fn mttkrp_hicoo<V: Value + Atomically>(
+    x: &HiCooTensor<V>,
+    factors: &[DenseMatrix<V>],
+    n: usize,
+    ctx: &Ctx,
+) -> Result<DenseMatrix<V>> {
+    let r = check_factors(x.shape(), factors, n)?;
+    let order = x.order();
+    let bits = x.block_bits();
+    let mut out = DenseMatrix::zeros(x.shape().dim(n) as usize, r);
+
+    if ctx.is_sequential() {
+        let mut tmp = vec![V::ZERO; r];
+        for b in 0..x.num_blocks() {
+            let bases: Vec<usize> =
+                (0..order).map(|m| (x.mode_binds(m)[b] as usize) << bits).collect();
+            for xx in x.block_range(b) {
+                hicoo_row(x, factors, n, order, &bases, xx, &mut tmp);
+                let i = bases[n] + x.mode_einds(n)[xx] as usize;
+                let row = out.row_mut(i);
+                for (o, &t) in row.iter_mut().zip(&tmp) {
+                    *o += t;
+                }
+            }
+        }
+        return Ok(out);
+    }
+
+    let cells = V::as_atomics(out.as_mut_slice());
+    parallel_for(x.num_blocks(), ctx.threads, ctx.schedule, |blocks| {
+        let mut tmp = vec![V::ZERO; r];
+        for b in blocks {
+            let bases: Vec<usize> =
+                (0..order).map(|m| (x.mode_binds(m)[b] as usize) << bits).collect();
+            for xx in x.block_range(b) {
+                hicoo_row(x, factors, n, order, &bases, xx, &mut tmp);
+                let i = bases[n] + x.mode_einds(n)[xx] as usize;
+                for (rr, &t) in tmp.iter().enumerate() {
+                    V::atomic_add(&cells[i * r + rr], t);
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+#[inline]
+fn hicoo_row<V: Value>(
+    x: &HiCooTensor<V>,
+    factors: &[DenseMatrix<V>],
+    n: usize,
+    order: usize,
+    bases: &[usize],
+    xx: usize,
+    tmp: &mut [V],
+) {
+    let val = x.vals()[xx];
+    tmp.fill(val);
+    for m in 0..order {
+        if m == n {
+            continue;
+        }
+        let row = factors[m].row(bases[m] + x.mode_einds(m)[xx] as usize);
+        for (t, &u) in tmp.iter_mut().zip(row) {
+            *t *= u;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense_ref::mttkrp_dense;
+
+    fn sample() -> CooTensor<f64> {
+        CooTensor::from_entries(
+            Shape::new(vec![4, 5, 6]),
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 0, 5], 2.0),
+                (vec![1, 2, 3], 3.0),
+                (vec![3, 4, 1], 4.0),
+                (vec![3, 4, 2], 5.0),
+                (vec![2, 1, 0], -1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn factors_for(x: &CooTensor<f64>, r: usize) -> Vec<DenseMatrix<f64>> {
+        (0..x.order())
+            .map(|m| {
+                DenseMatrix::from_fn(x.shape().dim(m) as usize, r, |i, j| {
+                    ((i + 1) as f64 * 0.3 + (j + m) as f64 * 0.7).sin()
+                })
+            })
+            .collect()
+    }
+
+    fn assert_mat_eq(a: &DenseMatrix<f64>, b: &DenseMatrix<f64>, tol: f64) {
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.cols(), b.cols());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(x.approx_eq(*y, tol), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn coo_matches_dense_every_mode() {
+        let x = sample();
+        let fs = factors_for(&x, 3);
+        for n in 0..3 {
+            let got = mttkrp_coo(&x, &fs, n, &Ctx::sequential()).unwrap();
+            let want = mttkrp_dense(&x, &fs, n);
+            assert_mat_eq(&got, &want, 1e-12);
+        }
+    }
+
+    #[test]
+    fn hicoo_matches_dense_every_mode() {
+        let x = sample();
+        let fs = factors_for(&x, 3);
+        let h = HiCooTensor::from_coo(&x, 2).unwrap();
+        for n in 0..3 {
+            let got = mttkrp_hicoo(&h, &fs, n, &Ctx::sequential()).unwrap();
+            let want = mttkrp_dense(&x, &fs, n);
+            assert_mat_eq(&got, &want, 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_atomic_path_matches() {
+        let entries: Vec<(Vec<u32>, f64)> = (0..30_000u32)
+            .map(|i| (vec![i % 16, (i / 16) % 64, (i * 13) % 64], 1.0 + (i % 7) as f64))
+            .collect();
+        let mut x = CooTensor::from_entries(Shape::new(vec![16, 64, 64]), entries).unwrap();
+        x.dedup_sum();
+        let fs = factors_for(&x, 8);
+        let seq = mttkrp_coo(&x, &fs, 0, &Ctx::sequential()).unwrap();
+        let par = mttkrp_coo(&x, &fs, 0, &Ctx::new(8, pasta_par::Schedule::Dynamic(128))).unwrap();
+        assert_mat_eq(&par, &seq, 1e-9);
+
+        let h = HiCooTensor::from_coo(&x, 8).unwrap();
+        let hpar = mttkrp_hicoo(&h, &fs, 0, &Ctx::new(8, pasta_par::Schedule::Guided)).unwrap();
+        assert_mat_eq(&hpar, &seq, 1e-9);
+    }
+
+    #[test]
+    fn fourth_order_all_modes() {
+        let x = CooTensor::<f64>::from_entries(
+            Shape::new(vec![3, 4, 3, 5]),
+            vec![
+                (vec![0, 1, 2, 0], 1.5),
+                (vec![0, 1, 2, 4], 2.0),
+                (vec![2, 2, 2, 1], -3.0),
+                (vec![1, 3, 0, 2], 0.5),
+            ],
+        )
+        .unwrap();
+        let fs = factors_for(&x, 4);
+        let h = HiCooTensor::from_coo(&x, 2).unwrap();
+        for n in 0..4 {
+            let want = mttkrp_dense(&x, &fs, n);
+            assert_mat_eq(&mttkrp_coo(&x, &fs, n, &Ctx::sequential()).unwrap(), &want, 1e-12);
+            assert_mat_eq(&mttkrp_hicoo(&h, &fs, n, &Ctx::sequential()).unwrap(), &want, 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_factors() {
+        let x = sample();
+        let mut fs = factors_for(&x, 3);
+        assert!(mttkrp_coo(&x, &fs[..2], 0, &Ctx::sequential()).is_err());
+        fs[1] = DenseMatrix::zeros(5, 2); // wrong rank
+        assert!(mttkrp_coo(&x, &fs, 0, &Ctx::sequential()).is_err());
+        let mut fs = factors_for(&x, 3);
+        fs[2] = DenseMatrix::zeros(7, 3); // wrong rows
+        assert!(mttkrp_coo(&x, &fs, 0, &Ctx::sequential()).is_err());
+        let fs0 = vec![DenseMatrix::<f64>::zeros(4, 0); 3];
+        assert!(mttkrp_coo(&x, &fs0, 0, &Ctx::sequential()).is_err());
+    }
+
+    #[test]
+    fn rank_16_paper_setting() {
+        let x = sample();
+        let fs = factors_for(&x, 16);
+        let got = mttkrp_coo(&x, &fs, 1, &Ctx::sequential()).unwrap();
+        let want = mttkrp_dense(&x, &fs, 1);
+        assert_mat_eq(&got, &want, 1e-12);
+        assert_eq!(got.cols(), 16);
+    }
+}

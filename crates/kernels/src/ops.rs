@@ -1,0 +1,124 @@
+//! Element-wise and scalar operator selectors.
+
+use pasta_core::Value;
+
+/// The four element-wise binary operators of the TEW kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EwOp {
+    /// `z = x + y`
+    Add,
+    /// `z = x − y`
+    Sub,
+    /// `z = x ∘ y` (Hadamard product)
+    Mul,
+    /// `z = x ⊘ y` (element-wise division)
+    Div,
+}
+
+impl EwOp {
+    /// Applies the operator to one element pair.
+    #[inline]
+    pub fn apply<V: Value>(self, x: V, y: V) -> V {
+        match self {
+            EwOp::Add => x + y,
+            EwOp::Sub => x - y,
+            EwOp::Mul => x * y,
+            EwOp::Div => x / y,
+        }
+    }
+
+    /// Whether a zero on either side annihilates the result (`Mul`), meaning
+    /// the general-pattern output is the pattern *intersection* rather than
+    /// the union.
+    pub fn is_intersecting(self) -> bool {
+        matches!(self, EwOp::Mul)
+    }
+
+    /// All four operators.
+    pub const ALL: [EwOp; 4] = [EwOp::Add, EwOp::Sub, EwOp::Mul, EwOp::Div];
+}
+
+impl std::fmt::Display for EwOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EwOp::Add => "add",
+            EwOp::Sub => "sub",
+            EwOp::Mul => "mul",
+            EwOp::Div => "div",
+        })
+    }
+}
+
+/// The four tensor-scalar operators of the TS kernel.
+///
+/// The paper implements TSA and TSM, "sufficient to support all the four
+/// operations"; the suite provides all four directly since `Sub`/`Div` cost
+/// the same.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TsOp {
+    /// `y = x + s` applied to non-zeros.
+    Add,
+    /// `y = x − s` applied to non-zeros.
+    Sub,
+    /// `y = x × s`.
+    Mul,
+    /// `y = x ÷ s`.
+    Div,
+}
+
+impl TsOp {
+    /// Applies the operator to one non-zero.
+    #[inline]
+    pub fn apply<V: Value>(self, x: V, s: V) -> V {
+        match self {
+            TsOp::Add => x + s,
+            TsOp::Sub => x - s,
+            TsOp::Mul => x * s,
+            TsOp::Div => x / s,
+        }
+    }
+
+    /// All four operators.
+    pub const ALL: [TsOp; 4] = [TsOp::Add, TsOp::Sub, TsOp::Mul, TsOp::Div];
+}
+
+impl std::fmt::Display for TsOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TsOp::Add => "add",
+            TsOp::Sub => "sub",
+            TsOp::Mul => "mul",
+            TsOp::Div => "div",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ew_semantics() {
+        assert_eq!(EwOp::Add.apply(2.0_f32, 3.0), 5.0);
+        assert_eq!(EwOp::Sub.apply(2.0_f32, 3.0), -1.0);
+        assert_eq!(EwOp::Mul.apply(2.0_f32, 3.0), 6.0);
+        assert_eq!(EwOp::Div.apply(3.0_f32, 2.0), 1.5);
+        assert!(EwOp::Mul.is_intersecting());
+        assert!(!EwOp::Add.is_intersecting());
+        assert_eq!(EwOp::ALL.len(), 4);
+    }
+
+    #[test]
+    fn ts_semantics() {
+        assert_eq!(TsOp::Add.apply(2.0_f64, 0.5), 2.5);
+        assert_eq!(TsOp::Sub.apply(2.0_f64, 0.5), 1.5);
+        assert_eq!(TsOp::Mul.apply(2.0_f64, 0.5), 1.0);
+        assert_eq!(TsOp::Div.apply(2.0_f64, 0.5), 4.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(EwOp::Add.to_string(), "add");
+        assert_eq!(TsOp::Div.to_string(), "div");
+    }
+}

@@ -1,0 +1,426 @@
+//! TEW — tensor element-wise operations (Section II-A).
+//!
+//! `Z = X op Y` for `op ∈ {+, −, ∘, ⊘}`. Two cases:
+//!
+//! - **Same pattern** (the case the paper analyzes): both tensors share one
+//!   non-zero pattern, so the output pattern is known and the kernel is a
+//!   single loop over the value arrays — operational intensity 1/12.
+//! - **General**: different patterns and the kernel merges the two sorted
+//!   non-zero streams, predicting the output pattern as it goes (union for
+//!   add/sub, intersection for multiply).
+//!
+//! HiCOO variants perform the identical value computation (the paper's
+//! HiCOO-TEW shares COO-TEW's value loop); only the pre-processing that set
+//! up the output's indices differs.
+
+use crate::ctx::Ctx;
+use crate::ops::EwOp;
+use pasta_core::{CooTensor, Error, HiCooTensor, Result, Value};
+use pasta_par::{parallel_for, SharedSlice};
+use std::cmp::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrd};
+
+/// Element-wise value loop shared by the COO and HiCOO kernels.
+///
+/// Writes `out[i] = op(x[i], y[i])`; returns an error on division by zero.
+fn ew_vals<V: Value>(op: EwOp, x: &[V], y: &[V], out: &mut [V], ctx: &Ctx) -> Result<()> {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len(), out.len());
+    if op == EwOp::Div && y.contains(&V::ZERO) {
+        return Err(Error::DivisionByZero);
+    }
+    let bad = AtomicBool::new(false);
+    let shared = SharedSlice::new(out);
+    parallel_for(x.len(), ctx.threads, ctx.schedule, |range| {
+        for i in range {
+            let v = op.apply(x[i], y[i]);
+            if !v.is_finite() {
+                bad.store(true, AtomicOrd::Relaxed);
+            }
+            // SAFETY: parallel_for ranges partition the index space.
+            unsafe { shared.write(i, v) };
+        }
+    });
+    let _ = bad; // non-finite results are legal (overflow); flag kept for debugging
+    Ok(())
+}
+
+/// The bare TEW value loop on pre-allocated buffers — the portion the
+/// paper's methodology times (output allocation and index setup are
+/// pre-processing).
+///
+/// # Errors
+///
+/// Returns [`Error::DivisionByZero`] for `Div` with a zero in `y`, and
+/// [`Error::OperandMismatch`] for length mismatches.
+pub fn tew_values_into<V: Value>(
+    op: EwOp,
+    x: &[V],
+    y: &[V],
+    out: &mut [V],
+    ctx: &Ctx,
+) -> Result<()> {
+    if x.len() != y.len() || x.len() != out.len() {
+        return Err(Error::OperandMismatch {
+            what: format!("value arrays of lengths {}, {}, {}", x.len(), y.len(), out.len()),
+        });
+    }
+    ew_vals(op, x, y, out, ctx)
+}
+
+/// COO-TEW with identical non-zero patterns: `Z = X op Y`.
+///
+/// # Errors
+///
+/// Returns [`Error::PatternMismatch`] if the tensors differ in shape or
+/// pattern, and [`Error::DivisionByZero`] for `Div` with a zero in `y`.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{CooTensor, Shape};
+/// use pasta_kernels::{tew_coo_same_pattern, Ctx, EwOp};
+///
+/// # fn main() -> Result<(), pasta_core::Error> {
+/// let x = CooTensor::from_entries(Shape::new(vec![2, 2]), vec![(vec![0, 1], 2.0_f32)])?;
+/// let y = x.like_pattern(3.0);
+/// let z = tew_coo_same_pattern(EwOp::Add, &x, &y, &Ctx::sequential())?;
+/// assert_eq!(z.get(&[0, 1]), Some(5.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn tew_coo_same_pattern<V: Value>(
+    op: EwOp,
+    x: &CooTensor<V>,
+    y: &CooTensor<V>,
+    ctx: &Ctx,
+) -> Result<CooTensor<V>> {
+    if !x.same_pattern(y) {
+        return Err(Error::PatternMismatch);
+    }
+    // Pre-processing: allocate the output with the (shared) known pattern.
+    let mut z = x.like_pattern(V::ZERO);
+    ew_vals(op, x.vals(), y.vals(), z.vals_mut(), ctx)?;
+    Ok(z)
+}
+
+/// COO-TEW for arbitrary patterns: merges the two sorted non-zero streams.
+///
+/// Union semantics for `Add`/`Sub` (a missing element is zero), intersection
+/// for `Mul`. `Div` requires `y`'s pattern to cover `x`'s (an `x` non-zero
+/// over a zero divisor is an error); elements only in `y` contribute `0/y=0`
+/// and are dropped.
+///
+/// Runs sequentially — the output size is not known in advance, which is why
+/// the paper analyzes only the same-pattern case for performance.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] for differing shapes and
+/// [`Error::DivisionByZero`] as described above.
+pub fn tew_coo_general<V: Value>(
+    op: EwOp,
+    x: &CooTensor<V>,
+    y: &CooTensor<V>,
+) -> Result<CooTensor<V>> {
+    if x.shape() != y.shape() {
+        return Err(Error::ShapeMismatch {
+            left: x.shape().dims().to_vec(),
+            right: y.shape().dims().to_vec(),
+        });
+    }
+    let mut xs = x.clone();
+    xs.sort();
+    let mut ys = y.clone();
+    ys.sort();
+    let order = x.order();
+    let cmp = |a: usize, b: usize| -> Ordering {
+        for m in 0..order {
+            let o = xs.mode_inds(m)[a].cmp(&ys.mode_inds(m)[b]);
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        Ordering::Equal
+    };
+
+    let mut z = CooTensor::with_capacity(x.shape().clone(), xs.nnz().max(ys.nnz()));
+    let (mut i, mut j) = (0usize, 0usize);
+    let (nx, ny) = (xs.nnz(), ys.nnz());
+    while i < nx || j < ny {
+        let side = if i >= nx {
+            Ordering::Greater
+        } else if j >= ny {
+            Ordering::Less
+        } else {
+            cmp(i, j)
+        };
+        match side {
+            Ordering::Equal => {
+                let (xv, yv) = (xs.vals()[i], ys.vals()[j]);
+                if op == EwOp::Div && yv == V::ZERO {
+                    return Err(Error::DivisionByZero);
+                }
+                let v = op.apply(xv, yv);
+                if v != V::ZERO {
+                    z.push(&xs.coords_of(i), v)?;
+                }
+                i += 1;
+                j += 1;
+            }
+            Ordering::Less => {
+                // Only in x: y element is zero.
+                match op {
+                    EwOp::Add => z.push(&xs.coords_of(i), xs.vals()[i])?,
+                    EwOp::Sub => z.push(&xs.coords_of(i), xs.vals()[i])?,
+                    EwOp::Mul => {}
+                    EwOp::Div => return Err(Error::DivisionByZero),
+                }
+                i += 1;
+            }
+            Ordering::Greater => {
+                // Only in y: x element is zero.
+                match op {
+                    EwOp::Add => z.push(&ys.coords_of(j), ys.vals()[j])?,
+                    EwOp::Sub => z.push(&ys.coords_of(j), -ys.vals()[j])?,
+                    EwOp::Mul | EwOp::Div => {}
+                }
+                j += 1;
+            }
+        }
+    }
+    Ok(z)
+}
+
+/// COO-TEW dispatcher: takes the fast path when patterns match.
+///
+/// # Errors
+///
+/// As for [`tew_coo_same_pattern`] / [`tew_coo_general`].
+pub fn tew_coo<V: Value>(
+    op: EwOp,
+    x: &CooTensor<V>,
+    y: &CooTensor<V>,
+    ctx: &Ctx,
+) -> Result<CooTensor<V>> {
+    if x.same_pattern(y) {
+        tew_coo_same_pattern(op, x, y, ctx)
+    } else {
+        tew_coo_general(op, x, y)
+    }
+}
+
+/// HiCOO-TEW with identical block structure (e.g. both converted from
+/// same-pattern COO tensors with one block size).
+///
+/// # Errors
+///
+/// Returns [`Error::PatternMismatch`] if the block structures differ, and
+/// [`Error::DivisionByZero`] for `Div` with a zero in `y`.
+pub fn tew_hicoo<V: Value>(
+    op: EwOp,
+    x: &HiCooTensor<V>,
+    y: &HiCooTensor<V>,
+    ctx: &Ctx,
+) -> Result<HiCooTensor<V>> {
+    let same = x.shape() == y.shape()
+        && x.block_bits() == y.block_bits()
+        && x.bptr() == y.bptr()
+        && (0..x.order()).all(|m| x.mode_binds(m) == y.mode_binds(m))
+        && (0..x.order()).all(|m| x.mode_einds(m) == y.mode_einds(m));
+    if !same {
+        return Err(Error::PatternMismatch);
+    }
+    let mut z = x.clone();
+    z.vals_mut().fill(V::ZERO);
+    ew_vals(op, x.vals(), y.vals(), z.vals_mut(), ctx)?;
+    Ok(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_core::Shape;
+
+    fn base() -> CooTensor<f32> {
+        CooTensor::from_entries(
+            Shape::new(vec![4, 4, 4]),
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![1, 2, 3], 2.0),
+                (vec![3, 3, 3], -4.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn same_pattern_all_ops() {
+        let x = base();
+        let mut y = x.like_pattern(0.0);
+        y.vals_mut().copy_from_slice(&[2.0, 4.0, 2.0]);
+        let ctx = Ctx::sequential();
+        assert_eq!(
+            tew_coo_same_pattern(EwOp::Add, &x, &y, &ctx).unwrap().vals(),
+            &[3.0, 6.0, -2.0]
+        );
+        assert_eq!(
+            tew_coo_same_pattern(EwOp::Sub, &x, &y, &ctx).unwrap().vals(),
+            &[-1.0, -2.0, -6.0]
+        );
+        assert_eq!(
+            tew_coo_same_pattern(EwOp::Mul, &x, &y, &ctx).unwrap().vals(),
+            &[2.0, 8.0, -8.0]
+        );
+        assert_eq!(
+            tew_coo_same_pattern(EwOp::Div, &x, &y, &ctx).unwrap().vals(),
+            &[0.5, 0.5, -2.0]
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 10_000u32;
+        let entries: Vec<(Vec<u32>, f32)> =
+            (0..n).map(|i| (vec![i % 100, i / 100], (i as f32).sin())).collect();
+        let x = CooTensor::from_entries(Shape::new(vec![100, 100]), entries).unwrap();
+        let y = x.like_pattern(1.5);
+        let seq = tew_coo_same_pattern(EwOp::Mul, &x, &y, &Ctx::sequential()).unwrap();
+        let par = tew_coo_same_pattern(
+            EwOp::Mul,
+            &x,
+            &y,
+            &Ctx::new(8, pasta_par::Schedule::Dynamic(64)),
+        )
+        .unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn pattern_mismatch_detected() {
+        let x = base();
+        let y = CooTensor::from_entries(Shape::new(vec![4, 4, 4]), vec![(vec![0, 0, 1], 1.0_f32)])
+            .unwrap();
+        assert!(matches!(
+            tew_coo_same_pattern(EwOp::Add, &x, &y, &Ctx::sequential()),
+            Err(Error::PatternMismatch)
+        ));
+        // The dispatcher falls back to the general path.
+        assert!(tew_coo(EwOp::Add, &x, &y, &Ctx::sequential()).is_ok());
+    }
+
+    #[test]
+    fn division_by_zero_same_pattern() {
+        let x = base();
+        let mut y = x.like_pattern(0.0);
+        y.vals_mut()[1] = 0.0;
+        y.vals_mut()[0] = 1.0;
+        y.vals_mut()[2] = 1.0;
+        assert!(matches!(
+            tew_coo_same_pattern(EwOp::Div, &x, &y, &Ctx::sequential()),
+            Err(Error::DivisionByZero)
+        ));
+    }
+
+    #[test]
+    fn general_union_add() {
+        let x = CooTensor::from_entries(
+            Shape::new(vec![3, 3]),
+            vec![(vec![0, 0], 1.0_f32), (vec![1, 1], 2.0)],
+        )
+        .unwrap();
+        let y = CooTensor::from_entries(
+            Shape::new(vec![3, 3]),
+            vec![(vec![1, 1], 5.0_f32), (vec![2, 2], 7.0)],
+        )
+        .unwrap();
+        let z = tew_coo_general(EwOp::Add, &x, &y).unwrap();
+        assert_eq!(z.nnz(), 3);
+        assert_eq!(z.get(&[0, 0]), Some(1.0));
+        assert_eq!(z.get(&[1, 1]), Some(7.0));
+        assert_eq!(z.get(&[2, 2]), Some(7.0));
+
+        let zs = tew_coo_general(EwOp::Sub, &x, &y).unwrap();
+        assert_eq!(zs.get(&[2, 2]), Some(-7.0));
+        assert_eq!(zs.get(&[1, 1]), Some(-3.0));
+    }
+
+    #[test]
+    fn general_intersection_mul() {
+        let x = CooTensor::from_entries(
+            Shape::new(vec![3, 3]),
+            vec![(vec![0, 0], 2.0_f32), (vec![1, 1], 3.0)],
+        )
+        .unwrap();
+        let y = CooTensor::from_entries(
+            Shape::new(vec![3, 3]),
+            vec![(vec![1, 1], 4.0_f32), (vec![2, 2], 9.0)],
+        )
+        .unwrap();
+        let z = tew_coo_general(EwOp::Mul, &x, &y).unwrap();
+        assert_eq!(z.nnz(), 1);
+        assert_eq!(z.get(&[1, 1]), Some(12.0));
+    }
+
+    #[test]
+    fn general_cancellation_drops_zero() {
+        let x = CooTensor::from_entries(Shape::new(vec![2, 2]), vec![(vec![0, 0], 3.0_f32)])
+            .unwrap();
+        let y = x.clone();
+        let z = tew_coo_general(EwOp::Sub, &x, &y).unwrap();
+        assert_eq!(z.nnz(), 0);
+    }
+
+    #[test]
+    fn general_div_needs_cover() {
+        let x = CooTensor::from_entries(Shape::new(vec![2, 2]), vec![(vec![0, 0], 3.0_f32)])
+            .unwrap();
+        let y = CooTensor::from_entries(Shape::new(vec![2, 2]), vec![(vec![1, 1], 2.0_f32)])
+            .unwrap();
+        assert!(matches!(tew_coo_general(EwOp::Div, &x, &y), Err(Error::DivisionByZero)));
+        // Covered case works; y-only entries vanish (0 / y).
+        let y2 = CooTensor::from_entries(
+            Shape::new(vec![2, 2]),
+            vec![(vec![0, 0], 2.0_f32), (vec![1, 1], 5.0)],
+        )
+        .unwrap();
+        let z = tew_coo_general(EwOp::Div, &x, &y2).unwrap();
+        assert_eq!(z.nnz(), 1);
+        assert_eq!(z.get(&[0, 0]), Some(1.5));
+    }
+
+    #[test]
+    fn general_shape_mismatch() {
+        let x = CooTensor::<f32>::new(Shape::new(vec![2, 2]));
+        let y = CooTensor::<f32>::new(Shape::new(vec![2, 3]));
+        assert!(matches!(tew_coo_general(EwOp::Add, &x, &y), Err(Error::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn hicoo_matches_coo() {
+        let x = base();
+        let mut y = x.like_pattern(0.0);
+        y.vals_mut().copy_from_slice(&[3.0, 1.0, 2.0]);
+        let ctx = Ctx::sequential();
+        let z_coo = tew_coo_same_pattern(EwOp::Add, &x, &y, &ctx).unwrap();
+        let hx = HiCooTensor::from_coo(&x, 2).unwrap();
+        let hy = HiCooTensor::from_coo(&y, 2).unwrap();
+        let z_hicoo = tew_hicoo(EwOp::Add, &hx, &hy, &ctx).unwrap();
+        let mut a = z_hicoo.to_coo();
+        a.sort();
+        let mut b = z_coo;
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hicoo_structure_mismatch() {
+        let x = base();
+        let hx = HiCooTensor::from_coo(&x, 2).unwrap();
+        let hx4 = HiCooTensor::from_coo(&x, 4).unwrap();
+        assert!(matches!(
+            tew_hicoo(EwOp::Add, &hx, &hx4, &Ctx::sequential()),
+            Err(Error::PatternMismatch)
+        ));
+    }
+}

@@ -1,0 +1,160 @@
+//! TS — tensor-scalar operations (Section II-B).
+//!
+//! `Y = X op s` applied to the non-zero values only, for
+//! `op ∈ {+, −, ×, ÷}`. The output shares the input's pattern, so the kernel
+//! is a pure streaming pass over the value array: 1 flop per 8 bytes
+//! (read + write), the highest-bandwidth kernel in the suite.
+
+use crate::ctx::Ctx;
+use crate::ops::TsOp;
+use pasta_core::{CooTensor, Error, HiCooTensor, Result, Value};
+use pasta_par::{parallel_for, SharedSlice};
+
+/// The tensor-scalar value loop shared by the COO and HiCOO kernels.
+fn ts_vals<V: Value>(op: TsOp, x: &[V], s: V, out: &mut [V], ctx: &Ctx) -> Result<()> {
+    debug_assert_eq!(x.len(), out.len());
+    if op == TsOp::Div && s == V::ZERO {
+        return Err(Error::DivisionByZero);
+    }
+    let shared = SharedSlice::new(out);
+    parallel_for(x.len(), ctx.threads, ctx.schedule, |range| {
+        for i in range {
+            // SAFETY: parallel_for ranges partition the index space.
+            unsafe { shared.write(i, op.apply(x[i], s)) };
+        }
+    });
+    Ok(())
+}
+
+/// The bare TS value loop on pre-allocated buffers — the portion the
+/// paper's methodology times.
+///
+/// # Errors
+///
+/// Returns [`Error::DivisionByZero`] for `Div` with `s == 0`, and
+/// [`Error::OperandMismatch`] for a length mismatch.
+pub fn ts_values_into<V: Value>(op: TsOp, x: &[V], s: V, out: &mut [V], ctx: &Ctx) -> Result<()> {
+    if x.len() != out.len() {
+        return Err(Error::OperandMismatch {
+            what: format!("value arrays of lengths {} and {}", x.len(), out.len()),
+        });
+    }
+    ts_vals(op, x, s, out, ctx)
+}
+
+/// COO-TS: `Y = X op s` over the non-zeros.
+///
+/// # Errors
+///
+/// Returns [`Error::DivisionByZero`] for `Div` with `s == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{CooTensor, Shape};
+/// use pasta_kernels::{ts_coo, Ctx, TsOp};
+///
+/// # fn main() -> Result<(), pasta_core::Error> {
+/// let x = CooTensor::from_entries(Shape::new(vec![2, 2]), vec![(vec![0, 1], 2.0_f32)])?;
+/// let y = ts_coo(TsOp::Mul, &x, 3.0, &Ctx::sequential())?;
+/// assert_eq!(y.get(&[0, 1]), Some(6.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn ts_coo<V: Value>(op: TsOp, x: &CooTensor<V>, s: V, ctx: &Ctx) -> Result<CooTensor<V>> {
+    let mut y = x.like_pattern(V::ZERO);
+    ts_vals(op, x.vals(), s, y.vals_mut(), ctx)?;
+    Ok(y)
+}
+
+/// HiCOO-TS: identical value computation on the HiCOO value array.
+///
+/// # Errors
+///
+/// Returns [`Error::DivisionByZero`] for `Div` with `s == 0`.
+pub fn ts_hicoo<V: Value>(op: TsOp, x: &HiCooTensor<V>, s: V, ctx: &Ctx) -> Result<HiCooTensor<V>> {
+    let mut y = x.clone();
+    let vals: Vec<V> = x.vals().to_vec();
+    ts_vals(op, &vals, s, y.vals_mut(), ctx)?;
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_core::Shape;
+
+    fn base() -> CooTensor<f32> {
+        CooTensor::from_entries(
+            Shape::new(vec![4, 4]),
+            vec![(vec![0, 0], 1.0), (vec![1, 2], -2.0), (vec![3, 3], 4.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_ops() {
+        let x = base();
+        let ctx = Ctx::sequential();
+        assert_eq!(ts_coo(TsOp::Add, &x, 1.0, &ctx).unwrap().vals(), &[2.0, -1.0, 5.0]);
+        assert_eq!(ts_coo(TsOp::Sub, &x, 1.0, &ctx).unwrap().vals(), &[0.0, -3.0, 3.0]);
+        assert_eq!(ts_coo(TsOp::Mul, &x, 2.0, &ctx).unwrap().vals(), &[2.0, -4.0, 8.0]);
+        assert_eq!(ts_coo(TsOp::Div, &x, 2.0, &ctx).unwrap().vals(), &[0.5, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn div_by_zero_rejected() {
+        let x = base();
+        assert!(matches!(
+            ts_coo(TsOp::Div, &x, 0.0, &Ctx::sequential()),
+            Err(Error::DivisionByZero)
+        ));
+        let hx = HiCooTensor::from_coo(&x, 2).unwrap();
+        assert!(matches!(
+            ts_hicoo(TsOp::Div, &hx, 0.0, &Ctx::sequential()),
+            Err(Error::DivisionByZero)
+        ));
+    }
+
+    #[test]
+    fn pattern_preserved() {
+        let x = base();
+        let y = ts_coo(TsOp::Mul, &x, 5.0, &Ctx::sequential()).unwrap();
+        assert!(x.same_pattern(&y));
+    }
+
+    #[test]
+    fn scalar_add_touches_only_nonzeros() {
+        // TS on sparse tensors is defined on stored values only: zeros stay zero.
+        let x = base();
+        let y = ts_coo(TsOp::Add, &x, 100.0, &Ctx::sequential()).unwrap();
+        assert_eq!(y.nnz(), 3);
+        assert_eq!(y.get(&[0, 1]), None);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let entries: Vec<(Vec<u32>, f32)> =
+            (0..5000u32).map(|i| (vec![i % 70, i / 70], (i as f32).cos())).collect();
+        let x = CooTensor::from_entries(Shape::new(vec![70, 80]), entries).unwrap();
+        let seq = ts_coo(TsOp::Mul, &x, 1.25, &Ctx::sequential()).unwrap();
+        let par =
+            ts_coo(TsOp::Mul, &x, 1.25, &Ctx::new(8, pasta_par::Schedule::Guided)).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn hicoo_matches_coo() {
+        let x = base();
+        let hx = HiCooTensor::from_coo(&x, 4).unwrap();
+        let y_coo = ts_coo(TsOp::Mul, &x, -3.0, &Ctx::sequential()).unwrap();
+        let y_hicoo = ts_hicoo(TsOp::Mul, &hx, -3.0, &Ctx::sequential()).unwrap();
+        let mut a = y_hicoo.to_coo();
+        a.sort();
+        let mut b = y_coo;
+        b.sort();
+        assert_eq!(a, b);
+        // Structure untouched.
+        assert_eq!(y_hicoo.bptr(), hx.bptr());
+    }
+}

@@ -1,0 +1,677 @@
+//! TTM — tensor-times-matrix in mode `n` (Section II-D).
+//!
+//! `Y = X ×_n U` with `U ∈ R^{I_n × R}` (the paper's transposed convention,
+//! row-major friendly). By the sparse-dense property the output is
+//! *semi-sparse*: mode `n` becomes dense with extent `R` while the other
+//! modes keep the input's fiber pattern, so COO-TTM writes an sCOO tensor
+//! and HiCOO-TTM an sHiCOO tensor, both pre-allocated by the plan.
+
+use crate::ctx::Ctx;
+use pasta_core::{
+    CooTensor, Coord, DenseMatrix, Error, FiberIndex, GHiCooTensor, ModeIndex, Result,
+    SHiCooTensor, SemiCooTensor, Shape, Value,
+};
+use pasta_par::{parallel_for, SharedSlice};
+
+fn check_ttm_operands<V: Value>(x_shape: &Shape, u: &DenseMatrix<V>, n: usize) -> Result<()> {
+    x_shape.check_mode(n)?;
+    if u.rows() != x_shape.dim(n) as usize {
+        return Err(Error::OperandMismatch {
+            what: format!("matrix rows {} vs mode-{n} dimension {}", u.rows(), x_shape.dim(n)),
+        });
+    }
+    if u.cols() == 0 {
+        return Err(Error::OperandMismatch { what: "matrix must have at least one column".into() });
+    }
+    Ok(())
+}
+
+/// Pre-processed state for COO-TTM.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{CooTensor, DenseMatrix, Shape};
+/// use pasta_kernels::{Ctx, TtmCooPlan};
+///
+/// # fn main() -> Result<(), pasta_core::Error> {
+/// let x = CooTensor::from_entries(
+///     Shape::new(vec![2, 2, 3]),
+///     vec![(vec![0, 1, 0], 2.0_f32), (vec![0, 1, 2], 3.0)],
+/// )?;
+/// let u = DenseMatrix::from_fn(3, 2, |i, j| (i + j) as f32);
+/// let plan = TtmCooPlan::new(&x, 2)?;
+/// let y = plan.execute(&u, &Ctx::sequential())?;
+/// assert_eq!(y.num_fibers(), 1);
+/// assert_eq!(y.fiber_vals(0), &[6.0, 11.0]); // 2*(0,1) + 3*(2,3)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TtmCooPlan<V> {
+    x: CooTensor<V>,
+    fibers: FiberIndex,
+    n: usize,
+    /// Sparse index arrays of the output fibers (one per non-`n` mode).
+    out_inds: Vec<Vec<Coord>>,
+}
+
+impl<V: Value> TtmCooPlan<V> {
+    /// Builds the plan: sorts a copy with mode `n` last, finds fibers, and
+    /// pre-computes the output's sparse indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidMode`] for an out-of-range mode.
+    pub fn new(x: &CooTensor<V>, n: usize) -> Result<Self> {
+        x.shape().check_mode(n)?;
+        let mut xs = x.clone();
+        xs.sort_mode_last(n);
+        let fibers = FiberIndex::build(&xs, n);
+        let mf = fibers.num_fibers();
+        let n_sparse = x.order() - 1;
+        let mut out_inds: Vec<Vec<Coord>> = vec![Vec::with_capacity(mf); n_sparse];
+        for f in 0..mf {
+            let coords = fibers.fiber_coords(&xs, f);
+            for (k, col) in out_inds.iter_mut().enumerate() {
+                col.push(coords[k]);
+            }
+        }
+        Ok(Self { x: xs, fibers, n, out_inds })
+    }
+
+    /// The product mode.
+    pub fn mode(&self) -> usize {
+        self.n
+    }
+
+    /// The number of output fibers, `M_F`.
+    pub fn num_fibers(&self) -> usize {
+        self.fibers.num_fibers()
+    }
+
+    /// The sorted input tensor.
+    pub fn tensor(&self) -> &CooTensor<V> {
+        &self.x
+    }
+
+    /// The timed kernel: accumulates `val · U[k, :]` into each fiber's dense
+    /// row. `out` must have length `M_F × R`. Parallel over fibers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on operand size mismatches.
+    pub fn execute_values(&self, u: &DenseMatrix<V>, out: &mut [V], ctx: &Ctx) -> Result<()> {
+        check_ttm_operands(self.x.shape(), u, self.n)?;
+        let r = u.cols();
+        if out.len() != self.num_fibers() * r {
+            return Err(Error::OperandMismatch {
+                what: format!("output length {} vs M_F*R = {}", out.len(), self.num_fibers() * r),
+            });
+        }
+        let kind = self.x.mode_inds(self.n);
+        let vals = self.x.vals();
+        let shared = SharedSlice::new(out);
+        parallel_for(self.num_fibers(), ctx.threads, ctx.schedule, |range| {
+            for f in range {
+                // SAFETY: each fiber owns its R-slot output row exclusively.
+                let row = unsafe { shared.slice_mut(f * r..(f + 1) * r) };
+                row.fill(V::ZERO);
+                for x in self.fibers.fiber_range(f) {
+                    let v = vals[x];
+                    let urow = u.row(kind[x] as usize);
+                    for (o, &uv) in row.iter_mut().zip(urow) {
+                        *o += v * uv;
+                    }
+                }
+            }
+        });
+        Ok(())
+    }
+
+    /// Computes `Y = X ×_n U` as an sCOO tensor with dense mode `n`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::execute_values`].
+    pub fn execute(&self, u: &DenseMatrix<V>, ctx: &Ctx) -> Result<SemiCooTensor<V>> {
+        let r = u.cols();
+        let mut vals = vec![V::ZERO; self.num_fibers() * r];
+        self.execute_values(u, &mut vals, ctx)?;
+        let out_shape = self.x.shape().replace_mode(self.n, r as u32);
+        SemiCooTensor::from_fibers(out_shape, vec![self.n], self.out_inds.clone(), vals)
+    }
+}
+
+/// One-shot COO-TTM (plan + execute).
+///
+/// # Errors
+///
+/// As for [`TtmCooPlan::new`] / [`TtmCooPlan::execute`].
+pub fn ttm_coo<V: Value>(
+    x: &CooTensor<V>,
+    u: &DenseMatrix<V>,
+    n: usize,
+    ctx: &Ctx,
+) -> Result<SemiCooTensor<V>> {
+    TtmCooPlan::new(x, n)?.execute(u, ctx)
+}
+
+/// Pre-processed state for HiCOO-TTM: gHiCOO input (product mode
+/// uncompressed), sHiCOO output skeleton inherited from the input blocks.
+#[derive(Debug, Clone)]
+pub struct TtmHicooPlan<V> {
+    g: GHiCooTensor<V>,
+    n: usize,
+    fptr: Vec<usize>,
+    bfptr: Vec<usize>,
+    out_binds: Vec<Vec<Coord>>,
+    out_einds: Vec<Vec<u8>>,
+}
+
+impl<V: Value> TtmHicooPlan<V> {
+    /// Builds the plan from a COO tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid mode or block size, or a first-order
+    /// tensor.
+    pub fn new(x: &CooTensor<V>, n: usize, block_size: u32) -> Result<Self> {
+        x.shape().check_mode(n)?;
+        if x.order() < 2 {
+            return Err(Error::InvalidMode { mode: n, order: x.order() });
+        }
+        let order = x.order();
+        let blocked: Vec<bool> = (0..order).map(|m| m != n).collect();
+        let g = GHiCooTensor::from_coo(x, block_size, &blocked)?;
+        let other: Vec<usize> = (0..order).filter(|&m| m != n).collect();
+
+        let mut fptr = Vec::new();
+        let mut bfptr = Vec::with_capacity(g.num_blocks() + 1);
+        let mut out_binds: Vec<Vec<Coord>> = vec![Vec::with_capacity(g.num_blocks()); other.len()];
+        let mut out_einds: Vec<Vec<u8>> = vec![Vec::new(); other.len()];
+        let mut fiber_count = 0usize;
+        for b in 0..g.num_blocks() {
+            bfptr.push(fiber_count);
+            let mut prev: Option<Vec<u8>> = None;
+            for x in g.block_range(b) {
+                let key: Vec<u8> = other
+                    .iter()
+                    .map(|&m| match g.mode_index(m) {
+                        ModeIndex::Blocked { einds, .. } => einds[x],
+                        ModeIndex::Full(_) => unreachable!("non-product modes are blocked"),
+                    })
+                    .collect();
+                if prev.as_ref() != Some(&key) {
+                    fptr.push(x);
+                    for (k, col) in out_einds.iter_mut().enumerate() {
+                        col.push(key[k]);
+                    }
+                    fiber_count += 1;
+                    prev = Some(key);
+                }
+            }
+            for (k, &m) in other.iter().enumerate() {
+                if let ModeIndex::Blocked { binds, .. } = g.mode_index(m) {
+                    out_binds[k].push(binds[b]);
+                }
+            }
+        }
+        bfptr.push(fiber_count);
+        fptr.push(g.nnz());
+
+        Ok(Self { g, n, fptr, bfptr, out_binds, out_einds })
+    }
+
+    /// The product mode.
+    pub fn mode(&self) -> usize {
+        self.n
+    }
+
+    /// The number of output fibers, `M_F`.
+    pub fn num_fibers(&self) -> usize {
+        self.fptr.len() - 1
+    }
+
+    /// The gHiCOO input tensor.
+    pub fn tensor(&self) -> &GHiCooTensor<V> {
+        &self.g
+    }
+
+    /// The timed kernel: per-fiber dense accumulation, parallel over blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on operand size mismatches.
+    pub fn execute_values(&self, u: &DenseMatrix<V>, out: &mut [V], ctx: &Ctx) -> Result<()> {
+        check_ttm_operands(self.g.shape(), u, self.n)?;
+        let r = u.cols();
+        if out.len() != self.num_fibers() * r {
+            return Err(Error::OperandMismatch {
+                what: format!("output length {} vs M_F*R = {}", out.len(), self.num_fibers() * r),
+            });
+        }
+        let kind = match self.g.mode_index(self.n) {
+            ModeIndex::Full(finds) => finds.as_slice(),
+            ModeIndex::Blocked { .. } => unreachable!("product mode is uncompressed"),
+        };
+        let vals = self.g.vals();
+        let shared = SharedSlice::new(out);
+        parallel_for(self.bfptr.len() - 1, ctx.threads, ctx.schedule, |blocks| {
+            for b in blocks {
+                for f in self.bfptr[b]..self.bfptr[b + 1] {
+                    // SAFETY: fibers nest in blocks; blocks partition fibers.
+                    let row = unsafe { shared.slice_mut(f * r..(f + 1) * r) };
+                    row.fill(V::ZERO);
+                    for x in self.fptr[f]..self.fptr[f + 1] {
+                        let v = vals[x];
+                        let urow = u.row(kind[x] as usize);
+                        for (o, &uv) in row.iter_mut().zip(urow) {
+                            *o += v * uv;
+                        }
+                    }
+                }
+            }
+        });
+        Ok(())
+    }
+
+    /// Computes `Y = X ×_n U` as an sHiCOO tensor.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::execute_values`].
+    pub fn execute(&self, u: &DenseMatrix<V>, ctx: &Ctx) -> Result<SHiCooTensor<V>> {
+        let r = u.cols();
+        let mut vals = vec![V::ZERO; self.num_fibers() * r];
+        self.execute_values(u, &mut vals, ctx)?;
+        let out_shape = self.g.shape().replace_mode(self.n, r as u32);
+        SHiCooTensor::from_raw_parts(
+            out_shape,
+            self.g.block_size(),
+            vec![self.n],
+            self.bfptr.clone(),
+            self.out_binds.clone(),
+            self.out_einds.clone(),
+            vals,
+        )
+    }
+}
+
+/// One-shot HiCOO-TTM (plan + execute).
+///
+/// # Errors
+///
+/// As for [`TtmHicooPlan::new`] / [`TtmHicooPlan::execute`].
+pub fn ttm_hicoo<V: Value>(
+    x: &CooTensor<V>,
+    u: &DenseMatrix<V>,
+    n: usize,
+    block_size: u32,
+    ctx: &Ctx,
+) -> Result<SHiCooTensor<V>> {
+    TtmHicooPlan::new(x, n, block_size)?.execute(u, ctx)
+}
+
+/// TTM directly on a semi-sparse (sCOO) input — the TTM-chain building
+/// block: `Y = X ×_n U` where `X` already has dense mode(s) from earlier
+/// products. The result adds mode `n` to the dense set without ever
+/// expanding back to COO.
+///
+/// Three cases for mode `n`:
+///
+/// - `n` already dense: a dense matrix product per fiber (contract the `n`
+///   axis of each fiber's dense block with `U`);
+/// - `n` sparse: group fibers that differ only in mode `n` and accumulate
+///   `val ⊗ U[k, :]` — the sparse-dense property turns `n` dense.
+///
+/// # Errors
+///
+/// Returns an error for an invalid mode or mismatched matrix rows.
+pub fn ttm_scoo<V: Value>(
+    x: &SemiCooTensor<V>,
+    u: &DenseMatrix<V>,
+    n: usize,
+    ctx: &Ctx,
+) -> Result<SemiCooTensor<V>> {
+    check_ttm_operands(x.shape(), u, n)?;
+    let r = u.cols();
+    let out_shape = x.shape().replace_mode(n, r as u32);
+
+    if x.dense_modes().contains(&n) {
+        // Contract an axis that is already dense inside each fiber.
+        // Dense layout: row-major over dense modes in increasing order.
+        let dmodes = x.dense_modes().to_vec();
+        let pos = dmodes.iter().position(|&m| m == n).expect("checked");
+        let dims: Vec<usize> = dmodes.iter().map(|&m| x.shape().dim(m) as usize).collect();
+        let before: usize = dims[..pos].iter().product();
+        let kdim = dims[pos];
+        let after: usize = dims[pos + 1..].iter().product();
+        let out_dvol = before * r * after;
+        let nf = x.num_fibers();
+        let mut vals = vec![V::ZERO; nf * out_dvol];
+        {
+            let shared = pasta_par::SharedSlice::new(&mut vals);
+            pasta_par::parallel_for(nf, ctx.threads, ctx.schedule, |range| {
+                for f in range {
+                    let src = x.fiber_vals(f);
+                    // SAFETY: one fiber owns one disjoint output block.
+                    let dst = unsafe { shared.slice_mut(f * out_dvol..(f + 1) * out_dvol) };
+                    for b in 0..before {
+                        for k in 0..kdim {
+                            let urow = u.row(k);
+                            for (rr, &uv) in urow.iter().enumerate() {
+                                for a in 0..after {
+                                    dst[(b * r + rr) * after + a] +=
+                                        src[(b * kdim + k) * after + a] * uv;
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        let inds: Vec<Vec<Coord>> =
+            (0..x.sparse_modes().len()).map(|k| x.sparse_inds(k).to_vec()).collect();
+        return SemiCooTensor::from_fibers(out_shape, dmodes, inds, vals);
+    }
+
+    // Mode n is sparse: fibers sharing all sparse coords except n merge.
+    let ns = x.sparse_modes().len();
+    let n_pos = x.sparse_modes().iter().position(|&m| m == n).expect("n is sparse");
+    let dvol = x.dense_volume();
+
+    // Sort fiber ids so groups (equal sparse coords besides n) are adjacent.
+    let mut perm: Vec<usize> = (0..x.num_fibers()).collect();
+    perm.sort_by(|&a, &b| {
+        for k in (0..ns).filter(|&k| k != n_pos) {
+            let ord = x.sparse_inds(k)[a].cmp(&x.sparse_inds(k)[b]);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        x.sparse_inds(n_pos)[a].cmp(&x.sparse_inds(n_pos)[b])
+    });
+    // Group boundaries.
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=perm.len() {
+        let boundary = i == perm.len()
+            || (0..ns).filter(|&k| k != n_pos).any(|k| {
+                x.sparse_inds(k)[perm[i]] != x.sparse_inds(k)[perm[i - 1]]
+            });
+        if boundary {
+            groups.push((start, i));
+            start = i;
+        }
+    }
+    if perm.is_empty() {
+        groups.clear();
+    }
+
+    // Output dense layout: dense modes = old dense modes + n, increasing.
+    let mut out_dmodes = x.dense_modes().to_vec();
+    out_dmodes.push(n);
+    out_dmodes.sort_unstable();
+    // Position of n among the output dense modes decides the layout stride.
+    let n_dpos = out_dmodes.iter().position(|&m| m == n).expect("just inserted");
+    let old_dims: Vec<usize> =
+        x.dense_modes().iter().map(|&m| x.shape().dim(m) as usize).collect();
+    let before: usize = old_dims[..n_dpos].iter().product();
+    let after: usize = old_dims[n_dpos..].iter().product();
+    debug_assert_eq!(before * after, dvol);
+    let out_dvol = dvol * r;
+
+    let mut vals = vec![V::ZERO; groups.len() * out_dvol];
+    {
+        let shared = pasta_par::SharedSlice::new(&mut vals);
+        pasta_par::parallel_for(groups.len(), ctx.threads, ctx.schedule, |range| {
+            for g in range {
+                let (lo, hi) = groups[g];
+                // SAFETY: one group owns one disjoint output block.
+                let dst = unsafe { shared.slice_mut(g * out_dvol..(g + 1) * out_dvol) };
+                for &f in &perm[lo..hi] {
+                    let k = x.sparse_inds(n_pos)[f] as usize;
+                    let urow = u.row(k);
+                    let src = x.fiber_vals(f);
+                    for b in 0..before {
+                        for (rr, &uv) in urow.iter().enumerate() {
+                            for a in 0..after {
+                                dst[(b * r + rr) * after + a] += src[b * after + a] * uv;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+    let mut inds: Vec<Vec<Coord>> = vec![Vec::with_capacity(groups.len()); ns - 1];
+    for &(lo, _) in &groups {
+        let f = perm[lo];
+        let mut kk = 0;
+        for k in 0..ns {
+            if k == n_pos {
+                continue;
+            }
+            inds[kk].push(x.sparse_inds(k)[f]);
+            kk += 1;
+        }
+    }
+    SemiCooTensor::from_fibers(out_shape, out_dmodes, inds, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense_ref::{dense_approx_eq, ttm_dense};
+
+    fn sample() -> CooTensor<f64> {
+        CooTensor::from_entries(
+            Shape::new(vec![4, 5, 6]),
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 0, 5], 2.0),
+                (vec![1, 2, 3], 3.0),
+                (vec![3, 4, 1], 4.0),
+                (vec![3, 4, 2], 5.0),
+                (vec![2, 1, 0], -1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn mat_for(x: &CooTensor<f64>, n: usize, r: usize) -> DenseMatrix<f64> {
+        DenseMatrix::from_fn(x.shape().dim(n) as usize, r, |i, j| {
+            ((i * 7 + j * 3) % 5) as f64 - 2.0
+        })
+    }
+
+    #[test]
+    fn coo_matches_dense_every_mode() {
+        let x = sample();
+        for n in 0..3 {
+            let u = mat_for(&x, n, 4);
+            let y = ttm_coo(&x, &u, n, &Ctx::sequential()).unwrap();
+            let (shape, dense) = ttm_dense(&x, &u, n);
+            assert_eq!(y.shape(), &shape);
+            let got = y.to_coo().to_dense(1 << 12);
+            assert!(dense_approx_eq(&got, &dense, 1e-10), "mode {n}");
+        }
+    }
+
+    #[test]
+    fn hicoo_matches_dense_every_mode() {
+        let x = sample();
+        for n in 0..3 {
+            let u = mat_for(&x, n, 4);
+            let y = ttm_hicoo(&x, &u, n, 2, &Ctx::sequential()).unwrap();
+            let (shape, dense) = ttm_dense(&x, &u, n);
+            assert_eq!(y.shape(), &shape);
+            let got = y.to_scoo().unwrap().to_coo().to_dense(1 << 12);
+            assert!(dense_approx_eq(&got, &dense, 1e-10), "mode {n}");
+        }
+    }
+
+    #[test]
+    fn output_is_semi_sparse_in_mode_n() {
+        let x = sample();
+        let u = mat_for(&x, 2, 3);
+        let y = ttm_coo(&x, &u, 2, &Ctx::sequential()).unwrap();
+        assert_eq!(y.dense_modes(), &[2]);
+        assert_eq!(y.shape().dim(2), 3);
+        assert_eq!(y.num_fibers(), 4); // fibers of mode 2
+        assert_eq!(y.dense_volume(), 3);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let entries: Vec<(Vec<Coord>, f64)> = (0..10_000u32)
+            .map(|i| (vec![i % 32, (i / 32) % 32, (i * 11) % 32], (i as f64).cos()))
+            .collect();
+        let mut x = CooTensor::from_entries(Shape::new(vec![32, 32, 32]), entries).unwrap();
+        x.dedup_sum();
+        let u = mat_for(&x, 0, 16);
+        let seq = ttm_coo(&x, &u, 0, &Ctx::sequential()).unwrap();
+        let par = ttm_coo(&x, &u, 0, &Ctx::new(8, pasta_par::Schedule::Static)).unwrap();
+        assert_eq!(seq.num_fibers(), par.num_fibers());
+        for (a, b) in seq.vals().iter().zip(par.vals()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+        let h = ttm_hicoo(&x, &u, 0, 8, &Ctx::new(4, pasta_par::Schedule::Dynamic(16))).unwrap();
+        let mut ha = h.to_scoo().unwrap().to_coo();
+        ha.sort();
+        let mut sa = seq.to_coo();
+        sa.sort();
+        assert_eq!(ha.nnz(), sa.nnz());
+        for (a, b) in ha.vals().iter().zip(sa.vals()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_operands() {
+        let x = sample();
+        let wrong_rows = DenseMatrix::<f64>::zeros(3, 4);
+        assert!(matches!(
+            ttm_coo(&x, &wrong_rows, 0, &Ctx::sequential()),
+            Err(Error::OperandMismatch { .. })
+        ));
+        let zero_cols = DenseMatrix::<f64>::zeros(4, 0);
+        assert!(ttm_coo(&x, &zero_cols, 0, &Ctx::sequential()).is_err());
+        assert!(TtmCooPlan::new(&x, 5).is_err());
+    }
+
+    #[test]
+    fn low_rank_r16_matches_paper_setting() {
+        // The paper uses R = 16 for TTM; sanity-check that configuration.
+        let x = sample();
+        let u = mat_for(&x, 1, 16);
+        let y = ttm_coo(&x, &u, 1, &Ctx::sequential()).unwrap();
+        assert_eq!(y.dense_volume(), 16);
+        let (_, dense) = ttm_dense(&x, &u, 1);
+        assert!(dense_approx_eq(&y.to_coo().to_dense(1 << 12), &dense, 1e-10));
+    }
+
+    #[test]
+    fn ttm_scoo_sparse_mode_matches_chained_dense() {
+        // X x_2 U then x_1 W, staying semi-sparse throughout.
+        let x = sample();
+        let u = mat_for(&x, 2, 3);
+        let w = mat_for(&x, 1, 2);
+        let ctx = Ctx::sequential();
+        let first = ttm_coo(&x, &u, 2, &ctx).unwrap();
+        let second = ttm_scoo(&first, &w, 1, &ctx).unwrap();
+        assert_eq!(second.dense_modes(), &[1, 2]);
+
+        // Dense oracle: apply both products densely.
+        let (shape1, d1) = ttm_dense(&x, &u, 2);
+        let mid = CooTensor::from_entries(
+            shape1.clone(),
+            (0..d1.len())
+                .filter(|&i| d1[i] != 0.0)
+                .map(|i| {
+                    // de-linearize
+                    let mut rem = i;
+                    let mut c = vec![0u32; 3];
+                    for m in (0..3).rev() {
+                        c[m] = (rem % shape1.dim(m) as usize) as u32;
+                        rem /= shape1.dim(m) as usize;
+                    }
+                    (c, d1[i])
+                })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let (shape2, d2) = ttm_dense(&mid, &w, 1);
+        assert_eq!(second.shape(), &shape2);
+        assert!(crate::dense_ref::dense_approx_eq(
+            &second.to_coo().to_dense(1 << 14),
+            &d2,
+            1e-10
+        ));
+    }
+
+    #[test]
+    fn ttm_scoo_dense_mode_contraction() {
+        // Contract the already-dense mode: (X x_2 U) x_2 W == X x_2 (U W).
+        let x = sample();
+        let u = mat_for(&x, 2, 4); // 6 -> 4
+        let w = DenseMatrix::from_fn(4, 2, |i, j| (i + 2 * j) as f64 * 0.5); // 4 -> 2
+        let ctx = Ctx::sequential();
+        let first = ttm_coo(&x, &u, 2, &ctx).unwrap();
+        let second = ttm_scoo(&first, &w, 2, &ctx).unwrap();
+
+        let uw = pasta_core::linalg::matmul(&u, &w);
+        let direct = ttm_coo(&x, &uw, 2, &ctx).unwrap();
+        let mut a = second.to_coo();
+        a.sort();
+        let mut b = direct.to_coo();
+        b.sort();
+        assert_eq!(a.nnz(), b.nnz());
+        for (va, vb) in a.vals().iter().zip(b.vals()) {
+            assert!(va.approx_eq(*vb, 1e-10), "{va} vs {vb}");
+        }
+    }
+
+    #[test]
+    fn ttm_scoo_parallel_matches_sequential() {
+        let entries: Vec<(Vec<Coord>, f64)> = (0..3000u32)
+            .map(|i| (vec![i % 24, (i / 24) % 24, (i * 5) % 24], 1.0 + (i % 3) as f64))
+            .collect();
+        let mut x = CooTensor::from_entries(Shape::new(vec![24, 24, 24]), entries).unwrap();
+        x.dedup_sum();
+        let u = mat_for(&x, 2, 4);
+        let w = mat_for(&x, 0, 3);
+        let first = ttm_coo(&x, &u, 2, &Ctx::sequential()).unwrap();
+        let seq = ttm_scoo(&first, &w, 0, &Ctx::sequential()).unwrap();
+        let par = ttm_scoo(&first, &w, 0, &Ctx::new(4, pasta_par::Schedule::Dynamic(8))).unwrap();
+        let mut a = seq.to_coo();
+        a.sort();
+        let mut b = par.to_coo();
+        b.sort();
+        assert_eq!(a.nnz(), b.nnz());
+        for (va, vb) in a.vals().iter().zip(b.vals()) {
+            assert!(va.approx_eq(*vb, 1e-10));
+        }
+    }
+
+    #[test]
+    fn fourth_order_ttm() {
+        let x = CooTensor::<f64>::from_entries(
+            Shape::new(vec![3, 4, 3, 4]),
+            vec![
+                (vec![0, 1, 2, 0], 1.0),
+                (vec![0, 1, 2, 3], 2.0),
+                (vec![2, 2, 2, 1], 3.0),
+            ],
+        )
+        .unwrap();
+        let u = mat_for(&x, 1, 5);
+        let y = ttm_coo(&x, &u, 1, &Ctx::sequential()).unwrap();
+        let (shape, dense) = ttm_dense(&x, &u, 1);
+        assert_eq!(y.shape(), &shape);
+        assert!(dense_approx_eq(&y.to_coo().to_dense(1 << 12), &dense, 1e-12));
+        let h = ttm_hicoo(&x, &u, 1, 2, &Ctx::sequential()).unwrap();
+        assert!(dense_approx_eq(&h.to_scoo().unwrap().to_coo().to_dense(1 << 12), &dense, 1e-12));
+    }
+}

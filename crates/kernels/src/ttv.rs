@@ -1,0 +1,477 @@
+//! TTV — tensor-times-vector in mode `n` (Section II-C, Algorithms 1 & 2).
+//!
+//! `Y = X ×_n v` contracts mode `n` with a dense vector, producing an
+//! order-`N−1` sparse tensor with one non-zero per mode-`n` fiber (the
+//! *sparse-dense property*: the product mode disappears, every other mode
+//! keeps the input's sparsity). The expensive parts — sorting the tensor
+//! with mode `n` last, finding the `M_F` fibers, and allocating the output
+//! with its indices — happen once in the *plan*; the timed kernel is the
+//! value computation alone, matching the paper's methodology.
+
+use crate::ctx::Ctx;
+use pasta_core::{
+    CooTensor, Coord, DenseVector, Error, FiberIndex, GHiCooTensor, HiCooTensor, ModeIndex,
+    Result, Shape, Value,
+};
+use pasta_par::{parallel_for, SharedSlice};
+
+fn check_ttv_operands<V: Value>(x_shape: &Shape, v: &DenseVector<V>, n: usize) -> Result<()> {
+    x_shape.check_mode(n)?;
+    if x_shape.order() < 2 {
+        return Err(Error::InvalidMode { mode: n, order: x_shape.order() });
+    }
+    if v.len() != x_shape.dim(n) as usize {
+        return Err(Error::OperandMismatch {
+            what: format!("vector length {} vs mode-{n} dimension {}", v.len(), x_shape.dim(n)),
+        });
+    }
+    Ok(())
+}
+
+/// Pre-processed state for COO-TTV (Algorithm 1, lines 1–2).
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{CooTensor, DenseVector, Shape};
+/// use pasta_kernels::{Ctx, TtvCooPlan};
+///
+/// # fn main() -> Result<(), pasta_core::Error> {
+/// let x = CooTensor::from_entries(
+///     Shape::new(vec![2, 2, 3]),
+///     vec![(vec![0, 1, 0], 2.0_f32), (vec![0, 1, 2], 3.0)],
+/// )?;
+/// let plan = TtvCooPlan::new(&x, 2)?;
+/// let v = DenseVector::from_vec(vec![1.0, 10.0, 100.0]);
+/// let y = plan.execute(&v, &Ctx::sequential())?;
+/// assert_eq!(y.get(&[0, 1]), Some(302.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TtvCooPlan<V> {
+    x: CooTensor<V>,
+    fibers: FiberIndex,
+    n: usize,
+    out_shape: Shape,
+    out_inds: Vec<Vec<Coord>>,
+}
+
+impl<V: Value> TtvCooPlan<V> {
+    /// Builds the plan: sorts a copy of `x` with mode `n` last, computes the
+    /// fiber index, and pre-allocates the output indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidMode`] for an out-of-range mode or a
+    /// first-order tensor.
+    pub fn new(x: &CooTensor<V>, n: usize) -> Result<Self> {
+        x.shape().check_mode(n)?;
+        if x.order() < 2 {
+            return Err(Error::InvalidMode { mode: n, order: x.order() });
+        }
+        let mut xs = x.clone();
+        xs.sort_mode_last(n);
+        let fibers = FiberIndex::build(&xs, n);
+        let out_shape = x.shape().remove_mode(n);
+        let mf = fibers.num_fibers();
+        let mut out_inds: Vec<Vec<Coord>> = vec![Vec::with_capacity(mf); out_shape.order()];
+        for f in 0..mf {
+            let coords = fibers.fiber_coords(&xs, f);
+            for (m, col) in out_inds.iter_mut().enumerate() {
+                col.push(coords[m]);
+            }
+        }
+        Ok(Self { x: xs, fibers, n, out_shape, out_inds })
+    }
+
+    /// The product mode.
+    pub fn mode(&self) -> usize {
+        self.n
+    }
+
+    /// The number of output non-zeros, `M_F`.
+    pub fn num_fibers(&self) -> usize {
+        self.fibers.num_fibers()
+    }
+
+    /// The sorted input tensor the plan operates on.
+    pub fn tensor(&self) -> &CooTensor<V> {
+        &self.x
+    }
+
+    /// The timed kernel: computes the output values into `out`
+    /// (length `M_F`), one per fiber, in parallel over fibers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `v` has the wrong length or `out` the wrong size.
+    pub fn execute_values(&self, v: &DenseVector<V>, out: &mut [V], ctx: &Ctx) -> Result<()> {
+        check_ttv_operands(self.x.shape(), v, self.n)?;
+        if out.len() != self.num_fibers() {
+            return Err(Error::OperandMismatch {
+                what: format!("output length {} vs M_F {}", out.len(), self.num_fibers()),
+            });
+        }
+        let kind = self.x.mode_inds(self.n);
+        let vals = self.x.vals();
+        let vv = v.as_slice();
+        let shared = SharedSlice::new(out);
+        parallel_for(self.num_fibers(), ctx.threads, ctx.schedule, |range| {
+            for f in range {
+                let mut acc = V::ZERO;
+                for x in self.fibers.fiber_range(f) {
+                    acc += vals[x] * vv[kind[x] as usize];
+                }
+                // SAFETY: one fiber -> one output slot; ranges partition fibers.
+                unsafe { shared.write(f, acc) };
+            }
+        });
+        Ok(())
+    }
+
+    /// Computes `Y = X ×_n v` as a COO tensor (pre-allocated pattern plus
+    /// [`Self::execute_values`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::execute_values`].
+    pub fn execute(&self, v: &DenseVector<V>, ctx: &Ctx) -> Result<CooTensor<V>> {
+        let mut vals = vec![V::ZERO; self.num_fibers()];
+        self.execute_values(v, &mut vals, ctx)?;
+        let mut out = CooTensor::from_parts(self.out_shape.clone(), self.out_inds.clone(), vals)?;
+        out.assume_sorted_by((0..self.out_shape.order()).collect());
+        Ok(out)
+    }
+}
+
+/// One-shot COO-TTV (plan + execute).
+///
+/// # Errors
+///
+/// As for [`TtvCooPlan::new`] / [`TtvCooPlan::execute`].
+pub fn ttv_coo<V: Value>(
+    x: &CooTensor<V>,
+    v: &DenseVector<V>,
+    n: usize,
+    ctx: &Ctx,
+) -> Result<CooTensor<V>> {
+    TtvCooPlan::new(x, n)?.execute(v, ctx)
+}
+
+/// Pre-processed state for HiCOO-TTV.
+///
+/// The input is held in gHiCOO form with every mode *except* the product
+/// mode blocked, so fibers nest inside blocks and the kernel can parallelize
+/// over blocks without races (Section III-D). The output is HiCOO with the
+/// input's block structure restricted to the non-product modes.
+#[derive(Debug, Clone)]
+pub struct TtvHicooPlan<V> {
+    g: GHiCooTensor<V>,
+    n: usize,
+    /// Fiber start offsets within the entry order, plus sentinel.
+    fptr: Vec<usize>,
+    /// Fiber range per block: block `b` owns fibers `bfptr[b]..bfptr[b+1]`.
+    bfptr: Vec<usize>,
+    out_shape: Shape,
+    out_binds: Vec<Vec<Coord>>,
+    out_einds: Vec<Vec<u8>>,
+}
+
+impl<V: Value> TtvHicooPlan<V> {
+    /// Builds the plan from a COO tensor: converts to gHiCOO (mode `n`
+    /// uncompressed), finds fibers within blocks and assembles the output's
+    /// HiCOO skeleton.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid mode, first-order tensor or invalid
+    /// block size.
+    pub fn new(x: &CooTensor<V>, n: usize, block_size: u32) -> Result<Self> {
+        x.shape().check_mode(n)?;
+        if x.order() < 2 {
+            return Err(Error::InvalidMode { mode: n, order: x.order() });
+        }
+        let order = x.order();
+        let blocked: Vec<bool> = (0..order).map(|m| m != n).collect();
+        let g = GHiCooTensor::from_coo(x, block_size, &blocked)?;
+        let other: Vec<usize> = (0..order).filter(|&m| m != n).collect();
+
+        // Walk blocks; a new fiber starts when any blocked element index
+        // changes (block coordinates are constant within a block).
+        let mut fptr = Vec::new();
+        let mut bfptr = Vec::with_capacity(g.num_blocks() + 1);
+        let mut out_binds: Vec<Vec<Coord>> = vec![Vec::with_capacity(g.num_blocks()); other.len()];
+        let mut out_einds: Vec<Vec<u8>> = vec![Vec::new(); other.len()];
+        let mut fiber_count = 0usize;
+        for b in 0..g.num_blocks() {
+            bfptr.push(fiber_count);
+            let range = g.block_range(b);
+            let mut prev: Option<Vec<u8>> = None;
+            for x in range {
+                let key: Vec<u8> = other
+                    .iter()
+                    .map(|&m| match g.mode_index(m) {
+                        ModeIndex::Blocked { einds, .. } => einds[x],
+                        ModeIndex::Full(_) => unreachable!("non-product modes are blocked"),
+                    })
+                    .collect();
+                if prev.as_ref() != Some(&key) {
+                    fptr.push(x);
+                    for (k, col) in out_einds.iter_mut().enumerate() {
+                        col.push(key[k]);
+                    }
+                    fiber_count += 1;
+                    prev = Some(key);
+                }
+            }
+            for (k, &m) in other.iter().enumerate() {
+                if let ModeIndex::Blocked { binds, .. } = g.mode_index(m) {
+                    out_binds[k].push(binds[b]);
+                }
+            }
+        }
+        bfptr.push(fiber_count);
+        fptr.push(g.nnz());
+
+        Ok(Self {
+            n,
+            fptr,
+            bfptr,
+            out_shape: x.shape().remove_mode(n),
+            out_binds,
+            out_einds,
+            g,
+        })
+    }
+
+    /// The product mode.
+    pub fn mode(&self) -> usize {
+        self.n
+    }
+
+    /// The number of output non-zeros, `M_F`.
+    pub fn num_fibers(&self) -> usize {
+        self.fptr.len() - 1
+    }
+
+    /// The gHiCOO input tensor.
+    pub fn tensor(&self) -> &GHiCooTensor<V> {
+        &self.g
+    }
+
+    /// The timed kernel: per-fiber dot products, parallel over blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on operand size mismatches.
+    pub fn execute_values(&self, v: &DenseVector<V>, out: &mut [V], ctx: &Ctx) -> Result<()> {
+        check_ttv_operands(self.g.shape(), v, self.n)?;
+        if out.len() != self.num_fibers() {
+            return Err(Error::OperandMismatch {
+                what: format!("output length {} vs M_F {}", out.len(), self.num_fibers()),
+            });
+        }
+        let kind = match self.g.mode_index(self.n) {
+            ModeIndex::Full(finds) => finds.as_slice(),
+            ModeIndex::Blocked { .. } => unreachable!("product mode is uncompressed"),
+        };
+        let vals = self.g.vals();
+        let vv = v.as_slice();
+        let shared = SharedSlice::new(out);
+        parallel_for(self.bfptr.len() - 1, ctx.threads, ctx.schedule, |blocks| {
+            for b in blocks {
+                for f in self.bfptr[b]..self.bfptr[b + 1] {
+                    let mut acc = V::ZERO;
+                    for x in self.fptr[f]..self.fptr[f + 1] {
+                        acc += vals[x] * vv[kind[x] as usize];
+                    }
+                    // SAFETY: fibers nest in blocks; blocks partition fibers.
+                    unsafe { shared.write(f, acc) };
+                }
+            }
+        });
+        Ok(())
+    }
+
+    /// Computes `Y = X ×_n v` as a HiCOO tensor with the inherited block
+    /// structure.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::execute_values`].
+    pub fn execute(&self, v: &DenseVector<V>, ctx: &Ctx) -> Result<HiCooTensor<V>> {
+        let mut vals = vec![V::ZERO; self.num_fibers()];
+        self.execute_values(v, &mut vals, ctx)?;
+        HiCooTensor::from_raw_parts(
+            self.out_shape.clone(),
+            self.g.block_size(),
+            self.bfptr.clone(),
+            self.out_binds.clone(),
+            self.out_einds.clone(),
+            vals,
+        )
+    }
+}
+
+/// One-shot HiCOO-TTV (plan + execute).
+///
+/// # Errors
+///
+/// As for [`TtvHicooPlan::new`] / [`TtvHicooPlan::execute`].
+pub fn ttv_hicoo<V: Value>(
+    x: &CooTensor<V>,
+    v: &DenseVector<V>,
+    n: usize,
+    block_size: u32,
+    ctx: &Ctx,
+) -> Result<HiCooTensor<V>> {
+    TtvHicooPlan::new(x, n, block_size)?.execute(v, ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense_ref::{dense_approx_eq, ttv_dense};
+
+    fn sample() -> CooTensor<f64> {
+        CooTensor::from_entries(
+            Shape::new(vec![4, 5, 6]),
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 0, 5], 2.0),
+                (vec![1, 2, 3], 3.0),
+                (vec![3, 4, 1], 4.0),
+                (vec![3, 4, 2], 5.0),
+                (vec![2, 1, 0], -1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn vec_for(x: &CooTensor<f64>, n: usize) -> DenseVector<f64> {
+        DenseVector::from_fn(x.shape().dim(n) as usize, |i| (i as f64) * 0.5 + 1.0)
+    }
+
+    #[test]
+    fn coo_matches_dense_every_mode() {
+        let x = sample();
+        for n in 0..3 {
+            let v = vec_for(&x, n);
+            let y = ttv_coo(&x, &v, n, &Ctx::sequential()).unwrap();
+            let (shape, dense) = ttv_dense(&x, &v, n);
+            assert_eq!(y.shape(), &shape);
+            let got = y.to_dense(1 << 12);
+            assert!(dense_approx_eq(&got, &dense, 1e-10), "mode {n}");
+        }
+    }
+
+    #[test]
+    fn hicoo_matches_dense_every_mode() {
+        let x = sample();
+        for n in 0..3 {
+            let v = vec_for(&x, n);
+            let y = ttv_hicoo(&x, &v, n, 2, &Ctx::sequential()).unwrap();
+            let (shape, dense) = ttv_dense(&x, &v, n);
+            assert_eq!(y.shape(), &shape);
+            let got = y.to_coo().to_dense(1 << 12);
+            assert!(dense_approx_eq(&got, &dense, 1e-10), "mode {n}");
+        }
+    }
+
+    #[test]
+    fn output_nnz_is_fiber_count() {
+        let x = sample();
+        let plan = TtvCooPlan::new(&x, 2).unwrap();
+        // Fibers in mode 2: (0,0), (1,2), (3,4), (2,1) -> 4.
+        assert_eq!(plan.num_fibers(), 4);
+        assert_eq!(plan.mode(), 2);
+        let y = plan.execute(&vec_for(&x, 2), &Ctx::sequential()).unwrap();
+        assert_eq!(y.nnz(), 4);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let entries: Vec<(Vec<Coord>, f64)> = (0..20_000u32)
+            .map(|i| (vec![i % 64, (i / 64) % 64, (i * 7) % 64], (i as f64).sin()))
+            .collect();
+        let mut x = CooTensor::from_entries(Shape::new(vec![64, 64, 64]), entries).unwrap();
+        x.dedup_sum();
+        let v = DenseVector::from_fn(64, |i| 1.0 / (i as f64 + 1.0));
+        let seq = ttv_coo(&x, &v, 1, &Ctx::sequential()).unwrap();
+        let par = ttv_coo(&x, &v, 1, &Ctx::new(8, pasta_par::Schedule::Dynamic(32))).unwrap();
+        assert_eq!(seq.nnz(), par.nnz());
+        for (a, b) in seq.vals().iter().zip(par.vals()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+        // HiCOO agrees too.
+        let h = ttv_hicoo(&x, &v, 1, 8, &Ctx::new(4, pasta_par::Schedule::Guided)).unwrap();
+        let mut hc = h.to_coo();
+        hc.sort();
+        let mut sc = seq.clone();
+        sc.sort();
+        assert_eq!(hc.nnz(), sc.nnz());
+        for (a, b) in hc.vals().iter().zip(sc.vals()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_operands() {
+        let x = sample();
+        let short = DenseVector::<f64>::zeros(2);
+        assert!(matches!(
+            ttv_coo(&x, &short, 0, &Ctx::sequential()),
+            Err(Error::OperandMismatch { .. })
+        ));
+        assert!(matches!(
+            TtvCooPlan::new(&x, 9),
+            Err(Error::InvalidMode { .. })
+        ));
+        let first_order =
+            CooTensor::<f64>::from_entries(Shape::new(vec![4]), vec![(vec![1], 1.0)]).unwrap();
+        assert!(TtvCooPlan::new(&first_order, 0).is_err());
+        assert!(TtvHicooPlan::new(&first_order, 0, 2).is_err());
+    }
+
+    #[test]
+    fn execute_values_size_checked() {
+        let x = sample();
+        let plan = TtvCooPlan::new(&x, 0).unwrap();
+        let v = vec_for(&x, 0);
+        let mut wrong = vec![0.0; plan.num_fibers() + 1];
+        assert!(plan.execute_values(&v, &mut wrong, &Ctx::sequential()).is_err());
+    }
+
+    #[test]
+    fn fourth_order_ttv() {
+        let x = CooTensor::<f64>::from_entries(
+            Shape::new(vec![3, 3, 3, 3]),
+            vec![
+                (vec![0, 1, 2, 0], 1.0),
+                (vec![0, 1, 2, 2], 2.0),
+                (vec![2, 2, 2, 1], 3.0),
+            ],
+        )
+        .unwrap();
+        let v = DenseVector::from_vec(vec![1.0, 10.0, 100.0]);
+        let y = ttv_coo(&x, &v, 3, &Ctx::sequential()).unwrap();
+        let (shape, dense) = ttv_dense(&x, &v, 3);
+        assert!(dense_approx_eq(&y.to_dense(27), &dense, 1e-12));
+        assert_eq!(y.shape(), &shape);
+        let h = ttv_hicoo(&x, &v, 3, 2, &Ctx::sequential()).unwrap();
+        assert!(dense_approx_eq(&h.to_coo().to_dense(27), &dense, 1e-12));
+    }
+
+    #[test]
+    fn plan_reuse_across_vectors() {
+        let x = sample();
+        let plan = TtvCooPlan::new(&x, 2).unwrap();
+        let v1 = vec_for(&x, 2);
+        let v2 = DenseVector::from_fn(6, |_| 2.0);
+        let y1 = plan.execute(&v1, &Ctx::sequential()).unwrap();
+        let y2 = plan.execute(&v2, &Ctx::sequential()).unwrap();
+        assert!(y1.same_pattern(&y2));
+        assert_ne!(y1.vals(), y2.vals());
+    }
+}

@@ -1,0 +1,248 @@
+//! A set-associative cache model with LRU replacement.
+//!
+//! Used as the last-level-cache (LLC) stand-in when modeling the paper's
+//! four platforms: the Roofline analysis (Observation 2) hinges on whether a
+//! kernel's working set fits the LLC (19 MB Bluesky, 35 MB Wingtip, 3 MB
+//! P100, 6 MB V100), and HiCOO's advantage (Observation 4) comes from
+//! block-local reuse the cache model captures.
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line (block) size in bytes.
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// A config with the given size, 64-byte lines and 16 ways — the
+    /// defaults used for all modeled LLCs.
+    pub fn with_size(size_bytes: usize) -> Self {
+        Self { size_bytes, line_bytes: 64, ways: 16 }
+    }
+
+    /// The number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes or fewer lines than
+    /// ways).
+    pub fn num_sets(&self) -> usize {
+        assert!(self.line_bytes > 0 && self.ways > 0, "degenerate cache geometry");
+        let lines = self.size_bytes / self.line_bytes;
+        assert!(lines >= self.ways, "cache smaller than one set");
+        (lines / self.ways).max(1)
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed (line fills).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]` (zero when no accesses occurred).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Bytes fetched from the next level (misses × line size).
+    pub fn miss_bytes(&self, line_bytes: usize) -> u64 {
+        self.misses * line_bytes as u64
+    }
+}
+
+/// A set-associative LRU cache simulator operating on byte addresses.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_memsim::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig { size_bytes: 1024, line_bytes: 64, ways: 2 });
+/// assert!(!c.access(0));  // cold miss
+/// assert!(c.access(0));   // hit
+/// assert!(c.access(63));  // same line
+/// assert!(!c.access(64)); // next line
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// Per-set LRU stacks of line tags, most recently used last.
+    sets: Vec<Vec<u64>>,
+    stats: CacheStats,
+    num_sets: usize,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate geometry (see [`CacheConfig::num_sets`]).
+    pub fn new(config: CacheConfig) -> Self {
+        let num_sets = config.num_sets();
+        Self { config, sets: vec![Vec::new(); num_sets], stats: CacheStats::default(), num_sets }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accesses one byte address; returns `true` on a hit. A miss fills the
+    /// line, evicting the LRU line of the set if full.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.config.line_bytes as u64;
+        let set = (line % self.num_sets as u64) as usize;
+        let stack = &mut self.sets[set];
+        if let Some(pos) = stack.iter().position(|&t| t == line) {
+            stack.remove(pos);
+            stack.push(line);
+            self.stats.hits += 1;
+            true
+        } else {
+            if stack.len() >= self.config.ways {
+                stack.remove(0);
+            }
+            stack.push(line);
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Accesses every line overlapping `[addr, addr + bytes)`.
+    pub fn access_range(&mut self, addr: u64, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let lb = self.config.line_bytes as u64;
+        let first = addr / lb;
+        let last = (addr + bytes - 1) / lb;
+        for line in first..=last {
+            self.access(line * lb);
+        }
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 lines total, 2 ways, 2 sets, 64B lines.
+        Cache::new(CacheConfig { size_bytes: 256, line_bytes: 64, ways: 2 })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig { size_bytes: 256, line_bytes: 64, ways: 2 };
+        assert_eq!(c.num_sets(), 2);
+        assert_eq!(CacheConfig::with_size(1 << 20).num_sets(), (1 << 20) / 64 / 16);
+    }
+
+    #[test]
+    fn hits_within_line() {
+        let mut c = tiny();
+        assert!(!c.access(10));
+        assert!(c.access(0));
+        assert!(c.access(63));
+        assert!(!c.access(64));
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.stats().accesses(), 4);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (line % 2 == 0). 2 ways.
+        c.access(0); // miss, set0 = [0]
+        c.access(128); // line 2: miss, set0 = [0, 2]
+        c.access(0); // hit, set0 = [2, 0]
+        c.access(256); // line 4: miss, evicts line 2
+        assert!(c.access(0), "line 0 was MRU, must survive");
+        assert!(!c.access(128), "line 2 was LRU, must be evicted");
+    }
+
+    #[test]
+    fn working_set_behavior() {
+        // Streaming over 2x the capacity twice: second pass still misses.
+        let mut big = Cache::new(CacheConfig { size_bytes: 4096, line_bytes: 64, ways: 4 });
+        for pass in 0..2 {
+            for addr in (0..8192u64).step_by(64) {
+                big.access(addr);
+            }
+            let _ = pass;
+        }
+        assert_eq!(big.stats().hits, 0, "LRU thrashes on a 2x working set");
+
+        // A working set within capacity is all hits on the second pass.
+        let mut c = Cache::new(CacheConfig { size_bytes: 4096, line_bytes: 64, ways: 4 });
+        for addr in (0..2048u64).step_by(64) {
+            c.access(addr);
+        }
+        let before = c.stats().misses;
+        for addr in (0..2048u64).step_by(64) {
+            assert!(c.access(addr));
+        }
+        assert_eq!(c.stats().misses, before);
+    }
+
+    #[test]
+    fn range_access_touches_all_lines() {
+        let mut c = tiny();
+        c.access_range(0, 200); // lines 0..=3
+        assert_eq!(c.stats().accesses(), 4);
+        c.access_range(60, 8); // lines 0 and 1 again
+        assert_eq!(c.stats().hits, 2);
+        c.access_range(0, 0); // no-op
+        assert_eq!(c.stats().accesses(), 6);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = tiny();
+        c.access(0);
+        c.reset();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(!c.access(0), "contents cleared");
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert_eq!(s.hit_ratio(), 0.75);
+        assert_eq!(s.miss_bytes(64), 64);
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+}

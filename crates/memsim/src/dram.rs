@@ -1,0 +1,149 @@
+//! A bandwidth/latency DRAM model.
+//!
+//! The paper's kernels are memory bound (Figure 3): modeled execution time
+//! is dominated by `bytes / obtainable_bandwidth`. The model also carries a
+//! fixed per-transaction latency used by the GPU simulator's atomic and
+//! coalescing costs.
+
+/// Main/global memory characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramModel {
+    /// Peak (theoretical) bandwidth in bytes per second.
+    pub peak_bw: f64,
+    /// Obtainable bandwidth (ERT-measured fraction of peak) in bytes/s.
+    pub obtainable_bw: f64,
+    /// Access latency in seconds (used for serialized transactions).
+    pub latency: f64,
+}
+
+impl DramModel {
+    /// Builds a model from GB/s figures and a fraction of peak that is
+    /// actually obtainable (ERT typically measures 75–90 % on CPUs,
+    /// 70–80 % on GPUs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive bandwidth or a fraction outside `(0, 1]`.
+    pub fn new(peak_gbps: f64, obtainable_fraction: f64, latency_ns: f64) -> Self {
+        assert!(peak_gbps > 0.0, "bandwidth must be positive");
+        assert!(
+            obtainable_fraction > 0.0 && obtainable_fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
+        Self {
+            peak_bw: peak_gbps * 1e9,
+            obtainable_bw: peak_gbps * 1e9 * obtainable_fraction,
+            latency: latency_ns * 1e-9,
+        }
+    }
+
+    /// Time to stream `bytes` at the obtainable bandwidth.
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        bytes / self.obtainable_bw
+    }
+
+    /// Time for `n` serialized transactions (latency bound), e.g. contended
+    /// atomics hitting one cache line.
+    pub fn serialized_time(&self, n: f64) -> f64 {
+        n * self.latency
+    }
+}
+
+/// A two-level memory hierarchy: one cache in front of DRAM.
+///
+/// Feeding it an address stream yields the DRAM traffic after cache
+/// filtering — the quantity the Roofline model divides by bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_memsim::{CacheConfig, DramModel, MemoryModel};
+///
+/// let mut m = MemoryModel::new(CacheConfig::with_size(1 << 16), DramModel::new(100.0, 0.8, 80.0));
+/// m.access(0, 4);
+/// m.access(0, 4); // cache hit: no extra DRAM traffic
+/// assert_eq!(m.dram_bytes(), 64); // one line fill
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryModel {
+    cache: crate::cache::Cache,
+    dram: DramModel,
+}
+
+impl MemoryModel {
+    /// Creates the hierarchy.
+    pub fn new(cache: crate::cache::CacheConfig, dram: DramModel) -> Self {
+        Self { cache: crate::cache::Cache::new(cache), dram }
+    }
+
+    /// Feeds one access of `bytes` at `addr` through the cache.
+    pub fn access(&mut self, addr: u64, bytes: u64) {
+        self.cache.access_range(addr, bytes);
+    }
+
+    /// DRAM bytes moved so far (cache miss fills).
+    pub fn dram_bytes(&self) -> u64 {
+        self.cache.stats().miss_bytes(self.cache.config().line_bytes)
+    }
+
+    /// Time to move the accumulated DRAM traffic.
+    pub fn dram_time(&self) -> f64 {
+        self.dram.transfer_time(self.dram_bytes() as f64)
+    }
+
+    /// The cache component.
+    pub fn cache(&self) -> &crate::cache::Cache {
+        &self.cache
+    }
+
+    /// The DRAM component.
+    pub fn dram(&self) -> &DramModel {
+        &self.dram
+    }
+
+    /// Clears cache contents and counters.
+    pub fn reset(&mut self) {
+        self.cache.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+
+    #[test]
+    fn bandwidth_math() {
+        let d = DramModel::new(256.0, 0.8, 100.0);
+        assert!((d.peak_bw - 256e9).abs() < 1.0);
+        assert!((d.obtainable_bw - 204.8e9).abs() < 1.0);
+        // 204.8 GB in one second.
+        assert!((d.transfer_time(204.8e9) - 1.0).abs() < 1e-9);
+        // 1e4 transactions x 100 ns = 1 ms.
+        assert!((d.serialized_time(1e4) - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn rejects_bad_fraction() {
+        let _ = DramModel::new(100.0, 1.5, 100.0);
+    }
+
+    #[test]
+    fn hierarchy_filters_reuse() {
+        let mut m =
+            MemoryModel::new(CacheConfig::with_size(1 << 16), DramModel::new(100.0, 1.0, 50.0));
+        for _ in 0..10 {
+            for addr in (0..4096u64).step_by(4) {
+                m.access(addr, 4);
+            }
+        }
+        // 4 KiB working set resides: only the first pass misses (64 lines).
+        assert_eq!(m.dram_bytes(), 4096);
+        assert!(m.dram_time() > 0.0);
+        assert!(m.cache().stats().hit_ratio() > 0.89);
+        m.reset();
+        assert_eq!(m.dram_bytes(), 0);
+        assert!((m.dram().latency - 50e-9).abs() < 1e-18);
+    }
+}

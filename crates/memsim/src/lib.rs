@@ -1,0 +1,29 @@
+//! # pasta-memsim — cache and DRAM models
+//!
+//! Small analytic memory-hierarchy models backing the suite's *modeled*
+//! platform runs: a set-associative LRU [`Cache`] (the LLC of each Table III
+//! platform), a bandwidth/latency [`DramModel`], and the two combined as a
+//! [`MemoryModel`]. The GPU simulator (`pasta-simt`) and the CPU performance
+//! model (`pasta-platform`) feed kernel address streams through these to
+//! obtain post-cache DRAM traffic — the quantity Roofline analysis divides
+//! by obtainable bandwidth.
+//!
+//! # Examples
+//!
+//! ```
+//! use pasta_memsim::{Cache, CacheConfig};
+//!
+//! let mut llc = Cache::new(CacheConfig::with_size(3 << 20)); // P100's 3 MB L2
+//! llc.access(0);
+//! llc.access(8);
+//! assert_eq!(llc.stats().misses, 1); // same 64-byte line
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod dram;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use dram::{DramModel, MemoryModel};

@@ -1,0 +1,209 @@
+//! Atomic floating-point cells.
+//!
+//! Rust has no `AtomicF32`/`AtomicF64`; the COO-MTTKRP kernel needs exactly
+//! the semantics of OpenMP's `omp atomic` update (or CUDA's `atomicAdd`):
+//! concurrent read-modify-write adds into a shared output matrix. These
+//! wrappers implement `fetch_add` with a compare-exchange loop over the
+//! integer atomics, plus a zero-copy reinterpretation of `&mut [f32]` as
+//! `&[AtomicF32]` so kernels can share a plain value buffer across threads.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// An `f32` cell supporting atomic add.
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct AtomicF32(AtomicU32);
+
+impl AtomicF32 {
+    /// Creates a cell holding `v`.
+    pub fn new(v: f32) -> Self {
+        Self(AtomicU32::new(v.to_bits()))
+    }
+
+    /// Reads the current value.
+    pub fn load(&self) -> f32 {
+        f32::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Stores `v`.
+    pub fn store(&self, v: f32) {
+        self.0.store(v.to_bits(), Ordering::Relaxed)
+    }
+
+    /// Atomically adds `v`, returning the previous value.
+    pub fn fetch_add(&self, v: f32) -> f32 {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let new = (f32::from_bits(cur) + v).to_bits();
+            match self.0.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return f32::from_bits(cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// An `f64` cell supporting atomic add.
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    /// Creates a cell holding `v`.
+    pub fn new(v: f64) -> Self {
+        Self(AtomicU64::new(v.to_bits()))
+    }
+
+    /// Reads the current value.
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Stores `v`.
+    pub fn store(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed)
+    }
+
+    /// Atomically adds `v`, returning the previous value.
+    pub fn fetch_add(&self, v: f64) -> f64 {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self.0.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return f64::from_bits(cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// A float type with an atomic counterpart — the bound the parallel MTTKRP
+/// kernels put on their value type.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_par::Atomically;
+///
+/// let mut buf = vec![0.0_f32; 4];
+/// let cells = f32::as_atomics(&mut buf);
+/// f32::atomic_add(&cells[1], 2.5);
+/// f32::atomic_add(&cells[1], 0.5);
+/// drop(cells);
+/// assert_eq!(buf[1], 3.0);
+/// ```
+pub trait Atomically: Copy + Send + Sync + 'static {
+    /// The atomic cell type for this float.
+    type Atomic: Sync + Send;
+
+    /// Reinterprets a mutable float slice as a slice of atomic cells.
+    ///
+    /// The exclusive borrow guarantees no other non-atomic access can occur
+    /// for the lifetime of the returned slice.
+    fn as_atomics(slice: &mut [Self]) -> &[Self::Atomic];
+
+    /// Atomically adds `v` to the cell.
+    fn atomic_add(cell: &Self::Atomic, v: Self);
+
+    /// Reads the cell.
+    fn atomic_load(cell: &Self::Atomic) -> Self;
+}
+
+impl Atomically for f32 {
+    type Atomic = AtomicF32;
+
+    fn as_atomics(slice: &mut [Self]) -> &[AtomicF32] {
+        // SAFETY: AtomicF32 is repr(transparent) over AtomicU32, which has
+        // the same size and alignment as u32/f32, and the exclusive borrow
+        // of `slice` makes the aliasing exclusive-to-atomic transition sound
+        // (same argument as std's `AtomicU32::from_mut_slice`).
+        unsafe { std::slice::from_raw_parts(slice.as_ptr() as *const AtomicF32, slice.len()) }
+    }
+
+    fn atomic_add(cell: &AtomicF32, v: f32) {
+        cell.fetch_add(v);
+    }
+
+    fn atomic_load(cell: &AtomicF32) -> f32 {
+        cell.load()
+    }
+}
+
+impl Atomically for f64 {
+    type Atomic = AtomicF64;
+
+    fn as_atomics(slice: &mut [Self]) -> &[AtomicF64] {
+        // SAFETY: as for f32; AtomicU64 matches u64/f64 layout on all
+        // supported 64-bit platforms.
+        unsafe { std::slice::from_raw_parts(slice.as_ptr() as *const AtomicF64, slice.len()) }
+    }
+
+    fn atomic_add(cell: &AtomicF64, v: f64) {
+        cell.fetch_add(v);
+    }
+
+    fn atomic_load(cell: &AtomicF64) -> f64 {
+        cell.load()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parallel_for, Schedule};
+
+    #[test]
+    fn fetch_add_returns_previous() {
+        let a = AtomicF32::new(1.0);
+        assert_eq!(a.fetch_add(2.0), 1.0);
+        assert_eq!(a.load(), 3.0);
+        a.store(-1.5);
+        assert_eq!(a.load(), -1.5);
+
+        let b = AtomicF64::new(10.0);
+        assert_eq!(b.fetch_add(-4.0), 10.0);
+        assert_eq!(b.load(), 6.0);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(AtomicF32::default().load(), 0.0);
+        assert_eq!(AtomicF64::default().load(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates_f32() {
+        let mut buf = vec![0.0f32; 8];
+        {
+            let cells = f32::as_atomics(&mut buf);
+            parallel_for(8_000, 8, Schedule::Dynamic(64), |range| {
+                for i in range {
+                    f32::atomic_add(&cells[i % 8], 1.0);
+                }
+            });
+        }
+        // 1000 adds of exactly-representable 1.0 per cell: no rounding issues.
+        assert!(buf.iter().all(|&v| v == 1000.0), "{buf:?}");
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates_f64() {
+        let mut buf = vec![0.0f64; 4];
+        {
+            let cells = f64::as_atomics(&mut buf);
+            parallel_for(4_000, 4, Schedule::Static, |range| {
+                for i in range {
+                    f64::atomic_add(&cells[i % 4], 0.5);
+                }
+            });
+        }
+        assert!(buf.iter().all(|&v| v == 500.0), "{buf:?}");
+    }
+
+    #[test]
+    fn atomic_load_via_trait() {
+        let mut buf = vec![7.0f32];
+        let cells = f32::as_atomics(&mut buf);
+        assert_eq!(f32::atomic_load(&cells[0]), 7.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Loop scheduling strategies, mirroring OpenMP's `schedule` clause.
+
+/// How loop iterations are distributed across worker threads.
+///
+/// The paper evaluates its CPU kernels "under different scheduling
+/// strategies"; these are the three OpenMP offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Schedule {
+    /// One near-equal contiguous range per worker, decided up front.
+    /// Lowest overhead; vulnerable to load imbalance when work per
+    /// iteration varies (e.g. TTV over fibers of varying length).
+    Static,
+    /// Workers repeatedly claim fixed-size chunks from a shared counter.
+    /// The payload is the chunk size (clamped to at least 1).
+    Dynamic(usize),
+    /// Workers claim chunks that shrink as the loop drains
+    /// (`remaining / (2 × threads)`, floor 1): a compromise between
+    /// static's low overhead and dynamic's balance.
+    Guided,
+}
+
+impl Schedule {
+    /// A reasonable default dynamic chunk for non-zero-parallel loops.
+    pub const DEFAULT_CHUNK: usize = 256;
+
+    /// The suite-wide default: dynamic scheduling with
+    /// [`Self::DEFAULT_CHUNK`], matching the reference implementation's
+    /// choice for irregular sparse loops.
+    pub fn default_dynamic() -> Self {
+        Schedule::Dynamic(Self::DEFAULT_CHUNK)
+    }
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Self::default_dynamic()
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Schedule::Static => write!(f, "static"),
+            Schedule::Dynamic(c) => write!(f, "dynamic({c})"),
+            Schedule::Guided => write!(f, "guided"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_dynamic() {
+        assert_eq!(Schedule::default(), Schedule::Dynamic(256));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Schedule::Static.to_string(), "static");
+        assert_eq!(Schedule::Dynamic(8).to_string(), "dynamic(8)");
+        assert_eq!(Schedule::Guided.to_string(), "guided");
+    }
+}

@@ -1,0 +1,116 @@
+//! Disjoint-write access to a shared slice.
+//!
+//! Kernels that pre-allocate their output (the sparse-dense property makes
+//! TEW/TS/TTV/TTM outputs race-free) let multiple workers write *disjoint*
+//! regions of one buffer concurrently. Safe Rust cannot express "these
+//! ranges never overlap" across closures, so [`SharedSlice`] provides a
+//! minimal unsafe escape hatch with that contract made explicit.
+
+use std::marker::PhantomData;
+
+/// A writable view of a slice that may be shared across threads, provided
+/// every concurrent write targets a distinct index range.
+#[derive(Debug)]
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is only possible through the `unsafe` methods below, whose
+// contracts require disjointness; the wrapper itself holds the unique borrow.
+unsafe impl<'a, T: Send> Sync for SharedSlice<'a, T> {}
+unsafe impl<'a, T: Send> Send for SharedSlice<'a, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps an exclusive slice borrow.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+    }
+
+    /// The slice length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slice is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may read or write `index` concurrently, and
+    /// `index < self.len()`.
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        *self.ptr.add(index) = value;
+    }
+
+    /// Returns a mutable subslice for `range`.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may access any index in `range` for the lifetime of
+    /// the returned slice, and `range` must be in bounds.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, range: std::ops::Range<usize>) -> &mut [T] {
+        debug_assert!(range.start <= range.end && range.end <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.end - range.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parallel_for, Schedule};
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let mut data = vec![0usize; 10_000];
+        {
+            let shared = SharedSlice::new(&mut data);
+            parallel_for(10_000, 8, Schedule::Dynamic(97), |range| {
+                for i in range {
+                    // SAFETY: `parallel_for` ranges partition the index space.
+                    unsafe { shared.write(i, i * 2) };
+                }
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn slice_mut_ranges() {
+        let mut data = vec![0.0f32; 64];
+        {
+            let shared = SharedSlice::new(&mut data);
+            assert_eq!(shared.len(), 64);
+            assert!(!shared.is_empty());
+            parallel_for(8, 4, Schedule::Static, |blocks| {
+                for b in blocks {
+                    // SAFETY: block `b` owns elements 8b..8b+8 exclusively.
+                    let s = unsafe { shared.slice_mut(b * 8..(b + 1) * 8) };
+                    s.fill(b as f32);
+                }
+            });
+        }
+        for b in 0..8 {
+            assert!(data[b * 8..(b + 1) * 8].iter().all(|&v| v == b as f32));
+        }
+    }
+
+    #[test]
+    fn empty_slice() {
+        let mut data: Vec<u8> = Vec::new();
+        let shared = SharedSlice::new(&mut data);
+        assert!(shared.is_empty());
+        assert_eq!(shared.len(), 0);
+    }
+}

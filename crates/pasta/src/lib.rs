@@ -1,0 +1,49 @@
+//! # pasta — the PASTA sparse tensor benchmark suite (Rust reproduction)
+//!
+//! A from-scratch Rust implementation of *"A Sparse Tensor Benchmark Suite
+//! for CPUs and GPUs"* (IISWC 2020): arbitrary-order sparse tensor kernels
+//! (TEW, TS, TTV, TTM, MTTKRP) in COO and HiCOO formats, synthetic tensor
+//! generators, Roofline performance models for the paper's four platforms,
+//! a SIMT GPU simulator, and the tensor methods that motivate the kernels.
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! - [`core`] (`pasta-core`) — formats: COO, sCOO, HiCOO, gHiCOO, sHiCOO;
+//! - [`par`] (`pasta-par`) — the OpenMP-style parallel runtime;
+//! - [`kernels`] (`pasta-kernels`) — the five kernels + Table I analysis;
+//! - [`gen`] (`pasta-gen`) — Kronecker & power-law generators, Table II
+//!   dataset profiles;
+//! - [`memsim`] (`pasta-memsim`) — cache/DRAM models;
+//! - [`platform`] (`pasta-platform`) — Table III platforms, Rooflines, ERT,
+//!   the calibrated performance model;
+//! - [`simt`] (`pasta-simt`) — the GPU simulator and GPU kernels;
+//! - [`algos`] (`pasta-algos`) — CP-ALS, Tucker/HOOI, tensor power method.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pasta::core::{CooTensor, DenseVector, Shape};
+//! use pasta::kernels::{ttv_coo, Ctx};
+//!
+//! # fn main() -> Result<(), pasta::core::Error> {
+//! let x = CooTensor::from_entries(
+//!     Shape::new(vec![3, 3, 3]),
+//!     vec![(vec![0, 1, 2], 4.0_f32), (vec![2, 2, 0], 2.0)],
+//! )?;
+//! let v = DenseVector::from_vec(vec![1.0, 2.0, 3.0]);
+//! let y = ttv_coo(&x, &v, 2, &Ctx::parallel())?;
+//! assert_eq!(y.get(&[0, 1]), Some(12.0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pasta_algos as algos;
+pub use pasta_core as core;
+pub use pasta_gen as gen;
+pub use pasta_kernels as kernels;
+pub use pasta_memsim as memsim;
+pub use pasta_par as par;
+pub use pasta_platform as platform;
+pub use pasta_simt as simt;

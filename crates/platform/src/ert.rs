@@ -1,0 +1,200 @@
+//! ERT-style empirical bandwidth measurement of the *host* machine.
+//!
+//! The Empirical Roofline Tool sweeps STREAM-like micro-kernels over
+//! working-set sizes to extract the obtainable bandwidth of each memory
+//! level. This module does the same for the machine running the suite:
+//! copy/scale/add/triad kernels, multi-threaded through `pasta-par`, swept
+//! from cache-resident to DRAM-resident sizes. The host's numbers anchor the
+//! host-measured rows of the experiment harness; the four paper platforms
+//! use the calibrated fractions in [`crate::spec`].
+
+use pasta_par::{parallel_for, Schedule};
+use std::time::Instant;
+
+/// The four STREAM kernels ERT-style sweeps use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKernel {
+    /// `b[i] = a[i]` — 2 bytes moved per element-byte, 0 flops.
+    Copy,
+    /// `b[i] = s * a[i]` — 1 flop.
+    Scale,
+    /// `c[i] = a[i] + b[i]` — 1 flop, 3 streams.
+    Add,
+    /// `c[i] = a[i] + s * b[i]` — 2 flops, 3 streams.
+    Triad,
+}
+
+impl StreamKernel {
+    /// Bytes moved per element (reads + write, 4-byte floats).
+    pub fn bytes_per_elem(self) -> usize {
+        match self {
+            StreamKernel::Copy | StreamKernel::Scale => 8,
+            StreamKernel::Add | StreamKernel::Triad => 12,
+        }
+    }
+}
+
+/// One sweep point: a working-set size and the measured bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErtPoint {
+    /// Total working-set bytes across all arrays.
+    pub working_set_bytes: usize,
+    /// Measured bandwidth in bytes/s.
+    pub bandwidth: f64,
+}
+
+/// The result of an ERT sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErtResult {
+    /// Kernel used.
+    pub kernel: StreamKernel,
+    /// Threads used.
+    pub threads: usize,
+    /// Sweep points, smallest working set first.
+    pub points: Vec<ErtPoint>,
+}
+
+impl ErtResult {
+    /// The DRAM-level bandwidth: the median of the largest third of the
+    /// sweep (working sets well beyond any cache).
+    pub fn dram_bandwidth(&self) -> f64 {
+        let n = self.points.len();
+        let tail: Vec<f64> = self.points[n - (n / 3).max(1)..].iter().map(|p| p.bandwidth).collect();
+        median(tail)
+    }
+
+    /// The cache-level bandwidth: the maximum over the sweep (small,
+    /// cache-resident working sets).
+    pub fn cache_bandwidth(&self) -> f64 {
+        self.points.iter().map(|p| p.bandwidth).fold(0.0, f64::max)
+    }
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN bandwidths"));
+    v[v.len() / 2]
+}
+
+/// Runs one kernel at one working-set size and returns bytes/s.
+///
+/// `elems` is the length of each array; the kernel repeats until ~`min_ms`
+/// of work has been timed.
+pub fn measure_bandwidth(
+    kernel: StreamKernel,
+    elems: usize,
+    threads: usize,
+    min_ms: f64,
+) -> f64 {
+    let mut a = vec![1.0f32; elems];
+    let mut b = vec![2.0f32; elems];
+    let mut c = vec![0.0f32; elems];
+    // Touch once to fault pages in.
+    run_once(kernel, &mut a, &mut b, &mut c, threads);
+
+    let mut reps = 1usize;
+    loop {
+        let start = Instant::now();
+        for _ in 0..reps {
+            run_once(kernel, &mut a, &mut b, &mut c, threads);
+        }
+        let secs = start.elapsed().as_secs_f64();
+        if secs * 1e3 >= min_ms || reps >= 1 << 20 {
+            let bytes = (kernel.bytes_per_elem() * elems * reps) as f64;
+            return bytes / secs;
+        }
+        reps *= 2;
+    }
+}
+
+fn run_once(kernel: StreamKernel, a: &mut [f32], b: &mut [f32], c: &mut [f32], threads: usize) {
+    let n = a.len();
+    let s = 3.0f32;
+    match kernel {
+        StreamKernel::Copy => {
+            let (src, dst) = (&*a, pasta_par::SharedSlice::new(b));
+            parallel_for(n, threads, Schedule::Static, |r| {
+                // SAFETY: static ranges are disjoint.
+                let d = unsafe { dst.slice_mut(r.clone()) };
+                d.copy_from_slice(&src[r]);
+            });
+        }
+        StreamKernel::Scale => {
+            let (src, dst) = (&*a, pasta_par::SharedSlice::new(b));
+            parallel_for(n, threads, Schedule::Static, |r| {
+                let d = unsafe { dst.slice_mut(r.clone()) };
+                for (o, &x) in d.iter_mut().zip(&src[r]) {
+                    *o = s * x;
+                }
+            });
+        }
+        StreamKernel::Add => {
+            let (x, y, dst) = (&*a, &*b, pasta_par::SharedSlice::new(c));
+            parallel_for(n, threads, Schedule::Static, |r| {
+                let d = unsafe { dst.slice_mut(r.clone()) };
+                for (i, o) in r.zip(d.iter_mut()) {
+                    *o = x[i] + y[i];
+                }
+            });
+        }
+        StreamKernel::Triad => {
+            let (x, y, dst) = (&*a, &*b, pasta_par::SharedSlice::new(c));
+            parallel_for(n, threads, Schedule::Static, |r| {
+                let d = unsafe { dst.slice_mut(r.clone()) };
+                for (i, o) in r.zip(d.iter_mut()) {
+                    *o = x[i] + s * y[i];
+                }
+            });
+        }
+    }
+}
+
+/// Runs an ERT sweep with the given kernel from `min_bytes` to `max_bytes`
+/// total working set (doubling each step).
+pub fn run_ert(kernel: StreamKernel, threads: usize, min_bytes: usize, max_bytes: usize) -> ErtResult {
+    assert!(min_bytes >= 4096 && max_bytes >= min_bytes, "degenerate sweep bounds");
+    let arrays = if kernel.bytes_per_elem() == 8 { 2 } else { 3 };
+    let mut points = Vec::new();
+    let mut ws = min_bytes;
+    while ws <= max_bytes {
+        let elems = ws / (4 * arrays);
+        let bw = measure_bandwidth(kernel, elems.max(1024), threads, 20.0);
+        points.push(ErtPoint { working_set_bytes: ws, bandwidth: bw });
+        ws *= 2;
+    }
+    ErtResult { kernel, threads, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_per_elem() {
+        assert_eq!(StreamKernel::Copy.bytes_per_elem(), 8);
+        assert_eq!(StreamKernel::Triad.bytes_per_elem(), 12);
+    }
+
+    #[test]
+    fn measures_positive_bandwidth() {
+        for k in [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad]
+        {
+            let bw = measure_bandwidth(k, 64 * 1024, 2, 5.0);
+            assert!(bw > 1e8, "{k:?}: {bw}");
+        }
+    }
+
+    #[test]
+    fn sweep_produces_points_and_summaries() {
+        let r = run_ert(StreamKernel::Triad, 2, 1 << 16, 1 << 19);
+        assert_eq!(r.points.len(), 4);
+        assert!(r.points.windows(2).all(|w| w[1].working_set_bytes == 2 * w[0].working_set_bytes));
+        assert!(r.dram_bandwidth() > 0.0);
+        assert!(r.cache_bandwidth() >= r.dram_bandwidth());
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![5.0]), 5.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # pasta-platform — platforms, Rooflines, ERT and the performance model
+//!
+//! Reproduces the paper's platform-side machinery:
+//!
+//! - [`spec`] — Table III's four platforms (Bluesky, Wingtip, DGX-1P,
+//!   DGX-1V) as data, with derived peak FLOPS and obtainable bandwidths;
+//! - [`roofline`] — the Roofline model of Figure 3, including the per-kernel
+//!   OI markers and the "Roofline performance" upper bound of Figures 4–7;
+//! - [`ert`] — STREAM-style micro-benchmarks measuring the *host* machine's
+//!   obtainable DRAM/cache bandwidth, after the Empirical Roofline Tool;
+//! - [`model`] — the calibrated analytic model producing per-tensor modeled
+//!   GFLOPS for the paper platforms (GPUs can instead be driven through the
+//!   `pasta-simt` simulator).
+//!
+//! # Examples
+//!
+//! ```
+//! use pasta_platform::{Roofline, spec::bluesky};
+//!
+//! let r = Roofline::for_platform(&bluesky());
+//! // TS (OI = 1/8) is memory bound on every platform in the paper.
+//! assert!(r.is_memory_bound(0.125));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ert;
+pub mod model;
+pub mod roofline;
+pub mod spec;
+
+pub use ert::{run_ert, ErtPoint, ErtResult, StreamKernel};
+pub use model::{base_slowdown, effective_bandwidth, model_run, Format, ModeledRun, TensorFeatures};
+pub use roofline::Roofline;
+pub use spec::{all_platforms, bluesky, dgx1p, dgx1v, find_platform, wingtip, PlatformKind, PlatformSpec};

@@ -1,0 +1,363 @@
+//! Modeled kernel performance on the four paper platforms.
+//!
+//! This suite cannot run on Bluesky, Wingtip or the DGX boxes, so the
+//! figure harness reports *modeled* GFLOPS for them (the GPU platforms can
+//! additionally be driven through the cycle-approximate `pasta-simt`
+//! simulator). The model is a calibrated Roofline refinement:
+//!
+//! ```text
+//! time = (bytes / effective_bandwidth) × base_slowdown × tensor_modifiers
+//! ```
+//!
+//! - `bytes` comes from the Table I cost model evaluated on the *actual*
+//!   tensor's features (`M`, `M_F`, `n_b`);
+//! - `effective_bandwidth` interpolates between the ERT-DRAM and ERT-LLC
+//!   roofs by cache residency of the working set — this reproduces
+//!   Observation 2 (small tensors exceed the DRAM Roofline);
+//! - `base_slowdown` is one calibration constant per
+//!   (platform, kernel, format), set from the paper's reported *average*
+//!   efficiencies (Observations 1 and 3) — NUMA effects on the four-socket
+//!   Wingtip are baked in here;
+//! - `tensor_modifiers` derive from the tensor itself: fiber-length
+//!   imbalance penalizes fiber-parallel TTV/TTM, atomic-contention pressure
+//!   (non-zeros per output row) penalizes MTTKRP, and block singletons
+//!   penalize HiCOO.
+//!
+//! The constants live in [`base_slowdown`] and are deliberately transparent:
+//! EXPERIMENTS.md compares model output against every figure of the paper.
+
+use crate::spec::{PlatformKind, PlatformSpec};
+use pasta_core::{BlockStats, TensorStats};
+use pasta_kernels::{kernel_cost, CostParams, Kernel, KernelCost};
+
+/// Sparse format selector for modeled runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// Coordinate format.
+    Coo,
+    /// Hierarchical coordinate format.
+    Hicoo,
+}
+
+impl std::fmt::Display for Format {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Format::Coo => "COO",
+            Format::Hicoo => "HiCOO",
+        })
+    }
+}
+
+/// Per-tensor features that modulate modeled performance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TensorFeatures {
+    /// Non-zero count `M`.
+    pub nnz: f64,
+    /// Fiber count `M_F` of the product mode (mode-averaged by callers).
+    pub mf: f64,
+    /// Working-set bytes of the kernel (tensor + operands + output).
+    pub working_set: f64,
+    /// `max fiber length / mean fiber length` of the product mode.
+    pub fiber_imbalance: f64,
+    /// Output-mode dimension `I_n` (MTTKRP contention: smaller `I_n` means
+    /// more atomic collisions per row).
+    pub out_dim: f64,
+    /// HiCOO block count `n_b`.
+    pub nb: f64,
+    /// Fraction of HiCOO blocks holding a single non-zero.
+    pub block_singleton_fraction: f64,
+    /// HiCOO block size `B`.
+    pub block_size: f64,
+    /// `max block nnz / mean block nnz` — the GPU HiCOO-MTTKRP
+    /// load-imbalance driver (one tensor block per CUDA block).
+    pub block_imbalance: f64,
+}
+
+impl TensorFeatures {
+    /// Derives features from tensor and block statistics for product mode
+    /// `mode`, rank `r` and a given format's storage bytes.
+    pub fn from_stats(
+        stats: &TensorStats,
+        blocks: &BlockStats,
+        mode: usize,
+        r: usize,
+        storage_bytes: f64,
+    ) -> Self {
+        let mf = stats.fiber_counts[mode] as f64;
+        let mean_fiber = if mf > 0.0 { stats.nnz as f64 / mf } else { 1.0 };
+        let max_fiber = stats.max_fiber_lens[mode] as f64;
+        let out_rows = stats.dims[mode] as f64;
+        Self {
+            nnz: stats.nnz as f64,
+            mf,
+            working_set: storage_bytes + out_rows * r as f64 * 4.0,
+            fiber_imbalance: (max_fiber / mean_fiber.max(1.0)).max(1.0),
+            out_dim: out_rows,
+            nb: blocks.num_blocks as f64,
+            block_singleton_fraction: blocks.singleton_fraction,
+            block_size: blocks.block_size as f64,
+            block_imbalance: (blocks.max_nnz as f64 / blocks.avg_nnz.max(1.0)).max(1.0),
+        }
+    }
+
+    /// The Table I cost parameters implied by these features.
+    pub fn cost_params(&self, r: usize) -> CostParams {
+        CostParams {
+            m: self.nnz,
+            mf: self.mf,
+            r: r as f64,
+            nb: self.nb,
+            block_size: self.block_size,
+        }
+    }
+}
+
+/// Calibration constant: average `ideal_time / achieved_time` slowdown for
+/// one (platform, kernel, format), set from the paper's reported average
+/// performance efficiencies (Section V-C, Observations 1 and 3).
+pub fn base_slowdown(platform: &str, kernel: Kernel, format: Format) -> f64 {
+    use Format::{Coo, Hicoo};
+    use Kernel::{Mttkrp, Tew, Ts, Ttm, Ttv};
+    match (platform, kernel, format) {
+        // Bluesky (2-socket Skylake): TTV/TTM/MTTKRP COO eff 31/64/6 %,
+        // HiCOO 73/61/5 %; TEW/TS near (often above) the roofline.
+        ("Bluesky", Tew, Coo) => 1.05,
+        ("Bluesky", Tew, Hicoo) => 0.95,
+        ("Bluesky", Ts, Coo) => 1.0,
+        ("Bluesky", Ts, Hicoo) => 0.95,
+        ("Bluesky", Ttv, Coo) => 3.2,
+        ("Bluesky", Ttv, Hicoo) => 1.4,
+        ("Bluesky", Ttm, Coo) => 1.6,
+        ("Bluesky", Ttm, Hicoo) => 1.65,
+        ("Bluesky", Mttkrp, Coo) => 16.0,
+        ("Bluesky", Mttkrp, Hicoo) => 19.0,
+        // Wingtip (4-socket Haswell): NUMA hurts the non-streaming kernels —
+        // TTV eff 9/13 %, TTM 52/47 %, MTTKRP 9/9 %.
+        ("Wingtip", Tew, Coo) => 1.15,
+        ("Wingtip", Tew, Hicoo) => 1.05,
+        ("Wingtip", Ts, Coo) => 1.1,
+        ("Wingtip", Ts, Hicoo) => 1.05,
+        ("Wingtip", Ttv, Coo) => 11.0,
+        ("Wingtip", Ttv, Hicoo) => 7.7,
+        ("Wingtip", Ttm, Coo) => 1.9,
+        ("Wingtip", Ttm, Hicoo) => 2.1,
+        ("Wingtip", Mttkrp, Coo) => 11.0,
+        ("Wingtip", Mttkrp, Hicoo) => 11.0,
+        // DGX-1P (P100): TTV 30 %, TTM 60 %, MTTKRP 40 % COO / 28 % HiCOO.
+        ("DGX-1P", Tew, _) => 1.2,
+        ("DGX-1P", Ts, _) => 1.2,
+        ("DGX-1P", Ttv, _) => 3.3,
+        ("DGX-1P", Ttm, _) => 1.67,
+        ("DGX-1P", Mttkrp, Coo) => 2.5,
+        ("DGX-1P", Mttkrp, Hicoo) => 3.6,
+        // DGX-1V (V100): TTV 30 %, TTM 69 %, MTTKRP 110 % COO (cache +
+        // improved atomics push it past the DRAM roofline) / 57 % HiCOO.
+        ("DGX-1V", Tew, _) => 1.2,
+        ("DGX-1V", Ts, _) => 1.2,
+        ("DGX-1V", Ttv, _) => 3.3,
+        ("DGX-1V", Ttm, _) => 1.45,
+        ("DGX-1V", Mttkrp, Coo) => 0.91,
+        ("DGX-1V", Mttkrp, Hicoo) => 1.75,
+        // Unknown platform: assume the Roofline is achieved.
+        _ => 1.0,
+    }
+}
+
+/// Effective bandwidth: interpolates between the ERT-DRAM roof and the
+/// ERT-LLC roof by how much of the working set is cache-resident (the warm
+/// five-run average of the paper keeps resident sets in cache).
+pub fn effective_bandwidth(spec: &PlatformSpec, working_set: f64) -> f64 {
+    let dram = spec.ert_dram_bw();
+    let llc = spec.ert_llc_bw();
+    let resident = (spec.llc_bytes as f64 / working_set.max(1.0)).min(1.0);
+    dram * (1.0 - resident) + llc * resident
+}
+
+/// Per-tensor slowdown modifiers on top of the calibrated base.
+fn tensor_modifier(spec: &PlatformSpec, kernel: Kernel, format: Format, f: &TensorFeatures) -> f64 {
+    let mut m = 1.0;
+    match kernel {
+        Kernel::Ttv | Kernel::Ttm => {
+            // Fiber-parallel loops suffer when one fiber dominates.
+            m *= f.fiber_imbalance.powf(0.25).min(4.0);
+        }
+        Kernel::Mttkrp => {
+            // Atomic pressure: average non-zeros per output row.
+            let per_row = (f.nnz / f.out_dim.max(1.0)).max(1.0);
+            m *= per_row.powf(0.15).min(4.0);
+            if format == Format::Hicoo {
+                // Hyper-sparse blocks lose HiCOO's reuse (Observation 4).
+                m *= 1.0 + f.block_singleton_fraction;
+                if let PlatformKind::Gpu { sms, .. } = spec.kind {
+                    // One tensor block per CUDA block: too few blocks starve
+                    // the SMs, and a dominant block serializes on one SM —
+                    // the reasons HiCOO-MTTKRP-GPU trails COO (Observation 4).
+                    let needed = 4.0 * sms as f64;
+                    m *= (needed / f.nb.max(1.0)).max(1.0).min(64.0);
+                    m *= f.block_imbalance.powf(0.3).min(8.0);
+                }
+            }
+        }
+        Kernel::Tew | Kernel::Ts => {}
+    }
+    m
+}
+
+/// One modeled kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeledRun {
+    /// Time in seconds.
+    pub time: f64,
+    /// Achieved GFLOPS.
+    pub gflops: f64,
+    /// The per-tensor Roofline bound (OI × ERT-DRAM bandwidth) in GFLOPS —
+    /// the red line of Figures 4–7.
+    pub roofline_gflops: f64,
+    /// `gflops / roofline_gflops` (the paper's performance efficiency).
+    pub efficiency: f64,
+}
+
+/// Models one kernel execution on one platform.
+///
+/// `r` is the dense-operand rank (the paper uses 16 for TTM/MTTKRP; ignored
+/// by TEW/TS/TTV cost formulas).
+pub fn model_run(
+    spec: &PlatformSpec,
+    kernel: Kernel,
+    format: Format,
+    features: &TensorFeatures,
+    r: usize,
+) -> ModeledRun {
+    let cost: KernelCost = kernel_cost(kernel, &features.cost_params(r));
+    let bytes = match format {
+        Format::Coo => cost.coo_bytes,
+        Format::Hicoo => cost.hicoo_bytes,
+    };
+    let bw = effective_bandwidth(spec, features.working_set);
+    let ideal_mem = bytes / bw;
+    let ideal_compute = cost.flops / spec.peak_flops();
+    let slowdown =
+        base_slowdown(spec.name, kernel, format) * tensor_modifier(spec, kernel, format, features);
+    let time = ideal_mem.max(ideal_compute) * slowdown;
+    let gflops = cost.flops / time / 1e9;
+    let oi = match format {
+        Format::Coo => cost.coo_oi(),
+        Format::Hicoo => cost.hicoo_oi(),
+    };
+    let roofline = (oi * spec.ert_dram_bw()).min(spec.peak_flops()) / 1e9;
+    ModeledRun { time, gflops, roofline_gflops: roofline, efficiency: gflops / roofline }
+}
+
+/// Whether the platform is best modeled here (CPUs) or simulated in
+/// `pasta-simt` (GPUs).
+pub fn prefers_simulation(spec: &PlatformSpec) -> bool {
+    matches!(spec.kind, PlatformKind::Gpu { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{all_platforms, bluesky, dgx1v, wingtip};
+
+    fn features(nnz: f64, ws: f64) -> TensorFeatures {
+        TensorFeatures {
+            nnz,
+            mf: nnz / 8.0,
+            working_set: ws,
+            fiber_imbalance: 2.0,
+            out_dim: 10_000.0,
+            nb: nnz / 30.0,
+            block_singleton_fraction: 0.2,
+            block_size: 128.0,
+            block_imbalance: 3.0,
+        }
+    }
+
+    #[test]
+    fn small_tensors_can_exceed_roofline() {
+        // Observation 2: cache-resident working sets beat the DRAM Roofline.
+        let spec = bluesky();
+        let small = features(1e5, 2e6); // 2 MB << 19 MB LLC
+        let big = features(1e8, 2e9);
+        let rs = model_run(&spec, Kernel::Ts, Format::Coo, &small, 16);
+        let rb = model_run(&spec, Kernel::Ts, Format::Coo, &big, 16);
+        assert!(rs.efficiency > 1.0, "small: {}", rs.efficiency);
+        assert!(rb.efficiency <= 1.05, "big: {}", rb.efficiency);
+    }
+
+    #[test]
+    fn numa_hurts_nonstreaming_more_on_wingtip() {
+        // Observation 3: four-socket Wingtip has lower TTV efficiency than
+        // two-socket Bluesky; streaming kernels are fine on both.
+        let f = features(1e7, 5e8);
+        let b = model_run(&bluesky(), Kernel::Ttv, Format::Coo, &f, 16);
+        let w = model_run(&wingtip(), Kernel::Ttv, Format::Coo, &f, 16);
+        assert!(w.efficiency < b.efficiency);
+        let bs = model_run(&bluesky(), Kernel::Ts, Format::Coo, &f, 16);
+        let ws = model_run(&wingtip(), Kernel::Ts, Format::Coo, &f, 16);
+        assert!((bs.efficiency - ws.efficiency).abs() < 0.3);
+    }
+
+    #[test]
+    fn hicoo_beats_coo_for_ttv_on_cpu() {
+        // Observation 4 (CPU side): HiCOO ≥ COO for TEW/TS/TTV.
+        let f = features(1e7, 5e8);
+        for spec in [bluesky(), wingtip()] {
+            let coo = model_run(&spec, Kernel::Ttv, Format::Coo, &f, 16);
+            let hicoo = model_run(&spec, Kernel::Ttv, Format::Hicoo, &f, 16);
+            assert!(hicoo.gflops > coo.gflops, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn hicoo_mttkrp_loses_on_gpus() {
+        // Observation 4 (GPU side): block-parallel HiCOO-MTTKRP underperforms.
+        let f = features(1e7, 5e8);
+        let coo = model_run(&dgx1v(), Kernel::Mttkrp, Format::Coo, &f, 16);
+        let hicoo = model_run(&dgx1v(), Kernel::Mttkrp, Format::Hicoo, &f, 16);
+        assert!(hicoo.gflops < coo.gflops);
+    }
+
+    #[test]
+    fn v100_mttkrp_can_break_roofline() {
+        // Observation 2's GPU case: COO-MTTKRP on DGX-1V exceeds the DRAM
+        // Roofline for low-contention tensors.
+        let mut f = features(1e6, 4e6);
+        f.out_dim = 1e6; // almost no atomic contention
+        let run = model_run(&dgx1v(), Kernel::Mttkrp, Format::Coo, &f, 16);
+        assert!(run.efficiency > 1.0, "{}", run.efficiency);
+    }
+
+    #[test]
+    fn mttkrp_efficiency_is_lowest_on_cpus() {
+        // Observation 3: MTTKRP's efficiency is far below TTV/TTM on CPUs.
+        let f = features(1e7, 5e8);
+        for spec in [bluesky(), wingtip()] {
+            let ttv = model_run(&spec, Kernel::Ttv, Format::Coo, &f, 16);
+            let ttm = model_run(&spec, Kernel::Ttm, Format::Coo, &f, 16);
+            let mt = model_run(&spec, Kernel::Mttkrp, Format::Coo, &f, 16);
+            assert!(mt.efficiency < ttv.efficiency.min(ttm.efficiency), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn modeled_numbers_are_finite_and_positive() {
+        let f = features(1e6, 1e7);
+        for spec in all_platforms() {
+            for k in Kernel::ALL {
+                for fmt in [Format::Coo, Format::Hicoo] {
+                    let run = model_run(&spec, k, fmt, &f, 16);
+                    assert!(run.time > 0.0 && run.time.is_finite());
+                    assert!(run.gflops > 0.0 && run.gflops.is_finite());
+                    assert!(run.roofline_gflops > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_preference() {
+        assert!(!prefers_simulation(&bluesky()));
+        assert!(prefers_simulation(&dgx1v()));
+    }
+}

@@ -1,0 +1,154 @@
+//! The Roofline performance model (Section V-B, Figure 3).
+//!
+//! `attainable GFLOPS = min(peak, OI × bandwidth)` for each bandwidth roof.
+//! The paper plots three roofs per platform — theoretical DRAM, ERT-measured
+//! DRAM, and ERT-measured LLC — and marks the five kernels' operational
+//! intensities on the ERT-DRAM line. The per-kernel "Roofline performance"
+//! upper bound used in Figures 4–7 is `OI × ERT-DRAM bandwidth` with the OI
+//! evaluated from actual tensor features (Table I).
+
+use crate::spec::PlatformSpec;
+use pasta_kernels::Kernel;
+
+/// A Roofline model for one platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Roofline {
+    /// Platform name.
+    pub platform: &'static str,
+    /// Peak single-precision FLOPS.
+    pub peak_flops: f64,
+    /// Theoretical DRAM bandwidth, bytes/s.
+    pub theoretical_dram_bw: f64,
+    /// ERT-measured (obtainable) DRAM bandwidth, bytes/s.
+    pub ert_dram_bw: f64,
+    /// ERT-measured LLC bandwidth, bytes/s.
+    pub ert_llc_bw: f64,
+}
+
+impl Roofline {
+    /// Builds the Roofline from a platform spec.
+    pub fn for_platform(spec: &PlatformSpec) -> Self {
+        Self {
+            platform: spec.name,
+            peak_flops: spec.peak_flops(),
+            theoretical_dram_bw: spec.mem_bw_gbps * 1e9,
+            ert_dram_bw: spec.ert_dram_bw(),
+            ert_llc_bw: spec.ert_llc_bw(),
+        }
+    }
+
+    /// Attainable FLOPS at operational intensity `oi` under the ERT-DRAM
+    /// roof — the red "Roofline performance" line of Figures 4–7.
+    pub fn attainable(&self, oi: f64) -> f64 {
+        (oi * self.ert_dram_bw).min(self.peak_flops)
+    }
+
+    /// Attainable FLOPS under the LLC roof (cache-resident working sets).
+    pub fn attainable_llc(&self, oi: f64) -> f64 {
+        (oi * self.ert_llc_bw).min(self.peak_flops)
+    }
+
+    /// Attainable FLOPS under the theoretical-peak DRAM roof.
+    pub fn attainable_theoretical(&self, oi: f64) -> f64 {
+        (oi * self.theoretical_dram_bw).min(self.peak_flops)
+    }
+
+    /// The ridge point: the OI where the ERT-DRAM roof meets peak compute.
+    pub fn ridge_oi(&self) -> f64 {
+        self.peak_flops / self.ert_dram_bw
+    }
+
+    /// Whether a kernel at `oi` is memory bound under the ERT-DRAM roof.
+    pub fn is_memory_bound(&self, oi: f64) -> bool {
+        oi < self.ridge_oi()
+    }
+
+    /// Sampled `(oi, attainable_flops)` series for plotting the ERT-DRAM
+    /// roof over `lo..=hi` (log-spaced, `points` samples).
+    pub fn series(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(lo > 0.0 && hi > lo && points >= 2);
+        let step = (hi / lo).powf(1.0 / (points - 1) as f64);
+        (0..points)
+            .map(|i| {
+                let oi = lo * step.powi(i as i32);
+                (oi, self.attainable(oi))
+            })
+            .collect()
+    }
+
+    /// The kernel OI markers of Figure 3: every kernel's nominal OI with its
+    /// attainable performance on this platform.
+    pub fn kernel_markers(&self) -> Vec<(Kernel, f64, f64)> {
+        Kernel::ALL
+            .iter()
+            .map(|&k| {
+                let oi = k.nominal_oi();
+                (k, oi, self.attainable(oi))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{all_platforms, bluesky, dgx1v};
+
+    #[test]
+    fn attainable_is_min_of_roofs() {
+        let r = Roofline::for_platform(&bluesky());
+        // Far left: bandwidth bound.
+        assert!(r.attainable(0.01) < r.peak_flops);
+        assert!((r.attainable(0.01) - 0.01 * r.ert_dram_bw).abs() < 1.0);
+        // Far right: compute bound.
+        assert_eq!(r.attainable(1e6), r.peak_flops);
+        // LLC roof sits above the DRAM roof in the bandwidth region.
+        assert!(r.attainable_llc(0.1) > r.attainable(0.1));
+        assert!(r.attainable_theoretical(0.1) > r.attainable(0.1));
+    }
+
+    #[test]
+    fn all_kernels_memory_bound_on_all_platforms() {
+        // The paper: "all the sparse tensor kernels we consider are main or
+        // global memory bound for CPUs and GPUs."
+        for spec in all_platforms() {
+            let r = Roofline::for_platform(&spec);
+            for (k, oi, att) in r.kernel_markers() {
+                assert!(r.is_memory_bound(oi), "{k} on {}", spec.name);
+                assert!(att < r.peak_flops);
+            }
+        }
+    }
+
+    #[test]
+    fn ridge_point_ordering() {
+        // GPUs have higher peak AND higher bandwidth; ridge points all land
+        // right of every kernel OI (max 1/2 for TTM).
+        for spec in all_platforms() {
+            let r = Roofline::for_platform(&spec);
+            assert!(r.ridge_oi() > 0.5, "{}: ridge {}", spec.name, r.ridge_oi());
+        }
+    }
+
+    #[test]
+    fn series_is_monotone() {
+        let r = Roofline::for_platform(&dgx1v());
+        let s = r.series(0.01, 100.0, 32);
+        assert_eq!(s.len(), 32);
+        for w in s.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        // Saturates at peak on the right.
+        assert_eq!(s.last().unwrap().1, r.peak_flops);
+    }
+
+    #[test]
+    fn gpu_attainable_exceeds_cpu_for_same_oi() {
+        let cpu = Roofline::for_platform(&bluesky());
+        let gpu = Roofline::for_platform(&dgx1v());
+        for oi in [0.05, 0.125, 0.25, 0.5] {
+            assert!(gpu.attainable(oi) > cpu.attainable(oi));
+        }
+    }
+}

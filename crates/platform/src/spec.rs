@@ -1,0 +1,242 @@
+//! Platform specifications — Table III of the paper.
+//!
+//! Two Intel CPU platforms (Bluesky/Skylake, Wingtip/Haswell) and two NVIDIA
+//! GPU platforms (DGX-1P/P100, DGX-1V/V100), with peak single-precision
+//! performance and memory bandwidth computed from the published parameters.
+
+/// CPU vs GPU distinction, with the topology the performance model needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlatformKind {
+    /// A multicore, possibly multi-socket CPU.
+    Cpu {
+        /// NUMA sockets.
+        sockets: u32,
+        /// Total physical cores.
+        cores: u32,
+    },
+    /// A CUDA-style GPU.
+    Gpu {
+        /// Streaming multiprocessors.
+        sms: u32,
+        /// Total CUDA cores.
+        cores: u32,
+    },
+}
+
+impl PlatformKind {
+    /// Whether this is a CPU platform.
+    pub fn is_cpu(&self) -> bool {
+        matches!(self, PlatformKind::Cpu { .. })
+    }
+
+    /// Number of NUMA sockets (1 for GPUs).
+    pub fn sockets(&self) -> u32 {
+        match self {
+            PlatformKind::Cpu { sockets, .. } => *sockets,
+            PlatformKind::Gpu { .. } => 1,
+        }
+    }
+}
+
+/// One platform row of Table III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformSpec {
+    /// Platform name (`Bluesky`, `Wingtip`, `DGX-1P`, `DGX-1V`).
+    pub name: &'static str,
+    /// Processor model.
+    pub processor: &'static str,
+    /// Microarchitecture.
+    pub microarch: &'static str,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Topology.
+    pub kind: PlatformKind,
+    /// Peak single-precision performance in TFLOPS.
+    pub peak_sp_tflops: f64,
+    /// Last-level cache size in bytes.
+    pub llc_bytes: usize,
+    /// Main/global memory size in GB.
+    pub mem_gb: f64,
+    /// Memory technology.
+    pub mem_type: &'static str,
+    /// Memory clock in GHz.
+    pub mem_freq_ghz: f64,
+    /// Theoretical peak memory bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Compiler used by the paper.
+    pub compiler: &'static str,
+    /// Fraction of peak bandwidth obtainable per ERT measurement
+    /// (the "ERT-DRAM" line of Figure 3 relative to the theoretical peak).
+    pub ert_dram_fraction: f64,
+    /// Obtainable LLC bandwidth as a multiple of the obtainable DRAM
+    /// bandwidth (also an ERT output; feeds the cache roof of Figure 3).
+    pub llc_bw_multiple: f64,
+}
+
+impl PlatformSpec {
+    /// Peak single-precision FLOPS (not TFLOPS).
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_sp_tflops * 1e12
+    }
+
+    /// Obtainable (ERT-DRAM) bandwidth in bytes/s.
+    pub fn ert_dram_bw(&self) -> f64 {
+        self.mem_bw_gbps * 1e9 * self.ert_dram_fraction
+    }
+
+    /// Obtainable LLC bandwidth in bytes/s.
+    pub fn ert_llc_bw(&self) -> f64 {
+        self.ert_dram_bw() * self.llc_bw_multiple
+    }
+}
+
+/// Bluesky: dual-socket Intel Xeon Gold 6126 (Skylake).
+pub fn bluesky() -> PlatformSpec {
+    PlatformSpec {
+        name: "Bluesky",
+        processor: "Intel Xeon Gold 6126",
+        microarch: "Skylake",
+        freq_ghz: 2.60,
+        kind: PlatformKind::Cpu { sockets: 2, cores: 24 },
+        peak_sp_tflops: 1.0,
+        llc_bytes: 19 << 20,
+        mem_gb: 196.0,
+        mem_type: "DDR4",
+        mem_freq_ghz: 2.666,
+        mem_bw_gbps: 256.0,
+        compiler: "gcc 7.1.0",
+        ert_dram_fraction: 0.62,
+        llc_bw_multiple: 3.0,
+    }
+}
+
+/// Wingtip: four-socket Intel Xeon E7-4850 v3 (Haswell).
+pub fn wingtip() -> PlatformSpec {
+    PlatformSpec {
+        name: "Wingtip",
+        processor: "Intel Xeon E7-4850v3",
+        microarch: "Haswell",
+        freq_ghz: 2.20,
+        kind: PlatformKind::Cpu { sockets: 4, cores: 56 },
+        peak_sp_tflops: 2.0,
+        llc_bytes: 35 << 20,
+        mem_gb: 2114.0,
+        mem_type: "DDR4",
+        mem_freq_ghz: 2.133,
+        mem_bw_gbps: 273.0,
+        compiler: "gcc 5.5.0",
+        ert_dram_fraction: 0.55,
+        llc_bw_multiple: 3.5,
+    }
+}
+
+/// DGX-1P: NVIDIA Tesla P100 (Pascal).
+pub fn dgx1p() -> PlatformSpec {
+    PlatformSpec {
+        name: "DGX-1P",
+        processor: "NVIDIA Tesla P100",
+        microarch: "Pascal",
+        freq_ghz: 1.48,
+        kind: PlatformKind::Gpu { sms: 56, cores: 3584 },
+        peak_sp_tflops: 10.6,
+        llc_bytes: 3 << 20,
+        mem_gb: 16.0,
+        mem_type: "HBM2",
+        mem_freq_ghz: 0.715,
+        mem_bw_gbps: 732.0,
+        compiler: "CUDA Tkit 9.1",
+        ert_dram_fraction: 0.72,
+        llc_bw_multiple: 2.5,
+    }
+}
+
+/// DGX-1V: NVIDIA Tesla V100 (Volta).
+pub fn dgx1v() -> PlatformSpec {
+    PlatformSpec {
+        name: "DGX-1V",
+        processor: "NVIDIA Tesla V100",
+        microarch: "Volta",
+        freq_ghz: 1.53,
+        kind: PlatformKind::Gpu { sms: 80, cores: 5120 },
+        peak_sp_tflops: 14.9,
+        llc_bytes: 6 << 20,
+        mem_gb: 16.0,
+        mem_type: "HBM2",
+        mem_freq_ghz: 0.877,
+        mem_bw_gbps: 900.0,
+        compiler: "CUDA Tkit 9.0",
+        ert_dram_fraction: 0.78,
+        llc_bw_multiple: 2.5,
+    }
+}
+
+/// All four platforms in Table III order.
+pub fn all_platforms() -> Vec<PlatformSpec> {
+    vec![bluesky(), wingtip(), dgx1p(), dgx1v()]
+}
+
+/// Looks up a platform by (case-insensitive) name.
+pub fn find_platform(name: &str) -> Option<PlatformSpec> {
+    all_platforms().into_iter().find(|p| p.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_platforms() {
+        let all = all_platforms();
+        assert_eq!(all.len(), 4);
+        assert!(all[0].kind.is_cpu());
+        assert!(all[1].kind.is_cpu());
+        assert!(!all[2].kind.is_cpu());
+        assert!(!all[3].kind.is_cpu());
+    }
+
+    #[test]
+    fn paper_advantage_ratios_hold() {
+        // "GPUs show advantages in peak performance and memory bandwidth
+        // over CPUs by approximately 4-12x and 3-7x respectively."
+        let (bs, wt, p, v) = (bluesky(), wingtip(), dgx1p(), dgx1v());
+        for gpu in [&p, &v] {
+            for cpu in [&bs, &wt] {
+                let perf = gpu.peak_sp_tflops / cpu.peak_sp_tflops;
+                let bw = gpu.mem_bw_gbps / cpu.mem_bw_gbps;
+                assert!((4.0..=15.0).contains(&perf), "perf ratio {perf}");
+                assert!((2.5..=7.5).contains(&bw), "bw ratio {bw}");
+            }
+        }
+    }
+
+    #[test]
+    fn peak_sp_above_one_tflops() {
+        // "The peak SP performance of all machines is above 1 TFLOPS."
+        assert!(all_platforms().iter().all(|p| p.peak_sp_tflops >= 1.0));
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let b = bluesky();
+        assert_eq!(b.peak_flops(), 1e12);
+        assert!(b.ert_dram_bw() < b.mem_bw_gbps * 1e9);
+        assert!(b.ert_llc_bw() > b.ert_dram_bw());
+        assert_eq!(b.kind.sockets(), 2);
+        assert_eq!(dgx1v().kind.sockets(), 1);
+    }
+
+    #[test]
+    fn llc_sizes_match_table() {
+        assert_eq!(bluesky().llc_bytes, 19 * 1024 * 1024);
+        assert_eq!(wingtip().llc_bytes, 35 * 1024 * 1024);
+        assert_eq!(dgx1p().llc_bytes, 3 * 1024 * 1024);
+        assert_eq!(dgx1v().llc_bytes, 6 * 1024 * 1024);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(find_platform("bluesky").unwrap().name, "Bluesky");
+        assert_eq!(find_platform("DGX-1V").unwrap().microarch, "Volta");
+        assert!(find_platform("cray").is_none());
+    }
+}

@@ -1,0 +1,110 @@
+//! Simulated GPU device descriptions.
+//!
+//! Models the two evaluation GPUs of the paper (Table III): the Tesla P100
+//! (DGX-1P, Pascal) and Tesla V100 (DGX-1V, Volta). Parameters beyond
+//! Table III (sector size, atomic throughput, block concurrency) use the
+//! publicly documented microarchitectural values; Volta's improved atomic
+//! datapath — one of the paper's explanations for V100's above-Roofline
+//! MTTKRP (Observation 2) — is captured by a lower atomic latency.
+
+/// A simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Device name.
+    pub name: &'static str,
+    /// Streaming multiprocessors.
+    pub sms: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak single-precision FLOPS.
+    pub peak_flops: f64,
+    /// Global (HBM) memory bandwidth, bytes/s (theoretical).
+    pub hbm_bw: f64,
+    /// Fraction of the HBM bandwidth obtainable by irregular kernels.
+    pub obtainable_fraction: f64,
+    /// L2 (last-level) cache size in bytes.
+    pub l2_bytes: usize,
+    /// DRAM sector (transaction) size in bytes.
+    pub sector_bytes: u32,
+    /// Warp width.
+    pub warp_size: u32,
+    /// Thread blocks an SM can run concurrently.
+    pub blocks_per_sm: u32,
+    /// Serialized latency of one conflicting atomic update, seconds.
+    pub atomic_latency: f64,
+}
+
+impl DeviceSpec {
+    /// Obtainable HBM bandwidth, bytes/s.
+    pub fn obtainable_bw(&self) -> f64 {
+        self.hbm_bw * self.obtainable_fraction
+    }
+
+    /// Per-SM share of the obtainable bandwidth when all SMs are busy.
+    pub fn bw_per_sm(&self) -> f64 {
+        self.obtainable_bw() / self.sms as f64
+    }
+
+    /// Per-SM share of peak flops.
+    pub fn flops_per_sm(&self) -> f64 {
+        self.peak_flops / self.sms as f64
+    }
+}
+
+/// NVIDIA Tesla P100 (the paper's DGX-1P platform).
+pub fn p100() -> DeviceSpec {
+    DeviceSpec {
+        name: "P100",
+        sms: 56,
+        clock_ghz: 1.48,
+        peak_flops: 10.6e12,
+        hbm_bw: 732e9,
+        obtainable_fraction: 0.72,
+        l2_bytes: 3 << 20,
+        sector_bytes: 32,
+        warp_size: 32,
+        blocks_per_sm: 8,
+        atomic_latency: 12e-9,
+    }
+}
+
+/// NVIDIA Tesla V100 (the paper's DGX-1V platform): larger L2 and an
+/// improved atomic datapath relative to Pascal.
+pub fn v100() -> DeviceSpec {
+    DeviceSpec {
+        name: "V100",
+        sms: 80,
+        clock_ghz: 1.53,
+        peak_flops: 14.9e12,
+        hbm_bw: 900e9,
+        obtainable_fraction: 0.78,
+        l2_bytes: 6 << 20,
+        sector_bytes: 32,
+        warp_size: 32,
+        blocks_per_sm: 8,
+        atomic_latency: 3e-9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_improves_on_p100() {
+        let (p, v) = (p100(), v100());
+        assert!(v.peak_flops > p.peak_flops);
+        assert!(v.hbm_bw > p.hbm_bw);
+        assert!(v.l2_bytes == 2 * p.l2_bytes);
+        assert!(v.atomic_latency < p.atomic_latency, "Volta's improved atomics");
+        assert!(v.sms > p.sms);
+    }
+
+    #[test]
+    fn derived_shares() {
+        let p = p100();
+        assert!(p.obtainable_bw() < p.hbm_bw);
+        assert!((p.bw_per_sm() * p.sms as f64 - p.obtainable_bw()).abs() < 1.0);
+        assert!((p.flops_per_sm() * p.sms as f64 - p.peak_flops).abs() < 1.0);
+    }
+}

@@ -1,0 +1,1037 @@
+//! The PASTA GPU kernels, written against the SIMT simulator.
+//!
+//! Faithful to Section III of the paper:
+//!
+//! - COO-TEW-GPU / COO-TS-GPU — 1-D grids of 1-D 256-thread blocks over
+//!   non-zeros;
+//! - COO-TTV-GPU — Algorithm 2: one thread per mode-`n` fiber;
+//! - COO-TTM-GPU — 1-D grids of 2-D blocks, x-dimension over matrix columns
+//!   for coalescing, y-dimension over fibers;
+//! - COO-MTTKRP-GPU — 2-D blocks (x = columns, y = non-zeros) with
+//!   `atomicAdd` on the output;
+//! - HiCOO-MTTKRP-GPU — one *tensor block* per CUDA block (the unoptimized
+//!   mapping the paper describes), atomics retained; block-population
+//!   imbalance shows up directly in the SM makespan.
+//!
+//! The paper notes HiCOO's other GPU kernels share the COO value loops, so
+//! TEW/TS/TTV/TTM have a single GPU implementation here.
+
+use crate::sim::GpuKernel;
+use crate::trace::{Accessor, AddrSpace};
+use pasta_core::{CooTensor, Coord, DenseMatrix, DenseVector, Error, FiberIndex, HiCooTensor, Result};
+use pasta_kernels::{EwOp, TsOp};
+
+const THREADS_1D: usize = 256;
+
+// Access-site labels (arbitrary but distinct per array).
+const S_XVAL: u16 = 0;
+const S_YVAL: u16 = 1;
+const S_ZVAL: u16 = 2;
+const S_FPTR: u16 = 3;
+const S_KIND: u16 = 4;
+const S_VEC: u16 = 5;
+const S_OUTIND: u16 = 6;
+const S_MAT: u16 = 7;
+const S_ATOMIC: u16 = 8;
+const S_IND_BASE: u16 = 16; // + mode
+const S_FACTOR_BASE: u16 = 32; // + mode
+
+/// COO-TEW-GPU: one thread per non-zero, same-pattern inputs.
+#[derive(Debug)]
+pub struct GpuTewCoo {
+    op: EwOp,
+    x: Vec<f32>,
+    y: Vec<f32>,
+    z: Vec<f32>,
+    bx: u64,
+    by: u64,
+    bz: u64,
+}
+
+impl GpuTewCoo {
+    /// Builds the kernel from two same-pattern tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PatternMismatch`] if the patterns differ.
+    pub fn new(x: &CooTensor<f32>, y: &CooTensor<f32>, op: EwOp) -> Result<Self> {
+        if !x.same_pattern(y) {
+            return Err(Error::PatternMismatch);
+        }
+        let m = x.nnz() as u64;
+        let mut a = AddrSpace::new();
+        Ok(Self {
+            op,
+            x: x.vals().to_vec(),
+            y: y.vals().to_vec(),
+            z: vec![0.0; x.nnz()],
+            bx: a.alloc(4 * m),
+            by: a.alloc(4 * m),
+            bz: a.alloc(4 * m),
+        })
+    }
+
+    /// The computed output values (valid after `launch`).
+    pub fn output(&self) -> &[f32] {
+        &self.z
+    }
+}
+
+impl GpuKernel for GpuTewCoo {
+    fn grid_dim(&self) -> usize {
+        self.x.len().div_ceil(THREADS_1D)
+    }
+    fn block_dim(&self) -> usize {
+        THREADS_1D
+    }
+    fn thread(&mut self, b: usize, t: usize, acc: &mut Accessor<'_>) {
+        let i = b * THREADS_1D + t;
+        if i >= self.x.len() {
+            return;
+        }
+        acc.read(S_XVAL, self.bx + 4 * i as u64, 4);
+        acc.read(S_YVAL, self.by + 4 * i as u64, 4);
+        self.z[i] = self.op.apply(self.x[i], self.y[i]);
+        acc.flops(1);
+        acc.write(S_ZVAL, self.bz + 4 * i as u64, 4);
+    }
+}
+
+/// COO-TS-GPU: one thread per non-zero.
+#[derive(Debug)]
+pub struct GpuTsCoo {
+    op: TsOp,
+    s: f32,
+    x: Vec<f32>,
+    y: Vec<f32>,
+    bx: u64,
+    by: u64,
+}
+
+impl GpuTsCoo {
+    /// Builds the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DivisionByZero`] for `Div` with `s == 0`.
+    pub fn new(x: &CooTensor<f32>, op: TsOp, s: f32) -> Result<Self> {
+        if op == TsOp::Div && s == 0.0 {
+            return Err(Error::DivisionByZero);
+        }
+        let m = x.nnz() as u64;
+        let mut a = AddrSpace::new();
+        Ok(Self { op, s, x: x.vals().to_vec(), y: vec![0.0; x.nnz()], bx: a.alloc(4 * m), by: a.alloc(4 * m) })
+    }
+
+    /// The computed output values.
+    pub fn output(&self) -> &[f32] {
+        &self.y
+    }
+}
+
+impl GpuKernel for GpuTsCoo {
+    fn grid_dim(&self) -> usize {
+        self.x.len().div_ceil(THREADS_1D)
+    }
+    fn block_dim(&self) -> usize {
+        THREADS_1D
+    }
+    fn thread(&mut self, b: usize, t: usize, acc: &mut Accessor<'_>) {
+        let i = b * THREADS_1D + t;
+        if i >= self.x.len() {
+            return;
+        }
+        acc.read(S_XVAL, self.bx + 4 * i as u64, 4);
+        self.y[i] = self.op.apply(self.x[i], self.s);
+        acc.flops(1);
+        acc.write(S_YVAL, self.by + 4 * i as u64, 4);
+    }
+}
+
+/// COO-TTV-GPU (Algorithm 2): one thread per mode-`n` fiber.
+#[derive(Debug)]
+pub struct GpuTtvCoo {
+    vals: Vec<f32>,
+    kind: Vec<Coord>,
+    fptr: Vec<usize>,
+    other_inds: Vec<Vec<Coord>>,
+    v: Vec<f32>,
+    out: Vec<f32>,
+    b_vals: u64,
+    b_kind: u64,
+    b_fptr: u64,
+    b_inds: Vec<u64>,
+    b_outind: u64,
+    b_vec: u64,
+    b_out: u64,
+}
+
+impl GpuTtvCoo {
+    /// Builds the kernel: sorts a copy mode-last, finds fibers, allocates
+    /// the output (the untimed pre-processing of Algorithm 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid mode or mismatched vector length.
+    pub fn new(x: &CooTensor<f32>, v: &DenseVector<f32>, n: usize) -> Result<Self> {
+        x.shape().check_mode(n)?;
+        if x.order() < 2 {
+            return Err(Error::InvalidMode { mode: n, order: x.order() });
+        }
+        if v.len() != x.shape().dim(n) as usize {
+            return Err(Error::OperandMismatch {
+                what: format!("vector length {} vs mode dim {}", v.len(), x.shape().dim(n)),
+            });
+        }
+        let mut xs = x.clone();
+        xs.sort_mode_last(n);
+        let fibers = FiberIndex::build(&xs, n);
+        let m = xs.nnz() as u64;
+        let mf = fibers.num_fibers() as u64;
+        let mut a = AddrSpace::new();
+        let other: Vec<usize> = (0..x.order()).filter(|&mm| mm != n).collect();
+        Ok(Self {
+            vals: xs.vals().to_vec(),
+            kind: xs.mode_inds(n).to_vec(),
+            fptr: fibers.fptr().to_vec(),
+            other_inds: other.iter().map(|&mm| xs.mode_inds(mm).to_vec()).collect(),
+            v: v.as_slice().to_vec(),
+            out: vec![0.0; fibers.num_fibers()],
+            b_vals: a.alloc(4 * m),
+            b_kind: a.alloc(4 * m),
+            b_fptr: a.alloc(8 * (mf + 1)),
+            b_inds: other.iter().map(|_| a.alloc(4 * m)).collect(),
+            b_outind: a.alloc(4 * mf * other.len() as u64),
+            b_vec: a.alloc(4 * v.len() as u64),
+            b_out: a.alloc(4 * mf),
+        })
+    }
+
+    /// The per-fiber output values.
+    pub fn output(&self) -> &[f32] {
+        &self.out
+    }
+
+    /// The number of output non-zeros (`M_F`).
+    pub fn num_fibers(&self) -> usize {
+        self.out.len()
+    }
+}
+
+impl GpuKernel for GpuTtvCoo {
+    fn grid_dim(&self) -> usize {
+        self.out.len().div_ceil(THREADS_1D)
+    }
+    fn block_dim(&self) -> usize {
+        THREADS_1D
+    }
+    fn thread(&mut self, b: usize, t: usize, acc: &mut Accessor<'_>) {
+        let f = b * THREADS_1D + t;
+        if f >= self.out.len() {
+            return;
+        }
+        acc.read(S_FPTR, self.b_fptr + 8 * f as u64, 8);
+        acc.read(S_FPTR, self.b_fptr + 8 * (f as u64 + 1), 8);
+        let (lo, hi) = (self.fptr[f], self.fptr[f + 1]);
+        // Algorithm 2 lines 3-4: copy the fiber's output indices.
+        for (k, inds) in self.other_inds.iter().enumerate() {
+            acc.read(S_IND_BASE + k as u16, self.b_inds[k] + 4 * lo as u64, 4);
+            let _ = inds[lo];
+            acc.write(S_OUTIND, self.b_outind + 4 * (f * self.other_inds.len() + k) as u64, 4);
+        }
+        let mut v = 0.0f32;
+        for m in lo..hi {
+            acc.read(S_KIND, self.b_kind + 4 * m as u64, 4);
+            acc.read(S_XVAL, self.b_vals + 4 * m as u64, 4);
+            let k = self.kind[m] as usize;
+            acc.read(S_VEC, self.b_vec + 4 * k as u64, 4);
+            v += self.vals[m] * self.v[k];
+            acc.flops(2);
+        }
+        self.out[f] = v;
+        acc.write(S_YVAL, self.b_out + 4 * f as u64, 4);
+    }
+}
+
+/// COO-TTM-GPU: 2-D blocks, x = matrix columns (coalesced), y = fibers.
+#[derive(Debug)]
+pub struct GpuTtmCoo {
+    r: usize,
+    vals: Vec<f32>,
+    kind: Vec<Coord>,
+    fptr: Vec<usize>,
+    u: DenseMatrix<f32>,
+    out: Vec<f32>,
+    b_vals: u64,
+    b_kind: u64,
+    b_fptr: u64,
+    b_mat: u64,
+    b_out: u64,
+    block_y: usize,
+}
+
+impl GpuTtmCoo {
+    /// Builds the kernel (pre-processing as for TTV).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid mode or mismatched matrix rows.
+    pub fn new(x: &CooTensor<f32>, u: &DenseMatrix<f32>, n: usize) -> Result<Self> {
+        x.shape().check_mode(n)?;
+        if u.rows() != x.shape().dim(n) as usize {
+            return Err(Error::OperandMismatch {
+                what: format!("matrix rows {} vs mode dim {}", u.rows(), x.shape().dim(n)),
+            });
+        }
+        let r = u.cols();
+        if r == 0 || r > 64 {
+            return Err(Error::OperandMismatch { what: "column count must be in 1..=64".into() });
+        }
+        let mut xs = x.clone();
+        xs.sort_mode_last(n);
+        let fibers = FiberIndex::build(&xs, n);
+        let m = xs.nnz() as u64;
+        let mf = fibers.num_fibers() as u64;
+        let mut a = AddrSpace::new();
+        Ok(Self {
+            r,
+            vals: xs.vals().to_vec(),
+            kind: xs.mode_inds(n).to_vec(),
+            fptr: fibers.fptr().to_vec(),
+            u: u.clone(),
+            out: vec![0.0; (mf as usize) * r],
+            b_vals: a.alloc(4 * m),
+            b_kind: a.alloc(4 * m),
+            b_fptr: a.alloc(8 * (mf + 1)),
+            b_mat: a.alloc(4 * (u.rows() * r) as u64),
+            b_out: a.alloc(4 * mf * r as u64),
+            block_y: (THREADS_1D / r).max(1),
+        })
+    }
+
+    /// The output values, fiber-major (`M_F × R`).
+    pub fn output(&self) -> &[f32] {
+        &self.out
+    }
+
+    /// The number of output fibers.
+    pub fn num_fibers(&self) -> usize {
+        self.fptr.len() - 1
+    }
+}
+
+impl GpuKernel for GpuTtmCoo {
+    fn grid_dim(&self) -> usize {
+        self.num_fibers().div_ceil(self.block_y)
+    }
+    fn block_dim(&self) -> usize {
+        self.block_y * self.r
+    }
+    fn thread(&mut self, b: usize, t: usize, acc: &mut Accessor<'_>) {
+        // CUDA linearization: x fastest. x = column, y = fiber-in-block.
+        let rr = t % self.r;
+        let fy = t / self.r;
+        let f = b * self.block_y + fy;
+        if f >= self.num_fibers() {
+            return;
+        }
+        acc.read(S_FPTR, self.b_fptr + 8 * f as u64, 8);
+        acc.read(S_FPTR, self.b_fptr + 8 * (f as u64 + 1), 8);
+        let (lo, hi) = (self.fptr[f], self.fptr[f + 1]);
+        let mut acc_v = 0.0f32;
+        for m in lo..hi {
+            acc.read(S_KIND, self.b_kind + 4 * m as u64, 4);
+            acc.read(S_XVAL, self.b_vals + 4 * m as u64, 4);
+            let k = self.kind[m] as usize;
+            acc.read(S_MAT, self.b_mat + 4 * (k * self.r + rr) as u64, 4);
+            acc_v += self.vals[m] * self.u.get(k, rr);
+            acc.flops(2);
+        }
+        self.out[f * self.r + rr] = acc_v;
+        acc.write(S_YVAL, self.b_out + 4 * (f * self.r + rr) as u64, 4);
+    }
+}
+
+/// COO-MTTKRP-GPU: 2-D blocks (x = columns, y = non-zeros), `atomicAdd` on
+/// the output rows.
+#[derive(Debug)]
+pub struct GpuMttkrpCoo {
+    r: usize,
+    order: usize,
+    n: usize,
+    inds: Vec<Vec<Coord>>,
+    vals: Vec<f32>,
+    factors: Vec<DenseMatrix<f32>>,
+    out: DenseMatrix<f32>,
+    b_vals: u64,
+    b_inds: Vec<u64>,
+    b_factors: Vec<u64>,
+    b_out: u64,
+    block_y: usize,
+}
+
+impl GpuMttkrpCoo {
+    /// Builds the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for inconsistent factor matrices.
+    pub fn new(x: &CooTensor<f32>, factors: &[DenseMatrix<f32>], n: usize) -> Result<Self> {
+        x.shape().check_mode(n)?;
+        if factors.len() != x.order() {
+            return Err(Error::OperandMismatch {
+                what: format!("expected {} factors, got {}", x.order(), factors.len()),
+            });
+        }
+        let r = factors[0].cols();
+        if r == 0 || r > 64 {
+            return Err(Error::OperandMismatch { what: "rank must be in 1..=64".into() });
+        }
+        for (m, f) in factors.iter().enumerate() {
+            if f.cols() != r || f.rows() != x.shape().dim(m) as usize {
+                return Err(Error::OperandMismatch { what: format!("factor {m} shape mismatch") });
+            }
+        }
+        let m = x.nnz() as u64;
+        let mut a = AddrSpace::new();
+        Ok(Self {
+            r,
+            order: x.order(),
+            n,
+            inds: (0..x.order()).map(|mm| x.mode_inds(mm).to_vec()).collect(),
+            vals: x.vals().to_vec(),
+            factors: factors.to_vec(),
+            out: DenseMatrix::zeros(x.shape().dim(n) as usize, r),
+            b_vals: a.alloc(4 * m),
+            b_inds: (0..x.order()).map(|_| a.alloc(4 * m)).collect(),
+            b_factors: factors.iter().map(|f| a.alloc(4 * (f.rows() * r) as u64)).collect(),
+            b_out: a.alloc(4 * (x.shape().dim(n) as usize * r) as u64),
+            block_y: (THREADS_1D / r).max(1),
+        })
+    }
+
+    /// The accumulated output matrix.
+    pub fn output(&self) -> &DenseMatrix<f32> {
+        &self.out
+    }
+}
+
+impl GpuKernel for GpuMttkrpCoo {
+    fn grid_dim(&self) -> usize {
+        self.vals.len().div_ceil(self.block_y)
+    }
+    fn block_dim(&self) -> usize {
+        self.block_y * self.r
+    }
+    fn thread(&mut self, b: usize, t: usize, acc: &mut Accessor<'_>) {
+        let rr = t % self.r;
+        let zy = t / self.r;
+        let z = b * self.block_y + zy;
+        if z >= self.vals.len() {
+            return;
+        }
+        acc.read(S_XVAL, self.b_vals + 4 * z as u64, 4);
+        let mut tmp = self.vals[z];
+        for m in 0..self.order {
+            acc.read(S_IND_BASE + m as u16, self.b_inds[m] + 4 * z as u64, 4);
+            if m == self.n {
+                continue;
+            }
+            let row = self.inds[m][z] as usize;
+            acc.read(S_FACTOR_BASE + m as u16, self.b_factors[m] + 4 * (row * self.r + rr) as u64, 4);
+            tmp *= self.factors[m].get(row, rr);
+            acc.flops(1);
+        }
+        let i = self.inds[self.n][z] as usize;
+        let cur = self.out.get(i, rr);
+        self.out.set(i, rr, cur + tmp);
+        acc.flops(1);
+        acc.atomic(S_ATOMIC, self.b_out + 4 * (i * self.r + rr) as u64);
+    }
+}
+
+/// HiCOO-MTTKRP-GPU: one tensor block per CUDA block (the paper's
+/// unoptimized mapping). Threads iterate the block's non-zeros in strides of
+/// `blockDim.y`; atomics protect the shared output.
+#[derive(Debug)]
+pub struct GpuMttkrpHicoo {
+    r: usize,
+    order: usize,
+    n: usize,
+    x: HiCooTensor<f32>,
+    factors: Vec<DenseMatrix<f32>>,
+    out: DenseMatrix<f32>,
+    b_vals: u64,
+    b_binds: Vec<u64>,
+    b_einds: Vec<u64>,
+    b_bptr: u64,
+    b_factors: Vec<u64>,
+    b_out: u64,
+    block_y: usize,
+}
+
+impl GpuMttkrpHicoo {
+    /// Builds the kernel from a HiCOO tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for inconsistent factor matrices.
+    pub fn new(x: &HiCooTensor<f32>, factors: &[DenseMatrix<f32>], n: usize) -> Result<Self> {
+        x.shape().check_mode(n)?;
+        if factors.len() != x.order() {
+            return Err(Error::OperandMismatch {
+                what: format!("expected {} factors, got {}", x.order(), factors.len()),
+            });
+        }
+        let r = factors[0].cols();
+        if r == 0 || r > 64 {
+            return Err(Error::OperandMismatch { what: "rank must be in 1..=64".into() });
+        }
+        for (m, f) in factors.iter().enumerate() {
+            if f.cols() != r || f.rows() != x.shape().dim(m) as usize {
+                return Err(Error::OperandMismatch { what: format!("factor {m} shape mismatch") });
+            }
+        }
+        let m = x.nnz() as u64;
+        let nb = x.num_blocks() as u64;
+        let mut a = AddrSpace::new();
+        Ok(Self {
+            r,
+            order: x.order(),
+            n,
+            factors: factors.to_vec(),
+            out: DenseMatrix::zeros(x.shape().dim(n) as usize, r),
+            b_vals: a.alloc(4 * m),
+            b_binds: (0..x.order()).map(|_| a.alloc(4 * nb)).collect(),
+            b_einds: (0..x.order()).map(|_| a.alloc(m)).collect(),
+            b_bptr: a.alloc(8 * (nb + 1)),
+            b_factors: factors.iter().map(|f| a.alloc(4 * (f.rows() * r) as u64)).collect(),
+            b_out: a.alloc(4 * (x.shape().dim(n) as usize * r) as u64),
+            block_y: (THREADS_1D / r).max(1),
+            x: x.clone(),
+        })
+    }
+
+    /// The accumulated output matrix.
+    pub fn output(&self) -> &DenseMatrix<f32> {
+        &self.out
+    }
+}
+
+impl GpuKernel for GpuMttkrpHicoo {
+    fn grid_dim(&self) -> usize {
+        self.x.num_blocks()
+    }
+    fn block_dim(&self) -> usize {
+        self.block_y * self.r
+    }
+    fn thread(&mut self, b: usize, t: usize, acc: &mut Accessor<'_>) {
+        let rr = t % self.r;
+        let ty = t / self.r;
+        let bits = self.x.block_bits();
+        let range = self.x.block_range(b);
+        if range.is_empty() {
+            return;
+        }
+        // Thread (0, 0) reads the block metadata (broadcast to the block).
+        if t == 0 {
+            acc.read(S_FPTR, self.b_bptr + 8 * b as u64, 8);
+            acc.read(S_FPTR, self.b_bptr + 8 * (b as u64 + 1), 8);
+            for m in 0..self.order {
+                acc.read(S_IND_BASE + m as u16, self.b_binds[m] + 4 * b as u64, 4);
+            }
+        }
+        let bases: Vec<usize> =
+            (0..self.order).map(|m| (self.x.mode_binds(m)[b] as usize) << bits).collect();
+        // Strided loop over the block's non-zeros.
+        let mut z = range.start + ty;
+        while z < range.end {
+            acc.read(S_XVAL, self.b_vals + 4 * z as u64, 4);
+            let mut tmp = self.x.vals()[z];
+            for m in 0..self.order {
+                acc.read(S_KIND, self.b_einds[m] + z as u64, 1);
+                if m == self.n {
+                    continue;
+                }
+                let row = bases[m] + self.x.mode_einds(m)[z] as usize;
+                acc.read(
+                    S_FACTOR_BASE + m as u16,
+                    self.b_factors[m] + 4 * (row * self.r + rr) as u64,
+                    4,
+                );
+                tmp *= self.factors[m].get(row, rr);
+                acc.flops(1);
+            }
+            let i = bases[self.n] + self.x.mode_einds(self.n)[z] as usize;
+            let cur = self.out.get(i, rr);
+            self.out.set(i, rr, cur + tmp);
+            acc.flops(1);
+            acc.atomic(S_ATOMIC, self.b_out + 4 * (i * self.r + rr) as u64);
+            z += self.block_y;
+        }
+    }
+}
+
+/// F-COO TTV on the GPU: one thread per *non-zero* (perfect balance), with
+/// the per-fiber sums assembled through `atomicAdd` — the segmented-
+/// reduction formulation of the F-COO format (Liu et al., cited in Section
+/// III of the paper) in its simplest atomics-based variant. Where
+/// COO-TTV-GPU serializes a long fiber on one thread, this kernel spreads
+/// it across the machine.
+#[derive(Debug)]
+pub struct GpuTtvFcoo {
+    vals: Vec<f32>,
+    pinds: Vec<Coord>,
+    fiber_of: Vec<u32>,
+    v: Vec<f32>,
+    out: Vec<f32>,
+    b_vals: u64,
+    b_pinds: u64,
+    b_flags: u64,
+    b_vec: u64,
+    b_out: u64,
+}
+
+impl GpuTtvFcoo {
+    /// Builds the kernel from an F-COO tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a mismatched vector length.
+    pub fn new(x: &pasta_core::FCooTensor<f32>, v: &DenseVector<f32>) -> Result<Self> {
+        if v.len() != x.shape().dim(x.mode()) as usize {
+            return Err(Error::OperandMismatch {
+                what: format!("vector length {} vs mode dim {}", v.len(), x.shape().dim(x.mode())),
+            });
+        }
+        // Pre-processing: expand the bit flags into fiber ids (on a real GPU
+        // this is the segmented-scan metadata construction).
+        let mut fiber_of = Vec::with_capacity(x.nnz());
+        let mut f: u32 = 0;
+        for (i, &flag) in x.start_flags().iter().enumerate() {
+            if flag && i > 0 {
+                f += 1;
+            }
+            fiber_of.push(f);
+        }
+        let m = x.nnz() as u64;
+        let mut a = AddrSpace::new();
+        Ok(Self {
+            vals: x.vals().to_vec(),
+            pinds: x.product_inds().to_vec(),
+            fiber_of,
+            v: v.as_slice().to_vec(),
+            out: vec![0.0; x.num_fibers()],
+            b_vals: a.alloc(4 * m),
+            b_pinds: a.alloc(4 * m),
+            b_flags: a.alloc(m.div_ceil(8)),
+            b_vec: a.alloc(4 * v.len() as u64),
+            b_out: a.alloc(4 * x.num_fibers() as u64),
+        })
+    }
+
+    /// The per-fiber output values.
+    pub fn output(&self) -> &[f32] {
+        &self.out
+    }
+}
+
+impl GpuKernel for GpuTtvFcoo {
+    fn grid_dim(&self) -> usize {
+        self.vals.len().div_ceil(THREADS_1D)
+    }
+    fn block_dim(&self) -> usize {
+        THREADS_1D
+    }
+    fn thread(&mut self, b: usize, t: usize, acc: &mut Accessor<'_>) {
+        let i = b * THREADS_1D + t;
+        if i >= self.vals.len() {
+            return;
+        }
+        acc.read(S_XVAL, self.b_vals + 4 * i as u64, 4);
+        acc.read(S_KIND, self.b_pinds + 4 * i as u64, 4);
+        acc.read(S_FPTR, self.b_flags + i as u64 / 8, 1); // the bit flag
+        let k = self.pinds[i] as usize;
+        acc.read(S_VEC, self.b_vec + 4 * k as u64, 4);
+        let contrib = self.vals[i] * self.v[k];
+        acc.flops(2);
+        let f = self.fiber_of[i] as usize;
+        self.out[f] += contrib;
+        // Warp-level segmented reduction: lanes of one warp combine their
+        // same-fiber contributions in registers, and only the last lane of
+        // each segment issues the memory atomic.
+        let n = self.vals.len();
+        let last_of_segment = i + 1 >= n
+            || self.fiber_of[i + 1] as usize != f
+            || (i + 1).is_multiple_of(32);
+        if last_of_segment {
+            acc.atomic(S_ATOMIC, self.b_out + 4 * f as u64);
+        }
+    }
+}
+
+/// Balanced HiCOO-MTTKRP-GPU: tensor blocks are split into bounded work
+/// units before mapping onto CUDA blocks.
+///
+/// The paper attributes HiCOO-MTTKRP-GPU's losses to "work imbalance due to
+/// different numbers of non-zeros in tensor blocks" and cites the
+/// load-balanced B-CSF approach as the remedy; this kernel applies that
+/// remedy to HiCOO: every CUDA block processes at most `max_unit` non-zeros
+/// of one tensor block, so a dense block fans out across many SMs instead
+/// of serializing on one.
+#[derive(Debug)]
+pub struct GpuMttkrpHicooBalanced {
+    inner: GpuMttkrpHicoo,
+    /// Work units: `(tensor block, start, end)` entry ranges.
+    units: Vec<(usize, usize, usize)>,
+    max_unit: usize,
+}
+
+impl GpuMttkrpHicooBalanced {
+    /// Builds the kernel; `max_unit` bounds the non-zeros per CUDA block
+    /// (the paper-scale default would be a few hundred).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for inconsistent factors or `max_unit == 0`.
+    pub fn new(
+        x: &HiCooTensor<f32>,
+        factors: &[DenseMatrix<f32>],
+        n: usize,
+        max_unit: usize,
+    ) -> Result<Self> {
+        if max_unit == 0 {
+            return Err(Error::OperandMismatch { what: "max_unit must be positive".into() });
+        }
+        let inner = GpuMttkrpHicoo::new(x, factors, n)?;
+        let mut units = Vec::new();
+        for b in 0..x.num_blocks() {
+            let range = x.block_range(b);
+            let mut s = range.start;
+            while s < range.end {
+                let e = (s + max_unit).min(range.end);
+                units.push((b, s, e));
+                s = e;
+            }
+        }
+        Ok(Self { inner, units, max_unit })
+    }
+
+    /// The accumulated output matrix.
+    pub fn output(&self) -> &DenseMatrix<f32> {
+        self.inner.output()
+    }
+
+    /// The number of work units (CUDA blocks launched).
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+}
+
+impl GpuKernel for GpuMttkrpHicooBalanced {
+    fn grid_dim(&self) -> usize {
+        self.units.len()
+    }
+    fn block_dim(&self) -> usize {
+        self.inner.block_dim()
+    }
+    fn thread(&mut self, cuda_block: usize, t: usize, acc: &mut Accessor<'_>) {
+        let (b, start, end) = self.units[cuda_block];
+        let rr = t % self.inner.r;
+        let ty = t / self.inner.r;
+        let bits = self.inner.x.block_bits();
+        if t == 0 {
+            acc.read(S_FPTR, self.inner.b_bptr + 8 * b as u64, 8);
+            for m in 0..self.inner.order {
+                acc.read(S_IND_BASE + m as u16, self.inner.b_binds[m] + 4 * b as u64, 4);
+            }
+        }
+        let bases: Vec<usize> = (0..self.inner.order)
+            .map(|m| (self.inner.x.mode_binds(m)[b] as usize) << bits)
+            .collect();
+        let mut z = start + ty;
+        let block_y = self.inner.block_y;
+        while z < end {
+            acc.read(S_XVAL, self.inner.b_vals + 4 * z as u64, 4);
+            let mut tmp = self.inner.x.vals()[z];
+            for m in 0..self.inner.order {
+                acc.read(S_KIND, self.inner.b_einds[m] + z as u64, 1);
+                if m == self.inner.n {
+                    continue;
+                }
+                let row = bases[m] + self.inner.x.mode_einds(m)[z] as usize;
+                acc.read(
+                    S_FACTOR_BASE + m as u16,
+                    self.inner.b_factors[m] + 4 * (row * self.inner.r + rr) as u64,
+                    4,
+                );
+                tmp *= self.inner.factors[m].get(row, rr);
+                acc.flops(1);
+            }
+            let i = bases[self.inner.n] + self.inner.x.mode_einds(self.inner.n)[z] as usize;
+            let cur = self.inner.out.get(i, rr);
+            self.inner.out.set(i, rr, cur + tmp);
+            acc.flops(1);
+            acc.atomic(S_ATOMIC, self.inner.b_out + 4 * (i * self.inner.r + rr) as u64);
+            z += block_y;
+        }
+        let _ = self.max_unit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{p100, v100};
+    use crate::sim::launch;
+    use pasta_core::{Shape, Value};
+    use pasta_kernels::dense_ref;
+    use pasta_kernels::Ctx;
+
+    fn sample() -> CooTensor<f32> {
+        let entries: Vec<(Vec<Coord>, f32)> = (0..4000u32)
+            .map(|i| (vec![i % 37, (i / 37) % 41, (i * 13) % 53], 1.0 + (i % 5) as f32))
+            .collect();
+        let mut t = CooTensor::from_entries(Shape::new(vec![37, 41, 53]), entries).unwrap();
+        t.dedup_sum();
+        t
+    }
+
+    fn factors(x: &CooTensor<f32>, r: usize) -> Vec<DenseMatrix<f32>> {
+        (0..x.order())
+            .map(|m| pasta_core::seeded_matrix(x.shape().dim(m) as usize, r, 77 + m as u64))
+            .collect()
+    }
+
+    #[test]
+    fn gpu_tew_matches_cpu() {
+        let x = sample();
+        let y = pasta_kernels::ts_coo(TsOp::Mul, &x, 2.0, &Ctx::sequential()).unwrap();
+        let cpu = pasta_kernels::tew_coo_same_pattern(EwOp::Add, &x, &y, &Ctx::sequential()).unwrap();
+        let mut k = GpuTewCoo::new(&x, &y, EwOp::Add).unwrap();
+        let stats = launch(&p100(), &mut k);
+        assert_eq!(k.output(), cpu.vals());
+        assert_eq!(stats.flops as usize, x.nnz());
+        assert_eq!(stats.atomics, 0);
+    }
+
+    #[test]
+    fn gpu_ts_matches_cpu() {
+        let x = sample();
+        let cpu = pasta_kernels::ts_coo(TsOp::Mul, &x, 1.5, &Ctx::sequential()).unwrap();
+        let mut k = GpuTsCoo::new(&x, TsOp::Mul, 1.5).unwrap();
+        launch(&v100(), &mut k);
+        assert_eq!(k.output(), cpu.vals());
+        assert!(GpuTsCoo::new(&x, TsOp::Div, 0.0).is_err());
+    }
+
+    #[test]
+    fn gpu_ttv_matches_cpu_every_mode() {
+        let x = sample();
+        for n in 0..3 {
+            let v: DenseVector<f32> = pasta_core::seeded_vector(x.shape().dim(n) as usize, 5);
+            let cpu = pasta_kernels::ttv_coo(&x, &v, n, &Ctx::sequential()).unwrap();
+            let mut k = GpuTtvCoo::new(&x, &v, n).unwrap();
+            let stats = launch(&p100(), &mut k);
+            assert_eq!(k.num_fibers(), cpu.nnz(), "mode {n}");
+            for (a, b) in k.output().iter().zip(cpu.vals()) {
+                assert!(a.approx_eq(*b, 1e-4), "mode {n}: {a} vs {b}");
+            }
+            assert_eq!(stats.flops as u64, 2 * x.nnz() as u64);
+        }
+    }
+
+    #[test]
+    fn gpu_ttm_matches_cpu() {
+        let x = sample();
+        let n = 2;
+        let u: DenseMatrix<f32> = pasta_core::seeded_matrix(x.shape().dim(n) as usize, 16, 9);
+        let cpu = pasta_kernels::ttm_coo(&x, &u, n, &Ctx::sequential()).unwrap();
+        let mut k = GpuTtmCoo::new(&x, &u, n).unwrap();
+        let stats = launch(&v100(), &mut k);
+        assert_eq!(k.output().len(), cpu.vals().len());
+        for (a, b) in k.output().iter().zip(cpu.vals()) {
+            assert!(a.approx_eq(*b, 1e-4), "{a} vs {b}");
+        }
+        assert_eq!(stats.flops as u64, 2 * 16 * x.nnz() as u64);
+    }
+
+    #[test]
+    fn gpu_mttkrp_coo_matches_dense() {
+        let x = sample();
+        let fs = factors(&x, 8);
+        for n in 0..3 {
+            let want = dense_ref::mttkrp_dense(&x, &fs, n);
+            let mut k = GpuMttkrpCoo::new(&x, &fs, n).unwrap();
+            let stats = launch(&p100(), &mut k);
+            for (a, b) in k.output().as_slice().iter().zip(want.as_slice()) {
+                assert!(a.approx_eq(*b, 1e-3), "mode {n}: {a} vs {b}");
+            }
+            assert!(stats.atomics > 0, "MTTKRP must use atomics");
+        }
+    }
+
+    #[test]
+    fn gpu_mttkrp_hicoo_matches_dense() {
+        let x = sample();
+        let h = HiCooTensor::from_coo(&x, 8).unwrap();
+        let fs = factors(&x, 8);
+        let want = dense_ref::mttkrp_dense(&x, &fs, 1);
+        let mut k = GpuMttkrpHicoo::new(&h, &fs, 1).unwrap();
+        let stats = launch(&v100(), &mut k);
+        for (a, b) in k.output().as_slice().iter().zip(want.as_slice()) {
+            assert!(a.approx_eq(*b, 1e-3), "{a} vs {b}");
+        }
+        assert_eq!(stats.blocks, h.num_blocks());
+    }
+
+    #[test]
+    fn hicoo_mttkrp_slower_when_blocks_imbalanced() {
+        // One hot dense block plus many singleton blocks: HiCOO's block-per-
+        // CUDA-block mapping serializes the hot block on one SM, while
+        // COO's non-zero distribution stays balanced (Observation 4, GPU).
+        let mut entries: Vec<(Vec<Coord>, f32)> = Vec::new();
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                for kk in 0..8u32 {
+                    entries.push((vec![i, j, kk], 1.0));
+                }
+            }
+        }
+        for s in 0..2000u32 {
+            entries.push((vec![8 + s * 8 % 60_000, 8 + s * 16 % 60_000, 8 + s * 24 % 60_000], 1.0));
+        }
+        let mut x = CooTensor::from_entries(Shape::new(vec![65_536, 65_536, 65_536]), entries).unwrap();
+        x.dedup_sum();
+        let h = HiCooTensor::from_coo(&x, 8).unwrap();
+        assert!(h.num_blocks() > 500);
+        let fs = factors(&x, 16);
+        let dev = p100();
+        let mut kc = GpuMttkrpCoo::new(&x, &fs, 0).unwrap();
+        let tc = launch(&dev, &mut kc).time;
+        let mut kh = GpuMttkrpHicoo::new(&h, &fs, 0).unwrap();
+        let th = launch(&dev, &mut kh).time;
+        assert!(th > tc, "HiCOO {th} should lose to COO {tc} under block imbalance");
+    }
+
+    #[test]
+    fn gpu_fcoo_ttv_matches_cpu() {
+        let x = sample();
+        for n in 0..3 {
+            let fc = pasta_core::FCooTensor::from_coo(&x, n).unwrap();
+            let v: DenseVector<f32> = pasta_core::seeded_vector(x.shape().dim(n) as usize, 3);
+            let cpu = pasta_kernels::ttv_coo(&x, &v, n, &Ctx::sequential()).unwrap();
+            let mut k = GpuTtvFcoo::new(&fc, &v).unwrap();
+            let stats = launch(&p100(), &mut k);
+            assert_eq!(k.output().len(), cpu.nnz(), "mode {n}");
+            for (a, b) in k.output().iter().zip(cpu.vals()) {
+                assert!(a.approx_eq(*b, 1e-4), "mode {n}: {a} vs {b}");
+            }
+            assert!(stats.atomics > 0);
+        }
+    }
+
+    #[test]
+    fn fcoo_beats_coo_ttv_under_fiber_imbalance() {
+        // One fiber holds almost all non-zeros: COO-TTV-GPU gives it to a
+        // single thread; F-COO spreads it across the grid.
+        let mut entries: Vec<(Vec<Coord>, f32)> = Vec::new();
+        for k in 0..30_000u32 {
+            entries.push((vec![0, 0, k], 1.0));
+        }
+        for f in 1..200u32 {
+            entries.push((vec![f % 50, f % 60, f], 2.0));
+        }
+        let mut x =
+            CooTensor::from_entries(Shape::new(vec![50, 60, 30_000]), entries).unwrap();
+        x.dedup_sum();
+        let v: DenseVector<f32> = pasta_core::seeded_vector(30_000, 5);
+        let dev = p100();
+
+        let mut coo = GpuTtvCoo::new(&x, &v, 2).unwrap();
+        let t_coo = launch(&dev, &mut coo).time;
+        let fc = pasta_core::FCooTensor::from_coo(&x, 2).unwrap();
+        let mut fcoo = GpuTtvFcoo::new(&fc, &v).unwrap();
+        let t_fcoo = launch(&dev, &mut fcoo).time;
+        assert!(t_fcoo < t_coo, "F-COO {t_fcoo} vs COO {t_coo}");
+        // Same results (up to reduction order).
+        let mut a = coo.output().to_vec();
+        let mut b = fcoo.output().to_vec();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for (p, q) in a.iter().zip(&b) {
+            assert!(p.approx_eq(*q, 1e-3), "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn balanced_hicoo_mttkrp_matches_dense() {
+        let x = sample();
+        let h = HiCooTensor::from_coo(&x, 8).unwrap();
+        let fs = factors(&x, 8);
+        let want = dense_ref::mttkrp_dense(&x, &fs, 1);
+        let mut k = GpuMttkrpHicooBalanced::new(&h, &fs, 1, 64).unwrap();
+        let stats = launch(&v100(), &mut k);
+        for (a, b) in k.output().as_slice().iter().zip(want.as_slice()) {
+            assert!(a.approx_eq(*b, 1e-3), "{a} vs {b}");
+        }
+        assert!(stats.blocks >= h.num_blocks());
+        assert_eq!(stats.blocks, k.num_units());
+    }
+
+    #[test]
+    fn balancing_recovers_the_imbalanced_case() {
+        // Same adversarial tensor as the imbalance test: one dense block
+        // plus singletons. Balanced units must beat the one-block-per-
+        // tensor-block mapping.
+        let mut entries: Vec<(Vec<Coord>, f32)> = Vec::new();
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                for kk in 0..8u32 {
+                    entries.push((vec![i, j, kk], 1.0));
+                }
+            }
+        }
+        for s in 0..2000u32 {
+            entries.push((vec![8 + s * 8 % 60_000, 8 + s * 16 % 60_000, 8 + s * 24 % 60_000], 1.0));
+        }
+        let mut x =
+            CooTensor::from_entries(Shape::new(vec![65_536, 65_536, 65_536]), entries).unwrap();
+        x.dedup_sum();
+        let h = HiCooTensor::from_coo(&x, 8).unwrap();
+        let fs = factors(&x, 16);
+        let dev = p100();
+        let mut plain = GpuMttkrpHicoo::new(&h, &fs, 0).unwrap();
+        let t_plain = launch(&dev, &mut plain).time;
+        let mut bal = GpuMttkrpHicooBalanced::new(&h, &fs, 0, 32).unwrap();
+        let t_bal = launch(&dev, &mut bal).time;
+        assert!(t_bal < t_plain, "balanced {t_bal} vs plain {t_plain}");
+        // And the results agree.
+        for (a, b) in bal.output().as_slice().iter().zip(plain.output().as_slice()) {
+            assert!(a.approx_eq(*b, 1e-3));
+        }
+    }
+
+    #[test]
+    fn balanced_rejects_zero_unit() {
+        let x = sample();
+        let h = HiCooTensor::from_coo(&x, 8).unwrap();
+        let fs = factors(&x, 8);
+        assert!(GpuMttkrpHicooBalanced::new(&h, &fs, 0, 0).is_err());
+    }
+
+    #[test]
+    fn operand_validation() {
+        let x = sample();
+        let y = pasta_kernels::ts_coo(TsOp::Add, &x, 1.0, &Ctx::sequential()).unwrap();
+        let mut y2 = y.clone();
+        y2.push(&[0, 0, 0], 1.0).unwrap();
+        assert!(GpuTewCoo::new(&x, &y2, EwOp::Add).is_err());
+        let bad_vec = DenseVector::<f32>::zeros(3);
+        assert!(GpuTtvCoo::new(&x, &bad_vec, 0).is_err());
+        let bad_mat = DenseMatrix::<f32>::zeros(5, 16);
+        assert!(GpuTtmCoo::new(&x, &bad_mat, 0).is_err());
+        let fs = factors(&x, 8);
+        assert!(GpuMttkrpCoo::new(&x, &fs[..2], 0).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Multi-GPU execution modeling — the paper's "multiple GPUs" future-work
+//! platform (the DGX-1 boxes the paper uses carry 8 GPUs on an NVLink
+//! mesh; the paper exercises one).
+//!
+//! The model is bulk-synchronous: the caller partitions a kernel's work
+//! into one [`GpuKernel`] per device (e.g. [`pasta_core::CooTensor::split_nnz`]
+//! for non-zero-parallel kernels), each device simulates its shard, and a
+//! ring all-reduce of the shared output (MTTKRP's factor rows) closes the
+//! step.
+
+use crate::device::DeviceSpec;
+use crate::sim::{launch, GpuKernel, LaunchStats};
+
+/// An inter-GPU link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interconnect {
+    /// Per-direction link bandwidth in bytes/s.
+    pub bw: f64,
+    /// Per-message latency in seconds.
+    pub latency: f64,
+}
+
+impl Interconnect {
+    /// DGX-1-style NVLink (~25 GB/s per direction).
+    pub fn nvlink() -> Self {
+        Self { bw: 25e9, latency: 10e-6 }
+    }
+
+    /// PCIe 3.0 x16 (~12 GB/s).
+    pub fn pcie3() -> Self {
+        Self { bw: 12e9, latency: 20e-6 }
+    }
+
+    /// Ring all-reduce time for `bytes` over `devices` participants:
+    /// `2 (G−1)/G · bytes / bw` plus per-step latencies.
+    pub fn allreduce_time(&self, bytes: f64, devices: usize) -> f64 {
+        if devices <= 1 {
+            return 0.0;
+        }
+        let g = devices as f64;
+        2.0 * (g - 1.0) / g * bytes / self.bw + 2.0 * (g - 1.0) * self.latency
+    }
+}
+
+/// Results of a multi-device launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiLaunchStats {
+    /// Per-device simulation results.
+    pub per_device: Vec<LaunchStats>,
+    /// Slowest device's kernel time (the compute phase).
+    pub compute_time: f64,
+    /// All-reduce time.
+    pub comm_time: f64,
+    /// Total step time.
+    pub time: f64,
+}
+
+impl MultiLaunchStats {
+    /// Total flops across devices.
+    pub fn flops(&self) -> u64 {
+        self.per_device.iter().map(|s| s.flops).sum()
+    }
+
+    /// Aggregate GFLOPS of the whole step.
+    pub fn gflops(&self) -> f64 {
+        self.flops() as f64 / self.time / 1e9
+    }
+
+    /// Speedup over a single-device time.
+    pub fn speedup_over(&self, single_time: f64) -> f64 {
+        single_time / self.time
+    }
+}
+
+/// Simulates one bulk-synchronous step: each kernel on its device, then a
+/// ring all-reduce of `reduce_bytes` (pass 0 for kernels with disjoint
+/// outputs like TEW/TS/TTV shards).
+///
+/// # Panics
+///
+/// Panics if `kernels.len() != devices.len()` or both are empty.
+pub fn launch_multi<K: GpuKernel>(
+    devices: &[DeviceSpec],
+    kernels: &mut [K],
+    link: &Interconnect,
+    reduce_bytes: u64,
+) -> MultiLaunchStats {
+    assert_eq!(devices.len(), kernels.len(), "one kernel per device");
+    assert!(!devices.is_empty(), "at least one device");
+    let per_device: Vec<LaunchStats> =
+        devices.iter().zip(kernels.iter_mut()).map(|(d, k)| launch(d, k)).collect();
+    let compute_time = per_device.iter().map(|s| s.time).fold(0.0, f64::max);
+    let comm_time = link.allreduce_time(reduce_bytes as f64, devices.len());
+    MultiLaunchStats { compute_time, comm_time, time: compute_time + comm_time, per_device }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::v100;
+    use crate::kernels::GpuMttkrpCoo;
+    use pasta_core::{seeded_matrix, CooTensor, DenseMatrix, Shape, Value};
+
+    fn big_tensor() -> CooTensor<f32> {
+        let entries: Vec<(Vec<u32>, f32)> = (0..60_000u32)
+            .map(|i| (vec![i % 1024, (i / 7) % 1024, (i * 13) % 1024], 1.0 + (i % 5) as f32))
+            .collect();
+        let mut t = CooTensor::from_entries(Shape::new(vec![1024, 1024, 1024]), entries).unwrap();
+        t.dedup_sum();
+        t
+    }
+
+    #[test]
+    fn allreduce_math() {
+        let link = Interconnect::nvlink();
+        assert_eq!(link.allreduce_time(1e9, 1), 0.0);
+        // 4 GPUs, 1 GB: 2*(3/4)*1e9/25e9 = 60 ms plus latencies.
+        let t = link.allreduce_time(1e9, 4);
+        assert!((t - 0.06).abs() < 1e-3, "{t}");
+        assert!(Interconnect::pcie3().allreduce_time(1e9, 4) > t);
+    }
+
+    #[test]
+    fn sharded_mttkrp_matches_single_device() {
+        let x = big_tensor();
+        let factors: Vec<DenseMatrix<f32>> =
+            (0..3).map(|m| seeded_matrix(1024, 8, m as u64)).collect();
+
+        // Single device.
+        let mut single = GpuMttkrpCoo::new(&x, &factors, 0).unwrap();
+        let s1 = launch(&v100(), &mut single);
+
+        // Four shards on four V100s.
+        let shards = x.split_nnz(4);
+        let mut kernels: Vec<GpuMttkrpCoo> =
+            shards.iter().map(|s| GpuMttkrpCoo::new(s, &factors, 0).unwrap()).collect();
+        let devices = vec![v100(); 4];
+        let reduce_bytes = 1024 * 8 * 4; // output matrix
+        let multi = launch_multi(&devices, &mut kernels, &Interconnect::nvlink(), reduce_bytes);
+
+        // Functional: the sum of shard outputs equals the single output.
+        let mut acc = vec![0.0f32; 1024 * 8];
+        for k in &kernels {
+            for (a, &v) in acc.iter_mut().zip(k.output().as_slice()) {
+                *a += v;
+            }
+        }
+        for (a, &b) in acc.iter().zip(single.output().as_slice()) {
+            assert!(a.approx_eq(b, 1e-3), "{a} vs {b}");
+        }
+
+        // Performance: the compute phase scales (each device holds 1/4 of
+        // the non-zeros); whether the *step* wins depends on the all-reduce
+        // latency floor, which dominates at this small problem size — a
+        // faithful multi-GPU tradeoff.
+        assert!(
+            multi.compute_time < 0.6 * s1.time,
+            "{} vs {}",
+            multi.compute_time,
+            s1.time
+        );
+        assert!((multi.time - multi.compute_time - multi.comm_time).abs() < 1e-12);
+        assert_eq!(multi.flops(), s1.flops);
+        assert!(multi.gflops() > 0.0);
+    }
+
+    #[test]
+    fn communication_eventually_dominates() {
+        // With a huge reduction payload, more devices stop helping.
+        let x = big_tensor();
+        let factors: Vec<DenseMatrix<f32>> =
+            (0..3).map(|m| seeded_matrix(1024, 8, m as u64)).collect();
+        let link = Interconnect::pcie3();
+        let huge_reduce = 4u64 << 30; // 4 GiB
+
+        let shards2 = x.split_nnz(2);
+        let mut k2: Vec<GpuMttkrpCoo> =
+            shards2.iter().map(|s| GpuMttkrpCoo::new(s, &factors, 0).unwrap()).collect();
+        let m2 = launch_multi(&vec![v100(); 2], &mut k2, &link, huge_reduce);
+
+        let shards8 = x.split_nnz(8);
+        let mut k8: Vec<GpuMttkrpCoo> =
+            shards8.iter().map(|s| GpuMttkrpCoo::new(s, &factors, 0).unwrap()).collect();
+        let m8 = launch_multi(&vec![v100(); 8], &mut k8, &link, huge_reduce);
+
+        assert!(m8.comm_time > m2.comm_time);
+        assert!(m8.time > m2.compute_time, "comm-bound: more GPUs cannot go below comm floor");
+    }
+
+    #[test]
+    #[should_panic(expected = "one kernel per device")]
+    fn mismatched_lengths_panic() {
+        let x = big_tensor();
+        let factors: Vec<DenseMatrix<f32>> =
+            (0..3).map(|m| seeded_matrix(1024, 4, m as u64)).collect();
+        let mut ks = vec![GpuMttkrpCoo::new(&x, &factors, 0).unwrap()];
+        let _ = launch_multi(&vec![v100(); 2], &mut ks, &Interconnect::nvlink(), 0);
+    }
+}

@@ -1,0 +1,366 @@
+//! Memory-access tracing for simulated GPU threads.
+//!
+//! Simulated kernels perform their *functional* work directly on host
+//! buffers; for the *performance* model they additionally record every
+//! global-memory access through an [`Accessor`]. Accesses are tagged with a
+//! static *site* (the source location: "value array load", "vector gather",
+//! …) and an automatic per-site sequence number (the loop iteration), so the
+//! executor can replay SIMT semantics: the 32 threads of a warp issue their
+//! `(site, seq)` accesses together, and the warp's addresses coalesce into
+//! memory sectors.
+
+/// A byte-address allocator that lays out simulated device buffers far
+/// apart, so distinct arrays never share cache lines.
+#[derive(Debug, Clone, Default)]
+pub struct AddrSpace {
+    next: u64,
+}
+
+impl AddrSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        Self { next: 1 << 20 }
+    }
+
+    /// Allocates `bytes`, returning the base address (4 KiB aligned, with a
+    /// guard gap).
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let base = self.next;
+        let sz = (bytes + 4095) & !4095;
+        self.next = base + sz + (1 << 16);
+        base
+    }
+}
+
+/// The kind of a recorded access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessKind {
+    /// Global load.
+    Read,
+    /// Global store.
+    Write,
+    /// Read-modify-write atomic (e.g. `atomicAdd`).
+    Atomic,
+}
+
+/// One recorded access of one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Source site id (kernel-author chosen, small).
+    pub site: u16,
+    /// Per-site issue sequence number (loop iteration).
+    pub seq: u32,
+    /// Byte address.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub bytes: u32,
+    /// Load / store / atomic.
+    pub kind: AccessKind,
+}
+
+/// The trace of one simulated thread: its accesses and flop count.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadTrace {
+    pub(crate) accesses: Vec<Access>,
+    pub(crate) flops: u64,
+    site_seq: Vec<u32>,
+}
+
+impl ThreadTrace {
+    /// Clears the trace for reuse by the next thread.
+    pub fn reset(&mut self) {
+        self.accesses.clear();
+        self.flops = 0;
+        self.site_seq.clear();
+    }
+
+    /// The recorded flop count.
+    pub fn flops(&self) -> u64 {
+        self.flops
+    }
+
+    /// The recorded accesses.
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+}
+
+/// The recording handle passed to each simulated thread.
+#[derive(Debug)]
+pub struct Accessor<'a> {
+    trace: &'a mut ThreadTrace,
+}
+
+impl<'a> Accessor<'a> {
+    /// Wraps a trace.
+    pub fn new(trace: &'a mut ThreadTrace) -> Self {
+        Self { trace }
+    }
+
+    #[inline]
+    fn next_seq(&mut self, site: u16) -> u32 {
+        let s = site as usize;
+        if self.trace.site_seq.len() <= s {
+            self.trace.site_seq.resize(s + 1, 0);
+        }
+        let seq = self.trace.site_seq[s];
+        self.trace.site_seq[s] = seq + 1;
+        seq
+    }
+
+    /// Records a global load of `bytes` at `addr` from source site `site`.
+    #[inline]
+    pub fn read(&mut self, site: u16, addr: u64, bytes: u32) {
+        let seq = self.next_seq(site);
+        self.trace.accesses.push(Access { site, seq, addr, bytes, kind: AccessKind::Read });
+    }
+
+    /// Records a global store.
+    #[inline]
+    pub fn write(&mut self, site: u16, addr: u64, bytes: u32) {
+        let seq = self.next_seq(site);
+        self.trace.accesses.push(Access { site, seq, addr, bytes, kind: AccessKind::Write });
+    }
+
+    /// Records a 4-byte atomic read-modify-write.
+    #[inline]
+    pub fn atomic(&mut self, site: u16, addr: u64) {
+        let seq = self.next_seq(site);
+        self.trace.accesses.push(Access { site, seq, addr, bytes: 4, kind: AccessKind::Atomic });
+    }
+
+    /// Records `n` floating-point operations.
+    #[inline]
+    pub fn flops(&mut self, n: u64) {
+        self.trace.flops += n;
+    }
+}
+
+/// Per-warp coalescing summary produced by [`coalesce_warp`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WarpSummary {
+    /// Distinct memory sectors touched by loads/stores, as sector-aligned
+    /// byte addresses (feed these to the L2 model).
+    pub sectors: Vec<u64>,
+    /// Number of load/store transactions (== `sectors.len()`).
+    pub transactions: u64,
+    /// Atomic operations issued.
+    pub atomics: u64,
+    /// Exact atomic addresses (one entry per operation, for contention
+    /// tracking across the whole launch).
+    pub atomic_addrs: Vec<u64>,
+    /// Worst intra-warp atomic serialization: the maximum number of lanes
+    /// hitting one address in one issue group.
+    pub max_atomic_conflict: u64,
+}
+
+/// Coalesces the traces of one warp (up to 32 threads).
+///
+/// Accesses are grouped by `(site, seq, kind)` — the SIMT issue group — and
+/// each group's addresses collapse into distinct `sector_bytes`-sized
+/// sectors, mirroring how real GPU load/store units count transactions.
+/// Atomic conflicts are tracked at exact-address granularity (hardware
+/// serializes same-address atomics, not same-sector ones).
+/// `scratch` is reused across calls to avoid reallocation.
+pub fn coalesce_warp(
+    warp: &[ThreadTrace],
+    sector_bytes: u32,
+    scratch: &mut Vec<(u16, u32, AccessKind, u64, u64)>,
+) -> WarpSummary {
+    scratch.clear();
+    for t in warp {
+        for a in &t.accesses {
+            // Wide accesses may straddle sectors; expand to sector touches.
+            let first = a.addr / sector_bytes as u64;
+            let last = (a.addr + a.bytes.max(1) as u64 - 1) / sector_bytes as u64;
+            for s in first..=last {
+                scratch.push((a.site, a.seq, a.kind, s, a.addr));
+            }
+        }
+    }
+    scratch.sort_unstable();
+
+    let mut out = WarpSummary::default();
+    let mut i = 0;
+    while i < scratch.len() {
+        let (site, seq, kind, _, _) = scratch[i];
+        let mut j = i;
+        while j < scratch.len() && scratch[j].0 == site && scratch[j].1 == seq && scratch[j].2 == kind {
+            j += 1;
+        }
+        let group = &scratch[i..j];
+        // Distinct sectors in the group = transactions (all kinds traverse
+        // the memory hierarchy once per sector).
+        let mut prev = u64::MAX;
+        for &(_, _, _, sector, _) in group {
+            if sector != prev {
+                out.sectors.push(sector * sector_bytes as u64);
+                out.transactions += 1;
+                prev = sector;
+            }
+        }
+        if kind == AccessKind::Atomic {
+            out.atomics += group.len() as u64;
+            // Same-address runs serialize (group is sorted, and equal
+            // sectors sort adjacent with equal addresses adjacent within).
+            let mut run = 1u64;
+            let mut max_run = 1u64;
+            let mut prev_addr = group[0].4;
+            out.atomic_addrs.push(prev_addr);
+            for &(_, _, _, _, addr) in &group[1..] {
+                out.atomic_addrs.push(addr);
+                if addr == prev_addr {
+                    run += 1;
+                    max_run = max_run.max(run);
+                } else {
+                    run = 1;
+                    prev_addr = addr;
+                }
+            }
+            out.max_atomic_conflict = out.max_atomic_conflict.max(max_run);
+        }
+        i = j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_with(accesses: Vec<Access>) -> ThreadTrace {
+        ThreadTrace { accesses, flops: 0, site_seq: Vec::new() }
+    }
+
+    #[test]
+    fn addr_space_separates_allocations() {
+        let mut a = AddrSpace::new();
+        let x = a.alloc(100);
+        let y = a.alloc(100);
+        assert!(y >= x + 4096, "guard gap");
+    }
+
+    #[test]
+    fn accessor_sequences_per_site() {
+        let mut t = ThreadTrace::default();
+        let mut acc = Accessor::new(&mut t);
+        acc.read(0, 0, 4);
+        acc.read(0, 4, 4);
+        acc.read(1, 100, 4);
+        acc.flops(2);
+        assert_eq!(t.accesses[0].seq, 0);
+        assert_eq!(t.accesses[1].seq, 1);
+        assert_eq!(t.accesses[2].seq, 0, "independent per-site counter");
+        assert_eq!(t.flops(), 2);
+        t.reset();
+        assert!(t.accesses().is_empty());
+    }
+
+    #[test]
+    fn contiguous_warp_coalesces_to_few_transactions() {
+        // 32 threads each read 4 bytes, consecutive: 128 bytes = 4 sectors of 32B.
+        let warp: Vec<ThreadTrace> = (0..32)
+            .map(|lane| {
+                trace_with(vec![Access {
+                    site: 0,
+                    seq: 0,
+                    addr: lane * 4,
+                    bytes: 4,
+                    kind: AccessKind::Read,
+                }])
+            })
+            .collect();
+        let mut scratch = Vec::new();
+        let s = coalesce_warp(&warp, 32, &mut scratch);
+        assert_eq!(s.transactions, 4);
+        assert_eq!(s.sectors.len(), 4);
+        assert_eq!(s.atomics, 0);
+    }
+
+    #[test]
+    fn scattered_warp_needs_one_transaction_per_lane() {
+        let warp: Vec<ThreadTrace> = (0..32)
+            .map(|lane| {
+                trace_with(vec![Access {
+                    site: 0,
+                    seq: 0,
+                    addr: lane * 4096,
+                    bytes: 4,
+                    kind: AccessKind::Read,
+                }])
+            })
+            .collect();
+        let mut scratch = Vec::new();
+        let s = coalesce_warp(&warp, 32, &mut scratch);
+        assert_eq!(s.transactions, 32);
+    }
+
+    #[test]
+    fn different_iterations_do_not_coalesce() {
+        // One thread reading 2 consecutive words in a loop: 2 groups, but
+        // both land in the same sector -> 2 transactions (one per issue).
+        let warp = vec![trace_with(vec![
+            Access { site: 0, seq: 0, addr: 0, bytes: 4, kind: AccessKind::Read },
+            Access { site: 0, seq: 1, addr: 4, bytes: 4, kind: AccessKind::Read },
+        ])];
+        let mut scratch = Vec::new();
+        let s = coalesce_warp(&warp, 32, &mut scratch);
+        assert_eq!(s.transactions, 2);
+    }
+
+    #[test]
+    fn atomic_conflicts_detected() {
+        // 32 lanes atomically updating the same address: worst case 32-way
+        // serialization, one memory sector.
+        let warp: Vec<ThreadTrace> = (0..32)
+            .map(|_| {
+                trace_with(vec![Access {
+                    site: 3,
+                    seq: 0,
+                    addr: 64,
+                    bytes: 4,
+                    kind: AccessKind::Atomic,
+                }])
+            })
+            .collect();
+        let mut scratch = Vec::new();
+        let s = coalesce_warp(&warp, 32, &mut scratch);
+        assert_eq!(s.atomics, 32);
+        assert_eq!(s.max_atomic_conflict, 32);
+        assert_eq!(s.transactions, 1);
+        assert_eq!(s.atomic_addrs.len(), 32);
+    }
+
+    #[test]
+    fn conflict_free_atomics() {
+        let warp: Vec<ThreadTrace> = (0..8)
+            .map(|lane| {
+                trace_with(vec![Access {
+                    site: 3,
+                    seq: 0,
+                    addr: lane * 128,
+                    bytes: 4,
+                    kind: AccessKind::Atomic,
+                }])
+            })
+            .collect();
+        let mut scratch = Vec::new();
+        let s = coalesce_warp(&warp, 32, &mut scratch);
+        assert_eq!(s.max_atomic_conflict, 1);
+        assert_eq!(s.atomics, 8);
+    }
+
+    #[test]
+    fn wide_access_touches_multiple_sectors() {
+        let warp = vec![trace_with(vec![Access {
+            site: 0,
+            seq: 0,
+            addr: 16,
+            bytes: 64,
+            kind: AccessKind::Read,
+        }])];
+        let mut scratch = Vec::new();
+        let s = coalesce_warp(&warp, 32, &mut scratch);
+        assert_eq!(s.transactions, 3); // bytes 16..80 span sectors 0,1,2
+    }
+}

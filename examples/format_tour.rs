@@ -1,0 +1,81 @@
+//! A tour of the five storage formats on the paper's Figure 1/2 example
+//! scale: prints the actual arrays of COO, sCOO, HiCOO, gHiCOO and sHiCOO.
+//!
+//! ```text
+//! cargo run --example format_tour
+//! ```
+
+use pasta::core::{
+    CooTensor, GHiCooTensor, HiCooTensor, ModeIndex, SHiCooTensor, SemiCooTensor, Shape,
+};
+
+fn main() -> Result<(), pasta::core::Error> {
+    // A general 4x4x4 sparse tensor (Figure 1(a) spirit).
+    let coo = CooTensor::from_entries(
+        Shape::new(vec![4, 4, 4]),
+        vec![
+            (vec![0, 0, 0], 1.0_f32),
+            (vec![0, 1, 0], 2.0),
+            (vec![1, 0, 1], 3.0),
+            (vec![2, 2, 2], 4.0),
+            (vec![3, 2, 3], 5.0),
+            (vec![3, 3, 3], 6.0),
+        ],
+    )?;
+    println!("=== COO (Figure 1a) — {} bytes ===", coo.storage_bytes());
+    for m in 0..3 {
+        println!("  inds[{m}] = {:?}", coo.mode_inds(m));
+    }
+    println!("  vals    = {:?}", coo.vals());
+
+    // HiCOO with B = 2 (Figure 2a).
+    let hicoo = HiCooTensor::from_coo(&coo, 2)?;
+    println!("\n=== HiCOO, B = 2 (Figure 2a) — {} bytes ===", hicoo.storage_bytes());
+    println!("  bptr  = {:?}", hicoo.bptr());
+    for m in 0..3 {
+        println!("  binds[{m}] = {:?}  einds[{m}] = {:?}", hicoo.mode_binds(m), hicoo.mode_einds(m));
+    }
+    println!("  vals  = {:?}", hicoo.vals());
+
+    // gHiCOO compressing modes 0 and 1 only (Figure 2b).
+    let ghicoo = GHiCooTensor::from_coo(&coo, 2, &[true, true, false])?;
+    println!("\n=== gHiCOO, modes {{0,1}} blocked (Figure 2b) — {} bytes ===", ghicoo.storage_bytes());
+    println!("  bptr = {:?}", ghicoo.bptr());
+    for m in 0..3 {
+        match ghicoo.mode_index(m) {
+            ModeIndex::Blocked { binds, einds } => {
+                println!("  mode {m}: blocked, binds = {binds:?}, einds = {einds:?}")
+            }
+            ModeIndex::Full(finds) => println!("  mode {m}: full COO indices = {finds:?}"),
+        }
+    }
+
+    // A semi-sparse tensor with dense mode 2 (Figure 1b) in sCOO and sHiCOO.
+    let scoo = SemiCooTensor::from_fibers(
+        Shape::new(vec![4, 4, 2]),
+        vec![2],
+        vec![vec![0, 1, 3], vec![0, 2, 3]],
+        vec![1.0_f32, 2.0, 3.0, 4.0, 5.0, 6.0],
+    )?;
+    println!("\n=== sCOO, dense mode 2 (Figure 1b) — {} bytes ===", scoo.storage_bytes());
+    for (k, &m) in scoo.sparse_modes().iter().enumerate() {
+        println!("  sparse inds[mode {m}] = {:?}", scoo.sparse_inds(k));
+    }
+    for f in 0..scoo.num_fibers() {
+        println!("  fiber {f} at {:?}: {:?}", scoo.fiber_coords(f), scoo.fiber_vals(f));
+    }
+
+    let shicoo = SHiCooTensor::from_scoo(&scoo, 2)?;
+    println!("\n=== sHiCOO, B = 2 (Figure 2c) — {} bytes ===", shicoo.storage_bytes());
+    println!("  {} blocks over {} fibers, dense volume {}", shicoo.num_blocks(), shicoo.num_fibers(), shicoo.dense_volume());
+    for b in 0..shicoo.num_blocks() {
+        for f in shicoo.block_range(b) {
+            println!(
+                "  block {b}, fiber {f}: sparse coords {:?}, values {:?}",
+                shicoo.fiber_coords(b, f),
+                shicoo.fiber_vals(f)
+            );
+        }
+    }
+    Ok(())
+}

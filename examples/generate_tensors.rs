@@ -1,0 +1,54 @@
+//! Generate synthetic tensors from the Table II profiles and write them in
+//! the FROSTT `.tns` interchange format.
+//!
+//! ```text
+//! cargo run --release --example generate_tensors -- s1 s4 r12 0.1 /tmp/tensors
+//! ```
+//!
+//! Arguments: any number of profile ids/names, an optional scale fraction,
+//! and an optional output directory (default `./tensors`).
+
+use pasta::core::io::write_tns;
+use pasta::gen::find_profile;
+use std::fs::{create_dir_all, File};
+use std::io::BufWriter;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut keys: Vec<String> = Vec::new();
+    let mut scale = 0.1f64;
+    let mut out_dir = "tensors".to_string();
+    for a in &args {
+        if let Ok(s) = a.parse::<f64>() {
+            scale = s;
+        } else if a.contains('/') || a.contains('\\') {
+            out_dir = a.clone();
+        } else {
+            keys.push(a.clone());
+        }
+    }
+    if keys.is_empty() {
+        keys = vec!["regS".into(), "irrS".into(), "regS4d".into()];
+    }
+
+    create_dir_all(&out_dir)?;
+    for key in &keys {
+        let Some(profile) = find_profile(key) else {
+            eprintln!("unknown profile {key:?}, skipping");
+            continue;
+        };
+        let t = profile.generate_scaled(scale)?;
+        let path = format!("{out_dir}/{}.tns", profile.name);
+        let mut w = BufWriter::new(File::create(&path)?);
+        write_tns(&t, &mut w)?;
+        println!(
+            "{}: wrote {} ({} non-zeros, {} — scaled from the paper's {})",
+            profile.id,
+            path,
+            t.nnz(),
+            t.shape(),
+            pasta::core::stats::human_count(profile.paper_nnz as usize)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Quickstart: build a sparse tensor, convert formats, run all five kernels.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pasta::core::{seeded_matrix, seeded_vector, CooTensor, HiCooTensor, TensorStats};
+use pasta::gen::PowerLawGen;
+use pasta::kernels::{
+    mttkrp_coo, tew_coo, ts_coo, ttm_coo, ttv_coo, Ctx, EwOp, Kernel, TsOp,
+};
+
+fn main() -> Result<(), pasta::core::Error> {
+    // 1. Generate a small irregular third-order tensor (two power-law modes,
+    //    one short dense-ish mode), as the paper's synthetic dataset does.
+    let gen = PowerLawGen::new(1.5);
+    let x: CooTensor<f32> = gen.generate3(10_000, 32, 50_000, 42)?;
+    let stats = TensorStats::compute(&x);
+    println!("tensor: {} | {} non-zeros | density {:.2e}", x.shape(), x.nnz(), stats.density);
+    println!("mode fiber counts: {:?}", stats.fiber_counts);
+
+    // 2. Convert to HiCOO with the paper's block size B = 128.
+    let hicoo = HiCooTensor::from_coo(&x, 128)?;
+    println!(
+        "formats: COO {} bytes, HiCOO {} bytes ({} blocks, {:.1} nnz/block)",
+        x.storage_bytes(),
+        hicoo.storage_bytes(),
+        hicoo.num_blocks(),
+        hicoo.avg_block_nnz()
+    );
+
+    // 3. Run every kernel.
+    let ctx = Ctx::parallel();
+    let y = ts_coo(TsOp::Mul, &x, 2.0, &ctx)?;
+    let z = tew_coo(EwOp::Add, &x, &y, &ctx)?;
+    println!("TEW(x, 2x): first value {} -> {}", x.vals()[0], z.vals()[0]);
+
+    let v = seeded_vector::<f32>(x.shape().dim(2) as usize, 7);
+    let ttv_out = ttv_coo(&x, &v, 2, &ctx)?;
+    println!("TTV mode 2: {} output non-zeros (= mode-2 fibers)", ttv_out.nnz());
+
+    let u = seeded_matrix::<f32>(x.shape().dim(2) as usize, 16, 9);
+    let ttm_out = ttm_coo(&x, &u, 2, &ctx)?;
+    println!(
+        "TTM mode 2 (R = 16): {} fibers x {} dense values",
+        ttm_out.num_fibers(),
+        ttm_out.dense_volume()
+    );
+
+    let factors: Vec<_> =
+        (0..3).map(|m| seeded_matrix::<f32>(x.shape().dim(m) as usize, 16, 11 + m as u64)).collect();
+    let a = mttkrp_coo(&x, &factors, 0, &ctx)?;
+    println!("MTTKRP mode 0: output {}x{} matrix", a.rows(), a.cols());
+
+    // 4. Operational intensities (Table I) for this tensor.
+    for k in Kernel::ALL {
+        let p = pasta::kernels::CostParams {
+            m: x.nnz() as f64,
+            mf: stats.fiber_counts[2] as f64,
+            r: 16.0,
+            nb: hicoo.num_blocks() as f64,
+            block_size: 128.0,
+        };
+        let c = pasta::kernels::kernel_cost(k, &p);
+        println!("{k}: OI(COO) = {:.4}, OI(HiCOO) = {:.4}", c.coo_oi(), c.hicoo_oi());
+    }
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! Integration tests for the suite's future-work extensions: CSF, F-COO,
+//! reordering, feature mimicry, validators, the balanced GPU MTTKRP and
+//! multi-GPU sharding — all exercised together on generated tensors.
+
+use pasta::core::{
+    seeded_matrix, seeded_vector, validate_coo, validate_csf, validate_ghicoo, validate_hicoo,
+    CooTensor, CsfTensor, DenseMatrix, FCooTensor, GHiCooTensor, HiCooTensor, Relabel, Value,
+};
+use pasta::gen::{extract_features, KroneckerGen, PowerLawGen};
+use pasta::kernels::{mttkrp_coo, mttkrp_csf_root, ttv_coo, ttv_fcoo, Ctx};
+use pasta::simt::{launch, launch_multi, v100, GpuMttkrpCoo, Interconnect};
+
+fn tensor() -> CooTensor<f32> {
+    PowerLawGen::new(1.5).generate3(4_000, 24, 15_000, 42).unwrap()
+}
+
+#[test]
+fn all_formats_validate_on_generated_data() {
+    let x = tensor();
+    validate_coo(&x).unwrap();
+    validate_hicoo(&HiCooTensor::from_coo(&x, 128).unwrap()).unwrap();
+    validate_ghicoo(&GHiCooTensor::from_coo(&x, 64, &[true, true, false]).unwrap()).unwrap();
+    validate_csf(&CsfTensor::from_coo(&x, &[0, 1, 2]).unwrap()).unwrap();
+}
+
+#[test]
+fn csf_and_coo_mttkrp_agree_on_generated_data() {
+    let x = tensor();
+    let factors: Vec<DenseMatrix<f32>> =
+        (0..3).map(|m| seeded_matrix(x.shape().dim(m) as usize, 8, m as u64)).collect();
+    let ctx = Ctx::sequential();
+    for n in 0..3 {
+        let mut order: Vec<usize> = vec![n];
+        order.extend((0..3).filter(|&m| m != n));
+        let csf = CsfTensor::from_coo(&x, &order).unwrap();
+        let a = mttkrp_csf_root(&csf, &factors, &ctx).unwrap();
+        let b = mttkrp_coo(&x, &factors, n, &ctx).unwrap();
+        for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(p.approx_eq(*q, 1e-3), "mode {n}: {p} vs {q}");
+        }
+    }
+}
+
+#[test]
+fn fcoo_and_coo_ttv_agree_on_generated_data() {
+    let x = tensor();
+    let ctx = Ctx::parallel();
+    for n in 0..3 {
+        let v = seeded_vector::<f32>(x.shape().dim(n) as usize, 7);
+        let a = ttv_coo(&x, &v, n, &ctx).unwrap();
+        let fc = FCooTensor::from_coo(&x, n).unwrap();
+        let b = ttv_fcoo(&fc, &v, &ctx).unwrap();
+        assert_eq!(a.nnz(), b.nnz(), "mode {n}");
+        let mut a2 = a;
+        a2.sort();
+        let mut b2 = b;
+        b2.sort();
+        for (p, q) in a2.vals().iter().zip(b2.vals()) {
+            assert!(p.approx_eq(*q, 1e-3), "mode {n}: {p} vs {q}");
+        }
+    }
+}
+
+#[test]
+fn reordering_preserves_kernel_results_up_to_renaming() {
+    let x = tensor();
+    let relabel = Relabel::by_degree(&x);
+    let y = relabel.apply(&x).unwrap();
+    let ctx = Ctx::sequential();
+
+    // TTV in mode 2 with a vector renamed by the same map gives the same
+    // value multiset.
+    let v = seeded_vector::<f32>(x.shape().dim(2) as usize, 7);
+    let mut v2 = v.clone();
+    for (old, &new) in relabel.map(2).iter().enumerate() {
+        v2[new as usize] = v[old];
+    }
+    let a = ttv_coo(&x, &v, 2, &ctx).unwrap();
+    let b = ttv_coo(&y, &v2, 2, &ctx).unwrap();
+    let mut av: Vec<f32> = a.vals().to_vec();
+    let mut bv: Vec<f32> = b.vals().to_vec();
+    av.sort_by(|p, q| p.partial_cmp(q).unwrap());
+    bv.sort_by(|p, q| p.partial_cmp(q).unwrap());
+    assert_eq!(av.len(), bv.len());
+    for (p, q) in av.iter().zip(&bv) {
+        assert!(p.approx_eq(*q, 1e-4), "{p} vs {q}");
+    }
+}
+
+#[test]
+fn mimicry_matches_shape_and_rough_skew() {
+    let original = tensor();
+    let spec = extract_features(&original);
+    let clone = spec.generate(123).unwrap();
+    assert_eq!(clone.shape(), original.shape());
+    let fc = extract_features(&clone);
+    // The skewed modes stay skewed, the short mode stays flat.
+    assert_eq!(fc.mode_dists(), spec.mode_dists());
+    assert!(fc.modes[0].head_mass > 2.0 * fc.modes[2].head_mass);
+}
+
+#[test]
+fn multi_gpu_shards_reproduce_single_device_output() {
+    let x = KroneckerGen::new(3).generate(&[512, 512, 512], 10_000, 3).unwrap();
+    let factors: Vec<DenseMatrix<f32>> =
+        (0..3).map(|m| seeded_matrix(512, 4, m as u64)).collect();
+    let mut single = GpuMttkrpCoo::new(&x, &factors, 1).unwrap();
+    launch(&v100(), &mut single);
+
+    let shards = x.split_nnz(3);
+    assert_eq!(shards.iter().map(|s| s.nnz()).sum::<usize>(), x.nnz());
+    let mut kernels: Vec<GpuMttkrpCoo> =
+        shards.iter().map(|s| GpuMttkrpCoo::new(s, &factors, 1).unwrap()).collect();
+    let stats = launch_multi(&vec![v100(); 3], &mut kernels, &Interconnect::nvlink(), 512 * 4 * 4);
+    assert!(stats.time > 0.0);
+
+    let mut acc = vec![0.0f32; 512 * 4];
+    for k in &kernels {
+        for (a, &v) in acc.iter_mut().zip(k.output().as_slice()) {
+            *a += v;
+        }
+    }
+    for (a, &b) in acc.iter().zip(single.output().as_slice()) {
+        assert!(a.approx_eq(b, 1e-3), "{a} vs {b}");
+    }
+}

@@ -1,0 +1,232 @@
+//! Cross-crate integration tests: format conversions on generated tensors,
+//! I/O roundtrips, and property-based invariants of the storage formats.
+
+use pasta::core::{
+    io, BlockStats, CooTensor, GHiCooTensor, HiCooTensor, SHiCooTensor, SemiCooTensor, Shape,
+    TensorStats,
+};
+use pasta::gen::{KroneckerGen, PowerLawGen};
+use proptest::prelude::*;
+
+fn sorted(mut t: CooTensor<f32>) -> CooTensor<f32> {
+    t.sort();
+    t
+}
+
+#[test]
+fn generated_tensor_roundtrips_through_every_format() {
+    let x = PowerLawGen::new(1.5).generate3(2_000, 16, 5_000, 42).unwrap();
+    let reference = sorted(x.clone());
+
+    for bs in [2u32, 8, 128, 256] {
+        let hicoo = HiCooTensor::from_coo(&x, bs).unwrap();
+        assert_eq!(sorted(hicoo.to_coo()), reference, "HiCOO B={bs}");
+    }
+    for blocked in [[true, true, false], [true, false, true], [true, true, true]] {
+        let g = GHiCooTensor::from_coo(&x, 16, &blocked).unwrap();
+        assert_eq!(sorted(g.to_coo()), reference, "gHiCOO {blocked:?}");
+    }
+}
+
+#[test]
+fn io_roundtrips_generated_tensor() {
+    let x = KroneckerGen::new(4).generate(&[64, 64, 64, 16], 3_000, 7).unwrap();
+
+    let mut text = Vec::new();
+    io::write_tns(&x, &mut text).unwrap();
+    let back: CooTensor<f32> = io::read_tns(&text[..]).unwrap();
+    // Shape may shrink to the max observed index; values and coords agree.
+    assert_eq!(back.nnz(), x.nnz());
+    for (coords, val) in x.iter().take(64) {
+        assert_eq!(back.get(&coords), Some(val));
+    }
+
+    let mut bin = Vec::new();
+    io::write_binary(&x, &mut bin).unwrap();
+    let back2: CooTensor<f32> = io::read_binary(&bin[..]).unwrap();
+    assert_eq!(back2, x);
+}
+
+#[test]
+fn hicoo_compression_tracks_clustering() {
+    // A clustered (Kronecker) tensor compresses well under HiCOO; a
+    // scattered power-law tensor with huge dims compresses worse.
+    let clustered = KroneckerGen::new(3).generate(&[4096, 4096, 4096], 20_000, 1).unwrap();
+    let scattered = PowerLawGen::new(1.1).generate3(4_000_000, 4_000_000, 20_000, 2).unwrap();
+    let hc = HiCooTensor::from_coo(&clustered, 128).unwrap();
+    let hs = HiCooTensor::from_coo(&scattered, 128).unwrap();
+    let ratio_c = hc.storage_bytes() as f64 / clustered.storage_bytes() as f64;
+    let ratio_s = hs.storage_bytes() as f64 / scattered.storage_bytes() as f64;
+    assert!(ratio_c < ratio_s, "clustered {ratio_c:.2} vs scattered {ratio_s:.2}");
+
+    let bc = BlockStats::compute(&hc);
+    let bs = BlockStats::compute(&hs);
+    assert!(bc.avg_nnz > bs.avg_nnz);
+}
+
+#[test]
+fn stats_consistent_across_formats() {
+    let x = PowerLawGen::new(1.6).generate3(1_000, 8, 3_000, 9).unwrap();
+    let stats = TensorStats::compute(&x);
+    let hicoo = HiCooTensor::from_coo(&x, 64).unwrap();
+    assert_eq!(stats.nnz, hicoo.nnz());
+    let again = TensorStats::compute(&hicoo.to_coo());
+    assert_eq!(stats.nnz, again.nnz);
+    assert_eq!(stats.fiber_counts, again.fiber_counts, "fiber structure survives conversion");
+}
+
+#[test]
+fn semi_sparse_chain_scoo_shicoo() {
+    // sCOO -> sHiCOO -> sCOO -> COO keeps every value.
+    let scoo = SemiCooTensor::from_fibers(
+        Shape::new(vec![64, 64, 4]),
+        vec![2],
+        vec![(0..40u32).collect(), (0..40u32).map(|i| (i * 7) % 64).collect()],
+        (0..160).map(|i| i as f32 * 0.25 + 1.0).collect(),
+    )
+    .unwrap();
+    let sh = SHiCooTensor::from_scoo(&scoo, 8).unwrap();
+    let back = sh.to_scoo().unwrap();
+    assert_eq!(sorted(back.to_coo()), sorted(scoo.to_coo()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// HiCOO roundtrip is lossless for arbitrary third-order tensors.
+    #[test]
+    fn prop_hicoo_roundtrip(
+        entries in proptest::collection::vec(
+            ((0u32..200, 0u32..100, 0u32..300), -100i32..100),
+            1..60
+        ),
+        bs_log in 1u32..8,
+    ) {
+        let mut t = CooTensor::<f32>::new(Shape::new(vec![200, 100, 300]));
+        for ((i, j, k), v) in entries {
+            t.push(&[i, j, k], v as f32).unwrap();
+        }
+        t.dedup_sum();
+        let hicoo = HiCooTensor::from_coo(&t, 1 << bs_log).unwrap();
+        prop_assert_eq!(sorted(hicoo.to_coo()), sorted(t));
+    }
+
+    /// gHiCOO with any non-empty blocked-mode subset is lossless.
+    #[test]
+    fn prop_ghicoo_roundtrip(
+        entries in proptest::collection::vec(
+            ((0u32..64, 0u32..64, 0u32..64), 1i32..50),
+            1..40
+        ),
+        mask in 1u8..8,
+    ) {
+        let blocked = [(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0];
+        let mut t = CooTensor::<f32>::new(Shape::new(vec![64, 64, 64]));
+        for ((i, j, k), v) in entries {
+            t.push(&[i, j, k], v as f32).unwrap();
+        }
+        t.dedup_sum();
+        let g = GHiCooTensor::from_coo(&t, 4, &blocked).unwrap();
+        prop_assert_eq!(sorted(g.to_coo()), sorted(t));
+    }
+
+    /// Binary I/O is an exact roundtrip.
+    #[test]
+    fn prop_binary_io_roundtrip(
+        entries in proptest::collection::vec(
+            ((0u32..30, 0u32..30), -1000f32..1000f32),
+            0..40
+        ),
+    ) {
+        let mut t = CooTensor::<f32>::new(Shape::new(vec![30, 30]));
+        for ((i, j), v) in entries {
+            t.push(&[i, j], v).unwrap();
+        }
+        let mut buf = Vec::new();
+        io::write_binary(&t, &mut buf).unwrap();
+        let back: CooTensor<f32> = io::read_binary(&buf[..]).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// CSF roundtrip is lossless for arbitrary tensors and mode orders.
+    #[test]
+    fn prop_csf_roundtrip(
+        entries in proptest::collection::vec(
+            ((0u32..40, 0u32..40, 0u32..40), 1i32..100),
+            1..50
+        ),
+        perm_seed in 0usize..6,
+    ) {
+        let orders = [[0usize, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let mut t = CooTensor::<f32>::new(Shape::new(vec![40, 40, 40]));
+        for ((i, j, k), v) in entries {
+            t.push(&[i, j, k], v as f32).unwrap();
+        }
+        t.dedup_sum();
+        let csf = pasta::core::CsfTensor::from_coo(&t, &orders[perm_seed]).unwrap();
+        pasta::core::validate_csf(&csf).unwrap();
+        prop_assert_eq!(sorted(csf.to_coo()), sorted(t));
+    }
+
+    /// F-COO roundtrip is lossless and its flag count equals the fiber count.
+    #[test]
+    fn prop_fcoo_roundtrip(
+        entries in proptest::collection::vec(
+            ((0u32..30, 0u32..30, 0u32..30), 1i32..50),
+            1..40
+        ),
+        mode in 0usize..3,
+    ) {
+        let mut t = CooTensor::<f32>::new(Shape::new(vec![30, 30, 30]));
+        for ((i, j, k), v) in entries {
+            t.push(&[i, j, k], v as f32).unwrap();
+        }
+        t.dedup_sum();
+        let fc = pasta::core::FCooTensor::from_coo(&t, mode).unwrap();
+        prop_assert_eq!(
+            fc.start_flags().iter().filter(|&&b| b).count(),
+            fc.num_fibers()
+        );
+        prop_assert_eq!(sorted(fc.to_coo()), sorted(t));
+    }
+
+    /// Degree relabeling is always a bijection: applying then inverting is
+    /// the identity on entries.
+    #[test]
+    fn prop_relabel_invertible(
+        entries in proptest::collection::vec(
+            ((0u32..25, 0u32..25), 1i32..50),
+            1..30
+        ),
+    ) {
+        let mut t = CooTensor::<f32>::new(Shape::new(vec![25, 25]));
+        for ((i, j), v) in entries {
+            t.push(&[i, j], v as f32).unwrap();
+        }
+        t.dedup_sum();
+        let r = pasta::core::Relabel::by_degree(&t);
+        let back = r.inverse().apply(&r.apply(&t).unwrap()).unwrap();
+        prop_assert_eq!(sorted(back), sorted(t));
+    }
+
+    /// Sorting preserves the multiset of entries and orders them.
+    #[test]
+    fn prop_sort_permutes(
+        entries in proptest::collection::vec(
+            ((0u32..50, 0u32..50, 0u32..50), -50i32..50),
+            1..50
+        ),
+        mode in 0usize..3,
+    ) {
+        let mut t = CooTensor::<f32>::new(Shape::new(vec![50, 50, 50]));
+        for ((i, j, k), v) in &entries {
+            t.push(&[*i, *j, *k], *v as f32).unwrap();
+        }
+        let mut all_before: Vec<(Vec<u32>, f32)> = t.iter().collect();
+        t.sort_mode_last(mode);
+        let mut all_after: Vec<(Vec<u32>, f32)> = t.iter().collect();
+        all_before.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        all_after.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(all_before, all_after);
+    }
+}

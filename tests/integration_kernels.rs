@@ -1,0 +1,205 @@
+//! Cross-crate integration tests: every kernel agrees across COO, HiCOO,
+//! sequential, parallel and the dense oracle, on generated (realistic)
+//! tensors; plus property-based algebraic identities.
+
+use pasta::core::{seeded_matrix, seeded_vector, CooTensor, DenseMatrix, HiCooTensor, Shape, Value};
+use pasta::gen::{KroneckerGen, PowerLawGen};
+use pasta::kernels::dense_ref;
+use pasta::kernels::{
+    mttkrp_coo, mttkrp_hicoo, tew_coo_general, tew_coo_same_pattern, tew_hicoo, ts_coo, ts_hicoo,
+    ttm_coo, ttm_hicoo, ttv_coo, ttv_hicoo, Ctx, EwOp, TsOp,
+};
+use proptest::prelude::*;
+
+fn gen3() -> CooTensor<f32> {
+    PowerLawGen::new(1.5).generate3(300, 12, 2_000, 42).unwrap()
+}
+
+fn gen4() -> CooTensor<f32> {
+    KroneckerGen::new(4).generate(&[32, 32, 32, 16], 1_500, 7).unwrap()
+}
+
+fn assert_close(a: &[f32], b: &[f32], tol: f64) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert!(x.approx_eq(*y, tol), "{x} vs {y}");
+    }
+}
+
+#[test]
+fn ttv_all_formats_agree_with_dense() {
+    for x in [gen3(), gen4()] {
+        for n in 0..x.order() {
+            let v = seeded_vector::<f32>(x.shape().dim(n) as usize, 3);
+            let (shape, dense) = dense_ref::ttv_dense(&x, &v, n);
+            let seq = ttv_coo(&x, &v, n, &Ctx::sequential()).unwrap();
+            let par = ttv_coo(&x, &v, n, &Ctx::parallel()).unwrap();
+            let hic = ttv_hicoo(&x, &v, n, 16, &Ctx::parallel()).unwrap();
+            assert_eq!(seq.shape(), &shape);
+            assert_close(&seq.to_dense(1 << 22), &dense, 1e-3);
+            assert_close(&par.to_dense(1 << 22), &dense, 1e-3);
+            assert_close(&hic.to_coo().to_dense(1 << 22), &dense, 1e-3);
+        }
+    }
+}
+
+#[test]
+fn ttm_all_formats_agree_with_dense() {
+    let x = gen3();
+    for n in 0..3 {
+        let u = seeded_matrix::<f32>(x.shape().dim(n) as usize, 16, 5);
+        let (_, dense) = dense_ref::ttm_dense(&x, &u, n);
+        let coo = ttm_coo(&x, &u, n, &Ctx::parallel()).unwrap();
+        let hic = ttm_hicoo(&x, &u, n, 8, &Ctx::parallel()).unwrap();
+        assert_close(&coo.to_coo().to_dense(1 << 22), &dense, 1e-3);
+        assert_close(&hic.to_scoo().unwrap().to_coo().to_dense(1 << 22), &dense, 1e-3);
+    }
+}
+
+#[test]
+fn mttkrp_all_formats_agree_with_dense() {
+    for x in [gen3(), gen4()] {
+        let factors: Vec<DenseMatrix<f32>> = (0..x.order())
+            .map(|m| seeded_matrix(x.shape().dim(m) as usize, 8, 11 + m as u64))
+            .collect();
+        let hicoo = HiCooTensor::from_coo(&x, 16).unwrap();
+        for n in 0..x.order() {
+            let want = dense_ref::mttkrp_dense(&x, &factors, n);
+            let seq = mttkrp_coo(&x, &factors, n, &Ctx::sequential()).unwrap();
+            let par = mttkrp_coo(&x, &factors, n, &Ctx::parallel()).unwrap();
+            let hic = mttkrp_hicoo(&hicoo, &factors, n, &Ctx::parallel()).unwrap();
+            assert_close(seq.as_slice(), want.as_slice(), 1e-3);
+            assert_close(par.as_slice(), want.as_slice(), 1e-3);
+            assert_close(hic.as_slice(), want.as_slice(), 1e-3);
+        }
+    }
+}
+
+#[test]
+fn tew_ts_formats_agree() {
+    let x = gen3();
+    let ctx = Ctx::parallel();
+    let y = ts_coo(TsOp::Add, &x, 0.5, &ctx).unwrap();
+    let hx = HiCooTensor::from_coo(&x, 32).unwrap();
+    let hy = HiCooTensor::from_coo(&y, 32).unwrap();
+    for op in EwOp::ALL {
+        let coo = tew_coo_same_pattern(op, &x, &y, &ctx).unwrap();
+        let hic = tew_hicoo(op, &hx, &hy, &ctx).unwrap();
+        let mut a = hic.to_coo();
+        a.sort();
+        let mut b = coo;
+        b.sort();
+        assert_eq!(a, b, "{op}");
+    }
+    for op in TsOp::ALL {
+        let coo = ts_coo(op, &x, 2.5, &ctx).unwrap();
+        let hic = ts_hicoo(op, &hx, 2.5, &ctx).unwrap();
+        let mut a = hic.to_coo();
+        a.sort();
+        let mut b = coo;
+        b.sort();
+        assert_eq!(a, b, "{op}");
+    }
+}
+
+#[test]
+fn cpd_pipeline_runs_on_generated_data() {
+    let x = KroneckerGen::new(3).generate(&[64, 64, 64], 3_000, 5).unwrap();
+    let model = pasta::algos::cp_als(
+        &x,
+        &pasta::algos::CpdOptions { rank: 4, max_iters: 10, ctx: Ctx::parallel(), ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(model.factors.len(), 3);
+    assert!(model.fit.is_finite());
+    assert!(model.lambda.iter().all(|l| l.is_finite()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// TEW general-path algebra: (x + y) - y == x on the union pattern.
+    #[test]
+    fn prop_tew_add_sub_inverse(
+        xe in proptest::collection::vec(((0u32..20, 0u32..20), 1i32..100), 1..20),
+        ye in proptest::collection::vec(((0u32..20, 0u32..20), 1i32..100), 1..20),
+    ) {
+        let shape = Shape::new(vec![20, 20]);
+        let mut x = CooTensor::<f64>::new(shape.clone());
+        for ((i, j), v) in xe { x.push(&[i, j], v as f64).unwrap(); }
+        x.dedup_sum();
+        let mut y = CooTensor::<f64>::new(shape);
+        for ((i, j), v) in ye { y.push(&[i, j], v as f64).unwrap(); }
+        y.dedup_sum();
+
+        let sum = tew_coo_general(EwOp::Add, &x, &y).unwrap();
+        let back = tew_coo_general(EwOp::Sub, &sum, &y).unwrap();
+        // back must equal x wherever x is non-zero.
+        for (coords, v) in x.iter() {
+            let got = back.get(&coords).unwrap_or(0.0);
+            prop_assert!(got.approx_eq(v, 1e-9), "{got} vs {v}");
+        }
+        // and zero elsewhere.
+        prop_assert!(back.nnz() <= x.nnz() + y.nnz());
+    }
+
+    /// TTV linearity: X x_n (a*v) == a * (X x_n v).
+    #[test]
+    fn prop_ttv_linear(
+        entries in proptest::collection::vec(((0u32..12, 0u32..12, 0u32..12), -20i32..20), 1..25),
+        a in 1u32..8,
+        n in 0usize..3,
+    ) {
+        let mut x = CooTensor::<f64>::new(Shape::new(vec![12, 12, 12]));
+        for ((i, j, k), v) in entries { x.push(&[i, j, k], v as f64).unwrap(); }
+        x.dedup_sum();
+        let v = seeded_vector::<f64>(12, 99);
+        let av: pasta::core::DenseVector<f64> =
+            v.as_slice().iter().map(|&e| e * a as f64).collect();
+
+        let y1 = ttv_coo(&x, &av, n, &Ctx::sequential()).unwrap();
+        let y2 = ttv_coo(&x, &v, n, &Ctx::sequential()).unwrap();
+        prop_assert_eq!(y1.nnz(), y2.nnz());
+        for (w1, w2) in y1.vals().iter().zip(y2.vals()) {
+            prop_assert!(w1.approx_eq(w2 * a as f64, 1e-9));
+        }
+    }
+
+    /// MTTKRP with all-ones factors sums fiber values into the output rows.
+    #[test]
+    fn prop_mttkrp_ones_marginalizes(
+        entries in proptest::collection::vec(((0u32..10, 0u32..10, 0u32..10), 1i32..50), 1..30),
+    ) {
+        let mut x = CooTensor::<f64>::new(Shape::new(vec![10, 10, 10]));
+        for ((i, j, k), v) in entries { x.push(&[i, j, k], v as f64).unwrap(); }
+        x.dedup_sum();
+        let ones: Vec<DenseMatrix<f64>> =
+            (0..3).map(|_| DenseMatrix::from_fn(10, 2, |_, _| 1.0)).collect();
+        let out = mttkrp_coo(&x, &ones, 0, &Ctx::sequential()).unwrap();
+        // Row i = total mass of slice i, in every column.
+        for i in 0..10usize {
+            let slice_sum: f64 = x
+                .iter()
+                .filter(|(c, _)| c[0] == i as u32)
+                .map(|(_, v)| v)
+                .sum();
+            prop_assert!(out.get(i, 0).approx_eq(slice_sum, 1e-9));
+            prop_assert!(out.get(i, 1).approx_eq(slice_sum, 1e-9));
+        }
+    }
+
+    /// TS mul-then-div returns the original values.
+    #[test]
+    fn prop_ts_mul_div_inverse(
+        entries in proptest::collection::vec(((0u32..15, 0u32..15), -100i32..100), 1..30),
+        s in prop::sample::select(vec![0.5f32, 2.0, 4.0, 8.0]),
+    ) {
+        let mut x = CooTensor::<f32>::new(Shape::new(vec![15, 15]));
+        for ((i, j), v) in entries { x.push(&[i, j], v as f32).unwrap(); }
+        let ctx = Ctx::sequential();
+        let y = ts_coo(TsOp::Mul, &x, s, &ctx).unwrap();
+        let z = ts_coo(TsOp::Div, &y, s, &ctx).unwrap();
+        // Powers of two divide exactly in binary floating point.
+        prop_assert_eq!(z.vals(), x.vals());
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end pipeline tests: dataset profiles → generation → statistics →
+//! Roofline/performance model → the paper's qualitative observations.
+
+use pasta::core::{BlockStats, HiCooTensor, TensorStats};
+use pasta::gen::{find_profile, real_profiles, synthetic_profiles};
+use pasta::kernels::Kernel;
+use pasta::platform::{
+    all_platforms, bluesky, dgx1v, model_run, wingtip, Format, Roofline, TensorFeatures,
+};
+
+fn features_for(key: &str, scale: f64, mode: usize) -> TensorFeatures {
+    let p = find_profile(key).unwrap();
+    let t = p.generate_scaled(scale).unwrap();
+    let stats = TensorStats::compute(&t);
+    let h = HiCooTensor::from_coo(&t, 128).unwrap();
+    let blocks = BlockStats::compute(&h);
+    TensorFeatures::from_stats(&stats, &blocks, mode, 16, t.storage_bytes() as f64)
+}
+
+#[test]
+fn every_profile_generates_with_correct_shape() {
+    for p in synthetic_profiles().iter().chain(real_profiles().iter()) {
+        let t = p.generate_scaled(0.01).unwrap();
+        assert_eq!(t.shape().dims(), &p.dims[..], "{}", p.id);
+        assert!(t.nnz() > 0, "{}", p.id);
+        // Indices in range is enforced by construction; spot-check stats.
+        let stats = TensorStats::compute(&t);
+        assert_eq!(stats.order, p.order());
+        assert!(stats.density > 0.0);
+    }
+}
+
+#[test]
+fn rooflines_bound_the_model() {
+    // The modeled GFLOPS never exceeds the LLC roof (the hardest bound the
+    // model can grant), and the DRAM roofline matches OI x bandwidth.
+    let f = features_for("irrS", 0.05, 0);
+    for spec in all_platforms() {
+        let roof = Roofline::for_platform(&spec);
+        for k in Kernel::ALL {
+            for fmt in [Format::Coo, Format::Hicoo] {
+                let run = model_run(&spec, k, fmt, &f, 16);
+                let llc_bound = roof.attainable_llc(run.roofline_gflops * 1e9 / roof.ert_dram_bw)
+                    / 1e9;
+                // Sub-unity calibrated slowdowns (e.g. V100's independent
+                // int/fp datapaths on MTTKRP, per the paper's Observation 2)
+                // may push slightly past the cache roof.
+                assert!(
+                    run.gflops <= llc_bound * 1.15,
+                    "{k} {fmt} on {}: {} > {}",
+                    spec.name,
+                    run.gflops,
+                    llc_bound
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn observation2_small_exceeds_large_does_not() {
+    // The small synthetic tensor (cache-resident at 5% scale) must achieve
+    // higher TS efficiency than the large one on Bluesky.
+    let small = features_for("regS", 0.02, 0);
+    let large = features_for("regL", 1.0, 0);
+    let spec = bluesky();
+    let rs = model_run(&spec, Kernel::Ts, Format::Coo, &small, 16);
+    let rl = model_run(&spec, Kernel::Ts, Format::Coo, &large, 16);
+    assert!(rs.efficiency > rl.efficiency, "{} vs {}", rs.efficiency, rl.efficiency);
+    assert!(rs.efficiency > 1.0, "small tensors break the DRAM roofline: {}", rs.efficiency);
+}
+
+#[test]
+fn observation3_numa_ordering() {
+    let f = features_for("irrM", 0.2, 0);
+    for k in [Kernel::Ttv, Kernel::Mttkrp] {
+        let b = model_run(&bluesky(), k, Format::Coo, &f, 16);
+        let w = model_run(&wingtip(), k, Format::Coo, &f, 16);
+        // Wingtip's extra sockets never meaningfully help the non-streaming
+        // kernels' efficiency (TTV strictly worse; MTTKRP roughly flat — the
+        // paper reports 6% vs 9%, a <2x difference).
+        assert!(w.efficiency <= b.efficiency * 2.0, "{k}: {} vs {}", w.efficiency, b.efficiency);
+    }
+    let ttv_b = model_run(&bluesky(), Kernel::Ttv, Format::Coo, &f, 16);
+    let ttv_w = model_run(&wingtip(), Kernel::Ttv, Format::Coo, &f, 16);
+    assert!(ttv_w.efficiency < ttv_b.efficiency);
+}
+
+#[test]
+fn observation4_format_ordering() {
+    let f = features_for("irrM", 0.2, 0);
+    // CPU: HiCOO wins TTV.
+    let coo = model_run(&bluesky(), Kernel::Ttv, Format::Coo, &f, 16);
+    let hic = model_run(&bluesky(), Kernel::Ttv, Format::Hicoo, &f, 16);
+    assert!(hic.gflops > coo.gflops);
+    // GPU: HiCOO-MTTKRP loses.
+    let coo = model_run(&dgx1v(), Kernel::Mttkrp, Format::Coo, &f, 16);
+    let hic = model_run(&dgx1v(), Kernel::Mttkrp, Format::Hicoo, &f, 16);
+    assert!(hic.gflops < coo.gflops);
+}
+
+#[test]
+fn table1_ois_match_paper_in_the_limit() {
+    // With M_F << M and R = 16 the computed OIs approach the paper's
+    // nominal column.
+    let p = pasta::kernels::CostParams { m: 1e8, mf: 1e5, r: 16.0, nb: 1e6, block_size: 128.0 };
+    for k in Kernel::ALL {
+        let c = pasta::kernels::kernel_cost(k, &p);
+        let nominal = k.nominal_oi();
+        assert!(
+            (c.coo_oi() - nominal).abs() / nominal < 0.35,
+            "{k}: computed {} vs nominal {nominal}",
+            c.coo_oi()
+        );
+    }
+}
+
+#[test]
+fn synthetic_dataset_covers_both_generators_and_orders() {
+    let profiles = synthetic_profiles();
+    let kron = profiles.iter().filter(|p| matches!(p.method, pasta::gen::Method::Kronecker)).count();
+    let pl = profiles.len() - kron;
+    assert_eq!(kron, 6); // regS/M/L and regS4d/M4d/L4d
+    assert_eq!(pl, 9);
+    assert_eq!(profiles.iter().filter(|p| p.order() == 3).count(), 6);
+    assert_eq!(profiles.iter().filter(|p| p.order() == 4).count(), 9);
+}
