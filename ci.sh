@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI gate: the same steps .github/workflows/ci.yml runs.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> CI gate passed"

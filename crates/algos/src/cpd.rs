@@ -228,8 +228,11 @@ mod tests {
 
     /// Builds an exactly rank-`r` tensor from random factors.
     fn rank_r_tensor(dims: &[u32], r: usize, seed: u64) -> CooTensor<f64> {
-        let factors: Vec<DenseMatrix<f64>> =
-            dims.iter().enumerate().map(|(m, &d)| seeded_matrix(d as usize, r, seed + m as u64)).collect();
+        let factors: Vec<DenseMatrix<f64>> = dims
+            .iter()
+            .enumerate()
+            .map(|(m, &d)| seeded_matrix(d as usize, r, seed + m as u64))
+            .collect();
         let mut t = CooTensor::new(Shape::new(dims.to_vec()));
         let mut coords = vec![0u32; dims.len()];
         fill(&mut t, &factors, &mut coords, 0);
@@ -263,11 +266,9 @@ mod tests {
     #[test]
     fn recovers_exact_low_rank() {
         let x = rank_r_tensor(&[6, 5, 4], 2, 42);
-        let model = cp_als(
-            &x,
-            &CpdOptions { rank: 2, max_iters: 200, tol: 1e-12, ..Default::default() },
-        )
-        .unwrap();
+        let model =
+            cp_als(&x, &CpdOptions { rank: 2, max_iters: 200, tol: 1e-12, ..Default::default() })
+                .unwrap();
         assert!(model.fit > 0.99, "fit {}", model.fit);
         assert_eq!(model.factors.len(), 3);
         assert_eq!(model.lambda.len(), 2);
@@ -276,11 +277,9 @@ mod tests {
     #[test]
     fn hicoo_backend_matches_coo() {
         let x = rank_r_tensor(&[6, 6, 6], 2, 7);
-        let coo = cp_als(
-            &x,
-            &CpdOptions { rank: 2, max_iters: 20, tol: 0.0, ..Default::default() },
-        )
-        .unwrap();
+        let coo =
+            cp_als(&x, &CpdOptions { rank: 2, max_iters: 20, tol: 0.0, ..Default::default() })
+                .unwrap();
         let hic = cp_als(
             &x,
             &CpdOptions {
@@ -321,11 +320,9 @@ mod tests {
     #[test]
     fn fourth_order_converges() {
         let x = rank_r_tensor(&[4, 4, 4, 4], 2, 9);
-        let m = cp_als(
-            &x,
-            &CpdOptions { rank: 2, max_iters: 150, tol: 1e-12, ..Default::default() },
-        )
-        .unwrap();
+        let m =
+            cp_als(&x, &CpdOptions { rank: 2, max_iters: 150, tol: 1e-12, ..Default::default() })
+                .unwrap();
         assert!(m.fit > 0.99, "fit {}", m.fit);
     }
 
@@ -333,8 +330,8 @@ mod tests {
     fn rejects_bad_options() {
         let x = rank_r_tensor(&[4, 4], 1, 1);
         assert!(cp_als(&x, &CpdOptions { rank: 0, ..Default::default() }).is_err());
-        let first = CooTensor::<f64>::from_entries(Shape::new(vec![4]), vec![(vec![0], 1.0)])
-            .unwrap();
+        let first =
+            CooTensor::<f64>::from_entries(Shape::new(vec![4]), vec![(vec![0], 1.0)]).unwrap();
         assert!(cp_als(&first, &CpdOptions::default()).is_err());
     }
 

@@ -122,8 +122,7 @@ pub fn tensor_power_method<V: Value>(
     // lambda = X x_1 v x_2 v x_3 v.
     let mut lambda = V::ZERO;
     for (coords, val) in x.iter() {
-        lambda +=
-            val * v[coords[0] as usize] * v[coords[1] as usize] * v[coords[2] as usize];
+        lambda += val * v[coords[0] as usize] * v[coords[1] as usize] * v[coords[2] as usize];
     }
     Ok(PowerResult { vector: v, lambda, iters, converged })
 }
@@ -173,11 +172,9 @@ mod tests {
 
     #[test]
     fn rejects_non_cubical_or_wrong_order() {
-        let x = CooTensor::<f64>::from_entries(
-            Shape::new(vec![3, 4, 3]),
-            vec![(vec![0, 0, 0], 1.0)],
-        )
-        .unwrap();
+        let x =
+            CooTensor::<f64>::from_entries(Shape::new(vec![3, 4, 3]), vec![(vec![0, 0, 0], 1.0)])
+                .unwrap();
         assert!(tensor_power_method(&x, &PowerOptions::default()).is_err());
         let m = CooTensor::<f64>::from_entries(Shape::new(vec![3, 3]), vec![(vec![0, 0], 1.0)])
             .unwrap();

@@ -164,9 +164,8 @@ fn gram_of_matricization<V: Value>(y: &CooTensor<V>, n: usize, in_dim: usize) ->
     let mut w = DenseMatrix::<V>::zeros(in_dim, in_dim);
     for f in 0..fi.num_fibers() {
         let range = fi.fiber_range(f);
-        let rows: Vec<(usize, V)> = range
-            .map(|xx| (ys.mode_inds(n)[xx] as usize, ys.vals()[xx]))
-            .collect();
+        let rows: Vec<(usize, V)> =
+            range.map(|xx| (ys.mode_inds(n)[xx] as usize, ys.vals()[xx])).collect();
         for &(i, vi) in &rows {
             for &(j, vj) in &rows {
                 let add = vi * vj;
@@ -249,17 +248,14 @@ mod tests {
     #[test]
     fn rejects_bad_ranks() {
         let x = diag_tensor(4);
-        assert!(tucker_hooi(&x, &TuckerOptions { ranks: vec![2, 2], ..Default::default() })
-            .is_err());
-        assert!(tucker_hooi(
-            &x,
-            &TuckerOptions { ranks: vec![2, 2, 9], ..Default::default() }
-        )
-        .is_err());
-        assert!(tucker_hooi(
-            &x,
-            &TuckerOptions { ranks: vec![2, 0, 2], ..Default::default() }
-        )
-        .is_err());
+        assert!(
+            tucker_hooi(&x, &TuckerOptions { ranks: vec![2, 2], ..Default::default() }).is_err()
+        );
+        assert!(
+            tucker_hooi(&x, &TuckerOptions { ranks: vec![2, 2, 9], ..Default::default() }).is_err()
+        );
+        assert!(
+            tucker_hooi(&x, &TuckerOptions { ranks: vec![2, 0, 2], ..Default::default() }).is_err()
+        );
     }
 }

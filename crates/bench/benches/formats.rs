@@ -7,8 +7,29 @@ use pasta_core::{GHiCooTensor, HiCooTensor};
 
 fn bench_formats(c: &mut Criterion) {
     let bt = load_one("irrS", 0.5).expect("profile");
+    let par_threads = pasta_par::default_threads().max(4);
     let mut group = c.benchmark_group("formats");
     group.sample_size(10);
+
+    // COO sort through the packed-key radix path: serial vs pooled threads.
+    let order = bt.tensor.order();
+    let mode_order: Vec<usize> = (1..order).chain(std::iter::once(0)).collect();
+    for (label, threads) in [("serial", 1usize), ("parallel", par_threads)] {
+        group.bench_with_input(BenchmarkId::new("coo_sort_radix", label), &threads, |b, &t| {
+            b.iter(|| {
+                let mut tensor = bt.tensor.clone();
+                tensor.sort_by_mode_order_threads(&mode_order, t);
+                tensor
+            });
+        });
+    }
+
+    // COO -> HiCOO at the paper's fixed B = 128: serial vs pooled threads.
+    for (label, threads) in [("serial", 1usize), ("parallel", par_threads)] {
+        group.bench_with_input(BenchmarkId::new("coo_to_hicoo_radix", label), &threads, |b, &t| {
+            b.iter(|| HiCooTensor::from_coo_threads(&bt.tensor, 128, t).unwrap());
+        });
+    }
 
     // COO -> HiCOO conversion across block sizes (ablation).
     for bs in [4u32, 16, 64, 128, 256] {
@@ -18,7 +39,6 @@ fn bench_formats(c: &mut Criterion) {
     }
 
     // gHiCOO with the last mode kept in COO form (the TTV/TTM layout).
-    let order = bt.tensor.order();
     let blocked: Vec<bool> = (0..order).map(|m| m + 1 != order).collect();
     group.bench_function("coo_to_ghicoo", |b| {
         b.iter(|| GHiCooTensor::from_coo(&bt.tensor, 128, &blocked).unwrap());

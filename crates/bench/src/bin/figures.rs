@@ -42,7 +42,11 @@ fn main() {
         "DGX-1P" => 6,
         _ => 7,
     };
-    println!("# Figure {fig} — {} (scale {scale}{})", spec.name, if simulate_flag { ", SIMT-simulated" } else { ", modeled" });
+    println!(
+        "# Figure {fig} — {} (scale {scale}{})",
+        spec.name,
+        if simulate_flag { ", SIMT-simulated" } else { ", modeled" }
+    );
 
     for (kind, label) in [(DatasetKind::Synthetic, "synthetic"), (DatasetKind::Real, "real")] {
         eprintln!("materializing {label} dataset...");

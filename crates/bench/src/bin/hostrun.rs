@@ -2,7 +2,10 @@
 //! complement to the modeled Figures 4–7 (this machine is a fifth,
 //! "Host" platform column).
 //!
-//! Usage: `hostrun [real|synthetic] [scale] [threads]`
+//! Usage: `hostrun [--json] [real|synthetic] [scale] [threads]`
+//!
+//! With `--json`, the per-run records are additionally written to
+//! `results/BENCH_host.json` for downstream tooling.
 
 use pasta_bench::datasets::{load_dataset, DatasetKind};
 use pasta_bench::runner::{mode_avg_cost, run_host};
@@ -10,8 +13,63 @@ use pasta_kernels::{Ctx, Kernel};
 use pasta_par::Schedule;
 use pasta_platform::Format;
 
+struct Record {
+    tensor: String,
+    name: String,
+    nnz: usize,
+    kernel: String,
+    format: String,
+    time_ns: f64,
+    gflops: f64,
+    oi: f64,
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_json(path: &std::path::Path, records: &[Record]) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "[")?;
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        writeln!(
+            f,
+            "  {{\"tensor\": \"{}\", \"name\": \"{}\", \"nnz\": {}, \"kernel\": \"{}\", \
+             \"format\": \"{}\", \"time_ns\": {:.1}, \"gflops\": {:.4}, \"oi\": {:.4}}}{}",
+            json_escape(&r.tensor),
+            json_escape(&r.name),
+            r.nnz,
+            json_escape(&r.kernel),
+            json_escape(&r.format),
+            r.time_ns,
+            r.gflops,
+            r.oi,
+            comma
+        )?;
+    }
+    writeln!(f, "]")?;
+    Ok(())
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
     let kind: DatasetKind = args
         .first()
         .map(|s| s.parse().unwrap_or(DatasetKind::Synthetic))
@@ -23,6 +81,7 @@ fn main() {
 
     eprintln!("materializing dataset at scale {scale}...");
     let tensors = load_dataset(kind, scale);
+    let mut records = Vec::new();
     println!("tensor,name,nnz,kernel,format,time_s,gflops,oi");
     for bt in &tensors {
         for k in Kernel::ALL {
@@ -40,7 +99,26 @@ fn main() {
                     run.gflops,
                     flops / bytes
                 );
+                if json {
+                    records.push(Record {
+                        tensor: bt.profile.id.to_string(),
+                        name: bt.profile.name.to_string(),
+                        nnz: bt.stats.nnz,
+                        kernel: k.to_string(),
+                        format: fmt.to_string(),
+                        time_ns: run.time * 1e9,
+                        gflops: run.gflops,
+                        oi: flops / bytes,
+                    });
+                }
             }
+        }
+    }
+    if json {
+        let path = std::path::Path::new("results/BENCH_host.json");
+        match write_json(path, &records) {
+            Ok(()) => eprintln!("wrote {} records to {}", records.len(), path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
         }
     }
 }

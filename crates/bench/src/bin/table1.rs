@@ -8,8 +8,7 @@ use pasta_bench::tables::table1;
 
 fn main() {
     let key = std::env::args().nth(1).unwrap_or_else(|| "s2".to_string());
-    let scale: f64 =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
     let bt = load_one(&key, scale).unwrap_or_else(|| {
         eprintln!("unknown tensor {key:?}; try r1..r15, s1..s15 or a name like regM");
         std::process::exit(2);
@@ -18,9 +17,7 @@ fn main() {
     let mf = bt.stats.min_fiber_count() as f64;
     println!(
         "Tensor {} ({}), {} non-zeros, HiCOO B = {BLOCK_SIZE}, R = {RANK}\n",
-        bt.profile.id,
-        bt.profile.name,
-        bt.stats.nnz
+        bt.profile.id, bt.profile.name, bt.stats.nnz
     );
     println!(
         "{}",

@@ -10,8 +10,10 @@ use pasta_gen::{real_profiles, synthetic_profiles};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let kind: DatasetKind =
-        args.first().map(|s| s.parse().unwrap_or(DatasetKind::Synthetic)).unwrap_or(DatasetKind::Synthetic);
+    let kind: DatasetKind = args
+        .first()
+        .map(|s| s.parse().unwrap_or(DatasetKind::Synthetic))
+        .unwrap_or(DatasetKind::Synthetic);
     let generate = args.iter().any(|a| a == "--generate");
     let scale: f64 = args
         .iter()

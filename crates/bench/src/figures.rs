@@ -111,7 +111,14 @@ pub fn to_csv(rows: &[FigureRow]) -> String {
     for r in rows {
         out.push_str(&format!(
             "{},{},{},{},{},{:.4},{:.4},{:.4}\n",
-            r.tensor_id, r.tensor_name, r.nnz, r.kernel, r.format, r.gflops, r.roofline, r.efficiency
+            r.tensor_id,
+            r.tensor_name,
+            r.nnz,
+            r.kernel,
+            r.format,
+            r.gflops,
+            r.roofline,
+            r.efficiency
         ));
     }
     out

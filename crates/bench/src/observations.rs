@@ -31,7 +31,12 @@ fn mean<I: IntoIterator<Item = f64>>(it: I) -> f64 {
     }
 }
 
-fn kernel_mean(rows: &[FigureRow], k: Kernel, fmt: Format, field: impl Fn(&FigureRow) -> f64) -> f64 {
+fn kernel_mean(
+    rows: &[FigureRow],
+    k: Kernel,
+    fmt: Format,
+    field: impl Fn(&FigureRow) -> f64,
+) -> f64 {
     mean(rows.iter().filter(|r| r.kernel == k && r.format == fmt).map(field))
 }
 
@@ -155,8 +160,7 @@ mod tests {
     use pasta_platform::{bluesky, dgx1v, wingtip};
 
     fn small_rows(spec: &pasta_platform::PlatformSpec) -> Vec<FigureRow> {
-        let tensors =
-            vec![load_one("regS", 0.01).unwrap(), load_one("irrS", 0.01).unwrap()];
+        let tensors = vec![load_one("regS", 0.01).unwrap(), load_one("irrS", 0.01).unwrap()];
         figure_rows(spec, &tensors)
     }
 

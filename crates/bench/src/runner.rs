@@ -9,8 +9,8 @@
 use crate::datasets::{BenchTensor, RANK};
 use pasta_core::{seeded_matrix, seeded_vector, DenseMatrix, DenseVector};
 use pasta_kernels::{
-    kernel_cost, mttkrp_coo, mttkrp_hicoo, tew_values_into, ts_values_into, CostParams, Ctx,
-    EwOp, Kernel, TsOp, TtmCooPlan, TtmHicooPlan, TtvCooPlan, TtvHicooPlan,
+    kernel_cost, mttkrp_coo, mttkrp_hicoo, tew_values_into, ts_values_into, CostParams, Ctx, EwOp,
+    Kernel, TsOp, TtmCooPlan, TtmHicooPlan, TtvCooPlan, TtvHicooPlan,
 };
 use pasta_platform::Format;
 use std::time::Instant;

@@ -20,12 +20,7 @@ pub fn table1(m: f64, mf: f64, r: f64, nb: f64, block_size: f64) -> String {
         (Kernel::Tew, "M", "12M", "12M"),
         (Kernel::Ts, "M", "8M", "8M"),
         (Kernel::Ttv, "2M", "12M + 12M_F", "12M + 12M_F"),
-        (
-            Kernel::Ttm,
-            "2MR",
-            "4MR + 4M_F·R + 8M_F + 8M + 8M_F",
-            "4MR + 4M_F·R + 8M + 8M_F",
-        ),
+        (Kernel::Ttm, "2MR", "4MR + 4M_F·R + 8M_F + 8M + 8M_F", "4MR + 4M_F·R + 8M + 8M_F"),
         (Kernel::Mttkrp, "3MR", "12MR + 16M", "12R·min{n_b·B, M} + 7M + 20n_b"),
     ];
     for (k, wf, cf, hf) in formulas {
@@ -109,9 +104,7 @@ pub fn table3(platforms: &[PlatformSpec]) -> String {
     out.push_str(&row("Mem. freq.", &|p| format!("{:.3} GHz", p.mem_freq_ghz)));
     out.push_str(&row("Mem. BW", &|p| format!("{} GB/s", p.mem_bw_gbps)));
     out.push_str(&row("Compiler", &|p| p.compiler.to_string()));
-    out.push_str(&row("ERT-DRAM BW (modeled)", &|p| {
-        format!("{:.0} GB/s", p.ert_dram_bw() / 1e9)
-    }));
+    out.push_str(&row("ERT-DRAM BW (modeled)", &|p| format!("{:.0} GB/s", p.ert_dram_bw() / 1e9)));
     out
 }
 

@@ -6,8 +6,9 @@
 //! representation supports computations in every mode ("mode generic").
 
 use crate::error::{Error, Result};
+use crate::keys::{lex_keys, PackedKeys};
 use crate::shape::{Coord, Shape};
-use crate::sort::{apply_permutation, lex_cmp, mode_last_order, sort_permutation};
+use crate::sort::{apply_permutation, lex_cmp, mode_last_order, par_sort_keys, sort_permutation};
 use crate::value::Value;
 
 /// A sparse tensor in coordinate (COO) format.
@@ -207,13 +208,36 @@ impl<V: Value> CooTensor<V> {
     /// listed mode must be valid; modes may be omitted, in which case ties
     /// keep their relative order).
     pub fn sort_by_mode_order(&mut self, mode_order: &[usize]) {
+        self.sort_by_mode_order_threads(mode_order, pasta_par::default_threads());
+    }
+
+    /// [`Self::sort_by_mode_order`] with an explicit worker count.
+    ///
+    /// When the per-entry sort key (coordinates of the listed modes,
+    /// concatenated) fits in 128 bits — every tensor of practical order —
+    /// the sort runs as a key-based radix sort
+    /// ([`crate::sort::par_sort_keys`]), parallel across `threads`
+    /// participants of the global pool. Wider keys fall back to the serial
+    /// comparator sort. Both paths produce the identical (stable)
+    /// permutation, so results do not depend on `threads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any listed mode is out of range.
+    pub fn sort_by_mode_order_threads(&mut self, mode_order: &[usize], threads: usize) {
         for &m in mode_order {
             assert!(m < self.order(), "mode {m} out of range");
         }
         if self.sorted_by.as_deref() == Some(mode_order) {
             return;
         }
-        let perm = sort_permutation(self.nnz(), |a, b| lex_cmp(&self.inds, mode_order, a, b));
+        let perm = match lex_keys(&self.inds, self.shape.dims(), mode_order) {
+            PackedKeys::U64(keys) => par_sort_keys(&keys, threads),
+            PackedKeys::U128(keys) => par_sort_keys(&keys, threads),
+            PackedKeys::Overflow => {
+                sort_permutation(self.nnz(), |a, b| lex_cmp(&self.inds, mode_order, a, b))
+            }
+        };
         apply_permutation(&mut self.inds, &mut self.vals, &perm);
         self.sorted_by = Some(mode_order.to_vec());
     }
@@ -357,7 +381,6 @@ impl<V: Value> CooTensor<V> {
     /// `mode_order`.
     pub fn assume_sorted_by(&mut self, mode_order: Vec<usize>) {
         debug_assert!({
-            
             (1..self.nnz())
                 .all(|x| lex_cmp(&self.inds, &mode_order, x - 1, x) != std::cmp::Ordering::Greater)
         });

@@ -258,11 +258,7 @@ mod tests {
     fn fourth_order_roundtrip() {
         let x = CooTensor::<f64>::from_entries(
             Shape::new(vec![3, 3, 3, 3]),
-            vec![
-                (vec![0, 1, 2, 0], 1.0),
-                (vec![0, 1, 2, 2], 2.0),
-                (vec![2, 0, 1, 1], 3.0),
-            ],
+            vec![(vec![0, 1, 2, 0], 1.0), (vec![0, 1, 2, 2], 2.0), (vec![2, 0, 1, 1], 3.0)],
         )
         .unwrap();
         let csf = CsfTensor::from_coo(&x, &[3, 2, 1, 0]).unwrap();

@@ -224,8 +224,8 @@ mod tests {
     fn rejects_bad_mode() {
         let x = sample();
         assert!(FCooTensor::from_coo(&x, 5).is_err());
-        let first = CooTensor::<f64>::from_entries(Shape::new(vec![3]), vec![(vec![0], 1.0)])
-            .unwrap();
+        let first =
+            CooTensor::<f64>::from_entries(Shape::new(vec![3]), vec![(vec![0], 1.0)]).unwrap();
         assert!(FCooTensor::from_coo(&first, 0).is_err());
     }
 

@@ -163,9 +163,8 @@ mod tests {
 
     #[test]
     fn single_entry_single_fiber() {
-        let mut t =
-            CooTensor::<f32>::from_entries(Shape::new(vec![3, 3]), vec![(vec![1, 2], 1.0)])
-                .unwrap();
+        let mut t = CooTensor::<f32>::from_entries(Shape::new(vec![3, 3]), vec![(vec![1, 2], 1.0)])
+            .unwrap();
         t.sort_mode_last(0);
         let fi = FiberIndex::build(&t, 0);
         assert_eq!(fi.num_fibers(), 1);

@@ -13,9 +13,10 @@
 use crate::coo::CooTensor;
 use crate::error::{Error, Result};
 use crate::hicoo::block_bits_for;
+use crate::keys::{ghicoo_keys, PackedKeys};
 use crate::morton::morton_cmp;
 use crate::shape::{Coord, Shape};
-use crate::sort::sort_permutation;
+use crate::sort::{par_sort_keys, sort_permutation};
 use crate::value::Value;
 
 /// Per-mode index storage inside a [`GHiCooTensor`].
@@ -90,6 +91,27 @@ impl<V: Value> GHiCooTensor<V> {
     /// Returns an error for an invalid block size, a `blocked` slice of the
     /// wrong length, or no blocked mode at all.
     pub fn from_coo(coo: &CooTensor<V>, block_size: u32, blocked: &[bool]) -> Result<Self> {
+        Self::from_coo_threads(coo, block_size, blocked, pasta_par::default_threads())
+    }
+
+    /// [`Self::from_coo`] with an explicit worker count for the sort.
+    ///
+    /// Like [`HiCooTensor::from_coo_threads`](crate::hicoo::HiCooTensor::from_coo_threads):
+    /// a parallel radix sort over packed keys when they fit in 128 bits,
+    /// otherwise a comparator sort with the blocked modes' block
+    /// coordinates hoisted out of the comparison loop. Both paths yield
+    /// the identical permutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid block size, a `blocked` slice of the
+    /// wrong length, or no blocked mode at all.
+    pub fn from_coo_threads(
+        coo: &CooTensor<V>,
+        block_size: u32,
+        blocked: &[bool],
+        threads: usize,
+    ) -> Result<Self> {
         let bits = block_bits_for(block_size)?;
         let order = coo.order();
         if blocked.len() != order {
@@ -107,27 +129,38 @@ impl<V: Value> GHiCooTensor<V> {
         let block_coord = |x: usize| -> Vec<Coord> {
             blocked_modes.iter().map(|&md| coo.mode_inds(md)[x] >> bits).collect()
         };
-        let perm = sort_permutation(m, |a, b| {
-            morton_cmp(&block_coord(a), &block_coord(b))
-                .then_with(|| {
-                    for &md in &blocked_modes {
-                        let ord = coo.mode_inds(md)[a].cmp(&coo.mode_inds(md)[b]);
-                        if ord != std::cmp::Ordering::Equal {
-                            return ord;
-                        }
-                    }
-                    std::cmp::Ordering::Equal
-                })
-                .then_with(|| {
-                    for &md in &full_modes {
-                        let ord = coo.mode_inds(md)[a].cmp(&coo.mode_inds(md)[b]);
-                        if ord != std::cmp::Ordering::Equal {
-                            return ord;
-                        }
-                    }
-                    std::cmp::Ordering::Equal
-                })
-        });
+        let nb = blocked_modes.len();
+        let perm =
+            match ghicoo_keys(coo.inds(), coo.shape().dims(), bits, &blocked_modes, &full_modes) {
+                PackedKeys::U64(keys) => par_sort_keys(&keys, threads),
+                PackedKeys::U128(keys) => par_sort_keys(&keys, threads),
+                PackedKeys::Overflow => {
+                    // Comparator fallback with the block coordinates hoisted
+                    // out of the closure (computed once, compared cached).
+                    let cached: Vec<Coord> = (0..m).flat_map(&block_coord).collect();
+                    sort_permutation(m, |a, b| {
+                        morton_cmp(&cached[a * nb..(a + 1) * nb], &cached[b * nb..(b + 1) * nb])
+                            .then_with(|| {
+                                for &md in &blocked_modes {
+                                    let ord = coo.mode_inds(md)[a].cmp(&coo.mode_inds(md)[b]);
+                                    if ord != std::cmp::Ordering::Equal {
+                                        return ord;
+                                    }
+                                }
+                                std::cmp::Ordering::Equal
+                            })
+                            .then_with(|| {
+                                for &md in &full_modes {
+                                    let ord = coo.mode_inds(md)[a].cmp(&coo.mode_inds(md)[b]);
+                                    if ord != std::cmp::Ordering::Equal {
+                                        return ord;
+                                    }
+                                }
+                                std::cmp::Ordering::Equal
+                            })
+                    })
+                }
+            };
 
         let mask = block_size - 1;
         let mut bptr = Vec::new();

@@ -10,9 +10,10 @@
 
 use crate::coo::CooTensor;
 use crate::error::{Error, Result};
+use crate::keys::{hicoo_keys, PackedKeys};
 use crate::morton::morton_cmp;
 use crate::shape::{Coord, Shape};
-use crate::sort::sort_permutation;
+use crate::sort::{par_sort_keys, sort_permutation};
 use crate::value::Value;
 
 /// Checks a HiCOO block size and returns `log2(B)`.
@@ -76,6 +77,24 @@ impl<V: Value> HiCooTensor<V> {
     /// Returns [`Error::InvalidBlockSize`] for a block size that is not a
     /// power of two in `2..=256`.
     pub fn from_coo(coo: &CooTensor<V>, block_size: u32) -> Result<Self> {
+        Self::from_coo_threads(coo, block_size, pasta_par::default_threads())
+    }
+
+    /// [`Self::from_coo`] with an explicit worker count for the sort.
+    ///
+    /// When the per-entry key (Morton code of the block coordinates plus
+    /// the in-block element offsets) fits in 128 bits, non-zeros are
+    /// ordered with the parallel radix sort
+    /// ([`crate::sort::par_sort_keys`]); wider keys fall back to the
+    /// comparator sort over block coordinates hoisted out of the
+    /// comparison loop. Both paths yield the identical permutation, so
+    /// the result does not depend on `threads`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidBlockSize`] for a block size that is not a
+    /// power of two in `2..=256`.
+    pub fn from_coo_threads(coo: &CooTensor<V>, block_size: u32, threads: usize) -> Result<Self> {
         let bits = block_bits_for(block_size)?;
         let order = coo.order();
         let m = coo.nnz();
@@ -83,19 +102,32 @@ impl<V: Value> HiCooTensor<V> {
         let block_coord = |x: usize| -> Vec<Coord> {
             (0..order).map(|md| coo.mode_inds(md)[x] >> bits).collect()
         };
-        let perm = sort_permutation(m, |a, b| {
-            let ba = block_coord(a);
-            let bb = block_coord(b);
-            morton_cmp(&ba, &bb).then_with(|| {
-                for md in 0..order {
-                    let ord = coo.mode_inds(md)[a].cmp(&coo.mode_inds(md)[b]);
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            })
-        });
+        let perm = match hicoo_keys(coo.inds(), coo.shape().dims(), bits) {
+            PackedKeys::U64(keys) => par_sort_keys(&keys, threads),
+            PackedKeys::U128(keys) => par_sort_keys(&keys, threads),
+            PackedKeys::Overflow => {
+                // Comparator fallback: precompute every entry's block
+                // coordinates once (flattened row-major) instead of
+                // re-deriving them inside each of the O(M log M)
+                // comparisons.
+                let cached: Vec<Coord> = (0..m).flat_map(&block_coord).collect();
+                sort_permutation(m, |a, b| {
+                    morton_cmp(
+                        &cached[a * order..(a + 1) * order],
+                        &cached[b * order..(b + 1) * order],
+                    )
+                    .then_with(|| {
+                        for md in 0..order {
+                            let ord = coo.mode_inds(md)[a].cmp(&coo.mode_inds(md)[b]);
+                            if ord != std::cmp::Ordering::Equal {
+                                return ord;
+                            }
+                        }
+                        std::cmp::Ordering::Equal
+                    })
+                })
+            }
+        };
 
         let mask = block_size - 1;
         let mut bptr = Vec::new();

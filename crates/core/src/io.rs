@@ -39,7 +39,10 @@ pub fn read_tns<V: Value, R: Read>(reader: R) -> Result<CooTensor<V>> {
         }
         let toks: Vec<&str> = line.split_whitespace().collect();
         if toks.len() < 2 {
-            return Err(Error::Parse { line: lineno + 1, msg: "expected indices and a value".into() });
+            return Err(Error::Parse {
+                line: lineno + 1,
+                msg: "expected indices and a value".into(),
+            });
         }
         let n = toks.len() - 1;
         match order {
@@ -177,7 +180,8 @@ pub fn read_binary<V: Value, R: Read>(mut reader: R) -> Result<CooTensor<V>> {
     }
     let dims: Vec<Coord> = (0..order).map(|_| buf.get_u32_le()).collect();
     let nnz = buf.get_u64_le() as usize;
-    let need = nnz.checked_mul(4 * order + width).ok_or_else(|| Error::Corrupt("overflow".into()))?;
+    let need =
+        nnz.checked_mul(4 * order + width).ok_or_else(|| Error::Corrupt("overflow".into()))?;
     if buf.remaining() < need {
         return Err(Error::Corrupt("truncated payload".into()));
     }

@@ -1,0 +1,291 @@
+//! Packed sort-key construction for the format converters.
+//!
+//! The comparator-based sorts that order non-zeros for COO/CSF
+//! (lexicographic in a mode order) and HiCOO/gHiCOO (Morton order of block
+//! coordinates with lexicographic tie-breaks) re-derive the same
+//! information — shifted block coordinates, per-mode comparisons — on
+//! *every* comparison, `O(M log M)` times. This module instead packs each
+//! entry's full sort key into one integer, once, so the conversion can run
+//! a key-based radix sort ([`crate::sort::par_sort_keys`]) instead.
+//!
+//! Key layouts are chosen so that *integer comparison of keys is exactly
+//! the comparator order* (see each builder's docs); combined with a stable
+//! sort and position tie-breaking this reproduces the comparator sort's
+//! permutation bit-for-bit.
+//!
+//! Keys wider than 128 bits cannot be packed; builders then return
+//! [`PackedKeys::Overflow`] and callers fall back to the comparator path.
+
+use crate::shape::Coord;
+
+/// The packed keys for one sort, in entry order.
+#[derive(Debug, Clone)]
+pub enum PackedKeys {
+    /// All keys fit in 64 bits.
+    U64(Vec<u64>),
+    /// All keys fit in 128 bits.
+    U128(Vec<u128>),
+    /// The key would exceed 128 bits; use a comparator sort instead.
+    Overflow,
+}
+
+/// Bits needed to represent every coordinate in `0..dim`.
+#[inline]
+fn bits_needed(dim: Coord) -> u32 {
+    if dim <= 1 {
+        0
+    } else {
+        Coord::BITS - (dim - 1).leading_zeros()
+    }
+}
+
+/// Number of blocks covering `0..dim` with blocks of `2^block_bits`.
+#[inline]
+fn block_dim(dim: Coord, block_bits: u8) -> Coord {
+    if dim == 0 {
+        0
+    } else {
+        ((dim - 1) >> block_bits) + 1
+    }
+}
+
+/// An unsigned word keys can be packed into (`u64` or `u128`).
+trait Word: Copy {
+    const ZERO: Self;
+    fn push_bits(self, value: Coord, width: u32) -> Self;
+}
+
+impl Word for u64 {
+    const ZERO: Self = 0;
+    #[inline]
+    fn push_bits(self, value: Coord, width: u32) -> Self {
+        (self << width) | value as u64
+    }
+}
+
+impl Word for u128 {
+    const ZERO: Self = 0;
+    #[inline]
+    fn push_bits(self, value: Coord, width: u32) -> Self {
+        (self << width) | value as u128
+    }
+}
+
+/// Packs lexicographic mode-order keys: for each entry, the coordinates of
+/// the modes in `mode_order` are concatenated most-significant-first, each
+/// in a field just wide enough for its dimension.
+///
+/// Integer order of these keys equals [`crate::sort::lex_cmp`] in
+/// `mode_order`: fields are compared most-significant-first and a
+/// zero-width field (dimension ≤ 1) drops out exactly like the always-equal
+/// comparison it replaces.
+pub fn lex_keys(inds: &[Vec<Coord>], dims: &[Coord], mode_order: &[usize]) -> PackedKeys {
+    let widths: Vec<u32> = mode_order.iter().map(|&m| bits_needed(dims[m])).collect();
+    let total: u32 = widths.iter().sum();
+    let n = inds.first().map_or(0, Vec::len);
+    if total <= 64 {
+        let mut keys = vec![0u64; n];
+        fill_lex(&mut keys, inds, mode_order, &widths);
+        PackedKeys::U64(keys)
+    } else if total <= 128 {
+        let mut keys = vec![0u128; n];
+        fill_lex(&mut keys, inds, mode_order, &widths);
+        PackedKeys::U128(keys)
+    } else {
+        PackedKeys::Overflow
+    }
+}
+
+fn fill_lex<W: Word>(keys: &mut [W], inds: &[Vec<Coord>], mode_order: &[usize], widths: &[u32]) {
+    for (x, key) in keys.iter_mut().enumerate() {
+        let mut k = W::ZERO;
+        for (&m, &w) in mode_order.iter().zip(widths) {
+            k = k.push_bits(inds[m][x], w);
+        }
+        *key = k;
+    }
+}
+
+/// Packs HiCOO conversion keys: the Morton code of the entry's block
+/// coordinates in the high bits, the concatenated in-block element offsets
+/// in the low bits.
+///
+/// The Morton code interleaves the block coordinates *equal-width* and
+/// *mode-major* (mode 0 contributes the most significant bit of each
+/// width-group), which is precisely the order [`crate::morton::morton_cmp`]
+/// compares by: the most significant differing bit decides, and among modes
+/// whose difference has the same bit position the earliest mode wins.
+/// Within one block the Morton part ties, and the offset part compares the
+/// modes lexicographically — equal to the full-coordinate tie-break in
+/// [`crate::hicoo::HiCooTensor::from_coo`] because the block parts agree.
+pub fn hicoo_keys(inds: &[Vec<Coord>], dims: &[Coord], block_bits: u8) -> PackedKeys {
+    let order = dims.len();
+    let morton_width =
+        dims.iter().map(|&d| bits_needed(block_dim(d, block_bits))).max().unwrap_or(0);
+    let total = (morton_width + u32::from(block_bits)) * order as u32;
+    let n = inds.first().map_or(0, Vec::len);
+    let all_modes: Vec<usize> = (0..order).collect();
+    if total <= 64 {
+        let mut keys = vec![0u64; n];
+        fill_block_keys(&mut keys, inds, &all_modes, &[], block_bits, morton_width);
+        PackedKeys::U64(keys)
+    } else if total <= 128 {
+        let mut keys = vec![0u128; n];
+        fill_block_keys(&mut keys, inds, &all_modes, &[], block_bits, morton_width);
+        PackedKeys::U128(keys)
+    } else {
+        PackedKeys::Overflow
+    }
+}
+
+/// Packs gHiCOO conversion keys: Morton code of the *blocked* modes' block
+/// coordinates, then the blocked modes' element offsets, then the full
+/// (uncompressed) modes' coordinates — matching the three-level comparator
+/// in [`crate::ghicoo::GHiCooTensor::from_coo`].
+pub fn ghicoo_keys(
+    inds: &[Vec<Coord>],
+    dims: &[Coord],
+    block_bits: u8,
+    blocked_modes: &[usize],
+    full_modes: &[usize],
+) -> PackedKeys {
+    let morton_width = blocked_modes
+        .iter()
+        .map(|&m| bits_needed(block_dim(dims[m], block_bits)))
+        .max()
+        .unwrap_or(0);
+    let full_widths: Vec<u32> = full_modes.iter().map(|&m| bits_needed(dims[m])).collect();
+    let full_bits: u32 = full_widths.iter().sum();
+    let total = (morton_width + u32::from(block_bits)) * blocked_modes.len() as u32 + full_bits;
+    let n = inds.first().map_or(0, Vec::len);
+    let fulls: Vec<(usize, u32)> =
+        full_modes.iter().copied().zip(full_widths.iter().copied()).collect();
+    if total <= 64 {
+        let mut keys = vec![0u64; n];
+        fill_block_keys(&mut keys, inds, blocked_modes, &fulls, block_bits, morton_width);
+        PackedKeys::U64(keys)
+    } else if total <= 128 {
+        let mut keys = vec![0u128; n];
+        fill_block_keys(&mut keys, inds, blocked_modes, &fulls, block_bits, morton_width);
+        PackedKeys::U128(keys)
+    } else {
+        PackedKeys::Overflow
+    }
+}
+
+/// Shared builder for [`hicoo_keys`] (all modes blocked, no full modes) and
+/// [`ghicoo_keys`]: `[morton(block coords)] [element offsets] [full coords]`.
+/// `full_modes` pairs each uncompressed mode with its field width.
+fn fill_block_keys<W: Word>(
+    keys: &mut [W],
+    inds: &[Vec<Coord>],
+    blocked_modes: &[usize],
+    full_modes: &[(usize, u32)],
+    block_bits: u8,
+    morton_width: u32,
+) {
+    let bits = u32::from(block_bits);
+    let mask: Coord = (1 << bits) - 1;
+    let mut bc: Vec<Coord> = vec![0; blocked_modes.len()];
+    for (x, key) in keys.iter_mut().enumerate() {
+        for (slot, &m) in bc.iter_mut().zip(blocked_modes) {
+            *slot = inds[m][x] >> bits;
+        }
+        let mut k = W::ZERO;
+        // Equal-width mode-major bit interleave of the block coordinates.
+        for w in (0..morton_width).rev() {
+            for &c in &bc {
+                k = k.push_bits((c >> w) & 1, 1);
+            }
+        }
+        for &m in blocked_modes {
+            k = k.push_bits(inds[m][x] & mask, bits);
+        }
+        for &(m, width) in full_modes {
+            k = k.push_bits(inds[m][x], width);
+        }
+        *key = k;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::morton::morton_cmp;
+
+    #[test]
+    fn bits_needed_edges() {
+        assert_eq!(bits_needed(0), 0);
+        assert_eq!(bits_needed(1), 0);
+        assert_eq!(bits_needed(2), 1);
+        assert_eq!(bits_needed(3), 2);
+        assert_eq!(bits_needed(4), 2);
+        assert_eq!(bits_needed(5), 3);
+        assert_eq!(bits_needed(Coord::MAX), 32);
+    }
+
+    #[test]
+    fn block_dim_edges() {
+        assert_eq!(block_dim(0, 2), 0);
+        assert_eq!(block_dim(1, 2), 1);
+        assert_eq!(block_dim(4, 2), 1);
+        assert_eq!(block_dim(5, 2), 2);
+        assert_eq!(block_dim(16, 2), 4);
+    }
+
+    #[test]
+    fn lex_key_order_matches_lex_cmp() {
+        use crate::sort::lex_cmp;
+        let inds = vec![vec![0, 1, 1, 0, 2], vec![3, 0, 3, 3, 1], vec![1, 2, 0, 1, 2]];
+        let dims = vec![3, 4, 3];
+        for mode_order in [vec![0, 1, 2], vec![2, 0, 1], vec![1, 2], vec![2]] {
+            let PackedKeys::U64(keys) = lex_keys(&inds, &dims, &mode_order) else {
+                panic!("small keys must pack into u64");
+            };
+            for a in 0..5 {
+                for b in 0..5 {
+                    assert_eq!(
+                        keys[a].cmp(&keys[b]),
+                        lex_cmp(&inds, &mode_order, a, b),
+                        "order {mode_order:?}, entries {a},{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hicoo_key_order_matches_morton_then_lex() {
+        let dims = vec![16u32, 16, 16];
+        // All coordinate combinations in a small cube.
+        let coords: Vec<[Coord; 3]> =
+            (0..8).flat_map(|i| (0..8).flat_map(move |j| (0..8).map(move |k| [i, j, k]))).collect();
+        let inds: Vec<Vec<Coord>> = (0..3).map(|m| coords.iter().map(|c| c[m]).collect()).collect();
+        let bits = 1u8;
+        let PackedKeys::U64(keys) = hicoo_keys(&inds, &dims, bits) else {
+            panic!("small keys must pack into u64");
+        };
+        let block = |x: usize| -> Vec<Coord> { (0..3).map(|m| inds[m][x] >> bits).collect() };
+        for a in 0..coords.len() {
+            for b in 0..coords.len() {
+                let expect = morton_cmp(&block(a), &block(b)).then_with(|| {
+                    (0..3)
+                        .map(|m| inds[m][a].cmp(&inds[m][b]))
+                        .find(|o| *o != std::cmp::Ordering::Equal)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                assert_eq!(keys[a].cmp(&keys[b]), expect, "entries {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_tensors_overflow() {
+        // Eight modes of 2^30: 240 bits of lexicographic key.
+        let dims = vec![1 << 30; 8];
+        let inds = vec![vec![5u32]; 8];
+        let mode_order: Vec<usize> = (0..8).collect();
+        assert!(matches!(lex_keys(&inds, &dims, &mode_order), PackedKeys::Overflow));
+        assert!(matches!(hicoo_keys(&inds, &dims, 2), PackedKeys::Overflow));
+    }
+}

@@ -38,6 +38,9 @@
 //! # }
 //! ```
 
+// Dense/kernel code indexes several arrays in lockstep; iterator
+// rewrites of those loops obscure the math.
+#![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -50,6 +53,7 @@ pub mod fiber;
 pub mod ghicoo;
 pub mod hicoo;
 pub mod io;
+pub mod keys;
 pub mod linalg;
 pub mod morton;
 pub mod reorder;

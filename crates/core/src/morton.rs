@@ -102,9 +102,8 @@ mod tests {
 
     #[test]
     fn matches_encoded_key_order_3d() {
-        let pts: Vec<[Coord; 3]> = (0..4)
-            .flat_map(|i| (0..4).flat_map(move |j| (0..4).map(move |k| [i, j, k])))
-            .collect();
+        let pts: Vec<[Coord; 3]> =
+            (0..4).flat_map(|i| (0..4).flat_map(move |j| (0..4).map(move |k| [i, j, k]))).collect();
         for a in &pts {
             for b in &pts {
                 assert_eq!(

@@ -214,8 +214,7 @@ mod tests {
             }
         }
         let before = HiCooTensor::from_coo(&t, 8).unwrap();
-        let after =
-            HiCooTensor::from_coo(&Relabel::by_degree(&t).apply(&t).unwrap(), 8).unwrap();
+        let after = HiCooTensor::from_coo(&Relabel::by_degree(&t).apply(&t).unwrap(), 8).unwrap();
         assert!(
             after.num_blocks() < before.num_blocks(),
             "{} vs {}",

@@ -71,7 +71,13 @@ impl<V: Value> SemiCooTensor<V> {
         }
         let sparse_modes: Vec<usize> = (0..shape.order()).filter(|m| !dm.contains(m)).collect();
         let ns = sparse_modes.len();
-        Ok(Self { shape, dense_modes: dm, sparse_modes, inds: vec![Vec::new(); ns], vals: Vec::new() })
+        Ok(Self {
+            shape,
+            dense_modes: dm,
+            sparse_modes,
+            inds: vec![Vec::new(); ns],
+            vals: Vec::new(),
+        })
     }
 
     /// Creates a semi-sparse tensor from fiber index arrays and values.
@@ -330,8 +336,9 @@ mod tests {
         )
         .is_err());
         // Wrong number of index arrays.
-        assert!(SemiCooTensor::from_fibers(shape, vec![1], vec![vec![0]], vec![1.0_f32; 3])
-            .is_err());
+        assert!(
+            SemiCooTensor::from_fibers(shape, vec![1], vec![vec![0]], vec![1.0_f32; 3]).is_err()
+        );
     }
 
     #[test]

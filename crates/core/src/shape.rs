@@ -152,7 +152,10 @@ impl Shape {
         debug_assert_eq!(coords.len(), self.order());
         let mut off = 0usize;
         for (&c, &d) in coords.iter().zip(&self.dims) {
-            off = off.checked_mul(d as usize).and_then(|o| o.checked_add(c as usize)).expect("dense offset overflow");
+            off = off
+                .checked_mul(d as usize)
+                .and_then(|o| o.checked_add(c as usize))
+                .expect("dense offset overflow");
         }
         off
     }

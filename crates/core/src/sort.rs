@@ -7,6 +7,7 @@
 //! array and the value array with a single gather each.
 
 use crate::shape::Coord;
+use pasta_par::SharedSlice;
 use std::cmp::Ordering;
 
 /// Computes a permutation `perm` of `0..n` such that visiting entries in
@@ -53,6 +54,175 @@ pub fn lex_cmp(inds: &[Vec<Coord>], mode_order: &[usize], a: usize, b: usize) ->
         }
     }
     Ordering::Equal
+}
+
+/// A packed sort key usable by [`par_sort_keys`]'s radix passes.
+pub trait RadixKey: Copy + Ord + Send + Sync {
+    /// Number of 8-bit digits in the key type.
+    const DIGITS: usize;
+    /// The `i`-th least-significant 8-bit digit.
+    fn digit(self, i: usize) -> u8;
+}
+
+impl RadixKey for u64 {
+    const DIGITS: usize = 8;
+    #[inline]
+    fn digit(self, i: usize) -> u8 {
+        (self >> (8 * i)) as u8
+    }
+}
+
+impl RadixKey for u128 {
+    const DIGITS: usize = 16;
+    #[inline]
+    fn digit(self, i: usize) -> u8 {
+        (self >> (8 * i)) as u8
+    }
+}
+
+/// Number of buckets per radix pass (8-bit digits).
+const RADIX: usize = 256;
+
+/// Below this entry count the parallel radix machinery costs more than it
+/// saves; fall through to the serial passes.
+const PAR_THRESHOLD: usize = 1 << 13;
+
+/// Computes the permutation that stably sorts `keys` ascending, i.e. the
+/// same permutation [`sort_permutation`] returns for the comparator
+/// `keys[a].cmp(&keys[b])` — ties keep their original position order.
+///
+/// The sort is a least-significant-digit radix sort over `(key, position)`
+/// pairs with 8-bit digits. With `threads > 1` and enough entries, each
+/// pass runs its histogram and scatter phases across the global
+/// [`pool`](pasta_par::pool): per-thread histograms over contiguous chunks
+/// are combined into digit-major/thread-minor scatter offsets, which keeps
+/// the pass stable. Passes beyond the highest set digit of the maximum
+/// key, and passes where one bucket holds every entry, are skipped.
+///
+/// # Panics
+///
+/// Panics if `keys.len()` exceeds `u32::MAX` (permutations are `u32`).
+pub fn par_sort_keys<K: RadixKey>(keys: &[K], threads: usize) -> Vec<u32> {
+    let n = keys.len();
+    assert!(n <= u32::MAX as usize, "entry count exceeds u32 permutation range");
+    if n <= 1 {
+        return (0..n as u32).collect();
+    }
+    let max_key = keys.iter().copied().max().expect("n >= 1");
+    let mut passes = K::DIGITS;
+    while passes > 0 && max_key.digit(passes - 1) == 0 {
+        passes -= 1;
+    }
+    if passes == 0 {
+        // All keys are zero: the stable permutation is the identity.
+        return (0..n as u32).collect();
+    }
+    let mut cur: Vec<(K, u32)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+    let mut buf = cur.clone();
+    let threads = threads.max(1).min(n);
+    if threads == 1 || n < PAR_THRESHOLD {
+        serial_radix_passes(&mut cur, &mut buf, passes);
+    } else {
+        parallel_radix_passes(&mut cur, &mut buf, passes, threads);
+    }
+    cur.into_iter().map(|(_, p)| p).collect()
+}
+
+fn serial_radix_passes<K: RadixKey>(
+    cur: &mut Vec<(K, u32)>,
+    buf: &mut Vec<(K, u32)>,
+    passes: usize,
+) {
+    let n = cur.len();
+    for pass in 0..passes {
+        let mut hist = [0u32; RADIX];
+        for &(k, _) in cur.iter() {
+            hist[k.digit(pass) as usize] += 1;
+        }
+        if hist.iter().any(|&c| c as usize == n) {
+            continue; // single-bucket pass: a stable no-op
+        }
+        let mut offs = [0u32; RADIX];
+        let mut sum = 0u32;
+        for (o, &c) in offs.iter_mut().zip(&hist) {
+            *o = sum;
+            sum += c;
+        }
+        for &(k, p) in cur.iter() {
+            let d = k.digit(pass) as usize;
+            buf[offs[d] as usize] = (k, p);
+            offs[d] += 1;
+        }
+        std::mem::swap(cur, buf);
+    }
+}
+
+fn parallel_radix_passes<K: RadixKey>(
+    cur: &mut Vec<(K, u32)>,
+    buf: &mut Vec<(K, u32)>,
+    passes: usize,
+    threads: usize,
+) {
+    let n = cur.len();
+    let per = n / threads;
+    let rem = n % threads;
+    let chunk = |t: usize| {
+        let start = t * per + t.min(rem);
+        start..start + per + usize::from(t < rem)
+    };
+    let pool = pasta_par::pool::global();
+    for pass in 0..passes {
+        let mut hists = vec![[0u32; RADIX]; threads];
+        {
+            let slots = SharedSlice::new(&mut hists);
+            let cur = &*cur;
+            pool.broadcast(threads, |t| {
+                let mut h = [0u32; RADIX];
+                for &(k, _) in &cur[chunk(t)] {
+                    h[k.digit(pass) as usize] += 1;
+                }
+                // SAFETY: participant ids are unique, so slot `t` is
+                // written by exactly one thread.
+                unsafe { slots.write(t, h) };
+            });
+        }
+        let mut totals = [0u32; RADIX];
+        for h in &hists {
+            for (tot, &c) in totals.iter_mut().zip(h) {
+                *tot += c;
+            }
+        }
+        if totals.iter().any(|&c| c as usize == n) {
+            continue;
+        }
+        // Scatter offsets: digit-major, thread-minor, so each thread writes
+        // its chunk's entries for a digit after every lower-ranked thread's
+        // — the ordering that makes the parallel pass stable.
+        let mut offsets = vec![[0u32; RADIX]; threads];
+        let mut sum = 0u32;
+        for d in 0..RADIX {
+            for (offs, h) in offsets.iter_mut().zip(&hists) {
+                offs[d] = sum;
+                sum += h[d];
+            }
+        }
+        {
+            let out = SharedSlice::new(&mut *buf);
+            let cur = &*cur;
+            let offsets = &offsets;
+            pool.broadcast(threads, |t| {
+                let mut offs = offsets[t];
+                for &(k, p) in &cur[chunk(t)] {
+                    let d = k.digit(pass) as usize;
+                    // SAFETY: offset ranges are disjoint across (digit,
+                    // thread) pairs by construction.
+                    unsafe { out.write(offs[d] as usize, (k, p)) };
+                    offs[d] += 1;
+                }
+            });
+        }
+        std::mem::swap(cur, buf);
+    }
 }
 
 /// The mode permutation that keeps all modes in increasing order except that
@@ -113,6 +283,71 @@ mod tests {
         assert_eq!(lex_cmp(&inds, &[0, 1], 0, 1), Ordering::Less);
         assert_eq!(lex_cmp(&inds, &[1, 0], 0, 1), Ordering::Greater);
         assert_eq!(lex_cmp(&inds, &[0], 0, 0), Ordering::Equal);
+    }
+
+    /// Deterministic pseudo-random keys (xorshift) for radix tests.
+    fn pseudo_keys(n: usize, seed: u64, modulus: u64) -> Vec<u64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state % modulus
+            })
+            .collect()
+    }
+
+    fn assert_matches_comparator<K: RadixKey>(keys: &[K], threads: usize) {
+        let expect = sort_permutation(keys.len(), |a, b| keys[a].cmp(&keys[b]));
+        let got = par_sort_keys(keys, threads);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn radix_matches_stable_comparator_u64() {
+        for &n in &[0usize, 1, 2, 100, 10_000] {
+            // Narrow modulus forces many duplicates (stability matters).
+            for &modulus in &[2u64, 17, 1 << 20, u64::MAX] {
+                for &t in &[1usize, 4] {
+                    assert_matches_comparator(&pseudo_keys(n, 42, modulus), t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn radix_matches_stable_comparator_u128() {
+        let base = pseudo_keys(5000, 7, u64::MAX);
+        // Spread bits into the high half so u128 passes actually run.
+        let keys: Vec<u128> =
+            base.iter().map(|&k| ((k as u128) << 64) | (k as u128 >> 3)).collect();
+        assert_matches_comparator(&keys, 1);
+        assert_matches_comparator(&keys, 4);
+    }
+
+    #[test]
+    fn radix_all_equal_keys_is_identity() {
+        let keys = vec![9u64; 1000];
+        assert_eq!(par_sort_keys(&keys, 4), (0..1000u32).collect::<Vec<_>>());
+        let zeros = vec![0u64; 1000];
+        assert_eq!(par_sort_keys(&zeros, 4), (0..1000u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn radix_skips_uniform_middle_digits() {
+        // Keys differ only in digit 2; digits 0, 1 and 3+ are uniform.
+        let keys: Vec<u64> = (0..9000u64).map(|i| ((i % 256) << 16) | 0xAB00CD).collect();
+        assert_matches_comparator(&keys, 4);
+        assert_matches_comparator(&keys, 1);
+    }
+
+    #[test]
+    fn radix_sorted_and_reversed_inputs() {
+        let asc: Vec<u64> = (0..20_000).map(|i| i as u64 / 3).collect();
+        let desc: Vec<u64> = asc.iter().rev().copied().collect();
+        assert_matches_comparator(&asc, 4);
+        assert_matches_comparator(&desc, 4);
     }
 
     #[test]

@@ -140,7 +140,11 @@ pub fn validate_ghicoo<V: Value>(t: &GHiCooTensor<V>) -> Result<()> {
             for m in 0..t.order() {
                 let c = t.coord(m, b, x);
                 if c >= t.shape().dim(m) {
-                    return Err(Error::IndexOutOfBounds { mode: m, index: c, dim: t.shape().dim(m) });
+                    return Err(Error::IndexOutOfBounds {
+                        mode: m,
+                        index: c,
+                        dim: t.shape().dim(m),
+                    });
                 }
             }
         }
@@ -220,7 +224,9 @@ mod tests {
     fn sample() -> CooTensor<f32> {
         CooTensor::from_entries(
             Shape::new(vec![16, 16, 16]),
-            (0..40u32).map(|i| (vec![i % 16, (i * 3) % 16, (i * 7) % 16], i as f32 + 1.0)).collect::<Vec<_>>(),
+            (0..40u32)
+                .map(|i| (vec![i % 16, (i * 3) % 16, (i * 7) % 16], i as f32 + 1.0))
+                .collect::<Vec<_>>(),
         )
         .unwrap()
     }

@@ -48,8 +48,7 @@ fn profile_mode<V: Value>(t: &CooTensor<V>, m: usize) -> ModeProfile {
     let mut sorted: Vec<u64> = counts.values().copied().collect();
     sorted.sort_unstable_by(|a, b| b.cmp(a));
     let head = (distinct.max(100) / 100).max(1);
-    let head_mass =
-        sorted.iter().take(head).sum::<u64>() as f64 / t.nnz().max(1) as f64;
+    let head_mass = sorted.iter().take(head).sum::<u64>() as f64 / t.nnz().max(1) as f64;
 
     // Exponent fit: on a rank-frequency plot, a power law has
     // freq(rank) ∝ rank^(-s). Regress log-freq on log-rank over the head.
@@ -92,18 +91,20 @@ impl MimicSpec {
     pub fn mode_dists(&self) -> Vec<ModeDist> {
         self.modes
             .iter()
-            .map(|p| if p.exponent > 0.3 && p.head_mass > 0.02 { ModeDist::PowerLaw } else { ModeDist::Uniform })
+            .map(|p| {
+                if p.exponent > 0.3 && p.head_mass > 0.02 {
+                    ModeDist::PowerLaw
+                } else {
+                    ModeDist::Uniform
+                }
+            })
             .collect()
     }
 
     /// The blended skew exponent used for the power-law modes.
     pub fn blended_exponent(&self) -> f64 {
-        let skewed: Vec<f64> = self
-            .modes
-            .iter()
-            .filter(|p| p.exponent > 0.3)
-            .map(|p| p.exponent)
-            .collect();
+        let skewed: Vec<f64> =
+            self.modes.iter().filter(|p| p.exponent > 0.3).map(|p| p.exponent).collect();
         if skewed.is_empty() {
             1.0
         } else {
@@ -188,9 +189,8 @@ mod tests {
     #[test]
     fn mimicking_uniform_data_stays_uniform() {
         let g = PowerLawGen::new(1.0);
-        let t = g
-            .generate(&[500, 500], &[ModeDist::Uniform, ModeDist::Uniform], 10_000, 4)
-            .unwrap();
+        let t =
+            g.generate(&[500, 500], &[ModeDist::Uniform, ModeDist::Uniform], 10_000, 4).unwrap();
         let spec = extract_features(&t);
         assert!(spec.mode_dists().iter().all(|d| *d == ModeDist::Uniform));
         assert_eq!(spec.blended_exponent(), 1.0, "fallback when no skewed modes");

@@ -111,79 +111,154 @@ use ModeDist::{PowerLaw as P, Uniform as U};
 pub fn synthetic_profiles() -> Vec<TensorProfile> {
     vec![
         TensorProfile {
-            id: "s1", name: "regS", dims: vec![1 << 14; 3], target_nnz: 64_000,
-            method: Method::Kronecker, seed: 101,
-            paper_dims: vec![65_000; 3], paper_nnz: 1_100_000,
+            id: "s1",
+            name: "regS",
+            dims: vec![1 << 14; 3],
+            target_nnz: 64_000,
+            method: Method::Kronecker,
+            seed: 101,
+            paper_dims: vec![65_000; 3],
+            paper_nnz: 1_100_000,
         },
         TensorProfile {
-            id: "s2", name: "regM", dims: vec![1 << 17; 3], target_nnz: 256_000,
-            method: Method::Kronecker, seed: 102,
-            paper_dims: vec![1_100_000; 3], paper_nnz: 11_500_000,
+            id: "s2",
+            name: "regM",
+            dims: vec![1 << 17; 3],
+            target_nnz: 256_000,
+            method: Method::Kronecker,
+            seed: 102,
+            paper_dims: vec![1_100_000; 3],
+            paper_nnz: 11_500_000,
         },
         TensorProfile {
-            id: "s3", name: "regL", dims: vec![1 << 20; 3], target_nnz: 1_000_000,
-            method: Method::Kronecker, seed: 103,
-            paper_dims: vec![8_300_000; 3], paper_nnz: 94_000_000,
+            id: "s3",
+            name: "regL",
+            dims: vec![1 << 20; 3],
+            target_nnz: 1_000_000,
+            method: Method::Kronecker,
+            seed: 103,
+            paper_dims: vec![8_300_000; 3],
+            paper_nnz: 94_000_000,
         },
         TensorProfile {
-            id: "s4", name: "irrS", dims: vec![8_192, 8_192, 76], target_nnz: 64_000,
-            method: pl(1.5, vec![P, P, U]), seed: 104,
-            paper_dims: vec![32_000, 32_000, 76], paper_nnz: 1_000_000,
+            id: "s4",
+            name: "irrS",
+            dims: vec![8_192, 8_192, 76],
+            target_nnz: 64_000,
+            method: pl(1.5, vec![P, P, U]),
+            seed: 104,
+            paper_dims: vec![32_000, 32_000, 76],
+            paper_nnz: 1_000_000,
         },
         TensorProfile {
-            id: "s5", name: "irrM", dims: vec![65_536, 65_536, 126], target_nnz: 256_000,
-            method: pl(1.5, vec![P, P, U]), seed: 105,
-            paper_dims: vec![524_000, 524_000, 126], paper_nnz: 10_000_000,
+            id: "s5",
+            name: "irrM",
+            dims: vec![65_536, 65_536, 126],
+            target_nnz: 256_000,
+            method: pl(1.5, vec![P, P, U]),
+            seed: 105,
+            paper_dims: vec![524_000, 524_000, 126],
+            paper_nnz: 10_000_000,
         },
         TensorProfile {
-            id: "s6", name: "irrL", dims: vec![524_288, 524_288, 168], target_nnz: 1_000_000,
-            method: pl(1.5, vec![P, P, U]), seed: 106,
-            paper_dims: vec![4_200_000, 4_200_000, 168], paper_nnz: 84_000_000,
+            id: "s6",
+            name: "irrL",
+            dims: vec![524_288, 524_288, 168],
+            target_nnz: 1_000_000,
+            method: pl(1.5, vec![P, P, U]),
+            seed: 106,
+            paper_dims: vec![4_200_000, 4_200_000, 168],
+            paper_nnz: 84_000_000,
         },
         TensorProfile {
-            id: "s7", name: "regS4d", dims: vec![1 << 8; 4], target_nnz: 64_000,
-            method: Method::Kronecker, seed: 107,
-            paper_dims: vec![8_200; 4], paper_nnz: 1_000_000,
+            id: "s7",
+            name: "regS4d",
+            dims: vec![1 << 8; 4],
+            target_nnz: 64_000,
+            method: Method::Kronecker,
+            seed: 107,
+            paper_dims: vec![8_200; 4],
+            paper_nnz: 1_000_000,
         },
         TensorProfile {
-            id: "s8", name: "regM4d", dims: vec![1 << 11; 4], target_nnz: 256_000,
-            method: Method::Kronecker, seed: 108,
-            paper_dims: vec![2_100_000; 4], paper_nnz: 11_200_000,
+            id: "s8",
+            name: "regM4d",
+            dims: vec![1 << 11; 4],
+            target_nnz: 256_000,
+            method: Method::Kronecker,
+            seed: 108,
+            paper_dims: vec![2_100_000; 4],
+            paper_nnz: 11_200_000,
         },
         TensorProfile {
-            id: "s9", name: "regL4d", dims: vec![1 << 13; 4], target_nnz: 1_000_000,
-            method: Method::Kronecker, seed: 109,
-            paper_dims: vec![8_300_000; 4], paper_nnz: 110_000_000,
+            id: "s9",
+            name: "regL4d",
+            dims: vec![1 << 13; 4],
+            target_nnz: 1_000_000,
+            method: Method::Kronecker,
+            seed: 109,
+            paper_dims: vec![8_300_000; 4],
+            paper_nnz: 110_000_000,
         },
         TensorProfile {
-            id: "s10", name: "irrS4d", dims: vec![16_384, 16_384, 16_384, 82], target_nnz: 64_000,
-            method: pl(1.5, vec![P, P, P, U]), seed: 110,
-            paper_dims: vec![1_600_000, 1_600_000, 1_600_000, 82], paper_nnz: 1_000_000,
+            id: "s10",
+            name: "irrS4d",
+            dims: vec![16_384, 16_384, 16_384, 82],
+            target_nnz: 64_000,
+            method: pl(1.5, vec![P, P, P, U]),
+            seed: 110,
+            paper_dims: vec![1_600_000, 1_600_000, 1_600_000, 82],
+            paper_nnz: 1_000_000,
         },
         TensorProfile {
-            id: "s11", name: "irrM4d", dims: vec![65_536, 65_536, 65_536, 144], target_nnz: 256_000,
-            method: pl(1.5, vec![P, P, P, U]), seed: 111,
-            paper_dims: vec![2_600_000, 2_600_000, 2_600_000, 144], paper_nnz: 10_800_000,
+            id: "s11",
+            name: "irrM4d",
+            dims: vec![65_536, 65_536, 65_536, 144],
+            target_nnz: 256_000,
+            method: pl(1.5, vec![P, P, P, U]),
+            seed: 111,
+            paper_dims: vec![2_600_000, 2_600_000, 2_600_000, 144],
+            paper_nnz: 10_800_000,
         },
         TensorProfile {
-            id: "s12", name: "irrL4d", dims: vec![131_072, 131_072, 131_072, 226], target_nnz: 1_000_000,
-            method: pl(1.5, vec![P, P, P, U]), seed: 112,
-            paper_dims: vec![4_200_000, 4_200_000, 4_200_000, 226], paper_nnz: 100_000_000,
+            id: "s12",
+            name: "irrL4d",
+            dims: vec![131_072, 131_072, 131_072, 226],
+            target_nnz: 1_000_000,
+            method: pl(1.5, vec![P, P, P, U]),
+            seed: 112,
+            paper_dims: vec![4_200_000, 4_200_000, 4_200_000, 226],
+            paper_nnz: 100_000_000,
         },
         TensorProfile {
-            id: "s13", name: "irr2S4d", dims: vec![8_192, 8_192, 122, 436], target_nnz: 100_000,
-            method: pl(1.5, vec![P, P, U, U]), seed: 113,
-            paper_dims: vec![1_000_000, 1_000_000, 122, 436], paper_nnz: 1_600_000,
+            id: "s13",
+            name: "irr2S4d",
+            dims: vec![8_192, 8_192, 122, 436],
+            target_nnz: 100_000,
+            method: pl(1.5, vec![P, P, U, U]),
+            seed: 113,
+            paper_dims: vec![1_000_000, 1_000_000, 122, 436],
+            paper_nnz: 1_600_000,
         },
         TensorProfile {
-            id: "s14", name: "irr2M4d", dims: vec![32_768, 32_768, 232, 746], target_nnz: 320_000,
-            method: pl(1.5, vec![P, P, U, U]), seed: 114,
-            paper_dims: vec![4_200_000, 4_200_000, 232, 746], paper_nnz: 19_900_000,
+            id: "s14",
+            name: "irr2M4d",
+            dims: vec![32_768, 32_768, 232, 746],
+            target_nnz: 320_000,
+            method: pl(1.5, vec![P, P, U, U]),
+            seed: 114,
+            paper_dims: vec![4_200_000, 4_200_000, 232, 746],
+            paper_nnz: 19_900_000,
         },
         TensorProfile {
-            id: "s15", name: "irr2L4d", dims: vec![65_536, 65_536, 952, 324], target_nnz: 1_000_000,
-            method: pl(1.5, vec![P, P, U, U]), seed: 115,
-            paper_dims: vec![8_300_000, 8_300_000, 952, 324], paper_nnz: 109_000_000,
+            id: "s15",
+            name: "irr2L4d",
+            dims: vec![65_536, 65_536, 952, 324],
+            target_nnz: 1_000_000,
+            method: pl(1.5, vec![P, P, U, U]),
+            seed: 115,
+            paper_dims: vec![8_300_000, 8_300_000, 952, 324],
+            paper_nnz: 109_000_000,
         },
     ]
 }
@@ -197,79 +272,154 @@ pub fn synthetic_profiles() -> Vec<TensorProfile> {
 pub fn real_profiles() -> Vec<TensorProfile> {
     vec![
         TensorProfile {
-            id: "r1", name: "vast", dims: vec![16_500, 1_100, 2], target_nnz: 260_000,
-            method: pl(1.1, vec![U, U, U]), seed: 201,
-            paper_dims: vec![165_000, 11_000, 2], paper_nnz: 26_000_000,
+            id: "r1",
+            name: "vast",
+            dims: vec![16_500, 1_100, 2],
+            target_nnz: 260_000,
+            method: pl(1.1, vec![U, U, U]),
+            seed: 201,
+            paper_dims: vec![165_000, 11_000, 2],
+            paper_nnz: 26_000_000,
         },
         TensorProfile {
-            id: "r2", name: "nell2", dims: vec![1_200, 900, 2_900], target_nnz: 770_000,
-            method: pl(1.4, vec![P, P, P]), seed: 202,
-            paper_dims: vec![12_000, 9_000, 29_000], paper_nnz: 77_000_000,
+            id: "r2",
+            name: "nell2",
+            dims: vec![1_200, 900, 2_900],
+            target_nnz: 770_000,
+            method: pl(1.4, vec![P, P, P]),
+            seed: 202,
+            paper_dims: vec![12_000, 9_000, 29_000],
+            paper_nnz: 77_000_000,
         },
         TensorProfile {
-            id: "r3", name: "choa", dims: vec![71_200, 1_000, 77], target_nnz: 270_000,
-            method: pl(1.4, vec![P, P, U]), seed: 203,
-            paper_dims: vec![712_000, 10_000, 767], paper_nnz: 27_000_000,
+            id: "r3",
+            name: "choa",
+            dims: vec![71_200, 1_000, 77],
+            target_nnz: 270_000,
+            method: pl(1.4, vec![P, P, U]),
+            seed: 203,
+            paper_dims: vec![712_000, 10_000, 767],
+            paper_nnz: 27_000_000,
         },
         TensorProfile {
-            id: "r4", name: "darpa", dims: vec![2_200, 2_200, 2_400_000], target_nnz: 280_000,
-            method: pl(1.6, vec![P, P, P]), seed: 204,
-            paper_dims: vec![22_000, 22_000, 24_000_000], paper_nnz: 28_000_000,
+            id: "r4",
+            name: "darpa",
+            dims: vec![2_200, 2_200, 2_400_000],
+            target_nnz: 280_000,
+            method: pl(1.6, vec![P, P, P]),
+            seed: 204,
+            paper_dims: vec![22_000, 22_000, 24_000_000],
+            paper_nnz: 28_000_000,
         },
         TensorProfile {
-            id: "r5", name: "fb-m", dims: vec![2_300_000, 2_300_000, 17], target_nnz: 1_000_000,
-            method: pl(1.7, vec![P, P, U]), seed: 205,
-            paper_dims: vec![23_000_000, 23_000_000, 166], paper_nnz: 100_000_000,
+            id: "r5",
+            name: "fb-m",
+            dims: vec![2_300_000, 2_300_000, 17],
+            target_nnz: 1_000_000,
+            method: pl(1.7, vec![P, P, U]),
+            seed: 205,
+            paper_dims: vec![23_000_000, 23_000_000, 166],
+            paper_nnz: 100_000_000,
         },
         TensorProfile {
-            id: "r6", name: "fb-s", dims: vec![3_900_000, 3_900_000, 53], target_nnz: 1_400_000,
-            method: pl(1.7, vec![P, P, U]), seed: 206,
-            paper_dims: vec![39_000_000, 39_000_000, 532], paper_nnz: 140_000_000,
+            id: "r6",
+            name: "fb-s",
+            dims: vec![3_900_000, 3_900_000, 53],
+            target_nnz: 1_400_000,
+            method: pl(1.7, vec![P, P, U]),
+            seed: 206,
+            paper_dims: vec![39_000_000, 39_000_000, 532],
+            paper_nnz: 140_000_000,
         },
         TensorProfile {
-            id: "r7", name: "flickr", dims: vec![32_000, 2_800_000, 160_000], target_nnz: 1_100_000,
-            method: pl(1.6, vec![P, P, P]), seed: 207,
-            paper_dims: vec![320_000, 28_000_000, 1_600_000], paper_nnz: 113_000_000,
+            id: "r7",
+            name: "flickr",
+            dims: vec![32_000, 2_800_000, 160_000],
+            target_nnz: 1_100_000,
+            method: pl(1.6, vec![P, P, P]),
+            seed: 207,
+            paper_dims: vec![320_000, 28_000_000, 1_600_000],
+            paper_nnz: 113_000_000,
         },
         TensorProfile {
-            id: "r8", name: "deli", dims: vec![53_300, 1_700_000, 250_000], target_nnz: 1_400_000,
-            method: pl(1.6, vec![P, P, P]), seed: 208,
-            paper_dims: vec![533_000, 17_000_000, 2_500_000], paper_nnz: 140_000_000,
+            id: "r8",
+            name: "deli",
+            dims: vec![53_300, 1_700_000, 250_000],
+            target_nnz: 1_400_000,
+            method: pl(1.6, vec![P, P, P]),
+            seed: 208,
+            paper_dims: vec![533_000, 17_000_000, 2_500_000],
+            paper_nnz: 140_000_000,
         },
         TensorProfile {
-            id: "r9", name: "nell1", dims: vec![290_000, 210_000, 2_500_000], target_nnz: 1_400_000,
-            method: pl(1.6, vec![P, P, P]), seed: 209,
-            paper_dims: vec![2_900_000, 2_100_000, 25_000_000], paper_nnz: 144_000_000,
+            id: "r9",
+            name: "nell1",
+            dims: vec![290_000, 210_000, 2_500_000],
+            target_nnz: 1_400_000,
+            method: pl(1.6, vec![P, P, P]),
+            seed: 209,
+            paper_dims: vec![2_900_000, 2_100_000, 25_000_000],
+            paper_nnz: 144_000_000,
         },
         TensorProfile {
-            id: "r10", name: "crime4d", dims: vec![600, 24, 77, 32], target_nnz: 50_000,
-            method: pl(1.2, vec![P, U, U, U]), seed: 210,
-            paper_dims: vec![6_000, 24, 77, 32], paper_nnz: 5_000_000,
+            id: "r10",
+            name: "crime4d",
+            dims: vec![600, 24, 77, 32],
+            target_nnz: 50_000,
+            method: pl(1.2, vec![P, U, U, U]),
+            seed: 210,
+            paper_dims: vec![6_000, 24, 77, 32],
+            paper_nnz: 5_000_000,
         },
         TensorProfile {
-            id: "r11", name: "uber4d", dims: vec![183, 24, 1_140, 1_717], target_nnz: 30_000,
-            method: pl(1.3, vec![U, U, P, P]), seed: 211,
-            paper_dims: vec![183, 24, 1_140, 1_717], paper_nnz: 3_000_000,
+            id: "r11",
+            name: "uber4d",
+            dims: vec![183, 24, 1_140, 1_717],
+            target_nnz: 30_000,
+            method: pl(1.3, vec![U, U, P, P]),
+            seed: 211,
+            paper_dims: vec![183, 24, 1_140, 1_717],
+            paper_nnz: 3_000_000,
         },
         TensorProfile {
-            id: "r12", name: "nips4d", dims: vec![2_000, 3_000, 14_000, 17], target_nnz: 30_000,
-            method: pl(1.4, vec![P, P, P, U]), seed: 212,
-            paper_dims: vec![2_000, 3_000, 14_000, 17], paper_nnz: 3_000_000,
+            id: "r12",
+            name: "nips4d",
+            dims: vec![2_000, 3_000, 14_000, 17],
+            target_nnz: 30_000,
+            method: pl(1.4, vec![P, P, P, U]),
+            seed: 212,
+            paper_dims: vec![2_000, 3_000, 14_000, 17],
+            paper_nnz: 3_000_000,
         },
         TensorProfile {
-            id: "r13", name: "enron4d", dims: vec![600, 600, 24_400, 100], target_nnz: 540_000,
-            method: pl(1.5, vec![P, P, P, U]), seed: 213,
-            paper_dims: vec![6_000, 6_000, 244_000, 1_000], paper_nnz: 54_000_000,
+            id: "r13",
+            name: "enron4d",
+            dims: vec![600, 600, 24_400, 100],
+            target_nnz: 540_000,
+            method: pl(1.5, vec![P, P, P, U]),
+            seed: 213,
+            paper_dims: vec![6_000, 6_000, 244_000, 1_000],
+            paper_nnz: 54_000_000,
         },
         TensorProfile {
-            id: "r14", name: "flickr4d", dims: vec![32_000, 2_800_000, 160_000, 73], target_nnz: 1_100_000,
-            method: pl(1.6, vec![P, P, P, U]), seed: 214,
-            paper_dims: vec![320_000, 28_000_000, 1_600_000, 731], paper_nnz: 113_000_000,
+            id: "r14",
+            name: "flickr4d",
+            dims: vec![32_000, 2_800_000, 160_000, 73],
+            target_nnz: 1_100_000,
+            method: pl(1.6, vec![P, P, P, U]),
+            seed: 214,
+            paper_dims: vec![320_000, 28_000_000, 1_600_000, 731],
+            paper_nnz: 113_000_000,
         },
         TensorProfile {
-            id: "r15", name: "deli4d", dims: vec![53_300, 1_700_000, 250_000, 100], target_nnz: 1_400_000,
-            method: pl(1.6, vec![P, P, P, U]), seed: 215,
-            paper_dims: vec![533_000, 17_000_000, 2_500_000, 1_000], paper_nnz: 140_000_000,
+            id: "r15",
+            name: "deli4d",
+            dims: vec![53_300, 1_700_000, 250_000, 100],
+            target_nnz: 1_400_000,
+            method: pl(1.6, vec![P, P, P, U]),
+            seed: 215,
+            paper_dims: vec![533_000, 17_000_000, 2_500_000, 1_000],
+            paper_nnz: 140_000_000,
         },
     ]
 }

@@ -25,7 +25,8 @@ pub enum Kernel {
 
 impl Kernel {
     /// All five kernels in the paper's order.
-    pub const ALL: [Kernel; 5] = [Kernel::Tew, Kernel::Ts, Kernel::Ttv, Kernel::Ttm, Kernel::Mttkrp];
+    pub const ALL: [Kernel; 5] =
+        [Kernel::Tew, Kernel::Ts, Kernel::Ttv, Kernel::Ttm, Kernel::Mttkrp];
 
     /// The paper's nominal OI approximation for this kernel
     /// (the "OI" column of Table I).

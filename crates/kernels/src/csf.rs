@@ -11,10 +11,7 @@ use crate::ctx::Ctx;
 use pasta_core::{CooTensor, Coord, CsfTensor, DenseMatrix, DenseVector, Error, Result, Value};
 use pasta_par::{parallel_for, SharedSlice};
 
-fn check_csf_factors<V: Value>(
-    x: &CsfTensor<V>,
-    factors: &[DenseMatrix<V>],
-) -> Result<usize> {
+fn check_csf_factors<V: Value>(x: &CsfTensor<V>, factors: &[DenseMatrix<V>]) -> Result<usize> {
     if factors.len() != x.order() {
         return Err(Error::OperandMismatch {
             what: format!("expected {} factor matrices, got {}", x.order(), factors.len()),
@@ -240,9 +237,7 @@ mod tests {
     }
 
     fn factors_for(x: &CooTensor<f64>, r: usize) -> Vec<DenseMatrix<f64>> {
-        (0..x.order())
-            .map(|m| seeded_matrix(x.shape().dim(m) as usize, r, 31 + m as u64))
-            .collect()
+        (0..x.order()).map(|m| seeded_matrix(x.shape().dim(m) as usize, r, 31 + m as u64)).collect()
     }
 
     #[test]
@@ -256,10 +251,7 @@ mod tests {
             let csf = CsfTensor::from_coo(&x, &order).unwrap();
             let got = mttkrp_csf_root(&csf, &fs, &Ctx::sequential()).unwrap();
             let want = mttkrp_dense(&x, &fs, n);
-            assert!(
-                dense_approx_eq(got.as_slice(), want.as_slice(), 1e-10),
-                "root mode {n}"
-            );
+            assert!(dense_approx_eq(got.as_slice(), want.as_slice(), 1e-10), "root mode {n}");
         }
     }
 

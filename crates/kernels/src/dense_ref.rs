@@ -147,11 +147,9 @@ mod tests {
     #[test]
     fn mttkrp_by_hand_third_order() {
         // Single non-zero: result row i gets val * B[j,:] ∘ C[k,:].
-        let x = CooTensor::<f64>::from_entries(
-            Shape::new(vec![2, 2, 2]),
-            vec![(vec![1, 0, 1], 2.0)],
-        )
-        .unwrap();
+        let x =
+            CooTensor::<f64>::from_entries(Shape::new(vec![2, 2, 2]), vec![(vec![1, 0, 1], 2.0)])
+                .unwrap();
         let a = DenseMatrix::zeros(2, 3);
         let b = DenseMatrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64); // row 0: 0,1,2
         let c = DenseMatrix::from_fn(2, 3, |i, j| (i + j) as f64); // row 1: 1,2,3

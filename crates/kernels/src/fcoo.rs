@@ -165,8 +165,7 @@ mod tests {
         let v = seeded_vector::<f64>(500, 9);
         let seq = ttv_fcoo(&fc, &v, &Ctx::sequential()).unwrap();
         for threads in [2usize, 3, 8] {
-            let par =
-                ttv_fcoo(&fc, &v, &Ctx::new(threads, pasta_par::Schedule::Static)).unwrap();
+            let par = ttv_fcoo(&fc, &v, &Ctx::new(threads, pasta_par::Schedule::Static)).unwrap();
             assert_eq!(par.nnz(), seq.nnz());
             for (a, b) in par.vals().iter().zip(seq.vals()) {
                 assert!(a.approx_eq(*b, 1e-10), "{threads} threads: {a} vs {b}");

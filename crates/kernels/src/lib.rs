@@ -35,6 +35,9 @@
 //! # }
 //! ```
 
+// Dense/kernel code indexes several arrays in lockstep; iterator
+// rewrites of those loops obscure the math.
+#![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -52,8 +55,8 @@ pub mod ttv;
 
 pub use analysis::{kernel_cost, CostParams, Kernel, KernelCost};
 pub use csf::{mttkrp_csf_root, ttv_csf_leaf};
-pub use fcoo::ttv_fcoo;
 pub use ctx::Ctx;
+pub use fcoo::ttv_fcoo;
 pub use mttkrp::{mttkrp_coo, mttkrp_hicoo};
 pub use ops::{EwOp, TsOp};
 pub use tew::{tew_coo, tew_coo_general, tew_coo_same_pattern, tew_hicoo, tew_values_into};

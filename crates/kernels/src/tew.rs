@@ -245,11 +245,7 @@ mod tests {
     fn base() -> CooTensor<f32> {
         CooTensor::from_entries(
             Shape::new(vec![4, 4, 4]),
-            vec![
-                (vec![0, 0, 0], 1.0),
-                (vec![1, 2, 3], 2.0),
-                (vec![3, 3, 3], -4.0),
-            ],
+            vec![(vec![0, 0, 0], 1.0), (vec![1, 2, 3], 2.0), (vec![3, 3, 3], -4.0)],
         )
         .unwrap()
     }
@@ -286,13 +282,9 @@ mod tests {
         let x = CooTensor::from_entries(Shape::new(vec![100, 100]), entries).unwrap();
         let y = x.like_pattern(1.5);
         let seq = tew_coo_same_pattern(EwOp::Mul, &x, &y, &Ctx::sequential()).unwrap();
-        let par = tew_coo_same_pattern(
-            EwOp::Mul,
-            &x,
-            &y,
-            &Ctx::new(8, pasta_par::Schedule::Dynamic(64)),
-        )
-        .unwrap();
+        let par =
+            tew_coo_same_pattern(EwOp::Mul, &x, &y, &Ctx::new(8, pasta_par::Schedule::Dynamic(64)))
+                .unwrap();
         assert_eq!(seq, par);
     }
 
@@ -364,8 +356,8 @@ mod tests {
 
     #[test]
     fn general_cancellation_drops_zero() {
-        let x = CooTensor::from_entries(Shape::new(vec![2, 2]), vec![(vec![0, 0], 3.0_f32)])
-            .unwrap();
+        let x =
+            CooTensor::from_entries(Shape::new(vec![2, 2]), vec![(vec![0, 0], 3.0_f32)]).unwrap();
         let y = x.clone();
         let z = tew_coo_general(EwOp::Sub, &x, &y).unwrap();
         assert_eq!(z.nnz(), 0);
@@ -373,10 +365,10 @@ mod tests {
 
     #[test]
     fn general_div_needs_cover() {
-        let x = CooTensor::from_entries(Shape::new(vec![2, 2]), vec![(vec![0, 0], 3.0_f32)])
-            .unwrap();
-        let y = CooTensor::from_entries(Shape::new(vec![2, 2]), vec![(vec![1, 1], 2.0_f32)])
-            .unwrap();
+        let x =
+            CooTensor::from_entries(Shape::new(vec![2, 2]), vec![(vec![0, 0], 3.0_f32)]).unwrap();
+        let y =
+            CooTensor::from_entries(Shape::new(vec![2, 2]), vec![(vec![1, 1], 2.0_f32)]).unwrap();
         assert!(matches!(tew_coo_general(EwOp::Div, &x, &y), Err(Error::DivisionByZero)));
         // Covered case works; y-only entries vanish (0 / y).
         let y2 = CooTensor::from_entries(

@@ -138,8 +138,7 @@ mod tests {
             (0..5000u32).map(|i| (vec![i % 70, i / 70], (i as f32).cos())).collect();
         let x = CooTensor::from_entries(Shape::new(vec![70, 80]), entries).unwrap();
         let seq = ts_coo(TsOp::Mul, &x, 1.25, &Ctx::sequential()).unwrap();
-        let par =
-            ts_coo(TsOp::Mul, &x, 1.25, &Ctx::new(8, pasta_par::Schedule::Guided)).unwrap();
+        let par = ts_coo(TsOp::Mul, &x, 1.25, &Ctx::new(8, pasta_par::Schedule::Guided)).unwrap();
         assert_eq!(seq, par);
     }
 

@@ -397,9 +397,9 @@ pub fn ttm_scoo<V: Value>(
     let mut start = 0usize;
     for i in 1..=perm.len() {
         let boundary = i == perm.len()
-            || (0..ns).filter(|&k| k != n_pos).any(|k| {
-                x.sparse_inds(k)[perm[i]] != x.sparse_inds(k)[perm[i - 1]]
-            });
+            || (0..ns)
+                .filter(|&k| k != n_pos)
+                .any(|k| x.sparse_inds(k)[perm[i]] != x.sparse_inds(k)[perm[i - 1]]);
         if boundary {
             groups.push((start, i));
             start = i;
@@ -415,8 +415,7 @@ pub fn ttm_scoo<V: Value>(
     out_dmodes.sort_unstable();
     // Position of n among the output dense modes decides the layout stride.
     let n_dpos = out_dmodes.iter().position(|&m| m == n).expect("just inserted");
-    let old_dims: Vec<usize> =
-        x.dense_modes().iter().map(|&m| x.shape().dim(m) as usize).collect();
+    let old_dims: Vec<usize> = x.dense_modes().iter().map(|&m| x.shape().dim(m) as usize).collect();
     let before: usize = old_dims[..n_dpos].iter().product();
     let after: usize = old_dims[n_dpos..].iter().product();
     debug_assert_eq!(before * after, dvol);
@@ -604,11 +603,7 @@ mod tests {
         .unwrap();
         let (shape2, d2) = ttm_dense(&mid, &w, 1);
         assert_eq!(second.shape(), &shape2);
-        assert!(crate::dense_ref::dense_approx_eq(
-            &second.to_coo().to_dense(1 << 14),
-            &d2,
-            1e-10
-        ));
+        assert!(crate::dense_ref::dense_approx_eq(&second.to_coo().to_dense(1 << 14), &d2, 1e-10));
     }
 
     #[test]
@@ -659,11 +654,7 @@ mod tests {
     fn fourth_order_ttm() {
         let x = CooTensor::<f64>::from_entries(
             Shape::new(vec![3, 4, 3, 4]),
-            vec![
-                (vec![0, 1, 2, 0], 1.0),
-                (vec![0, 1, 2, 3], 2.0),
-                (vec![2, 2, 2, 1], 3.0),
-            ],
+            vec![(vec![0, 1, 2, 0], 1.0), (vec![0, 1, 2, 3], 2.0), (vec![2, 2, 2, 1], 3.0)],
         )
         .unwrap();
         let u = mat_for(&x, 1, 5);

@@ -10,8 +10,8 @@
 
 use crate::ctx::Ctx;
 use pasta_core::{
-    CooTensor, Coord, DenseVector, Error, FiberIndex, GHiCooTensor, HiCooTensor, ModeIndex,
-    Result, Shape, Value,
+    CooTensor, Coord, DenseVector, Error, FiberIndex, GHiCooTensor, HiCooTensor, ModeIndex, Result,
+    Shape, Value,
 };
 use pasta_par::{parallel_for, SharedSlice};
 
@@ -234,15 +234,7 @@ impl<V: Value> TtvHicooPlan<V> {
         bfptr.push(fiber_count);
         fptr.push(g.nnz());
 
-        Ok(Self {
-            n,
-            fptr,
-            bfptr,
-            out_shape: x.shape().remove_mode(n),
-            out_binds,
-            out_einds,
-            g,
-        })
+        Ok(Self { n, fptr, bfptr, out_shape: x.shape().remove_mode(n), out_binds, out_einds, g })
     }
 
     /// The product mode.
@@ -424,10 +416,7 @@ mod tests {
             ttv_coo(&x, &short, 0, &Ctx::sequential()),
             Err(Error::OperandMismatch { .. })
         ));
-        assert!(matches!(
-            TtvCooPlan::new(&x, 9),
-            Err(Error::InvalidMode { .. })
-        ));
+        assert!(matches!(TtvCooPlan::new(&x, 9), Err(Error::InvalidMode { .. })));
         let first_order =
             CooTensor::<f64>::from_entries(Shape::new(vec![4]), vec![(vec![1], 1.0)]).unwrap();
         assert!(TtvCooPlan::new(&first_order, 0).is_err());
@@ -447,11 +436,7 @@ mod tests {
     fn fourth_order_ttv() {
         let x = CooTensor::<f64>::from_entries(
             Shape::new(vec![3, 3, 3, 3]),
-            vec![
-                (vec![0, 1, 2, 0], 1.0),
-                (vec![0, 1, 2, 2], 2.0),
-                (vec![2, 2, 2, 1], 3.0),
-            ],
+            vec![(vec![0, 1, 2, 0], 1.0), (vec![0, 1, 2, 2], 2.0), (vec![2, 2, 2, 1], 3.0)],
         )
         .unwrap();
         let v = DenseVector::from_vec(vec![1.0, 10.0, 100.0]);

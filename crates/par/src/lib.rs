@@ -2,10 +2,15 @@
 //!
 //! The paper parallelizes its CPU kernels with OpenMP (`parallel for` with
 //! static/dynamic/guided scheduling, `omp atomic` for MTTKRP's output
-//! updates). This crate is the Rust stand-in: scoped threads from
-//! `crossbeam` drive a [`parallel_for`] with the same three scheduling
-//! strategies, and [`AtomicF32`]/[`AtomicF64`] provide the atomic
-//! floating-point adds.
+//! updates). This crate is the Rust stand-in: a persistent work-stealing
+//! [`Pool`](pool::Pool) of parked workers drives a [`parallel_for`] with
+//! the same three scheduling strategies, and [`AtomicF32`]/[`AtomicF64`]
+//! provide the atomic floating-point adds.
+//!
+//! Workers are spawned once — lazily, on the first parallel call — and
+//! reused by every subsequent call, mirroring how an OpenMP runtime keeps
+//! its thread team alive between parallel regions. No OS threads are
+//! created per `parallel_for` invocation.
 //!
 //! # Examples
 //!
@@ -24,10 +29,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod atomic;
+pub mod pool;
 pub mod schedule;
 pub mod shared;
 
 pub use atomic::{AtomicF32, AtomicF64, Atomically};
+pub use pool::{threads_spawned, Pool};
 pub use schedule::Schedule;
 pub use shared::SharedSlice;
 
@@ -37,6 +44,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Returns the default worker count: the `PASTA_NUM_THREADS` environment
 /// variable if set and positive, otherwise the machine's available
 /// parallelism (the paper pins one thread per physical core).
+///
+/// The global pool sizes itself from this on first use, so set
+/// `PASTA_NUM_THREADS` before the first parallel call.
 pub fn default_threads() -> usize {
     if let Ok(s) = std::env::var("PASTA_NUM_THREADS") {
         if let Ok(n) = s.trim().parse::<usize>() {
@@ -48,12 +58,15 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-/// Runs `body` over chunks of `0..n` on `threads` workers with the given
-/// scheduling strategy.
+/// Runs `body` over chunks of `0..n` on `threads` participants of the
+/// global [`Pool`](pool::Pool) with the given scheduling strategy.
 ///
 /// Each invocation of `body` receives a contiguous index range; ranges
 /// partition `0..n` exactly (every index visited once). With `threads <= 1`
-/// or small `n` the body runs inline on the caller's thread.
+/// or small `n` the body runs inline on the caller's thread. The chunk
+/// decomposition depends only on `(n, threads, schedule)` — never on the
+/// pool's actual worker count — so results are reproducible even when the
+/// pool has fewer workers than `threads`.
 ///
 /// Mirrors OpenMP's `#pragma omp parallel for schedule(...)`.
 pub fn parallel_for<F>(n: usize, threads: usize, schedule: Schedule, body: F)
@@ -70,70 +83,60 @@ where
     }
     match schedule {
         Schedule::Static => {
-            // Near-equal contiguous ranges, one per worker.
+            // Near-equal contiguous ranges, one per participant.
             let per = n / threads;
             let rem = n % threads;
-            crossbeam::thread::scope(|s| {
-                let mut start = 0usize;
-                for t in 0..threads {
-                    let len = per + usize::from(t < rem);
-                    let range = start..start + len;
-                    start += len;
-                    let body = &body;
-                    s.spawn(move |_| body(range));
-                }
-            })
-            .expect("worker thread panicked");
+            pool::global().broadcast(threads, |t| {
+                let start = t * per + t.min(rem);
+                let len = per + usize::from(t < rem);
+                body(start..start + len);
+            });
         }
         Schedule::Dynamic(chunk) => {
             let chunk = chunk.max(1);
             let next = AtomicUsize::new(0);
-            crossbeam::thread::scope(|s| {
-                for _ in 0..threads {
-                    let next = &next;
-                    let body = &body;
-                    s.spawn(move |_| loop {
-                        let start = next.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        body(start..(start + chunk).min(n));
-                    });
+            pool::global().broadcast(threads, |_| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
                 }
-            })
-            .expect("worker thread panicked");
+                body(start..(start + chunk).min(n));
+            });
         }
         Schedule::Guided => {
             // Decreasing chunk sizes: remaining / (2 * threads), floor 1.
-            // A mutex-free implementation would race between reading the
-            // cursor and claiming the chunk, so claim under a small lock.
-            let next = parking_lot::Mutex::new(0usize);
-            crossbeam::thread::scope(|s| {
-                for _ in 0..threads {
-                    let next = &next;
-                    let body = &body;
-                    s.spawn(move |_| loop {
-                        let range = {
-                            let mut cur = next.lock();
-                            if *cur >= n {
-                                break;
-                            }
-                            let chunk = ((n - *cur) / (2 * threads)).max(1);
-                            let start = *cur;
-                            *cur = (start + chunk).min(n);
-                            start..*cur
-                        };
-                        body(range);
-                    });
+            // Claim with a CAS loop: the chunk size is a pure function of
+            // the cursor, so recomputing it after a lost race reproduces
+            // exactly the chunk sequence the old mutex version handed out.
+            let next = AtomicUsize::new(0);
+            pool::global().broadcast(threads, |_| loop {
+                let mut cur = next.load(Ordering::Relaxed);
+                let claimed = loop {
+                    if cur >= n {
+                        break None;
+                    }
+                    let chunk = ((n - cur) / (2 * threads)).max(1);
+                    let end = (cur + chunk).min(n);
+                    match next.compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed)
+                    {
+                        Ok(_) => break Some(cur..end),
+                        Err(seen) => cur = seen,
+                    }
+                };
+                match claimed {
+                    Some(range) => body(range),
+                    None => break,
                 }
-            })
-            .expect("worker thread panicked");
+            });
         }
     }
 }
 
 /// Runs `map` over a static partition of `0..n` and folds the per-thread
 /// results with `reduce` (an OpenMP `reduction` clause stand-in).
+///
+/// The fold over partials runs in partition order on the caller's thread,
+/// so for a fixed `(n, threads)` the result is deterministic.
 ///
 /// # Examples
 ///
@@ -172,21 +175,19 @@ where
     }
     let per = n / threads;
     let rem = n % threads;
-    let partials = crossbeam::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(threads);
-        let mut start = 0usize;
-        for t in 0..threads {
+    let mut partials: Vec<Option<T>> = (0..threads).map(|_| None).collect();
+    {
+        let slots = SharedSlice::new(&mut partials);
+        pool::global().broadcast(threads, |t| {
+            let start = t * per + t.min(rem);
             let len = per + usize::from(t < rem);
-            let range = start..start + len;
-            start += len;
-            let map = &map;
-            let identity = &identity;
-            handles.push(s.spawn(move |_| map(identity(), range)));
-        }
-        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect::<Vec<T>>()
-    })
-    .expect("worker thread panicked");
-    let mut it = partials.into_iter();
+            let acc = map(identity(), start..start + len);
+            // SAFETY: each participant id `t` is handed out exactly once,
+            // so writes to slot `t` are exclusive.
+            unsafe { slots.write(t, Some(acc)) };
+        });
+    }
+    let mut it = partials.into_iter().map(|p| p.expect("participant wrote its partial"));
     let first = it.next().expect("at least one partial");
     it.fold(first, reduce)
 }
@@ -195,6 +196,7 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
 
     fn coverage(n: usize, threads: usize, sched: Schedule) {
         let marks: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
@@ -257,12 +259,58 @@ mod tests {
     fn guided_chunks_shrink() {
         // Guided must produce more, smaller chunks than static's one-per-thread.
         let n = 4096;
-        let sizes = parking_lot::Mutex::new(Vec::new());
+        let sizes = Mutex::new(Vec::new());
         parallel_for(n, 4, Schedule::Guided, |range| {
-            sizes.lock().push(range.len());
+            sizes.lock().unwrap().push(range.len());
         });
-        let sizes = sizes.into_inner();
+        let sizes = sizes.into_inner().unwrap();
         assert!(sizes.len() > 4, "guided should produce many chunks, got {sizes:?}");
         assert_eq!(sizes.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn guided_chunk_sequence_is_deterministic() {
+        // The CAS claim must reproduce the exact serial chunk sequence:
+        // chunk(cur) = max(1, (n - cur) / (2 * threads)), regardless of
+        // which participant wins each claim.
+        let n = 1000;
+        let threads = 4;
+        let mut expected = Vec::new();
+        let mut cur = 0usize;
+        while cur < n {
+            let chunk = ((n - cur) / (2 * threads)).max(1);
+            expected.push((cur, (cur + chunk).min(n)));
+            cur += chunk;
+        }
+        let seen = Mutex::new(Vec::new());
+        parallel_for(n, threads, Schedule::Guided, |range| {
+            seen.lock().unwrap().push((range.start, range.end));
+        });
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn no_threads_spawned_per_call() {
+        // Warm the global pool, then hammer parallel_for: the process-wide
+        // spawn counter must not move. This is the acceptance criterion
+        // that parallel_for creates no OS threads per invocation.
+        parallel_for(64, 4, Schedule::Static, |_| {});
+        let warm = threads_spawned();
+        for i in 0..200 {
+            let sched = match i % 3 {
+                0 => Schedule::Static,
+                1 => Schedule::Dynamic(8),
+                _ => Schedule::Guided,
+            };
+            parallel_for(512, 4, sched, |_| {});
+            parallel_reduce(512, 4, || 0usize, |a, r| a + r.len(), |a, b| a + b);
+        }
+        assert_eq!(
+            threads_spawned(),
+            warm,
+            "parallel_for must reuse pooled workers, not spawn threads per call"
+        );
     }
 }

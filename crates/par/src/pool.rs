@@ -1,0 +1,406 @@
+//! A persistent work-stealing thread pool.
+//!
+//! The seed implementation spawned a fresh set of scoped OS threads for
+//! *every* `parallel_for` call, so a kernel that loops over thousands of
+//! fibers paid thread-creation latency on each invocation. This module
+//! replaces that with one lazily-initialised global [`Pool`]: workers are
+//! spawned once, park on a condition variable when idle, and wake to run
+//! *broadcast jobs* (the engine under [`crate::parallel_for`] /
+//! [`crate::parallel_reduce`]) or one-off closures via [`Pool::install`].
+//!
+//! Design notes (std-only — the build environment has no external crates):
+//!
+//! * Each worker owns a `Mutex<VecDeque<Task>>`. Submissions round-robin
+//!   across worker queues; an idle worker pops its own queue front and
+//!   steals from other queues' backs, so a burst landing on one queue is
+//!   redistributed instead of serialised.
+//! * Sleeping workers park on a single `Condvar` guarded by a generation
+//!   counter: every push bumps the generation *before* notifying, and a
+//!   worker re-checks the generation before sleeping, so a push can never
+//!   slip between "scan found nothing" and "wait" unnoticed.
+//! * A broadcast job is a lifetime-erased `Fn(usize)` plus two atomics:
+//!   `next` hands out participant ids, `finished` counts completions. The
+//!   *caller participates* — it claims ids in the same loop the workers
+//!   run — so a pool with zero workers (single-core machine) still
+//!   completes every job inline, and nested broadcasts cannot deadlock:
+//!   a blocked caller only waits on ids that some thread has already
+//!   claimed and is actively running.
+//! * Erasing the closure's lifetime is sound because the caller does not
+//!   return from [`Pool::broadcast`] until `finished == participants`,
+//!   and stale queue entries for a drained job return before touching the
+//!   closure pointer.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Total OS threads ever spawned by pools in this process. Used by tests to
+/// assert that `parallel_for` does not create threads per call.
+static THREADS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+/// Returns the total number of OS threads spawned by all [`Pool`]s since
+/// process start. After the global pool is warm this number is stable no
+/// matter how many `parallel_for` calls run.
+pub fn threads_spawned() -> usize {
+    THREADS_SPAWNED.load(Ordering::SeqCst)
+}
+
+/// A unit of work queued on the pool.
+enum Task {
+    /// One participant's share of a broadcast job (may be stale — the job
+    /// can drain before a queued task is popped, which makes it a no-op).
+    Job(Arc<JobCore>),
+    /// A one-off closure from [`Pool::install`].
+    Run(Box<dyn FnOnce() + Send + 'static>),
+}
+
+impl Task {
+    fn execute(self) {
+        match self {
+            Task::Job(core) => core.run(),
+            Task::Run(f) => f(),
+        }
+    }
+}
+
+/// The lifetime-erased heart of one broadcast call.
+///
+/// `f` points at a closure living in the caller's frame; see the module
+/// docs for why dereferencing it here is sound.
+struct JobCore {
+    f: *const (dyn Fn(usize) + Sync),
+    participants: usize,
+    /// Next participant id to hand out; ids `>= participants` mean "drained".
+    next: AtomicUsize,
+    /// Completed participants. The job is done when this hits `participants`.
+    finished: AtomicUsize,
+    /// First panic payload from any participant, re-thrown by the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `f` is only dereferenced while the originating `broadcast` call
+// is blocked waiting for the job, and the closure it points to is `Sync`.
+unsafe impl Send for JobCore {}
+unsafe impl Sync for JobCore {}
+
+impl JobCore {
+    /// Claims and runs participant ids until the job drains. Called by both
+    /// workers and the broadcasting caller.
+    fn run(&self) {
+        loop {
+            let id = self.next.fetch_add(1, Ordering::Relaxed);
+            if id >= self.participants {
+                return;
+            }
+            // SAFETY: ids below `participants` are only handed out while the
+            // caller is still inside `broadcast`, keeping `f` alive.
+            let f = unsafe { &*self.f };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(id))) {
+                let mut slot = self.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            // AcqRel: the last finisher observes every other participant's
+            // writes, and the caller's lock of `done` observes the last
+            // finisher's — so all body effects are visible after `wait`.
+            if self.finished.fetch_add(1, Ordering::AcqRel) + 1 == self.participants {
+                let mut done = self.done.lock().unwrap();
+                *done = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap();
+        while !*done {
+            done = self.done_cv.wait(done).unwrap();
+        }
+    }
+}
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    /// One deque per worker; owner pops the front, thieves pop the back.
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Round-robin cursor for task placement.
+    next_queue: AtomicUsize,
+    /// Bumped on every push; prevents lost wake-ups (see module docs).
+    generation: AtomicU64,
+    shutdown: AtomicBool,
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+impl Shared {
+    fn push(&self, task: Task) {
+        let q = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[q].lock().unwrap().push_back(task);
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        let _guard = self.sleep.lock().unwrap();
+        self.wake.notify_all();
+    }
+
+    /// Pops the worker's own queue, then steals from the others. Taking the
+    /// plain lock (not `try_lock`) keeps the scan exact: if it finds
+    /// nothing, every task pushed before the scan has been claimed.
+    fn find_task(&self, me: usize) -> Option<Task> {
+        if let Some(task) = self.queues[me].lock().unwrap().pop_front() {
+            return Some(task);
+        }
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (me + offset) % n;
+            if let Some(task) = self.queues[victim].lock().unwrap().pop_back() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn worker_loop(&self, me: usize) {
+        loop {
+            let generation = self.generation.load(Ordering::SeqCst);
+            if let Some(task) = self.find_task(me) {
+                task.execute();
+                continue;
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let guard = self.sleep.lock().unwrap();
+            if self.generation.load(Ordering::SeqCst) != generation
+                || self.shutdown.load(Ordering::SeqCst)
+            {
+                continue;
+            }
+            // The generation check above makes a plain `wait` sound; the
+            // timeout is a belt-and-suspenders liveness fallback only.
+            let (_guard, _) =
+                self.wake.wait_timeout(guard, std::time::Duration::from_millis(50)).unwrap();
+        }
+    }
+}
+
+/// A persistent work-stealing thread pool.
+///
+/// Most code should use the lazily-initialised process-wide pool via
+/// [`global`]; constructing private pools is intended for tests and
+/// benchmarks that need a specific worker count.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool").field("workers", &self.workers()).finish()
+    }
+}
+
+impl Pool {
+    /// Spawns a pool with `workers` OS threads (zero is valid: every job
+    /// then runs inline on the calling thread).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            next_queue: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                THREADS_SPAWNED.fetch_add(1, Ordering::SeqCst);
+                std::thread::Builder::new()
+                    .name(format!("pasta-worker-{me}"))
+                    .spawn(move || shared.worker_loop(me))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Number of worker threads (the caller participates on top of these).
+    pub fn workers(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Runs `f(id)` for every `id in 0..participants`, fanning out across
+    /// the workers with the caller participating. Returns once every
+    /// participant has finished; panics in `f` are re-thrown here.
+    pub fn broadcast<F>(&self, participants: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let participants = participants.max(1);
+        if participants == 1 || self.workers() == 0 {
+            for id in 0..participants {
+                f(id);
+            }
+            return;
+        }
+        let wide: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: erasing the lifetime is sound because this function waits
+        // for `finished == participants` before returning (see module docs).
+        let wide: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(wide) };
+        let core = Arc::new(JobCore {
+            f: wide as *const _,
+            participants,
+            next: AtomicUsize::new(0),
+            finished: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        // One task per helper we could use; the caller covers the rest.
+        let helpers = (participants - 1).min(self.workers());
+        for _ in 0..helpers {
+            self.shared.push(Task::Job(Arc::clone(&core)));
+        }
+        core.run();
+        core.wait();
+        let payload = core.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Runs `f` on a pool worker and returns its result, blocking the
+    /// caller until it completes. With zero workers, runs inline.
+    pub fn install<R, F>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if self.workers() == 0 {
+            return f();
+        }
+        let slot: Mutex<Option<std::thread::Result<R>>> = Mutex::new(None);
+        let ready = Condvar::new();
+        {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(|| {
+                let result = catch_unwind(AssertUnwindSafe(f));
+                *slot.lock().unwrap() = Some(result);
+                ready.notify_all();
+            });
+            // SAFETY: this function blocks until the task has run and
+            // published its result, so the borrows of `slot`/`ready` (and
+            // `f`'s captures) outlive every use inside the task.
+            let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+            self.shared.push(Task::Run(task));
+            let mut guard = slot.lock().unwrap();
+            while guard.is_none() {
+                guard = ready.wait(guard).unwrap();
+            }
+        }
+        match slot.into_inner().unwrap().expect("task ran") {
+            Ok(value) => value,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.generation.fetch_add(1, Ordering::SeqCst);
+        {
+            let _guard = self.shared.sleep.lock().unwrap();
+            self.shared.wake.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Returns the process-wide pool, spawning `default_threads() - 1` workers
+/// on first use (the caller thread is the final participant, so total
+/// parallelism matches [`crate::default_threads`]). `PASTA_NUM_THREADS` is
+/// therefore read once, at first parallel call.
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(|| Pool::new(crate::default_threads().saturating_sub(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_visits_every_id_once() {
+        let pool = Pool::new(3);
+        for participants in [1usize, 2, 4, 9, 33] {
+            let marks: Vec<AtomicUsize> = (0..participants).map(|_| AtomicUsize::new(0)).collect();
+            pool.broadcast(participants, |id| {
+                marks[id].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = Pool::new(0);
+        let count = AtomicUsize::new(0);
+        pool.broadcast(8, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+        assert_eq!(pool.install(|| 7 * 6), 42);
+    }
+
+    #[test]
+    fn install_returns_value_from_worker() {
+        let pool = Pool::new(2);
+        let value = pool.install(|| (0..100u64).sum::<u64>());
+        assert_eq!(value, 4950);
+    }
+
+    #[test]
+    fn nested_broadcast_completes() {
+        let pool = Pool::new(3);
+        let count = AtomicUsize::new(0);
+        pool.broadcast(4, |_| {
+            pool.broadcast(4, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn broadcast_propagates_panics() {
+        let pool = Pool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(4, |id| {
+                if id == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool must stay usable after a panicking job.
+        let count = AtomicUsize::new(0);
+        pool.broadcast(4, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let before = threads_spawned();
+        {
+            let pool = Pool::new(2);
+            pool.broadcast(2, |_| {});
+        }
+        assert_eq!(threads_spawned(), before + 2);
+    }
+}

@@ -59,7 +59,8 @@ impl ErtResult {
     /// sweep (working sets well beyond any cache).
     pub fn dram_bandwidth(&self) -> f64 {
         let n = self.points.len();
-        let tail: Vec<f64> = self.points[n - (n / 3).max(1)..].iter().map(|p| p.bandwidth).collect();
+        let tail: Vec<f64> =
+            self.points[n - (n / 3).max(1)..].iter().map(|p| p.bandwidth).collect();
         median(tail)
     }
 
@@ -79,12 +80,7 @@ fn median(mut v: Vec<f64>) -> f64 {
 ///
 /// `elems` is the length of each array; the kernel repeats until ~`min_ms`
 /// of work has been timed.
-pub fn measure_bandwidth(
-    kernel: StreamKernel,
-    elems: usize,
-    threads: usize,
-    min_ms: f64,
-) -> f64 {
+pub fn measure_bandwidth(kernel: StreamKernel, elems: usize, threads: usize, min_ms: f64) -> f64 {
     let mut a = vec![1.0f32; elems];
     let mut b = vec![2.0f32; elems];
     let mut c = vec![0.0f32; elems];
@@ -150,7 +146,12 @@ fn run_once(kernel: StreamKernel, a: &mut [f32], b: &mut [f32], c: &mut [f32], t
 
 /// Runs an ERT sweep with the given kernel from `min_bytes` to `max_bytes`
 /// total working set (doubling each step).
-pub fn run_ert(kernel: StreamKernel, threads: usize, min_bytes: usize, max_bytes: usize) -> ErtResult {
+pub fn run_ert(
+    kernel: StreamKernel,
+    threads: usize,
+    min_bytes: usize,
+    max_bytes: usize,
+) -> ErtResult {
     assert!(min_bytes >= 4096 && max_bytes >= min_bytes, "degenerate sweep bounds");
     let arrays = if kernel.bytes_per_elem() == 8 { 2 } else { 3 };
     let mut points = Vec::new();
@@ -176,8 +177,7 @@ mod tests {
 
     #[test]
     fn measures_positive_bandwidth() {
-        for k in [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad]
-        {
+        for k in [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad] {
             let bw = measure_bandwidth(k, 64 * 1024, 2, 5.0);
             assert!(bw > 1e8, "{k:?}: {bw}");
         }

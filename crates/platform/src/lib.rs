@@ -31,6 +31,10 @@ pub mod roofline;
 pub mod spec;
 
 pub use ert::{run_ert, ErtPoint, ErtResult, StreamKernel};
-pub use model::{base_slowdown, effective_bandwidth, model_run, Format, ModeledRun, TensorFeatures};
+pub use model::{
+    base_slowdown, effective_bandwidth, model_run, Format, ModeledRun, TensorFeatures,
+};
 pub use roofline::Roofline;
-pub use spec::{all_platforms, bluesky, dgx1p, dgx1v, find_platform, wingtip, PlatformKind, PlatformSpec};
+pub use spec::{
+    all_platforms, bluesky, dgx1p, dgx1v, find_platform, wingtip, PlatformKind, PlatformSpec,
+};

@@ -193,7 +193,7 @@ fn tensor_modifier(spec: &PlatformSpec, kernel: Kernel, format: Format, f: &Tens
                     // the SMs, and a dominant block serializes on one SM —
                     // the reasons HiCOO-MTTKRP-GPU trails COO (Observation 4).
                     let needed = 4.0 * sms as f64;
-                    m *= (needed / f.nb.max(1.0)).max(1.0).min(64.0);
+                    m *= (needed / f.nb.max(1.0)).clamp(1.0, 64.0);
                     m *= f.block_imbalance.powf(0.3).min(8.0);
                 }
             }

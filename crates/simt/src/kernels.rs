@@ -18,7 +18,9 @@
 
 use crate::sim::GpuKernel;
 use crate::trace::{Accessor, AddrSpace};
-use pasta_core::{CooTensor, Coord, DenseMatrix, DenseVector, Error, FiberIndex, HiCooTensor, Result};
+use pasta_core::{
+    CooTensor, Coord, DenseMatrix, DenseVector, Error, FiberIndex, HiCooTensor, Result,
+};
 use pasta_kernels::{EwOp, TsOp};
 
 const THREADS_1D: usize = 256;
@@ -120,7 +122,14 @@ impl GpuTsCoo {
         }
         let m = x.nnz() as u64;
         let mut a = AddrSpace::new();
-        Ok(Self { op, s, x: x.vals().to_vec(), y: vec![0.0; x.nnz()], bx: a.alloc(4 * m), by: a.alloc(4 * m) })
+        Ok(Self {
+            op,
+            s,
+            x: x.vals().to_vec(),
+            y: vec![0.0; x.nnz()],
+            bx: a.alloc(4 * m),
+            by: a.alloc(4 * m),
+        })
     }
 
     /// The computed output values.
@@ -438,7 +447,11 @@ impl GpuKernel for GpuMttkrpCoo {
                 continue;
             }
             let row = self.inds[m][z] as usize;
-            acc.read(S_FACTOR_BASE + m as u16, self.b_factors[m] + 4 * (row * self.r + rr) as u64, 4);
+            acc.read(
+                S_FACTOR_BASE + m as u16,
+                self.b_factors[m] + 4 * (row * self.r + rr) as u64,
+                4,
+            );
             tmp *= self.factors[m].get(row, rr);
             acc.flops(1);
         }
@@ -661,9 +674,8 @@ impl GpuKernel for GpuTtvFcoo {
         // same-fiber contributions in registers, and only the last lane of
         // each segment issues the memory atomic.
         let n = self.vals.len();
-        let last_of_segment = i + 1 >= n
-            || self.fiber_of[i + 1] as usize != f
-            || (i + 1).is_multiple_of(32);
+        let last_of_segment =
+            i + 1 >= n || self.fiber_of[i + 1] as usize != f || (i + 1).is_multiple_of(32);
         if last_of_segment {
             acc.atomic(S_ATOMIC, self.b_out + 4 * f as u64);
         }
@@ -807,7 +819,8 @@ mod tests {
     fn gpu_tew_matches_cpu() {
         let x = sample();
         let y = pasta_kernels::ts_coo(TsOp::Mul, &x, 2.0, &Ctx::sequential()).unwrap();
-        let cpu = pasta_kernels::tew_coo_same_pattern(EwOp::Add, &x, &y, &Ctx::sequential()).unwrap();
+        let cpu =
+            pasta_kernels::tew_coo_same_pattern(EwOp::Add, &x, &y, &Ctx::sequential()).unwrap();
         let mut k = GpuTewCoo::new(&x, &y, EwOp::Add).unwrap();
         let stats = launch(&p100(), &mut k);
         assert_eq!(k.output(), cpu.vals());
@@ -901,7 +914,8 @@ mod tests {
         for s in 0..2000u32 {
             entries.push((vec![8 + s * 8 % 60_000, 8 + s * 16 % 60_000, 8 + s * 24 % 60_000], 1.0));
         }
-        let mut x = CooTensor::from_entries(Shape::new(vec![65_536, 65_536, 65_536]), entries).unwrap();
+        let mut x =
+            CooTensor::from_entries(Shape::new(vec![65_536, 65_536, 65_536]), entries).unwrap();
         x.dedup_sum();
         let h = HiCooTensor::from_coo(&x, 8).unwrap();
         assert!(h.num_blocks() > 500);
@@ -942,8 +956,7 @@ mod tests {
         for f in 1..200u32 {
             entries.push((vec![f % 50, f % 60, f], 2.0));
         }
-        let mut x =
-            CooTensor::from_entries(Shape::new(vec![50, 60, 30_000]), entries).unwrap();
+        let mut x = CooTensor::from_entries(Shape::new(vec![50, 60, 30_000]), entries).unwrap();
         x.dedup_sum();
         let v: DenseVector<f32> = pasta_core::seeded_vector(30_000, 5);
         let dev = p100();

@@ -39,6 +39,9 @@
 //! # }
 //! ```
 
+// Dense/kernel code indexes several arrays in lockstep; iterator
+// rewrites of those loops obscure the math.
+#![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -153,12 +153,7 @@ mod tests {
         // the non-zeros); whether the *step* wins depends on the all-reduce
         // latency floor, which dominates at this small problem size — a
         // faithful multi-GPU tradeoff.
-        assert!(
-            multi.compute_time < 0.6 * s1.time,
-            "{} vs {}",
-            multi.compute_time,
-            s1.time
-        );
+        assert!(multi.compute_time < 0.6 * s1.time, "{} vs {}", multi.compute_time, s1.time);
         assert!((multi.time - multi.compute_time - multi.comm_time).abs() < 1e-12);
         assert_eq!(multi.flops(), s1.flops);
         assert!(multi.gflops() > 0.0);

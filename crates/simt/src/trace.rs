@@ -185,7 +185,11 @@ pub fn coalesce_warp(
     while i < scratch.len() {
         let (site, seq, kind, _, _) = scratch[i];
         let mut j = i;
-        while j < scratch.len() && scratch[j].0 == site && scratch[j].1 == seq && scratch[j].2 == kind {
+        while j < scratch.len()
+            && scratch[j].0 == site
+            && scratch[j].1 == seq
+            && scratch[j].2 == kind
+        {
             j += 1;
         }
         let group = &scratch[i..j];

@@ -33,13 +33,20 @@ fn main() -> Result<(), pasta::core::Error> {
     println!("\n=== HiCOO, B = 2 (Figure 2a) — {} bytes ===", hicoo.storage_bytes());
     println!("  bptr  = {:?}", hicoo.bptr());
     for m in 0..3 {
-        println!("  binds[{m}] = {:?}  einds[{m}] = {:?}", hicoo.mode_binds(m), hicoo.mode_einds(m));
+        println!(
+            "  binds[{m}] = {:?}  einds[{m}] = {:?}",
+            hicoo.mode_binds(m),
+            hicoo.mode_einds(m)
+        );
     }
     println!("  vals  = {:?}", hicoo.vals());
 
     // gHiCOO compressing modes 0 and 1 only (Figure 2b).
     let ghicoo = GHiCooTensor::from_coo(&coo, 2, &[true, true, false])?;
-    println!("\n=== gHiCOO, modes {{0,1}} blocked (Figure 2b) — {} bytes ===", ghicoo.storage_bytes());
+    println!(
+        "\n=== gHiCOO, modes {{0,1}} blocked (Figure 2b) — {} bytes ===",
+        ghicoo.storage_bytes()
+    );
     println!("  bptr = {:?}", ghicoo.bptr());
     for m in 0..3 {
         match ghicoo.mode_index(m) {
@@ -67,7 +74,12 @@ fn main() -> Result<(), pasta::core::Error> {
 
     let shicoo = SHiCooTensor::from_scoo(&scoo, 2)?;
     println!("\n=== sHiCOO, B = 2 (Figure 2c) — {} bytes ===", shicoo.storage_bytes());
-    println!("  {} blocks over {} fibers, dense volume {}", shicoo.num_blocks(), shicoo.num_fibers(), shicoo.dense_volume());
+    println!(
+        "  {} blocks over {} fibers, dense volume {}",
+        shicoo.num_blocks(),
+        shicoo.num_fibers(),
+        shicoo.dense_volume()
+    );
     for b in 0..shicoo.num_blocks() {
         for f in shicoo.block_range(b) {
             println!(

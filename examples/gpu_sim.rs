@@ -45,9 +45,8 @@ fn main() -> Result<(), pasta::core::Error> {
             s.bound
         );
 
-        let factors: Vec<DenseMatrix<f32>> = (0..3)
-            .map(|m| seeded_matrix(x.shape().dim(m) as usize, 16, 11 + m as u64))
-            .collect();
+        let factors: Vec<DenseMatrix<f32>> =
+            (0..3).map(|m| seeded_matrix(x.shape().dim(m) as usize, 16, 11 + m as u64)).collect();
         let mut mc = GpuMttkrpCoo::new(&x, &factors, 0)?;
         let sc = launch(&device, &mut mc);
         let mut mh = GpuMttkrpHicoo::new(&hicoo, &factors, 0)?;

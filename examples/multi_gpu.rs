@@ -29,11 +29,10 @@ fn main() -> Result<(), pasta::core::Error> {
 
     for g in [2usize, 4, 8] {
         let shards = x.split_nnz(g);
-        let mut kernels: Vec<GpuMttkrpCoo> = shards
-            .iter()
-            .map(|s| GpuMttkrpCoo::new(s, &factors, 0))
-            .collect::<Result<_, _>>()?;
-        let stats = launch_multi(&vec![v100(); g], &mut kernels, &Interconnect::nvlink(), reduce_bytes);
+        let mut kernels: Vec<GpuMttkrpCoo> =
+            shards.iter().map(|s| GpuMttkrpCoo::new(s, &factors, 0)).collect::<Result<_, _>>()?;
+        let stats =
+            launch_multi(&vec![v100(); g], &mut kernels, &Interconnect::nvlink(), reduce_bytes);
         println!(
             "{g:>2}x V100: {:>9.1} us (compute {:.1} us + all-reduce {:.1} us) -> speedup {:.2}x",
             stats.time * 1e6,

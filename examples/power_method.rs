@@ -25,7 +25,10 @@ fn main() -> Result<(), pasta::core::Error> {
     }
     x.dedup_sum();
 
-    let r = tensor_power_method(&x, &PowerOptions { max_iters: 200, tol: 1e-10, seed: 5, ..Default::default() })?;
+    let r = tensor_power_method(
+        &x,
+        &PowerOptions { max_iters: 200, tol: 1e-10, seed: 5, ..Default::default() },
+    )?;
     println!(
         "dominant eigenvalue {:.4} after {} iterations (converged: {})",
         r.lambda, r.iters, r.converged

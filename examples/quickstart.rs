@@ -6,9 +6,7 @@
 
 use pasta::core::{seeded_matrix, seeded_vector, CooTensor, HiCooTensor, TensorStats};
 use pasta::gen::PowerLawGen;
-use pasta::kernels::{
-    mttkrp_coo, tew_coo, ts_coo, ttm_coo, ttv_coo, Ctx, EwOp, Kernel, TsOp,
-};
+use pasta::kernels::{mttkrp_coo, tew_coo, ts_coo, ttm_coo, ttv_coo, Ctx, EwOp, Kernel, TsOp};
 
 fn main() -> Result<(), pasta::core::Error> {
     // 1. Generate a small irregular third-order tensor (two power-law modes,
@@ -47,8 +45,9 @@ fn main() -> Result<(), pasta::core::Error> {
         ttm_out.dense_volume()
     );
 
-    let factors: Vec<_> =
-        (0..3).map(|m| seeded_matrix::<f32>(x.shape().dim(m) as usize, 16, 11 + m as u64)).collect();
+    let factors: Vec<_> = (0..3)
+        .map(|m| seeded_matrix::<f32>(x.shape().dim(m) as usize, 16, 11 + m as u64))
+        .collect();
     let a = mttkrp_coo(&x, &factors, 0, &ctx)?;
     println!("MTTKRP mode 0: output {}x{} matrix", a.rows(), a.cols());
 

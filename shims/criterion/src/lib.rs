@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates-registry access, so the workspace
+//! vendors a minimal bench harness with the API surface the suite's benches
+//! use: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `sample_size`, `throughput`, `bench_function`/`bench_with_input`,
+//! [`BenchmarkId`], and `Bencher::iter`. Each benchmark runs one warm-up
+//! iteration plus `sample_size` timed samples and reports the median,
+//! min, and max per iteration to stdout (one line per benchmark).
+//!
+//! Supports `cargo bench` filtering: a single CLI argument restricts runs to
+//! benchmark ids containing it; `--bench`/`--test` harness flags are ignored.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching criterion's API.
+pub use std::hint::black_box;
+
+/// Top-level bench context; collects results and applies CLI filters.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First free-standing CLI arg (if any) is a substring filter, like
+        // `cargo bench -- <filter>`.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut g = self.benchmark_group("");
+        g.run_named(id, 100, f);
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_id.contains(f))
+    }
+}
+
+/// How work per iteration is reported (accepted but only echoed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self { id: format!("{}/{}", name.into(), param) }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self { id: param.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Records the per-iteration throughput (echoed in the report line).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_named(id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark that receives `input` by reference.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_named(id.into(), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (reports are emitted eagerly; this is a no-op).
+    pub fn finish(self) {}
+
+    fn run_named<F>(&mut self, id: BenchmarkId, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id =
+            if self.name.is_empty() { id.id.clone() } else { format!("{}/{}", self.name, id.id) };
+        if !self.criterion.matches(&full_id) {
+            return;
+        }
+        let mut bencher = Bencher { samples: Vec::with_capacity(samples + 1) };
+        // One warm-up pass, then the timed samples.
+        for _ in 0..samples + 1 {
+            f(&mut bencher);
+        }
+        if bencher.samples.len() > 1 {
+            bencher.samples.remove(0); // drop the warm-up
+        }
+        let mut per_iter: Vec<Duration> = bencher.samples;
+        if per_iter.is_empty() {
+            println!("bench {full_id:<40} (no samples)");
+            return;
+        }
+        per_iter.sort_unstable();
+        let median = per_iter[per_iter.len() / 2];
+        let lo = per_iter[0];
+        let hi = per_iter[per_iter.len() - 1];
+        let thr = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.3} Melem/s", n as f64 / median.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:.3} MiB/s", n as f64 / median.as_secs_f64() / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        println!(
+            "bench {full_id:<40} median {:>12} [{:>12} .. {:>12}]{thr}",
+            fmt_duration(median),
+            fmt_duration(lo),
+            fmt_duration(hi),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Times one sample per [`Bencher::iter`] call.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `f` and records it as a sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.samples.push(start.elapsed());
+        black_box(out);
+    }
+}
+
+/// Declares a bench entry point: `criterion_group!(name, fn1, fn2, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary: `criterion_main!(group1, ...)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("conv", 128).id, "conv/128");
+        assert_eq!(BenchmarkId::from_parameter("static").id, "static");
+    }
+}

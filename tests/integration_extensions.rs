@@ -102,8 +102,7 @@ fn mimicry_matches_shape_and_rough_skew() {
 #[test]
 fn multi_gpu_shards_reproduce_single_device_output() {
     let x = KroneckerGen::new(3).generate(&[512, 512, 512], 10_000, 3).unwrap();
-    let factors: Vec<DenseMatrix<f32>> =
-        (0..3).map(|m| seeded_matrix(512, 4, m as u64)).collect();
+    let factors: Vec<DenseMatrix<f32>> = (0..3).map(|m| seeded_matrix(512, 4, m as u64)).collect();
     let mut single = GpuMttkrpCoo::new(&x, &factors, 1).unwrap();
     launch(&v100(), &mut single);
 

@@ -100,9 +100,8 @@ fn atomic_contention_grows_with_short_output_mode() {
             3,
         )
         .unwrap();
-    let factors_w: Vec<DenseMatrix<f32>> = (0..3)
-        .map(|m| seeded_matrix(wide.shape().dim(m) as usize, 16, m as u64))
-        .collect();
+    let factors_w: Vec<DenseMatrix<f32>> =
+        (0..3).map(|m| seeded_matrix(wide.shape().dim(m) as usize, 16, m as u64)).collect();
     let mut kw = pasta::simt::GpuMttkrpCoo::new(&wide, &factors_w, 0).unwrap();
     let sw = launch(&p100(), &mut kw);
 
@@ -118,9 +117,8 @@ fn atomic_contention_grows_with_short_output_mode() {
             3,
         )
         .unwrap();
-    let factors_n: Vec<DenseMatrix<f32>> = (0..3)
-        .map(|m| seeded_matrix(narrow.shape().dim(m) as usize, 16, m as u64))
-        .collect();
+    let factors_n: Vec<DenseMatrix<f32>> =
+        (0..3).map(|m| seeded_matrix(narrow.shape().dim(m) as usize, 16, m as u64)).collect();
     let mut kn = pasta::simt::GpuMttkrpCoo::new(&narrow, &factors_n, 0).unwrap();
     let sn = launch(&p100(), &mut kn);
 

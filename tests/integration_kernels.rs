@@ -2,7 +2,9 @@
 //! sequential, parallel and the dense oracle, on generated (realistic)
 //! tensors; plus property-based algebraic identities.
 
-use pasta::core::{seeded_matrix, seeded_vector, CooTensor, DenseMatrix, HiCooTensor, Shape, Value};
+use pasta::core::{
+    seeded_matrix, seeded_vector, CooTensor, DenseMatrix, HiCooTensor, Shape, Value,
+};
 use pasta::gen::{KroneckerGen, PowerLawGen};
 use pasta::kernels::dense_ref;
 use pasta::kernels::{
@@ -107,7 +109,12 @@ fn cpd_pipeline_runs_on_generated_data() {
     let x = KroneckerGen::new(3).generate(&[64, 64, 64], 3_000, 5).unwrap();
     let model = pasta::algos::cp_als(
         &x,
-        &pasta::algos::CpdOptions { rank: 4, max_iters: 10, ctx: Ctx::parallel(), ..Default::default() },
+        &pasta::algos::CpdOptions {
+            rank: 4,
+            max_iters: 10,
+            ctx: Ctx::parallel(),
+            ..Default::default()
+        },
     )
     .unwrap();
     assert_eq!(model.factors.len(), 3);

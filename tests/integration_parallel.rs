@@ -1,0 +1,279 @@
+//! Parallel-runtime integration tests: the key-based radix sorts must
+//! reproduce the comparator sorts' permutations bit-for-bit on random
+//! tensors (including duplicate coordinates), kernels with disjoint-write
+//! outputs must be bit-identical between the sequential path and the
+//! pooled parallel path, and running kernels must never spawn OS threads
+//! per call.
+//!
+//! MTTKRP is the one exception to bit-identity: its parallel path
+//! accumulates through atomic floating-point adds whose interleaving is
+//! scheduling-dependent, so it is checked against a tight tolerance
+//! instead.
+
+use pasta::core::morton::morton_cmp;
+use pasta::core::sort::{gather, sort_permutation};
+use pasta::core::{
+    seeded_matrix, seeded_vector, CooTensor, Coord, CsfTensor, DenseMatrix, FCooTensor,
+    GHiCooTensor, HiCooTensor, Shape,
+};
+use pasta::kernels::{
+    mttkrp_coo, mttkrp_csf_root, mttkrp_hicoo, tew_coo_same_pattern, tew_hicoo, ts_coo, ts_hicoo,
+    ttm_coo, ttm_hicoo, ttv_coo, ttv_csf_leaf, ttv_fcoo, ttv_hicoo, Ctx, EwOp, TsOp,
+};
+use pasta::par::Schedule;
+use proptest::prelude::*;
+
+/// Builds a tensor whose values record the original entry positions, so an
+/// equality check on values verifies the whole sort permutation.
+fn position_tagged(shape: Vec<Coord>, coords: Vec<(Coord, Coord, Coord)>) -> CooTensor<f32> {
+    let mut t = CooTensor::<f32>::new(Shape::new(shape));
+    for (pos, (i, j, k)) in coords.into_iter().enumerate() {
+        t.push(&[i, j, k], pos as f32).unwrap();
+    }
+    t
+}
+
+fn entry_rows(t: &CooTensor<f32>) -> Vec<(Vec<Coord>, f32)> {
+    t.iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// COO mode-order sort through the radix path matches a stable
+    /// comparator sort of the entries, for every thread count.
+    #[test]
+    fn prop_radix_coo_sort_matches_stable_comparator(
+        coords in proptest::collection::vec((0u32..24, 0u32..24, 0u32..24), 1..300),
+        mode_order in prop::sample::select(vec![
+            vec![0usize, 1, 2],
+            vec![2, 1, 0],
+            vec![1, 0, 2],
+            vec![2, 0],
+            vec![1],
+        ]),
+    ) {
+        let base = position_tagged(vec![24, 24, 24], coords);
+        // Oracle: std's stable sort over owned entry rows.
+        let mut expected = entry_rows(&base);
+        expected.sort_by(|(ca, _), (cb, _)| {
+            mode_order
+                .iter()
+                .map(|&m| ca[m].cmp(&cb[m]))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for threads in [1usize, 4, 16] {
+            let mut sorted = base.clone();
+            sorted.sort_by_mode_order_threads(&mode_order, threads);
+            prop_assert_eq!(&entry_rows(&sorted), &expected, "threads={}", threads);
+        }
+    }
+
+    /// HiCOO conversion through the packed Morton keys reproduces the
+    /// comparator ordering (Morton on block coords, full-coordinate
+    /// tie-break) exactly, for every thread count and block size.
+    #[test]
+    fn prop_radix_hicoo_matches_comparator_order(
+        coords in proptest::collection::vec((0u32..64, 0u32..64, 0u32..64), 1..300),
+        block_size in prop::sample::select(vec![2u32, 4, 8, 16]),
+    ) {
+        let base = position_tagged(vec![64, 64, 64], coords);
+        let bits = block_size.trailing_zeros();
+        // Oracle: the comparator sort the seed implementation used.
+        let block = |x: usize| -> Vec<Coord> {
+            (0..3).map(|m| base.mode_inds(m)[x] >> bits).collect()
+        };
+        let perm = sort_permutation(base.nnz(), |a, b| {
+            morton_cmp(&block(a), &block(b)).then_with(|| {
+                (0..3)
+                    .map(|m| base.mode_inds(m)[a].cmp(&base.mode_inds(m)[b]))
+                    .find(|o| *o != std::cmp::Ordering::Equal)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+        });
+        let expected_vals = gather(base.vals(), &perm);
+        for threads in [1usize, 4] {
+            let h = HiCooTensor::from_coo_threads(&base, block_size, threads).unwrap();
+            prop_assert_eq!(h.vals(), &expected_vals[..], "threads={}", threads);
+            // And the expansion must be a faithful permutation of the input.
+            let mut back = h.to_coo();
+            back.sort();
+            let mut orig = base.clone();
+            orig.sort();
+            prop_assert_eq!(&back, &orig);
+        }
+    }
+
+    /// gHiCOO conversion: packed keys match the three-level comparator
+    /// (Morton on blocked modes, blocked-coordinate then full-coordinate
+    /// tie-breaks) for every blocked-mode mask.
+    #[test]
+    fn prop_radix_ghicoo_matches_comparator_order(
+        coords in proptest::collection::vec((0u32..64, 0u32..64, 0u32..64), 1..250),
+        mask in 1u32..8,
+        block_size in prop::sample::select(vec![2u32, 4, 8]),
+    ) {
+        let blocked: Vec<bool> = (0..3).map(|m| mask & (1 << m) != 0).collect();
+        let blocked_modes: Vec<usize> = (0..3).filter(|&m| blocked[m]).collect();
+        let full_modes: Vec<usize> = (0..3).filter(|&m| !blocked[m]).collect();
+        let base = position_tagged(vec![64, 64, 64], coords);
+        let bits = block_size.trailing_zeros();
+        let block = |x: usize| -> Vec<Coord> {
+            blocked_modes.iter().map(|&m| base.mode_inds(m)[x] >> bits).collect()
+        };
+        let lex = |modes: &[usize], a: usize, b: usize| {
+            modes
+                .iter()
+                .map(|&m| base.mode_inds(m)[a].cmp(&base.mode_inds(m)[b]))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        };
+        let perm = sort_permutation(base.nnz(), |a, b| {
+            morton_cmp(&block(a), &block(b))
+                .then_with(|| lex(&blocked_modes, a, b))
+                .then_with(|| lex(&full_modes, a, b))
+        });
+        let expected_vals = gather(base.vals(), &perm);
+        for threads in [1usize, 4] {
+            let g = GHiCooTensor::from_coo_threads(&base, block_size, &blocked, threads).unwrap();
+            prop_assert_eq!(g.vals(), &expected_vals[..], "threads={} mask={}", threads, mask);
+        }
+    }
+}
+
+fn test_tensor() -> CooTensor<f32> {
+    pasta::gen::PowerLawGen::new(1.4).generate3(200, 10, 3_000, 77).unwrap()
+}
+
+fn par_ctx(schedule: Schedule) -> Ctx {
+    Ctx { threads: 4, schedule }
+}
+
+const SCHEDULES: [Schedule; 3] = [Schedule::Static, Schedule::Dynamic(64), Schedule::Guided];
+
+#[test]
+fn disjoint_write_kernels_bit_identical_across_thread_counts() {
+    let x = test_tensor();
+    let seq = Ctx::sequential();
+    let hx = HiCooTensor::from_coo(&x, 8).unwrap();
+    for sched in SCHEDULES {
+        let par = par_ctx(sched);
+        // TS and TEW: element-wise, one writer per element.
+        let ts_s = ts_coo(TsOp::Mul, &x, 1.5, &seq).unwrap();
+        let ts_p = ts_coo(TsOp::Mul, &x, 1.5, &par).unwrap();
+        assert_eq!(ts_s, ts_p, "ts_coo {sched}");
+        assert_eq!(
+            ts_hicoo(TsOp::Add, &hx, 2.5, &seq).unwrap(),
+            ts_hicoo(TsOp::Add, &hx, 2.5, &par).unwrap(),
+            "ts_hicoo {sched}"
+        );
+        let y = ts_s;
+        let hy = HiCooTensor::from_coo(&y, 8).unwrap();
+        assert_eq!(
+            tew_coo_same_pattern(EwOp::Add, &x, &y, &seq).unwrap(),
+            tew_coo_same_pattern(EwOp::Add, &x, &y, &par).unwrap(),
+            "tew_coo {sched}"
+        );
+        assert_eq!(
+            tew_hicoo(EwOp::Mul, &hx, &hy, &seq).unwrap(),
+            tew_hicoo(EwOp::Mul, &hx, &hy, &par).unwrap(),
+            "tew_hicoo {sched}"
+        );
+        // TTV/TTM: one writer per fiber; per-fiber accumulation order is
+        // independent of the loop decomposition.
+        for n in 0..3 {
+            let v = seeded_vector::<f32>(x.shape().dim(n) as usize, 9);
+            assert_eq!(
+                ttv_coo(&x, &v, n, &seq).unwrap(),
+                ttv_coo(&x, &v, n, &par).unwrap(),
+                "ttv_coo mode {n} {sched}"
+            );
+            assert_eq!(
+                ttv_hicoo(&x, &v, n, 8, &seq).unwrap().to_coo(),
+                ttv_hicoo(&x, &v, n, 8, &par).unwrap().to_coo(),
+                "ttv_hicoo mode {n} {sched}"
+            );
+            let u = seeded_matrix::<f32>(x.shape().dim(n) as usize, 8, 13);
+            assert_eq!(
+                ttm_coo(&x, &u, n, &seq).unwrap().to_coo(),
+                ttm_coo(&x, &u, n, &par).unwrap().to_coo(),
+                "ttm_coo mode {n} {sched}"
+            );
+            assert_eq!(
+                ttm_hicoo(&x, &u, n, 8, &seq).unwrap().to_scoo().unwrap().to_coo(),
+                ttm_hicoo(&x, &u, n, 8, &par).unwrap().to_scoo().unwrap().to_coo(),
+                "ttm_hicoo mode {n} {sched}"
+            );
+        }
+        // CSF TTV (leaf mode) and F-COO TTV.
+        let csf = CsfTensor::from_coo(&x, &[0, 1, 2]).unwrap();
+        let v = seeded_vector::<f32>(x.shape().dim(2) as usize, 21);
+        assert_eq!(
+            ttv_csf_leaf(&csf, &v, &seq).unwrap(),
+            ttv_csf_leaf(&csf, &v, &par).unwrap(),
+            "ttv_csf_leaf {sched}"
+        );
+        let fcoo = FCooTensor::from_coo(&x, 2).unwrap();
+        assert_eq!(
+            ttv_fcoo(&fcoo, &v, &seq).unwrap(),
+            ttv_fcoo(&fcoo, &v, &par).unwrap(),
+            "ttv_fcoo {sched}"
+        );
+    }
+}
+
+#[test]
+fn mttkrp_parallel_matches_sequential_within_tolerance() {
+    let x = test_tensor();
+    let seq = Ctx::sequential();
+    let factors: Vec<DenseMatrix<f32>> =
+        (0..3).map(|m| seeded_matrix(x.shape().dim(m) as usize, 8, 31 + m as u64)).collect();
+    let hx = HiCooTensor::from_coo(&x, 8).unwrap();
+    let csf = CsfTensor::from_coo(&x, &[0, 1, 2]).unwrap();
+    for sched in SCHEDULES {
+        let par = par_ctx(sched);
+        for n in 0..3 {
+            let s = mttkrp_coo(&x, &factors, n, &seq).unwrap();
+            let p = mttkrp_coo(&x, &factors, n, &par).unwrap();
+            for (a, b) in s.as_slice().iter().zip(p.as_slice()) {
+                assert!(
+                    (a - b).abs() <= 1e-3 * a.abs().max(1.0),
+                    "mttkrp_coo {n} {sched}: {a} vs {b}"
+                );
+            }
+            let hs = mttkrp_hicoo(&hx, &factors, n, &seq).unwrap();
+            let hp = mttkrp_hicoo(&hx, &factors, n, &par).unwrap();
+            for (a, b) in hs.as_slice().iter().zip(hp.as_slice()) {
+                assert!((a - b).abs() <= 1e-3 * a.abs().max(1.0), "mttkrp_hicoo {n} {sched}");
+            }
+        }
+        let cs = mttkrp_csf_root(&csf, &factors, &seq).unwrap();
+        let cp = mttkrp_csf_root(&csf, &factors, &par).unwrap();
+        for (a, b) in cs.as_slice().iter().zip(cp.as_slice()) {
+            assert!((a - b).abs() <= 1e-3 * a.abs().max(1.0), "mttkrp_csf {sched}");
+        }
+    }
+}
+
+#[test]
+fn kernels_reuse_pooled_threads() {
+    let x = test_tensor();
+    let par = Ctx::parallel();
+    // Warm up: first parallel call may lazily spawn the global pool.
+    let v = seeded_vector::<f32>(x.shape().dim(0) as usize, 3);
+    ttv_coo(&x, &v, 0, &par).unwrap();
+    let warm = pasta::par::threads_spawned();
+    for _ in 0..25 {
+        ttv_coo(&x, &v, 0, &par).unwrap();
+        ts_coo(TsOp::Mul, &x, 2.0, &par).unwrap();
+        HiCooTensor::from_coo(&x, 8).unwrap();
+        let mut t = x.clone();
+        t.sort_by_mode_order_threads(&[2, 1, 0], 4);
+    }
+    assert_eq!(
+        pasta::par::threads_spawned(),
+        warm,
+        "kernel and conversion calls must not spawn OS threads per invocation"
+    );
+}

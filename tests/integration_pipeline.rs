@@ -40,8 +40,8 @@ fn rooflines_bound_the_model() {
         for k in Kernel::ALL {
             for fmt in [Format::Coo, Format::Hicoo] {
                 let run = model_run(&spec, k, fmt, &f, 16);
-                let llc_bound = roof.attainable_llc(run.roofline_gflops * 1e9 / roof.ert_dram_bw)
-                    / 1e9;
+                let llc_bound =
+                    roof.attainable_llc(run.roofline_gflops * 1e9 / roof.ert_dram_bw) / 1e9;
                 // Sub-unity calibrated slowdowns (e.g. V100's independent
                 // int/fp datapaths on MTTKRP, per the paper's Observation 2)
                 // may push slightly past the cache roof.
@@ -118,7 +118,8 @@ fn table1_ois_match_paper_in_the_limit() {
 #[test]
 fn synthetic_dataset_covers_both_generators_and_orders() {
     let profiles = synthetic_profiles();
-    let kron = profiles.iter().filter(|p| matches!(p.method, pasta::gen::Method::Kronecker)).count();
+    let kron =
+        profiles.iter().filter(|p| matches!(p.method, pasta::gen::Method::Kronecker)).count();
     let pl = profiles.len() - kron;
     assert_eq!(kron, 6); // regS/M/L and regS4d/M4d/L4d
     assert_eq!(pl, 9);
