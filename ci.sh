@@ -15,4 +15,7 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> MTTKRP bench smoke (strategy dispatch, untimed)"
+PASTA_BENCH_SCALE=0.02 cargo bench -p pasta-bench --bench mttkrp -- --test
+
 echo "==> CI gate passed"

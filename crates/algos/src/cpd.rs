@@ -8,7 +8,6 @@
 use pasta_core::linalg::{gram, hadamard, normalize_columns, Cholesky};
 use pasta_core::{seeded_matrix, CooTensor, DenseMatrix, Error, Result, Value};
 use pasta_kernels::{mttkrp_coo, mttkrp_hicoo, Ctx};
-use pasta_par::Atomically;
 
 /// Which kernel backend CP-ALS drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,7 +103,7 @@ impl<V: Value> CpdModel<V> {
 /// # Ok(())
 /// # }
 /// ```
-pub fn cp_als<V: Value + Atomically>(x: &CooTensor<V>, opts: &CpdOptions) -> Result<CpdModel<V>> {
+pub fn cp_als<V: Value>(x: &CooTensor<V>, opts: &CpdOptions) -> Result<CpdModel<V>> {
     if opts.rank == 0 {
         return Err(Error::OperandMismatch { what: "rank must be positive".into() });
     }

@@ -1,30 +1,66 @@
-//! Criterion bench: MTTKRP with R = 16 — atomic non-zero-parallel COO vs
-//! block-parallel HiCOO, plus the sequential baseline.
+//! Criterion bench: MTTKRP with R = 16 — the contention-free strategies
+//! (owner-computes, privatized reduction) against the retired atomic
+//! baseline and the sequential loop, COO and HiCOO.
+//!
+//! Set `PASTA_BENCH_SCALE` (default 0.5) to shrink or grow the dataset;
+//! CI runs `--test` mode at a small scale to exercise strategy dispatch
+//! without timing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pasta_bench::datasets::{load_one, RANK};
+use pasta_bench::runner::mttkrp_coo_atomic;
 use pasta_core::{seeded_matrix, DenseMatrix};
-use pasta_kernels::{mttkrp_coo, mttkrp_hicoo, Ctx};
+use pasta_kernels::{
+    mttkrp_coo, mttkrp_coo_traced, mttkrp_hicoo, Ctx, MttkrpCooPlan, StrategyChoice,
+};
+
+fn bench_scale() -> f64 {
+    std::env::var("PASTA_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.5)
+}
 
 fn bench_mttkrp(c: &mut Criterion) {
     let par = Ctx::parallel();
     let seq = Ctx::sequential();
+    let scale = bench_scale();
     let mut group = c.benchmark_group("mttkrp");
     group.sample_size(10);
     for key in ["regS", "irrS"] {
-        let bt = load_one(key, 0.5).expect("profile");
+        let bt = load_one(key, scale).expect("profile");
         let m = bt.tensor.nnz();
         group.throughput(Throughput::Elements(3 * RANK as u64 * m as u64));
         let factors: Vec<DenseMatrix<f32>> = (0..bt.tensor.order())
             .map(|mm| seeded_matrix(bt.tensor.shape().dim(mm) as usize, RANK, 11 + mm as u64))
             .collect();
 
-        group.bench_with_input(BenchmarkId::new("coo-par", key), &m, |b, _| {
+        // Auto dispatch (what `run_host` measures).
+        group.bench_with_input(BenchmarkId::new("coo-auto", key), &m, |b, _| {
             b.iter(|| mttkrp_coo(&bt.tensor, &factors, 0, &par).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("coo-seq", key), &m, |b, _| {
             b.iter(|| mttkrp_coo(&bt.tensor, &factors, 0, &seq).unwrap());
         });
+
+        // Strategy ablation: atomic baseline vs the two schedules.
+        group.bench_with_input(BenchmarkId::new("coo-atomic", key), &m, |b, _| {
+            b.iter(|| mttkrp_coo_atomic(&bt.tensor, &factors, 0, &par));
+        });
+        let plan = MttkrpCooPlan::new(&bt.tensor, 0, &par.with_mttkrp(StrategyChoice::Owner))
+            .expect("plan");
+        group.bench_with_input(BenchmarkId::new("coo-owner", key), &m, |b, _| {
+            b.iter(|| plan.execute(&factors).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("coo-priv", key), &m, |b, _| {
+            b.iter(|| {
+                mttkrp_coo_traced(
+                    &bt.tensor,
+                    &factors,
+                    0,
+                    &par.with_mttkrp(StrategyChoice::Privatized),
+                )
+                .unwrap()
+            });
+        });
+
         group.bench_with_input(BenchmarkId::new("hicoo-par", key), &m, |b, _| {
             b.iter(|| mttkrp_hicoo(&bt.hicoo, &factors, 0, &par).unwrap());
         });

@@ -8,7 +8,7 @@
 //! `results/BENCH_host.json` for downstream tooling.
 
 use pasta_bench::datasets::{load_dataset, DatasetKind};
-use pasta_bench::runner::{mode_avg_cost, run_host};
+use pasta_bench::runner::{mode_avg_cost, run_host, run_host_mttkrp_variant, MttkrpVariant};
 use pasta_kernels::{Ctx, Kernel};
 use pasta_par::Schedule;
 use pasta_platform::Format;
@@ -22,6 +22,7 @@ struct Record {
     time_ns: f64,
     gflops: f64,
     oi: f64,
+    strategy: String,
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
@@ -50,7 +51,8 @@ fn write_json(path: &std::path::Path, records: &[Record]) -> std::io::Result<()>
         writeln!(
             f,
             "  {{\"tensor\": \"{}\", \"name\": \"{}\", \"nnz\": {}, \"kernel\": \"{}\", \
-             \"format\": \"{}\", \"time_ns\": {:.1}, \"gflops\": {:.4}, \"oi\": {:.4}}}{}",
+             \"format\": \"{}\", \"time_ns\": {:.1}, \"gflops\": {:.4}, \"oi\": {:.4}, \
+             \"strategy\": \"{}\"}}{}",
             json_escape(&r.tensor),
             json_escape(&r.name),
             r.nnz,
@@ -59,6 +61,7 @@ fn write_json(path: &std::path::Path, records: &[Record]) -> std::io::Result<()>
             r.time_ns,
             r.gflops,
             r.oi,
+            json_escape(&r.strategy),
             comma
         )?;
     }
@@ -82,14 +85,15 @@ fn main() {
     eprintln!("materializing dataset at scale {scale}...");
     let tensors = load_dataset(kind, scale);
     let mut records = Vec::new();
-    println!("tensor,name,nnz,kernel,format,time_s,gflops,oi");
+    println!("tensor,name,nnz,kernel,format,time_s,gflops,oi,strategy");
     for bt in &tensors {
         for k in Kernel::ALL {
             for fmt in [Format::Coo, Format::Hicoo] {
                 let run = run_host(bt, k, fmt, &ctx);
                 let (flops, bytes) = mode_avg_cost(bt, k, fmt);
+                let strategy = run.strategy.clone().unwrap_or_default();
                 println!(
-                    "{},{},{},{},{},{:.6e},{:.4},{:.4}",
+                    "{},{},{},{},{},{:.6e},{:.4},{:.4},{}",
                     bt.profile.id,
                     bt.profile.name,
                     bt.stats.nnz,
@@ -97,7 +101,8 @@ fn main() {
                     fmt,
                     run.time,
                     run.gflops,
-                    flops / bytes
+                    flops / bytes,
+                    strategy
                 );
                 if json {
                     records.push(Record {
@@ -109,8 +114,40 @@ fn main() {
                         time_ns: run.time * 1e9,
                         gflops: run.gflops,
                         oi: flops / bytes,
+                        strategy,
                     });
                 }
+            }
+        }
+        // The serial-atomic vs owner-computes vs privatized MTTKRP ablation
+        // (COO only; the atomic baseline lives in this crate).
+        for variant in [MttkrpVariant::Atomic, MttkrpVariant::Owner, MttkrpVariant::Privatized] {
+            let run = run_host_mttkrp_variant(bt, variant, &ctx);
+            let (flops, bytes) = mode_avg_cost(bt, Kernel::Mttkrp, Format::Coo);
+            let strategy = run.strategy.clone().unwrap_or_default();
+            println!(
+                "{},{},{},MTTKRP[{}],coo,{:.6e},{:.4},{:.4},{}",
+                bt.profile.id,
+                bt.profile.name,
+                bt.stats.nnz,
+                variant,
+                run.time,
+                run.gflops,
+                flops / bytes,
+                strategy
+            );
+            if json {
+                records.push(Record {
+                    tensor: bt.profile.id.to_string(),
+                    name: bt.profile.name.to_string(),
+                    nnz: bt.stats.nnz,
+                    kernel: format!("MTTKRP[{variant}]"),
+                    format: "coo".to_string(),
+                    time_ns: run.time * 1e9,
+                    gflops: run.gflops,
+                    oi: flops / bytes,
+                    strategy,
+                });
             }
         }
     }

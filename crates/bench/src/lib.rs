@@ -28,4 +28,4 @@ pub mod tables;
 
 pub use datasets::{load_dataset, load_one, BenchTensor, DatasetKind, BLOCK_SIZE, RANK};
 pub use figures::{figure_rows, model_row, to_csv, FigureRow};
-pub use runner::{run_host, HostRun};
+pub use runner::{mttkrp_coo_atomic, run_host, run_host_mttkrp_variant, HostRun, MttkrpVariant};

@@ -7,11 +7,13 @@
 //! counts, exactly as the paper computes its y-axes.
 
 use crate::datasets::{BenchTensor, RANK};
-use pasta_core::{seeded_matrix, seeded_vector, DenseMatrix, DenseVector};
+use pasta_core::{seeded_matrix, seeded_vector, CooTensor, DenseMatrix, DenseVector, Value};
 use pasta_kernels::{
-    kernel_cost, mttkrp_coo, mttkrp_hicoo, tew_values_into, ts_values_into, CostParams, Ctx, EwOp,
-    Kernel, TsOp, TtmCooPlan, TtmHicooPlan, TtvCooPlan, TtvHicooPlan,
+    kernel_cost, mttkrp_coo_traced, mttkrp_hicoo_traced, tew_values_into, ts_values_into,
+    CostParams, Ctx, EwOp, Kernel, MttkrpCooPlan, StrategyChoice, TsOp, TtmCooPlan, TtmHicooPlan,
+    TtvCooPlan, TtvHicooPlan,
 };
+use pasta_par::{parallel_for, Atomically};
 use pasta_platform::Format;
 use std::time::Instant;
 
@@ -19,7 +21,7 @@ use std::time::Instant;
 pub const REPS: usize = 5;
 
 /// One host-measured kernel result.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HostRun {
     /// Mean kernel time in seconds (mode-averaged where applicable).
     pub time: f64,
@@ -27,6 +29,10 @@ pub struct HostRun {
     pub flops: f64,
     /// Achieved GFLOPS.
     pub gflops: f64,
+    /// The MTTKRP schedules that ran, in mode order and deduplicated
+    /// (e.g. `"owner"` or `"owner+privatized-dense"`); `None` for kernels
+    /// without strategy dispatch.
+    pub strategy: Option<String>,
 }
 
 fn time_reps<F: FnMut()>(mut f: F) -> f64 {
@@ -60,7 +66,7 @@ pub fn run_host(bt: &BenchTensor, kernel: Kernel, format: Format, ctx: &Ctx) -> 
             let time = time_reps(|| {
                 tew_values_into(EwOp::Add, &xv, &yv, &mut out, ctx).expect("tew");
             });
-            HostRun { time, flops: m, gflops: m / time / 1e9 }
+            HostRun { time, flops: m, gflops: m / time / 1e9, strategy: None }
         }
         Kernel::Ts => {
             let mut out = vec![0.0f32; x.nnz()];
@@ -71,7 +77,7 @@ pub fn run_host(bt: &BenchTensor, kernel: Kernel, format: Format, ctx: &Ctx) -> 
             let time = time_reps(|| {
                 ts_values_into(TsOp::Mul, &xv, 1.5, &mut out, ctx).expect("ts");
             });
-            HostRun { time, flops: m, gflops: m / time / 1e9 }
+            HostRun { time, flops: m, gflops: m / time / 1e9, strategy: None }
         }
         Kernel::Ttv => {
             let mut total = 0.0;
@@ -93,7 +99,7 @@ pub fn run_host(bt: &BenchTensor, kernel: Kernel, format: Format, ctx: &Ctx) -> 
             }
             let time = total / order as f64;
             let flops = 2.0 * m;
-            HostRun { time, flops, gflops: flops / time / 1e9 }
+            HostRun { time, flops, gflops: flops / time / 1e9, strategy: None }
         }
         Kernel::Ttm => {
             let mut total = 0.0;
@@ -115,28 +121,152 @@ pub fn run_host(bt: &BenchTensor, kernel: Kernel, format: Format, ctx: &Ctx) -> 
             }
             let time = total / order as f64;
             let flops = 2.0 * m * RANK as f64;
-            HostRun { time, flops, gflops: flops / time / 1e9 }
+            HostRun { time, flops, gflops: flops / time / 1e9, strategy: None }
         }
         Kernel::Mttkrp => {
             let factors: Vec<DenseMatrix<f32>> = (0..order)
                 .map(|mm| seeded_matrix(x.shape().dim(mm) as usize, RANK, 11 + mm as u64))
                 .collect();
             let mut total = 0.0;
+            let mut strategies: Vec<String> = Vec::new();
             for n in 0..order {
+                let mut note = String::new();
                 total += match format {
                     Format::Coo => time_reps(|| {
-                        mttkrp_coo(x, &factors, n, ctx).expect("mttkrp");
+                        let (_, run) = mttkrp_coo_traced(x, &factors, n, ctx).expect("mttkrp");
+                        note = run.strategy.to_string();
                     }),
                     Format::Hicoo => time_reps(|| {
-                        mttkrp_hicoo(&bt.hicoo, &factors, n, ctx).expect("mttkrp");
+                        let (_, run) =
+                            mttkrp_hicoo_traced(&bt.hicoo, &factors, n, ctx).expect("mttkrp");
+                        note = run.strategy.to_string();
                     }),
                 };
+                if !strategies.contains(&note) {
+                    strategies.push(note);
+                }
             }
             let time = total / order as f64;
             let flops = 3.0 * m * RANK as f64;
-            HostRun { time, flops, gflops: flops / time / 1e9 }
+            HostRun {
+                time,
+                flops,
+                gflops: flops / time / 1e9,
+                strategy: Some(strategies.join("+")),
+            }
         }
     }
+}
+
+/// The three COO-MTTKRP implementations the strategy benches compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MttkrpVariant {
+    /// The pre-scheduling baseline: non-zero-parallel with atomic adds on
+    /// the shared output (kept here so the kernel crate stays atomic-free).
+    Atomic,
+    /// Owner-computes via a [`MttkrpCooPlan`] (re-sorts once per mode).
+    Owner,
+    /// Privatized reduction, forced regardless of sort state.
+    Privatized,
+}
+
+impl std::fmt::Display for MttkrpVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MttkrpVariant::Atomic => "atomic",
+            MttkrpVariant::Owner => "owner",
+            MttkrpVariant::Privatized => "privatized",
+        })
+    }
+}
+
+/// The retired atomic COO-MTTKRP, preserved as the bench baseline the
+/// contention-free strategies are measured against.
+///
+/// Non-zero-parallel with one atomic CAS-add per output cell — the paper's
+/// `omp atomic` formulation that the scheduling layer replaced.
+///
+/// # Panics
+///
+/// Panics on inconsistent operands (bench inputs are constructed
+/// consistently; use the kernel crate's checked entry points elsewhere).
+pub fn mttkrp_coo_atomic<V: Value + Atomically>(
+    x: &CooTensor<V>,
+    factors: &[DenseMatrix<V>],
+    n: usize,
+    ctx: &Ctx,
+) -> DenseMatrix<V> {
+    let r = factors[0].cols();
+    let order = x.order();
+    let mut out = DenseMatrix::zeros(x.shape().dim(n) as usize, r);
+    let cells = V::as_atomics(out.as_mut_slice());
+    parallel_for(x.nnz(), ctx.threads, ctx.schedule, |range| {
+        let mut tmp = vec![V::ZERO; r];
+        for xx in range {
+            tmp.fill(x.vals()[xx]);
+            for (m, factor) in factors.iter().enumerate().take(order) {
+                if m != n {
+                    let row = factor.row(x.mode_inds(m)[xx] as usize);
+                    for (t, &u) in tmp.iter_mut().zip(row) {
+                        *t *= u;
+                    }
+                }
+            }
+            let base = x.mode_inds(n)[xx] as usize * r;
+            for (rr, &t) in tmp.iter().enumerate() {
+                V::atomic_add(&cells[base + rr], t);
+            }
+        }
+    });
+    out
+}
+
+/// Times one COO-MTTKRP variant mode-averaged over all modes (the
+/// serial-atomic vs owner-computes vs privatized comparison emitted into
+/// `results/BENCH_host.json`).
+///
+/// # Panics
+///
+/// Panics only on internal errors (operands are constructed consistently).
+pub fn run_host_mttkrp_variant(bt: &BenchTensor, variant: MttkrpVariant, ctx: &Ctx) -> HostRun {
+    let x = &bt.tensor;
+    let order = x.order();
+    let m = x.nnz() as f64;
+    let factors: Vec<DenseMatrix<f32>> = (0..order)
+        .map(|mm| seeded_matrix(x.shape().dim(mm) as usize, RANK, 11 + mm as u64))
+        .collect();
+    let mut total = 0.0;
+    let mut strategies: Vec<String> = Vec::new();
+    for n in 0..order {
+        let mut note = variant.to_string();
+        total += match variant {
+            MttkrpVariant::Atomic => time_reps(|| {
+                mttkrp_coo_atomic(x, &factors, n, ctx);
+            }),
+            MttkrpVariant::Owner => {
+                // Plan construction (the one-off re-sort) is pre-processing,
+                // like the TTV/TTM plans: only execution is timed.
+                let plan = MttkrpCooPlan::new(x, n, &ctx.with_mttkrp(StrategyChoice::Owner))
+                    .expect("plan");
+                time_reps(|| {
+                    let (_, run) = plan.execute(&factors).expect("mttkrp");
+                    note = run.strategy.to_string();
+                })
+            }
+            MttkrpVariant::Privatized => time_reps(|| {
+                let (_, run) =
+                    mttkrp_coo_traced(x, &factors, n, &ctx.with_mttkrp(StrategyChoice::Privatized))
+                        .expect("mttkrp");
+                note = run.strategy.to_string();
+            }),
+        };
+        if !strategies.contains(&note) {
+            strategies.push(note);
+        }
+    }
+    let time = total / order as f64;
+    let flops = 3.0 * m * RANK as f64;
+    HostRun { time, flops, gflops: flops / time / 1e9, strategy: Some(strategies.join("+")) }
 }
 
 /// Mode-averaged Table I cost of a kernel on this tensor (for Roofline
@@ -178,6 +308,37 @@ mod tests {
                 assert!(r.time > 0.0 && r.time.is_finite(), "{k} {fmt}");
                 assert!(r.gflops > 0.0, "{k} {fmt}");
             }
+        }
+    }
+
+    #[test]
+    fn host_run_reports_mttkrp_strategy() {
+        let bt = load_one("regS", 0.01).unwrap();
+        let ctx = Ctx::new(2, pasta_par::Schedule::Static);
+        let r = run_host(&bt, Kernel::Mttkrp, Format::Coo, &ctx);
+        let s = r.strategy.as_deref().expect("MTTKRP reports a strategy");
+        assert!(!s.is_empty());
+        let r = run_host(&bt, Kernel::Tew, Format::Coo, &ctx);
+        assert!(r.strategy.is_none(), "TEW has no strategy dispatch");
+    }
+
+    #[test]
+    fn mttkrp_variants_agree() {
+        let bt = load_one("irrS", 0.01).unwrap();
+        let ctx = Ctx::new(2, pasta_par::Schedule::Static);
+        for v in [MttkrpVariant::Atomic, MttkrpVariant::Owner, MttkrpVariant::Privatized] {
+            let r = run_host_mttkrp_variant(&bt, v, &ctx);
+            assert!(r.time > 0.0 && r.gflops > 0.0, "{v}");
+            assert!(r.strategy.is_some());
+        }
+        // Correctness of the baseline itself, against the checked kernel.
+        let factors: Vec<DenseMatrix<f32>> = (0..bt.tensor.order())
+            .map(|mm| seeded_matrix(bt.tensor.shape().dim(mm) as usize, 4, 3 + mm as u64))
+            .collect();
+        let atomic = mttkrp_coo_atomic(&bt.tensor, &factors, 0, &ctx);
+        let (checked, _) = mttkrp_coo_traced(&bt.tensor, &factors, 0, &Ctx::sequential()).unwrap();
+        for (a, b) in atomic.as_slice().iter().zip(checked.as_slice()) {
+            assert!((a - b).abs() <= 1e-3 * a.abs().max(1.0), "{a} vs {b}");
         }
     }
 

@@ -11,6 +11,53 @@ use crate::shape::{Coord, Shape};
 use crate::sort::{apply_permutation, lex_cmp, mode_last_order, par_sort_keys, sort_permutation};
 use crate::value::Value;
 
+/// The entry ordering a [`CooTensor`] is known to satisfy.
+///
+/// Set by the sorters ([`CooTensor::sort_by_mode_order`] and friends, or
+/// [`CooTensor::assume_sorted_by`] for producers that emit pre-ordered
+/// entries) and invalidated by any mutation of the non-zero pattern
+/// ([`CooTensor::push`]). Kernels dispatch on this typed state instead of
+/// assuming an ordering: the owner-computes MTTKRP schedule, for example,
+/// requires [`SortState::outermost`] to equal the product mode.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum SortState {
+    /// No ordering is known (freshly built, loaded, or mutated).
+    #[default]
+    Unsorted,
+    /// Entries are sorted lexicographically by the listed modes (a prefix of
+    /// a mode permutation; entries equal on all listed modes keep their
+    /// relative order).
+    Lexicographic {
+        /// The modes compared, outermost first.
+        mode_order: Vec<usize>,
+    },
+}
+
+impl SortState {
+    /// The sorted mode order, if one is known.
+    pub fn mode_order(&self) -> Option<&[usize]> {
+        match self {
+            SortState::Unsorted => None,
+            SortState::Lexicographic { mode_order } => Some(mode_order),
+        }
+    }
+
+    /// The outermost (slowest-varying) sorted mode, if known.
+    ///
+    /// When this equals `n`, the mode-`n` index array is non-decreasing and
+    /// every output row of a mode-`n` MTTKRP occupies one contiguous entry
+    /// range — the precondition for owner-computes scheduling.
+    pub fn outermost(&self) -> Option<usize> {
+        self.mode_order().and_then(|o| o.first().copied())
+    }
+
+    /// The innermost (fastest-varying) sorted mode, if known — the product
+    /// mode for which [`crate::FiberIndex`] can be built directly.
+    pub fn innermost(&self) -> Option<usize> {
+        self.mode_order().and_then(|o| o.last().copied())
+    }
+}
+
 /// A sparse tensor in coordinate (COO) format.
 ///
 /// Indices are stored *columnar*: `inds[m][x]` is the mode-`m` index of the
@@ -37,8 +84,8 @@ pub struct CooTensor<V> {
     shape: Shape,
     inds: Vec<Vec<Coord>>,
     vals: Vec<V>,
-    /// Mode order the entries are currently sorted by, if known.
-    sorted_by: Option<Vec<usize>>,
+    /// The entry ordering currently known to hold.
+    sort: SortState,
 }
 
 impl<V: PartialEq> PartialEq for CooTensor<V> {
@@ -53,7 +100,7 @@ impl<V: Value> CooTensor<V> {
     /// Creates an empty tensor of the given shape.
     pub fn new(shape: Shape) -> Self {
         let order = shape.order();
-        Self { shape, inds: vec![Vec::new(); order], vals: Vec::new(), sorted_by: None }
+        Self { shape, inds: vec![Vec::new(); order], vals: Vec::new(), sort: SortState::Unsorted }
     }
 
     /// Creates an empty tensor with capacity for `cap` non-zeros.
@@ -63,7 +110,7 @@ impl<V: Value> CooTensor<V> {
             shape,
             inds: vec![Vec::with_capacity(cap); order],
             vals: Vec::with_capacity(cap),
-            sorted_by: None,
+            sort: SortState::Unsorted,
         }
     }
 
@@ -110,7 +157,7 @@ impl<V: Value> CooTensor<V> {
                 return Err(Error::IndexOutOfBounds { mode, index: bad, dim });
             }
         }
-        Ok(Self { shape, inds, vals, sorted_by: None })
+        Ok(Self { shape, inds, vals, sort: SortState::Unsorted })
     }
 
     /// Appends one non-zero entry.
@@ -124,7 +171,7 @@ impl<V: Value> CooTensor<V> {
             col.push(c);
         }
         self.vals.push(value);
-        self.sorted_by = None;
+        self.sort = SortState::Unsorted;
         Ok(())
     }
 
@@ -191,7 +238,13 @@ impl<V: Value> CooTensor<V> {
     /// The mode order the entries are currently sorted by, if tracked.
     #[inline]
     pub fn sorted_by(&self) -> Option<&[usize]> {
-        self.sorted_by.as_deref()
+        self.sort.mode_order()
+    }
+
+    /// The typed sort state of the entries (see [`SortState`]).
+    #[inline]
+    pub fn sort_state(&self) -> &SortState {
+        &self.sort
     }
 
     /// Sorts entries lexicographically in natural mode order `0, 1, …, N−1`.
@@ -228,7 +281,7 @@ impl<V: Value> CooTensor<V> {
         for &m in mode_order {
             assert!(m < self.order(), "mode {m} out of range");
         }
-        if self.sorted_by.as_deref() == Some(mode_order) {
+        if self.sort.mode_order() == Some(mode_order) {
             return;
         }
         let perm = match lex_keys(&self.inds, self.shape.dims(), mode_order) {
@@ -239,7 +292,7 @@ impl<V: Value> CooTensor<V> {
             }
         };
         apply_permutation(&mut self.inds, &mut self.vals, &perm);
-        self.sorted_by = Some(mode_order.to_vec());
+        self.sort = SortState::Lexicographic { mode_order: mode_order.to_vec() };
     }
 
     /// Sorts entries so that mode-`n` fibers are contiguous: lexicographic in
@@ -331,7 +384,7 @@ impl<V: Value> CooTensor<V> {
             shape: self.shape.clone(),
             inds: self.inds.clone(),
             vals: vec![fill; self.nnz()],
-            sorted_by: self.sorted_by.clone(),
+            sort: self.sort.clone(),
         }
     }
 
@@ -384,7 +437,7 @@ impl<V: Value> CooTensor<V> {
             (1..self.nnz())
                 .all(|x| lex_cmp(&self.inds, &mode_order, x - 1, x) != std::cmp::Ordering::Greater)
         });
-        self.sorted_by = Some(mode_order);
+        self.sort = SortState::Lexicographic { mode_order };
     }
 }
 

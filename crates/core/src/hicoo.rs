@@ -286,6 +286,21 @@ impl<V: Value> HiCooTensor<V> {
         self.bptr[b]..self.bptr[b + 1]
     }
 
+    /// Whether the mode-`m` block indices are non-decreasing across blocks.
+    ///
+    /// Morton-sorted HiCOO tensors satisfy this for mode 0 by construction.
+    /// When it holds for a product mode `n`, output rows of a mode-`n`
+    /// MTTKRP are confined to runs of blocks sharing a `binds[n]` value, so
+    /// block ranges cut at `binds[n]` boundaries can be written without
+    /// synchronization (owner-computes scheduling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= self.order()`.
+    pub fn mode_binds_monotone(&self, m: usize) -> bool {
+        self.binds[m].windows(2).all(|w| w[0] <= w[1])
+    }
+
     /// The block coordinates of block `b`.
     ///
     /// # Panics

@@ -65,7 +65,7 @@ pub mod stats;
 pub mod validate;
 pub mod value;
 
-pub use coo::CooTensor;
+pub use coo::{CooTensor, SortState};
 pub use csf::CsfTensor;
 pub use dense::{seeded_matrix, seeded_vector, DenseMatrix, DenseVector};
 pub use error::{Error, Result};

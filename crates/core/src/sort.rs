@@ -247,6 +247,34 @@ pub fn mode_last_order(order: usize, product_mode: usize) -> Vec<usize> {
     v
 }
 
+/// The mode order that puts `mode` first and keeps the remaining modes in
+/// ascending order, e.g. `mode_first_order(4, 1) == [1, 0, 2, 3]`.
+///
+/// Sorting by this order makes the mode-`mode` index array non-decreasing,
+/// which is exactly what the owner-computes MTTKRP schedule needs: all
+/// non-zeros contributing to one output row become contiguous, so the rows
+/// can be partitioned among threads without write conflicts.
+///
+/// # Panics
+///
+/// Panics if `mode >= order`.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::sort::mode_first_order;
+///
+/// assert_eq!(mode_first_order(4, 1), vec![1, 0, 2, 3]);
+/// assert_eq!(mode_first_order(3, 0), vec![0, 1, 2]);
+/// ```
+pub fn mode_first_order(order: usize, mode: usize) -> Vec<usize> {
+    assert!(mode < order);
+    let mut v = Vec::with_capacity(order);
+    v.push(mode);
+    v.extend((0..order).filter(|&m| m != mode));
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +302,19 @@ mod tests {
         assert_eq!(inds[0], vec![0, 1, 2]);
         assert_eq!(inds[1], vec![0, 10, 20]);
         assert_eq!(vals, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn mode_first_order_is_permutation() {
+        for order in 1..5 {
+            for n in 0..order {
+                let p = mode_first_order(order, n);
+                assert_eq!(p[0], n);
+                let mut sorted = p.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..order).collect::<Vec<_>>());
+            }
+        }
     }
 
     #[test]

@@ -135,6 +135,101 @@ pub fn kernel_cost(kernel: Kernel, p: &CostParams) -> KernelCost {
     }
 }
 
+/// The MTTKRP schedule a traced execution actually used.
+///
+/// [`StrategyChoice`](crate::ctx::StrategyChoice) is the *request*
+/// (auto/forced); this is the *outcome*, reported by the traced kernel
+/// entry points and surfaced in `hostrun --json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MttkrpStrategy {
+    /// Single-threaded plain accumulation.
+    Sequential,
+    /// Owner-computes: fiber-aligned non-zero ranges, each output row
+    /// written by exactly one thread. Bit-identical to sequential.
+    Owner,
+    /// Privatized reduction with dense per-worker accumulators.
+    PrivatizedDense,
+    /// Privatized reduction with hashed sparse per-worker accumulators
+    /// (large mode dimensions).
+    PrivatizedSparse,
+}
+
+impl MttkrpStrategy {
+    /// Whether this is one of the two privatized-reduction variants.
+    pub fn is_privatized(self) -> bool {
+        matches!(self, MttkrpStrategy::PrivatizedDense | MttkrpStrategy::PrivatizedSparse)
+    }
+}
+
+impl std::fmt::Display for MttkrpStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MttkrpStrategy::Sequential => "sequential",
+            MttkrpStrategy::Owner => "owner",
+            MttkrpStrategy::PrivatizedDense => "privatized-dense",
+            MttkrpStrategy::PrivatizedSparse => "privatized-sparse",
+        })
+    }
+}
+
+/// Inputs to the MTTKRP strategy cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MttkrpSchedParams {
+    /// Non-zero count.
+    pub nnz: usize,
+    /// Output row count (the mode-`n` dimension).
+    pub out_rows: usize,
+    /// Factor-matrix rank `R`.
+    pub rank: usize,
+    /// Requested worker count.
+    pub threads: usize,
+    /// Whether the tensor is already sorted with mode `n` outermost.
+    pub mode_outermost_sorted: bool,
+}
+
+/// Picks the contention-free MTTKRP schedule for the given shape of work.
+///
+/// The model is deliberately coarse — it only has to separate regimes that
+/// differ by integer factors, not rank orderings within a regime:
+///
+/// - one thread (or one non-zero per thread) ⇒ [`MttkrpStrategy::Sequential`];
+/// - mode-`n`-outermost sort order ⇒ [`MttkrpStrategy::Owner`] — zero extra
+///   memory, bit-identical to sequential, perfectly partitioned writes;
+/// - otherwise privatize. Dense accumulators cost
+///   `threads × out_rows × rank` values to allocate, fill and merge, so they
+///   are used when that total is within `4×` the flop-proportional
+///   `nnz × rank` work (`threads·out_rows ≤ 4·nnz`) or when one accumulator
+///   is small outright (`out_rows·rank ≤ 2¹⁶` values ⇒ ≤ 512 KiB of `f64`
+///   across 8 workers); hyper-sparse outputs fall through to
+///   [`MttkrpStrategy::PrivatizedSparse`], whose hashed accumulators scale
+///   with touched rows instead of `out_rows`.
+pub fn choose_mttkrp_strategy(p: &MttkrpSchedParams) -> MttkrpStrategy {
+    if p.threads <= 1 || p.nnz <= 1 {
+        return MttkrpStrategy::Sequential;
+    }
+    if p.mode_outermost_sorted {
+        return MttkrpStrategy::Owner;
+    }
+    let dense_cells = p.threads.saturating_mul(p.out_rows);
+    if dense_cells <= 4 * p.nnz || p.out_rows.saturating_mul(p.rank) <= (1 << 16) {
+        MttkrpStrategy::PrivatizedDense
+    } else {
+        MttkrpStrategy::PrivatizedSparse
+    }
+}
+
+/// Whether a plan that owns its tensor copy should radix re-sort it mode-`n`
+/// outermost to unlock owner-computes, instead of privatizing.
+///
+/// A re-sort costs one `O(nnz)` parallel radix pass but is amortized across
+/// every later execution of the plan; privatization pays
+/// `threads × out_rows × rank` merge traffic *per execution*. Re-sort when
+/// the per-execution merge bill dominates a sort pass:
+/// `threads·out_rows > 2·nnz`.
+pub fn resort_pays_off(p: &MttkrpSchedParams) -> bool {
+    p.threads > 1 && p.threads.saturating_mul(p.out_rows) > 2 * p.nnz
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,5 +308,46 @@ mod tests {
     fn display_names() {
         let names: Vec<String> = Kernel::ALL.iter().map(|k| k.to_string()).collect();
         assert_eq!(names, vec!["TEW", "TS", "TTV", "TTM", "MTTKRP"]);
+    }
+
+    fn sched(nnz: usize, out_rows: usize, threads: usize, sorted: bool) -> MttkrpSchedParams {
+        MttkrpSchedParams { nnz, out_rows, rank: 16, threads, mode_outermost_sorted: sorted }
+    }
+
+    #[test]
+    fn strategy_regimes() {
+        // One thread: always sequential, even when sorted.
+        assert_eq!(choose_mttkrp_strategy(&sched(1_000, 100, 1, true)), MttkrpStrategy::Sequential);
+        // Sorted mode-outermost: owner-computes wins outright.
+        assert_eq!(choose_mttkrp_strategy(&sched(1_000, 100, 4, true)), MttkrpStrategy::Owner);
+        // Unsorted, small output: dense privatization.
+        assert_eq!(
+            choose_mttkrp_strategy(&sched(1_000_000, 1_000, 8, false)),
+            MttkrpStrategy::PrivatizedDense
+        );
+        // Unsorted, hyper-sparse output (rows ≫ nnz): sparse privatization.
+        assert_eq!(
+            choose_mttkrp_strategy(&sched(10_000, 100_000_000, 8, false)),
+            MttkrpStrategy::PrivatizedSparse
+        );
+    }
+
+    #[test]
+    fn strategy_display_and_classes() {
+        assert_eq!(MttkrpStrategy::Owner.to_string(), "owner");
+        assert_eq!(MttkrpStrategy::PrivatizedSparse.to_string(), "privatized-sparse");
+        assert!(MttkrpStrategy::PrivatizedDense.is_privatized());
+        assert!(!MttkrpStrategy::Owner.is_privatized());
+        assert!(!MttkrpStrategy::Sequential.is_privatized());
+    }
+
+    #[test]
+    fn resort_heuristic() {
+        // Merge-dominated: tall output, many threads.
+        assert!(resort_pays_off(&sched(10_000, 1_000_000, 8, false)));
+        // Nnz-dominated: short output.
+        assert!(!resort_pays_off(&sched(1_000_000, 1_000, 8, false)));
+        // Never for one thread.
+        assert!(!resort_pays_off(&sched(10, 1_000_000, 1, false)));
     }
 }

@@ -1,6 +1,22 @@
-//! Kernel execution context: thread count and scheduling strategy.
+//! Kernel execution context: thread count, scheduling strategy, and the
+//! MTTKRP strategy override plus its per-strategy instrumentation counters.
 
 use pasta_par::Schedule;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which contention-free MTTKRP schedule to use (see
+/// [`choose_mttkrp_strategy`](crate::analysis::choose_mttkrp_strategy)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StrategyChoice {
+    /// Let the cost model pick (the default).
+    #[default]
+    Auto,
+    /// Force owner-computes (fiber-aligned non-zero ranges; falls back to
+    /// privatization if the mode-`n` indices are not non-decreasing).
+    Owner,
+    /// Force privatized reduction (per-worker accumulators + tree merge).
+    Privatized,
+}
 
 /// How a kernel should execute: worker count and loop schedule.
 ///
@@ -21,23 +37,35 @@ pub struct Ctx {
     pub threads: usize,
     /// Loop scheduling strategy for the parallel loops.
     pub schedule: Schedule,
+    /// MTTKRP scheduling strategy (default: cost-model auto-selection).
+    pub mttkrp: StrategyChoice,
 }
 
 impl Ctx {
     /// A context with explicit thread count and schedule.
     pub fn new(threads: usize, schedule: Schedule) -> Self {
-        Self { threads: threads.max(1), schedule }
+        Self { threads: threads.max(1), schedule, mttkrp: StrategyChoice::Auto }
     }
 
     /// Single-threaded execution.
     pub fn sequential() -> Self {
-        Self { threads: 1, schedule: Schedule::Static }
+        Self { threads: 1, schedule: Schedule::Static, mttkrp: StrategyChoice::Auto }
     }
 
     /// All available cores with the suite's default dynamic schedule
     /// (the paper sets threads to the number of physical cores).
     pub fn parallel() -> Self {
-        Self { threads: pasta_par::default_threads(), schedule: Schedule::default_dynamic() }
+        Self {
+            threads: pasta_par::default_threads(),
+            schedule: Schedule::default_dynamic(),
+            mttkrp: StrategyChoice::Auto,
+        }
+    }
+
+    /// The same context with a forced MTTKRP strategy.
+    pub fn with_mttkrp(mut self, choice: StrategyChoice) -> Self {
+        self.mttkrp = choice;
+        self
     }
 
     /// Whether this context runs on one thread.
@@ -52,6 +80,76 @@ impl Default for Ctx {
     }
 }
 
+/// Process-wide instrumentation for the MTTKRP scheduling layer.
+///
+/// `Ctx` stays `Copy`, so the counters live in one global reachable through
+/// [`mttkrp_counters`]; every traced MTTKRP execution adds to them. The
+/// bench harness snapshots them around a run to report how much work each
+/// strategy handled and what the privatized merge cost.
+#[derive(Debug, Default)]
+pub struct MttkrpCounters {
+    /// Non-zeros processed by owner-computes schedules.
+    pub owner_nnz: AtomicU64,
+    /// Non-zeros processed by privatized-reduction schedules.
+    pub privatized_nnz: AtomicU64,
+    /// Non-zeros processed sequentially.
+    pub sequential_nnz: AtomicU64,
+    /// Bytes moved merging worker-private accumulators.
+    pub merge_bytes: AtomicU64,
+    /// Times a plan re-sorted a tensor to enable owner-computes.
+    pub resorts: AtomicU64,
+}
+
+/// A point-in-time copy of the [`MttkrpCounters`] values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Non-zeros processed by owner-computes schedules.
+    pub owner_nnz: u64,
+    /// Non-zeros processed by privatized-reduction schedules.
+    pub privatized_nnz: u64,
+    /// Non-zeros processed sequentially.
+    pub sequential_nnz: u64,
+    /// Bytes moved merging worker-private accumulators.
+    pub merge_bytes: u64,
+    /// Times a plan re-sorted a tensor to enable owner-computes.
+    pub resorts: u64,
+}
+
+impl MttkrpCounters {
+    /// Reads all counters at once (each relaxed; the set is not atomic).
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            owner_nnz: self.owner_nnz.load(Ordering::Relaxed),
+            privatized_nnz: self.privatized_nnz.load(Ordering::Relaxed),
+            sequential_nnz: self.sequential_nnz.load(Ordering::Relaxed),
+            merge_bytes: self.merge_bytes.load(Ordering::Relaxed),
+            resorts: self.resorts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.owner_nnz.store(0, Ordering::Relaxed);
+        self.privatized_nnz.store(0, Ordering::Relaxed);
+        self.sequential_nnz.store(0, Ordering::Relaxed);
+        self.merge_bytes.store(0, Ordering::Relaxed);
+        self.resorts.store(0, Ordering::Relaxed);
+    }
+}
+
+static COUNTERS: MttkrpCounters = MttkrpCounters {
+    owner_nnz: AtomicU64::new(0),
+    privatized_nnz: AtomicU64::new(0),
+    sequential_nnz: AtomicU64::new(0),
+    merge_bytes: AtomicU64::new(0),
+    resorts: AtomicU64::new(0),
+};
+
+/// The process-wide MTTKRP scheduling counters.
+pub fn mttkrp_counters() -> &'static MttkrpCounters {
+    &COUNTERS
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,5 +160,20 @@ mod tests {
         assert!(!Ctx::new(4, Schedule::Guided).is_sequential());
         assert_eq!(Ctx::new(0, Schedule::Static).threads, 1, "clamped to 1");
         assert!(Ctx::default().threads >= 1);
+        assert_eq!(Ctx::default().mttkrp, StrategyChoice::Auto);
+        let forced = Ctx::parallel().with_mttkrp(StrategyChoice::Owner);
+        assert_eq!(forced.mttkrp, StrategyChoice::Owner);
+    }
+
+    #[test]
+    fn counter_snapshot_roundtrip() {
+        // The global is shared across tests; only verify delta behavior.
+        let c = mttkrp_counters();
+        let before = c.snapshot();
+        c.owner_nnz.fetch_add(5, Ordering::Relaxed);
+        c.merge_bytes.fetch_add(64, Ordering::Relaxed);
+        let after = c.snapshot();
+        assert!(after.owner_nnz >= before.owner_nnz + 5);
+        assert!(after.merge_bytes >= before.merge_bytes + 64);
     }
 }

@@ -46,18 +46,25 @@ pub mod csf;
 pub mod ctx;
 pub mod dense_ref;
 pub mod fcoo;
+pub mod microkernel;
 pub mod mttkrp;
 pub mod ops;
+pub mod sched;
 pub mod tew;
 pub mod ts;
 pub mod ttm;
 pub mod ttv;
 
-pub use analysis::{kernel_cost, CostParams, Kernel, KernelCost};
+pub use analysis::{
+    choose_mttkrp_strategy, kernel_cost, resort_pays_off, CostParams, Kernel, KernelCost,
+    MttkrpSchedParams, MttkrpStrategy,
+};
 pub use csf::{mttkrp_csf_root, ttv_csf_leaf};
-pub use ctx::Ctx;
+pub use ctx::{mttkrp_counters, CounterSnapshot, Ctx, MttkrpCounters, StrategyChoice};
 pub use fcoo::ttv_fcoo;
-pub use mttkrp::{mttkrp_coo, mttkrp_hicoo};
+pub use mttkrp::{
+    mttkrp_coo, mttkrp_coo_traced, mttkrp_hicoo, mttkrp_hicoo_traced, MttkrpCooPlan, MttkrpRun,
+};
 pub use ops::{EwOp, TsOp};
 pub use tew::{tew_coo, tew_coo_general, tew_coo_same_pattern, tew_hicoo, tew_values_into};
 pub use ts::{ts_coo, ts_hicoo, ts_values_into};

@@ -1,0 +1,160 @@
+//! Unrolled rank-loop microkernels.
+//!
+//! Every dense inner loop in TTM and MTTKRP runs over the `R` columns of a
+//! factor-matrix row (the paper fixes `R = 16`). The loops here are written
+//! as an 8-wide block pass, a 4-wide block pass over the remainder, and a
+//! scalar tail, so the compiler sees fixed-trip-count inner bodies with no
+//! cross-iteration dependences and emits packed SIMD for them — without any
+//! platform intrinsics. `chunks_exact` encodes the block bounds in the
+//! type, eliminating bounds checks inside the unrolled bodies.
+//!
+//! All kernels preserve the element order of the plain scalar loop: lane
+//! `i` only ever combines `a[i]`-with-`b[i]` terms, so results are
+//! bit-identical to the naive loop ([`gather_dot`] keeps a single running
+//! accumulator for the same reason).
+
+use pasta_core::{Coord, Value};
+
+/// `acc[i] *= row[i]` — the Khatri-Rao partial-product update.
+#[inline]
+pub fn mul_assign<V: Value>(acc: &mut [V], row: &[V]) {
+    debug_assert_eq!(acc.len(), row.len());
+    let mut a = acc.chunks_exact_mut(8);
+    let mut b = row.chunks_exact(8);
+    for (aa, bb) in (&mut a).zip(&mut b) {
+        for i in 0..8 {
+            aa[i] *= bb[i];
+        }
+    }
+    let mut a4 = a.into_remainder().chunks_exact_mut(4);
+    let mut b4 = b.remainder().chunks_exact(4);
+    for (aa, bb) in (&mut a4).zip(&mut b4) {
+        for i in 0..4 {
+            aa[i] *= bb[i];
+        }
+    }
+    for (aa, &bb) in a4.into_remainder().iter_mut().zip(b4.remainder()) {
+        *aa *= bb;
+    }
+}
+
+/// `acc[i] += row[i]` — the accumulator merge update.
+#[inline]
+pub fn add_assign<V: Value>(acc: &mut [V], row: &[V]) {
+    debug_assert_eq!(acc.len(), row.len());
+    let mut a = acc.chunks_exact_mut(8);
+    let mut b = row.chunks_exact(8);
+    for (aa, bb) in (&mut a).zip(&mut b) {
+        for i in 0..8 {
+            aa[i] += bb[i];
+        }
+    }
+    let mut a4 = a.into_remainder().chunks_exact_mut(4);
+    let mut b4 = b.remainder().chunks_exact(4);
+    for (aa, bb) in (&mut a4).zip(&mut b4) {
+        for i in 0..4 {
+            aa[i] += bb[i];
+        }
+    }
+    for (aa, &bb) in a4.into_remainder().iter_mut().zip(b4.remainder()) {
+        *aa += bb;
+    }
+}
+
+/// `acc[i] += a · row[i]` — the scaled-row scatter update (TTM inner loop,
+/// MTTKRP output update).
+#[inline]
+pub fn axpy<V: Value>(acc: &mut [V], a: V, row: &[V]) {
+    debug_assert_eq!(acc.len(), row.len());
+    let mut d = acc.chunks_exact_mut(8);
+    let mut s = row.chunks_exact(8);
+    for (dd, ss) in (&mut d).zip(&mut s) {
+        for i in 0..8 {
+            dd[i] += a * ss[i];
+        }
+    }
+    let mut d4 = d.into_remainder().chunks_exact_mut(4);
+    let mut s4 = s.remainder().chunks_exact(4);
+    for (dd, ss) in (&mut d4).zip(&mut s4) {
+        for i in 0..4 {
+            dd[i] += a * ss[i];
+        }
+    }
+    for (dd, &ss) in d4.into_remainder().iter_mut().zip(s4.remainder()) {
+        *dd += a * ss;
+    }
+}
+
+/// `Σ_{x ∈ range} vals[x] · v[idx[x]]` — the TTV fiber contraction.
+///
+/// Kept as a *single* sequential accumulator (no lane-split partial sums):
+/// the TTV parallel path promises bit-identical results to the sequential
+/// path, which requires the exact scalar association order. The gather
+/// `v[idx[x]]` dominates this loop's cost anyway, so multi-accumulator
+/// unrolling buys little here.
+#[inline]
+pub fn gather_dot<V: Value>(
+    vals: &[V],
+    idx: &[Coord],
+    v: &[V],
+    range: std::ops::Range<usize>,
+) -> V {
+    let mut acc = V::ZERO;
+    for x in range {
+        acc += vals[x] * v[idx[x] as usize];
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        (a, b)
+    }
+
+    // Lengths straddling both block widths and the scalar tail.
+    const LENS: [usize; 9] = [0, 1, 3, 4, 7, 8, 12, 16, 19];
+
+    #[test]
+    fn mul_assign_matches_scalar_all_tails() {
+        for &n in &LENS {
+            let (mut a, b) = vecs(n);
+            let want: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x * y).collect();
+            mul_assign(&mut a, &b);
+            assert_eq!(a, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn add_assign_matches_scalar_all_tails() {
+        for &n in &LENS {
+            let (mut a, b) = vecs(n);
+            let want: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+            add_assign(&mut a, &b);
+            assert_eq!(a, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_all_tails() {
+        for &n in &LENS {
+            let (mut a, b) = vecs(n);
+            let want: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + 2.5 * y).collect();
+            axpy(&mut a, 2.5, &b);
+            assert_eq!(a, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn gather_dot_matches_scalar() {
+        let vals: Vec<f32> = (0..50).map(|i| i as f32 * 0.5).collect();
+        let idx: Vec<u32> = (0..50).map(|i| (i * 7) % 10).collect();
+        let v: Vec<f32> = (0..10).map(|i| 1.0 / (i + 1) as f32).collect();
+        let want: f32 = (5..37).map(|x| vals[x] * v[idx[x] as usize]).sum();
+        assert_eq!(gather_dot(&vals, &idx, &v, 5..37), want);
+    }
+}

@@ -7,14 +7,34 @@
 //! `Ã(i_n, r) = Σ_x val(x) · ∏_{m≠n} U⁽ᵐ⁾(i_m, r)`
 //!
 //! The Khatri-Rao product is never materialized — it is fused into the
-//! sparse traversal, as all practical implementations do. COO-MTTKRP
-//! parallelizes over non-zeros and protects the dense output with atomic
-//! adds (the paper's `omp atomic`); HiCOO-MTTKRP parallelizes over tensor
-//! blocks, localizing factor accesses to per-block sub-matrices.
+//! sparse traversal, as all practical implementations do. Both formats
+//! parallelize *without atomics* on the output, using one of two
+//! contention-free schedules picked by the cost model in
+//! [`analysis`](crate::analysis):
+//!
+//! - **owner-computes** — when the entries are sorted with mode `n`
+//!   outermost (COO: [`SortState`](pasta_core::SortState); HiCOO: monotone
+//!   mode-`n` block indices), non-zeros are cut into fiber-aligned ranges
+//!   ([`owner_ranges`]) so each output row is written by exactly one
+//!   thread. Bit-identical to the sequential kernel.
+//! - **privatized reduction** — otherwise, each worker accumulates into a
+//!   private buffer (dense, or a hashed [`SparseAcc`] for hyper-sparse
+//!   outputs) over a static non-zero chunk; buffers merge on the pool via
+//!   [`tree_reduce`]. Deterministic for a fixed thread count; differs from
+//!   sequential only by floating-point association (ULP-level).
+//!
+//! The inner rank loops run through the unrolled
+//! [`microkernel`](crate::microkernel)s. Per-strategy work counters are
+//! kept in [`mttkrp_counters`](crate::ctx::mttkrp_counters).
 
-use crate::ctx::Ctx;
-use pasta_core::{CooTensor, DenseMatrix, Error, HiCooTensor, Result, Shape, Value};
-use pasta_par::{parallel_for, Atomically};
+use crate::analysis::{choose_mttkrp_strategy, MttkrpSchedParams, MttkrpStrategy};
+use crate::ctx::{mttkrp_counters, Ctx, StrategyChoice};
+use crate::microkernel::{add_assign, mul_assign};
+use crate::sched::{owner_ranges, SparseAcc};
+use pasta_core::sort::mode_first_order;
+use pasta_core::{CooTensor, Coord, DenseMatrix, Error, HiCooTensor, Result, Shape, Value};
+use pasta_par::{parallel_for, tree_reduce, Schedule, SharedSlice};
+use std::sync::atomic::Ordering;
 
 fn check_factors<V: Value>(shape: &Shape, factors: &[DenseMatrix<V>], n: usize) -> Result<usize> {
     shape.check_mode(n)?;
@@ -24,10 +44,12 @@ fn check_factors<V: Value>(shape: &Shape, factors: &[DenseMatrix<V>], n: usize) 
         });
     }
     let r = factors[0].cols();
-    if r == 0 {
-        return Err(Error::OperandMismatch { what: "rank must be at least 1".into() });
-    }
     for (m, f) in factors.iter().enumerate() {
+        if f.cols() == 0 {
+            return Err(Error::OperandMismatch {
+                what: format!("factor {m} has rank 0; rank must be at least 1"),
+            });
+        }
         if f.cols() != r {
             return Err(Error::OperandMismatch {
                 what: format!("factor {m} has rank {} but factor 0 has rank {r}", f.cols()),
@@ -46,10 +68,48 @@ fn check_factors<V: Value>(shape: &Shape, factors: &[DenseMatrix<V>], n: usize) 
     Ok(r)
 }
 
+/// What a traced MTTKRP execution actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MttkrpRun {
+    /// The schedule that ran.
+    pub strategy: MttkrpStrategy,
+    /// Whether a plan re-sorted its tensor copy to enable owner-computes.
+    pub resorted: bool,
+}
+
+/// Resolves the requested [`StrategyChoice`] against what the data permits.
+///
+/// `rows_sorted` must be true only if the mode-`n` row stream is known
+/// non-decreasing. A forced `Owner` on unsorted rows falls back to
+/// privatization (owner-computes would race); a forced `Privatized` picks
+/// dense vs. sparse from the cost model.
+fn resolve_strategy(
+    choice: StrategyChoice,
+    p: &MttkrpSchedParams,
+    rows_sorted: bool,
+) -> MttkrpStrategy {
+    if p.threads <= 1 || p.nnz <= 1 {
+        return MttkrpStrategy::Sequential;
+    }
+    match choice {
+        StrategyChoice::Auto => choose_mttkrp_strategy(p),
+        StrategyChoice::Owner if rows_sorted => MttkrpStrategy::Owner,
+        StrategyChoice::Owner | StrategyChoice::Privatized => {
+            match choose_mttkrp_strategy(&MttkrpSchedParams { mode_outermost_sorted: false, ..*p })
+            {
+                MttkrpStrategy::Sequential => MttkrpStrategy::Sequential,
+                s => s,
+            }
+        }
+    }
+}
+
 /// COO-MTTKRP: `Ã ← X₍ₙ₎ (U⁽ᴺ⁾ ⊙ ⋯ ⊙ U⁽ⁿ⁺¹⁾ ⊙ U⁽ⁿ⁻¹⁾ ⊙ ⋯ ⊙ U⁽¹⁾)`.
 ///
-/// Sequential contexts use plain accumulation; parallel contexts distribute
-/// non-zeros across threads and use atomic adds on the shared output.
+/// Atomic-free: parallel contexts run owner-computes when the tensor is
+/// sorted mode-`n` outermost and privatized reduction otherwise (see the
+/// module docs). Use [`mttkrp_coo_traced`] to learn which strategy ran, or
+/// [`MttkrpCooPlan`] to amortize a mode-`n` re-sort across executions.
 ///
 /// # Errors
 ///
@@ -70,141 +130,403 @@ fn check_factors<V: Value>(shape: &Shape, factors: &[DenseMatrix<V>], n: usize) 
 /// # Ok(())
 /// # }
 /// ```
-pub fn mttkrp_coo<V: Value + Atomically>(
+pub fn mttkrp_coo<V: Value>(
     x: &CooTensor<V>,
     factors: &[DenseMatrix<V>],
     n: usize,
     ctx: &Ctx,
 ) -> Result<DenseMatrix<V>> {
-    let r = check_factors(x.shape(), factors, n)?;
-    let order = x.order();
-    let mut out = DenseMatrix::zeros(x.shape().dim(n) as usize, r);
-
-    if ctx.is_sequential() {
-        let mut tmp = vec![V::ZERO; r];
-        for xx in 0..x.nnz() {
-            accumulate_row(x, factors, n, order, xx, &mut tmp);
-            let row = out.row_mut(x.mode_inds(n)[xx] as usize);
-            for (o, &t) in row.iter_mut().zip(&tmp) {
-                *o += t;
-            }
-        }
-        return Ok(out);
-    }
-
-    let cells = V::as_atomics(out.as_mut_slice());
-    parallel_for(x.nnz(), ctx.threads, ctx.schedule, |range| {
-        let mut tmp = vec![V::ZERO; r];
-        for xx in range {
-            accumulate_row(x, factors, n, order, xx, &mut tmp);
-            let base = x.mode_inds(n)[xx] as usize * r;
-            for (rr, &t) in tmp.iter().enumerate() {
-                V::atomic_add(&cells[base + rr], t);
-            }
-        }
-    });
-    Ok(out)
+    mttkrp_coo_traced(x, factors, n, ctx).map(|(out, _)| out)
 }
 
-/// Computes `tmp[r] = val · ∏_{m≠n} U⁽ᵐ⁾(i_m, r)` for non-zero `xx`.
-#[inline]
-fn accumulate_row<V: Value>(
-    x: &CooTensor<V>,
-    factors: &[DenseMatrix<V>],
-    n: usize,
-    order: usize,
-    xx: usize,
-    tmp: &mut [V],
-) {
-    let val = x.vals()[xx];
-    tmp.fill(val);
-    for m in 0..order {
-        if m == n {
-            continue;
-        }
-        let row = factors[m].row(x.mode_inds(m)[xx] as usize);
-        for (t, &u) in tmp.iter_mut().zip(row) {
-            *t *= u;
-        }
-    }
-}
-
-/// HiCOO-MTTKRP (Algorithm 3): parallel over tensor blocks.
-///
-/// Within a block, factor accesses go through per-block sub-matrix bases
-/// (`A_b = A + bi·B·R` etc.), so rows are addressed by the 8-bit element
-/// indices alone — the locality HiCOO is designed for. Because distinct
-/// blocks can still touch the same output rows, parallel contexts use
-/// atomic adds.
+/// [`mttkrp_coo`] plus a report of the schedule that ran.
 ///
 /// # Errors
 ///
 /// Returns [`Error::OperandMismatch`] for inconsistent factor matrices.
-pub fn mttkrp_hicoo<V: Value + Atomically>(
+pub fn mttkrp_coo_traced<V: Value>(
+    x: &CooTensor<V>,
+    factors: &[DenseMatrix<V>],
+    n: usize,
+    ctx: &Ctx,
+) -> Result<(DenseMatrix<V>, MttkrpRun)> {
+    let r = check_factors(x.shape(), factors, n)?;
+    let rows = x.shape().dim(n) as usize;
+    let mut out = DenseMatrix::zeros(rows, r);
+    if x.nnz() == 0 {
+        return Ok((out, MttkrpRun { strategy: MttkrpStrategy::Sequential, resorted: false }));
+    }
+
+    let sorted = x.sort_state().outermost() == Some(n)
+        || (ctx.mttkrp == StrategyChoice::Owner && is_non_decreasing(x.mode_inds(n)));
+    let p = MttkrpSchedParams {
+        nnz: x.nnz(),
+        out_rows: rows,
+        rank: r,
+        threads: ctx.threads,
+        mode_outermost_sorted: sorted,
+    };
+    let strategy = resolve_strategy(ctx.mttkrp, &p, sorted);
+
+    let c = mttkrp_counters();
+    match strategy {
+        MttkrpStrategy::Sequential => {
+            c.sequential_nnz.fetch_add(x.nnz() as u64, Ordering::Relaxed);
+            coo_range(x, factors, n, r, 0..x.nnz(), out.as_mut_slice());
+        }
+        MttkrpStrategy::Owner => {
+            c.owner_nnz.fetch_add(x.nnz() as u64, Ordering::Relaxed);
+            let ranges = owner_ranges(x.mode_inds(n), ctx.threads);
+            let shared = SharedSlice::new(out.as_mut_slice());
+            parallel_for(ranges.len(), ctx.threads, Schedule::Static, |ks| {
+                for k in ks {
+                    let range = ranges[k].clone();
+                    let lo = x.mode_inds(n)[range.start] as usize;
+                    let hi = x.mode_inds(n)[range.end - 1] as usize;
+                    // SAFETY: owner_ranges cuts at row boundaries, so the
+                    // row span [lo, hi] of this range is disjoint from
+                    // every other range's span.
+                    let rows_out = unsafe { shared.slice_mut(lo * r..(hi + 1) * r) };
+                    coo_range_offset(x, factors, n, r, range, rows_out, lo);
+                }
+            });
+        }
+        MttkrpStrategy::PrivatizedDense => {
+            c.privatized_nnz.fetch_add(x.nnz() as u64, Ordering::Relaxed);
+            let bufs = privatized_fill(
+                ctx.threads,
+                x.nnz(),
+                || vec![V::ZERO; rows * r],
+                |buf, chunk| {
+                    coo_range(x, factors, n, r, chunk, buf);
+                },
+            );
+            let merged = tree_reduce(bufs, ctx.threads, |dst, src| {
+                mttkrp_counters()
+                    .merge_bytes
+                    .fetch_add((src.len() * V::BYTES) as u64, Ordering::Relaxed);
+                add_assign(dst, &src);
+            });
+            if let Some(m) = merged {
+                out.as_mut_slice().copy_from_slice(&m);
+            }
+        }
+        MttkrpStrategy::PrivatizedSparse => {
+            c.privatized_nnz.fetch_add(x.nnz() as u64, Ordering::Relaxed);
+            let per_worker = (x.nnz() / ctx.threads.max(1) + 1).min(rows);
+            let bufs = privatized_fill(
+                ctx.threads,
+                x.nnz(),
+                || SparseAcc::<V>::new(r, per_worker),
+                |acc, chunk| {
+                    let mut tmp = vec![V::ZERO; r];
+                    for xx in chunk {
+                        khatri_rao_row(x, factors, n, xx, &mut tmp);
+                        add_assign(acc.row_mut(x.mode_inds(n)[xx]), &tmp);
+                    }
+                },
+            );
+            let merged = tree_reduce(bufs, ctx.threads, |dst, src| {
+                mttkrp_counters().merge_bytes.fetch_add(src.bytes() as u64, Ordering::Relaxed);
+                dst.merge(&src);
+            });
+            if let Some(m) = merged {
+                m.drain_into(out.as_mut_slice());
+            }
+        }
+    }
+    Ok((out, MttkrpRun { strategy, resorted: false }))
+}
+
+fn is_non_decreasing(a: &[Coord]) -> bool {
+    a.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// Runs `fill` on `participants` static chunks of `0..nnz`, each into its
+/// own freshly `init`-ed private buffer, and returns the buffers in
+/// participant order.
+fn privatized_fill<B, Init, Fill>(participants: usize, nnz: usize, init: Init, fill: Fill) -> Vec<B>
+where
+    B: Send,
+    Init: Fn() -> B + Sync,
+    Fill: Fn(&mut B, std::ops::Range<usize>) + Sync,
+{
+    let t = participants.max(1).min(nnz);
+    let per = nnz / t;
+    let rem = nnz % t;
+    let mut bufs: Vec<Option<B>> = (0..t).map(|_| None).collect();
+    {
+        let slots = SharedSlice::new(&mut bufs);
+        parallel_for(t, t, Schedule::Static, |ids| {
+            for id in ids {
+                let start = id * per + id.min(rem);
+                let len = per + usize::from(id < rem);
+                let mut buf = init();
+                fill(&mut buf, start..start + len);
+                // SAFETY: participant ids partition 0..t, one slot each.
+                unsafe { slots.write(id, Some(buf)) };
+            }
+        });
+    }
+    bufs.into_iter().map(|b| b.expect("participant wrote its buffer")).collect()
+}
+
+/// Sequential accumulation of `chunk` into `out` (full output slice).
+fn coo_range<V: Value>(
+    x: &CooTensor<V>,
+    factors: &[DenseMatrix<V>],
+    n: usize,
+    r: usize,
+    chunk: std::ops::Range<usize>,
+    out: &mut [V],
+) {
+    coo_range_offset(x, factors, n, r, chunk, out, 0);
+}
+
+/// Like [`coo_range`], but `out` starts at output row `row0` (the owner
+/// path hands each thread only its own row span).
+fn coo_range_offset<V: Value>(
+    x: &CooTensor<V>,
+    factors: &[DenseMatrix<V>],
+    n: usize,
+    r: usize,
+    chunk: std::ops::Range<usize>,
+    out: &mut [V],
+    row0: usize,
+) {
+    let mut tmp = vec![V::ZERO; r];
+    for xx in chunk {
+        khatri_rao_row(x, factors, n, xx, &mut tmp);
+        let i = x.mode_inds(n)[xx] as usize - row0;
+        add_assign(&mut out[i * r..(i + 1) * r], &tmp);
+    }
+}
+
+/// Computes `tmp[r] = val · ∏_{m≠n} U⁽ᵐ⁾(i_m, r)` for non-zero `xx`.
+#[inline]
+fn khatri_rao_row<V: Value>(
+    x: &CooTensor<V>,
+    factors: &[DenseMatrix<V>],
+    n: usize,
+    xx: usize,
+    tmp: &mut [V],
+) {
+    tmp.fill(x.vals()[xx]);
+    for (m, f) in factors.iter().enumerate() {
+        if m != n {
+            mul_assign(tmp, f.row(x.mode_inds(m)[xx] as usize));
+        }
+    }
+}
+
+/// A reusable COO-MTTKRP schedule for repeated executions on one tensor.
+///
+/// Construction may radix re-sort an owned copy of the tensor mode-`n`
+/// outermost (one `O(nnz)` pass, when
+/// [`resort_pays_off`](crate::analysis::resort_pays_off) says the
+/// per-execution privatized merge would cost more), unlocking the
+/// owner-computes schedule for every subsequent [`execute`](Self::execute).
+#[derive(Debug)]
+pub struct MttkrpCooPlan<V> {
+    x: CooTensor<V>,
+    n: usize,
+    ctx: Ctx,
+    resorted: bool,
+}
+
+impl<V: Value> MttkrpCooPlan<V> {
+    /// Builds a plan for mode `n`, re-sorting a copy of `x` if the cost
+    /// model finds the sort pays for itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` is out of range.
+    pub fn new(x: &CooTensor<V>, n: usize, ctx: &Ctx) -> Result<Self> {
+        x.shape().check_mode(n)?;
+        let mut x = x.clone();
+        let mut resorted = false;
+        let p = MttkrpSchedParams {
+            nnz: x.nnz(),
+            out_rows: x.shape().dim(n) as usize,
+            rank: 16, // rank is unknown until execute; 16 is the suite default
+            threads: ctx.threads,
+            mode_outermost_sorted: x.sort_state().outermost() == Some(n),
+        };
+        if ctx.mttkrp != StrategyChoice::Privatized
+            && !p.mode_outermost_sorted
+            && (ctx.mttkrp == StrategyChoice::Owner || crate::analysis::resort_pays_off(&p))
+        {
+            x.sort_by_mode_order_threads(&mode_first_order(x.order(), n), ctx.threads);
+            mttkrp_counters().resorts.fetch_add(1, Ordering::Relaxed);
+            resorted = true;
+        }
+        Ok(Self { x, n, ctx: *ctx, resorted })
+    }
+
+    /// The plan's (possibly re-sorted) tensor.
+    pub fn tensor(&self) -> &CooTensor<V> {
+        &self.x
+    }
+
+    /// Whether construction re-sorted the tensor copy.
+    pub fn resorted(&self) -> bool {
+        self.resorted
+    }
+
+    /// Runs the MTTKRP for the planned mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OperandMismatch`] for inconsistent factor matrices.
+    pub fn execute(&self, factors: &[DenseMatrix<V>]) -> Result<(DenseMatrix<V>, MttkrpRun)> {
+        let (out, run) = mttkrp_coo_traced(&self.x, factors, self.n, &self.ctx)?;
+        Ok((out, MttkrpRun { resorted: self.resorted, ..run }))
+    }
+}
+
+/// HiCOO-MTTKRP (Algorithm 3): parallel over tensor blocks, atomic-free.
+///
+/// Within a block, factor accesses go through per-block sub-matrix bases
+/// (`A_b = A + bi·B·R` etc.), so rows are addressed by the 8-bit element
+/// indices alone — the locality HiCOO is designed for. Across blocks, the
+/// same two contention-free schedules as [`mttkrp_coo`] apply: blocks are
+/// cut at mode-`n` block-index boundaries when those are monotone (owner-
+/// computes; Morton order guarantees this for mode 0), else each worker
+/// privatizes over its block chunk and the buffers tree-merge.
+///
+/// # Errors
+///
+/// Returns [`Error::OperandMismatch`] for inconsistent factor matrices.
+pub fn mttkrp_hicoo<V: Value>(
     x: &HiCooTensor<V>,
     factors: &[DenseMatrix<V>],
     n: usize,
     ctx: &Ctx,
 ) -> Result<DenseMatrix<V>> {
-    let r = check_factors(x.shape(), factors, n)?;
-    let order = x.order();
-    let bits = x.block_bits();
-    let mut out = DenseMatrix::zeros(x.shape().dim(n) as usize, r);
-
-    if ctx.is_sequential() {
-        let mut tmp = vec![V::ZERO; r];
-        for b in 0..x.num_blocks() {
-            let bases: Vec<usize> =
-                (0..order).map(|m| (x.mode_binds(m)[b] as usize) << bits).collect();
-            for xx in x.block_range(b) {
-                hicoo_row(x, factors, n, order, &bases, xx, &mut tmp);
-                let i = bases[n] + x.mode_einds(n)[xx] as usize;
-                let row = out.row_mut(i);
-                for (o, &t) in row.iter_mut().zip(&tmp) {
-                    *o += t;
-                }
-            }
-        }
-        return Ok(out);
-    }
-
-    let cells = V::as_atomics(out.as_mut_slice());
-    parallel_for(x.num_blocks(), ctx.threads, ctx.schedule, |blocks| {
-        let mut tmp = vec![V::ZERO; r];
-        for b in blocks {
-            let bases: Vec<usize> =
-                (0..order).map(|m| (x.mode_binds(m)[b] as usize) << bits).collect();
-            for xx in x.block_range(b) {
-                hicoo_row(x, factors, n, order, &bases, xx, &mut tmp);
-                let i = bases[n] + x.mode_einds(n)[xx] as usize;
-                for (rr, &t) in tmp.iter().enumerate() {
-                    V::atomic_add(&cells[i * r + rr], t);
-                }
-            }
-        }
-    });
-    Ok(out)
+    mttkrp_hicoo_traced(x, factors, n, ctx).map(|(out, _)| out)
 }
 
-#[inline]
-fn hicoo_row<V: Value>(
+/// [`mttkrp_hicoo`] plus a report of the schedule that ran.
+///
+/// # Errors
+///
+/// Returns [`Error::OperandMismatch`] for inconsistent factor matrices.
+pub fn mttkrp_hicoo_traced<V: Value>(
     x: &HiCooTensor<V>,
     factors: &[DenseMatrix<V>],
     n: usize,
-    order: usize,
-    bases: &[usize],
-    xx: usize,
-    tmp: &mut [V],
-) {
-    let val = x.vals()[xx];
-    tmp.fill(val);
-    for m in 0..order {
-        if m == n {
-            continue;
+    ctx: &Ctx,
+) -> Result<(DenseMatrix<V>, MttkrpRun)> {
+    let r = check_factors(x.shape(), factors, n)?;
+    let rows = x.shape().dim(n) as usize;
+    let mut out = DenseMatrix::zeros(rows, r);
+    if x.nnz() == 0 {
+        return Ok((out, MttkrpRun { strategy: MttkrpStrategy::Sequential, resorted: false }));
+    }
+
+    let sorted = x.mode_binds_monotone(n);
+    let p = MttkrpSchedParams {
+        nnz: x.nnz(),
+        out_rows: rows,
+        rank: r,
+        threads: ctx.threads,
+        mode_outermost_sorted: sorted,
+    };
+    let strategy = resolve_strategy(ctx.mttkrp, &p, sorted);
+
+    let c = mttkrp_counters();
+    match strategy {
+        MttkrpStrategy::Sequential => {
+            c.sequential_nnz.fetch_add(x.nnz() as u64, Ordering::Relaxed);
+            hicoo_blocks(x, factors, n, r, 0..x.num_blocks(), out.as_mut_slice());
         }
-        let row = factors[m].row(bases[m] + x.mode_einds(m)[xx] as usize);
-        for (t, &u) in tmp.iter_mut().zip(row) {
-            *t *= u;
+        MttkrpStrategy::Owner => {
+            c.owner_nnz.fetch_add(x.nnz() as u64, Ordering::Relaxed);
+            // Cut block ranges where binds[n] changes: all entries of a
+            // binds[n] group share the same output row window, so groups
+            // are write-disjoint.
+            let ranges = owner_ranges(x.mode_binds(n), ctx.threads);
+            let shared = SharedSlice::new(out.as_mut_slice());
+            let bits = x.block_bits();
+            parallel_for(ranges.len(), ctx.threads, Schedule::Static, |ks| {
+                for k in ks {
+                    let blocks = ranges[k].clone();
+                    let lo = (x.mode_binds(n)[blocks.start] as usize) << bits;
+                    let hi = (((x.mode_binds(n)[blocks.end - 1] as usize) + 1) << bits).min(rows);
+                    // SAFETY: ranges split at binds[n] boundaries, so the
+                    // row windows [bind<<bits, (bind+1)<<bits) covered by
+                    // this range belong to it alone.
+                    let rows_out = unsafe { shared.slice_mut(lo * r..hi * r) };
+                    hicoo_blocks_offset(x, factors, n, r, blocks, rows_out, lo);
+                }
+            });
+        }
+        MttkrpStrategy::PrivatizedDense | MttkrpStrategy::PrivatizedSparse => {
+            // Blocks (not raw nnz) are the distribution unit, so both
+            // privatized flavors chunk block ranges; hyper-sparse outputs
+            // still get the dense buffer because HiCOO mode dims are
+            // bounded by binds·2^bits in practice. Counted as dense.
+            c.privatized_nnz.fetch_add(x.nnz() as u64, Ordering::Relaxed);
+            let bufs = privatized_fill(
+                ctx.threads,
+                x.num_blocks(),
+                || vec![V::ZERO; rows * r],
+                |buf, blocks| hicoo_blocks(x, factors, n, r, blocks, buf),
+            );
+            let merged = tree_reduce(bufs, ctx.threads, |dst, src| {
+                mttkrp_counters()
+                    .merge_bytes
+                    .fetch_add((src.len() * V::BYTES) as u64, Ordering::Relaxed);
+                add_assign(dst, &src);
+            });
+            if let Some(m) = merged {
+                out.as_mut_slice().copy_from_slice(&m);
+            }
+        }
+    }
+    let strategy =
+        if strategy.is_privatized() { MttkrpStrategy::PrivatizedDense } else { strategy };
+    Ok((out, MttkrpRun { strategy, resorted: false }))
+}
+
+/// Sequential accumulation of a block range into `out` (full output).
+fn hicoo_blocks<V: Value>(
+    x: &HiCooTensor<V>,
+    factors: &[DenseMatrix<V>],
+    n: usize,
+    r: usize,
+    blocks: std::ops::Range<usize>,
+    out: &mut [V],
+) {
+    hicoo_blocks_offset(x, factors, n, r, blocks, out, 0);
+}
+
+fn hicoo_blocks_offset<V: Value>(
+    x: &HiCooTensor<V>,
+    factors: &[DenseMatrix<V>],
+    n: usize,
+    r: usize,
+    blocks: std::ops::Range<usize>,
+    out: &mut [V],
+    row0: usize,
+) {
+    let order = x.order();
+    let bits = x.block_bits();
+    let mut tmp = vec![V::ZERO; r];
+    let mut bases = vec![0usize; order];
+    for b in blocks {
+        for (m, base) in bases.iter_mut().enumerate() {
+            *base = (x.mode_binds(m)[b] as usize) << bits;
+        }
+        for xx in x.block_range(b) {
+            tmp.fill(x.vals()[xx]);
+            for (m, f) in factors.iter().enumerate() {
+                if m != n {
+                    mul_assign(&mut tmp, f.row(bases[m] + x.mode_einds(m)[xx] as usize));
+                }
+            }
+            let i = bases[n] + x.mode_einds(n)[xx] as usize - row0;
+            add_assign(&mut out[i * r..(i + 1) * r], &tmp);
         }
     }
 }
@@ -247,6 +569,15 @@ mod tests {
         }
     }
 
+    fn bigger() -> CooTensor<f64> {
+        let entries: Vec<(Vec<u32>, f64)> = (0..30_000u32)
+            .map(|i| (vec![i % 16, (i / 16) % 64, (i * 13) % 64], 1.0 + (i % 7) as f64))
+            .collect();
+        let mut x = CooTensor::from_entries(Shape::new(vec![16, 64, 64]), entries).unwrap();
+        x.dedup_sum();
+        x
+    }
+
     #[test]
     fn coo_matches_dense_every_mode() {
         let x = sample();
@@ -271,20 +602,134 @@ mod tests {
     }
 
     #[test]
-    fn parallel_atomic_path_matches() {
-        let entries: Vec<(Vec<u32>, f64)> = (0..30_000u32)
-            .map(|i| (vec![i % 16, (i / 16) % 64, (i * 13) % 64], 1.0 + (i % 7) as f64))
-            .collect();
-        let mut x = CooTensor::from_entries(Shape::new(vec![16, 64, 64]), entries).unwrap();
-        x.dedup_sum();
+    fn parallel_strategies_match_sequential() {
+        let x = bigger();
         let fs = factors_for(&x, 8);
-        let seq = mttkrp_coo(&x, &fs, 0, &Ctx::sequential()).unwrap();
-        let par = mttkrp_coo(&x, &fs, 0, &Ctx::new(8, pasta_par::Schedule::Dynamic(128))).unwrap();
-        assert_mat_eq(&par, &seq, 1e-9);
+        for n in 0..3 {
+            let seq = mttkrp_coo(&x, &fs, n, &Ctx::sequential()).unwrap();
+            let par =
+                mttkrp_coo(&x, &fs, n, &Ctx::new(8, pasta_par::Schedule::Dynamic(128))).unwrap();
+            assert_mat_eq(&par, &seq, 1e-9);
 
-        let h = HiCooTensor::from_coo(&x, 8).unwrap();
-        let hpar = mttkrp_hicoo(&h, &fs, 0, &Ctx::new(8, pasta_par::Schedule::Guided)).unwrap();
-        assert_mat_eq(&hpar, &seq, 1e-9);
+            let h = HiCooTensor::from_coo(&x, 8).unwrap();
+            let hpar = mttkrp_hicoo(&h, &fs, n, &Ctx::new(8, pasta_par::Schedule::Guided)).unwrap();
+            assert_mat_eq(&hpar, &seq, 1e-9);
+        }
+    }
+
+    #[test]
+    fn owner_computes_is_bit_identical() {
+        let mut x = bigger();
+        let fs = factors_for(&x, 8);
+        let seq = mttkrp_coo(&x, &fs, 1, &Ctx::sequential()).unwrap();
+        x.sort_by_mode_order(&[1, 0, 2]);
+        assert_eq!(x.sort_state().outermost(), Some(1));
+        let seq_sorted = mttkrp_coo(&x, &fs, 1, &Ctx::sequential()).unwrap();
+        let (own, run) =
+            mttkrp_coo_traced(&x, &fs, 1, &Ctx::new(4, pasta_par::Schedule::Static)).unwrap();
+        assert_eq!(run.strategy, MttkrpStrategy::Owner);
+        // Bit-identical to sequential on the same (sorted) entry order...
+        assert_eq!(own.as_slice(), seq_sorted.as_slice());
+        // ...and within tolerance of the unsorted sequential order.
+        assert_mat_eq(&own, &seq, 1e-9);
+    }
+
+    #[test]
+    fn forced_strategies_and_trace() {
+        let x = bigger(); // unsorted
+        let fs = factors_for(&x, 8);
+        let par = Ctx::new(4, pasta_par::Schedule::Static);
+        let seq = mttkrp_coo(&x, &fs, 0, &Ctx::sequential()).unwrap();
+
+        let (got, run) =
+            mttkrp_coo_traced(&x, &fs, 0, &par.with_mttkrp(StrategyChoice::Privatized)).unwrap();
+        assert!(run.strategy.is_privatized());
+        assert_mat_eq(&got, &seq, 1e-9);
+
+        // Forcing owner on unsorted (non-monotone) rows falls back.
+        let (got, run) =
+            mttkrp_coo_traced(&x, &fs, 1, &par.with_mttkrp(StrategyChoice::Owner)).unwrap();
+        assert!(run.strategy.is_privatized(), "got {:?}", run.strategy);
+        let seq1 = mttkrp_coo(&x, &fs, 1, &Ctx::sequential()).unwrap();
+        assert_mat_eq(&got, &seq1, 1e-9);
+
+        // Forcing owner on rows that happen to be monotone works even
+        // without a recorded sort state.
+        let mut xs = x.clone();
+        xs.sort_by_mode_order(&[1, 0, 2]);
+        let xs = CooTensor::from_parts(xs.shape().clone(), xs.inds().to_vec(), xs.vals().to_vec())
+            .unwrap(); // from_parts drops the sort state
+        assert_eq!(xs.sort_state().mode_order(), None);
+        let (got, run) =
+            mttkrp_coo_traced(&xs, &fs, 1, &par.with_mttkrp(StrategyChoice::Owner)).unwrap();
+        assert_eq!(run.strategy, MttkrpStrategy::Owner);
+        assert_mat_eq(&got, &seq1, 1e-9);
+    }
+
+    #[test]
+    fn sparse_accumulator_path() {
+        // Hyper-sparse output: few nnz, huge mode dim → sparse privatization.
+        let dim = 1_000_000u32;
+        let entries: Vec<(Vec<u32>, f64)> = (0..500u32)
+            .map(|i| (vec![(i * 7919) % dim, i % 8, (i * 13) % 8], 1.0 + i as f64 * 0.01))
+            .collect();
+        let mut x = CooTensor::from_entries(Shape::new(vec![dim, 8, 8]), entries).unwrap();
+        x.dedup_sum();
+        // dedup_sum sorts 0-outermost; test mode 0 owner vs forced privatized.
+        let fs: Vec<DenseMatrix<f64>> = (0..3)
+            .map(|m| {
+                DenseMatrix::from_fn(x.shape().dim(m) as usize, 4, |i, j| {
+                    ((i % 97) as f64 * 0.1 + (j + m) as f64).cos()
+                })
+            })
+            .collect();
+        let seq = mttkrp_coo(&x, &fs, 0, &Ctx::sequential()).unwrap();
+        let ctx = Ctx::new(4, pasta_par::Schedule::Static).with_mttkrp(StrategyChoice::Privatized);
+        let (got, run) = mttkrp_coo_traced(&x, &fs, 0, &ctx).unwrap();
+        assert_eq!(run.strategy, MttkrpStrategy::PrivatizedSparse);
+        assert_mat_eq(&got, &seq, 1e-9);
+    }
+
+    #[test]
+    fn plan_resorts_and_owner_computes() {
+        // Tall mode-1 output with few nnz: resort_pays_off fires.
+        let entries: Vec<(Vec<u32>, f64)> =
+            (0..64u32).map(|i| (vec![i % 4, (i * 37) % 50_000, i % 4], 1.0 + i as f64)).collect();
+        let x = CooTensor::from_entries(Shape::new(vec![4, 50_000, 4]), entries).unwrap();
+        let fs: Vec<DenseMatrix<f64>> = (0..3)
+            .map(|m| {
+                DenseMatrix::from_fn(x.shape().dim(m) as usize, 3, |i, j| {
+                    ((i % 13) as f64 + (j + m) as f64 * 0.5).sin()
+                })
+            })
+            .collect();
+        let ctx = Ctx::new(4, pasta_par::Schedule::Static);
+        let before = mttkrp_counters().snapshot();
+        let plan = MttkrpCooPlan::new(&x, 1, &ctx).unwrap();
+        assert!(plan.resorted());
+        assert_eq!(plan.tensor().sort_state().outermost(), Some(1));
+        assert!(mttkrp_counters().snapshot().resorts > before.resorts);
+        let (got, run) = plan.execute(&fs).unwrap();
+        assert_eq!(run.strategy, MttkrpStrategy::Owner);
+        assert!(run.resorted);
+        let seq = mttkrp_coo(&x, &fs, 1, &Ctx::sequential()).unwrap();
+        assert_mat_eq(&got, &seq, 1e-9);
+    }
+
+    #[test]
+    fn empty_tensor_yields_zeros() {
+        let x = CooTensor::<f64>::new(Shape::new(vec![3, 4, 5]));
+        let fs: Vec<DenseMatrix<f64>> =
+            vec![DenseMatrix::zeros(3, 2), DenseMatrix::zeros(4, 2), DenseMatrix::zeros(5, 2)];
+        for n in 0..3 {
+            let (out, run) = mttkrp_coo_traced(&x, &fs, n, &Ctx::parallel()).unwrap();
+            assert_eq!(run.strategy, MttkrpStrategy::Sequential);
+            assert_eq!(out.rows(), x.shape().dim(n) as usize);
+            assert!(out.as_slice().iter().all(|&v| v == 0.0), "must be zeros, not uninitialized");
+        }
+        let h = HiCooTensor::from_coo(&x, 2).unwrap();
+        let out = mttkrp_hicoo(&h, &fs, 0, &Ctx::parallel()).unwrap();
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]
@@ -309,6 +754,21 @@ mod tests {
     }
 
     #[test]
+    fn hicoo_owner_runs_on_mode0() {
+        // Morton block order keeps binds[0] monotone → owner-computes.
+        let x = bigger();
+        let fs = factors_for(&x, 8);
+        let h = HiCooTensor::from_coo(&x, 8).unwrap();
+        if h.mode_binds_monotone(0) {
+            let (got, run) =
+                mttkrp_hicoo_traced(&h, &fs, 0, &Ctx::new(4, pasta_par::Schedule::Static)).unwrap();
+            assert_eq!(run.strategy, MttkrpStrategy::Owner);
+            let seq = mttkrp_hicoo(&h, &fs, 0, &Ctx::sequential()).unwrap();
+            assert_eq!(got.as_slice(), seq.as_slice(), "owner must be bit-identical");
+        }
+    }
+
+    #[test]
     fn rejects_inconsistent_factors() {
         let x = sample();
         let mut fs = factors_for(&x, 3);
@@ -320,6 +780,12 @@ mod tests {
         assert!(mttkrp_coo(&x, &fs, 0, &Ctx::sequential()).is_err());
         let fs0 = vec![DenseMatrix::<f64>::zeros(4, 0); 3];
         assert!(mttkrp_coo(&x, &fs0, 0, &Ctx::sequential()).is_err());
+        // Rank-0 in a non-leading factor must also be rejected, with the
+        // rank-0 error (not a generic mismatch).
+        let mut fs = factors_for(&x, 3);
+        fs[1] = DenseMatrix::zeros(5, 0);
+        let err = mttkrp_coo(&x, &fs, 0, &Ctx::sequential()).unwrap_err();
+        assert!(err.to_string().contains("rank 0"), "unexpected error: {err}");
     }
 
     #[test]
@@ -330,5 +796,20 @@ mod tests {
         let want = mttkrp_dense(&x, &fs, 1);
         assert_mat_eq(&got, &want, 1e-12);
         assert_eq!(got.cols(), 16);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let x = bigger();
+        let fs = factors_for(&x, 4);
+        let c = mttkrp_counters();
+        let before = c.snapshot();
+        mttkrp_coo(&x, &fs, 0, &Ctx::sequential()).unwrap();
+        let ctx = Ctx::new(4, pasta_par::Schedule::Static).with_mttkrp(StrategyChoice::Privatized);
+        mttkrp_coo(&x, &fs, 0, &ctx).unwrap();
+        let after = c.snapshot();
+        assert!(after.sequential_nnz >= before.sequential_nnz + x.nnz() as u64);
+        assert!(after.privatized_nnz >= before.privatized_nnz + x.nnz() as u64);
+        assert!(after.merge_bytes > before.merge_bytes);
     }
 }

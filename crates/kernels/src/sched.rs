@@ -1,0 +1,241 @@
+//! Contention-free MTTKRP scheduling primitives.
+//!
+//! Two building blocks for the atomic-free strategies picked by
+//! [`choose_mttkrp_strategy`](crate::analysis::choose_mttkrp_strategy):
+//!
+//! - [`owner_ranges`] cuts a non-decreasing row-index array into per-thread
+//!   non-zero ranges aligned at row boundaries, so each output row has
+//!   exactly one owner (the "owner-computes" rule);
+//! - [`SparseAcc`] is the hashed per-worker accumulator for privatized
+//!   reduction over hyper-sparse outputs, where a dense
+//!   `out_rows × rank` buffer per worker would dwarf the actual work.
+
+use pasta_core::{Coord, Value};
+
+use crate::microkernel::add_assign;
+
+/// Splits `0..rows_idx.len()` into at most `parts` contiguous ranges that
+/// never cut through a run of equal values in `rows_idx` (which must be
+/// non-decreasing — the mode-`n` index array of a mode-`n`-outermost-sorted
+/// tensor).
+///
+/// Cuts start at the balanced positions `k·nnz/parts` and advance forward to
+/// the next row boundary, so ranges are near-equal for typical row-length
+/// distributions and a single giant row degrades to fewer (never incorrect)
+/// ranges. Empty ranges are dropped; the concatenation of the returned
+/// ranges is exactly `0..rows_idx.len()`.
+pub fn owner_ranges(rows_idx: &[Coord], parts: usize) -> Vec<std::ops::Range<usize>> {
+    let nnz = rows_idx.len();
+    let parts = parts.max(1);
+    debug_assert!(rows_idx.windows(2).all(|w| w[0] <= w[1]), "owner_ranges needs sorted rows");
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for k in 1..=parts {
+        if start >= nnz {
+            break;
+        }
+        let mut cut = if k == parts { nnz } else { (k * nnz / parts).max(start) };
+        // Advance to the next row boundary so no row straddles two ranges.
+        while cut < nnz && cut > 0 && rows_idx[cut] == rows_idx[cut - 1] {
+            cut += 1;
+        }
+        if cut > start {
+            ranges.push(start..cut);
+            start = cut;
+        }
+    }
+    ranges
+}
+
+/// An open-addressing hash accumulator mapping output rows to `rank`-wide
+/// value blocks.
+///
+/// Used as the per-worker private buffer of the privatized-sparse MTTKRP
+/// strategy: capacity scales with the rows a worker actually touches, not
+/// the mode dimension. Keys are row indices (`u32::MAX` is the empty
+/// sentinel — mode dimensions are bounded by `Coord::MAX` so no valid row
+/// collides with it); probing is linear; the table rehashes at 7/8 load.
+#[derive(Debug)]
+pub struct SparseAcc<V> {
+    keys: Vec<u32>,
+    vals: Vec<V>,
+    rank: usize,
+    len: usize,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+impl<V: Value> SparseAcc<V> {
+    /// Creates an accumulator for `rank`-wide rows with room for about
+    /// `expected_rows` distinct rows before the first rehash.
+    pub fn new(rank: usize, expected_rows: usize) -> Self {
+        let cap = (expected_rows.max(4) * 8 / 7 + 1).next_power_of_two();
+        Self { keys: vec![EMPTY; cap], vals: vec![V::ZERO; cap * rank], rank, len: 0 }
+    }
+
+    /// The number of distinct rows touched.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no rows were touched.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The accumulator's memory footprint in bytes (keys + values).
+    pub fn bytes(&self) -> usize {
+        self.keys.len() * std::mem::size_of::<u32>() + self.vals.len() * V::BYTES
+    }
+
+    #[inline]
+    fn slot(&self, row: u32) -> usize {
+        // Fibonacci multiplicative hash: spreads clustered row indices
+        // across the power-of-two table.
+        let h = (row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> (64 - self.keys.len().trailing_zeros())) as usize
+    }
+
+    /// Returns the `rank`-wide accumulator block for `row`, inserting a
+    /// zeroed block on first touch.
+    pub fn row_mut(&mut self, row: u32) -> &mut [V] {
+        debug_assert_ne!(row, EMPTY);
+        if (self.len + 1) * 8 > self.keys.len() * 7 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = self.slot(row);
+        loop {
+            let k = self.keys[i];
+            if k == row {
+                break;
+            }
+            if k == EMPTY {
+                self.keys[i] = row;
+                self.len += 1;
+                break;
+            }
+            i = (i + 1) & mask;
+        }
+        &mut self.vals[i * self.rank..(i + 1) * self.rank]
+    }
+
+    fn grow(&mut self) {
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; 0]);
+        let old_vals = std::mem::take(&mut self.vals);
+        let cap = (old_keys.len() * 2).max(8);
+        self.keys = vec![EMPTY; cap];
+        self.vals = vec![V::ZERO; cap * self.rank];
+        self.len = 0;
+        for (i, &k) in old_keys.iter().enumerate() {
+            if k != EMPTY {
+                let block = &old_vals[i * self.rank..(i + 1) * self.rank];
+                self.row_mut(k).copy_from_slice(block);
+            }
+        }
+    }
+
+    /// Folds `other` into `self` row-by-row (the tree-reduction merge).
+    pub fn merge(&mut self, other: &SparseAcc<V>) {
+        debug_assert_eq!(self.rank, other.rank);
+        for (i, &k) in other.keys.iter().enumerate() {
+            if k != EMPTY {
+                let src = &other.vals[i * other.rank..(i + 1) * other.rank];
+                add_assign(self.row_mut(k), src);
+            }
+        }
+    }
+
+    /// Adds every accumulated row into the dense output (row-major,
+    /// `rank` columns).
+    pub fn drain_into(&self, out: &mut [V]) {
+        for (i, &k) in self.keys.iter().enumerate() {
+            if k != EMPTY {
+                let src = &self.vals[i * self.rank..(i + 1) * self.rank];
+                let dst = &mut out[k as usize * self.rank..(k as usize + 1) * self.rank];
+                add_assign(dst, src);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_ranges_partition_and_align() {
+        let rows: Vec<Coord> = vec![0, 0, 0, 1, 1, 2, 2, 2, 2, 3, 5, 5];
+        for parts in 1..=8 {
+            let rs = owner_ranges(&rows, parts);
+            // Exact partition of 0..nnz.
+            let mut cursor = 0;
+            for r in &rs {
+                assert_eq!(r.start, cursor);
+                cursor = r.end;
+            }
+            assert_eq!(cursor, rows.len());
+            // No row straddles a boundary.
+            for r in &rs {
+                if r.start > 0 {
+                    assert_ne!(rows[r.start], rows[r.start - 1], "parts={parts} range={r:?}");
+                }
+            }
+            assert!(rs.len() <= parts);
+        }
+    }
+
+    #[test]
+    fn owner_ranges_single_giant_row() {
+        let rows = vec![7u32; 100];
+        let rs = owner_ranges(&rows, 4);
+        assert_eq!(rs, vec![0..100]);
+    }
+
+    #[test]
+    fn owner_ranges_empty() {
+        assert!(owner_ranges(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn sparse_acc_accumulates_and_grows() {
+        let mut acc = SparseAcc::<f64>::new(3, 2);
+        // Insert far more rows than the initial capacity to force rehashes.
+        for pass in 0..2 {
+            for row in 0..200u32 {
+                let block = acc.row_mut(row * 1000);
+                for (j, b) in block.iter_mut().enumerate() {
+                    *b += (row as f64) + j as f64 + pass as f64;
+                }
+            }
+        }
+        assert_eq!(acc.len(), 200);
+        let mut out = vec![0.0f64; 200_000 * 3];
+        acc.drain_into(&mut out);
+        for row in 0..200usize {
+            for j in 0..3 {
+                let want = 2.0 * row as f64 + 2.0 * j as f64 + 1.0;
+                assert_eq!(out[row * 1000 * 3 + j], want, "row={row} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_acc_merge_matches_single() {
+        let mut a = SparseAcc::<f32>::new(2, 4);
+        let mut b = SparseAcc::<f32>::new(2, 4);
+        for row in 0..50u32 {
+            a.row_mut(row)[0] += row as f32;
+            b.row_mut(row * 2)[1] += 1.0;
+        }
+        assert!(!a.is_empty());
+        assert!(a.bytes() > 0);
+        a.merge(&b);
+        let mut out = vec![0.0f32; 100 * 2];
+        a.drain_into(&mut out);
+        for row in 0..50usize {
+            assert_eq!(out[row * 2], row as f32);
+            assert_eq!(out[row * 2 * 2 + 1], 1.0);
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! and HiCOO-TTM an sHiCOO tensor, both pre-allocated by the plan.
 
 use crate::ctx::Ctx;
+use crate::microkernel::axpy;
 use pasta_core::{
     CooTensor, Coord, DenseMatrix, Error, FiberIndex, GHiCooTensor, ModeIndex, Result,
     SHiCooTensor, SemiCooTensor, Shape, Value,
@@ -118,11 +119,7 @@ impl<V: Value> TtmCooPlan<V> {
                 let row = unsafe { shared.slice_mut(f * r..(f + 1) * r) };
                 row.fill(V::ZERO);
                 for x in self.fibers.fiber_range(f) {
-                    let v = vals[x];
-                    let urow = u.row(kind[x] as usize);
-                    for (o, &uv) in row.iter_mut().zip(urow) {
-                        *o += v * uv;
-                    }
+                    axpy(row, vals[x], u.row(kind[x] as usize));
                 }
             }
         });
@@ -264,11 +261,7 @@ impl<V: Value> TtmHicooPlan<V> {
                     let row = unsafe { shared.slice_mut(f * r..(f + 1) * r) };
                     row.fill(V::ZERO);
                     for x in self.fptr[f]..self.fptr[f + 1] {
-                        let v = vals[x];
-                        let urow = u.row(kind[x] as usize);
-                        for (o, &uv) in row.iter_mut().zip(urow) {
-                            *o += v * uv;
-                        }
+                        axpy(row, vals[x], u.row(kind[x] as usize));
                     }
                 }
             }

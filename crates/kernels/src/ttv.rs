@@ -9,6 +9,7 @@
 //! value computation alone, matching the paper's methodology.
 
 use crate::ctx::Ctx;
+use crate::microkernel::gather_dot;
 use pasta_core::{
     CooTensor, Coord, DenseVector, Error, FiberIndex, GHiCooTensor, HiCooTensor, ModeIndex, Result,
     Shape, Value,
@@ -119,10 +120,7 @@ impl<V: Value> TtvCooPlan<V> {
         let shared = SharedSlice::new(out);
         parallel_for(self.num_fibers(), ctx.threads, ctx.schedule, |range| {
             for f in range {
-                let mut acc = V::ZERO;
-                for x in self.fibers.fiber_range(f) {
-                    acc += vals[x] * vv[kind[x] as usize];
-                }
+                let acc = gather_dot(vals, kind, vv, self.fibers.fiber_range(f));
                 // SAFETY: one fiber -> one output slot; ranges partition fibers.
                 unsafe { shared.write(f, acc) };
             }
@@ -274,10 +272,7 @@ impl<V: Value> TtvHicooPlan<V> {
         parallel_for(self.bfptr.len() - 1, ctx.threads, ctx.schedule, |blocks| {
             for b in blocks {
                 for f in self.bfptr[b]..self.bfptr[b + 1] {
-                    let mut acc = V::ZERO;
-                    for x in self.fptr[f]..self.fptr[f + 1] {
-                        acc += vals[x] * vv[kind[x] as usize];
-                    }
+                    let acc = gather_dot(vals, kind, vv, self.fptr[f]..self.fptr[f + 1]);
                     // SAFETY: fibers nest in blocks; blocks partition fibers.
                     unsafe { shared.write(f, acc) };
                 }

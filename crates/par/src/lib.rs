@@ -30,11 +30,13 @@
 
 pub mod atomic;
 pub mod pool;
+pub mod reduce;
 pub mod schedule;
 pub mod shared;
 
 pub use atomic::{AtomicF32, AtomicF64, Atomically};
 pub use pool::{threads_spawned, Pool};
+pub use reduce::tree_reduce;
 pub use schedule::Schedule;
 pub use shared::SharedSlice;
 

@@ -1,0 +1,138 @@
+//! Parallel pairwise tree reduction over owned items.
+//!
+//! [`parallel_reduce`](crate::parallel_reduce) folds per-thread partials
+//! *serially* on the caller's thread — fine for scalars, but merging
+//! worker-private MTTKRP accumulators moves `threads × rows × rank` values,
+//! and a serial fold makes the merge O(threads) deep. [`tree_reduce`] merges
+//! pairs concurrently on the pool instead, so the merge is O(log₂ threads)
+//! deep and every round's pair-merges run in parallel.
+//!
+//! The combining tree is fixed by the item count alone — round `k` merges
+//! slot `i + 2^k` into slot `i` for every `i` that is a multiple of
+//! `2^(k+1)` — so for a given input length the result is bit-identical no
+//! matter how many workers the pool actually has.
+
+use crate::{pool, SharedSlice};
+
+/// Merges `items` pairwise into a single value using up to `threads`
+/// participants of the global pool; returns `None` for an empty input.
+///
+/// `merge(dst, src)` must fold `src` into `dst`. Merges follow a fixed
+/// stride-doubling tree (slot `i+s` into slot `i`), so the association
+/// order — and therefore any floating-point rounding — depends only on
+/// `items.len()`, never on `threads` or scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_par::tree_reduce;
+///
+/// let bufs: Vec<Vec<u64>> = (0..5).map(|t| vec![t; 4]).collect();
+/// let total = tree_reduce(bufs, 4, |dst, src| {
+///     for (d, s) in dst.iter_mut().zip(src) {
+///         *d += s;
+///     }
+/// });
+/// assert_eq!(total, Some(vec![10; 4]));
+/// ```
+pub fn tree_reduce<T, F>(items: Vec<T>, threads: usize, merge: F) -> Option<T>
+where
+    T: Send,
+    F: Fn(&mut T, T) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return None;
+    }
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let threads = threads.max(1);
+    let mut stride = 1usize;
+    while stride < n {
+        // Round k: fold slot i+stride into slot i for i ≡ 0 (mod 2*stride).
+        let pairs: Vec<usize> = (0..n).step_by(2 * stride).filter(|i| i + stride < n).collect();
+        let participants = threads.min(pairs.len());
+        if participants <= 1 {
+            for &i in &pairs {
+                let src = slots[i + stride].take().expect("slot merged twice");
+                merge(slots[i].as_mut().expect("slot merged twice"), src);
+            }
+        } else {
+            let shared = SharedSlice::new(&mut slots);
+            let per = pairs.len() / participants;
+            let rem = pairs.len() % participants;
+            pool::global().broadcast(participants, |t| {
+                let start = t * per + t.min(rem);
+                let len = per + usize::from(t < rem);
+                for &i in &pairs[start..start + len] {
+                    // SAFETY: within a round the pair index sets {i, i+stride}
+                    // are disjoint across pairs (i is a multiple of 2*stride
+                    // and stride < 2*stride), and each pair belongs to
+                    // exactly one participant's contiguous chunk.
+                    let (dst, src) = unsafe {
+                        let s = shared.slice_mut(i..i + stride + 1);
+                        let (lo, hi) = s.split_at_mut(stride);
+                        (&mut lo[0], &mut hi[0])
+                    };
+                    let src = src.take().expect("slot merged twice");
+                    merge(dst.as_mut().expect("slot merged twice"), src);
+                }
+            });
+        }
+        stride *= 2;
+    }
+    slots[0].take()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        let none = tree_reduce(Vec::<u32>::new(), 4, |a, b| *a += b);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn single_item_passes_through() {
+        assert_eq!(tree_reduce(vec![7u32], 4, |a, b| *a += b), Some(7));
+    }
+
+    #[test]
+    fn sums_match_serial_for_all_shapes() {
+        for n in 1..=17usize {
+            for &t in &[1usize, 2, 3, 4, 8] {
+                let items: Vec<u64> = (0..n as u64).map(|i| i * i + 1).collect();
+                let expect: u64 = items.iter().sum();
+                assert_eq!(tree_reduce(items, t, |a, b| *a += b), Some(expect), "n={n} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn association_independent_of_threads() {
+        // Floating point: the tree shape is a function of n alone, so any
+        // thread count must produce the exact same bits.
+        let mk = || (0..13).map(|i| vec![(i as f32).sin(); 8]).collect::<Vec<_>>();
+        let merge = |a: &mut Vec<f32>, b: Vec<f32>| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        };
+        let one = tree_reduce(mk(), 1, merge).unwrap();
+        for &t in &[2usize, 4, 8] {
+            assert_eq!(tree_reduce(mk(), t, merge).unwrap(), one);
+        }
+    }
+
+    #[test]
+    fn vector_buffers_merge_elementwise() {
+        let bufs: Vec<Vec<u32>> = (0..6).map(|t| vec![t; 3]).collect();
+        let got = tree_reduce(bufs, 3, |dst, src| {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        });
+        assert_eq!(got, Some(vec![15; 3]));
+    }
+}

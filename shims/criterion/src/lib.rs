@@ -9,7 +9,11 @@
 //! min, and max per iteration to stdout (one line per benchmark).
 //!
 //! Supports `cargo bench` filtering: a single CLI argument restricts runs to
-//! benchmark ids containing it; `--bench`/`--test` harness flags are ignored.
+//! benchmark ids containing it. `--test` switches to smoke mode, matching
+//! criterion's test mode: every benchmark runs exactly one sample (after
+//! the warm-up) and the line is prefixed `test` instead of `bench`, so CI
+//! can exercise bench code paths without paying for timing. Other harness
+//! flags (`--bench`, ...) are ignored.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -21,14 +25,16 @@ pub use std::hint::black_box;
 #[derive(Debug)]
 pub struct Criterion {
     filter: Option<String>,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // First free-standing CLI arg (if any) is a substring filter, like
-        // `cargo bench -- <filter>`.
+        // `cargo bench -- <filter>`; `--test` selects smoke mode.
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        Self { filter }
+        let test_mode = std::env::args().skip(1).any(|a| a == "--test");
+        Self { filter, test_mode }
     }
 }
 
@@ -154,6 +160,7 @@ impl<'a> BenchmarkGroup<'a> {
         if !self.criterion.matches(&full_id) {
             return;
         }
+        let samples = if self.criterion.test_mode { 1 } else { samples };
         let mut bencher = Bencher { samples: Vec::with_capacity(samples + 1) };
         // One warm-up pass, then the timed samples.
         for _ in 0..samples + 1 {
@@ -165,6 +172,10 @@ impl<'a> BenchmarkGroup<'a> {
         let mut per_iter: Vec<Duration> = bencher.samples;
         if per_iter.is_empty() {
             println!("bench {full_id:<40} (no samples)");
+            return;
+        }
+        if self.criterion.test_mode {
+            println!("test {full_id:<40} ok");
             return;
         }
         per_iter.sort_unstable();
@@ -259,6 +270,25 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+    }
+
+    #[test]
+    fn test_mode_runs_one_sample() {
+        let mut c = Criterion { filter: None, test_mode: true };
+        let mut runs = 0u32;
+        {
+            let mut group = c.benchmark_group("smoke");
+            group.sample_size(50);
+            group.bench_function("count", |b| {
+                b.iter(|| {
+                    runs += 1;
+                    runs
+                })
+            });
+            group.finish();
+        }
+        // Warm-up + exactly one sample, never the configured 50.
+        assert_eq!(runs, 2);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! MTTKRP scheduling-strategy integration tests.
+//!
+//! The atomic-free MTTKRP has three execution paths — the sequential
+//! oracle, owner-computes, and privatized reduction — and this suite pins
+//! down their agreement contract on random tensors of orders 3 and 4,
+//! every product mode, and pool sizes {1, 2, 4}:
+//!
+//! - **owner-computes is bit-identical** to the sequential oracle run on
+//!   the same (mode-outermost-sorted) entry order: each output row is
+//!   accumulated by one thread in the same entry order the sequential loop
+//!   would use, so not a single rounding step differs;
+//! - **privatized reduction is ULP-bounded**: per-worker accumulators
+//!   split the sum for an output row at worker-chunk boundaries and the
+//!   tree merge re-associates the partials, so results can differ from
+//!   sequential by floating-point association only. With `f64` values,
+//!   worker counts ≤ 4 and the value magnitudes generated here, a relative
+//!   tolerance of 1e-12 is far above the worst case while still
+//!   catching any lost or doubled non-zero contribution.
+
+use pasta::core::{CooTensor, Coord, DenseMatrix, Shape, SortState};
+use pasta::kernels::{
+    mttkrp_coo, mttkrp_coo_traced, Ctx, MttkrpCooPlan, MttkrpStrategy, StrategyChoice,
+};
+use pasta::par::Schedule;
+use proptest::prelude::*;
+
+fn tensor_from(shape: Vec<Coord>, coords: Vec<Vec<Coord>>) -> CooTensor<f64> {
+    let mut t = CooTensor::<f64>::new(Shape::new(shape));
+    for (pos, c) in coords.into_iter().enumerate() {
+        t.push(&c, 1.0 + (pos % 17) as f64 * 0.25).unwrap();
+    }
+    t
+}
+
+fn factors_for(x: &CooTensor<f64>, r: usize) -> Vec<DenseMatrix<f64>> {
+    (0..x.order())
+        .map(|m| {
+            DenseMatrix::from_fn(x.shape().dim(m) as usize, r, |i, j| {
+                ((i + 1) as f64 * 0.13 + (j + m) as f64 * 0.71).sin()
+            })
+        })
+        .collect()
+}
+
+fn assert_close(a: &DenseMatrix<f64>, b: &DenseMatrix<f64>, what: &str) {
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert!((x - y).abs() <= 1e-12 * x.abs().max(1.0), "{what}: {x} vs {y}");
+    }
+}
+
+fn coords3() -> impl Strategy<Value = Vec<Vec<Coord>>> {
+    proptest::collection::vec(
+        (0u32..13, 0u32..21, 0u32..9).prop_map(|(i, j, k)| vec![i, j, k]),
+        1..250,
+    )
+}
+
+fn coords4() -> impl Strategy<Value = Vec<Vec<Coord>>> {
+    proptest::collection::vec(
+        (0u32..7, 0u32..11, 0u32..5, 0u32..9).prop_map(|(i, j, k, l)| vec![i, j, k, l]),
+        1..250,
+    )
+}
+
+const POOL_SIZES: [usize; 3] = [1, 2, 4];
+
+/// Runs the three-strategy agreement check for every mode and pool size.
+fn check_all_strategies(x: &CooTensor<f64>, shape_name: &str) {
+    let fs = factors_for(x, 5);
+    for n in 0..x.order() {
+        let oracle = mttkrp_coo(x, &fs, n, &Ctx::sequential()).unwrap();
+
+        // Owner-computes: sort a copy mode-n outermost; its sequential
+        // oracle on the sorted order must be matched bit-for-bit.
+        let mut xs = x.clone();
+        xs.sort_by_mode_order(&pasta::core::sort::mode_first_order(x.order(), n));
+        assert_eq!(xs.sort_state().outermost(), Some(n));
+        let sorted_oracle = mttkrp_coo(&xs, &fs, n, &Ctx::sequential()).unwrap();
+        assert_close(&sorted_oracle, &oracle, &format!("{shape_name} mode {n} sort invariance"));
+
+        for threads in POOL_SIZES {
+            let ctx = Ctx::new(threads, Schedule::Static);
+
+            let (own, run) = mttkrp_coo_traced(&xs, &fs, n, &ctx).unwrap();
+            if threads > 1 && xs.nnz() > 1 {
+                assert_eq!(run.strategy, MttkrpStrategy::Owner, "{shape_name} mode {n}");
+            }
+            assert_eq!(
+                own.as_slice(),
+                sorted_oracle.as_slice(),
+                "{shape_name} mode {n} t={threads}: owner-computes must be bit-identical"
+            );
+
+            let (priv_out, run) =
+                mttkrp_coo_traced(x, &fs, n, &ctx.with_mttkrp(StrategyChoice::Privatized)).unwrap();
+            if threads > 1 && x.nnz() > 1 {
+                assert!(run.strategy.is_privatized(), "{shape_name} mode {n}: {:?}", run.strategy);
+            }
+            assert_close(&priv_out, &oracle, &format!("{shape_name} mode {n} t={threads} priv"));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Order-3 tensors: owner bit-identical, privatized ULP-bounded, for
+    /// every mode and pool size.
+    #[test]
+    fn prop_order3_strategies_agree(coords in coords3()) {
+        check_all_strategies(&tensor_from(vec![13, 21, 9], coords), "order3");
+    }
+
+    /// Order-4 tensors: same contract.
+    #[test]
+    fn prop_order4_strategies_agree(coords in coords4()) {
+        check_all_strategies(&tensor_from(vec![7, 11, 5, 9], coords), "order4");
+    }
+
+    /// The auto cost model never picks a strategy that changes results
+    /// beyond tolerance, whatever the sort state.
+    #[test]
+    fn prop_auto_dispatch_is_safe(coords in coords3(), threads in prop::sample::select(vec![1usize, 2, 4])) {
+        let x = tensor_from(vec![13, 21, 9], coords);
+        let fs = factors_for(&x, 4);
+        for n in 0..3 {
+            let oracle = mttkrp_coo(&x, &fs, n, &Ctx::sequential()).unwrap();
+            let auto = mttkrp_coo(&x, &fs, n, &Ctx::new(threads, Schedule::Static)).unwrap();
+            assert_close(&auto, &oracle, "auto dispatch");
+        }
+    }
+}
+
+#[test]
+fn plan_reports_consistent_trace() {
+    let coords: Vec<Vec<Coord>> =
+        (0..300u32).map(|i| vec![i % 13, (i * 7) % 21, (i * 3) % 9]).collect();
+    let x = tensor_from(vec![13, 21, 9], coords);
+    let fs = factors_for(&x, 5);
+    for n in 0..3 {
+        let plan = MttkrpCooPlan::new(&x, n, &Ctx::new(4, Schedule::Static)).unwrap();
+        let (out, run) = plan.execute(&fs).unwrap();
+        assert_eq!(run.resorted, plan.resorted());
+        if plan.tensor().sort_state().outermost() == Some(n) {
+            assert_eq!(run.strategy, MttkrpStrategy::Owner);
+        }
+        let oracle = mttkrp_coo(&x, &fs, n, &Ctx::sequential()).unwrap();
+        assert_close(&out, &oracle, "plan");
+    }
+}
+
+#[test]
+fn sort_state_tracks_mutation() {
+    let mut x = tensor_from(vec![4, 4, 4], vec![vec![3, 0, 1], vec![0, 2, 2], vec![1, 1, 0]]);
+    assert_eq!(x.sort_state(), &SortState::Unsorted);
+    x.sort_by_mode_order(&[2, 1, 0]);
+    assert_eq!(x.sort_state().outermost(), Some(2));
+    assert_eq!(x.sort_state().innermost(), Some(0));
+    x.push(&[0, 0, 0], 1.0).unwrap();
+    assert_eq!(x.sort_state(), &SortState::Unsorted, "mutation must invalidate the sort state");
+}
