@@ -18,4 +18,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> MTTKRP bench smoke (strategy dispatch, untimed)"
 PASTA_BENCH_SCALE=0.02 cargo bench -p pasta-bench --bench mttkrp -- --test
 
+echo "==> Conformance matrix (quick tier + selftest)"
+cargo run --release -q -p pasta-conformance -- quick
+cargo run --release -q -p pasta-conformance -- selftest
+
 echo "==> CI gate passed"

@@ -1,0 +1,185 @@
+//! `.case` file serialization: a replayable failure record.
+//!
+//! The format is a line-oriented text file. Values are stored as
+//! hexadecimal f32 bit patterns so a replay is bit-for-bit identical to
+//! the failing run — decimal formatting would round-trip incorrectly for
+//! some floats and quietly change the arithmetic under test.
+//!
+//! ```text
+//! pasta-conformance case v1
+//! cell = mttkrp/coo/cpu/priv/t4
+//! label = shrunk:rand-o3
+//! seed = 42
+//! mode = 0
+//! rank = 1
+//! block = 4
+//! dims = 5 4 6
+//! entry = 0 1 2 0x3fc00000
+//! ```
+
+use crate::cases::Case;
+use pasta_core::Coord;
+
+/// A serialized failure: the cell that failed plus the (shrunk) case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseFile {
+    /// Id of the cell to replay (must exist in [`crate::cells`]).
+    pub cell: String,
+    /// The input case.
+    pub case: Case,
+}
+
+/// Renders a [`CaseFile`] to the `.case` text format.
+pub fn render_case(cf: &CaseFile) -> String {
+    let mut out = String::from("pasta-conformance case v1\n");
+    out.push_str(&format!("cell = {}\n", cf.cell));
+    out.push_str(&format!("label = {}\n", cf.case.label));
+    out.push_str(&format!("seed = {}\n", cf.case.seed));
+    out.push_str(&format!("mode = {}\n", cf.case.mode));
+    out.push_str(&format!("rank = {}\n", cf.case.rank));
+    out.push_str(&format!("block = {}\n", cf.case.block));
+    let dims: Vec<String> = cf.case.dims.iter().map(ToString::to_string).collect();
+    out.push_str(&format!("dims = {}\n", dims.join(" ")));
+    for (coords, v) in &cf.case.entries {
+        let cs: Vec<String> = coords.iter().map(ToString::to_string).collect();
+        out.push_str(&format!("entry = {} 0x{:08x}\n", cs.join(" "), v.to_bits()));
+    }
+    out
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.strip_prefix(key)?.strip_prefix(" = ")
+}
+
+/// Parses the `.case` text format.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for any syntax error,
+/// unknown key, missing field, or malformed number.
+pub fn parse_case(text: &str) -> Result<CaseFile, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some("pasta-conformance case v1") => {}
+        other => return Err(format!("bad header: {other:?}")),
+    }
+    let mut cell = None;
+    let mut label = None;
+    let mut seed = None;
+    let mut mode = None;
+    let mut rank = None;
+    let mut block = None;
+    let mut dims: Option<Vec<Coord>> = None;
+    let mut entries: Vec<(Vec<Coord>, f32)> = Vec::new();
+    for (n, line) in lines.enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: {line}", n + 2);
+        if let Some(v) = field(line, "cell") {
+            cell = Some(v.to_string());
+        } else if let Some(v) = field(line, "label") {
+            label = Some(v.to_string());
+        } else if let Some(v) = field(line, "seed") {
+            seed = Some(v.parse::<u64>().map_err(|_| err("bad seed"))?);
+        } else if let Some(v) = field(line, "mode") {
+            mode = Some(v.parse::<usize>().map_err(|_| err("bad mode"))?);
+        } else if let Some(v) = field(line, "rank") {
+            rank = Some(v.parse::<usize>().map_err(|_| err("bad rank"))?);
+        } else if let Some(v) = field(line, "block") {
+            block = Some(v.parse::<u32>().map_err(|_| err("bad block"))?);
+        } else if let Some(v) = field(line, "dims") {
+            let parsed: Result<Vec<Coord>, _> = v.split_whitespace().map(str::parse).collect();
+            dims = Some(parsed.map_err(|_| err("bad dims"))?);
+        } else if let Some(v) = field(line, "entry") {
+            let toks: Vec<&str> = v.split_whitespace().collect();
+            let (coords_toks, bits_tok) = toks.split_at(toks.len().saturating_sub(1));
+            let bits_tok = bits_tok.first().ok_or_else(|| err("empty entry"))?;
+            let hex = bits_tok.strip_prefix("0x").ok_or_else(|| err("value must be 0x…"))?;
+            let bits = u32::from_str_radix(hex, 16).map_err(|_| err("bad value bits"))?;
+            let coords: Result<Vec<Coord>, _> = coords_toks.iter().map(|t| t.parse()).collect();
+            entries.push((coords.map_err(|_| err("bad entry coordinate"))?, f32::from_bits(bits)));
+        } else {
+            return Err(err("unknown key"));
+        }
+    }
+    let dims = dims.ok_or("missing dims")?;
+    let order = dims.len();
+    if order == 0 {
+        return Err("dims must name at least one mode".into());
+    }
+    for (coords, _) in &entries {
+        if coords.len() != order {
+            return Err(format!("entry order {} does not match dims order {order}", coords.len()));
+        }
+    }
+    Ok(CaseFile {
+        cell: cell.ok_or("missing cell")?,
+        case: Case {
+            label: label.ok_or("missing label")?,
+            dims,
+            entries,
+            mode: mode.ok_or("missing mode")?,
+            rank: rank.ok_or("missing rank")?,
+            block: block.ok_or("missing block")?,
+            seed: seed.ok_or("missing seed")?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::{generate, Tier};
+
+    #[test]
+    fn roundtrips_bit_exactly() {
+        for case in generate(Tier::Quick, 99) {
+            let cf = CaseFile { cell: "tew/coo/cpu/t1".into(), case };
+            let parsed = parse_case(&render_case(&cf)).expect("parse");
+            assert_eq!(parsed, cf);
+        }
+    }
+
+    #[test]
+    fn roundtrips_awkward_floats() {
+        let case = Case {
+            label: "awkward".into(),
+            dims: vec![2, 2],
+            entries: vec![
+                (vec![0, 0], f32::from_bits(0x0000_0001)), // subnormal
+                (vec![1, 1], 1.0 + f32::EPSILON),
+            ],
+            mode: 0,
+            rank: 1,
+            block: 2,
+            seed: 3,
+        };
+        let cf = CaseFile { cell: "ts/coo/gpu".into(), case };
+        assert_eq!(parse_case(&render_case(&cf)).unwrap(), cf);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_case("nope").is_err());
+        assert!(parse_case("pasta-conformance case v1\n").is_err()); // missing fields
+        let cf = CaseFile {
+            cell: "c".into(),
+            case: Case {
+                label: "l".into(),
+                dims: vec![2],
+                entries: vec![(vec![0], 1.0)],
+                mode: 0,
+                rank: 1,
+                block: 2,
+                seed: 0,
+            },
+        };
+        let good = render_case(&cf);
+        assert!(parse_case(&good.replace("0x", "")).is_err(), "decimal values rejected");
+        assert!(parse_case(&good.replace("dims", "dimz")).is_err(), "unknown key rejected");
+        let wrong_order = good.replace("entry = 0 ", "entry = 0 0 ");
+        assert!(parse_case(&wrong_order).is_err(), "order mismatch rejected");
+    }
+}

@@ -1,0 +1,279 @@
+//! Deterministic seeded case generation.
+//!
+//! Every case is a small COO tensor (dims kept well under the dense
+//! oracle's entry limit) plus the knobs the matrix needs: the product mode,
+//! the factor rank, and the HiCOO block size. Values are drawn from
+//! `[0.5, 2)` — positive and of one magnitude class — so reduction results
+//! carry no catastrophic cancellation and ULP budgets stay meaningful.
+
+use pasta_core::{CooTensor, Coord, Result, Shape};
+use std::collections::BTreeSet;
+
+/// Which slice of the case corpus to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// A small corpus that runs in seconds; gates CI.
+    Quick,
+    /// The quick corpus plus many more random cases per order; nightly.
+    Full,
+}
+
+/// One conformance input: a tensor plus operand parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Case {
+    /// Human-readable generator label (stable across runs for a seed).
+    pub label: String,
+    /// Mode dimensions.
+    pub dims: Vec<Coord>,
+    /// Sparse entries; coordinates are in range for `dims`, deduplicated.
+    pub entries: Vec<(Vec<Coord>, f32)>,
+    /// Product mode for TTV/TTM/MTTKRP (`< dims.len()`).
+    pub mode: usize,
+    /// Factor rank for TTM/MTTKRP (`>= 1`).
+    pub rank: usize,
+    /// HiCOO-family block size (power of two in `2..=256`).
+    pub block: u32,
+    /// Seed for the derived operands (vectors, matrices, second TEW input).
+    pub seed: u64,
+}
+
+impl Case {
+    /// The tensor order.
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Materializes the COO tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an entry is out of range for `dims` (only
+    /// possible for hand-edited `.case` files).
+    pub fn tensor(&self) -> Result<CooTensor<f32>> {
+        CooTensor::from_entries(Shape::new(self.dims.clone()), self.entries.iter().cloned())
+    }
+}
+
+/// One SplitMix64 step.
+pub(crate) fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A value in `[0.5, 2)`.
+pub(crate) fn unit_val(state: &mut u64) -> f32 {
+    let u = (splitmix(state) >> 40) as f32 / (1u64 << 24) as f32;
+    0.5 + 1.5 * u
+}
+
+/// Random tensor over `dims` with up to `nnz` distinct entries.
+fn random_case(
+    label: &str,
+    dims: Vec<Coord>,
+    nnz: usize,
+    mode: usize,
+    rank: usize,
+    block: u32,
+    seed: u64,
+) -> Case {
+    let mut st = seed ^ 0xCA5E;
+    let mut coords = BTreeSet::new();
+    for _ in 0..nnz * 2 {
+        if coords.len() >= nnz {
+            break;
+        }
+        let c: Vec<Coord> = dims.iter().map(|&d| (splitmix(&mut st) % d as u64) as Coord).collect();
+        coords.insert(c);
+    }
+    let entries = coords.into_iter().map(|c| (c, unit_val(&mut st))).collect();
+    Case { label: label.to_string(), dims, entries, mode, rank, block, seed }
+}
+
+/// Remaps each mode's coordinates to a compact `0..k` range, preserving the
+/// sparsity pattern, and rewrites values into `[0.5, 2)`. Used to shrink a
+/// `pasta-gen` profile tensor (whose dims are far beyond the dense oracle
+/// limit) into conformance range without losing its structure.
+fn compact(
+    label: &str,
+    t: &CooTensor<f32>,
+    mode: usize,
+    rank: usize,
+    block: u32,
+    seed: u64,
+) -> Case {
+    let order = t.order();
+    let mut maps: Vec<std::collections::BTreeMap<Coord, Coord>> = vec![Default::default(); order];
+    for (coords, _) in t.iter() {
+        for (m, &c) in coords.iter().enumerate() {
+            let next = maps[m].len() as Coord;
+            maps[m].entry(c).or_insert(next);
+        }
+    }
+    let dims: Vec<Coord> = maps.iter().map(|m| (m.len() as Coord).max(1)).collect();
+    let mut st = seed ^ 0x9F0F;
+    let entries = t
+        .iter()
+        .map(|(coords, _)| {
+            let c: Vec<Coord> = coords.iter().enumerate().map(|(m, x)| maps[m][x]).collect();
+            (c, unit_val(&mut st))
+        })
+        .collect();
+    Case { label: label.to_string(), dims, entries, mode, rank, block, seed }
+}
+
+/// The deterministic case corpus for `tier`, derived from `seed`.
+pub fn generate(tier: Tier, seed: u64) -> Vec<Case> {
+    // Random tensors across orders 2–5 and a spread of densities, then the
+    // degenerate shapes.
+    let mut out = vec![
+        random_case("rand-o2", vec![6, 7], 17, 1, 3, 2, seed ^ 1),
+        random_case("rand-o3", vec![5, 4, 6], 30, 1, 4, 4, seed ^ 2),
+        random_case("rand-o3-dense", vec![4, 4, 4], 48, 2, 3, 2, seed ^ 3),
+        random_case("rand-o4", vec![4, 3, 3, 4], 28, 2, 2, 2, seed ^ 4),
+        random_case("rand-o5", vec![3, 2, 4, 2, 3], 20, 0, 3, 2, seed ^ 5),
+        Case {
+            label: "empty".into(),
+            dims: vec![4, 4, 4],
+            entries: Vec::new(),
+            mode: 1,
+            rank: 2,
+            block: 2,
+            seed: seed ^ 6,
+        },
+    ];
+    {
+        let mut st = seed ^ 7;
+        out.push(Case {
+            label: "single-entry".into(),
+            dims: vec![5, 3, 4],
+            entries: vec![(vec![4, 2, 1], unit_val(&mut st))],
+            mode: 0,
+            rank: 3,
+            block: 4,
+            seed: seed ^ 7,
+        });
+    }
+    {
+        // Single fiber: all entries share every coordinate but the last.
+        let mut st = seed ^ 8;
+        let entries = (0..6).map(|k| (vec![2, 1, k], unit_val(&mut st))).collect();
+        out.push(Case {
+            label: "single-fiber".into(),
+            dims: vec![4, 3, 6],
+            entries,
+            mode: 2,
+            rank: 2,
+            block: 2,
+            seed: seed ^ 8,
+        });
+    }
+    {
+        // Every non-zero inside one HiCOO block (coords < block size).
+        let mut st = seed ^ 9;
+        let mut entries = Vec::new();
+        for i in 0..4u32 {
+            for j in 0..3u32 {
+                entries.push((vec![i, j, (i + j) % 4], unit_val(&mut st)));
+            }
+        }
+        out.push(Case {
+            label: "one-block".into(),
+            dims: vec![16, 16, 16],
+            entries,
+            mode: 1,
+            rank: 3,
+            block: 4,
+            seed: seed ^ 9,
+        });
+    }
+    // Dimensions of one mixed in, and a rank-1 factor case.
+    out.push(random_case("unit-dims", vec![1, 5, 1, 4], 10, 1, 2, 2, seed ^ 10));
+    out.push(random_case("rank-1", vec![5, 5, 5], 24, 2, 1, 2, seed ^ 11));
+
+    // A pasta-gen profile, scaled down and compacted into oracle range.
+    if let Some(p) = pasta_gen::synthetic_profiles().into_iter().next() {
+        if let Ok(t) = p.generate_scaled(0.001) {
+            out.push(compact(&format!("profile-{}", p.name), &t, 0, 3, 4, seed ^ 12));
+        }
+    }
+
+    if tier == Tier::Full {
+        let mut st = seed ^ 0xF0_11;
+        for i in 0..24u64 {
+            let order = 2 + (i % 4) as usize;
+            let dims: Vec<Coord> =
+                (0..order).map(|_| 2 + (splitmix(&mut st) % 7) as Coord).collect();
+            let cap: usize = dims.iter().map(|&d| d as usize).product();
+            let nnz = 1 + (splitmix(&mut st) as usize % cap);
+            let mode = (splitmix(&mut st) as usize) % order;
+            let rank = 1 + (splitmix(&mut st) as usize % 5);
+            let block = 1 << (1 + (splitmix(&mut st) % 3));
+            out.push(random_case(
+                &format!("full-rand-{i}"),
+                dims,
+                nnz,
+                mode,
+                rank,
+                block as u32,
+                seed ^ (0x100 + i),
+            ));
+        }
+        if let Some(p) = pasta_gen::synthetic_profiles().into_iter().nth(3) {
+            if let Ok(t) = p.generate_scaled(0.0005) {
+                out.push(compact(&format!("profile-{}", p.name), &t, 1, 4, 8, seed ^ 13));
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_valid() {
+        let a = generate(Tier::Quick, 42);
+        let b = generate(Tier::Quick, 42);
+        assert_eq!(a, b);
+        assert!(a.len() >= 10);
+        let orders: BTreeSet<usize> = a.iter().map(Case::order).collect();
+        for o in 2..=5 {
+            assert!(orders.contains(&o), "missing order {o}");
+        }
+        for c in &a {
+            assert!(c.mode < c.order(), "{}: mode out of range", c.label);
+            assert!(c.rank >= 1);
+            assert!(c.block.is_power_of_two() && (2..=256).contains(&c.block));
+            let t = c.tensor().expect("valid entries");
+            assert_eq!(t.nnz(), c.entries.len(), "{}: duplicate entries", c.label);
+            // Dense images stay comfortably under the oracle limit.
+            assert!(t.shape().num_entries() <= (1 << 21) as f64, "{}", c.label);
+            for (_, v) in &c.entries {
+                assert!((0.5..2.0).contains(v));
+            }
+        }
+        assert!(a.iter().any(|c| c.entries.is_empty()), "empty case present");
+        assert!(a.iter().any(|c| c.rank == 1), "rank-1 case present");
+        assert!(a.iter().any(|c| c.dims.contains(&1)), "unit-dim case present");
+    }
+
+    #[test]
+    fn full_tier_extends_quick() {
+        let q = generate(Tier::Quick, 7);
+        let f = generate(Tier::Full, 7);
+        assert!(f.len() > q.len() + 20);
+        assert_eq!(&f[..q.len()], &q[..]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(Tier::Quick, 1);
+        let b = generate(Tier::Quick, 2);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,42 @@
+//! # pasta-conformance — the differential conformance harness
+//!
+//! Every registered (kernel × format × backend × strategy × pool size) cell
+//! is executed against a reference — the dense oracles in
+//! [`pasta_kernels::dense_ref`] or, where bit-identity is the contract, the
+//! sequential CPU kernel — and the worst observed ULP distance per cell is
+//! compared against that cell's budget:
+//!
+//! - **0 ULP** for the element-wise kernels (TEW, TS) on every format and
+//!   backend, and for owner-computes MTTKRP against the sequential kernel on
+//!   a mode-outermost-sorted tensor (the PR 2 determinism guarantee);
+//! - **bounded** budgets for the reduction kernels (TTV, TTM, MTTKRP),
+//!   where parallel and GPU schedules may legally reassociate sums.
+//!
+//! Cases come from a deterministic seeded generator ([`cases::generate`])
+//! covering tensor orders 2–5, several densities, a scaled-down
+//! `pasta-gen` profile, and the degenerate shapes that historically break
+//! sparse kernels: empty tensors, a single fiber, all non-zeros in one
+//! block, dimensions of one, and rank-1 factors.
+//!
+//! When a cell fails, the harness shrinks the case with the delta-debugging
+//! hooks in the vendored `proptest` shim (entries via `ddmin`, dimensions
+//! and rank via bisection) and serializes the minimal case to a `.case`
+//! file that `cargo run -p pasta-conformance -- replay <file>` re-executes
+//! bit-for-bit (values are stored as hexadecimal f32 bit patterns).
+//!
+//! The `quick` tier runs in seconds and gates CI; `full` adds more random
+//! cases per order for the nightly job. `selftest` injects a deliberate
+//! output perturbation into one cell and checks that the harness catches,
+//! shrinks, writes, and replays it — exercising the failure path end to
+//! end.
+
+#![warn(missing_docs)]
+
+pub mod casefile;
+pub mod cases;
+pub mod matrix;
+pub mod oracle;
+
+pub use casefile::{parse_case, render_case, CaseFile};
+pub use cases::{generate, Case, Tier};
+pub use matrix::{cells, run_matrix, Cell, CellReport, Failure, FaultSpec};

@@ -1,0 +1,223 @@
+//! Command-line driver for the conformance matrix.
+//!
+//! ```text
+//! pasta-conformance quick [--seed N]      # gating tier, runs in seconds
+//! pasta-conformance full [--seed N]       # nightly tier
+//! pasta-conformance replay <file> [--fault]
+//! pasta-conformance selftest [--seed N]   # prove the failure path works
+//! ```
+//!
+//! `quick`/`full` print a worst-ULP-per-cell report; any failure is shrunk,
+//! written to `conformance-failures/<cell>.case`, and the exit status is
+//! non-zero. `replay` re-executes a `.case` file bit-for-bit (`--fault`
+//! re-applies the selftest perturbation to reproduce an injected failure).
+
+use pasta_conformance::matrix::{eval_cell, CellOutcome};
+use pasta_conformance::{
+    cells, generate, parse_case, render_case, run_matrix, CaseFile, Cell, CellReport, FaultSpec,
+    Tier,
+};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const FAILURES_DIR: &str = "conformance-failures";
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pasta-conformance <quick|full|selftest> [--seed N]\n       \
+         pasta-conformance replay <file> [--fault]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed: u64 = 0x9A57A;
+    let mut fault_flag = false;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage(),
+            },
+            "--fault" => fault_flag = true,
+            other => positional.push(other),
+        }
+    }
+    // Executor panics are caught and reported per cell; the default hook
+    // would spray backtraces through the report.
+    std::panic::set_hook(Box::new(|_| {}));
+    match positional.as_slice() {
+        ["quick"] => run_tier(Tier::Quick, seed),
+        ["full"] => run_tier(Tier::Full, seed),
+        ["replay", file] => replay(Path::new(file), fault_flag),
+        ["selftest"] => selftest(seed),
+        _ => usage(),
+    }
+}
+
+fn print_report(reports: &[CellReport]) {
+    println!("{:<28} {:>5} {:>9} {:>7}  worst case", "cell", "cases", "worst-ULP", "budget");
+    for r in reports {
+        let status = if r.failure.is_some() { "  FAIL" } else { "" };
+        println!(
+            "{:<28} {:>5} {:>9} {:>7}  {}{status}",
+            r.id, r.cases, r.worst, r.budget, r.worst_case
+        );
+    }
+}
+
+fn write_failure(r: &CellReport) -> Option<PathBuf> {
+    let f = r.failure.as_ref()?;
+    std::fs::create_dir_all(FAILURES_DIR).ok()?;
+    let path = Path::new(FAILURES_DIR).join(format!("{}.case", r.id.replace('/', "_")));
+    let cf = CaseFile { cell: r.id.clone(), case: f.shrunk.clone() };
+    std::fs::write(&path, render_case(&cf)).ok()?;
+    Some(path)
+}
+
+fn run_tier(tier: Tier, seed: u64) -> ExitCode {
+    let corpus = generate(tier, seed);
+    let cs = cells();
+    println!(
+        "pasta-conformance {:?} tier: {} cells x {} cases (seed {seed})\n",
+        tier,
+        cs.len(),
+        corpus.len()
+    );
+    let reports = run_matrix(&corpus, &cs, None);
+    print_report(&reports);
+    let mut failed = 0usize;
+    for r in &reports {
+        if let Some(f) = &r.failure {
+            failed += 1;
+            eprintln!("\nFAIL {} on case `{}`: {}", r.id, f.case_label, f.message);
+            match write_failure(r) {
+                Some(path) => eprintln!(
+                    "  shrunk to {} entries; replay with:\n    cargo run -p pasta-conformance -- replay {}",
+                    f.shrunk.entries.len(),
+                    path.display()
+                ),
+                None => eprintln!("  (could not write {FAILURES_DIR}/ case file)"),
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("\n{failed} of {} cells FAILED", reports.len());
+        ExitCode::FAILURE
+    } else {
+        println!("\nall {} cells within budget", reports.len());
+        ExitCode::SUCCESS
+    }
+}
+
+fn find_cell(cs: &[Cell], id: &str) -> Option<usize> {
+    cs.iter().position(|c| c.id == id)
+}
+
+fn replay(path: &Path, fault_flag: bool) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let cf = match parse_case(&text) {
+        Ok(cf) => cf,
+        Err(e) => {
+            eprintln!("cannot parse {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let cs = cells();
+    let Some(i) = find_cell(&cs, &cf.cell) else {
+        eprintln!("unknown cell `{}` (registry has {} cells)", cf.cell, cs.len());
+        return ExitCode::FAILURE;
+    };
+    let fault = fault_flag.then(|| FaultSpec { cell: cf.cell.clone() });
+    println!(
+        "replaying `{}` on {} ({} entries, dims {:?}, mode {}, rank {})",
+        cf.case.label,
+        cf.cell,
+        cf.case.entries.len(),
+        cf.case.dims,
+        cf.case.mode,
+        cf.case.rank
+    );
+    match eval_cell(&cs[i], &cf.case, fault.as_ref()) {
+        CellOutcome::Pass(w) => {
+            println!("PASS: worst ULP {w} within budget {}", cs[i].budget);
+            ExitCode::SUCCESS
+        }
+        CellOutcome::Fail { message, .. } => {
+            eprintln!("FAIL: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Injects a known-bad perturbation into one cell and checks the whole
+/// failure path: detection, shrinking, serialization, and replay.
+fn selftest(seed: u64) -> ExitCode {
+    let corpus = generate(Tier::Quick, seed);
+    let cs = cells();
+    let victim = "ttv/coo/cpu/t4";
+    let fault = FaultSpec { cell: victim.to_string() };
+
+    println!("selftest 1/4: clean quick run must be green");
+    let clean = run_matrix(&corpus, &cs, None);
+    if let Some(r) = clean.iter().find(|r| r.failure.is_some()) {
+        eprintln!("selftest FAILED: clean run has a failing cell ({})", r.id);
+        return ExitCode::FAILURE;
+    }
+
+    println!("selftest 2/4: injected fault in {victim} must be caught and shrunk");
+    let faulty = run_matrix(&corpus, &cs, Some(&fault));
+    let victim_report = faulty.iter().find(|r| r.id == victim).expect("victim cell exists");
+    let Some(f) = &victim_report.failure else {
+        eprintln!("selftest FAILED: fault in {victim} was not detected");
+        return ExitCode::FAILURE;
+    };
+    if faulty.iter().any(|r| r.id != victim && r.failure.is_some()) {
+        eprintln!("selftest FAILED: fault leaked into another cell");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "  caught on `{}` ({}), shrunk to {} entries / dims {:?}",
+        f.case_label,
+        f.message,
+        f.shrunk.entries.len(),
+        f.shrunk.dims
+    );
+
+    println!("selftest 3/4: shrunk case must serialize and replay the failure");
+    let Some(path) = write_failure(victim_report) else {
+        eprintln!("selftest FAILED: could not write case file");
+        return ExitCode::FAILURE;
+    };
+    let cf = match parse_case(&std::fs::read_to_string(&path).unwrap_or_default()) {
+        Ok(cf) => cf,
+        Err(e) => {
+            eprintln!("selftest FAILED: written case does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let i = find_cell(&cs, &cf.cell).expect("cell id survives the round-trip");
+    if !matches!(eval_cell(&cs[i], &cf.case, Some(&fault)), CellOutcome::Fail { .. }) {
+        eprintln!("selftest FAILED: replay with fault did not reproduce");
+        return ExitCode::FAILURE;
+    }
+
+    println!("selftest 4/4: replay without the fault must pass (bug, not case)");
+    if !matches!(eval_cell(&cs[i], &cf.case, None), CellOutcome::Pass(_)) {
+        eprintln!("selftest FAILED: shrunk case fails even without the fault");
+        return ExitCode::FAILURE;
+    }
+    let _ = std::fs::remove_file(&path);
+
+    println!("selftest OK: catch -> shrink -> write -> replay all work");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,684 @@
+//! The conformance matrix: cell registry, runner, and failure shrinking.
+//!
+//! A *cell* is one (kernel × format × backend × strategy × pool size)
+//! combination with a ULP budget and an executor that returns the pair
+//! `(got, want)` in that cell's comparison space:
+//!
+//! - CPU cells for TEW/TS/TTV/TTM compare dense output images against the
+//!   [`pasta_kernels::dense_ref`] oracles;
+//! - GPU cells for TEW/TS compare value arrays bit-for-bit against the CPU
+//!   kernel of the same format (the paper's GPU element-wise kernels share
+//!   one COO value loop across formats);
+//! - GPU TTV/TTM compare value arrays against the sequential CPU kernel
+//!   (both sort mode-last, so the streams align);
+//! - MTTKRP strategy cells compare against the sequential kernel —
+//!   bit-identical for owner-computes on a mode-outermost-sorted tensor,
+//!   ULP-bounded for privatized reduction — and the rest against the dense
+//!   oracle.
+
+use crate::cases::{self, Case};
+use crate::oracle::worst_ulp;
+use pasta_core::{
+    seeded_matrix, seeded_vector, CooTensor, Coord, DenseMatrix, DenseVector, GHiCooTensor,
+    HiCooTensor, Result, SHiCooTensor, SemiCooTensor,
+};
+use pasta_kernels::dense_ref::{
+    mttkrp_dense, tew_dense, ts_dense, ttm_dense, ttv_dense, ORACLE_MAX_ENTRIES,
+};
+use pasta_kernels::{
+    mttkrp_coo, mttkrp_hicoo, tew_coo_same_pattern, tew_ghicoo, tew_hicoo, tew_scoo, tew_shicoo,
+    ts_coo, ts_ghicoo, ts_hicoo, ts_scoo, ts_shicoo, ttm_coo, ttm_hicoo, ttm_scoo, ttv_coo,
+    ttv_hicoo, Ctx, EwOp, StrategyChoice, TsOp,
+};
+use pasta_par::Schedule;
+use pasta_simt::{launch, p100};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The scalar used by every TS cell.
+pub const TS_SCALAR: f32 = 1.5;
+
+/// Everything an executor may need for one case, computed once.
+#[allow(missing_docs)]
+pub struct CaseCtx {
+    pub case: Case,
+    pub x: CooTensor<f32>,
+    /// Same pattern as `x`, independent seeded values (second TEW operand).
+    pub y: CooTensor<f32>,
+    /// `x` sorted with `case.mode` outermost (the owner-computes contract).
+    pub sorted_x: CooTensor<f32>,
+    pub hx: HiCooTensor<f32>,
+    pub hy: HiCooTensor<f32>,
+    pub gx: GHiCooTensor<f32>,
+    pub gy: GHiCooTensor<f32>,
+    pub sx: SemiCooTensor<f32>,
+    pub sy: SemiCooTensor<f32>,
+    pub shx: SHiCooTensor<f32>,
+    pub shy: SHiCooTensor<f32>,
+    pub v: DenseVector<f32>,
+    pub u: DenseMatrix<f32>,
+    pub factors: Vec<DenseMatrix<f32>>,
+}
+
+/// Converts a COO tensor to sCOO with the last mode dense (merging any
+/// duplicate coordinates into the fiber slot).
+fn coo_to_scoo(x: &CooTensor<f32>) -> Result<SemiCooTensor<f32>> {
+    let order = x.order();
+    let dm = order - 1;
+    let dlen = x.shape().dim(dm) as usize;
+    let mut fibers: BTreeMap<Vec<Coord>, Vec<f32>> = BTreeMap::new();
+    for (coords, v) in x.iter() {
+        let f = fibers.entry(coords[..dm].to_vec()).or_insert_with(|| vec![0.0; dlen]);
+        f[coords[dm] as usize] += v;
+    }
+    let mut inds: Vec<Vec<Coord>> = vec![Vec::new(); dm];
+    let mut vals = Vec::with_capacity(fibers.len() * dlen);
+    for (key, f) in fibers {
+        for (k, &c) in key.iter().enumerate() {
+            inds[k].push(c);
+        }
+        vals.extend(f);
+    }
+    SemiCooTensor::from_fibers(x.shape().clone(), vec![dm], inds, vals)
+}
+
+impl CaseCtx {
+    /// Builds all format conversions and derived operands for `case`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any construction error (out-of-range entries in a
+    /// hand-edited case file, invalid block sizes).
+    pub fn new(case: &Case) -> Result<Self> {
+        let x = case.tensor()?;
+        let mut y = x.like_pattern(0.0_f32);
+        let mut st = case.seed ^ 0x59ED;
+        for v in y.vals_mut() {
+            *v = cases::unit_val(&mut st);
+        }
+        let mut sorted_x = x.clone();
+        let mut mode_order = vec![case.mode];
+        mode_order.extend((0..case.order()).filter(|&m| m != case.mode));
+        sorted_x.sort_by_mode_order(&mode_order);
+
+        let blocked: Vec<bool> = (0..case.order()).map(|m| m % 2 == 0).collect();
+        let sx = coo_to_scoo(&x)?;
+        let sy = coo_to_scoo(&y)?;
+        let rank = case.rank;
+        let v = seeded_vector::<f32>(x.shape().dim(case.mode) as usize, case.seed ^ 0x7EC);
+        let u = seeded_matrix::<f32>(x.shape().dim(case.mode) as usize, rank, case.seed ^ 0x77);
+        let factors: Vec<DenseMatrix<f32>> = (0..case.order())
+            .map(|m| seeded_matrix(x.shape().dim(m) as usize, rank, case.seed ^ (0xFAC + m as u64)))
+            .collect();
+        Ok(Self {
+            hx: HiCooTensor::from_coo(&x, case.block)?,
+            hy: HiCooTensor::from_coo(&y, case.block)?,
+            gx: GHiCooTensor::from_coo(&x, case.block, &blocked)?,
+            gy: GHiCooTensor::from_coo(&y, case.block, &blocked)?,
+            shx: SHiCooTensor::from_scoo(&sx, case.block)?,
+            shy: SHiCooTensor::from_scoo(&sy, case.block)?,
+            sx,
+            sy,
+            v,
+            u,
+            factors,
+            case: case.clone(),
+            x,
+            y,
+            sorted_x,
+        })
+    }
+}
+
+/// Storage formats a cell can exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fmt {
+    Coo,
+    Hicoo,
+    Ghicoo,
+    Scoo,
+    Shicoo,
+}
+
+impl Fmt {
+    fn name(self) -> &'static str {
+        match self {
+            Fmt::Coo => "coo",
+            Fmt::Hicoo => "hicoo",
+            Fmt::Ghicoo => "ghicoo",
+            Fmt::Scoo => "scoo",
+            Fmt::Shicoo => "shicoo",
+        }
+    }
+
+    /// Dense-fiber formats materialize structural zeros inside fibers, so
+    /// only zero-preserving ops compare cleanly against the sparse oracle.
+    fn dense_fibers(self) -> bool {
+        matches!(self, Fmt::Scoo | Fmt::Shicoo)
+    }
+}
+
+const FORMATS: [Fmt; 5] = [Fmt::Coo, Fmt::Hicoo, Fmt::Ghicoo, Fmt::Scoo, Fmt::Shicoo];
+
+fn tew_ops(fmt: Fmt) -> &'static [EwOp] {
+    if fmt.dense_fibers() {
+        &[EwOp::Add, EwOp::Sub, EwOp::Mul]
+    } else {
+        &[EwOp::Add, EwOp::Sub, EwOp::Mul, EwOp::Div]
+    }
+}
+
+fn ts_ops(fmt: Fmt) -> &'static [TsOp] {
+    if fmt.dense_fibers() {
+        &[TsOp::Mul, TsOp::Div]
+    } else {
+        &[TsOp::Add, TsOp::Sub, TsOp::Mul, TsOp::Div]
+    }
+}
+
+/// The TEW result for `fmt` as (dense image, raw value array).
+fn tew_fmt(cc: &CaseCtx, fmt: Fmt, op: EwOp, ctx: &Ctx) -> Result<(Vec<f32>, Vec<f32>)> {
+    Ok(match fmt {
+        Fmt::Coo => {
+            let z = tew_coo_same_pattern(op, &cc.x, &cc.y, ctx)?;
+            (z.to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
+        }
+        Fmt::Hicoo => {
+            let z = tew_hicoo(op, &cc.hx, &cc.hy, ctx)?;
+            (z.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
+        }
+        Fmt::Ghicoo => {
+            let z = tew_ghicoo(op, &cc.gx, &cc.gy, ctx)?;
+            (z.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
+        }
+        Fmt::Scoo => {
+            let z = tew_scoo(op, &cc.sx, &cc.sy, ctx)?;
+            (z.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
+        }
+        Fmt::Shicoo => {
+            let z = tew_shicoo(op, &cc.shx, &cc.shy, ctx)?;
+            (z.to_scoo()?.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
+        }
+    })
+}
+
+/// The TS result for `fmt` as (dense image, raw value array).
+fn ts_fmt(cc: &CaseCtx, fmt: Fmt, op: TsOp, ctx: &Ctx) -> Result<(Vec<f32>, Vec<f32>)> {
+    Ok(match fmt {
+        Fmt::Coo => {
+            let z = ts_coo(op, &cc.x, TS_SCALAR, ctx)?;
+            (z.to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
+        }
+        Fmt::Hicoo => {
+            let z = ts_hicoo(op, &cc.hx, TS_SCALAR, ctx)?;
+            (z.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
+        }
+        Fmt::Ghicoo => {
+            let z = ts_ghicoo(op, &cc.gx, TS_SCALAR, ctx)?;
+            (z.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
+        }
+        Fmt::Scoo => {
+            let z = ts_scoo(op, &cc.sx, TS_SCALAR, ctx)?;
+            (z.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
+        }
+        Fmt::Shicoo => {
+            let z = ts_shicoo(op, &cc.shx, TS_SCALAR, ctx)?;
+            (z.to_scoo()?.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
+        }
+    })
+}
+
+/// The (x, y) value arrays the GPU element-wise value loop reads for `fmt`.
+fn fmt_value_arrays(cc: &CaseCtx, fmt: Fmt) -> (Vec<f32>, Vec<f32>) {
+    match fmt {
+        Fmt::Coo => (cc.x.vals().to_vec(), cc.y.vals().to_vec()),
+        Fmt::Hicoo => (cc.hx.vals().to_vec(), cc.hy.vals().to_vec()),
+        Fmt::Ghicoo => (cc.gx.vals().to_vec(), cc.gy.vals().to_vec()),
+        Fmt::Scoo => (cc.sx.vals().to_vec(), cc.sy.vals().to_vec()),
+        Fmt::Shicoo => (cc.shx.vals().to_vec(), cc.shy.vals().to_vec()),
+    }
+}
+
+type ExecFn = Box<dyn Fn(&CaseCtx) -> Result<(Vec<f32>, Vec<f32>)> + Send + Sync>;
+
+/// One conformance cell: an executor plus its ULP budget.
+pub struct Cell {
+    /// Stable identifier, e.g. `mttkrp/coo/cpu/owner/t2`.
+    pub id: String,
+    /// Maximum tolerated ULP distance between `got` and `want`.
+    pub budget: u64,
+    exec: ExecFn,
+}
+
+impl std::fmt::Debug for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cell").field("id", &self.id).field("budget", &self.budget).finish()
+    }
+}
+
+impl Cell {
+    fn new(
+        id: String,
+        budget: u64,
+        exec: impl Fn(&CaseCtx) -> Result<(Vec<f32>, Vec<f32>)> + Send + Sync + 'static,
+    ) -> Self {
+        Self { id, budget, exec: Box::new(exec) }
+    }
+
+    /// Runs the executor, returning `(got, want)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors; any error is a conformance failure.
+    pub fn run(&self, cc: &CaseCtx) -> Result<(Vec<f32>, Vec<f32>)> {
+        (self.exec)(cc)
+    }
+}
+
+const TTV_BUDGET: u64 = 256;
+const TTM_BUDGET: u64 = 256;
+const MTTKRP_SEQ_BUDGET: u64 = 512;
+const MTTKRP_PRIV_BUDGET: u64 = 1024;
+const MTTKRP_HICOO_BUDGET: u64 = 1024;
+const MTTKRP_GPU_BUDGET: u64 = 4096;
+
+/// CPU pool sizes exercised per cell family. The runner forces explicit
+/// worker counts (never "all cores") so results do not depend on the host.
+const POOLS: [usize; 2] = [1, 4];
+const MTTKRP_POOLS: [usize; 2] = [2, 4];
+
+fn cpu_ctx(threads: usize) -> Ctx {
+    Ctx::new(threads, Schedule::Static)
+}
+
+/// The full cell registry.
+pub fn cells() -> Vec<Cell> {
+    let mut cs = Vec::new();
+
+    // TEW and TS: every format, CPU pools and the simulated GPU, 0 ULP.
+    for fmt in FORMATS {
+        for t in POOLS {
+            cs.push(Cell::new(format!("tew/{}/cpu/t{t}", fmt.name()), 0, move |cc| {
+                let ctx = cpu_ctx(t);
+                let (mut got, mut want) = (Vec::new(), Vec::new());
+                for &op in tew_ops(fmt) {
+                    got.extend(tew_fmt(cc, fmt, op, &ctx)?.0);
+                    want.extend(tew_dense(op, &cc.x, &cc.y)?);
+                }
+                Ok((got, want))
+            }));
+            cs.push(Cell::new(format!("ts/{}/cpu/t{t}", fmt.name()), 0, move |cc| {
+                let ctx = cpu_ctx(t);
+                let (mut got, mut want) = (Vec::new(), Vec::new());
+                for &op in ts_ops(fmt) {
+                    got.extend(ts_fmt(cc, fmt, op, &ctx)?.0);
+                    want.extend(ts_dense(op, &cc.x, TS_SCALAR)?);
+                }
+                Ok((got, want))
+            }));
+        }
+        cs.push(Cell::new(format!("tew/{}/gpu", fmt.name()), 0, move |cc| {
+            let ctx = Ctx::sequential();
+            let (mut got, mut want) = (Vec::new(), Vec::new());
+            for &op in tew_ops(fmt) {
+                let (xv, yv) = fmt_value_arrays(cc, fmt);
+                let mut k = pasta_simt::GpuTewCoo::from_values(xv, yv, op)?;
+                launch(&p100(), &mut k);
+                got.extend(k.output());
+                want.extend(tew_fmt(cc, fmt, op, &ctx)?.1);
+            }
+            Ok((got, want))
+        }));
+        cs.push(Cell::new(format!("ts/{}/gpu", fmt.name()), 0, move |cc| {
+            let ctx = Ctx::sequential();
+            let (mut got, mut want) = (Vec::new(), Vec::new());
+            for &op in ts_ops(fmt) {
+                let (xv, _) = fmt_value_arrays(cc, fmt);
+                let mut k = pasta_simt::GpuTsCoo::from_values(xv, op, TS_SCALAR)?;
+                launch(&p100(), &mut k);
+                got.extend(k.output());
+                want.extend(ts_fmt(cc, fmt, op, &ctx)?.1);
+            }
+            Ok((got, want))
+        }));
+    }
+
+    // TTV.
+    for t in POOLS {
+        cs.push(Cell::new(format!("ttv/coo/cpu/t{t}"), TTV_BUDGET, move |cc| {
+            let got =
+                ttv_coo(&cc.x, &cc.v, cc.case.mode, &cpu_ctx(t))?.to_dense(ORACLE_MAX_ENTRIES);
+            let want = ttv_dense(&cc.x, &cc.v, cc.case.mode)?.1;
+            Ok((got, want))
+        }));
+        cs.push(Cell::new(format!("ttv/hicoo/cpu/t{t}"), TTV_BUDGET, move |cc| {
+            let got = ttv_hicoo(&cc.x, &cc.v, cc.case.mode, cc.case.block, &cpu_ctx(t))?
+                .to_coo()
+                .to_dense(ORACLE_MAX_ENTRIES);
+            let want = ttv_dense(&cc.x, &cc.v, cc.case.mode)?.1;
+            Ok((got, want))
+        }));
+    }
+    cs.push(Cell::new("ttv/coo/gpu".into(), TTV_BUDGET, |cc| {
+        let mut k = pasta_simt::GpuTtvCoo::new(&cc.x, &cc.v, cc.case.mode)?;
+        launch(&p100(), &mut k);
+        let want = ttv_coo(&cc.x, &cc.v, cc.case.mode, &Ctx::sequential())?.vals().to_vec();
+        Ok((k.output().to_vec(), want))
+    }));
+
+    // TTM.
+    for t in POOLS {
+        cs.push(Cell::new(format!("ttm/coo/cpu/t{t}"), TTM_BUDGET, move |cc| {
+            let got = ttm_coo(&cc.x, &cc.u, cc.case.mode, &cpu_ctx(t))?
+                .to_coo()
+                .to_dense(ORACLE_MAX_ENTRIES);
+            let want = ttm_dense(&cc.x, &cc.u, cc.case.mode)?.1;
+            Ok((got, want))
+        }));
+        cs.push(Cell::new(format!("ttm/hicoo/cpu/t{t}"), TTM_BUDGET, move |cc| {
+            let got = ttm_hicoo(&cc.x, &cc.u, cc.case.mode, cc.case.block, &cpu_ctx(t))?
+                .to_scoo()?
+                .to_coo()
+                .to_dense(ORACLE_MAX_ENTRIES);
+            let want = ttm_dense(&cc.x, &cc.u, cc.case.mode)?.1;
+            Ok((got, want))
+        }));
+        cs.push(Cell::new(format!("ttm/scoo/cpu/t{t}"), TTM_BUDGET, move |cc| {
+            // Contracting a sparse mode adds a second dense mode to the
+            // output; an order-2 sCOO tensor can hold at most one, so that
+            // configuration is structurally unrepresentable — skip it.
+            if cc.case.order() == 2 && cc.case.mode != cc.case.order() - 1 {
+                return Ok((Vec::new(), Vec::new()));
+            }
+            let got = ttm_scoo(&cc.sx, &cc.u, cc.case.mode, &cpu_ctx(t))?
+                .to_coo()
+                .to_dense(ORACLE_MAX_ENTRIES);
+            let want = ttm_dense(&cc.x, &cc.u, cc.case.mode)?.1;
+            Ok((got, want))
+        }));
+    }
+    cs.push(Cell::new("ttm/coo/gpu".into(), TTM_BUDGET, |cc| {
+        let mut k = pasta_simt::GpuTtmCoo::new(&cc.x, &cc.u, cc.case.mode)?;
+        launch(&p100(), &mut k);
+        let want = ttm_coo(&cc.x, &cc.u, cc.case.mode, &Ctx::sequential())?.vals().to_vec();
+        Ok((k.output().to_vec(), want))
+    }));
+
+    // MTTKRP: sequential vs the dense oracle; owner-computes bit-identical
+    // to sequential on the sorted tensor; privatized ULP-bounded.
+    cs.push(Cell::new("mttkrp/coo/cpu/seq/t1".into(), MTTKRP_SEQ_BUDGET, |cc| {
+        let got = mttkrp_coo(&cc.x, &cc.factors, cc.case.mode, &Ctx::sequential())?;
+        let want = mttkrp_dense(&cc.x, &cc.factors, cc.case.mode)?;
+        Ok((got.as_slice().to_vec(), want.as_slice().to_vec()))
+    }));
+    for t in MTTKRP_POOLS {
+        cs.push(Cell::new(format!("mttkrp/coo/cpu/owner/t{t}"), 0, move |cc| {
+            let ctx = cpu_ctx(t).with_mttkrp(StrategyChoice::Owner);
+            let got = mttkrp_coo(&cc.sorted_x, &cc.factors, cc.case.mode, &ctx)?;
+            let want = mttkrp_coo(&cc.sorted_x, &cc.factors, cc.case.mode, &Ctx::sequential())?;
+            Ok((got.as_slice().to_vec(), want.as_slice().to_vec()))
+        }));
+        cs.push(Cell::new(format!("mttkrp/coo/cpu/priv/t{t}"), MTTKRP_PRIV_BUDGET, move |cc| {
+            let ctx = cpu_ctx(t).with_mttkrp(StrategyChoice::Privatized);
+            let got = mttkrp_coo(&cc.x, &cc.factors, cc.case.mode, &ctx)?;
+            let want = mttkrp_coo(&cc.x, &cc.factors, cc.case.mode, &Ctx::sequential())?;
+            Ok((got.as_slice().to_vec(), want.as_slice().to_vec()))
+        }));
+    }
+    for t in POOLS {
+        cs.push(Cell::new(format!("mttkrp/hicoo/cpu/t{t}"), MTTKRP_HICOO_BUDGET, move |cc| {
+            let got = mttkrp_hicoo(&cc.hx, &cc.factors, cc.case.mode, &cpu_ctx(t))?;
+            let want = mttkrp_dense(&cc.x, &cc.factors, cc.case.mode)?;
+            Ok((got.as_slice().to_vec(), want.as_slice().to_vec()))
+        }));
+    }
+    cs.push(Cell::new("mttkrp/coo/gpu".into(), MTTKRP_GPU_BUDGET, |cc| {
+        let mut k = pasta_simt::GpuMttkrpCoo::new(&cc.x, &cc.factors, cc.case.mode)?;
+        launch(&p100(), &mut k);
+        let want = mttkrp_dense(&cc.x, &cc.factors, cc.case.mode)?;
+        Ok((k.output().as_slice().to_vec(), want.as_slice().to_vec()))
+    }));
+    cs.push(Cell::new("mttkrp/hicoo/gpu".into(), MTTKRP_GPU_BUDGET, |cc| {
+        let mut k = pasta_simt::GpuMttkrpHicoo::new(&cc.hx, &cc.factors, cc.case.mode)?;
+        launch(&p100(), &mut k);
+        let want = mttkrp_dense(&cc.x, &cc.factors, cc.case.mode)?;
+        Ok((k.output().as_slice().to_vec(), want.as_slice().to_vec()))
+    }));
+
+    cs
+}
+
+/// A deliberate output perturbation, used by `selftest` (and tests) to
+/// prove the harness catches, shrinks and replays a bug. The perturbation
+/// is applied to the matching cell's first output value, far outside any
+/// budget: `v + max(0.5, 0.01·|v|)`.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// The id of the cell whose output is perturbed.
+    pub cell: String,
+}
+
+/// The outcome of one (cell, case) evaluation.
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// Within budget; carries the worst ULP distance observed.
+    Pass(u64),
+    /// Failure: budget exceeded, kernel error, panic, or length mismatch.
+    Fail {
+        /// Worst ULP distance, when the outputs were comparable.
+        worst: Option<u64>,
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Evaluates one cell on one case, catching panics.
+pub fn eval_cell(cell: &Cell, case: &Case, fault: Option<&FaultSpec>) -> CellOutcome {
+    let cc = match CaseCtx::new(case) {
+        Ok(cc) => cc,
+        Err(e) => return CellOutcome::Fail { worst: None, message: format!("case setup: {e}") },
+    };
+    let run = catch_unwind(AssertUnwindSafe(|| cell.run(&cc)));
+    let (mut got, want) = match run {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            return CellOutcome::Fail { worst: None, message: format!("panicked: {msg}") };
+        }
+        Ok(Err(e)) => {
+            return CellOutcome::Fail { worst: None, message: format!("kernel error: {e}") }
+        }
+        Ok(Ok(pair)) => pair,
+    };
+    if let Some(f) = fault {
+        if f.cell == cell.id {
+            if let Some(v) = got.first_mut() {
+                *v += (0.01 * v.abs()).max(0.5);
+            }
+        }
+    }
+    match worst_ulp(&got, &want) {
+        None => CellOutcome::Fail {
+            worst: None,
+            message: format!("output length {} vs reference {}", got.len(), want.len()),
+        },
+        Some(w) if w > cell.budget => CellOutcome::Fail {
+            worst: Some(w),
+            message: format!("worst ULP {w} exceeds budget {}", cell.budget),
+        },
+        Some(w) => CellOutcome::Pass(w),
+    }
+}
+
+/// Shrinks a failing case for `cell`: entries via ddmin, then dimensions to
+/// the minimal covering extents, then rank and mode toward their minima —
+/// keeping the failure alive at every step.
+pub fn shrink_case(cell: &Cell, case: &Case, fault: Option<&FaultSpec>) -> Case {
+    let fails = |c: &Case| matches!(eval_cell(cell, c, fault), CellOutcome::Fail { .. });
+
+    let min_entries = proptest::shrink::ddmin(&case.entries, |subset| {
+        let mut c = case.clone();
+        c.entries = subset.to_vec();
+        fails(&c)
+    });
+    let mut cur = case.clone();
+    cur.entries = min_entries;
+
+    for m in 0..cur.order() {
+        let needed = cur.entries.iter().map(|(c, _)| c[m] + 1).max().unwrap_or(1);
+        if needed < cur.dims[m] {
+            let mut c = cur.clone();
+            c.dims[m] = needed;
+            if fails(&c) {
+                cur = c;
+            }
+        }
+    }
+
+    let best_rank = proptest::shrink::shrink_int(1, cur.rank as u64, |r| {
+        let mut c = cur.clone();
+        c.rank = r as usize;
+        fails(&c)
+    }) as usize;
+    if best_rank < cur.rank {
+        let mut c = cur.clone();
+        c.rank = best_rank;
+        if fails(&c) {
+            cur = c;
+        }
+    }
+
+    if cur.mode != 0 {
+        let mut c = cur.clone();
+        c.mode = 0;
+        if fails(&c) {
+            cur = c;
+        }
+    }
+
+    cur.label = format!("shrunk:{}", case.label);
+    cur
+}
+
+/// A cell's failure, with the minimized reproduction case.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Label of the case that first failed.
+    pub case_label: String,
+    /// Why it failed.
+    pub message: String,
+    /// The shrunk case (serialize with [`crate::render_case`]).
+    pub shrunk: Case,
+}
+
+/// Per-cell result over a whole corpus.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// Cell identifier.
+    pub id: String,
+    /// The cell's ULP budget.
+    pub budget: u64,
+    /// Cases evaluated (stops at the first failure).
+    pub cases: usize,
+    /// Worst ULP distance across passing cases.
+    pub worst: u64,
+    /// Label of the case that produced `worst`.
+    pub worst_case: String,
+    /// Set if the cell failed.
+    pub failure: Option<Failure>,
+}
+
+/// Runs every cell over every case; the first failure per cell is shrunk
+/// and recorded, and later cases for that cell are skipped.
+pub fn run_matrix(cases: &[Case], cells: &[Cell], fault: Option<&FaultSpec>) -> Vec<CellReport> {
+    cells
+        .iter()
+        .map(|cell| {
+            let mut report = CellReport {
+                id: cell.id.clone(),
+                budget: cell.budget,
+                cases: 0,
+                worst: 0,
+                worst_case: String::new(),
+                failure: None,
+            };
+            for case in cases {
+                report.cases += 1;
+                match eval_cell(cell, case, fault) {
+                    CellOutcome::Pass(w) => {
+                        if w >= report.worst {
+                            report.worst = w;
+                            report.worst_case = case.label.clone();
+                        }
+                    }
+                    CellOutcome::Fail { message, .. } => {
+                        let shrunk = shrink_case(cell, case, fault);
+                        report.failure =
+                            Some(Failure { case_label: case.label.clone(), message, shrunk });
+                        break;
+                    }
+                }
+            }
+            report
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::{generate, Tier};
+
+    #[test]
+    fn registry_covers_the_matrix() {
+        let cs = cells();
+        assert!(cs.len() >= 40, "{} cells", cs.len());
+        let ids: Vec<&str> = cs.iter().map(|c| c.id.as_str()).collect();
+        for fmt in ["coo", "scoo", "hicoo", "ghicoo", "shicoo"] {
+            assert!(ids.contains(&format!("tew/{fmt}/cpu/t1").as_str()), "tew {fmt}");
+            assert!(ids.contains(&format!("ts/{fmt}/gpu").as_str()), "ts gpu {fmt}");
+        }
+        assert!(ids.contains(&"mttkrp/coo/cpu/owner/t2"));
+        assert!(ids.contains(&"mttkrp/hicoo/gpu"));
+        // Ids are unique.
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+        // Element-wise cells are all bit-identical contracts.
+        for c in &cs {
+            if c.id.starts_with("tew/") || c.id.starts_with("ts/") {
+                assert_eq!(c.budget, 0, "{}", c.id);
+            }
+        }
+    }
+
+    #[test]
+    fn one_cell_passes_one_case() {
+        let case = &generate(Tier::Quick, 11)[1];
+        let cs = cells();
+        let tew = cs.iter().find(|c| c.id == "tew/coo/cpu/t1").unwrap();
+        assert!(matches!(eval_cell(tew, case, None), CellOutcome::Pass(0)));
+    }
+
+    #[test]
+    fn fault_injection_fails_shrinks_and_clears() {
+        let corpus = generate(Tier::Quick, 5);
+        let cs = cells();
+        let cell = cs.iter().find(|c| c.id == "ts/coo/cpu/t1").unwrap();
+        let fault = FaultSpec { cell: cell.id.clone() };
+        let case = &corpus[1];
+        assert!(matches!(eval_cell(cell, case, Some(&fault)), CellOutcome::Fail { .. }));
+        let shrunk = shrink_case(cell, case, Some(&fault));
+        // The perturbation hits regardless of content, so the minimum is
+        // the empty pattern over minimal dims.
+        assert!(shrunk.entries.is_empty());
+        assert!(shrunk.dims.iter().all(|&d| d == 1));
+        assert!(matches!(eval_cell(cell, &shrunk, Some(&fault)), CellOutcome::Fail { .. }));
+        // Without the fault the shrunk case passes: the bug, not the case.
+        assert!(matches!(eval_cell(cell, &shrunk, None), CellOutcome::Pass(_)));
+    }
+}

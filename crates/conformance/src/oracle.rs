@@ -1,0 +1,82 @@
+//! Shared output-comparison helpers.
+//!
+//! The integration test files used to carry their own copies of these;
+//! they now live here so the conformance matrix, the integration suites
+//! and any future harness agree on what "close" means.
+
+use pasta_core::{DenseMatrix, Value};
+
+/// Worst ULP distance over two equal-length slices, or `None` on a length
+/// mismatch (a length mismatch is always a conformance failure, never a
+/// rounding question).
+pub fn worst_ulp<V: Value>(got: &[V], want: &[V]) -> Option<u64> {
+    if got.len() != want.len() {
+        return None;
+    }
+    Some(got.iter().zip(want).map(|(&g, &w)| g.ulp_distance(w)).max().unwrap_or(0))
+}
+
+/// Asserts element-wise approximate equality of two slices with relative
+/// tolerance `tol`, panicking with the offending pair.
+pub fn assert_close<V: Value>(got: &[V], want: &[V], tol: f64) {
+    assert_eq!(got.len(), want.len(), "length {} vs {}", got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(g.approx_eq(*w, tol), "index {i}: {g:?} vs {w:?}");
+    }
+}
+
+/// Asserts element-wise closeness of two dense matrices with relative
+/// tolerance `tol`; `what` labels the comparison in the panic message.
+pub fn assert_close_mat<V: Value>(
+    got: &DenseMatrix<V>,
+    want: &DenseMatrix<V>,
+    tol: f64,
+    what: &str,
+) {
+    assert_eq!(
+        (got.rows(), got.cols()),
+        (want.rows(), want.cols()),
+        "{what}: {}x{} vs {}x{}",
+        got.rows(),
+        got.cols(),
+        want.rows(),
+        want.cols()
+    );
+    for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+        let gf = g.to_f64();
+        let wf = w.to_f64();
+        assert!((gf - wf).abs() <= tol * gf.abs().max(1.0), "{what}: {gf} vs {wf}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_ulp_reports_max() {
+        let a = [1.0_f32, 2.0, 3.0];
+        let b = [1.0_f32, f32::from_bits(2.0_f32.to_bits() + 3), 3.0];
+        assert_eq!(worst_ulp(&a, &b), Some(3));
+        assert_eq!(worst_ulp(&a, &a), Some(0));
+        assert_eq!(worst_ulp(&a, &b[..2]), None);
+        assert_eq!(worst_ulp::<f32>(&[], &[]), Some(0));
+    }
+
+    #[test]
+    fn assert_close_accepts_within_tol() {
+        assert_close(&[1.0_f32, 2.0], &[1.0, 2.0 + 1e-7], 1e-5);
+        assert_close_mat(
+            &DenseMatrix::from_fn(2, 2, |i, j| (i + j) as f64),
+            &DenseMatrix::from_fn(2, 2, |i, j| (i + j) as f64 + 1e-13),
+            1e-12,
+            "test",
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "index 1")]
+    fn assert_close_names_the_index() {
+        assert_close(&[1.0_f32, 2.0], &[1.0, 2.5], 1e-5);
+    }
+}

@@ -267,6 +267,15 @@ impl<V: Value> GHiCooTensor<V> {
         &self.vals
     }
 
+    /// Mutable access to the value array (block-major order preserved).
+    ///
+    /// Element-wise kernels (TEW/TS) reuse the input's block structure and
+    /// rewrite only the values; the indices stay untouched.
+    #[inline]
+    pub fn vals_mut(&mut self) -> &mut [V] {
+        &mut self.vals
+    }
+
     /// The entry range of block `b`.
     ///
     /// # Panics

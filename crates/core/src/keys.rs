@@ -288,4 +288,96 @@ mod tests {
         assert!(matches!(lex_keys(&inds, &dims, &mode_order), PackedKeys::Overflow));
         assert!(matches!(hicoo_keys(&inds, &dims, 2), PackedKeys::Overflow));
     }
+
+    #[test]
+    fn lex_overflow_threshold_is_exactly_128_bits() {
+        // Four full-width modes: 4 × 32 = 128 bits packs into u128; one more
+        // bit (a fifth mode of dimension 2) must overflow.
+        let dims128 = vec![Coord::MAX; 4];
+        let inds4 = vec![vec![7u32]; 4];
+        assert!(matches!(lex_keys(&inds4, &dims128, &[0, 1, 2, 3]), PackedKeys::U128(_)));
+        let mut dims129 = dims128;
+        dims129.push(2);
+        let inds5 = vec![vec![1u32]; 5];
+        assert!(matches!(lex_keys(&inds5, &dims129, &[0, 1, 2, 3, 4]), PackedKeys::Overflow));
+    }
+
+    #[test]
+    fn ghicoo_overflow_threshold() {
+        // Five blocked modes of 2^30 at block size 4: 5 × (28 + 2) = 150 bits.
+        let dims = vec![1u32 << 30; 5];
+        let inds = vec![vec![3u32]; 5];
+        let blocked: Vec<usize> = (0..5).collect();
+        assert!(matches!(ghicoo_keys(&inds, &dims, 2, &blocked, &[]), PackedKeys::Overflow));
+        // Three blocked + two full modes of 2^16: 3 × 30 + 2 × 16 = 122 bits.
+        let dims = vec![1 << 30, 1 << 30, 1 << 30, 1 << 16, 1 << 16];
+        let inds = vec![vec![9u32], vec![8], vec![7], vec![6], vec![5]];
+        assert!(matches!(ghicoo_keys(&inds, &dims, 2, &[0, 1, 2], &[3, 4]), PackedKeys::U128(_)));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// u128 lexicographic keys at the 128-bit boundary (four full-width
+        /// modes) order exactly like the comparator they replace.
+        #[test]
+        fn prop_u128_lex_keys_match_lex_cmp(
+            entries in proptest::collection::vec(
+                (0u32..Coord::MAX, 0u32..Coord::MAX, 0u32..Coord::MAX, 0u32..Coord::MAX),
+                2..20,
+            ),
+        ) {
+            use crate::sort::lex_cmp;
+            let dims = vec![Coord::MAX; 4];
+            let inds: Vec<Vec<Coord>> = (0..4)
+                .map(|m| entries.iter().map(|e| [e.0, e.1, e.2, e.3][m]).collect())
+                .collect();
+            for mode_order in [vec![0, 1, 2, 3], vec![3, 1, 0, 2]] {
+                let PackedKeys::U128(keys) = lex_keys(&inds, &dims, &mode_order) else {
+                    panic!("128-bit keys must pack into u128");
+                };
+                for a in 0..entries.len() {
+                    for b in 0..entries.len() {
+                        proptest::prop_assert_eq!(
+                            keys[a].cmp(&keys[b]),
+                            lex_cmp(&inds, &mode_order, a, b),
+                            "order {:?}, entries {},{}", mode_order, a, b
+                        );
+                    }
+                }
+            }
+        }
+
+        /// u128 HiCOO keys (wide dims force the 128-bit path) order exactly
+        /// like Morton-of-blocks with lexicographic tie-breaks, including
+        /// entries whose block coordinates differ only in the high halves.
+        #[test]
+        fn prop_u128_hicoo_keys_match_morton_then_lex(
+            entries in proptest::collection::vec(
+                (0u32..Coord::MAX, 0u32..Coord::MAX, 0u32..Coord::MAX),
+                2..16,
+            ),
+        ) {
+            let dims = vec![Coord::MAX; 3];
+            let bits = 2u8;
+            let inds: Vec<Vec<Coord>> = (0..3)
+                .map(|m| entries.iter().map(|e| [e.0, e.1, e.2][m]).collect())
+                .collect();
+            let PackedKeys::U128(keys) = hicoo_keys(&inds, &dims, bits) else {
+                panic!("3 × (30 + 2) = 96-bit keys must pack into u128");
+            };
+            let block = |x: usize| -> Vec<Coord> { (0..3).map(|m| inds[m][x] >> bits).collect() };
+            for a in 0..entries.len() {
+                for b in 0..entries.len() {
+                    let expect = morton_cmp(&block(a), &block(b)).then_with(|| {
+                        (0..3)
+                            .map(|m| inds[m][a].cmp(&inds[m][b]))
+                            .find(|o| *o != std::cmp::Ordering::Equal)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    proptest::prop_assert_eq!(keys[a].cmp(&keys[b]), expect, "entries {},{}", a, b);
+                }
+            }
+        }
+    }
 }

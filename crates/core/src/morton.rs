@@ -75,9 +75,32 @@ pub fn morton_encode16(coords: &[Coord]) -> u64 {
     key
 }
 
+/// Decodes a 64-bit interleaved Morton key built by [`morton_encode16`] back
+/// into its `n` 16-bit coordinates — the exact inverse, so
+/// `morton_decode16(morton_encode16(c), c.len()) == c`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or greater than 4.
+pub fn morton_decode16(key: u64, n: usize) -> Vec<Coord> {
+    assert!((1..=4).contains(&n), "morton_decode16 supports 1..=4 modes");
+    let mut coords = vec![0 as Coord; n];
+    // morton_encode16 emits 16 groups of n bits, mode 0 first in each group,
+    // most significant bit group first.
+    for bit in 0..16u64 {
+        for (d, c) in coords.iter_mut().enumerate() {
+            let pos = 16 * n as u64 - 1 - (bit * n as u64 + d as u64);
+            let b = (key >> pos) & 1;
+            *c = (*c << 1) | b as Coord;
+        }
+    }
+    coords
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn less_msb_examples() {
@@ -124,6 +147,47 @@ mod tests {
                 assert_eq!(morton_cmp(&[i, j], &[4, 0]), Ordering::Less);
                 assert_eq!(morton_cmp(&[i, j], &[0, 4]), Ordering::Less);
             }
+        }
+    }
+
+    #[test]
+    fn decode_inverts_encode_at_corners() {
+        // 16-bit boundary values: the top-most bit group of the key.
+        for c in [&[0u32, 0xFFFF][..], &[0xFFFF, 0xFFFF], &[0x8000, 0x7FFF, 1], &[1, 2, 3, 4]] {
+            assert_eq!(morton_decode16(morton_encode16(c), c.len()), c.to_vec());
+        }
+        // Four full-width coordinates use all 64 key bits.
+        let full = [0xFFFFu32; 4];
+        assert_eq!(morton_encode16(&full), u64::MAX);
+        assert_eq!(morton_decode16(u64::MAX, 4), full.to_vec());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Round-trip through the interleaved key for 1..=4 modes with
+        /// coordinates spanning the whole 16-bit range.
+        #[test]
+        fn prop_encode_decode_roundtrip(
+            coords in proptest::collection::vec(0u32..0x1_0000, 1..5),
+        ) {
+            let key = morton_encode16(&coords);
+            prop_assert_eq!(morton_decode16(key, coords.len()), coords);
+        }
+
+        /// At full 16-bit width the integer key order still equals
+        /// `morton_cmp` — the comparator never looks past bit 15.
+        #[test]
+        fn prop_key_order_matches_cmp_at_16bit_boundary(
+            a in (0u32..0x1_0000, 0u32..0x1_0000, 0u32..0x1_0000),
+            b in (0u32..0x1_0000, 0u32..0x1_0000, 0u32..0x1_0000),
+        ) {
+            let (a, b) = ([a.0, a.1, a.2], [b.0, b.1, b.2]);
+            prop_assert_eq!(
+                morton_cmp(&a, &b),
+                morton_encode16(&a).cmp(&morton_encode16(&b)),
+                "a={:?} b={:?}", a, b
+            );
         }
     }
 

@@ -250,6 +250,32 @@ impl<V: Value> SHiCooTensor<V> {
         &self.vals
     }
 
+    /// Mutable access to the whole value array (fiber order preserved).
+    #[inline]
+    pub fn vals_mut(&mut self) -> &mut [V] {
+        &mut self.vals
+    }
+
+    /// The block pointer array (fiber range per block).
+    #[inline]
+    pub fn bptr(&self) -> &[usize] {
+        &self.bptr
+    }
+
+    /// The block indices of the `k`-th sparse mode (parallel to
+    /// [`Self::sparse_modes`]).
+    #[inline]
+    pub fn mode_binds(&self, k: usize) -> &[Coord] {
+        &self.binds[k]
+    }
+
+    /// The element indices of the `k`-th sparse mode (parallel to
+    /// [`Self::sparse_modes`]).
+    #[inline]
+    pub fn mode_einds(&self, k: usize) -> &[u8] {
+        &self.einds[k]
+    }
+
     /// Reconstructs the sparse coordinates of fiber `f` in block `b`
     /// (parallel to [`Self::sparse_modes`]).
     ///

@@ -368,6 +368,46 @@ mod tests {
     }
 
     #[test]
+    fn u128_digits_cover_both_halves() {
+        // Digit extraction at the 64-bit seam: digits 7 and 8 come from
+        // adjacent bytes of the low and high words.
+        let k: u128 = 0xAB << 56 | 0xCD_u128 << 64;
+        assert_eq!(<u128 as RadixKey>::DIGITS, 16);
+        assert_eq!(k.digit(7), 0xAB);
+        assert_eq!(k.digit(8), 0xCD);
+        assert_eq!(u128::MAX.digit(15), 0xFF);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// u128 keys whose low halves collide and whose high halves straddle
+        /// the 64-bit digit boundary still sort stably, matching the
+        /// comparator fallback exactly — the contract that lets the format
+        /// converters switch between the two paths freely.
+        #[test]
+        fn prop_u128_radix_matches_comparator(
+            pairs in proptest::collection::vec((0u64..u64::MAX, 0u64..8u64), 1..400),
+            threads in proptest::sample::select(vec![1usize, 2, 4]),
+        ) {
+            // High half varies over few values, low half over many, plus
+            // boundary patterns mixed in to hit all-zero and all-one digits.
+            let keys: Vec<u128> = pairs
+                .iter()
+                .enumerate()
+                .map(|(i, &(lo, hi))| match i % 7 {
+                    0 => (hi as u128) << 64,
+                    1 => u64::MAX as u128,
+                    2 => (u64::MAX as u128) + 1,
+                    _ => ((hi as u128) << 64) | lo as u128,
+                })
+                .collect();
+            let expect = sort_permutation(keys.len(), |a, b| keys[a].cmp(&keys[b]));
+            proptest::prop_assert_eq!(par_sort_keys(&keys, threads), expect);
+        }
+    }
+
+    #[test]
     fn radix_all_equal_keys_is_identity() {
         let keys = vec![9u64; 1000];
         assert_eq!(par_sort_keys(&keys, 4), (0..1000u32).collect::<Vec<_>>());

@@ -76,6 +76,60 @@ pub trait Value:
         let scale = a.abs().max(b.abs()).max(1.0);
         (a - b).abs() <= tol * scale
     }
+
+    /// The distance between two values in units in the last place.
+    ///
+    /// Returns 0 for bit-identical values (including `-0.0` vs `0.0`, which
+    /// compare equal), and `u64::MAX` when either value is NaN or the values
+    /// have opposite signs with different magnitudes — conformance budgets
+    /// treat both as unconditionally out of budget. The measure is the number
+    /// of representable values strictly between the operands plus one,
+    /// computed on the sign-magnitude integer encoding, so it is exact and
+    /// monotone in the rounding error it accounts for.
+    fn ulp_distance(self, other: Self) -> u64;
+}
+
+/// Maps an IEEE-754 bit pattern to a monotone sign-magnitude integer so
+/// that ULP distances are plain integer differences: non-negative floats
+/// keep their bit pattern, negative floats map to the negated magnitude.
+#[inline]
+fn monotone_bits64(bits: u64) -> i64 {
+    if bits >> 63 == 1 {
+        -((bits & 0x7fff_ffff_ffff_ffff) as i64)
+    } else {
+        bits as i64
+    }
+}
+
+#[inline]
+fn ulp64(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    if a == b {
+        return 0; // covers -0.0 vs 0.0
+    }
+    monotone_bits64(a.to_bits()).abs_diff(monotone_bits64(b.to_bits()))
+}
+
+#[inline]
+fn monotone_bits32(bits: u32) -> i32 {
+    if bits >> 31 == 1 {
+        -((bits & 0x7fff_ffff) as i32)
+    } else {
+        bits as i32
+    }
+}
+
+#[inline]
+fn ulp32(a: f32, b: f32) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    if a == b {
+        return 0;
+    }
+    monotone_bits32(a.to_bits()).abs_diff(monotone_bits32(b.to_bits())) as u64
 }
 
 impl Value for f32 {
@@ -103,6 +157,10 @@ impl Value for f32 {
     fn is_finite(self) -> bool {
         f32::is_finite(self)
     }
+    #[inline]
+    fn ulp_distance(self, other: Self) -> u64 {
+        ulp32(self, other)
+    }
 }
 
 impl Value for f64 {
@@ -129,6 +187,10 @@ impl Value for f64 {
     #[inline]
     fn is_finite(self) -> bool {
         f64::is_finite(self)
+    }
+    #[inline]
+    fn ulp_distance(self, other: Self) -> u64 {
+        ulp64(self, other)
     }
 }
 
@@ -158,6 +220,22 @@ mod tests {
         assert!(!1.0_f32.approx_eq(1.1, 1e-5));
         // Relative scaling: large magnitudes allow proportionally more slack.
         assert!(1.0e6_f64.approx_eq(1.0e6 + 1.0, 1e-5));
+    }
+
+    #[test]
+    fn ulp_distance_counts_representable_steps() {
+        assert_eq!(1.0_f32.ulp_distance(1.0), 0);
+        assert_eq!((-0.0_f32).ulp_distance(0.0), 0);
+        assert_eq!(1.0_f32.ulp_distance(f32::from_bits(1.0_f32.to_bits() + 1)), 1);
+        assert_eq!(1.0_f64.ulp_distance(f64::from_bits(1.0_f64.to_bits() + 3)), 3);
+        // Adjacent values across zero: -min_subnormal .. +min_subnormal is 2 steps.
+        assert_eq!(f32::from_bits(1).ulp_distance(-f32::from_bits(1)), 2);
+        // Sign changes and NaNs are unconditionally far.
+        assert_eq!(f32::NAN.ulp_distance(1.0), u64::MAX);
+        assert_eq!(1.0_f64.ulp_distance(f64::NAN), u64::MAX);
+        assert!((-1.0_f32).ulp_distance(1.0) > 1u64 << 30);
+        // Symmetry.
+        assert_eq!(2.5_f64.ulp_distance(2.5000001), 2.5000001_f64.ulp_distance(2.5));
     }
 
     #[test]

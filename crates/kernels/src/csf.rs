@@ -250,7 +250,7 @@ mod tests {
             order.extend((0..3).filter(|&m| m != n));
             let csf = CsfTensor::from_coo(&x, &order).unwrap();
             let got = mttkrp_csf_root(&csf, &fs, &Ctx::sequential()).unwrap();
-            let want = mttkrp_dense(&x, &fs, n);
+            let want = mttkrp_dense(&x, &fs, n).unwrap();
             assert!(dense_approx_eq(got.as_slice(), want.as_slice(), 1e-10), "root mode {n}");
         }
     }
@@ -289,7 +289,7 @@ mod tests {
             let csf = CsfTensor::from_coo(&x, &order).unwrap();
             let v = seeded_vector::<f64>(x.shape().dim(leaf) as usize, 5);
             let got = ttv_csf_leaf(&csf, &v, &Ctx::sequential()).unwrap();
-            let (shape, want) = ttv_dense(&x, &v, leaf);
+            let (shape, want) = ttv_dense(&x, &v, leaf).unwrap();
             assert_eq!(got.shape(), &shape, "leaf {leaf}");
             assert!(dense_approx_eq(&got.to_dense(1 << 12), &want, 1e-10), "leaf {leaf}");
         }
@@ -310,12 +310,12 @@ mod tests {
         let fs = factors_for(&x, 4);
         let csf = CsfTensor::from_coo(&x, &[2, 0, 1, 3]).unwrap();
         let got = mttkrp_csf_root(&csf, &fs, &Ctx::sequential()).unwrap();
-        let want = mttkrp_dense(&x, &fs, 2);
+        let want = mttkrp_dense(&x, &fs, 2).unwrap();
         assert!(dense_approx_eq(got.as_slice(), want.as_slice(), 1e-10));
 
         let v = seeded_vector::<f64>(5, 5);
         let got = ttv_csf_leaf(&csf, &v, &Ctx::sequential()).unwrap();
-        let (_, want) = ttv_dense(&x, &v, 3);
+        let (_, want) = ttv_dense(&x, &v, 3).unwrap();
         assert!(dense_approx_eq(&got.to_dense(1 << 10), &want, 1e-10));
     }
 

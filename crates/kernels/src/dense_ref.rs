@@ -1,27 +1,55 @@
 //! Dense reference oracles.
 //!
 //! Brute-force dense implementations of every kernel, used by the unit,
-//! integration and property tests to validate the sparse kernels. They
-//! densify the tensor and loop over every entry — only usable on small
-//! shapes, which is exactly what tests need.
+//! integration, property and conformance tests to validate the sparse
+//! kernels. They densify the tensor and loop over every entry — only usable
+//! on small shapes, which is exactly what tests need.
+//!
+//! All oracles reject mismatched operands with the same typed
+//! [`Error`](pasta_core::Error) values the kernels themselves use, so error
+//! paths can be differentially tested too.
 
-use pasta_core::{CooTensor, DenseMatrix, DenseVector, Shape, Value};
+use crate::ops::{EwOp, TsOp};
+use pasta_core::{CooTensor, DenseMatrix, DenseVector, Error, Result, Shape, Value};
 
 /// Upper bound on dense entries a test oracle will materialize.
 pub const ORACLE_MAX_ENTRIES: usize = 1 << 22;
+
+/// Rejects dense outputs too large for a brute-force oracle.
+fn check_oracle_size(shape: &Shape) -> Result<()> {
+    if shape.num_entries() > ORACLE_MAX_ENTRIES as f64 {
+        return Err(Error::OperandMismatch {
+            what: format!(
+                "dense oracle output of {} entries exceeds the {ORACLE_MAX_ENTRIES} limit",
+                shape.num_entries()
+            ),
+        });
+    }
+    Ok(())
+}
 
 /// Dense TTV: `Y = X ×_n v` computed entry by entry.
 ///
 /// Returns the dense row-major output of shape `X.shape().remove_mode(n)`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the dense size exceeds [`ORACLE_MAX_ENTRIES`] or operands
-/// mismatch.
-pub fn ttv_dense<V: Value>(x: &CooTensor<V>, v: &DenseVector<V>, n: usize) -> (Shape, Vec<V>) {
-    assert_eq!(v.len(), x.shape().dim(n) as usize, "vector length must match mode dim");
+/// Returns [`Error::InvalidMode`] for an out-of-range mode,
+/// [`Error::OperandMismatch`] if the vector length does not match the mode
+/// dimension or the dense size exceeds [`ORACLE_MAX_ENTRIES`].
+pub fn ttv_dense<V: Value>(
+    x: &CooTensor<V>,
+    v: &DenseVector<V>,
+    n: usize,
+) -> Result<(Shape, Vec<V>)> {
+    x.shape().check_mode(n)?;
+    if v.len() != x.shape().dim(n) as usize {
+        return Err(Error::OperandMismatch {
+            what: format!("vector length {} vs mode {n} dimension {}", v.len(), x.shape().dim(n)),
+        });
+    }
     let out_shape = x.shape().remove_mode(n);
-    assert!(out_shape.num_entries() <= ORACLE_MAX_ENTRIES as f64);
+    check_oracle_size(&out_shape)?;
     let mut out = vec![V::ZERO; out_shape.num_entries() as usize];
     for (coords, val) in x.iter() {
         let k = coords[n] as usize;
@@ -29,22 +57,32 @@ pub fn ttv_dense<V: Value>(x: &CooTensor<V>, v: &DenseVector<V>, n: usize) -> (S
         oc.remove(n);
         out[out_shape.linearize(&oc)] += val * v[k];
     }
-    (out_shape, out)
+    Ok((out_shape, out))
 }
 
 /// Dense TTM: `Y = X ×_n U` with `U ∈ R^{I_n × R}`.
 ///
 /// Returns the dense row-major output of shape with mode `n` replaced by `R`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the dense size exceeds [`ORACLE_MAX_ENTRIES`] or operands
-/// mismatch.
-pub fn ttm_dense<V: Value>(x: &CooTensor<V>, u: &DenseMatrix<V>, n: usize) -> (Shape, Vec<V>) {
-    assert_eq!(u.rows(), x.shape().dim(n) as usize, "matrix rows must match mode dim");
+/// Returns [`Error::InvalidMode`] for an out-of-range mode,
+/// [`Error::OperandMismatch`] if the matrix row count does not match the mode
+/// dimension or the dense size exceeds [`ORACLE_MAX_ENTRIES`].
+pub fn ttm_dense<V: Value>(
+    x: &CooTensor<V>,
+    u: &DenseMatrix<V>,
+    n: usize,
+) -> Result<(Shape, Vec<V>)> {
+    x.shape().check_mode(n)?;
+    if u.rows() != x.shape().dim(n) as usize {
+        return Err(Error::OperandMismatch {
+            what: format!("matrix rows {} vs mode {n} dimension {}", u.rows(), x.shape().dim(n)),
+        });
+    }
     let r = u.cols();
     let out_shape = x.shape().replace_mode(n, r as u32);
-    assert!(out_shape.num_entries() <= ORACLE_MAX_ENTRIES as f64);
+    check_oracle_size(&out_shape)?;
     let mut out = vec![V::ZERO; out_shape.num_entries() as usize];
     for (coords, val) in x.iter() {
         let k = coords[n] as usize;
@@ -55,7 +93,7 @@ pub fn ttm_dense<V: Value>(x: &CooTensor<V>, u: &DenseMatrix<V>, n: usize) -> (S
             out[out_shape.linearize(&oc)] += val * uval;
         }
     }
-    (out_shape, out)
+    Ok((out_shape, out))
 }
 
 /// Dense MTTKRP in mode `n` for an arbitrary-order tensor:
@@ -64,20 +102,39 @@ pub fn ttm_dense<V: Value>(x: &CooTensor<V>, u: &DenseMatrix<V>, n: usize) -> (S
 /// `factors[m]` must have `X.shape().dim(m)` rows and a common column count
 /// `R`; `factors[n]` is ignored (only its shape participates in CPD).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on operand mismatch.
+/// Returns [`Error::InvalidMode`] for an out-of-range mode and
+/// [`Error::OperandMismatch`] for a wrong factor count, inconsistent ranks or
+/// wrong factor row counts.
 pub fn mttkrp_dense<V: Value>(
     x: &CooTensor<V>,
     factors: &[DenseMatrix<V>],
     n: usize,
-) -> DenseMatrix<V> {
+) -> Result<DenseMatrix<V>> {
     let order = x.order();
-    assert_eq!(factors.len(), order, "one factor per mode");
+    x.shape().check_mode(n)?;
+    if factors.len() != order {
+        return Err(Error::OperandMismatch {
+            what: format!("{} factors for a tensor of order {order}", factors.len()),
+        });
+    }
     let r = factors[0].cols();
     for (m, f) in factors.iter().enumerate() {
-        assert_eq!(f.cols(), r, "factor {m} has inconsistent rank");
-        assert_eq!(f.rows(), x.shape().dim(m) as usize, "factor {m} has wrong row count");
+        if f.cols() != r {
+            return Err(Error::OperandMismatch {
+                what: format!("factor {m} has rank {} but factor 0 has rank {r}", f.cols()),
+            });
+        }
+        if f.rows() != x.shape().dim(m) as usize {
+            return Err(Error::OperandMismatch {
+                what: format!(
+                    "factor {m} has {} rows but mode {m} has dimension {}",
+                    f.rows(),
+                    x.shape().dim(m)
+                ),
+            });
+        }
     }
     let mut out = DenseMatrix::zeros(x.shape().dim(n) as usize, r);
     for (coords, val) in x.iter() {
@@ -92,7 +149,52 @@ pub fn mttkrp_dense<V: Value>(
             *cell += prod;
         }
     }
-    out
+    Ok(out)
+}
+
+/// Dense TEW for same-pattern operands: the dense image of `X op Y` where
+/// `op` is applied to each shared stored entry (structural zeros stay zero,
+/// exactly like the sparse kernels' semantics).
+///
+/// # Errors
+///
+/// Returns [`Error::PatternMismatch`] if the tensors differ in shape or
+/// pattern, [`Error::DivisionByZero`] for `Div` with a zero stored in `y`,
+/// and [`Error::OperandMismatch`] if the dense size exceeds
+/// [`ORACLE_MAX_ENTRIES`].
+pub fn tew_dense<V: Value>(op: EwOp, x: &CooTensor<V>, y: &CooTensor<V>) -> Result<Vec<V>> {
+    if !x.same_pattern(y) {
+        return Err(Error::PatternMismatch);
+    }
+    check_oracle_size(x.shape())?;
+    let mut out = vec![V::ZERO; x.shape().num_entries() as usize];
+    for ((coords, xv), &yv) in x.iter().zip(y.vals()) {
+        if op == EwOp::Div && yv == V::ZERO {
+            return Err(Error::DivisionByZero);
+        }
+        out[x.shape().linearize(&coords)] += op.apply(xv, yv);
+    }
+    Ok(out)
+}
+
+/// Dense TS: the dense image of `X op s` applied to the stored entries only
+/// (structural zeros stay zero, matching the sparse kernels).
+///
+/// # Errors
+///
+/// Returns [`Error::DivisionByZero`] for `Div` with `s == 0` and
+/// [`Error::OperandMismatch`] if the dense size exceeds
+/// [`ORACLE_MAX_ENTRIES`].
+pub fn ts_dense<V: Value>(op: TsOp, x: &CooTensor<V>, s: V) -> Result<Vec<V>> {
+    if op == TsOp::Div && s == V::ZERO {
+        return Err(Error::DivisionByZero);
+    }
+    check_oracle_size(x.shape())?;
+    let mut out = vec![V::ZERO; x.shape().num_entries() as usize];
+    for (coords, val) in x.iter() {
+        out[x.shape().linearize(&coords)] += op.apply(val, s);
+    }
+    Ok(out)
 }
 
 /// Compares two dense arrays with per-element approximate equality.
@@ -122,7 +224,7 @@ mod tests {
     fn ttv_by_hand() {
         let x = small();
         let v = DenseVector::from_vec(vec![1.0, 10.0, 100.0, 1000.0]);
-        let (shape, out) = ttv_dense(&x, &v, 2);
+        let (shape, out) = ttv_dense(&x, &v, 2).unwrap();
         assert_eq!(shape.dims(), &[2, 3]);
         assert_eq!(out[shape.linearize(&[0, 0])], 1.0); // 1*v[0]
         assert_eq!(out[shape.linearize(&[0, 2])], 2000.0); // 2*v[3]
@@ -134,7 +236,7 @@ mod tests {
     fn ttm_by_hand() {
         let x = small();
         let u = DenseMatrix::from_fn(4, 2, |i, j| (i + 1) as f64 * if j == 0 { 1.0 } else { -1.0 });
-        let (shape, out) = ttm_dense(&x, &u, 2);
+        let (shape, out) = ttm_dense(&x, &u, 2).unwrap();
         assert_eq!(shape.dims(), &[2, 3, 2]);
         // Entry (0,0,·) comes from x[0,0,0]=1 times row 0 of U = (1, -1).
         assert_eq!(out[shape.linearize(&[0, 0, 0])], 1.0);
@@ -153,7 +255,7 @@ mod tests {
         let a = DenseMatrix::zeros(2, 3);
         let b = DenseMatrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64); // row 0: 0,1,2
         let c = DenseMatrix::from_fn(2, 3, |i, j| (i + j) as f64); // row 1: 1,2,3
-        let out = mttkrp_dense(&x, &[a, b, c], 0);
+        let out = mttkrp_dense(&x, &[a, b, c], 0).unwrap();
         assert_eq!(out.row(0), &[0.0, 0.0, 0.0]);
         assert_eq!(out.row(1), &[0.0, 4.0, 12.0]); // 2 * (0,1,2)∘(1,2,3)
     }
@@ -167,13 +269,71 @@ mod tests {
         .unwrap();
         let fs: Vec<DenseMatrix<f64>> =
             (0..4).map(|m| DenseMatrix::from_fn(2, 2, |i, j| (m + i + j) as f64 + 1.0)).collect();
-        let out = mttkrp_dense(&x, &fs, 1);
+        let out = mttkrp_dense(&x, &fs, 1).unwrap();
         // Row 1 from first nnz: 1 * f0[0,:] ∘ f2[1,:] ∘ f3[0,:]
         let expect_r0 = fs[0].get(0, 0) * fs[2].get(1, 0) * fs[3].get(0, 0);
         assert_eq!(out.get(1, 0), expect_r0);
         // Row 0 from second nnz.
         let expect2 = fs[0].get(0, 1) * fs[2].get(0, 1) * fs[3].get(0, 1);
         assert_eq!(out.get(0, 1), expect2);
+    }
+
+    #[test]
+    fn tew_ts_dense_by_hand() {
+        let x = small();
+        let y = x.like_pattern(2.0);
+        let sum = tew_dense(EwOp::Add, &x, &y).unwrap();
+        let shape = x.shape();
+        assert_eq!(sum[shape.linearize(&[0, 0, 0])], 3.0);
+        assert_eq!(sum[shape.linearize(&[1, 2, 0])], 6.0);
+        assert_eq!(sum[shape.linearize(&[0, 0, 1])], 0.0); // structural zero
+        let scaled = ts_dense(TsOp::Mul, &x, 10.0).unwrap();
+        assert_eq!(scaled[shape.linearize(&[1, 1, 2])], 30.0);
+        assert_eq!(scaled[shape.linearize(&[0, 1, 0])], 0.0);
+    }
+
+    #[test]
+    fn oracles_reject_mismatched_operands() {
+        let x = small();
+        // TTV: wrong vector length and out-of-range mode.
+        let v = DenseVector::from_vec(vec![1.0, 2.0]);
+        assert!(matches!(ttv_dense(&x, &v, 2), Err(Error::OperandMismatch { .. })));
+        let v4 = DenseVector::from_vec(vec![1.0; 4]);
+        assert!(matches!(ttv_dense(&x, &v4, 3), Err(Error::InvalidMode { mode: 3, order: 3 })));
+        // TTM: wrong row count and out-of-range mode.
+        let u = DenseMatrix::<f64>::zeros(3, 2);
+        assert!(matches!(ttm_dense(&x, &u, 2), Err(Error::OperandMismatch { .. })));
+        assert!(matches!(ttm_dense(&x, &u, 9), Err(Error::InvalidMode { mode: 9, order: 3 })));
+        // MTTKRP: wrong factor count, inconsistent rank, wrong rows.
+        let good: Vec<DenseMatrix<f64>> =
+            [2, 3, 4].iter().map(|&d| DenseMatrix::zeros(d, 2)).collect();
+        assert!(matches!(mttkrp_dense(&x, &good[..2], 0), Err(Error::OperandMismatch { .. })));
+        let mut bad_rank = good.clone();
+        bad_rank[1] = DenseMatrix::zeros(3, 5);
+        assert!(matches!(mttkrp_dense(&x, &bad_rank, 0), Err(Error::OperandMismatch { .. })));
+        let mut bad_rows = good.clone();
+        bad_rows[2] = DenseMatrix::zeros(9, 2);
+        assert!(matches!(mttkrp_dense(&x, &bad_rows, 0), Err(Error::OperandMismatch { .. })));
+        assert!(matches!(mttkrp_dense(&x, &good, 7), Err(Error::InvalidMode { .. })));
+        // TEW: pattern mismatch and division by a stored zero.
+        let z =
+            CooTensor::<f64>::from_entries(Shape::new(vec![2, 3, 4]), vec![(vec![0, 0, 1], 5.0)])
+                .unwrap();
+        assert!(matches!(tew_dense(EwOp::Add, &x, &z), Err(Error::PatternMismatch)));
+        let mut y0 = x.like_pattern(1.0);
+        y0.vals_mut()[1] = 0.0;
+        assert!(matches!(tew_dense(EwOp::Div, &x, &y0), Err(Error::DivisionByZero)));
+        // TS: division by a zero scalar.
+        assert!(matches!(ts_dense(TsOp::Div, &x, 0.0), Err(Error::DivisionByZero)));
+    }
+
+    #[test]
+    fn oracle_size_guard_is_typed() {
+        // 2^12 per mode over 3 modes = 2^36 dense entries: over the limit.
+        let huge = CooTensor::<f32>::new(Shape::new(vec![1 << 12, 1 << 12, 1 << 12]));
+        let v = DenseVector::from_vec(vec![0.0_f32; 1 << 12]);
+        assert!(matches!(ttv_dense(&huge, &v, 0), Err(Error::OperandMismatch { .. })));
+        assert!(matches!(ts_dense(TsOp::Mul, &huge, 2.0), Err(Error::OperandMismatch { .. })));
     }
 
     #[test]

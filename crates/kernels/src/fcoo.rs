@@ -142,7 +142,7 @@ mod tests {
             let f = FCooTensor::from_coo(&x, mode).unwrap();
             let v = seeded_vector::<f64>(x.shape().dim(mode) as usize, 3);
             let got = ttv_fcoo(&f, &v, &Ctx::sequential()).unwrap();
-            let (shape, want) = ttv_dense(&x, &v, mode);
+            let (shape, want) = ttv_dense(&x, &v, mode).unwrap();
             assert_eq!(got.shape(), &shape);
             assert!(dense_approx_eq(&got.to_dense(1 << 12), &want, 1e-10), "mode {mode}");
         }

@@ -11,6 +11,11 @@
 //! | TTM    | [`ttm_coo`] / [`TtmCooPlan`] | [`ttm_hicoo`] / [`TtmHicooPlan`] | semi-sparse (sCOO / sHiCOO) |
 //! | MTTKRP | [`mttkrp_coo`] | [`mttkrp_hicoo`] | dense `I_n × R` matrix |
 //!
+//! The element-wise kernels also cover the remaining formats —
+//! [`tew_scoo`] / [`tew_ghicoo`] / [`tew_shicoo`] and [`ts_scoo`] /
+//! [`ts_ghicoo`] / [`ts_shicoo`] — reusing the input's structure and
+//! rewriting only the value array.
+//!
 //! All kernels operate directly on non-zero entries — no tensor-matrix
 //! transformation — and support arbitrary tensor orders. The plan types
 //! separate pre-processing (sorting, fiber discovery, output allocation)
@@ -66,7 +71,10 @@ pub use mttkrp::{
     mttkrp_coo, mttkrp_coo_traced, mttkrp_hicoo, mttkrp_hicoo_traced, MttkrpCooPlan, MttkrpRun,
 };
 pub use ops::{EwOp, TsOp};
-pub use tew::{tew_coo, tew_coo_general, tew_coo_same_pattern, tew_hicoo, tew_values_into};
-pub use ts::{ts_coo, ts_hicoo, ts_values_into};
+pub use tew::{
+    tew_coo, tew_coo_general, tew_coo_same_pattern, tew_ghicoo, tew_hicoo, tew_scoo, tew_shicoo,
+    tew_values_into,
+};
+pub use ts::{ts_coo, ts_ghicoo, ts_hicoo, ts_scoo, ts_shicoo, ts_values_into};
 pub use ttm::{ttm_coo, ttm_hicoo, ttm_scoo, TtmCooPlan, TtmHicooPlan};
 pub use ttv::{ttv_coo, ttv_hicoo, TtvCooPlan, TtvHicooPlan};

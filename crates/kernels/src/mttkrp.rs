@@ -584,7 +584,7 @@ mod tests {
         let fs = factors_for(&x, 3);
         for n in 0..3 {
             let got = mttkrp_coo(&x, &fs, n, &Ctx::sequential()).unwrap();
-            let want = mttkrp_dense(&x, &fs, n);
+            let want = mttkrp_dense(&x, &fs, n).unwrap();
             assert_mat_eq(&got, &want, 1e-12);
         }
     }
@@ -596,7 +596,7 @@ mod tests {
         let h = HiCooTensor::from_coo(&x, 2).unwrap();
         for n in 0..3 {
             let got = mttkrp_hicoo(&h, &fs, n, &Ctx::sequential()).unwrap();
-            let want = mttkrp_dense(&x, &fs, n);
+            let want = mttkrp_dense(&x, &fs, n).unwrap();
             assert_mat_eq(&got, &want, 1e-12);
         }
     }
@@ -747,7 +747,7 @@ mod tests {
         let fs = factors_for(&x, 4);
         let h = HiCooTensor::from_coo(&x, 2).unwrap();
         for n in 0..4 {
-            let want = mttkrp_dense(&x, &fs, n);
+            let want = mttkrp_dense(&x, &fs, n).unwrap();
             assert_mat_eq(&mttkrp_coo(&x, &fs, n, &Ctx::sequential()).unwrap(), &want, 1e-12);
             assert_mat_eq(&mttkrp_hicoo(&h, &fs, n, &Ctx::sequential()).unwrap(), &want, 1e-12);
         }
@@ -793,7 +793,7 @@ mod tests {
         let x = sample();
         let fs = factors_for(&x, 16);
         let got = mttkrp_coo(&x, &fs, 1, &Ctx::sequential()).unwrap();
-        let want = mttkrp_dense(&x, &fs, 1);
+        let want = mttkrp_dense(&x, &fs, 1).unwrap();
         assert_mat_eq(&got, &want, 1e-12);
         assert_eq!(got.cols(), 16);
     }

@@ -15,7 +15,9 @@
 
 use crate::ctx::Ctx;
 use crate::ops::EwOp;
-use pasta_core::{CooTensor, Error, HiCooTensor, Result, Value};
+use pasta_core::{
+    CooTensor, Error, GHiCooTensor, HiCooTensor, Result, SHiCooTensor, SemiCooTensor, Value,
+};
 use pasta_par::{parallel_for, SharedSlice};
 use std::cmp::Ordering;
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrd};
@@ -237,6 +239,90 @@ pub fn tew_hicoo<V: Value>(
     Ok(z)
 }
 
+/// sCOO-TEW with identical fiber structure: the op runs over the dense
+/// per-fiber value arrays in one pass — the same value loop as COO-TEW.
+///
+/// Stored zeros inside dense fibers participate like any other value, so
+/// `Div` returns [`Error::DivisionByZero`] if any `y` fiber holds a zero.
+///
+/// # Errors
+///
+/// Returns [`Error::PatternMismatch`] if the tensors differ in shape, dense
+/// modes or fiber indices, and [`Error::DivisionByZero`] as described.
+pub fn tew_scoo<V: Value>(
+    op: EwOp,
+    x: &SemiCooTensor<V>,
+    y: &SemiCooTensor<V>,
+    ctx: &Ctx,
+) -> Result<SemiCooTensor<V>> {
+    let same = x.shape() == y.shape()
+        && x.dense_modes() == y.dense_modes()
+        && (0..x.sparse_modes().len()).all(|k| x.sparse_inds(k) == y.sparse_inds(k));
+    if !same {
+        return Err(Error::PatternMismatch);
+    }
+    let mut z = x.clone();
+    z.vals_mut().fill(V::ZERO);
+    ew_vals(op, x.vals(), y.vals(), z.vals_mut(), ctx)?;
+    Ok(z)
+}
+
+/// gHiCOO-TEW with identical block structure: only the value loop runs; the
+/// block and element indices are reused from `x`.
+///
+/// # Errors
+///
+/// Returns [`Error::PatternMismatch`] if the block structures differ, and
+/// [`Error::DivisionByZero`] for `Div` with a zero in `y`.
+pub fn tew_ghicoo<V: Value>(
+    op: EwOp,
+    x: &GHiCooTensor<V>,
+    y: &GHiCooTensor<V>,
+    ctx: &Ctx,
+) -> Result<GHiCooTensor<V>> {
+    let same = x.shape() == y.shape()
+        && x.block_bits() == y.block_bits()
+        && x.blocked_modes() == y.blocked_modes()
+        && x.bptr() == y.bptr()
+        && (0..x.order()).all(|m| x.mode_index(m) == y.mode_index(m));
+    if !same {
+        return Err(Error::PatternMismatch);
+    }
+    let mut z = x.clone();
+    z.vals_mut().fill(V::ZERO);
+    ew_vals(op, x.vals(), y.vals(), z.vals_mut(), ctx)?;
+    Ok(z)
+}
+
+/// sHiCOO-TEW with identical fiber and block structure: one pass over the
+/// dense per-fiber values, like [`tew_scoo`].
+///
+/// # Errors
+///
+/// Returns [`Error::PatternMismatch`] if the structures differ, and
+/// [`Error::DivisionByZero`] for `Div` with a zero anywhere in `y`'s fibers.
+pub fn tew_shicoo<V: Value>(
+    op: EwOp,
+    x: &SHiCooTensor<V>,
+    y: &SHiCooTensor<V>,
+    ctx: &Ctx,
+) -> Result<SHiCooTensor<V>> {
+    let ns = x.sparse_modes().len();
+    let same = x.shape() == y.shape()
+        && x.block_size() == y.block_size()
+        && x.dense_modes() == y.dense_modes()
+        && x.bptr() == y.bptr()
+        && (0..ns).all(|k| x.mode_binds(k) == y.mode_binds(k))
+        && (0..ns).all(|k| x.mode_einds(k) == y.mode_einds(k));
+    if !same {
+        return Err(Error::PatternMismatch);
+    }
+    let mut z = x.clone();
+    z.vals_mut().fill(V::ZERO);
+    ew_vals(op, x.vals(), y.vals(), z.vals_mut(), ctx)?;
+    Ok(z)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +499,120 @@ mod tests {
         assert!(matches!(
             tew_hicoo(EwOp::Add, &hx, &hx4, &Ctx::sequential()),
             Err(Error::PatternMismatch)
+        ));
+    }
+
+    fn scoo_pair() -> (SemiCooTensor<f32>, SemiCooTensor<f32>) {
+        let shape = Shape::new(vec![3, 4, 2]);
+        let inds = vec![vec![0, 1, 2], vec![0, 0, 1]];
+        let x = SemiCooTensor::from_fibers(
+            shape.clone(),
+            vec![1],
+            inds.clone(),
+            (1..=12).map(|i| i as f32).collect(),
+        )
+        .unwrap();
+        let y = SemiCooTensor::from_fibers(
+            shape,
+            vec![1],
+            inds,
+            (1..=12).map(|i| (i as f32) * 0.5).collect(),
+        )
+        .unwrap();
+        (x, y)
+    }
+
+    #[test]
+    fn scoo_matches_coo() {
+        let (x, y) = scoo_pair();
+        let ctx = Ctx::sequential();
+        let z = tew_scoo(EwOp::Mul, &x, &y, &ctx).unwrap();
+        let mut got = z.to_coo();
+        got.sort();
+        let mut want = tew_coo(EwOp::Mul, &x.to_coo(), &y.to_coo(), &ctx).unwrap();
+        want.sort();
+        assert_eq!(got, want);
+        // Structure untouched.
+        assert_eq!(z.sparse_inds(0), x.sparse_inds(0));
+    }
+
+    #[test]
+    fn scoo_fiber_mismatch() {
+        let (x, _) = scoo_pair();
+        let y = SemiCooTensor::from_fibers(
+            Shape::new(vec![3, 4, 2]),
+            vec![1],
+            vec![vec![0, 1, 2], vec![1, 0, 1]],
+            vec![1.0; 12],
+        )
+        .unwrap();
+        assert!(matches!(
+            tew_scoo(EwOp::Add, &x, &y, &Ctx::sequential()),
+            Err(Error::PatternMismatch)
+        ));
+    }
+
+    #[test]
+    fn ghicoo_matches_coo() {
+        let x = base();
+        let mut y = x.like_pattern(0.0);
+        y.vals_mut().copy_from_slice(&[3.0, 1.0, 2.0]);
+        let ctx = Ctx::sequential();
+        let gx = GHiCooTensor::from_coo(&x, 2, &[true, false, true]).unwrap();
+        let gy = GHiCooTensor::from_coo(&y, 2, &[true, false, true]).unwrap();
+        let z = tew_ghicoo(EwOp::Add, &gx, &gy, &ctx).unwrap();
+        let mut got = z.to_coo();
+        got.sort();
+        let mut want = tew_coo_same_pattern(EwOp::Add, &x, &y, &ctx).unwrap();
+        want.sort();
+        assert_eq!(got, want);
+        assert_eq!(z.bptr(), gx.bptr());
+    }
+
+    #[test]
+    fn ghicoo_structure_mismatch() {
+        let x = base();
+        let gx = GHiCooTensor::from_coo(&x, 2, &[true, false, true]).unwrap();
+        let gx2 = GHiCooTensor::from_coo(&x, 2, &[true, true, true]).unwrap();
+        assert!(matches!(
+            tew_ghicoo(EwOp::Add, &gx, &gx2, &Ctx::sequential()),
+            Err(Error::PatternMismatch)
+        ));
+    }
+
+    #[test]
+    fn shicoo_matches_scoo() {
+        let (x, y) = scoo_pair();
+        let ctx = Ctx::sequential();
+        let sx = SHiCooTensor::from_scoo(&x, 2).unwrap();
+        let sy = SHiCooTensor::from_scoo(&y, 2).unwrap();
+        let z = tew_shicoo(EwOp::Sub, &sx, &sy, &ctx).unwrap();
+        let mut got = z.to_scoo().unwrap().to_coo();
+        got.sort();
+        let mut want = tew_scoo(EwOp::Sub, &x, &y, &ctx).unwrap().to_coo();
+        want.sort();
+        assert_eq!(got, want);
+        assert_eq!(z.bptr(), sx.bptr());
+    }
+
+    #[test]
+    fn shicoo_structure_mismatch() {
+        let (x, _) = scoo_pair();
+        let sx = SHiCooTensor::from_scoo(&x, 2).unwrap();
+        let sx4 = SHiCooTensor::from_scoo(&x, 4).unwrap();
+        assert!(matches!(
+            tew_shicoo(EwOp::Add, &sx, &sx4, &Ctx::sequential()),
+            Err(Error::PatternMismatch)
+        ));
+    }
+
+    #[test]
+    fn scoo_div_by_stored_zero_rejected() {
+        let (x, mut y) = scoo_pair();
+        y.vals_mut()[5] = 0.0;
+        assert!(matches!(
+            tew_scoo(EwOp::Div, &x, &y, &Ctx::sequential()),
+            Err(Error::DivisionByZero)
         ));
     }
 }

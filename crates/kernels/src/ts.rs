@@ -7,7 +7,9 @@
 
 use crate::ctx::Ctx;
 use crate::ops::TsOp;
-use pasta_core::{CooTensor, Error, HiCooTensor, Result, Value};
+use pasta_core::{
+    CooTensor, Error, GHiCooTensor, HiCooTensor, Result, SHiCooTensor, SemiCooTensor, Value,
+};
 use pasta_par::{parallel_for, SharedSlice};
 
 /// The tensor-scalar value loop shared by the COO and HiCOO kernels.
@@ -73,6 +75,58 @@ pub fn ts_coo<V: Value>(op: TsOp, x: &CooTensor<V>, s: V, ctx: &Ctx) -> Result<C
 ///
 /// Returns [`Error::DivisionByZero`] for `Div` with `s == 0`.
 pub fn ts_hicoo<V: Value>(op: TsOp, x: &HiCooTensor<V>, s: V, ctx: &Ctx) -> Result<HiCooTensor<V>> {
+    let mut y = x.clone();
+    let vals: Vec<V> = x.vals().to_vec();
+    ts_vals(op, &vals, s, y.vals_mut(), ctx)?;
+    Ok(y)
+}
+
+/// sCOO-TS: the value loop runs over the dense per-fiber value arrays;
+/// stored zeros inside fibers are transformed like any other stored value.
+///
+/// # Errors
+///
+/// Returns [`Error::DivisionByZero`] for `Div` with `s == 0`.
+pub fn ts_scoo<V: Value>(
+    op: TsOp,
+    x: &SemiCooTensor<V>,
+    s: V,
+    ctx: &Ctx,
+) -> Result<SemiCooTensor<V>> {
+    let mut y = x.clone();
+    let vals: Vec<V> = x.vals().to_vec();
+    ts_vals(op, &vals, s, y.vals_mut(), ctx)?;
+    Ok(y)
+}
+
+/// gHiCOO-TS: identical value computation on the gHiCOO value array.
+///
+/// # Errors
+///
+/// Returns [`Error::DivisionByZero`] for `Div` with `s == 0`.
+pub fn ts_ghicoo<V: Value>(
+    op: TsOp,
+    x: &GHiCooTensor<V>,
+    s: V,
+    ctx: &Ctx,
+) -> Result<GHiCooTensor<V>> {
+    let mut y = x.clone();
+    let vals: Vec<V> = x.vals().to_vec();
+    ts_vals(op, &vals, s, y.vals_mut(), ctx)?;
+    Ok(y)
+}
+
+/// sHiCOO-TS: identical value computation on the sHiCOO value array.
+///
+/// # Errors
+///
+/// Returns [`Error::DivisionByZero`] for `Div` with `s == 0`.
+pub fn ts_shicoo<V: Value>(
+    op: TsOp,
+    x: &SHiCooTensor<V>,
+    s: V,
+    ctx: &Ctx,
+) -> Result<SHiCooTensor<V>> {
     let mut y = x.clone();
     let vals: Vec<V> = x.vals().to_vec();
     ts_vals(op, &vals, s, y.vals_mut(), ctx)?;
@@ -155,5 +209,70 @@ mod tests {
         assert_eq!(a, b);
         // Structure untouched.
         assert_eq!(y_hicoo.bptr(), hx.bptr());
+    }
+
+    #[test]
+    fn blocked_and_fiber_formats_match_coo() {
+        let x3 = CooTensor::from_entries(
+            Shape::new(vec![4, 4, 2]),
+            vec![(vec![0, 0, 0], 1.0_f32), (vec![1, 2, 1], -2.0), (vec![3, 3, 0], 4.0)],
+        )
+        .unwrap();
+        let ctx = Ctx::sequential();
+        let want = {
+            let mut w = ts_coo(TsOp::Add, &x3, 0.5, &ctx).unwrap();
+            w.sort();
+            w
+        };
+
+        let gx = GHiCooTensor::from_coo(&x3, 2, &[true, true, false]).unwrap();
+        let mut got = ts_ghicoo(TsOp::Add, &gx, 0.5, &ctx).unwrap().to_coo();
+        got.sort();
+        assert_eq!(got, want);
+
+        let sx = SemiCooTensor::from_fibers(
+            Shape::new(vec![3, 4, 2]),
+            vec![2],
+            vec![vec![0, 1], vec![0, 2]],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        let want_s = {
+            let mut w = ts_coo(TsOp::Mul, &sx.to_coo(), 2.0, &ctx).unwrap();
+            w.sort();
+            w
+        };
+        let y = ts_scoo(TsOp::Mul, &sx, 2.0, &ctx).unwrap();
+        let mut got_s = y.to_coo();
+        got_s.sort();
+        assert_eq!(got_s, want_s);
+        assert_eq!(y.sparse_inds(0), sx.sparse_inds(0));
+
+        let shx = SHiCooTensor::from_scoo(&sx, 2).unwrap();
+        let z = ts_shicoo(TsOp::Mul, &shx, 2.0, &ctx).unwrap();
+        let mut got_sh = z.to_scoo().unwrap().to_coo();
+        got_sh.sort();
+        assert_eq!(got_sh, want_s);
+        assert_eq!(z.bptr(), shx.bptr());
+    }
+
+    #[test]
+    fn div_by_zero_rejected_all_formats() {
+        let x3 =
+            CooTensor::from_entries(Shape::new(vec![4, 4, 2]), vec![(vec![1, 2, 1], -2.0_f32)])
+                .unwrap();
+        let ctx = Ctx::sequential();
+        let gx = GHiCooTensor::from_coo(&x3, 2, &[true, true, false]).unwrap();
+        assert!(matches!(ts_ghicoo(TsOp::Div, &gx, 0.0, &ctx), Err(Error::DivisionByZero)));
+        let sx = SemiCooTensor::from_fibers(
+            Shape::new(vec![3, 2]),
+            vec![1],
+            vec![vec![0]],
+            vec![1.0, 2.0],
+        )
+        .unwrap();
+        assert!(matches!(ts_scoo(TsOp::Div, &sx, 0.0, &ctx), Err(Error::DivisionByZero)));
+        let shx = SHiCooTensor::from_scoo(&sx, 2).unwrap();
+        assert!(matches!(ts_shicoo(TsOp::Div, &shx, 0.0, &ctx), Err(Error::DivisionByZero)));
     }
 }

@@ -484,7 +484,7 @@ mod tests {
         for n in 0..3 {
             let u = mat_for(&x, n, 4);
             let y = ttm_coo(&x, &u, n, &Ctx::sequential()).unwrap();
-            let (shape, dense) = ttm_dense(&x, &u, n);
+            let (shape, dense) = ttm_dense(&x, &u, n).unwrap();
             assert_eq!(y.shape(), &shape);
             let got = y.to_coo().to_dense(1 << 12);
             assert!(dense_approx_eq(&got, &dense, 1e-10), "mode {n}");
@@ -497,7 +497,7 @@ mod tests {
         for n in 0..3 {
             let u = mat_for(&x, n, 4);
             let y = ttm_hicoo(&x, &u, n, 2, &Ctx::sequential()).unwrap();
-            let (shape, dense) = ttm_dense(&x, &u, n);
+            let (shape, dense) = ttm_dense(&x, &u, n).unwrap();
             assert_eq!(y.shape(), &shape);
             let got = y.to_scoo().unwrap().to_coo().to_dense(1 << 12);
             assert!(dense_approx_eq(&got, &dense, 1e-10), "mode {n}");
@@ -560,7 +560,7 @@ mod tests {
         let u = mat_for(&x, 1, 16);
         let y = ttm_coo(&x, &u, 1, &Ctx::sequential()).unwrap();
         assert_eq!(y.dense_volume(), 16);
-        let (_, dense) = ttm_dense(&x, &u, 1);
+        let (_, dense) = ttm_dense(&x, &u, 1).unwrap();
         assert!(dense_approx_eq(&y.to_coo().to_dense(1 << 12), &dense, 1e-10));
     }
 
@@ -576,7 +576,7 @@ mod tests {
         assert_eq!(second.dense_modes(), &[1, 2]);
 
         // Dense oracle: apply both products densely.
-        let (shape1, d1) = ttm_dense(&x, &u, 2);
+        let (shape1, d1) = ttm_dense(&x, &u, 2).unwrap();
         let mid = CooTensor::from_entries(
             shape1.clone(),
             (0..d1.len())
@@ -594,7 +594,7 @@ mod tests {
                 .collect::<Vec<_>>(),
         )
         .unwrap();
-        let (shape2, d2) = ttm_dense(&mid, &w, 1);
+        let (shape2, d2) = ttm_dense(&mid, &w, 1).unwrap();
         assert_eq!(second.shape(), &shape2);
         assert!(crate::dense_ref::dense_approx_eq(&second.to_coo().to_dense(1 << 14), &d2, 1e-10));
     }
@@ -652,7 +652,7 @@ mod tests {
         .unwrap();
         let u = mat_for(&x, 1, 5);
         let y = ttm_coo(&x, &u, 1, &Ctx::sequential()).unwrap();
-        let (shape, dense) = ttm_dense(&x, &u, 1);
+        let (shape, dense) = ttm_dense(&x, &u, 1).unwrap();
         assert_eq!(y.shape(), &shape);
         assert!(dense_approx_eq(&y.to_coo().to_dense(1 << 12), &dense, 1e-12));
         let h = ttm_hicoo(&x, &u, 1, 2, &Ctx::sequential()).unwrap();

@@ -346,7 +346,7 @@ mod tests {
         for n in 0..3 {
             let v = vec_for(&x, n);
             let y = ttv_coo(&x, &v, n, &Ctx::sequential()).unwrap();
-            let (shape, dense) = ttv_dense(&x, &v, n);
+            let (shape, dense) = ttv_dense(&x, &v, n).unwrap();
             assert_eq!(y.shape(), &shape);
             let got = y.to_dense(1 << 12);
             assert!(dense_approx_eq(&got, &dense, 1e-10), "mode {n}");
@@ -359,7 +359,7 @@ mod tests {
         for n in 0..3 {
             let v = vec_for(&x, n);
             let y = ttv_hicoo(&x, &v, n, 2, &Ctx::sequential()).unwrap();
-            let (shape, dense) = ttv_dense(&x, &v, n);
+            let (shape, dense) = ttv_dense(&x, &v, n).unwrap();
             assert_eq!(y.shape(), &shape);
             let got = y.to_coo().to_dense(1 << 12);
             assert!(dense_approx_eq(&got, &dense, 1e-10), "mode {n}");
@@ -436,7 +436,7 @@ mod tests {
         .unwrap();
         let v = DenseVector::from_vec(vec![1.0, 10.0, 100.0]);
         let y = ttv_coo(&x, &v, 3, &Ctx::sequential()).unwrap();
-        let (shape, dense) = ttv_dense(&x, &v, 3);
+        let (shape, dense) = ttv_dense(&x, &v, 3).unwrap();
         assert!(dense_approx_eq(&y.to_dense(27), &dense, 1e-12));
         assert_eq!(y.shape(), &shape);
         let h = ttv_hicoo(&x, &v, 3, 2, &Ctx::sequential()).unwrap();

@@ -60,13 +60,28 @@ impl GpuTewCoo {
         if !x.same_pattern(y) {
             return Err(Error::PatternMismatch);
         }
-        let m = x.nnz() as u64;
+        Self::from_values(x.vals().to_vec(), y.vals().to_vec(), op)
+    }
+
+    /// Builds the kernel from bare value arrays — the shared COO value
+    /// loop that blocked and semi-sparse formats reuse on the GPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OperandMismatch`] if the arrays differ in length.
+    pub fn from_values(x: Vec<f32>, y: Vec<f32>, op: EwOp) -> Result<Self> {
+        if x.len() != y.len() {
+            return Err(Error::OperandMismatch {
+                what: format!("value arrays of lengths {} and {}", x.len(), y.len()),
+            });
+        }
+        let m = x.len() as u64;
         let mut a = AddrSpace::new();
         Ok(Self {
             op,
-            x: x.vals().to_vec(),
-            y: y.vals().to_vec(),
-            z: vec![0.0; x.nnz()],
+            z: vec![0.0; x.len()],
+            x,
+            y,
             bx: a.alloc(4 * m),
             by: a.alloc(4 * m),
             bz: a.alloc(4 * m),
@@ -117,19 +132,22 @@ impl GpuTsCoo {
     ///
     /// Returns [`Error::DivisionByZero`] for `Div` with `s == 0`.
     pub fn new(x: &CooTensor<f32>, op: TsOp, s: f32) -> Result<Self> {
+        Self::from_values(x.vals().to_vec(), op, s)
+    }
+
+    /// Builds the kernel from a bare value array (shared value loop for
+    /// the non-COO formats).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DivisionByZero`] for `Div` with `s == 0`.
+    pub fn from_values(x: Vec<f32>, op: TsOp, s: f32) -> Result<Self> {
         if op == TsOp::Div && s == 0.0 {
             return Err(Error::DivisionByZero);
         }
-        let m = x.nnz() as u64;
+        let m = x.len() as u64;
         let mut a = AddrSpace::new();
-        Ok(Self {
-            op,
-            s,
-            x: x.vals().to_vec(),
-            y: vec![0.0; x.nnz()],
-            bx: a.alloc(4 * m),
-            by: a.alloc(4 * m),
-        })
+        Ok(Self { op, s, y: vec![0.0; x.len()], x, bx: a.alloc(4 * m), by: a.alloc(4 * m) })
     }
 
     /// The computed output values.
@@ -874,7 +892,7 @@ mod tests {
         let x = sample();
         let fs = factors(&x, 8);
         for n in 0..3 {
-            let want = dense_ref::mttkrp_dense(&x, &fs, n);
+            let want = dense_ref::mttkrp_dense(&x, &fs, n).unwrap();
             let mut k = GpuMttkrpCoo::new(&x, &fs, n).unwrap();
             let stats = launch(&p100(), &mut k);
             for (a, b) in k.output().as_slice().iter().zip(want.as_slice()) {
@@ -889,7 +907,7 @@ mod tests {
         let x = sample();
         let h = HiCooTensor::from_coo(&x, 8).unwrap();
         let fs = factors(&x, 8);
-        let want = dense_ref::mttkrp_dense(&x, &fs, 1);
+        let want = dense_ref::mttkrp_dense(&x, &fs, 1).unwrap();
         let mut k = GpuMttkrpHicoo::new(&h, &fs, 1).unwrap();
         let stats = launch(&v100(), &mut k);
         for (a, b) in k.output().as_slice().iter().zip(want.as_slice()) {
@@ -982,7 +1000,7 @@ mod tests {
         let x = sample();
         let h = HiCooTensor::from_coo(&x, 8).unwrap();
         let fs = factors(&x, 8);
-        let want = dense_ref::mttkrp_dense(&x, &fs, 1);
+        let want = dense_ref::mttkrp_dense(&x, &fs, 1).unwrap();
         let mut k = GpuMttkrpHicooBalanced::new(&h, &fs, 1, 64).unwrap();
         let stats = launch(&v100(), &mut k);
         for (a, b) in k.output().as_slice().iter().zip(want.as_slice()) {

@@ -6,10 +6,12 @@
 //! range strategies, tuple strategies, [`collection::vec`],
 //! [`sample::select`], and the `prop_assert*` macros.
 //!
-//! Differences from upstream: no shrinking (a failing case panics with the
-//! generated inputs available via the assertion message), and the RNG is
-//! seeded deterministically from the test name so failures reproduce exactly
-//! across runs.
+//! Differences from upstream: the `proptest!` macro does not shrink (a
+//! failing case panics with the generated inputs available via the
+//! assertion message), and the RNG is seeded deterministically from the
+//! test name so failures reproduce exactly across runs. The [`shrink`]
+//! module exposes standalone delta-debugging primitives for harnesses that
+//! minimize failures themselves.
 
 pub mod test_runner {
     //! Test configuration and the deterministic RNG driving generation.
@@ -228,6 +230,86 @@ pub mod sample {
     }
 }
 
+pub mod shrink {
+    //! Standalone failure-minimization primitives.
+    //!
+    //! Upstream proptest shrinks through per-strategy value trees; this shim
+    //! instead offers the two operations a harness needs to minimize a
+    //! failing case it already holds: set minimization by delta debugging
+    //! ([`ddmin`]) and scalar minimization by bisection ([`shrink_int`]).
+    //! Both take a `fails` predicate that re-runs the failing check on a
+    //! candidate and returns `true` when the failure persists.
+
+    /// Minimizes `items` to a subsequence on which `fails` still returns
+    /// `true`, using Zeller's ddmin: remove chunks at progressively finer
+    /// granularity until no single chunk can be dropped.
+    ///
+    /// `fails(items)` must be `true` on entry; the result (possibly empty)
+    /// preserves the original relative order and still fails.
+    pub fn ddmin<T, F>(items: &[T], mut fails: F) -> Vec<T>
+    where
+        T: Clone,
+        F: FnMut(&[T]) -> bool,
+    {
+        let mut cur: Vec<T> = items.to_vec();
+        debug_assert!(fails(&cur), "ddmin requires a failing starting point");
+        if fails(&[]) {
+            return Vec::new();
+        }
+        let mut n = 2usize;
+        while cur.len() >= 2 {
+            let chunk = cur.len().div_ceil(n);
+            let mut reduced = false;
+            let mut start = 0;
+            while start < cur.len() {
+                let end = (start + chunk).min(cur.len());
+                let mut cand: Vec<T> = Vec::with_capacity(cur.len() - (end - start));
+                cand.extend_from_slice(&cur[..start]);
+                cand.extend_from_slice(&cur[end..]);
+                if fails(&cand) {
+                    cur = cand;
+                    n = n.saturating_sub(1).max(2);
+                    reduced = true;
+                    break;
+                }
+                start = end;
+            }
+            if !reduced {
+                if n >= cur.len() {
+                    break;
+                }
+                n = (2 * n).min(cur.len());
+            }
+        }
+        cur
+    }
+
+    /// Minimizes a scalar toward `lo` while `fails` holds.
+    ///
+    /// `fails(hi)` must be `true` on entry. Bisects toward `lo` while the
+    /// midpoint still fails, then takes unit steps; the failure need not be
+    /// monotone in the scalar — the result is simply the smallest failing
+    /// value this greedy walk reaches, never below `lo`.
+    pub fn shrink_int<F>(lo: u64, hi: u64, mut fails: F) -> u64
+    where
+        F: FnMut(u64) -> bool,
+    {
+        debug_assert!(lo <= hi);
+        let mut cur = hi;
+        while cur > lo {
+            let mid = lo + (cur - lo) / 2;
+            if fails(mid) {
+                cur = mid;
+            } else if fails(cur - 1) {
+                cur -= 1;
+            } else {
+                break;
+            }
+        }
+        cur
+    }
+}
+
 /// Asserts a condition inside a `proptest!` body.
 #[macro_export]
 macro_rules! prop_assert {
@@ -311,6 +393,40 @@ mod tests {
             let s = Strategy::generate(&crate::sample::select(vec![1, 2, 3]), &mut rng);
             assert!((1..=3).contains(&s));
         }
+    }
+
+    #[test]
+    fn ddmin_finds_minimal_pair() {
+        // Failure requires both a 3 and a 7 somewhere in the slice.
+        let items = vec![9, 3, 1, 4, 7, 7, 2, 3, 8];
+        let fails = |s: &[i32]| s.contains(&3) && s.contains(&7);
+        let min = crate::shrink::ddmin(&items, fails);
+        assert_eq!(min.len(), 2);
+        assert!(min.contains(&3) && min.contains(&7));
+    }
+
+    #[test]
+    fn ddmin_handles_empty_minimum() {
+        // Failure independent of the items: everything can go.
+        let min = crate::shrink::ddmin(&[1, 2, 3, 4], |_| true);
+        assert!(min.is_empty());
+    }
+
+    #[test]
+    fn ddmin_single_element() {
+        let min = crate::shrink::ddmin(&[5, 6, 7, 8, 9], |s| s.contains(&8));
+        assert_eq!(min, vec![8]);
+    }
+
+    #[test]
+    fn shrink_int_finds_threshold() {
+        // Monotone predicate: fails for v >= 37.
+        assert_eq!(crate::shrink::shrink_int(0, 1000, |v| v >= 37), 37);
+        // Already at the floor.
+        assert_eq!(crate::shrink::shrink_int(5, 5, |_| true), 5);
+        // Non-monotone: walk stops at a local minimum but the result fails.
+        let r = crate::shrink::shrink_int(0, 100, |v| v == 100 || v == 50);
+        assert!(r == 50);
     }
 
     proptest! {

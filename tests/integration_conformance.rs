@@ -1,0 +1,70 @@
+//! Integration tests for the conformance harness: the quick tier is green
+//! end to end, the element-wise kernels are covered on every format and
+//! both backends, and an injected fault survives the full
+//! catch → shrink → serialize → replay loop.
+
+use pasta_conformance::matrix::{eval_cell, shrink_case, CellOutcome};
+use pasta_conformance::{
+    cells, generate, parse_case, render_case, run_matrix, CaseFile, FaultSpec, Tier,
+};
+
+#[test]
+fn quick_tier_is_green() {
+    let corpus = generate(Tier::Quick, 0xC0FFEE);
+    let cs = cells();
+    let reports = run_matrix(&corpus, &cs, None);
+    assert_eq!(reports.len(), cs.len());
+    for r in &reports {
+        assert!(
+            r.failure.is_none(),
+            "{} failed on `{}`: {}",
+            r.id,
+            r.failure.as_ref().unwrap().case_label,
+            r.failure.as_ref().unwrap().message
+        );
+        assert!(r.worst <= r.budget, "{}: worst {} > budget {}", r.id, r.worst, r.budget);
+        assert_eq!(r.cases, corpus.len());
+    }
+}
+
+#[test]
+fn elementwise_cells_cover_every_format_on_both_backends() {
+    let cs = cells();
+    for kernel in ["tew", "ts"] {
+        for fmt in ["coo", "scoo", "hicoo", "ghicoo", "shicoo"] {
+            for backend in ["cpu/t1", "cpu/t4", "gpu"] {
+                let id = format!("{kernel}/{fmt}/{backend}");
+                let cell =
+                    cs.iter().find(|c| c.id == id).unwrap_or_else(|| panic!("missing cell {id}"));
+                // Element-wise kernels are bit-identical everywhere.
+                assert_eq!(cell.budget, 0, "{id}");
+            }
+        }
+    }
+}
+
+#[test]
+fn injected_fault_is_caught_shrunk_and_replayable() {
+    let corpus = generate(Tier::Quick, 77);
+    let cs = cells();
+    let cell = cs.iter().find(|c| c.id == "tew/ghicoo/cpu/t1").unwrap();
+    let fault = FaultSpec { cell: cell.id.clone() };
+    let case = corpus.iter().find(|c| !c.entries.is_empty()).unwrap();
+
+    assert!(matches!(eval_cell(cell, case, Some(&fault)), CellOutcome::Fail { .. }));
+    let shrunk = shrink_case(cell, case, Some(&fault));
+    assert!(shrunk.entries.len() < case.entries.len() || shrunk.dims.iter().all(|&d| d == 1));
+
+    // Serialize, parse back bit-exactly, and replay both ways.
+    let cf = CaseFile { cell: cell.id.clone(), case: shrunk };
+    let roundtrip = parse_case(&render_case(&cf)).expect("case file parses");
+    assert_eq!(roundtrip, cf);
+    assert!(
+        matches!(eval_cell(cell, &roundtrip.case, Some(&fault)), CellOutcome::Fail { .. }),
+        "replay with the fault must reproduce the failure"
+    );
+    assert!(
+        matches!(eval_cell(cell, &roundtrip.case, None), CellOutcome::Pass(_)),
+        "replay without the fault must pass: the bug was in the kernel, not the case"
+    );
+}

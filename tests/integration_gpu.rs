@@ -2,10 +2,11 @@
 //! the CPU kernels' results on generated tensors, and the timing model
 //! reproduces the paper's GPU-side behavior.
 
-use pasta::core::{seeded_matrix, seeded_vector, DenseMatrix, HiCooTensor, Value};
+use pasta::core::{seeded_matrix, seeded_vector, DenseMatrix, HiCooTensor};
 use pasta::gen::{KroneckerGen, PowerLawGen};
 use pasta::kernels::{mttkrp_coo, ts_coo, ttm_coo, ttv_coo, Ctx, EwOp, TsOp};
 use pasta::simt::{launch, p100, v100, Bound};
+use pasta_conformance::oracle::assert_close;
 
 #[test]
 fn gpu_results_match_cpu_on_generated_tensor() {
@@ -32,9 +33,7 @@ fn gpu_results_match_cpu_on_generated_tensor() {
         let cpu = ttv_coo(&x, &v, n, &ctx).unwrap();
         let mut k = pasta::simt::GpuTtvCoo::new(&x, &v, n).unwrap();
         launch(&dev, &mut k);
-        for (a, b) in k.output().iter().zip(cpu.vals()) {
-            assert!(a.approx_eq(*b, 1e-4), "TTV mode {n}: {a} vs {b}");
-        }
+        assert_close(k.output(), cpu.vals(), 1e-4);
     }
 
     // TTM
@@ -42,9 +41,7 @@ fn gpu_results_match_cpu_on_generated_tensor() {
     let cpu = ttm_coo(&x, &u, 1, &ctx).unwrap();
     let mut k = pasta::simt::GpuTtmCoo::new(&x, &u, 1).unwrap();
     launch(&dev, &mut k);
-    for (a, b) in k.output().iter().zip(cpu.vals()) {
-        assert!(a.approx_eq(*b, 1e-4), "TTM: {a} vs {b}");
-    }
+    assert_close(k.output(), cpu.vals(), 1e-4);
 
     // MTTKRP, COO and HiCOO
     let factors: Vec<DenseMatrix<f32>> =
@@ -52,15 +49,11 @@ fn gpu_results_match_cpu_on_generated_tensor() {
     let cpu = mttkrp_coo(&x, &factors, 0, &ctx).unwrap();
     let mut kc = pasta::simt::GpuMttkrpCoo::new(&x, &factors, 0).unwrap();
     launch(&dev, &mut kc);
-    for (a, b) in kc.output().as_slice().iter().zip(cpu.as_slice()) {
-        assert!(a.approx_eq(*b, 1e-3), "MTTKRP COO: {a} vs {b}");
-    }
+    assert_close(kc.output().as_slice(), cpu.as_slice(), 1e-3);
     let h = HiCooTensor::from_coo(&x, 64).unwrap();
     let mut kh = pasta::simt::GpuMttkrpHicoo::new(&h, &factors, 0).unwrap();
     launch(&dev, &mut kh);
-    for (a, b) in kh.output().as_slice().iter().zip(cpu.as_slice()) {
-        assert!(a.approx_eq(*b, 1e-3), "MTTKRP HiCOO: {a} vs {b}");
-    }
+    assert_close(kh.output().as_slice(), cpu.as_slice(), 1e-3);
 }
 
 #[test]

@@ -42,10 +42,11 @@ fn factors_for(x: &CooTensor<f64>, r: usize) -> Vec<DenseMatrix<f64>> {
         .collect()
 }
 
+/// Relative tolerance for privatized-reduction agreement (see module docs).
+const PRIV_TOL: f64 = 1e-12;
+
 fn assert_close(a: &DenseMatrix<f64>, b: &DenseMatrix<f64>, what: &str) {
-    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
-        assert!((x - y).abs() <= 1e-12 * x.abs().max(1.0), "{what}: {x} vs {y}");
-    }
+    pasta_conformance::oracle::assert_close_mat(a, b, PRIV_TOL, what);
 }
 
 fn coords3() -> impl Strategy<Value = Vec<Vec<Coord>>> {
