@@ -15,6 +15,9 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
 echo "==> MTTKRP bench smoke (strategy dispatch, untimed)"
 PASTA_BENCH_SCALE=0.02 cargo bench -p pasta-bench --bench mttkrp -- --test
 

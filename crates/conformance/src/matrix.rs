@@ -19,16 +19,17 @@
 use crate::cases::{self, Case};
 use crate::oracle::worst_ulp;
 use pasta_core::{
-    seeded_matrix, seeded_vector, CooTensor, Coord, DenseMatrix, DenseVector, GHiCooTensor,
-    HiCooTensor, Result, SHiCooTensor, SemiCooTensor,
+    seeded_matrix, seeded_vector, CooTensor, Coord, CsfTensor, DenseMatrix, DenseVector,
+    FCooTensor, GHiCooTensor, HiCooTensor, Result, SHiCooTensor, SemiCooTensor,
 };
 use pasta_kernels::dense_ref::{
     mttkrp_dense, tew_dense, ts_dense, ttm_dense, ttv_dense, ORACLE_MAX_ENTRIES,
 };
 use pasta_kernels::{
-    mttkrp_coo, mttkrp_hicoo, tew_coo_same_pattern, tew_ghicoo, tew_hicoo, tew_scoo, tew_shicoo,
-    ts_coo, ts_ghicoo, ts_hicoo, ts_scoo, ts_shicoo, ttm_coo, ttm_hicoo, ttm_scoo, ttv_coo,
-    ttv_hicoo, Ctx, EwOp, StrategyChoice, TsOp,
+    mttkrp_coo, mttkrp_csf_root, mttkrp_hicoo, registry, tew_coo_same_pattern, tew_csf, tew_fcoo,
+    tew_ghicoo, tew_hicoo, tew_scoo, tew_shicoo, ts_coo, ts_csf, ts_fcoo, ts_ghicoo, ts_hicoo,
+    ts_scoo, ts_shicoo, ttm_coo, ttm_hicoo, ttm_scoo, ttv_coo, ttv_csf_leaf, ttv_fcoo, ttv_hicoo,
+    BackendKind, Combo, Ctx, EwOp, FormatKind, Kernel, StrategyChoice, TsOp,
 };
 use pasta_par::Schedule;
 use pasta_simt::{launch, p100};
@@ -55,6 +56,16 @@ pub struct CaseCtx {
     pub sy: SemiCooTensor<f32>,
     pub shx: SHiCooTensor<f32>,
     pub shy: SHiCooTensor<f32>,
+    /// CSF with `case.mode` as the *root* level (MTTKRP, element-wise).
+    pub cx_root: CsfTensor<f32>,
+    /// Same tree shape over `y`'s values (second TEW operand).
+    pub cy_root: CsfTensor<f32>,
+    /// CSF with `case.mode` as the *leaf* level (leaf-mode TTV).
+    pub cx_leaf: CsfTensor<f32>,
+    /// F-COO fibered along `case.mode`.
+    pub fx: FCooTensor<f32>,
+    /// Same fiber structure over `y`'s values.
+    pub fy: FCooTensor<f32>,
     pub v: DenseVector<f32>,
     pub u: DenseMatrix<f32>,
     pub factors: Vec<DenseMatrix<f32>>,
@@ -104,6 +115,16 @@ impl CaseCtx {
         let blocked: Vec<bool> = (0..case.order()).map(|m| m % 2 == 0).collect();
         let sx = coo_to_scoo(&x)?;
         let sy = coo_to_scoo(&y)?;
+        let root_order = {
+            let mut mo = vec![case.mode];
+            mo.extend((0..case.order()).filter(|&m| m != case.mode));
+            mo
+        };
+        let leaf_order = {
+            let mut mo: Vec<usize> = (0..case.order()).filter(|&m| m != case.mode).collect();
+            mo.push(case.mode);
+            mo
+        };
         let rank = case.rank;
         let v = seeded_vector::<f32>(x.shape().dim(case.mode) as usize, case.seed ^ 0x7EC);
         let u = seeded_matrix::<f32>(x.shape().dim(case.mode) as usize, rank, case.seed ^ 0x77);
@@ -117,6 +138,11 @@ impl CaseCtx {
             gy: GHiCooTensor::from_coo(&y, case.block, &blocked)?,
             shx: SHiCooTensor::from_scoo(&sx, case.block)?,
             shy: SHiCooTensor::from_scoo(&sy, case.block)?,
+            cx_root: CsfTensor::from_coo(&x, &root_order)?,
+            cy_root: CsfTensor::from_coo(&y, &root_order)?,
+            cx_leaf: CsfTensor::from_coo(&x, &leaf_order)?,
+            fx: FCooTensor::from_coo(&x, case.mode)?,
+            fy: FCooTensor::from_coo(&y, case.mode)?,
             sx,
             sy,
             v,
@@ -130,46 +156,22 @@ impl CaseCtx {
     }
 }
 
-/// Storage formats a cell can exercise.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Fmt {
-    Coo,
-    Hicoo,
-    Ghicoo,
-    Scoo,
-    Shicoo,
+/// Dense-fiber formats materialize structural zeros inside fibers, so
+/// only zero-preserving ops compare cleanly against the sparse oracle.
+fn dense_fibers(fmt: FormatKind) -> bool {
+    matches!(fmt, FormatKind::Scoo | FormatKind::Shicoo)
 }
 
-impl Fmt {
-    fn name(self) -> &'static str {
-        match self {
-            Fmt::Coo => "coo",
-            Fmt::Hicoo => "hicoo",
-            Fmt::Ghicoo => "ghicoo",
-            Fmt::Scoo => "scoo",
-            Fmt::Shicoo => "shicoo",
-        }
-    }
-
-    /// Dense-fiber formats materialize structural zeros inside fibers, so
-    /// only zero-preserving ops compare cleanly against the sparse oracle.
-    fn dense_fibers(self) -> bool {
-        matches!(self, Fmt::Scoo | Fmt::Shicoo)
-    }
-}
-
-const FORMATS: [Fmt; 5] = [Fmt::Coo, Fmt::Hicoo, Fmt::Ghicoo, Fmt::Scoo, Fmt::Shicoo];
-
-fn tew_ops(fmt: Fmt) -> &'static [EwOp] {
-    if fmt.dense_fibers() {
+fn tew_ops(fmt: FormatKind) -> &'static [EwOp] {
+    if dense_fibers(fmt) {
         &[EwOp::Add, EwOp::Sub, EwOp::Mul]
     } else {
         &[EwOp::Add, EwOp::Sub, EwOp::Mul, EwOp::Div]
     }
 }
 
-fn ts_ops(fmt: Fmt) -> &'static [TsOp] {
-    if fmt.dense_fibers() {
+fn ts_ops(fmt: FormatKind) -> &'static [TsOp] {
+    if dense_fibers(fmt) {
         &[TsOp::Mul, TsOp::Div]
     } else {
         &[TsOp::Add, TsOp::Sub, TsOp::Mul, TsOp::Div]
@@ -177,65 +179,83 @@ fn ts_ops(fmt: Fmt) -> &'static [TsOp] {
 }
 
 /// The TEW result for `fmt` as (dense image, raw value array).
-fn tew_fmt(cc: &CaseCtx, fmt: Fmt, op: EwOp, ctx: &Ctx) -> Result<(Vec<f32>, Vec<f32>)> {
+fn tew_fmt(cc: &CaseCtx, fmt: FormatKind, op: EwOp, ctx: &Ctx) -> Result<(Vec<f32>, Vec<f32>)> {
     Ok(match fmt {
-        Fmt::Coo => {
+        FormatKind::Coo => {
             let z = tew_coo_same_pattern(op, &cc.x, &cc.y, ctx)?;
             (z.to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
         }
-        Fmt::Hicoo => {
+        FormatKind::Hicoo => {
             let z = tew_hicoo(op, &cc.hx, &cc.hy, ctx)?;
             (z.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
         }
-        Fmt::Ghicoo => {
+        FormatKind::Ghicoo => {
             let z = tew_ghicoo(op, &cc.gx, &cc.gy, ctx)?;
             (z.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
         }
-        Fmt::Scoo => {
+        FormatKind::Scoo => {
             let z = tew_scoo(op, &cc.sx, &cc.sy, ctx)?;
             (z.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
         }
-        Fmt::Shicoo => {
+        FormatKind::Shicoo => {
             let z = tew_shicoo(op, &cc.shx, &cc.shy, ctx)?;
             (z.to_scoo()?.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
+        }
+        FormatKind::Csf => {
+            let z = tew_csf(op, &cc.cx_root, &cc.cy_root, ctx)?;
+            (z.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
+        }
+        FormatKind::Fcoo => {
+            let z = tew_fcoo(op, &cc.fx, &cc.fy, ctx)?;
+            (z.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
         }
     })
 }
 
 /// The TS result for `fmt` as (dense image, raw value array).
-fn ts_fmt(cc: &CaseCtx, fmt: Fmt, op: TsOp, ctx: &Ctx) -> Result<(Vec<f32>, Vec<f32>)> {
+fn ts_fmt(cc: &CaseCtx, fmt: FormatKind, op: TsOp, ctx: &Ctx) -> Result<(Vec<f32>, Vec<f32>)> {
     Ok(match fmt {
-        Fmt::Coo => {
+        FormatKind::Coo => {
             let z = ts_coo(op, &cc.x, TS_SCALAR, ctx)?;
             (z.to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
         }
-        Fmt::Hicoo => {
+        FormatKind::Hicoo => {
             let z = ts_hicoo(op, &cc.hx, TS_SCALAR, ctx)?;
             (z.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
         }
-        Fmt::Ghicoo => {
+        FormatKind::Ghicoo => {
             let z = ts_ghicoo(op, &cc.gx, TS_SCALAR, ctx)?;
             (z.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
         }
-        Fmt::Scoo => {
+        FormatKind::Scoo => {
             let z = ts_scoo(op, &cc.sx, TS_SCALAR, ctx)?;
             (z.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
         }
-        Fmt::Shicoo => {
+        FormatKind::Shicoo => {
             let z = ts_shicoo(op, &cc.shx, TS_SCALAR, ctx)?;
             (z.to_scoo()?.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
+        }
+        FormatKind::Csf => {
+            let z = ts_csf(op, &cc.cx_root, TS_SCALAR, ctx)?;
+            (z.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
+        }
+        FormatKind::Fcoo => {
+            let z = ts_fcoo(op, &cc.fx, TS_SCALAR, ctx)?;
+            (z.to_coo().to_dense(ORACLE_MAX_ENTRIES), z.vals().to_vec())
         }
     })
 }
 
 /// The (x, y) value arrays the GPU element-wise value loop reads for `fmt`.
-fn fmt_value_arrays(cc: &CaseCtx, fmt: Fmt) -> (Vec<f32>, Vec<f32>) {
+fn fmt_value_arrays(cc: &CaseCtx, fmt: FormatKind) -> (Vec<f32>, Vec<f32>) {
     match fmt {
-        Fmt::Coo => (cc.x.vals().to_vec(), cc.y.vals().to_vec()),
-        Fmt::Hicoo => (cc.hx.vals().to_vec(), cc.hy.vals().to_vec()),
-        Fmt::Ghicoo => (cc.gx.vals().to_vec(), cc.gy.vals().to_vec()),
-        Fmt::Scoo => (cc.sx.vals().to_vec(), cc.sy.vals().to_vec()),
-        Fmt::Shicoo => (cc.shx.vals().to_vec(), cc.shy.vals().to_vec()),
+        FormatKind::Coo => (cc.x.vals().to_vec(), cc.y.vals().to_vec()),
+        FormatKind::Hicoo => (cc.hx.vals().to_vec(), cc.hy.vals().to_vec()),
+        FormatKind::Ghicoo => (cc.gx.vals().to_vec(), cc.gy.vals().to_vec()),
+        FormatKind::Scoo => (cc.sx.vals().to_vec(), cc.sy.vals().to_vec()),
+        FormatKind::Shicoo => (cc.shx.vals().to_vec(), cc.shy.vals().to_vec()),
+        FormatKind::Csf => (cc.cx_root.vals().to_vec(), cc.cy_root.vals().to_vec()),
+        FormatKind::Fcoo => (cc.fx.vals().to_vec(), cc.fy.vals().to_vec()),
     }
 }
 
@@ -280,7 +300,60 @@ const TTM_BUDGET: u64 = 256;
 const MTTKRP_SEQ_BUDGET: u64 = 512;
 const MTTKRP_PRIV_BUDGET: u64 = 1024;
 const MTTKRP_HICOO_BUDGET: u64 = 1024;
+const MTTKRP_CSF_BUDGET: u64 = 1024;
 const MTTKRP_GPU_BUDGET: u64 = 4096;
+
+/// A documented hole in the conformance matrix.
+///
+/// Every combo in [`pasta_kernels::registry`] must either have at least one
+/// cell or appear here with `cases: None` (a whole-combo hole); an entry
+/// with a `cases` predicate instead excuses individual cases a cell cannot
+/// represent. A registered combo with neither is a test failure, so
+/// coverage claims cannot silently rot.
+pub struct SkipEntry {
+    /// The kernel of the excused combo.
+    pub kernel: Kernel,
+    /// The format of the excused combo.
+    pub format: FormatKind,
+    /// The backend of the excused combo.
+    pub backend: BackendKind,
+    /// Why the hole is structural rather than a missing test.
+    pub reason: &'static str,
+    /// `Some(p)`: only cases satisfying `p` are excused. `None`: the whole
+    /// combo has no cell.
+    pub cases: Option<fn(&Case) -> bool>,
+}
+
+/// The explicit skip table.
+pub fn skips() -> Vec<SkipEntry> {
+    vec![SkipEntry {
+        kernel: Kernel::Ttm,
+        format: FormatKind::Scoo,
+        backend: BackendKind::Cpu,
+        reason: "contracting a sparse mode adds a second dense mode to the output; \
+                 an order-2 sCOO tensor can hold at most one, so the configuration \
+                 is structurally unrepresentable",
+        cases: Some(|case| case.order() == 2 && case.mode != case.order() - 1),
+    }]
+}
+
+/// The skip reason covering `case` for the given combo, if any.
+pub fn skip_reason(
+    kernel: Kernel,
+    format: FormatKind,
+    backend: BackendKind,
+    case: &Case,
+) -> Option<&'static str> {
+    skips()
+        .into_iter()
+        .find(|s| {
+            s.kernel == kernel
+                && s.format == format
+                && s.backend == backend
+                && s.cases.is_none_or(|p| p(case))
+        })
+        .map(|s| s.reason)
+}
 
 /// CPU pool sizes exercised per cell family. The runner forces explicit
 /// worker counts (never "all cores") so results do not depend on the host.
@@ -291,161 +364,269 @@ fn cpu_ctx(threads: usize) -> Ctx {
     Ctx::new(threads, Schedule::Static)
 }
 
-/// The full cell registry.
+/// The full cell registry, generated from [`pasta_kernels::registry`]: each
+/// registered combo contributes its cells through `push_combo_cells`, so
+/// a combo added to the kernel registry without conformance coverage (and
+/// without a [`skips`] entry) fails the completeness test.
 pub fn cells() -> Vec<Cell> {
     let mut cs = Vec::new();
+    for combo in registry() {
+        push_combo_cells(&mut cs, combo);
+    }
+    cs
+}
 
-    // TEW and TS: every format, CPU pools and the simulated GPU, 0 ULP.
-    for fmt in FORMATS {
-        for t in POOLS {
-            cs.push(Cell::new(format!("tew/{}/cpu/t{t}", fmt.name()), 0, move |cc| {
-                let ctx = cpu_ctx(t);
-                let (mut got, mut want) = (Vec::new(), Vec::new());
-                for &op in tew_ops(fmt) {
-                    got.extend(tew_fmt(cc, fmt, op, &ctx)?.0);
-                    want.extend(tew_dense(op, &cc.x, &cc.y)?);
-                }
-                Ok((got, want))
-            }));
-            cs.push(Cell::new(format!("ts/{}/cpu/t{t}", fmt.name()), 0, move |cc| {
-                let ctx = cpu_ctx(t);
-                let (mut got, mut want) = (Vec::new(), Vec::new());
-                for &op in ts_ops(fmt) {
-                    got.extend(ts_fmt(cc, fmt, op, &ctx)?.0);
-                    want.extend(ts_dense(op, &cc.x, TS_SCALAR)?);
-                }
-                Ok((got, want))
+/// Emits the conformance cells for one registered combo.
+#[allow(clippy::too_many_lines)]
+fn push_combo_cells(cs: &mut Vec<Cell>, combo: Combo) {
+    use BackendKind::{Cpu, Gpu};
+    match (combo.kernel, combo.format, combo.backend) {
+        // TEW and TS: every format through the generic FormatAccess path,
+        // CPU pools, 0 ULP.
+        (Kernel::Tew, fmt, Cpu) => {
+            for t in POOLS {
+                cs.push(Cell::new(format!("tew/{fmt}/cpu/t{t}"), 0, move |cc| {
+                    let ctx = cpu_ctx(t);
+                    let (mut got, mut want) = (Vec::new(), Vec::new());
+                    for &op in tew_ops(fmt) {
+                        got.extend(tew_fmt(cc, fmt, op, &ctx)?.0);
+                        want.extend(tew_dense(op, &cc.x, &cc.y)?);
+                    }
+                    Ok((got, want))
+                }));
+            }
+        }
+        (Kernel::Ts, fmt, Cpu) => {
+            for t in POOLS {
+                cs.push(Cell::new(format!("ts/{fmt}/cpu/t{t}"), 0, move |cc| {
+                    let ctx = cpu_ctx(t);
+                    let (mut got, mut want) = (Vec::new(), Vec::new());
+                    for &op in ts_ops(fmt) {
+                        got.extend(ts_fmt(cc, fmt, op, &ctx)?.0);
+                        want.extend(ts_dense(op, &cc.x, TS_SCALAR)?);
+                    }
+                    Ok((got, want))
+                }));
+            }
+        }
+        // The registered GPU element-wise kernels are the shared COO value
+        // loops; one registry row fans out to a cell per format's value
+        // array, all bit-identical to the CPU kernels.
+        (Kernel::Tew, FormatKind::Coo, Gpu) => {
+            for fmt in FormatKind::ALL {
+                cs.push(Cell::new(format!("tew/{fmt}/gpu"), 0, move |cc| {
+                    let ctx = Ctx::sequential();
+                    let (mut got, mut want) = (Vec::new(), Vec::new());
+                    for &op in tew_ops(fmt) {
+                        let (xv, yv) = fmt_value_arrays(cc, fmt);
+                        let mut k = pasta_simt::GpuTewCoo::from_values(xv, yv, op)?;
+                        launch(&p100(), &mut k);
+                        got.extend(k.output());
+                        want.extend(tew_fmt(cc, fmt, op, &ctx)?.1);
+                    }
+                    Ok((got, want))
+                }));
+            }
+        }
+        (Kernel::Ts, FormatKind::Coo, Gpu) => {
+            for fmt in FormatKind::ALL {
+                cs.push(Cell::new(format!("ts/{fmt}/gpu"), 0, move |cc| {
+                    let ctx = Ctx::sequential();
+                    let (mut got, mut want) = (Vec::new(), Vec::new());
+                    for &op in ts_ops(fmt) {
+                        let (xv, _) = fmt_value_arrays(cc, fmt);
+                        let mut k = pasta_simt::GpuTsCoo::from_values(xv, op, TS_SCALAR)?;
+                        launch(&p100(), &mut k);
+                        got.extend(k.output());
+                        want.extend(ts_fmt(cc, fmt, op, &ctx)?.1);
+                    }
+                    Ok((got, want))
+                }));
+            }
+        }
+
+        // TTV.
+        (Kernel::Ttv, FormatKind::Coo, Cpu) => {
+            for t in POOLS {
+                cs.push(Cell::new(format!("ttv/coo/cpu/t{t}"), TTV_BUDGET, move |cc| {
+                    let got = ttv_coo(&cc.x, &cc.v, cc.case.mode, &cpu_ctx(t))?
+                        .to_dense(ORACLE_MAX_ENTRIES);
+                    let want = ttv_dense(&cc.x, &cc.v, cc.case.mode)?.1;
+                    Ok((got, want))
+                }));
+            }
+        }
+        (Kernel::Ttv, FormatKind::Hicoo, Cpu) => {
+            for t in POOLS {
+                cs.push(Cell::new(format!("ttv/hicoo/cpu/t{t}"), TTV_BUDGET, move |cc| {
+                    let got = ttv_hicoo(&cc.x, &cc.v, cc.case.mode, cc.case.block, &cpu_ctx(t))?
+                        .to_coo()
+                        .to_dense(ORACLE_MAX_ENTRIES);
+                    let want = ttv_dense(&cc.x, &cc.v, cc.case.mode)?.1;
+                    Ok((got, want))
+                }));
+            }
+        }
+        (Kernel::Ttv, FormatKind::Csf, Cpu) => {
+            for t in POOLS {
+                cs.push(Cell::new(format!("ttv/csf/cpu/t{t}"), TTV_BUDGET, move |cc| {
+                    let got =
+                        ttv_csf_leaf(&cc.cx_leaf, &cc.v, &cpu_ctx(t))?.to_dense(ORACLE_MAX_ENTRIES);
+                    let want = ttv_dense(&cc.x, &cc.v, cc.case.mode)?.1;
+                    Ok((got, want))
+                }));
+            }
+        }
+        (Kernel::Ttv, FormatKind::Fcoo, Cpu) => {
+            for t in POOLS {
+                cs.push(Cell::new(format!("ttv/fcoo/cpu/t{t}"), TTV_BUDGET, move |cc| {
+                    let got = ttv_fcoo(&cc.fx, &cc.v, &cpu_ctx(t))?.to_dense(ORACLE_MAX_ENTRIES);
+                    let want = ttv_dense(&cc.x, &cc.v, cc.case.mode)?.1;
+                    Ok((got, want))
+                }));
+            }
+        }
+        (Kernel::Ttv, FormatKind::Coo, Gpu) => {
+            cs.push(Cell::new("ttv/coo/gpu".into(), TTV_BUDGET, |cc| {
+                let mut k = pasta_simt::GpuTtvCoo::new(&cc.x, &cc.v, cc.case.mode)?;
+                launch(&p100(), &mut k);
+                let want = ttv_coo(&cc.x, &cc.v, cc.case.mode, &Ctx::sequential())?.vals().to_vec();
+                Ok((k.output().to_vec(), want))
             }));
         }
-        cs.push(Cell::new(format!("tew/{}/gpu", fmt.name()), 0, move |cc| {
-            let ctx = Ctx::sequential();
-            let (mut got, mut want) = (Vec::new(), Vec::new());
-            for &op in tew_ops(fmt) {
-                let (xv, yv) = fmt_value_arrays(cc, fmt);
-                let mut k = pasta_simt::GpuTewCoo::from_values(xv, yv, op)?;
+        (Kernel::Ttv, FormatKind::Fcoo, Gpu) => {
+            cs.push(Cell::new("ttv/fcoo/gpu".into(), TTV_BUDGET, |cc| {
+                // F-COO and the sequential COO kernel order fibers the same
+                // way (both sort mode-last), so the streams align.
+                let mut k = pasta_simt::GpuTtvFcoo::new(&cc.fx, &cc.v)?;
                 launch(&p100(), &mut k);
-                got.extend(k.output());
-                want.extend(tew_fmt(cc, fmt, op, &ctx)?.1);
+                let want = ttv_coo(&cc.x, &cc.v, cc.case.mode, &Ctx::sequential())?.vals().to_vec();
+                Ok((k.output().to_vec(), want))
+            }));
+        }
+
+        // TTM.
+        (Kernel::Ttm, FormatKind::Coo, Cpu) => {
+            for t in POOLS {
+                cs.push(Cell::new(format!("ttm/coo/cpu/t{t}"), TTM_BUDGET, move |cc| {
+                    let got = ttm_coo(&cc.x, &cc.u, cc.case.mode, &cpu_ctx(t))?
+                        .to_coo()
+                        .to_dense(ORACLE_MAX_ENTRIES);
+                    let want = ttm_dense(&cc.x, &cc.u, cc.case.mode)?.1;
+                    Ok((got, want))
+                }));
             }
-            Ok((got, want))
-        }));
-        cs.push(Cell::new(format!("ts/{}/gpu", fmt.name()), 0, move |cc| {
-            let ctx = Ctx::sequential();
-            let (mut got, mut want) = (Vec::new(), Vec::new());
-            for &op in ts_ops(fmt) {
-                let (xv, _) = fmt_value_arrays(cc, fmt);
-                let mut k = pasta_simt::GpuTsCoo::from_values(xv, op, TS_SCALAR)?;
+        }
+        (Kernel::Ttm, FormatKind::Hicoo, Cpu) => {
+            for t in POOLS {
+                cs.push(Cell::new(format!("ttm/hicoo/cpu/t{t}"), TTM_BUDGET, move |cc| {
+                    let got = ttm_hicoo(&cc.x, &cc.u, cc.case.mode, cc.case.block, &cpu_ctx(t))?
+                        .to_scoo()?
+                        .to_coo()
+                        .to_dense(ORACLE_MAX_ENTRIES);
+                    let want = ttm_dense(&cc.x, &cc.u, cc.case.mode)?.1;
+                    Ok((got, want))
+                }));
+            }
+        }
+        (Kernel::Ttm, FormatKind::Scoo, Cpu) => {
+            for t in POOLS {
+                cs.push(Cell::new(format!("ttm/scoo/cpu/t{t}"), TTM_BUDGET, move |cc| {
+                    if skip_reason(Kernel::Ttm, FormatKind::Scoo, Cpu, &cc.case).is_some() {
+                        return Ok((Vec::new(), Vec::new()));
+                    }
+                    let got = ttm_scoo(&cc.sx, &cc.u, cc.case.mode, &cpu_ctx(t))?
+                        .to_coo()
+                        .to_dense(ORACLE_MAX_ENTRIES);
+                    let want = ttm_dense(&cc.x, &cc.u, cc.case.mode)?.1;
+                    Ok((got, want))
+                }));
+            }
+        }
+        (Kernel::Ttm, FormatKind::Coo, Gpu) => {
+            cs.push(Cell::new("ttm/coo/gpu".into(), TTM_BUDGET, |cc| {
+                let mut k = pasta_simt::GpuTtmCoo::new(&cc.x, &cc.u, cc.case.mode)?;
                 launch(&p100(), &mut k);
-                got.extend(k.output());
-                want.extend(ts_fmt(cc, fmt, op, &ctx)?.1);
+                let want = ttm_coo(&cc.x, &cc.u, cc.case.mode, &Ctx::sequential())?.vals().to_vec();
+                Ok((k.output().to_vec(), want))
+            }));
+        }
+
+        // MTTKRP: sequential vs the dense oracle; owner-computes
+        // bit-identical to sequential on the sorted tensor; privatized
+        // ULP-bounded.
+        (Kernel::Mttkrp, FormatKind::Coo, Cpu) => {
+            cs.push(Cell::new("mttkrp/coo/cpu/seq/t1".into(), MTTKRP_SEQ_BUDGET, |cc| {
+                let got = mttkrp_coo(&cc.x, &cc.factors, cc.case.mode, &Ctx::sequential())?;
+                let want = mttkrp_dense(&cc.x, &cc.factors, cc.case.mode)?;
+                Ok((got.as_slice().to_vec(), want.as_slice().to_vec()))
+            }));
+            for t in MTTKRP_POOLS {
+                cs.push(Cell::new(format!("mttkrp/coo/cpu/owner/t{t}"), 0, move |cc| {
+                    let ctx = cpu_ctx(t).with_mttkrp(StrategyChoice::Owner);
+                    let got = mttkrp_coo(&cc.sorted_x, &cc.factors, cc.case.mode, &ctx)?;
+                    let want =
+                        mttkrp_coo(&cc.sorted_x, &cc.factors, cc.case.mode, &Ctx::sequential())?;
+                    Ok((got.as_slice().to_vec(), want.as_slice().to_vec()))
+                }));
+                cs.push(Cell::new(
+                    format!("mttkrp/coo/cpu/priv/t{t}"),
+                    MTTKRP_PRIV_BUDGET,
+                    move |cc| {
+                        let ctx = cpu_ctx(t).with_mttkrp(StrategyChoice::Privatized);
+                        let got = mttkrp_coo(&cc.x, &cc.factors, cc.case.mode, &ctx)?;
+                        let want =
+                            mttkrp_coo(&cc.x, &cc.factors, cc.case.mode, &Ctx::sequential())?;
+                        Ok((got.as_slice().to_vec(), want.as_slice().to_vec()))
+                    },
+                ));
             }
-            Ok((got, want))
-        }));
-    }
-
-    // TTV.
-    for t in POOLS {
-        cs.push(Cell::new(format!("ttv/coo/cpu/t{t}"), TTV_BUDGET, move |cc| {
-            let got =
-                ttv_coo(&cc.x, &cc.v, cc.case.mode, &cpu_ctx(t))?.to_dense(ORACLE_MAX_ENTRIES);
-            let want = ttv_dense(&cc.x, &cc.v, cc.case.mode)?.1;
-            Ok((got, want))
-        }));
-        cs.push(Cell::new(format!("ttv/hicoo/cpu/t{t}"), TTV_BUDGET, move |cc| {
-            let got = ttv_hicoo(&cc.x, &cc.v, cc.case.mode, cc.case.block, &cpu_ctx(t))?
-                .to_coo()
-                .to_dense(ORACLE_MAX_ENTRIES);
-            let want = ttv_dense(&cc.x, &cc.v, cc.case.mode)?.1;
-            Ok((got, want))
-        }));
-    }
-    cs.push(Cell::new("ttv/coo/gpu".into(), TTV_BUDGET, |cc| {
-        let mut k = pasta_simt::GpuTtvCoo::new(&cc.x, &cc.v, cc.case.mode)?;
-        launch(&p100(), &mut k);
-        let want = ttv_coo(&cc.x, &cc.v, cc.case.mode, &Ctx::sequential())?.vals().to_vec();
-        Ok((k.output().to_vec(), want))
-    }));
-
-    // TTM.
-    for t in POOLS {
-        cs.push(Cell::new(format!("ttm/coo/cpu/t{t}"), TTM_BUDGET, move |cc| {
-            let got = ttm_coo(&cc.x, &cc.u, cc.case.mode, &cpu_ctx(t))?
-                .to_coo()
-                .to_dense(ORACLE_MAX_ENTRIES);
-            let want = ttm_dense(&cc.x, &cc.u, cc.case.mode)?.1;
-            Ok((got, want))
-        }));
-        cs.push(Cell::new(format!("ttm/hicoo/cpu/t{t}"), TTM_BUDGET, move |cc| {
-            let got = ttm_hicoo(&cc.x, &cc.u, cc.case.mode, cc.case.block, &cpu_ctx(t))?
-                .to_scoo()?
-                .to_coo()
-                .to_dense(ORACLE_MAX_ENTRIES);
-            let want = ttm_dense(&cc.x, &cc.u, cc.case.mode)?.1;
-            Ok((got, want))
-        }));
-        cs.push(Cell::new(format!("ttm/scoo/cpu/t{t}"), TTM_BUDGET, move |cc| {
-            // Contracting a sparse mode adds a second dense mode to the
-            // output; an order-2 sCOO tensor can hold at most one, so that
-            // configuration is structurally unrepresentable — skip it.
-            if cc.case.order() == 2 && cc.case.mode != cc.case.order() - 1 {
-                return Ok((Vec::new(), Vec::new()));
+        }
+        (Kernel::Mttkrp, FormatKind::Hicoo, Cpu) => {
+            for t in POOLS {
+                cs.push(Cell::new(
+                    format!("mttkrp/hicoo/cpu/t{t}"),
+                    MTTKRP_HICOO_BUDGET,
+                    move |cc| {
+                        let got = mttkrp_hicoo(&cc.hx, &cc.factors, cc.case.mode, &cpu_ctx(t))?;
+                        let want = mttkrp_dense(&cc.x, &cc.factors, cc.case.mode)?;
+                        Ok((got.as_slice().to_vec(), want.as_slice().to_vec()))
+                    },
+                ));
             }
-            let got = ttm_scoo(&cc.sx, &cc.u, cc.case.mode, &cpu_ctx(t))?
-                .to_coo()
-                .to_dense(ORACLE_MAX_ENTRIES);
-            let want = ttm_dense(&cc.x, &cc.u, cc.case.mode)?.1;
-            Ok((got, want))
-        }));
-    }
-    cs.push(Cell::new("ttm/coo/gpu".into(), TTM_BUDGET, |cc| {
-        let mut k = pasta_simt::GpuTtmCoo::new(&cc.x, &cc.u, cc.case.mode)?;
-        launch(&p100(), &mut k);
-        let want = ttm_coo(&cc.x, &cc.u, cc.case.mode, &Ctx::sequential())?.vals().to_vec();
-        Ok((k.output().to_vec(), want))
-    }));
+        }
+        (Kernel::Mttkrp, FormatKind::Csf, Cpu) => {
+            for t in POOLS {
+                cs.push(Cell::new(format!("mttkrp/csf/cpu/t{t}"), MTTKRP_CSF_BUDGET, move |cc| {
+                    // The tree is built with `case.mode` as the root, so
+                    // the root-mode kernel computes that mode's MTTKRP.
+                    let got = mttkrp_csf_root(&cc.cx_root, &cc.factors, &cpu_ctx(t))?;
+                    let want = mttkrp_dense(&cc.x, &cc.factors, cc.case.mode)?;
+                    Ok((got.as_slice().to_vec(), want.as_slice().to_vec()))
+                }));
+            }
+        }
+        (Kernel::Mttkrp, FormatKind::Coo, Gpu) => {
+            cs.push(Cell::new("mttkrp/coo/gpu".into(), MTTKRP_GPU_BUDGET, |cc| {
+                let mut k = pasta_simt::GpuMttkrpCoo::new(&cc.x, &cc.factors, cc.case.mode)?;
+                launch(&p100(), &mut k);
+                let want = mttkrp_dense(&cc.x, &cc.factors, cc.case.mode)?;
+                Ok((k.output().as_slice().to_vec(), want.as_slice().to_vec()))
+            }));
+        }
+        (Kernel::Mttkrp, FormatKind::Hicoo, Gpu) => {
+            cs.push(Cell::new("mttkrp/hicoo/gpu".into(), MTTKRP_GPU_BUDGET, |cc| {
+                let mut k = pasta_simt::GpuMttkrpHicoo::new(&cc.hx, &cc.factors, cc.case.mode)?;
+                launch(&p100(), &mut k);
+                let want = mttkrp_dense(&cc.x, &cc.factors, cc.case.mode)?;
+                Ok((k.output().as_slice().to_vec(), want.as_slice().to_vec()))
+            }));
+        }
 
-    // MTTKRP: sequential vs the dense oracle; owner-computes bit-identical
-    // to sequential on the sorted tensor; privatized ULP-bounded.
-    cs.push(Cell::new("mttkrp/coo/cpu/seq/t1".into(), MTTKRP_SEQ_BUDGET, |cc| {
-        let got = mttkrp_coo(&cc.x, &cc.factors, cc.case.mode, &Ctx::sequential())?;
-        let want = mttkrp_dense(&cc.x, &cc.factors, cc.case.mode)?;
-        Ok((got.as_slice().to_vec(), want.as_slice().to_vec()))
-    }));
-    for t in MTTKRP_POOLS {
-        cs.push(Cell::new(format!("mttkrp/coo/cpu/owner/t{t}"), 0, move |cc| {
-            let ctx = cpu_ctx(t).with_mttkrp(StrategyChoice::Owner);
-            let got = mttkrp_coo(&cc.sorted_x, &cc.factors, cc.case.mode, &ctx)?;
-            let want = mttkrp_coo(&cc.sorted_x, &cc.factors, cc.case.mode, &Ctx::sequential())?;
-            Ok((got.as_slice().to_vec(), want.as_slice().to_vec()))
-        }));
-        cs.push(Cell::new(format!("mttkrp/coo/cpu/priv/t{t}"), MTTKRP_PRIV_BUDGET, move |cc| {
-            let ctx = cpu_ctx(t).with_mttkrp(StrategyChoice::Privatized);
-            let got = mttkrp_coo(&cc.x, &cc.factors, cc.case.mode, &ctx)?;
-            let want = mttkrp_coo(&cc.x, &cc.factors, cc.case.mode, &Ctx::sequential())?;
-            Ok((got.as_slice().to_vec(), want.as_slice().to_vec()))
-        }));
+        // Anything else must carry a skips() entry — enforced by the
+        // completeness test.
+        _ => {}
     }
-    for t in POOLS {
-        cs.push(Cell::new(format!("mttkrp/hicoo/cpu/t{t}"), MTTKRP_HICOO_BUDGET, move |cc| {
-            let got = mttkrp_hicoo(&cc.hx, &cc.factors, cc.case.mode, &cpu_ctx(t))?;
-            let want = mttkrp_dense(&cc.x, &cc.factors, cc.case.mode)?;
-            Ok((got.as_slice().to_vec(), want.as_slice().to_vec()))
-        }));
-    }
-    cs.push(Cell::new("mttkrp/coo/gpu".into(), MTTKRP_GPU_BUDGET, |cc| {
-        let mut k = pasta_simt::GpuMttkrpCoo::new(&cc.x, &cc.factors, cc.case.mode)?;
-        launch(&p100(), &mut k);
-        let want = mttkrp_dense(&cc.x, &cc.factors, cc.case.mode)?;
-        Ok((k.output().as_slice().to_vec(), want.as_slice().to_vec()))
-    }));
-    cs.push(Cell::new("mttkrp/hicoo/gpu".into(), MTTKRP_GPU_BUDGET, |cc| {
-        let mut k = pasta_simt::GpuMttkrpHicoo::new(&cc.hx, &cc.factors, cc.case.mode)?;
-        launch(&p100(), &mut k);
-        let want = mttkrp_dense(&cc.x, &cc.factors, cc.case.mode)?;
-        Ok((k.output().as_slice().to_vec(), want.as_slice().to_vec()))
-    }));
-
-    cs
 }
 
 /// A deliberate output perturbation, used by `selftest` (and tests) to
@@ -635,12 +816,15 @@ mod tests {
     #[test]
     fn registry_covers_the_matrix() {
         let cs = cells();
-        assert!(cs.len() >= 40, "{} cells", cs.len());
+        assert!(cs.len() >= 60, "{} cells", cs.len());
         let ids: Vec<&str> = cs.iter().map(|c| c.id.as_str()).collect();
-        for fmt in ["coo", "scoo", "hicoo", "ghicoo", "shicoo"] {
+        for fmt in ["coo", "scoo", "hicoo", "ghicoo", "shicoo", "csf", "fcoo"] {
             assert!(ids.contains(&format!("tew/{fmt}/cpu/t1").as_str()), "tew {fmt}");
             assert!(ids.contains(&format!("ts/{fmt}/gpu").as_str()), "ts gpu {fmt}");
         }
+        assert!(ids.contains(&"ttv/csf/cpu/t1"));
+        assert!(ids.contains(&"ttv/fcoo/gpu"));
+        assert!(ids.contains(&"mttkrp/csf/cpu/t4"));
         assert!(ids.contains(&"mttkrp/coo/cpu/owner/t2"));
         assert!(ids.contains(&"mttkrp/hicoo/gpu"));
         // Ids are unique.
@@ -654,6 +838,79 @@ mod tests {
                 assert_eq!(c.budget, 0, "{}", c.id);
             }
         }
+    }
+
+    #[test]
+    fn every_registered_combo_has_cells_or_skip() {
+        let ids: Vec<String> = cells().into_iter().map(|c| c.id).collect();
+        let sk = skips();
+        for combo in registry() {
+            let prefix = combo.to_string();
+            let covered =
+                ids.iter().any(|id| *id == prefix || id.starts_with(&format!("{prefix}/")));
+            let excused = sk.iter().any(|s| {
+                s.kernel == combo.kernel
+                    && s.format == combo.format
+                    && s.backend == combo.backend
+                    && s.cases.is_none()
+            });
+            assert!(
+                covered || excused,
+                "registered combo {prefix} has no conformance cell and no skip entry"
+            );
+        }
+    }
+
+    #[test]
+    fn every_cell_maps_to_a_registered_combo() {
+        let reg: Vec<String> = registry().iter().map(ToString::to_string).collect();
+        for cell in cells() {
+            let parts: Vec<&str> = cell.id.split('/').collect();
+            let (k, f, b) = (parts[0], parts[1], parts[2]);
+            // GPU element-wise cells for non-COO formats run the registered
+            // COO value loop over that format's value array (the paper's
+            // shared-value-loop observation), so they map to the COO combo.
+            let combo = if (k == "tew" || k == "ts") && b == "gpu" {
+                format!("{k}/coo/gpu")
+            } else {
+                format!("{k}/{f}/{b}")
+            };
+            assert!(reg.contains(&combo), "cell {} maps to unregistered combo {combo}", cell.id);
+        }
+    }
+
+    #[test]
+    fn skip_entries_name_registered_combos() {
+        let reg = registry();
+        for s in skips() {
+            assert!(
+                reg.iter().any(|c| c.kernel == s.kernel
+                    && c.format == s.format
+                    && c.backend == s.backend),
+                "skip entry for unregistered combo {}/{}/{}",
+                s.kernel.to_string().to_lowercase(),
+                s.format,
+                s.backend.label(),
+            );
+            assert!(!s.reason.is_empty());
+        }
+        // The sCOO TTM structural hole is case-scoped, and its predicate
+        // matches exactly the unrepresentable configuration.
+        let hole = skip_reason(
+            Kernel::Ttm,
+            FormatKind::Scoo,
+            BackendKind::Cpu,
+            &Case {
+                label: "order2".into(),
+                dims: vec![3, 4],
+                entries: vec![(vec![0, 0], 1.0)],
+                mode: 0,
+                rank: 2,
+                block: 2,
+                seed: 1,
+            },
+        );
+        assert!(hole.is_some());
     }
 
     #[test]

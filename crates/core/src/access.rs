@@ -1,0 +1,144 @@
+//! Format-access traits: the per-mode *level kind* taxonomy and the
+//! stored-value / fiber cursors that every sparse format implements.
+//!
+//! Following the level abstraction of Chou et al. (*Format Abstraction for
+//! Sparse Tensor Algebra Compilers*), each mode of a format resolves its
+//! coordinates through one of a small set of [`LevelKind`]s. Kernels written
+//! against [`FormatAccess`] (element-wise traversal, structural equality,
+//! value-array access) and [`FiberCursor`] (fiber-grouped traversal for the
+//! contraction kernels) are generic over the format, but stay fully
+//! monomorphized — the traits use generics, never `dyn`, so the compiled
+//! inner loops are identical to the former hand-specialized copies.
+
+use crate::shape::{Coord, Shape};
+use crate::value::Value;
+
+/// How one mode of a format stores and resolves its coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LevelKind {
+    /// A full 32-bit coordinate per stored entry (COO-style).
+    Coordinate,
+    /// Split into a per-block 32-bit block index and a per-entry 8-bit
+    /// element index, blocks in Morton order (HiCOO-style).
+    Blocked,
+    /// No stored index: every coordinate of the mode is materialized
+    /// densely per fiber (sCOO/sHiCOO dense modes).
+    Dense,
+    /// Deduplicated tree level: a node per distinct prefix, children
+    /// addressed through a pointer array (CSF).
+    Tree,
+    /// A coordinate per entry plus a fiber-start bit flag enabling
+    /// segmented reduction (F-COO's product mode).
+    Segmented,
+}
+
+impl std::fmt::Display for LevelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LevelKind::Coordinate => "coordinate",
+            LevelKind::Blocked => "blocked",
+            LevelKind::Dense => "dense",
+            LevelKind::Tree => "tree",
+            LevelKind::Segmented => "segmented",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Uniform access to a sparse format's structure and stored values.
+///
+/// *Stored* entries are the slots the format materializes — for the
+/// semi-sparse formats this includes explicit zeros inside dense fibers,
+/// matching what the element-wise kernels (TEW/TS) operate on.
+///
+/// Two tensors with [`FormatAccess::same_structure`] have value arrays of
+/// equal length whose slots correspond position-for-position, so an
+/// element-wise kernel may combine them as flat arrays and reuse either
+/// operand's index structure wholesale.
+pub trait FormatAccess<V: Value> {
+    /// The format's display name (e.g. `"HiCOO"`).
+    fn format_name(&self) -> &'static str;
+
+    /// The tensor shape.
+    fn shape(&self) -> &Shape;
+
+    /// The [`LevelKind`] through which `mode` resolves its coordinates.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `mode >= self.shape().order()`.
+    fn level_kind(&self, mode: usize) -> LevelKind;
+
+    /// The number of stored value slots.
+    fn stored_len(&self) -> usize {
+        self.stored_vals().len()
+    }
+
+    /// The stored values as one flat array, in the format's native order.
+    fn stored_vals(&self) -> &[V];
+
+    /// Mutable access to the stored values; the index structure is
+    /// untouched.
+    fn stored_vals_mut(&mut self) -> &mut [V];
+
+    /// Whether `self` and `other` share the identical index structure
+    /// (shape, blocking, pointers and index arrays — everything except the
+    /// values).
+    fn same_structure(&self, other: &Self) -> bool;
+
+    /// Visits every stored slot as `(coordinates, value)`, in the format's
+    /// native storage order. Monomorphized per closure — this is the
+    /// nonzero cursor generic kernels and tests traverse formats with.
+    fn for_each_stored<F: FnMut(&[Coord], V)>(&self, f: F);
+}
+
+/// Fiber-grouped traversal for the contraction kernels (TTV/TTM).
+///
+/// A *fiber* is a run of stored entries equal in every mode but the
+/// contracted one; a *chunk* is the format's parallel distribution unit —
+/// single fibers for coordinate formats, Morton blocks of fibers for the
+/// blocked formats, sub-tree parents for CSF. Generic executors
+/// parallelize over chunks and reduce each fiber with a sequential
+/// [`gather`](crate::FiberIndex) dot or axpy, which keeps scheduling (and
+/// therefore bit-level results) identical to the former per-format
+/// kernels.
+pub trait FiberCursor<V: Value> {
+    /// The number of parallel distribution units.
+    fn num_chunks(&self) -> usize;
+
+    /// The total number of fibers (= output non-zeros for TTV).
+    fn num_fibers(&self) -> usize;
+
+    /// The fiber range of chunk `c`; chunk ranges partition
+    /// `0..num_fibers()` in order.
+    fn chunk_fibers(&self, c: usize) -> std::ops::Range<usize>;
+
+    /// The stored-entry range of fiber `f`; fiber ranges partition
+    /// `0..entry_vals().len()` in order.
+    fn fiber_entries(&self, f: usize) -> std::ops::Range<usize>;
+
+    /// The contracted-mode coordinate per stored entry (the gather index
+    /// into the dense operand).
+    fn contract_inds(&self) -> &[Coord];
+
+    /// The stored values, parallel to [`Self::contract_inds`].
+    fn entry_vals(&self) -> &[V];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_kind_displays() {
+        let all = [
+            LevelKind::Coordinate,
+            LevelKind::Blocked,
+            LevelKind::Dense,
+            LevelKind::Tree,
+            LevelKind::Segmented,
+        ];
+        let names: Vec<String> = all.iter().map(|k| k.to_string()).collect();
+        assert_eq!(names, ["coordinate", "blocked", "dense", "tree", "segmented"]);
+    }
+}

@@ -441,6 +441,45 @@ impl<V: Value> CooTensor<V> {
     }
 }
 
+impl<V: Value> crate::access::FormatAccess<V> for CooTensor<V> {
+    fn format_name(&self) -> &'static str {
+        "COO"
+    }
+
+    fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Every mode stores a full coordinate per non-zero.
+    fn level_kind(&self, mode: usize) -> crate::access::LevelKind {
+        debug_assert!(mode < self.order());
+        crate::access::LevelKind::Coordinate
+    }
+
+    fn stored_vals(&self) -> &[V] {
+        &self.vals
+    }
+
+    fn stored_vals_mut(&mut self) -> &mut [V] {
+        &mut self.vals
+    }
+
+    fn same_structure(&self, other: &Self) -> bool {
+        self.same_pattern(other)
+    }
+
+    fn for_each_stored<F: FnMut(&[Coord], V)>(&self, mut f: F) {
+        let order = self.order();
+        let mut coords = vec![0 as Coord; order];
+        for x in 0..self.nnz() {
+            for (m, c) in coords.iter_mut().enumerate() {
+                *c = self.inds[m][x];
+            }
+            f(&coords, self.vals[x]);
+        }
+    }
+}
+
 /// Iterator over `(coords, value)` entries of a [`CooTensor`].
 #[derive(Debug)]
 pub struct Entries<'a, V> {

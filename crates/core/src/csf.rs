@@ -174,6 +174,15 @@ impl<V: Value> CsfTensor<V> {
         &self.vals
     }
 
+    /// Mutable access to the leaf values (tree structure untouched).
+    ///
+    /// Element-wise kernels (TEW/TS) reuse the input's tree and rewrite
+    /// only the values.
+    #[inline]
+    pub fn vals_mut(&mut self) -> &mut [V] {
+        &mut self.vals
+    }
+
     /// Storage bytes: 4 B per node id plus 8 B per pointer plus values.
     pub fn storage_bytes(&self) -> usize {
         let ids: usize = self.fids.iter().map(|l| 4 * l.len()).sum();
@@ -206,6 +215,63 @@ impl<V: Value> CsfTensor<V> {
                 self.walk(l + 1, self.children(l, i), coords, out);
             }
         }
+    }
+
+    fn visit_level<F: FnMut(&[Coord], V)>(
+        &self,
+        l: usize,
+        range: std::ops::Range<usize>,
+        coords: &mut Vec<Coord>,
+        f: &mut F,
+    ) {
+        let order = self.order();
+        for i in range {
+            coords[self.mode_order[l]] = self.fids[l][i];
+            if l == order - 1 {
+                f(coords, self.vals[i]);
+            } else {
+                self.visit_level(l + 1, self.children(l, i), coords, f);
+            }
+        }
+    }
+}
+
+impl<V: Value> crate::access::FormatAccess<V> for CsfTensor<V> {
+    fn format_name(&self) -> &'static str {
+        "CSF"
+    }
+
+    fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Every mode resolves through a deduplicated tree level.
+    fn level_kind(&self, mode: usize) -> crate::access::LevelKind {
+        debug_assert!(mode < self.order());
+        crate::access::LevelKind::Tree
+    }
+
+    fn stored_vals(&self) -> &[V] {
+        &self.vals
+    }
+
+    fn stored_vals_mut(&mut self) -> &mut [V] {
+        &mut self.vals
+    }
+
+    fn same_structure(&self, other: &Self) -> bool {
+        self.shape == other.shape
+            && self.mode_order == other.mode_order
+            && self.fids == other.fids
+            && self.fptr == other.fptr
+    }
+
+    fn for_each_stored<F: FnMut(&[Coord], V)>(&self, mut f: F) {
+        if self.nnz() == 0 {
+            return;
+        }
+        let mut coords = vec![0 as Coord; self.order()];
+        self.visit_level(0, 0..self.level_size(0), &mut coords, &mut f);
     }
 }
 

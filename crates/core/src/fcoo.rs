@@ -108,6 +108,15 @@ impl<V: Value> FCooTensor<V> {
         &self.vals
     }
 
+    /// Mutable access to the values (flags and indices untouched).
+    ///
+    /// Element-wise kernels (TEW/TS) reuse the input's fiber layout and
+    /// rewrite only the values.
+    #[inline]
+    pub fn vals_mut(&mut self) -> &mut [V] {
+        &mut self.vals
+    }
+
     /// The product-mode indices.
     #[inline]
     pub fn product_inds(&self) -> &[Coord] {
@@ -166,6 +175,64 @@ impl<V: Value> FCooTensor<V> {
             out.push(&coords, self.vals[x]).expect("F-COO coords valid by construction");
         }
         out
+    }
+}
+
+impl<V: Value> crate::access::FormatAccess<V> for FCooTensor<V> {
+    fn format_name(&self) -> &'static str {
+        "F-COO"
+    }
+
+    fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The product mode carries fiber-start flags for segmented reduction;
+    /// the others resolve through per-fiber coordinates.
+    fn level_kind(&self, mode: usize) -> crate::access::LevelKind {
+        debug_assert!(mode < self.shape.order());
+        if mode == self.mode {
+            crate::access::LevelKind::Segmented
+        } else {
+            crate::access::LevelKind::Coordinate
+        }
+    }
+
+    fn stored_vals(&self) -> &[V] {
+        &self.vals
+    }
+
+    fn stored_vals_mut(&mut self) -> &mut [V] {
+        &mut self.vals
+    }
+
+    fn same_structure(&self, other: &Self) -> bool {
+        self.shape == other.shape
+            && self.mode == other.mode
+            && self.product_inds == other.product_inds
+            && self.start_flags == other.start_flags
+            && self.fiber_coords == other.fiber_coords
+    }
+
+    fn for_each_stored<F: FnMut(&[Coord], V)>(&self, mut f: F) {
+        let order = self.shape.order();
+        let mut coords = vec![0 as Coord; order];
+        let mut fib = usize::MAX;
+        for x in 0..self.nnz() {
+            if self.start_flags[x] {
+                fib = fib.wrapping_add(1);
+                let fc = &self.fiber_coords[fib];
+                let mut k = 0;
+                for m in 0..order {
+                    if m != self.mode {
+                        coords[m] = fc[k];
+                        k += 1;
+                    }
+                }
+            }
+            coords[self.mode] = self.product_inds[x];
+            f(&coords, self.vals[x]);
+        }
     }
 }
 

@@ -338,6 +338,54 @@ impl<V: Value> GHiCooTensor<V> {
     }
 }
 
+impl<V: Value> crate::access::FormatAccess<V> for GHiCooTensor<V> {
+    fn format_name(&self) -> &'static str {
+        "gHiCOO"
+    }
+
+    fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Blocked or full COO storage per the constructor's `blocked` choice.
+    fn level_kind(&self, mode: usize) -> crate::access::LevelKind {
+        if self.modes[mode].is_blocked() {
+            crate::access::LevelKind::Blocked
+        } else {
+            crate::access::LevelKind::Coordinate
+        }
+    }
+
+    fn stored_vals(&self) -> &[V] {
+        &self.vals
+    }
+
+    fn stored_vals_mut(&mut self) -> &mut [V] {
+        &mut self.vals
+    }
+
+    fn same_structure(&self, other: &Self) -> bool {
+        self.shape == other.shape
+            && self.block_bits == other.block_bits
+            && self.blocked_modes == other.blocked_modes
+            && self.bptr == other.bptr
+            && self.modes == other.modes
+    }
+
+    fn for_each_stored<F: FnMut(&[Coord], V)>(&self, mut f: F) {
+        let order = self.order();
+        let mut coords = vec![0 as Coord; order];
+        for b in 0..self.num_blocks() {
+            for x in self.block_range(b) {
+                for (m, c) in coords.iter_mut().enumerate() {
+                    *c = self.coord(m, b, x);
+                }
+                f(&coords, self.vals[x]);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

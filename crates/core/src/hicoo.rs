@@ -359,6 +359,51 @@ impl<V: Value> HiCooTensor<V> {
     }
 }
 
+impl<V: Value> crate::access::FormatAccess<V> for HiCooTensor<V> {
+    fn format_name(&self) -> &'static str {
+        "HiCOO"
+    }
+
+    fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Every mode splits into Morton-ordered block + element indices.
+    fn level_kind(&self, mode: usize) -> crate::access::LevelKind {
+        debug_assert!(mode < self.order());
+        crate::access::LevelKind::Blocked
+    }
+
+    fn stored_vals(&self) -> &[V] {
+        &self.vals
+    }
+
+    fn stored_vals_mut(&mut self) -> &mut [V] {
+        &mut self.vals
+    }
+
+    fn same_structure(&self, other: &Self) -> bool {
+        self.shape == other.shape
+            && self.block_bits == other.block_bits
+            && self.bptr == other.bptr
+            && self.binds == other.binds
+            && self.einds == other.einds
+    }
+
+    fn for_each_stored<F: FnMut(&[Coord], V)>(&self, mut f: F) {
+        let order = self.order();
+        let mut coords = vec![0 as Coord; order];
+        for b in 0..self.num_blocks() {
+            for x in self.block_range(b) {
+                for (m, c) in coords.iter_mut().enumerate() {
+                    *c = (self.binds[m][b] << self.block_bits) | self.einds[m][x] as Coord;
+                }
+                f(&coords, self.vals[x]);
+            }
+        }
+    }
+}
+
 /// A borrowed view of one HiCOO block.
 #[derive(Debug, Clone, Copy)]
 pub struct BlockView<'a, V> {

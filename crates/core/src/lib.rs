@@ -10,7 +10,10 @@
 //! - [`GHiCooTensor`] — gHiCOO with a per-mode blocked/full choice;
 //! - [`SHiCooTensor`] — sHiCOO for semi-sparse tensors;
 //!
-//! plus dense operands ([`DenseMatrix`], [`DenseVector`]), small dense linear
+//! plus the format-access trait layer ([`FormatAccess`], [`FiberCursor`],
+//! [`LevelKind`]) that lets `pasta-kernels` write each kernel once against
+//! per-mode level kinds instead of once per format,
+//! dense operands ([`DenseMatrix`], [`DenseVector`]), small dense linear
 //! algebra for the example tensor methods ([`linalg`]), Morton-order helpers
 //! ([`morton`]), fiber indexing ([`FiberIndex`]), tensor statistics
 //! ([`TensorStats`]) and `.tns`/binary I/O ([`io`]).
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod access;
 pub mod coo;
 pub mod csf;
 pub mod dense;
@@ -65,6 +69,7 @@ pub mod stats;
 pub mod validate;
 pub mod value;
 
+pub use access::{FiberCursor, FormatAccess, LevelKind};
 pub use coo::{CooTensor, SortState};
 pub use csf::CsfTensor;
 pub use dense::{seeded_matrix, seeded_vector, DenseMatrix, DenseVector};

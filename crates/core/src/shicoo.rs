@@ -321,6 +321,67 @@ impl<V: Value> SHiCooTensor<V> {
     }
 }
 
+impl<V: Value> crate::access::FormatAccess<V> for SHiCooTensor<V> {
+    fn format_name(&self) -> &'static str {
+        "sHiCOO"
+    }
+
+    fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    fn level_kind(&self, mode: usize) -> crate::access::LevelKind {
+        self.shape.check_mode(mode).expect("mode in range");
+        if self.dense_modes.contains(&mode) {
+            crate::access::LevelKind::Dense
+        } else {
+            crate::access::LevelKind::Blocked
+        }
+    }
+
+    fn stored_vals(&self) -> &[V] {
+        &self.vals
+    }
+
+    fn stored_vals_mut(&mut self) -> &mut [V] {
+        &mut self.vals
+    }
+
+    fn same_structure(&self, other: &Self) -> bool {
+        self.shape == other.shape
+            && self.block_bits == other.block_bits
+            && self.dense_modes == other.dense_modes
+            && self.bptr == other.bptr
+            && self.binds == other.binds
+            && self.einds == other.einds
+    }
+
+    /// Visits every stored slot, *including* explicit zeros inside dense
+    /// fibers, block-major then fiber-major then dense-offset order.
+    fn for_each_stored<F: FnMut(&[Coord], V)>(&self, mut f: F) {
+        let order = self.shape.order();
+        let d = self.dense_volume();
+        let dense_dims: Vec<usize> =
+            self.dense_modes.iter().map(|&m| self.shape.dim(m) as usize).collect();
+        let mut coords = vec![0 as Coord; order];
+        for b in 0..self.num_blocks() {
+            for fib in self.block_range(b) {
+                for (k, &m) in self.sparse_modes.iter().enumerate() {
+                    coords[m] = (self.binds[k][b] << self.block_bits) | self.einds[k][fib] as Coord;
+                }
+                for (lin, &v) in self.fiber_vals(fib).iter().enumerate().take(d) {
+                    let mut rem = lin;
+                    for (di, &m) in self.dense_modes.iter().enumerate().rev() {
+                        coords[m] = (rem % dense_dims[di]) as Coord;
+                        rem /= dense_dims[di];
+                    }
+                    f(&coords, v);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

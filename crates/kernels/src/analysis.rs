@@ -137,7 +137,7 @@ pub fn kernel_cost(kernel: Kernel, p: &CostParams) -> KernelCost {
 
 /// The MTTKRP schedule a traced execution actually used.
 ///
-/// [`StrategyChoice`](crate::ctx::StrategyChoice) is the *request*
+/// [`StrategyChoice`](crate::pipeline::StrategyChoice) is the *request*
 /// (auto/forced); this is the *outcome*, reported by the traced kernel
 /// entry points and surfaced in `hostrun --json`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -7,8 +7,11 @@
 //! `F` is the number of internal nodes. TTV in the leaf mode reduces each
 //! leaf run with a single dot product.
 
-use crate::ctx::Ctx;
-use pasta_core::{CooTensor, Coord, CsfTensor, DenseMatrix, DenseVector, Error, Result, Value};
+use crate::fibers::ttv_exec;
+use crate::pipeline::Ctx;
+use pasta_core::{
+    CooTensor, Coord, CsfTensor, DenseMatrix, DenseVector, Error, FiberCursor, Result, Shape, Value,
+};
 use pasta_par::{parallel_for, SharedSlice};
 
 fn check_csf_factors<V: Value>(x: &CsfTensor<V>, factors: &[DenseMatrix<V>]) -> Result<usize> {
@@ -128,9 +131,164 @@ fn subtree<V: Value>(
     }
 }
 
-/// CSF-TTV in the tree's *leaf* mode (`x.mode_order().last()`): each
-/// second-to-last node's leaf run collapses into one output non-zero via a
-/// dot product with `v`.
+/// Pre-processed state for CSF-TTV in the tree's *leaf* mode: the tensor
+/// (whose leaf runs are already fiber-contiguous), the output shape and
+/// the per-parent output coordinates.
+///
+/// Implements [`FiberCursor`]: each second-to-last-level node is one fiber
+/// *and* one chunk, its children range is the fiber's entries, and the
+/// leaf fids index the contracted vector — so the timed kernel is the same
+/// generic [`ttv_exec`] the COO and HiCOO plans use, and the bespoke CSF
+/// driver is gone.
+#[derive(Debug, Clone)]
+pub struct CsfTtvPlan<V> {
+    x: CsfTensor<V>,
+    leaf_mode: usize,
+    parents: usize,
+    out_shape: Shape,
+    out_inds: Vec<Vec<Coord>>,
+}
+
+impl<V: Value> CsfTtvPlan<V> {
+    /// Builds the plan: walks the tree once to pre-compute each parent's
+    /// output coordinates (all modes except the leaf).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidMode`] for a first-order tensor.
+    pub fn new(x: &CsfTensor<V>) -> Result<Self> {
+        let order = x.order();
+        if order < 2 {
+            return Err(Error::InvalidMode { mode: 0, order });
+        }
+        let leaf_mode = *x.mode_order().last().expect("order >= 2");
+        let out_shape = x.shape().remove_mode(leaf_mode);
+        let parents = if x.nnz() == 0 { 0 } else { x.level_size(order - 2) };
+
+        // Pre-compute each parent's full coordinate path (pre-processing).
+        let mut paths: Vec<Vec<Coord>> = vec![vec![0; order - 1]; parents];
+        if parents > 0 {
+            // Walk the tree to fill coordinates for the first N-1 levels.
+            fn fill<V: Value>(
+                x: &CsfTensor<V>,
+                l: usize,
+                range: std::ops::Range<usize>,
+                prefix: &mut Vec<(usize, Coord)>,
+                paths: &mut [Vec<Coord>],
+            ) {
+                let order = x.order();
+                for i in range {
+                    prefix.push((x.mode_order()[l], x.fids(l)[i]));
+                    if l == order - 2 {
+                        // Record the output coordinates (all modes except
+                        // leaf), in increasing mode order with the leaf mode
+                        // removed.
+                        let leaf_mode = x.mode_order()[order - 1];
+                        let mut coords: Vec<(usize, Coord)> = prefix.clone();
+                        coords.sort_by_key(|&(m, _)| m);
+                        paths[i] = coords
+                            .into_iter()
+                            .map(|(m, c)| if m > leaf_mode { (m - 1, c) } else { (m, c) })
+                            .map(|(_, c)| c)
+                            .collect();
+                    } else {
+                        fill(x, l + 1, x.children(l, i), prefix, paths);
+                    }
+                    prefix.pop();
+                }
+            }
+            let mut prefix = Vec::new();
+            fill(x, 0, 0..x.level_size(0), &mut prefix, &mut paths);
+        }
+
+        let mut out_inds: Vec<Vec<Coord>> = vec![Vec::with_capacity(parents); order - 1];
+        for path in &paths {
+            for (m, col) in out_inds.iter_mut().enumerate() {
+                col.push(path[m]);
+            }
+        }
+        Ok(Self { x: x.clone(), leaf_mode, parents, out_shape, out_inds })
+    }
+
+    /// The contracted (leaf) mode.
+    pub fn mode(&self) -> usize {
+        self.leaf_mode
+    }
+
+    /// The number of output non-zeros (second-to-last-level nodes).
+    pub fn num_fibers(&self) -> usize {
+        self.parents
+    }
+
+    /// The CSF input tensor.
+    pub fn tensor(&self) -> &CsfTensor<V> {
+        &self.x
+    }
+
+    /// The timed kernel: one dot product per parent, parallel over parents
+    /// — [`ttv_exec`] over this plan's cursor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on operand size mismatches.
+    pub fn execute_values(&self, v: &DenseVector<V>, out: &mut [V], ctx: &Ctx) -> Result<()> {
+        if v.len() != self.x.shape().dim(self.leaf_mode) as usize {
+            return Err(Error::OperandMismatch {
+                what: format!(
+                    "vector length {} vs mode dim {}",
+                    v.len(),
+                    self.x.shape().dim(self.leaf_mode)
+                ),
+            });
+        }
+        ttv_exec(self, v.as_slice(), out, ctx)
+    }
+
+    /// Computes `Y = X ×_leaf v` as a COO tensor.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::execute_values`].
+    pub fn execute(&self, v: &DenseVector<V>, ctx: &Ctx) -> Result<CooTensor<V>> {
+        let mut vals = vec![V::ZERO; self.parents];
+        self.execute_values(v, &mut vals, ctx)?;
+        CooTensor::from_parts(self.out_shape.clone(), self.out_inds.clone(), vals)
+    }
+}
+
+impl<V: Value> FiberCursor<V> for CsfTtvPlan<V> {
+    fn num_chunks(&self) -> usize {
+        self.parents
+    }
+
+    fn num_fibers(&self) -> usize {
+        self.parents
+    }
+
+    fn chunk_fibers(&self, chunk: usize) -> std::ops::Range<usize> {
+        chunk..chunk + 1
+    }
+
+    fn fiber_entries(&self, fiber: usize) -> std::ops::Range<usize> {
+        self.x.children(self.x.order() - 2, fiber)
+    }
+
+    fn contract_inds(&self) -> &[Coord] {
+        if self.parents == 0 {
+            &[]
+        } else {
+            self.x.fids(self.x.order() - 1)
+        }
+    }
+
+    fn entry_vals(&self) -> &[V] {
+        self.x.vals()
+    }
+}
+
+/// One-shot CSF-TTV in the tree's *leaf* mode (`x.mode_order().last()`):
+/// each second-to-last node's leaf run collapses into one output non-zero
+/// via a dot product with `v` ([`CsfTtvPlan`] + execute).
 ///
 /// # Errors
 ///
@@ -140,79 +298,7 @@ pub fn ttv_csf_leaf<V: Value>(
     v: &DenseVector<V>,
     ctx: &Ctx,
 ) -> Result<CooTensor<V>> {
-    let order = x.order();
-    if order < 2 {
-        return Err(Error::InvalidMode { mode: 0, order });
-    }
-    let leaf_mode = *x.mode_order().last().expect("order >= 2");
-    if v.len() != x.shape().dim(leaf_mode) as usize {
-        return Err(Error::OperandMismatch {
-            what: format!("vector length {} vs mode dim {}", v.len(), x.shape().dim(leaf_mode)),
-        });
-    }
-    let out_shape = x.shape().remove_mode(leaf_mode);
-    let parents = if x.nnz() == 0 { 0 } else { x.level_size(order - 2) };
-
-    // Pre-compute each parent's full coordinate path (pre-processing).
-    let mut paths: Vec<Vec<Coord>> = vec![vec![0; order - 1]; parents];
-    if parents > 0 {
-        // Walk the tree to fill coordinates for the first N-1 levels.
-        fn fill<V: Value>(
-            x: &CsfTensor<V>,
-            l: usize,
-            range: std::ops::Range<usize>,
-            prefix: &mut Vec<(usize, Coord)>,
-            paths: &mut [Vec<Coord>],
-        ) {
-            let order = x.order();
-            for i in range {
-                prefix.push((x.mode_order()[l], x.fids(l)[i]));
-                if l == order - 2 {
-                    // Record the output coordinates (all modes except leaf),
-                    // in increasing mode order with the leaf mode removed.
-                    let leaf_mode = x.mode_order()[order - 1];
-                    let mut coords: Vec<(usize, Coord)> = prefix.clone();
-                    coords.sort_by_key(|&(m, _)| m);
-                    paths[i] = coords
-                        .into_iter()
-                        .map(|(m, c)| if m > leaf_mode { (m - 1, c) } else { (m, c) })
-                        .map(|(_, c)| c)
-                        .collect();
-                } else {
-                    fill(x, l + 1, x.children(l, i), prefix, paths);
-                }
-                prefix.pop();
-            }
-        }
-        let mut prefix = Vec::new();
-        fill(x, 0, 0..x.level_size(0), &mut prefix, &mut paths);
-    }
-
-    // The timed reduction: one dot product per parent, parallel over parents.
-    let mut vals = vec![V::ZERO; parents];
-    let leaf_fids = if parents > 0 { x.fids(order - 1) } else { &[] };
-    let vv = v.as_slice();
-    {
-        let shared = SharedSlice::new(&mut vals);
-        parallel_for(parents, ctx.threads, ctx.schedule, |range| {
-            for p in range {
-                let mut acc = V::ZERO;
-                for leaf in x.children(order - 2, p) {
-                    acc += x.vals()[leaf] * vv[leaf_fids[leaf] as usize];
-                }
-                // SAFETY: one parent -> one output slot.
-                unsafe { shared.write(p, acc) };
-            }
-        });
-    }
-
-    let mut inds: Vec<Vec<Coord>> = vec![Vec::with_capacity(parents); order - 1];
-    for path in &paths {
-        for (m, col) in inds.iter_mut().enumerate() {
-            col.push(path[m]);
-        }
-    }
-    CooTensor::from_parts(out_shape, inds, vals)
+    CsfTtvPlan::new(x)?.execute(v, ctx)
 }
 
 #[cfg(test)]

@@ -6,10 +6,10 @@
 //! on small shapes, which is exactly what tests need.
 //!
 //! All oracles reject mismatched operands with the same typed
-//! [`Error`](pasta_core::Error) values the kernels themselves use, so error
+//! [`Error`] values the kernels themselves use, so error
 //! paths can be differentially tested too.
 
-use crate::ops::{EwOp, TsOp};
+use crate::pipeline::{EwOp, TsOp};
 use pasta_core::{CooTensor, DenseMatrix, DenseVector, Error, Result, Shape, Value};
 
 /// Upper bound on dense entries a test oracle will materialize.

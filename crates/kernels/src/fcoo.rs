@@ -7,7 +7,7 @@
 //! boundaries are patched up with per-boundary carries — the CPU analog of
 //! F-COO's GPU segmented scan.
 
-use crate::ctx::Ctx;
+use crate::pipeline::Ctx;
 use pasta_core::{CooTensor, Coord, DenseVector, Error, FCooTensor, Result, Value};
 use pasta_par::parallel_reduce;
 

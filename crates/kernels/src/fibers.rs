@@ -1,0 +1,383 @@
+//! Shared fiber discovery and the generic fiber-cursor executors.
+//!
+//! TTV and TTM share their entire pre-processing: both contract mode `n`
+//! over the mode-`n` fibers of the input, so both need the same sorted
+//! copy / fiber index (COO) or the same fiber-in-block discovery (HiCOO).
+//! This module builds each skeleton once — [`CooFibers`] and
+//! [`BlockFibers`] — and exposes them through the
+//! [`FiberCursor`] trait from `pasta-core`, so the timed value loops are
+//! written once, generically:
+//!
+//! - [`ttv_exec`]: one dot product per fiber;
+//! - [`ttm_exec`]: one dense `R`-row accumulation per fiber.
+//!
+//! Executors parallelize over *chunks* (fibers for COO, Morton blocks for
+//! HiCOO, sub-tree parents for CSF), which reproduces exactly the loop
+//! structure the per-format kernels had before the refactor — the
+//! monomorphized generic code performs the same operations in the same
+//! order, keeping results bit-identical per thread count and schedule.
+
+use crate::microkernel::{axpy, gather_dot};
+use crate::pipeline::Ctx;
+use pasta_core::{
+    CooTensor, Coord, DenseMatrix, Error, FiberCursor, FiberIndex, GHiCooTensor, ModeIndex, Result,
+    Value,
+};
+use pasta_par::{parallel_for, SharedSlice};
+
+/// The COO fiber skeleton shared by [`TtvCooPlan`](crate::TtvCooPlan) and
+/// [`TtmCooPlan`](crate::TtmCooPlan): a copy of the input sorted with mode
+/// `n` last, the fiber index over it, and the output's sparse index
+/// columns (one row per fiber).
+#[derive(Debug, Clone)]
+pub struct CooFibers<V> {
+    x: CooTensor<V>,
+    fibers: FiberIndex,
+    n: usize,
+    out_inds: Vec<Vec<Coord>>,
+}
+
+impl<V: Value> CooFibers<V> {
+    /// Sorts a copy of `x` with mode `n` last, builds the fiber index and
+    /// the per-fiber output coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidMode`] for an out-of-range mode.
+    pub fn build(x: &CooTensor<V>, n: usize) -> Result<Self> {
+        x.shape().check_mode(n)?;
+        let mut xs = x.clone();
+        xs.sort_mode_last(n);
+        let fibers = FiberIndex::build(&xs, n);
+        let mf = fibers.num_fibers();
+        let mut out_inds: Vec<Vec<Coord>> = vec![Vec::with_capacity(mf); x.order() - 1];
+        for f in 0..mf {
+            let coords = fibers.fiber_coords(&xs, f);
+            for (m, col) in out_inds.iter_mut().enumerate() {
+                col.push(coords[m]);
+            }
+        }
+        Ok(Self { x: xs, fibers, n, out_inds })
+    }
+
+    /// The sorted input tensor.
+    pub fn tensor(&self) -> &CooTensor<V> {
+        &self.x
+    }
+
+    /// The product mode.
+    pub fn mode(&self) -> usize {
+        self.n
+    }
+
+    /// The output's sparse index columns, one per non-`n` mode.
+    pub fn out_inds(&self) -> &[Vec<Coord>] {
+        &self.out_inds
+    }
+}
+
+impl<V: Value> FiberCursor<V> for CooFibers<V> {
+    fn num_chunks(&self) -> usize {
+        self.fibers.num_fibers()
+    }
+
+    fn num_fibers(&self) -> usize {
+        self.fibers.num_fibers()
+    }
+
+    fn chunk_fibers(&self, chunk: usize) -> std::ops::Range<usize> {
+        chunk..chunk + 1
+    }
+
+    fn fiber_entries(&self, fiber: usize) -> std::ops::Range<usize> {
+        self.fibers.fiber_range(fiber)
+    }
+
+    fn contract_inds(&self) -> &[Coord] {
+        self.x.mode_inds(self.n)
+    }
+
+    fn entry_vals(&self) -> &[V] {
+        self.x.vals()
+    }
+}
+
+/// The blocked fiber skeleton shared by
+/// [`TtvHicooPlan`](crate::TtvHicooPlan) and
+/// [`TtmHicooPlan`](crate::TtmHicooPlan): the input in gHiCOO form with
+/// every mode except `n` blocked, fiber boundaries found inside each
+/// block, and the output's HiCOO/sHiCOO skeleton (block and element
+/// indices per fiber).
+///
+/// Fibers nest inside blocks, so executors can parallelize over blocks
+/// without races (Section III-D of the paper).
+#[derive(Debug, Clone)]
+pub struct BlockFibers<V> {
+    g: GHiCooTensor<V>,
+    n: usize,
+    /// Fiber start offsets within the entry order, plus sentinel.
+    fptr: Vec<usize>,
+    /// Fiber range per block: block `b` owns fibers `bfptr[b]..bfptr[b+1]`.
+    bfptr: Vec<usize>,
+    out_binds: Vec<Vec<Coord>>,
+    out_einds: Vec<Vec<u8>>,
+}
+
+impl<V: Value> BlockFibers<V> {
+    /// Converts `x` to gHiCOO (mode `n` uncompressed) and finds the fibers
+    /// within each block.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid mode, first-order tensor or invalid
+    /// block size.
+    pub fn build(x: &CooTensor<V>, n: usize, block_size: u32) -> Result<Self> {
+        x.shape().check_mode(n)?;
+        if x.order() < 2 {
+            return Err(Error::InvalidMode { mode: n, order: x.order() });
+        }
+        let order = x.order();
+        let blocked: Vec<bool> = (0..order).map(|m| m != n).collect();
+        let g = GHiCooTensor::from_coo(x, block_size, &blocked)?;
+        let other: Vec<usize> = (0..order).filter(|&m| m != n).collect();
+
+        // Walk blocks; a new fiber starts when any blocked element index
+        // changes (block coordinates are constant within a block).
+        let mut fptr = Vec::new();
+        let mut bfptr = Vec::with_capacity(g.num_blocks() + 1);
+        let mut out_binds: Vec<Vec<Coord>> = vec![Vec::with_capacity(g.num_blocks()); other.len()];
+        let mut out_einds: Vec<Vec<u8>> = vec![Vec::new(); other.len()];
+        let mut fiber_count = 0usize;
+        for b in 0..g.num_blocks() {
+            bfptr.push(fiber_count);
+            let mut prev: Option<Vec<u8>> = None;
+            for x in g.block_range(b) {
+                let key: Vec<u8> = other
+                    .iter()
+                    .map(|&m| match g.mode_index(m) {
+                        ModeIndex::Blocked { einds, .. } => einds[x],
+                        ModeIndex::Full(_) => unreachable!("non-product modes are blocked"),
+                    })
+                    .collect();
+                if prev.as_ref() != Some(&key) {
+                    fptr.push(x);
+                    for (k, col) in out_einds.iter_mut().enumerate() {
+                        col.push(key[k]);
+                    }
+                    fiber_count += 1;
+                    prev = Some(key);
+                }
+            }
+            for (k, &m) in other.iter().enumerate() {
+                if let ModeIndex::Blocked { binds, .. } = g.mode_index(m) {
+                    out_binds[k].push(binds[b]);
+                }
+            }
+        }
+        bfptr.push(fiber_count);
+        fptr.push(g.nnz());
+
+        Ok(Self { g, n, fptr, bfptr, out_binds, out_einds })
+    }
+
+    /// The gHiCOO input tensor.
+    pub fn tensor(&self) -> &GHiCooTensor<V> {
+        &self.g
+    }
+
+    /// The product mode.
+    pub fn mode(&self) -> usize {
+        self.n
+    }
+
+    /// Fiber range per block, with sentinel (the output's `bptr`).
+    pub fn bfptr(&self) -> &[usize] {
+        &self.bfptr
+    }
+
+    /// The output's block index columns, one per non-`n` mode.
+    pub fn out_binds(&self) -> &[Vec<Coord>] {
+        &self.out_binds
+    }
+
+    /// The output's element index columns, one per non-`n` mode.
+    pub fn out_einds(&self) -> &[Vec<u8>] {
+        &self.out_einds
+    }
+}
+
+impl<V: Value> FiberCursor<V> for BlockFibers<V> {
+    fn num_chunks(&self) -> usize {
+        self.bfptr.len() - 1
+    }
+
+    fn num_fibers(&self) -> usize {
+        self.fptr.len() - 1
+    }
+
+    fn chunk_fibers(&self, chunk: usize) -> std::ops::Range<usize> {
+        self.bfptr[chunk]..self.bfptr[chunk + 1]
+    }
+
+    fn fiber_entries(&self, fiber: usize) -> std::ops::Range<usize> {
+        self.fptr[fiber]..self.fptr[fiber + 1]
+    }
+
+    fn contract_inds(&self) -> &[Coord] {
+        match self.g.mode_index(self.n) {
+            ModeIndex::Full(finds) => finds.as_slice(),
+            ModeIndex::Blocked { .. } => unreachable!("product mode is uncompressed"),
+        }
+    }
+
+    fn entry_vals(&self) -> &[V] {
+        self.g.vals()
+    }
+}
+
+/// The one TTV value loop: per fiber, a single-accumulator dot product of
+/// the fiber's values with the gathered vector entries, parallel over
+/// chunks. `out` must have length [`num_fibers`](FiberCursor::num_fibers).
+///
+/// # Errors
+///
+/// Returns [`Error::OperandMismatch`] if `out` has the wrong length.
+pub fn ttv_exec<V: Value, C: FiberCursor<V> + Sync>(
+    cur: &C,
+    vv: &[V],
+    out: &mut [V],
+    ctx: &Ctx,
+) -> Result<()> {
+    if out.len() != cur.num_fibers() {
+        return Err(Error::OperandMismatch {
+            what: format!("output length {} vs M_F {}", out.len(), cur.num_fibers()),
+        });
+    }
+    let kind = cur.contract_inds();
+    let vals = cur.entry_vals();
+    let shared = SharedSlice::new(out);
+    parallel_for(cur.num_chunks(), ctx.threads, ctx.schedule, |chunks| {
+        for c in chunks {
+            for f in cur.chunk_fibers(c) {
+                let acc = gather_dot(vals, kind, vv, cur.fiber_entries(f));
+                // SAFETY: fibers nest in chunks; chunks partition fibers,
+                // so each output slot is written by exactly one worker.
+                unsafe { shared.write(f, acc) };
+            }
+        }
+    });
+    Ok(())
+}
+
+/// The one TTM value loop: per fiber, zero an `R`-wide dense row and
+/// accumulate `val · U[k, :]` for every entry, parallel over chunks.
+/// `out` must have length `num_fibers × u.cols()`.
+///
+/// # Errors
+///
+/// Returns [`Error::OperandMismatch`] if `out` has the wrong length.
+pub fn ttm_exec<V: Value, C: FiberCursor<V> + Sync>(
+    cur: &C,
+    u: &DenseMatrix<V>,
+    out: &mut [V],
+    ctx: &Ctx,
+) -> Result<()> {
+    let r = u.cols();
+    if out.len() != cur.num_fibers() * r {
+        return Err(Error::OperandMismatch {
+            what: format!("output length {} vs M_F*R = {}", out.len(), cur.num_fibers() * r),
+        });
+    }
+    let kind = cur.contract_inds();
+    let vals = cur.entry_vals();
+    let shared = SharedSlice::new(out);
+    parallel_for(cur.num_chunks(), ctx.threads, ctx.schedule, |chunks| {
+        for c in chunks {
+            for f in cur.chunk_fibers(c) {
+                // SAFETY: fibers nest in chunks; chunks partition fibers,
+                // so each fiber's R-slot row is owned by one worker.
+                let row = unsafe { shared.slice_mut(f * r..(f + 1) * r) };
+                row.fill(V::ZERO);
+                for x in cur.fiber_entries(f) {
+                    axpy(row, vals[x], u.row(kind[x] as usize));
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_core::Shape;
+
+    fn sample() -> CooTensor<f64> {
+        CooTensor::from_entries(
+            Shape::new(vec![4, 5, 6]),
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 0, 5], 2.0),
+                (vec![1, 2, 3], 3.0),
+                (vec![3, 4, 1], 4.0),
+                (vec![3, 4, 2], 5.0),
+                (vec![2, 1, 0], -1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn coo_cursor_partitions_entries() {
+        let x = sample();
+        let cur = CooFibers::build(&x, 2).unwrap();
+        assert_eq!(cur.num_chunks(), cur.num_fibers());
+        assert_eq!(cur.num_fibers(), 4);
+        let mut seen = 0;
+        for c in 0..cur.num_chunks() {
+            for f in cur.chunk_fibers(c) {
+                seen += cur.fiber_entries(f).len();
+            }
+        }
+        assert_eq!(seen, x.nnz());
+        assert_eq!(cur.entry_vals().len(), x.nnz());
+        assert_eq!(cur.contract_inds().len(), x.nnz());
+        assert_eq!(cur.out_inds().len(), 2);
+        assert_eq!(cur.out_inds()[0].len(), 4);
+    }
+
+    #[test]
+    fn block_cursor_nests_fibers_in_blocks() {
+        let x = sample();
+        let cur = BlockFibers::build(&x, 2, 2).unwrap();
+        assert_eq!(cur.num_chunks(), cur.tensor().num_blocks());
+        // Chunks partition the fiber space in order.
+        let mut next = 0;
+        for c in 0..cur.num_chunks() {
+            let r = cur.chunk_fibers(c);
+            assert_eq!(r.start, next);
+            next = r.end;
+        }
+        assert_eq!(next, FiberCursor::num_fibers(&cur));
+        // Fibers partition the entry space in order.
+        let mut seen = 0;
+        for f in 0..FiberCursor::num_fibers(&cur) {
+            let r = cur.fiber_entries(f);
+            assert_eq!(r.start, seen);
+            seen = r.end;
+        }
+        assert_eq!(seen, x.nnz());
+    }
+
+    #[test]
+    fn exec_output_length_checked() {
+        let x = sample();
+        let cur = CooFibers::build(&x, 2).unwrap();
+        let vv = vec![1.0; 6];
+        let mut short = vec![0.0; 3];
+        assert!(ttv_exec(&cur, &vv, &mut short, &Ctx::sequential()).is_err());
+        let u = DenseMatrix::from_fn(6, 2, |i, j| (i + j) as f64);
+        let mut wrong = vec![0.0; 5];
+        assert!(ttm_exec(&cur, &u, &mut wrong, &Ctx::sequential()).is_err());
+    }
+}

@@ -1,26 +1,32 @@
 //! # pasta-kernels — the five PASTA sparse tensor kernels
 //!
 //! Reference implementations of the benchmark suite's kernels (Sections II
-//! and III of the paper), in COO and HiCOO formats, sequential and parallel:
+//! and III of the paper), written once against the `pasta-core` format-
+//! access traits and instantiated per format:
 //!
-//! | Kernel | COO | HiCOO | Output |
-//! |--------|-----|-------|--------|
-//! | TEW    | [`tew_coo`] | [`tew_hicoo`] | same pattern as inputs |
-//! | TS     | [`ts_coo`] | [`ts_hicoo`] | same pattern as input |
-//! | TTV    | [`ttv_coo`] / [`TtvCooPlan`] | [`ttv_hicoo`] / [`TtvHicooPlan`] | sparse, order N−1 |
-//! | TTM    | [`ttm_coo`] / [`TtmCooPlan`] | [`ttm_hicoo`] / [`TtmHicooPlan`] | semi-sparse (sCOO / sHiCOO) |
-//! | MTTKRP | [`mttkrp_coo`] | [`mttkrp_hicoo`] | dense `I_n × R` matrix |
+//! | Kernel | CPU formats | Output |
+//! |--------|-------------|--------|
+//! | TEW    | all seven via [`tew_any`] (wrappers [`tew_coo`], [`tew_hicoo`], [`tew_ghicoo`], [`tew_scoo`], [`tew_shicoo`], [`tew_csf`], [`tew_fcoo`]) | same structure as inputs |
+//! | TS     | all seven via [`ts_any`] (wrappers [`ts_coo`] … [`ts_fcoo`]) | same structure as input |
+//! | TTV    | [`ttv_coo`] / [`TtvCooPlan`], [`ttv_hicoo`] / [`TtvHicooPlan`], [`ttv_csf_leaf`] / [`CsfTtvPlan`], [`ttv_fcoo`] | sparse, order N−1 |
+//! | TTM    | [`ttm_coo`] / [`TtmCooPlan`], [`ttm_hicoo`] / [`TtmHicooPlan`], [`ttm_scoo`] | semi-sparse (sCOO / sHiCOO) |
+//! | MTTKRP | [`mttkrp_coo`], [`mttkrp_hicoo`], [`mttkrp_csf_root`] | dense `I_n × R` matrix |
 //!
-//! The element-wise kernels also cover the remaining formats —
-//! [`tew_scoo`] / [`tew_ghicoo`] / [`tew_shicoo`] and [`ts_scoo`] /
-//! [`ts_ghicoo`] / [`ts_shicoo`] — reusing the input's structure and
-//! rewriting only the value array.
+//! Element-wise kernels run on any `FormatAccess` implementor: structure is
+//! reused, only the value array is rewritten. Fiber-contracting kernels
+//! (TTV, TTM) share the generic executors in [`fibers`], parametrized by a
+//! `FiberCursor` — COO sorted fibers, HiCOO blocks and CSF sub-trees all
+//! drive the same monomorphized inner loop, so per-format results stay
+//! bit-identical to the pre-refactor kernels. F-COO TTV keeps its own
+//! segmented-reduction formulation in [`fcoo`].
 //!
 //! All kernels operate directly on non-zero entries — no tensor-matrix
 //! transformation — and support arbitrary tensor orders. The plan types
 //! separate pre-processing (sorting, fiber discovery, output allocation)
 //! from the timed value computation, matching the paper's measurement
-//! methodology. The [`analysis`] module encodes Table I's flop/byte model.
+//! methodology. The [`analysis`] module encodes Table I's flop/byte model,
+//! and [`pipeline`] holds the execution context, the format×kernel×backend
+//! [`registry`], and the [`KernelPlan`] plan→execute dispatcher.
 //!
 //! # Examples
 //!
@@ -48,13 +54,12 @@
 
 pub mod analysis;
 pub mod csf;
-pub mod ctx;
 pub mod dense_ref;
 pub mod fcoo;
+pub mod fibers;
 pub mod microkernel;
 pub mod mttkrp;
-pub mod ops;
-pub mod sched;
+pub mod pipeline;
 pub mod tew;
 pub mod ts;
 pub mod ttm;
@@ -64,17 +69,21 @@ pub use analysis::{
     choose_mttkrp_strategy, kernel_cost, resort_pays_off, CostParams, Kernel, KernelCost,
     MttkrpSchedParams, MttkrpStrategy,
 };
-pub use csf::{mttkrp_csf_root, ttv_csf_leaf};
-pub use ctx::{mttkrp_counters, CounterSnapshot, Ctx, MttkrpCounters, StrategyChoice};
+pub use csf::{mttkrp_csf_root, ttv_csf_leaf, CsfTtvPlan};
 pub use fcoo::ttv_fcoo;
 pub use mttkrp::{
     mttkrp_coo, mttkrp_coo_traced, mttkrp_hicoo, mttkrp_hicoo_traced, MttkrpCooPlan, MttkrpRun,
 };
-pub use ops::{EwOp, TsOp};
-pub use tew::{
-    tew_coo, tew_coo_general, tew_coo_same_pattern, tew_ghicoo, tew_hicoo, tew_scoo, tew_shicoo,
-    tew_values_into,
+pub use pipeline::{
+    mttkrp_counters, registry, BackendKind, Combo, CounterSnapshot, Ctx, EwOp, ExecRoute,
+    FormatKind, KernelPlan, MttkrpCounters, StrategyChoice, TsOp,
 };
-pub use ts::{ts_coo, ts_ghicoo, ts_hicoo, ts_scoo, ts_shicoo, ts_values_into};
+pub use tew::{
+    tew_any, tew_coo, tew_coo_general, tew_coo_same_pattern, tew_csf, tew_fcoo, tew_ghicoo,
+    tew_hicoo, tew_scoo, tew_shicoo, tew_values_into,
+};
+pub use ts::{
+    ts_any, ts_coo, ts_csf, ts_fcoo, ts_ghicoo, ts_hicoo, ts_scoo, ts_shicoo, ts_values_into,
+};
 pub use ttm::{ttm_coo, ttm_hicoo, ttm_scoo, TtmCooPlan, TtmHicooPlan};
 pub use ttv::{ttv_coo, ttv_hicoo, TtvCooPlan, TtvHicooPlan};

@@ -25,12 +25,12 @@
 //!
 //! The inner rank loops run through the unrolled
 //! [`microkernel`](crate::microkernel)s. Per-strategy work counters are
-//! kept in [`mttkrp_counters`](crate::ctx::mttkrp_counters).
+//! kept in [`mttkrp_counters`].
 
 use crate::analysis::{choose_mttkrp_strategy, MttkrpSchedParams, MttkrpStrategy};
-use crate::ctx::{mttkrp_counters, Ctx, StrategyChoice};
 use crate::microkernel::{add_assign, mul_assign};
-use crate::sched::{owner_ranges, SparseAcc};
+use crate::pipeline::{mttkrp_counters, Ctx, StrategyChoice};
+use crate::pipeline::{owner_ranges, SparseAcc};
 use pasta_core::sort::mode_first_order;
 use pasta_core::{CooTensor, Coord, DenseMatrix, Error, HiCooTensor, Result, Shape, Value};
 use pasta_par::{parallel_for, tree_reduce, Schedule, SharedSlice};

@@ -9,14 +9,16 @@
 //!   non-zero streams, predicting the output pattern as it goes (union for
 //!   add/sub, intersection for multiply).
 //!
-//! HiCOO variants perform the identical value computation (the paper's
-//! HiCOO-TEW shares COO-TEW's value loop); only the pre-processing that set
-//! up the output's indices differs.
+//! All other formats perform the identical value computation (the paper's
+//! HiCOO-TEW shares COO-TEW's value loop): [`tew_any`] checks structural
+//! equality through [`FormatAccess::same_structure`], reuses the input's
+//! structure, and runs the one value loop — so every format gets the kernel
+//! from a single implementation.
 
-use crate::ctx::Ctx;
-use crate::ops::EwOp;
+use crate::pipeline::{Ctx, EwOp};
 use pasta_core::{
-    CooTensor, Error, GHiCooTensor, HiCooTensor, Result, SHiCooTensor, SemiCooTensor, Value,
+    CooTensor, CsfTensor, Error, FCooTensor, FormatAccess, GHiCooTensor, HiCooTensor, Result,
+    SHiCooTensor, SemiCooTensor, Value,
 };
 use pasta_par::{parallel_for, SharedSlice};
 use std::cmp::Ordering;
@@ -70,6 +72,36 @@ pub fn tew_values_into<V: Value>(
     ew_vals(op, x, y, out, ctx)
 }
 
+/// TEW over any format with matching stored structure: `Z = X op Y`.
+///
+/// The one same-pattern element-wise kernel, written once against
+/// [`FormatAccess`]: after the structural check the output reuses `x`'s
+/// indices verbatim and only the stored value array is recomputed, exactly
+/// as each per-format kernel did before. Semi-sparse formats store explicit
+/// zeros inside dense fibers; those participate like any other value, so
+/// `Div` rejects a `y` with a zero anywhere in a stored fiber.
+///
+/// # Errors
+///
+/// Returns [`Error::PatternMismatch`] if the tensors differ in shape or
+/// stored structure, and [`Error::DivisionByZero`] for `Div` with a zero
+/// among `y`'s stored values.
+pub fn tew_any<V: Value, T: FormatAccess<V> + Clone>(
+    op: EwOp,
+    x: &T,
+    y: &T,
+    ctx: &Ctx,
+) -> Result<T> {
+    if !x.same_structure(y) {
+        return Err(Error::PatternMismatch);
+    }
+    // Pre-processing: the output shares x's structure; values start zeroed.
+    let mut z = x.clone();
+    z.stored_vals_mut().fill(V::ZERO);
+    ew_vals(op, x.stored_vals(), y.stored_vals(), z.stored_vals_mut(), ctx)?;
+    Ok(z)
+}
+
 /// COO-TEW with identical non-zero patterns: `Z = X op Y`.
 ///
 /// # Errors
@@ -97,13 +129,7 @@ pub fn tew_coo_same_pattern<V: Value>(
     y: &CooTensor<V>,
     ctx: &Ctx,
 ) -> Result<CooTensor<V>> {
-    if !x.same_pattern(y) {
-        return Err(Error::PatternMismatch);
-    }
-    // Pre-processing: allocate the output with the (shared) known pattern.
-    let mut z = x.like_pattern(V::ZERO);
-    ew_vals(op, x.vals(), y.vals(), z.vals_mut(), ctx)?;
-    Ok(z)
+    tew_any(op, x, y, ctx)
 }
 
 /// COO-TEW for arbitrary patterns: merges the two sorted non-zero streams.
@@ -213,7 +239,7 @@ pub fn tew_coo<V: Value>(
 }
 
 /// HiCOO-TEW with identical block structure (e.g. both converted from
-/// same-pattern COO tensors with one block size).
+/// same-pattern COO tensors with one block size) — [`tew_any`].
 ///
 /// # Errors
 ///
@@ -225,22 +251,11 @@ pub fn tew_hicoo<V: Value>(
     y: &HiCooTensor<V>,
     ctx: &Ctx,
 ) -> Result<HiCooTensor<V>> {
-    let same = x.shape() == y.shape()
-        && x.block_bits() == y.block_bits()
-        && x.bptr() == y.bptr()
-        && (0..x.order()).all(|m| x.mode_binds(m) == y.mode_binds(m))
-        && (0..x.order()).all(|m| x.mode_einds(m) == y.mode_einds(m));
-    if !same {
-        return Err(Error::PatternMismatch);
-    }
-    let mut z = x.clone();
-    z.vals_mut().fill(V::ZERO);
-    ew_vals(op, x.vals(), y.vals(), z.vals_mut(), ctx)?;
-    Ok(z)
+    tew_any(op, x, y, ctx)
 }
 
 /// sCOO-TEW with identical fiber structure: the op runs over the dense
-/// per-fiber value arrays in one pass — the same value loop as COO-TEW.
+/// per-fiber value arrays in one pass — [`tew_any`].
 ///
 /// Stored zeros inside dense fibers participate like any other value, so
 /// `Div` returns [`Error::DivisionByZero`] if any `y` fiber holds a zero.
@@ -255,20 +270,11 @@ pub fn tew_scoo<V: Value>(
     y: &SemiCooTensor<V>,
     ctx: &Ctx,
 ) -> Result<SemiCooTensor<V>> {
-    let same = x.shape() == y.shape()
-        && x.dense_modes() == y.dense_modes()
-        && (0..x.sparse_modes().len()).all(|k| x.sparse_inds(k) == y.sparse_inds(k));
-    if !same {
-        return Err(Error::PatternMismatch);
-    }
-    let mut z = x.clone();
-    z.vals_mut().fill(V::ZERO);
-    ew_vals(op, x.vals(), y.vals(), z.vals_mut(), ctx)?;
-    Ok(z)
+    tew_any(op, x, y, ctx)
 }
 
 /// gHiCOO-TEW with identical block structure: only the value loop runs; the
-/// block and element indices are reused from `x`.
+/// block and element indices are reused from `x` — [`tew_any`].
 ///
 /// # Errors
 ///
@@ -280,18 +286,7 @@ pub fn tew_ghicoo<V: Value>(
     y: &GHiCooTensor<V>,
     ctx: &Ctx,
 ) -> Result<GHiCooTensor<V>> {
-    let same = x.shape() == y.shape()
-        && x.block_bits() == y.block_bits()
-        && x.blocked_modes() == y.blocked_modes()
-        && x.bptr() == y.bptr()
-        && (0..x.order()).all(|m| x.mode_index(m) == y.mode_index(m));
-    if !same {
-        return Err(Error::PatternMismatch);
-    }
-    let mut z = x.clone();
-    z.vals_mut().fill(V::ZERO);
-    ew_vals(op, x.vals(), y.vals(), z.vals_mut(), ctx)?;
-    Ok(z)
+    tew_any(op, x, y, ctx)
 }
 
 /// sHiCOO-TEW with identical fiber and block structure: one pass over the
@@ -307,20 +302,39 @@ pub fn tew_shicoo<V: Value>(
     y: &SHiCooTensor<V>,
     ctx: &Ctx,
 ) -> Result<SHiCooTensor<V>> {
-    let ns = x.sparse_modes().len();
-    let same = x.shape() == y.shape()
-        && x.block_size() == y.block_size()
-        && x.dense_modes() == y.dense_modes()
-        && x.bptr() == y.bptr()
-        && (0..ns).all(|k| x.mode_binds(k) == y.mode_binds(k))
-        && (0..ns).all(|k| x.mode_einds(k) == y.mode_einds(k));
-    if !same {
-        return Err(Error::PatternMismatch);
-    }
-    let mut z = x.clone();
-    z.vals_mut().fill(V::ZERO);
-    ew_vals(op, x.vals(), y.vals(), z.vals_mut(), ctx)?;
-    Ok(z)
+    tew_any(op, x, y, ctx)
+}
+
+/// CSF-TEW with identical tree structure: the fiber tree is reused and the
+/// leaf value array recomputed — [`tew_any`].
+///
+/// # Errors
+///
+/// Returns [`Error::PatternMismatch`] if the trees differ, and
+/// [`Error::DivisionByZero`] for `Div` with a zero in `y`.
+pub fn tew_csf<V: Value>(
+    op: EwOp,
+    x: &CsfTensor<V>,
+    y: &CsfTensor<V>,
+    ctx: &Ctx,
+) -> Result<CsfTensor<V>> {
+    tew_any(op, x, y, ctx)
+}
+
+/// F-COO-TEW with identical fiber layout (same product mode, flags and
+/// coordinates): only the value array is recomputed — [`tew_any`].
+///
+/// # Errors
+///
+/// Returns [`Error::PatternMismatch`] if the layouts differ, and
+/// [`Error::DivisionByZero`] for `Div` with a zero in `y`.
+pub fn tew_fcoo<V: Value>(
+    op: EwOp,
+    x: &FCooTensor<V>,
+    y: &FCooTensor<V>,
+    ctx: &Ctx,
+) -> Result<FCooTensor<V>> {
+    tew_any(op, x, y, ctx)
 }
 
 #[cfg(test)]
@@ -604,6 +618,44 @@ mod tests {
             tew_shicoo(EwOp::Add, &sx, &sx4, &Ctx::sequential()),
             Err(Error::PatternMismatch)
         ));
+    }
+
+    #[test]
+    fn csf_matches_coo() {
+        let x = base();
+        let mut y = x.like_pattern(0.0);
+        y.vals_mut().copy_from_slice(&[3.0, 1.0, 2.0]);
+        let ctx = Ctx::sequential();
+        let cx = CsfTensor::from_coo(&x, &[0, 1, 2]).unwrap();
+        let cy = CsfTensor::from_coo(&y, &[0, 1, 2]).unwrap();
+        let z = tew_csf(EwOp::Mul, &cx, &cy, &ctx).unwrap();
+        let mut got = z.to_coo();
+        got.sort();
+        let mut want = tew_coo_same_pattern(EwOp::Mul, &x, &y, &ctx).unwrap();
+        want.sort();
+        assert_eq!(got, want);
+        // Mismatched trees are rejected.
+        let cyr = CsfTensor::from_coo(&y, &[2, 1, 0]).unwrap();
+        assert!(matches!(tew_csf(EwOp::Add, &cx, &cyr, &ctx), Err(Error::PatternMismatch)));
+    }
+
+    #[test]
+    fn fcoo_matches_coo() {
+        let x = base();
+        let mut y = x.like_pattern(0.0);
+        y.vals_mut().copy_from_slice(&[3.0, 1.0, 2.0]);
+        let ctx = Ctx::sequential();
+        let fx = FCooTensor::from_coo(&x, 1).unwrap();
+        let fy = FCooTensor::from_coo(&y, 1).unwrap();
+        let z = tew_fcoo(EwOp::Add, &fx, &fy, &ctx).unwrap();
+        let mut got = z.to_coo();
+        got.sort();
+        let mut want = tew_coo_same_pattern(EwOp::Add, &x, &y, &ctx).unwrap();
+        want.sort();
+        assert_eq!(got, want);
+        // A different product mode changes the layout and is rejected.
+        let fy2 = FCooTensor::from_coo(&y, 2).unwrap();
+        assert!(matches!(tew_fcoo(EwOp::Add, &fx, &fy2, &ctx), Err(Error::PatternMismatch)));
     }
 
     #[test]

@@ -5,10 +5,10 @@
 //! is a pure streaming pass over the value array: 1 flop per 8 bytes
 //! (read + write), the highest-bandwidth kernel in the suite.
 
-use crate::ctx::Ctx;
-use crate::ops::TsOp;
+use crate::pipeline::{Ctx, TsOp};
 use pasta_core::{
-    CooTensor, Error, GHiCooTensor, HiCooTensor, Result, SHiCooTensor, SemiCooTensor, Value,
+    CooTensor, CsfTensor, Error, FCooTensor, FormatAccess, GHiCooTensor, HiCooTensor, Result,
+    SHiCooTensor, SemiCooTensor, Value,
 };
 use pasta_par::{parallel_for, SharedSlice};
 
@@ -44,6 +44,22 @@ pub fn ts_values_into<V: Value>(op: TsOp, x: &[V], s: V, out: &mut [V], ctx: &Ct
     ts_vals(op, x, s, out, ctx)
 }
 
+/// TS over any format: `Y = X op s` applied to the stored values.
+///
+/// The one tensor-scalar kernel, written once against [`FormatAccess`]: the
+/// output reuses `x`'s structure verbatim and the value loop streams from
+/// `x`'s stored values into the output's. Semi-sparse formats transform the
+/// explicit zeros stored inside dense fibers like any other stored value.
+///
+/// # Errors
+///
+/// Returns [`Error::DivisionByZero`] for `Div` with `s == 0`.
+pub fn ts_any<V: Value, T: FormatAccess<V> + Clone>(op: TsOp, x: &T, s: V, ctx: &Ctx) -> Result<T> {
+    let mut y = x.clone();
+    ts_vals(op, x.stored_vals(), s, y.stored_vals_mut(), ctx)?;
+    Ok(y)
+}
+
 /// COO-TS: `Y = X op s` over the non-zeros.
 ///
 /// # Errors
@@ -64,25 +80,22 @@ pub fn ts_values_into<V: Value>(op: TsOp, x: &[V], s: V, out: &mut [V], ctx: &Ct
 /// # }
 /// ```
 pub fn ts_coo<V: Value>(op: TsOp, x: &CooTensor<V>, s: V, ctx: &Ctx) -> Result<CooTensor<V>> {
-    let mut y = x.like_pattern(V::ZERO);
-    ts_vals(op, x.vals(), s, y.vals_mut(), ctx)?;
-    Ok(y)
+    ts_any(op, x, s, ctx)
 }
 
-/// HiCOO-TS: identical value computation on the HiCOO value array.
+/// HiCOO-TS: identical value computation on the HiCOO value array —
+/// [`ts_any`].
 ///
 /// # Errors
 ///
 /// Returns [`Error::DivisionByZero`] for `Div` with `s == 0`.
 pub fn ts_hicoo<V: Value>(op: TsOp, x: &HiCooTensor<V>, s: V, ctx: &Ctx) -> Result<HiCooTensor<V>> {
-    let mut y = x.clone();
-    let vals: Vec<V> = x.vals().to_vec();
-    ts_vals(op, &vals, s, y.vals_mut(), ctx)?;
-    Ok(y)
+    ts_any(op, x, s, ctx)
 }
 
 /// sCOO-TS: the value loop runs over the dense per-fiber value arrays;
-/// stored zeros inside fibers are transformed like any other stored value.
+/// stored zeros inside fibers are transformed like any other stored value —
+/// [`ts_any`].
 ///
 /// # Errors
 ///
@@ -93,13 +106,11 @@ pub fn ts_scoo<V: Value>(
     s: V,
     ctx: &Ctx,
 ) -> Result<SemiCooTensor<V>> {
-    let mut y = x.clone();
-    let vals: Vec<V> = x.vals().to_vec();
-    ts_vals(op, &vals, s, y.vals_mut(), ctx)?;
-    Ok(y)
+    ts_any(op, x, s, ctx)
 }
 
-/// gHiCOO-TS: identical value computation on the gHiCOO value array.
+/// gHiCOO-TS: identical value computation on the gHiCOO value array —
+/// [`ts_any`].
 ///
 /// # Errors
 ///
@@ -110,13 +121,11 @@ pub fn ts_ghicoo<V: Value>(
     s: V,
     ctx: &Ctx,
 ) -> Result<GHiCooTensor<V>> {
-    let mut y = x.clone();
-    let vals: Vec<V> = x.vals().to_vec();
-    ts_vals(op, &vals, s, y.vals_mut(), ctx)?;
-    Ok(y)
+    ts_any(op, x, s, ctx)
 }
 
-/// sHiCOO-TS: identical value computation on the sHiCOO value array.
+/// sHiCOO-TS: identical value computation on the sHiCOO value array —
+/// [`ts_any`].
 ///
 /// # Errors
 ///
@@ -127,10 +136,27 @@ pub fn ts_shicoo<V: Value>(
     s: V,
     ctx: &Ctx,
 ) -> Result<SHiCooTensor<V>> {
-    let mut y = x.clone();
-    let vals: Vec<V> = x.vals().to_vec();
-    ts_vals(op, &vals, s, y.vals_mut(), ctx)?;
-    Ok(y)
+    ts_any(op, x, s, ctx)
+}
+
+/// CSF-TS: the fiber tree is reused and the leaf values transformed —
+/// [`ts_any`].
+///
+/// # Errors
+///
+/// Returns [`Error::DivisionByZero`] for `Div` with `s == 0`.
+pub fn ts_csf<V: Value>(op: TsOp, x: &CsfTensor<V>, s: V, ctx: &Ctx) -> Result<CsfTensor<V>> {
+    ts_any(op, x, s, ctx)
+}
+
+/// F-COO-TS: the fiber layout is reused and the values transformed —
+/// [`ts_any`].
+///
+/// # Errors
+///
+/// Returns [`Error::DivisionByZero`] for `Div` with `s == 0`.
+pub fn ts_fcoo<V: Value>(op: TsOp, x: &FCooTensor<V>, s: V, ctx: &Ctx) -> Result<FCooTensor<V>> {
+    ts_any(op, x, s, ctx)
 }
 
 #[cfg(test)]
@@ -254,6 +280,34 @@ mod tests {
         got_sh.sort();
         assert_eq!(got_sh, want_s);
         assert_eq!(z.bptr(), shx.bptr());
+    }
+
+    #[test]
+    fn csf_and_fcoo_match_coo() {
+        let x3 = CooTensor::from_entries(
+            Shape::new(vec![4, 4, 2]),
+            vec![(vec![0, 0, 0], 1.0_f32), (vec![1, 2, 1], -2.0), (vec![3, 3, 0], 4.0)],
+        )
+        .unwrap();
+        let ctx = Ctx::sequential();
+        let want = {
+            let mut w = ts_coo(TsOp::Sub, &x3, 0.25, &ctx).unwrap();
+            w.sort();
+            w
+        };
+        let cx = CsfTensor::from_coo(&x3, &[0, 1, 2]).unwrap();
+        let yc = ts_csf(TsOp::Sub, &cx, 0.25, &ctx).unwrap();
+        let mut got_c = yc.to_coo();
+        got_c.sort();
+        assert_eq!(got_c, want);
+        assert_eq!(yc.mode_order(), cx.mode_order());
+
+        let fx = FCooTensor::from_coo(&x3, 2).unwrap();
+        let yf = ts_fcoo(TsOp::Sub, &fx, 0.25, &ctx).unwrap();
+        let mut got_f = yf.to_coo();
+        got_f.sort();
+        assert_eq!(got_f, want);
+        assert_eq!(yf.start_flags(), fx.start_flags());
     }
 
     #[test]

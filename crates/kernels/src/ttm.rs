@@ -6,13 +6,12 @@
 //! modes keep the input's fiber pattern, so COO-TTM writes an sCOO tensor
 //! and HiCOO-TTM an sHiCOO tensor, both pre-allocated by the plan.
 
-use crate::ctx::Ctx;
-use crate::microkernel::axpy;
+use crate::fibers::{ttm_exec, BlockFibers, CooFibers};
+use crate::pipeline::Ctx;
 use pasta_core::{
-    CooTensor, Coord, DenseMatrix, Error, FiberIndex, GHiCooTensor, ModeIndex, Result,
-    SHiCooTensor, SemiCooTensor, Shape, Value,
+    CooTensor, Coord, DenseMatrix, Error, FiberCursor, GHiCooTensor, Result, SHiCooTensor,
+    SemiCooTensor, Shape, Value,
 };
-use pasta_par::{parallel_for, SharedSlice};
 
 fn check_ttm_operands<V: Value>(x_shape: &Shape, u: &DenseMatrix<V>, n: usize) -> Result<()> {
     x_shape.check_mode(n)?;
@@ -50,80 +49,45 @@ fn check_ttm_operands<V: Value>(x_shape: &Shape, u: &DenseMatrix<V>, n: usize) -
 /// ```
 #[derive(Debug, Clone)]
 pub struct TtmCooPlan<V> {
-    x: CooTensor<V>,
-    fibers: FiberIndex,
-    n: usize,
-    /// Sparse index arrays of the output fibers (one per non-`n` mode).
-    out_inds: Vec<Vec<Coord>>,
+    fibers: CooFibers<V>,
 }
 
 impl<V: Value> TtmCooPlan<V> {
     /// Builds the plan: sorts a copy with mode `n` last, finds fibers, and
-    /// pre-computes the output's sparse indices.
+    /// pre-computes the output's sparse indices — [`CooFibers`].
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidMode`] for an out-of-range mode.
     pub fn new(x: &CooTensor<V>, n: usize) -> Result<Self> {
-        x.shape().check_mode(n)?;
-        let mut xs = x.clone();
-        xs.sort_mode_last(n);
-        let fibers = FiberIndex::build(&xs, n);
-        let mf = fibers.num_fibers();
-        let n_sparse = x.order() - 1;
-        let mut out_inds: Vec<Vec<Coord>> = vec![Vec::with_capacity(mf); n_sparse];
-        for f in 0..mf {
-            let coords = fibers.fiber_coords(&xs, f);
-            for (k, col) in out_inds.iter_mut().enumerate() {
-                col.push(coords[k]);
-            }
-        }
-        Ok(Self { x: xs, fibers, n, out_inds })
+        Ok(Self { fibers: CooFibers::build(x, n)? })
     }
 
     /// The product mode.
     pub fn mode(&self) -> usize {
-        self.n
+        self.fibers.mode()
     }
 
     /// The number of output fibers, `M_F`.
     pub fn num_fibers(&self) -> usize {
-        self.fibers.num_fibers()
+        FiberCursor::num_fibers(&self.fibers)
     }
 
     /// The sorted input tensor.
     pub fn tensor(&self) -> &CooTensor<V> {
-        &self.x
+        self.fibers.tensor()
     }
 
     /// The timed kernel: accumulates `val · U[k, :]` into each fiber's dense
-    /// row. `out` must have length `M_F × R`. Parallel over fibers.
+    /// row. `out` must have length `M_F × R`. Parallel over fibers —
+    /// [`ttm_exec`] over the [`CooFibers`] cursor.
     ///
     /// # Errors
     ///
     /// Returns an error on operand size mismatches.
     pub fn execute_values(&self, u: &DenseMatrix<V>, out: &mut [V], ctx: &Ctx) -> Result<()> {
-        check_ttm_operands(self.x.shape(), u, self.n)?;
-        let r = u.cols();
-        if out.len() != self.num_fibers() * r {
-            return Err(Error::OperandMismatch {
-                what: format!("output length {} vs M_F*R = {}", out.len(), self.num_fibers() * r),
-            });
-        }
-        let kind = self.x.mode_inds(self.n);
-        let vals = self.x.vals();
-        let shared = SharedSlice::new(out);
-        parallel_for(self.num_fibers(), ctx.threads, ctx.schedule, |range| {
-            for f in range {
-                // SAFETY: each fiber owns its R-slot output row exclusively.
-                let row = unsafe { shared.slice_mut(f * r..(f + 1) * r) };
-                row.fill(V::ZERO);
-                for x in self.fibers.fiber_range(f) {
-                    axpy(row, vals[x], u.row(kind[x] as usize));
-                }
-            }
-        });
-        Ok(())
+        check_ttm_operands(self.tensor().shape(), u, self.mode())?;
+        ttm_exec(&self.fibers, u, out, ctx)
     }
 
     /// Computes `Y = X ×_n U` as an sCOO tensor with dense mode `n`.
@@ -135,8 +99,13 @@ impl<V: Value> TtmCooPlan<V> {
         let r = u.cols();
         let mut vals = vec![V::ZERO; self.num_fibers() * r];
         self.execute_values(u, &mut vals, ctx)?;
-        let out_shape = self.x.shape().replace_mode(self.n, r as u32);
-        SemiCooTensor::from_fibers(out_shape, vec![self.n], self.out_inds.clone(), vals)
+        let out_shape = self.tensor().shape().replace_mode(self.mode(), r as u32);
+        SemiCooTensor::from_fibers(
+            out_shape,
+            vec![self.mode()],
+            self.fibers.out_inds().to_vec(),
+            vals,
+        )
     }
 }
 
@@ -158,115 +127,44 @@ pub fn ttm_coo<V: Value>(
 /// uncompressed), sHiCOO output skeleton inherited from the input blocks.
 #[derive(Debug, Clone)]
 pub struct TtmHicooPlan<V> {
-    g: GHiCooTensor<V>,
-    n: usize,
-    fptr: Vec<usize>,
-    bfptr: Vec<usize>,
-    out_binds: Vec<Vec<Coord>>,
-    out_einds: Vec<Vec<u8>>,
+    fibers: BlockFibers<V>,
 }
 
 impl<V: Value> TtmHicooPlan<V> {
-    /// Builds the plan from a COO tensor.
+    /// Builds the plan from a COO tensor — [`BlockFibers`].
     ///
     /// # Errors
     ///
     /// Returns an error for an invalid mode or block size, or a first-order
     /// tensor.
     pub fn new(x: &CooTensor<V>, n: usize, block_size: u32) -> Result<Self> {
-        x.shape().check_mode(n)?;
-        if x.order() < 2 {
-            return Err(Error::InvalidMode { mode: n, order: x.order() });
-        }
-        let order = x.order();
-        let blocked: Vec<bool> = (0..order).map(|m| m != n).collect();
-        let g = GHiCooTensor::from_coo(x, block_size, &blocked)?;
-        let other: Vec<usize> = (0..order).filter(|&m| m != n).collect();
-
-        let mut fptr = Vec::new();
-        let mut bfptr = Vec::with_capacity(g.num_blocks() + 1);
-        let mut out_binds: Vec<Vec<Coord>> = vec![Vec::with_capacity(g.num_blocks()); other.len()];
-        let mut out_einds: Vec<Vec<u8>> = vec![Vec::new(); other.len()];
-        let mut fiber_count = 0usize;
-        for b in 0..g.num_blocks() {
-            bfptr.push(fiber_count);
-            let mut prev: Option<Vec<u8>> = None;
-            for x in g.block_range(b) {
-                let key: Vec<u8> = other
-                    .iter()
-                    .map(|&m| match g.mode_index(m) {
-                        ModeIndex::Blocked { einds, .. } => einds[x],
-                        ModeIndex::Full(_) => unreachable!("non-product modes are blocked"),
-                    })
-                    .collect();
-                if prev.as_ref() != Some(&key) {
-                    fptr.push(x);
-                    for (k, col) in out_einds.iter_mut().enumerate() {
-                        col.push(key[k]);
-                    }
-                    fiber_count += 1;
-                    prev = Some(key);
-                }
-            }
-            for (k, &m) in other.iter().enumerate() {
-                if let ModeIndex::Blocked { binds, .. } = g.mode_index(m) {
-                    out_binds[k].push(binds[b]);
-                }
-            }
-        }
-        bfptr.push(fiber_count);
-        fptr.push(g.nnz());
-
-        Ok(Self { g, n, fptr, bfptr, out_binds, out_einds })
+        Ok(Self { fibers: BlockFibers::build(x, n, block_size)? })
     }
 
     /// The product mode.
     pub fn mode(&self) -> usize {
-        self.n
+        self.fibers.mode()
     }
 
     /// The number of output fibers, `M_F`.
     pub fn num_fibers(&self) -> usize {
-        self.fptr.len() - 1
+        FiberCursor::num_fibers(&self.fibers)
     }
 
     /// The gHiCOO input tensor.
     pub fn tensor(&self) -> &GHiCooTensor<V> {
-        &self.g
+        self.fibers.tensor()
     }
 
-    /// The timed kernel: per-fiber dense accumulation, parallel over blocks.
+    /// The timed kernel: per-fiber dense accumulation, parallel over blocks
+    /// — [`ttm_exec`] over the [`BlockFibers`] cursor.
     ///
     /// # Errors
     ///
     /// Returns an error on operand size mismatches.
     pub fn execute_values(&self, u: &DenseMatrix<V>, out: &mut [V], ctx: &Ctx) -> Result<()> {
-        check_ttm_operands(self.g.shape(), u, self.n)?;
-        let r = u.cols();
-        if out.len() != self.num_fibers() * r {
-            return Err(Error::OperandMismatch {
-                what: format!("output length {} vs M_F*R = {}", out.len(), self.num_fibers() * r),
-            });
-        }
-        let kind = match self.g.mode_index(self.n) {
-            ModeIndex::Full(finds) => finds.as_slice(),
-            ModeIndex::Blocked { .. } => unreachable!("product mode is uncompressed"),
-        };
-        let vals = self.g.vals();
-        let shared = SharedSlice::new(out);
-        parallel_for(self.bfptr.len() - 1, ctx.threads, ctx.schedule, |blocks| {
-            for b in blocks {
-                for f in self.bfptr[b]..self.bfptr[b + 1] {
-                    // SAFETY: fibers nest in blocks; blocks partition fibers.
-                    let row = unsafe { shared.slice_mut(f * r..(f + 1) * r) };
-                    row.fill(V::ZERO);
-                    for x in self.fptr[f]..self.fptr[f + 1] {
-                        axpy(row, vals[x], u.row(kind[x] as usize));
-                    }
-                }
-            }
-        });
-        Ok(())
+        check_ttm_operands(self.tensor().shape(), u, self.mode())?;
+        ttm_exec(&self.fibers, u, out, ctx)
     }
 
     /// Computes `Y = X ×_n U` as an sHiCOO tensor.
@@ -278,14 +176,14 @@ impl<V: Value> TtmHicooPlan<V> {
         let r = u.cols();
         let mut vals = vec![V::ZERO; self.num_fibers() * r];
         self.execute_values(u, &mut vals, ctx)?;
-        let out_shape = self.g.shape().replace_mode(self.n, r as u32);
+        let out_shape = self.tensor().shape().replace_mode(self.mode(), r as u32);
         SHiCooTensor::from_raw_parts(
             out_shape,
-            self.g.block_size(),
-            vec![self.n],
-            self.bfptr.clone(),
-            self.out_binds.clone(),
-            self.out_einds.clone(),
+            self.tensor().block_size(),
+            vec![self.mode()],
+            self.fibers.bfptr().to_vec(),
+            self.fibers.out_binds().to_vec(),
+            self.fibers.out_einds().to_vec(),
             vals,
         )
     }
@@ -537,6 +435,33 @@ mod tests {
         assert_eq!(ha.nnz(), sa.nnz());
         for (a, b) in ha.vals().iter().zip(sa.vals()) {
             assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn order5_matches_dense_every_mode() {
+        // Order-5 contraction through the generic fiber cursors shared
+        // with TTV: COO and blocked plans both run `ttm_exec`.
+        let entries: Vec<(Vec<Coord>, f64)> = (0..600u32)
+            .map(|i| {
+                (
+                    vec![i % 3, (i / 3) % 4, (i / 12) % 5, (i / 60) % 3, (i * 11) % 4],
+                    f64::from(i % 7) - 3.0,
+                )
+            })
+            .collect();
+        let mut x = CooTensor::from_entries(Shape::new(vec![3, 4, 5, 3, 4]), entries).unwrap();
+        x.dedup_sum();
+        for n in 0..5 {
+            let u = mat_for(&x, n, 3);
+            let (_, dense) = ttm_dense(&x, &u, n).unwrap();
+            let y = ttm_coo(&x, &u, n, &Ctx::new(4, pasta_par::Schedule::Static)).unwrap();
+            assert!(dense_approx_eq(&y.to_coo().to_dense(1 << 13), &dense, 1e-10), "coo mode {n}");
+            let h = ttm_hicoo(&x, &u, n, 2, &Ctx::sequential()).unwrap();
+            assert!(
+                dense_approx_eq(&h.to_scoo().unwrap().to_coo().to_dense(1 << 13), &dense, 1e-10),
+                "hicoo mode {n}"
+            );
         }
     }
 

@@ -8,13 +8,11 @@
 //! with its indices — happen once in the *plan*; the timed kernel is the
 //! value computation alone, matching the paper's methodology.
 
-use crate::ctx::Ctx;
-use crate::microkernel::gather_dot;
+use crate::fibers::{ttv_exec, BlockFibers, CooFibers};
+use crate::pipeline::Ctx;
 use pasta_core::{
-    CooTensor, Coord, DenseVector, Error, FiberIndex, GHiCooTensor, HiCooTensor, ModeIndex, Result,
-    Shape, Value,
+    CooTensor, DenseVector, Error, FiberCursor, GHiCooTensor, HiCooTensor, Result, Shape, Value,
 };
-use pasta_par::{parallel_for, SharedSlice};
 
 fn check_ttv_operands<V: Value>(x_shape: &Shape, v: &DenseVector<V>, n: usize) -> Result<()> {
     x_shape.check_mode(n)?;
@@ -51,11 +49,8 @@ fn check_ttv_operands<V: Value>(x_shape: &Shape, v: &DenseVector<V>, n: usize) -
 /// ```
 #[derive(Debug, Clone)]
 pub struct TtvCooPlan<V> {
-    x: CooTensor<V>,
-    fibers: FiberIndex,
-    n: usize,
+    fibers: CooFibers<V>,
     out_shape: Shape,
-    out_inds: Vec<Vec<Coord>>,
 }
 
 impl<V: Value> TtvCooPlan<V> {
@@ -71,61 +66,34 @@ impl<V: Value> TtvCooPlan<V> {
         if x.order() < 2 {
             return Err(Error::InvalidMode { mode: n, order: x.order() });
         }
-        let mut xs = x.clone();
-        xs.sort_mode_last(n);
-        let fibers = FiberIndex::build(&xs, n);
-        let out_shape = x.shape().remove_mode(n);
-        let mf = fibers.num_fibers();
-        let mut out_inds: Vec<Vec<Coord>> = vec![Vec::with_capacity(mf); out_shape.order()];
-        for f in 0..mf {
-            let coords = fibers.fiber_coords(&xs, f);
-            for (m, col) in out_inds.iter_mut().enumerate() {
-                col.push(coords[m]);
-            }
-        }
-        Ok(Self { x: xs, fibers, n, out_shape, out_inds })
+        Ok(Self { fibers: CooFibers::build(x, n)?, out_shape: x.shape().remove_mode(n) })
     }
 
     /// The product mode.
     pub fn mode(&self) -> usize {
-        self.n
+        self.fibers.mode()
     }
 
     /// The number of output non-zeros, `M_F`.
     pub fn num_fibers(&self) -> usize {
-        self.fibers.num_fibers()
+        FiberCursor::num_fibers(&self.fibers)
     }
 
     /// The sorted input tensor the plan operates on.
     pub fn tensor(&self) -> &CooTensor<V> {
-        &self.x
+        self.fibers.tensor()
     }
 
     /// The timed kernel: computes the output values into `out`
-    /// (length `M_F`), one per fiber, in parallel over fibers.
+    /// (length `M_F`), one per fiber, in parallel over fibers —
+    /// [`ttv_exec`] over the [`CooFibers`] cursor.
     ///
     /// # Errors
     ///
     /// Returns an error if `v` has the wrong length or `out` the wrong size.
     pub fn execute_values(&self, v: &DenseVector<V>, out: &mut [V], ctx: &Ctx) -> Result<()> {
-        check_ttv_operands(self.x.shape(), v, self.n)?;
-        if out.len() != self.num_fibers() {
-            return Err(Error::OperandMismatch {
-                what: format!("output length {} vs M_F {}", out.len(), self.num_fibers()),
-            });
-        }
-        let kind = self.x.mode_inds(self.n);
-        let vals = self.x.vals();
-        let vv = v.as_slice();
-        let shared = SharedSlice::new(out);
-        parallel_for(self.num_fibers(), ctx.threads, ctx.schedule, |range| {
-            for f in range {
-                let acc = gather_dot(vals, kind, vv, self.fibers.fiber_range(f));
-                // SAFETY: one fiber -> one output slot; ranges partition fibers.
-                unsafe { shared.write(f, acc) };
-            }
-        });
-        Ok(())
+        check_ttv_operands(self.tensor().shape(), v, self.mode())?;
+        ttv_exec(&self.fibers, v.as_slice(), out, ctx)
     }
 
     /// Computes `Y = X ×_n v` as a COO tensor (pre-allocated pattern plus
@@ -137,7 +105,8 @@ impl<V: Value> TtvCooPlan<V> {
     pub fn execute(&self, v: &DenseVector<V>, ctx: &Ctx) -> Result<CooTensor<V>> {
         let mut vals = vec![V::ZERO; self.num_fibers()];
         self.execute_values(v, &mut vals, ctx)?;
-        let mut out = CooTensor::from_parts(self.out_shape.clone(), self.out_inds.clone(), vals)?;
+        let mut out =
+            CooTensor::from_parts(self.out_shape.clone(), self.fibers.out_inds().to_vec(), vals)?;
         out.assume_sorted_by((0..self.out_shape.order()).collect());
         Ok(out)
     }
@@ -165,120 +134,50 @@ pub fn ttv_coo<V: Value>(
 /// input's block structure restricted to the non-product modes.
 #[derive(Debug, Clone)]
 pub struct TtvHicooPlan<V> {
-    g: GHiCooTensor<V>,
-    n: usize,
-    /// Fiber start offsets within the entry order, plus sentinel.
-    fptr: Vec<usize>,
-    /// Fiber range per block: block `b` owns fibers `bfptr[b]..bfptr[b+1]`.
-    bfptr: Vec<usize>,
+    fibers: BlockFibers<V>,
     out_shape: Shape,
-    out_binds: Vec<Vec<Coord>>,
-    out_einds: Vec<Vec<u8>>,
 }
 
 impl<V: Value> TtvHicooPlan<V> {
     /// Builds the plan from a COO tensor: converts to gHiCOO (mode `n`
     /// uncompressed), finds fibers within blocks and assembles the output's
-    /// HiCOO skeleton.
+    /// HiCOO skeleton — [`BlockFibers`].
     ///
     /// # Errors
     ///
     /// Returns an error for an invalid mode, first-order tensor or invalid
     /// block size.
     pub fn new(x: &CooTensor<V>, n: usize, block_size: u32) -> Result<Self> {
-        x.shape().check_mode(n)?;
-        if x.order() < 2 {
-            return Err(Error::InvalidMode { mode: n, order: x.order() });
-        }
-        let order = x.order();
-        let blocked: Vec<bool> = (0..order).map(|m| m != n).collect();
-        let g = GHiCooTensor::from_coo(x, block_size, &blocked)?;
-        let other: Vec<usize> = (0..order).filter(|&m| m != n).collect();
-
-        // Walk blocks; a new fiber starts when any blocked element index
-        // changes (block coordinates are constant within a block).
-        let mut fptr = Vec::new();
-        let mut bfptr = Vec::with_capacity(g.num_blocks() + 1);
-        let mut out_binds: Vec<Vec<Coord>> = vec![Vec::with_capacity(g.num_blocks()); other.len()];
-        let mut out_einds: Vec<Vec<u8>> = vec![Vec::new(); other.len()];
-        let mut fiber_count = 0usize;
-        for b in 0..g.num_blocks() {
-            bfptr.push(fiber_count);
-            let range = g.block_range(b);
-            let mut prev: Option<Vec<u8>> = None;
-            for x in range {
-                let key: Vec<u8> = other
-                    .iter()
-                    .map(|&m| match g.mode_index(m) {
-                        ModeIndex::Blocked { einds, .. } => einds[x],
-                        ModeIndex::Full(_) => unreachable!("non-product modes are blocked"),
-                    })
-                    .collect();
-                if prev.as_ref() != Some(&key) {
-                    fptr.push(x);
-                    for (k, col) in out_einds.iter_mut().enumerate() {
-                        col.push(key[k]);
-                    }
-                    fiber_count += 1;
-                    prev = Some(key);
-                }
-            }
-            for (k, &m) in other.iter().enumerate() {
-                if let ModeIndex::Blocked { binds, .. } = g.mode_index(m) {
-                    out_binds[k].push(binds[b]);
-                }
-            }
-        }
-        bfptr.push(fiber_count);
-        fptr.push(g.nnz());
-
-        Ok(Self { n, fptr, bfptr, out_shape: x.shape().remove_mode(n), out_binds, out_einds, g })
+        Ok(Self {
+            fibers: BlockFibers::build(x, n, block_size)?,
+            out_shape: x.shape().remove_mode(n),
+        })
     }
 
     /// The product mode.
     pub fn mode(&self) -> usize {
-        self.n
+        self.fibers.mode()
     }
 
     /// The number of output non-zeros, `M_F`.
     pub fn num_fibers(&self) -> usize {
-        self.fptr.len() - 1
+        FiberCursor::num_fibers(&self.fibers)
     }
 
     /// The gHiCOO input tensor.
     pub fn tensor(&self) -> &GHiCooTensor<V> {
-        &self.g
+        self.fibers.tensor()
     }
 
-    /// The timed kernel: per-fiber dot products, parallel over blocks.
+    /// The timed kernel: per-fiber dot products, parallel over blocks —
+    /// [`ttv_exec`] over the [`BlockFibers`] cursor.
     ///
     /// # Errors
     ///
     /// Returns an error on operand size mismatches.
     pub fn execute_values(&self, v: &DenseVector<V>, out: &mut [V], ctx: &Ctx) -> Result<()> {
-        check_ttv_operands(self.g.shape(), v, self.n)?;
-        if out.len() != self.num_fibers() {
-            return Err(Error::OperandMismatch {
-                what: format!("output length {} vs M_F {}", out.len(), self.num_fibers()),
-            });
-        }
-        let kind = match self.g.mode_index(self.n) {
-            ModeIndex::Full(finds) => finds.as_slice(),
-            ModeIndex::Blocked { .. } => unreachable!("product mode is uncompressed"),
-        };
-        let vals = self.g.vals();
-        let vv = v.as_slice();
-        let shared = SharedSlice::new(out);
-        parallel_for(self.bfptr.len() - 1, ctx.threads, ctx.schedule, |blocks| {
-            for b in blocks {
-                for f in self.bfptr[b]..self.bfptr[b + 1] {
-                    let acc = gather_dot(vals, kind, vv, self.fptr[f]..self.fptr[f + 1]);
-                    // SAFETY: fibers nest in blocks; blocks partition fibers.
-                    unsafe { shared.write(f, acc) };
-                }
-            }
-        });
-        Ok(())
+        check_ttv_operands(self.tensor().shape(), v, self.mode())?;
+        ttv_exec(&self.fibers, v.as_slice(), out, ctx)
     }
 
     /// Computes `Y = X ×_n v` as a HiCOO tensor with the inherited block
@@ -292,10 +191,10 @@ impl<V: Value> TtvHicooPlan<V> {
         self.execute_values(v, &mut vals, ctx)?;
         HiCooTensor::from_raw_parts(
             self.out_shape.clone(),
-            self.g.block_size(),
-            self.bfptr.clone(),
-            self.out_binds.clone(),
-            self.out_einds.clone(),
+            self.tensor().block_size(),
+            self.fibers.bfptr().to_vec(),
+            self.fibers.out_binds().to_vec(),
+            self.fibers.out_einds().to_vec(),
             vals,
         )
     }
@@ -320,6 +219,7 @@ pub fn ttv_hicoo<V: Value>(
 mod tests {
     use super::*;
     use crate::dense_ref::{dense_approx_eq, ttv_dense};
+    use pasta_core::Coord;
 
     fn sample() -> CooTensor<f64> {
         CooTensor::from_entries(
@@ -400,6 +300,39 @@ mod tests {
         assert_eq!(hc.nnz(), sc.nnz());
         for (a, b) in hc.vals().iter().zip(sc.vals()) {
             assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn order5_matches_dense_every_mode() {
+        // Order-5 contraction through the generic fiber cursors: the COO
+        // and blocked plans and the CSF leaf plan all run `ttv_exec`.
+        let entries: Vec<(Vec<Coord>, f64)> = (0..600u32)
+            .map(|i| {
+                (
+                    vec![i % 3, (i / 3) % 4, (i / 12) % 5, (i / 60) % 3, (i * 11) % 4],
+                    f64::from(i % 7) - 3.0,
+                )
+            })
+            .collect();
+        let mut x = CooTensor::from_entries(Shape::new(vec![3, 4, 5, 3, 4]), entries).unwrap();
+        x.dedup_sum();
+        for n in 0..5 {
+            let v = vec_for(&x, n);
+            let (shape, dense) = ttv_dense(&x, &v, n).unwrap();
+            let coo = ttv_coo(&x, &v, n, &Ctx::new(4, pasta_par::Schedule::Static)).unwrap();
+            assert_eq!(coo.shape(), &shape);
+            assert!(dense_approx_eq(&coo.to_dense(1 << 12), &dense, 1e-10), "coo mode {n}");
+            let hic = ttv_hicoo(&x, &v, n, 2, &Ctx::sequential()).unwrap();
+            assert!(
+                dense_approx_eq(&hic.to_coo().to_dense(1 << 12), &dense, 1e-10),
+                "hicoo mode {n}"
+            );
+            let mut mo: Vec<usize> = (0..5).filter(|&m| m != n).collect();
+            mo.push(n);
+            let csf = pasta_core::CsfTensor::from_coo(&x, &mo).unwrap();
+            let y = crate::csf::ttv_csf_leaf(&csf, &v, &Ctx::sequential()).unwrap();
+            assert!(dense_approx_eq(&y.to_dense(1 << 12), &dense, 1e-10), "csf mode {n}");
         }
     }
 

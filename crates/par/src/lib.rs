@@ -3,7 +3,7 @@
 //! The paper parallelizes its CPU kernels with OpenMP (`parallel for` with
 //! static/dynamic/guided scheduling, `omp atomic` for MTTKRP's output
 //! updates). This crate is the Rust stand-in: a persistent work-stealing
-//! [`Pool`](pool::Pool) of parked workers drives a [`parallel_for`] with
+//! [`Pool`] of parked workers drives a [`parallel_for`] with
 //! the same three scheduling strategies, and [`AtomicF32`]/[`AtomicF64`]
 //! provide the atomic floating-point adds.
 //!
@@ -61,7 +61,7 @@ pub fn default_threads() -> usize {
 }
 
 /// Runs `body` over chunks of `0..n` on `threads` participants of the
-/// global [`Pool`](pool::Pool) with the given scheduling strategy.
+/// global [`Pool`] with the given scheduling strategy.
 ///
 /// Each invocation of `body` receives a contiguous index range; ranges
 /// partition `0..n` exactly (every index visited once). With `threads <= 1`

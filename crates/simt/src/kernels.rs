@@ -21,7 +21,7 @@ use crate::trace::{Accessor, AddrSpace};
 use pasta_core::{
     CooTensor, Coord, DenseMatrix, DenseVector, Error, FiberIndex, HiCooTensor, Result,
 };
-use pasta_kernels::{EwOp, TsOp};
+use pasta_kernels::{BackendKind, Combo, EwOp, FormatKind, Kernel, TsOp};
 
 const THREADS_1D: usize = 256;
 
@@ -547,23 +547,22 @@ impl GpuMttkrpHicoo {
     pub fn output(&self) -> &DenseMatrix<f32> {
         &self.out
     }
-}
 
-impl GpuKernel for GpuMttkrpHicoo {
-    fn grid_dim(&self) -> usize {
-        self.x.num_blocks()
-    }
-    fn block_dim(&self) -> usize {
-        self.block_y * self.r
-    }
-    fn thread(&mut self, b: usize, t: usize, acc: &mut Accessor<'_>) {
+    /// The thread body shared with [`GpuMttkrpHicooBalanced`]: thread `t`
+    /// walks entries `start..end` of tensor block `b` in strides of
+    /// `blockDim.y`, multiplying factor rows and accumulating into the
+    /// output with atomics.
+    fn unit_thread(
+        &mut self,
+        b: usize,
+        start: usize,
+        end: usize,
+        t: usize,
+        acc: &mut Accessor<'_>,
+    ) {
         let rr = t % self.r;
         let ty = t / self.r;
         let bits = self.x.block_bits();
-        let range = self.x.block_range(b);
-        if range.is_empty() {
-            return;
-        }
         // Thread (0, 0) reads the block metadata (broadcast to the block).
         if t == 0 {
             acc.read(S_FPTR, self.b_bptr + 8 * b as u64, 8);
@@ -574,9 +573,9 @@ impl GpuKernel for GpuMttkrpHicoo {
         }
         let bases: Vec<usize> =
             (0..self.order).map(|m| (self.x.mode_binds(m)[b] as usize) << bits).collect();
-        // Strided loop over the block's non-zeros.
-        let mut z = range.start + ty;
-        while z < range.end {
+        // Strided loop over the unit's non-zeros.
+        let mut z = start + ty;
+        while z < end {
             acc.read(S_XVAL, self.b_vals + 4 * z as u64, 4);
             let mut tmp = self.x.vals()[z];
             for m in 0..self.order {
@@ -600,6 +599,22 @@ impl GpuKernel for GpuMttkrpHicoo {
             acc.atomic(S_ATOMIC, self.b_out + 4 * (i * self.r + rr) as u64);
             z += self.block_y;
         }
+    }
+}
+
+impl GpuKernel for GpuMttkrpHicoo {
+    fn grid_dim(&self) -> usize {
+        self.x.num_blocks()
+    }
+    fn block_dim(&self) -> usize {
+        self.block_y * self.r
+    }
+    fn thread(&mut self, b: usize, t: usize, acc: &mut Accessor<'_>) {
+        let range = self.x.block_range(b);
+        if range.is_empty() {
+            return;
+        }
+        self.unit_thread(b, range.start, range.end, t, acc);
     }
 }
 
@@ -714,7 +729,6 @@ pub struct GpuMttkrpHicooBalanced {
     inner: GpuMttkrpHicoo,
     /// Work units: `(tensor block, start, end)` entry ranges.
     units: Vec<(usize, usize, usize)>,
-    max_unit: usize,
 }
 
 impl GpuMttkrpHicooBalanced {
@@ -744,7 +758,7 @@ impl GpuMttkrpHicooBalanced {
                 s = e;
             }
         }
-        Ok(Self { inner, units, max_unit })
+        Ok(Self { inner, units })
     }
 
     /// The accumulated output matrix.
@@ -767,46 +781,25 @@ impl GpuKernel for GpuMttkrpHicooBalanced {
     }
     fn thread(&mut self, cuda_block: usize, t: usize, acc: &mut Accessor<'_>) {
         let (b, start, end) = self.units[cuda_block];
-        let rr = t % self.inner.r;
-        let ty = t / self.inner.r;
-        let bits = self.inner.x.block_bits();
-        if t == 0 {
-            acc.read(S_FPTR, self.inner.b_bptr + 8 * b as u64, 8);
-            for m in 0..self.inner.order {
-                acc.read(S_IND_BASE + m as u16, self.inner.b_binds[m] + 4 * b as u64, 4);
-            }
-        }
-        let bases: Vec<usize> = (0..self.inner.order)
-            .map(|m| (self.inner.x.mode_binds(m)[b] as usize) << bits)
-            .collect();
-        let mut z = start + ty;
-        let block_y = self.inner.block_y;
-        while z < end {
-            acc.read(S_XVAL, self.inner.b_vals + 4 * z as u64, 4);
-            let mut tmp = self.inner.x.vals()[z];
-            for m in 0..self.inner.order {
-                acc.read(S_KIND, self.inner.b_einds[m] + z as u64, 1);
-                if m == self.inner.n {
-                    continue;
-                }
-                let row = bases[m] + self.inner.x.mode_einds(m)[z] as usize;
-                acc.read(
-                    S_FACTOR_BASE + m as u16,
-                    self.inner.b_factors[m] + 4 * (row * self.inner.r + rr) as u64,
-                    4,
-                );
-                tmp *= self.inner.factors[m].get(row, rr);
-                acc.flops(1);
-            }
-            let i = bases[self.inner.n] + self.inner.x.mode_einds(self.inner.n)[z] as usize;
-            let cur = self.inner.out.get(i, rr);
-            self.inner.out.set(i, rr, cur + tmp);
-            acc.flops(1);
-            acc.atomic(S_ATOMIC, self.inner.b_out + 4 * (i * self.inner.r + rr) as u64);
-            z += block_y;
-        }
-        let _ = self.max_unit;
+        self.inner.unit_thread(b, start, end, t, acc);
     }
+}
+
+/// The `(kernel, format)` pairs this crate implements, as GPU registry
+/// combos. A test keeps this list identical to the GPU rows of
+/// [`pasta_kernels::registry`], so format×kernel coverage claims and the
+/// simulator's actual kernels cannot drift apart.
+pub fn gpu_supported() -> Vec<Combo> {
+    let g = |kernel, format| Combo { kernel, format, backend: BackendKind::Gpu };
+    vec![
+        g(Kernel::Tew, FormatKind::Coo),      // GpuTewCoo
+        g(Kernel::Ts, FormatKind::Coo),       // GpuTsCoo
+        g(Kernel::Ttv, FormatKind::Coo),      // GpuTtvCoo
+        g(Kernel::Ttv, FormatKind::Fcoo),     // GpuTtvFcoo
+        g(Kernel::Ttm, FormatKind::Coo),      // GpuTtmCoo
+        g(Kernel::Mttkrp, FormatKind::Coo),   // GpuMttkrpCoo
+        g(Kernel::Mttkrp, FormatKind::Hicoo), // GpuMttkrpHicoo(+Balanced)
+    ]
 }
 
 #[cfg(test)]
@@ -1049,6 +1042,21 @@ mod tests {
         let h = HiCooTensor::from_coo(&x, 8).unwrap();
         let fs = factors(&x, 8);
         assert!(GpuMttkrpHicooBalanced::new(&h, &fs, 0, 0).is_err());
+    }
+
+    #[test]
+    fn gpu_supported_matches_registry() {
+        // The simulator's kernel set and the registry's GPU rows must be
+        // the same set — a combo on either side only is a drifted claim.
+        let mut have = gpu_supported();
+        let mut want: Vec<Combo> = pasta_kernels::registry()
+            .into_iter()
+            .filter(|c| c.backend == BackendKind::Gpu)
+            .collect();
+        let key = |c: &Combo| c.to_string();
+        have.sort_by_key(key);
+        want.sort_by_key(key);
+        assert_eq!(have, want);
     }
 
     #[test]

@@ -53,8 +53,8 @@ pub mod trace;
 
 pub use device::{p100, v100, DeviceSpec};
 pub use kernels::{
-    GpuMttkrpCoo, GpuMttkrpHicoo, GpuMttkrpHicooBalanced, GpuTewCoo, GpuTsCoo, GpuTtmCoo,
-    GpuTtvCoo, GpuTtvFcoo,
+    gpu_supported, GpuMttkrpCoo, GpuMttkrpHicoo, GpuMttkrpHicooBalanced, GpuTewCoo, GpuTsCoo,
+    GpuTtmCoo, GpuTtvCoo, GpuTtvFcoo,
 };
 pub use multi::{launch_multi, Interconnect, MultiLaunchStats};
 pub use sim::{launch, Bound, GpuKernel, LaunchStats};
