@@ -9,6 +9,9 @@ cargo build --workspace --release
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> cargo test --workspace (PASTA_SIMD=scalar, forced portable microkernels)"
+PASTA_SIMD=scalar cargo test --workspace -q
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -20,6 +23,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
 echo "==> MTTKRP bench smoke (strategy dispatch, untimed)"
 PASTA_BENCH_SCALE=0.02 cargo bench -p pasta-bench --bench mttkrp -- --test
+
+echo "==> Tuner smoke (--tune on s1 completes and round-trips its JSON)"
+cargo run --release -q -p pasta-bench --bin hostrun -- --tune s1 0.02 2 > /dev/null
 
 echo "==> Conformance matrix (quick tier + selftest)"
 cargo run --release -q -p pasta-conformance -- quick

@@ -2,16 +2,26 @@
 //! complement to the modeled Figures 4–7 (this machine is a fifth,
 //! "Host" platform column).
 //!
-//! Usage: `hostrun [--json] [real|synthetic] [scale] [threads]`
+//! Usage: `hostrun [--json] [--tune] [real|synthetic|<profile-id>] [scale] [threads]`
+//! (a profile id like `s1` selects one tensor, `--tune` only)
 //!
 //! With `--json`, the per-run records are additionally written to
 //! `results/BENCH_host.json` for downstream tooling.
+//!
+//! With `--tune`, the measured parameter search in `pasta_kernels::tune`
+//! runs instead of the benchmark: per tensor it searches chunk size, HiCOO
+//! block size and the MTTKRP dense-privatization threshold, persists the
+//! winners to `results/TUNE_host.json` (verifying the file round-trips),
+//! and prints the before/after rows. Subsequent plain runs load that table
+//! and execute each kernel × format under its tuned parameters.
 
-use pasta_bench::datasets::{load_dataset, DatasetKind};
+use pasta_bench::datasets::{load_dataset, load_one, DatasetKind};
 use pasta_bench::runner::{mode_avg_cost, run_host, run_host_mttkrp_variant, MttkrpVariant};
-use pasta_kernels::{Ctx, Kernel};
+use pasta_kernels::{simd_level, tune_tensor, Ctx, FormatKind, Kernel, TensorBucket, TuneTable};
 use pasta_par::Schedule;
 use pasta_platform::Format;
+
+const TUNE_PATH: &str = "results/TUNE_host.json";
 
 struct Record {
     tensor: String,
@@ -23,6 +33,8 @@ struct Record {
     gflops: f64,
     oi: f64,
     strategy: String,
+    simd: String,
+    tuned: bool,
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
@@ -52,7 +64,7 @@ fn write_json(path: &std::path::Path, records: &[Record]) -> std::io::Result<()>
             f,
             "  {{\"tensor\": \"{}\", \"name\": \"{}\", \"nnz\": {}, \"kernel\": \"{}\", \
              \"format\": \"{}\", \"time_ns\": {:.1}, \"gflops\": {:.4}, \"oi\": {:.4}, \
-             \"strategy\": \"{}\"}}{}",
+             \"strategy\": \"{}\", \"simd\": \"{}\", \"tuned\": {}}}{}",
             json_escape(&r.tensor),
             json_escape(&r.name),
             r.nnz,
@@ -62,6 +74,8 @@ fn write_json(path: &std::path::Path, records: &[Record]) -> std::io::Result<()>
             r.gflops,
             r.oi,
             json_escape(&r.strategy),
+            json_escape(&r.simd),
+            r.tuned,
             comma
         )?;
     }
@@ -69,10 +83,80 @@ fn write_json(path: &std::path::Path, records: &[Record]) -> std::io::Result<()>
     Ok(())
 }
 
+fn format_kind(fmt: Format) -> FormatKind {
+    match fmt {
+        Format::Coo => FormatKind::Coo,
+        Format::Hicoo => FormatKind::Hicoo,
+    }
+}
+
+/// Runs the measured search over every tensor of the dataset — or a single
+/// profile when the first argument names one (e.g. `--tune s1`) — persists
+/// the merged table and prints the before/after rows.
+fn tune_main(selector: Option<&str>, kind: DatasetKind, scale: f64, threads: usize) {
+    eprintln!("materializing dataset at scale {scale}...");
+    let tensors = match selector.and_then(|key| load_one(key, scale)) {
+        Some(bt) => vec![bt],
+        None => load_dataset(kind, scale),
+    };
+    let path = std::path::Path::new(TUNE_PATH);
+    let mut table = TuneTable::load(path).unwrap_or_default();
+    println!("kernel,format,bucket,threads,chunk,dense_threshold,block_size,baseline_ns,tuned_ns,speedup");
+    for bt in &tensors {
+        eprintln!("tuning on {} ({} nnz)...", bt.profile.name, bt.stats.nnz);
+        let entries = match tune_tensor(&bt.tensor, &bt.stats, threads) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("  skipped: {e}");
+                continue;
+            }
+        };
+        for e in entries {
+            println!(
+                "{},{},{},{},{},{},{},{:.1},{:.1},{:.3}",
+                e.kernel,
+                e.format.label(),
+                e.bucket,
+                e.threads,
+                e.params.chunk,
+                e.params.dense_threshold,
+                e.params.block_size,
+                e.baseline_ns,
+                e.tuned_ns,
+                e.speedup(),
+            );
+            table.upsert(e);
+        }
+    }
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match table.save(path) {
+        Ok(()) => eprintln!("wrote {} entries to {}", table.entries.len(), path.display()),
+        Err(e) => {
+            eprintln!("failed to write tune table: {e}");
+            std::process::exit(1);
+        }
+    }
+    // The table a later run loads must reproduce what was just measured.
+    match TuneTable::load(path) {
+        Ok(back) if back == table => eprintln!("round-trip verified"),
+        Ok(_) => {
+            eprintln!("round-trip mismatch: reloaded table differs");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("round-trip failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    args.retain(|a| a != "--json");
+    let tune = args.iter().any(|a| a == "--tune");
+    args.retain(|a| a != "--json" && a != "--tune");
     let kind: DatasetKind = args
         .first()
         .map(|s| s.parse().unwrap_or(DatasetKind::Synthetic))
@@ -80,20 +164,33 @@ fn main() {
     let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
     let threads: usize =
         args.get(2).and_then(|s| s.parse().ok()).unwrap_or_else(pasta_par::default_threads);
+    if tune {
+        tune_main(args.first().map(String::as_str), kind, scale, threads);
+        return;
+    }
     let ctx = Ctx::new(threads, Schedule::Dynamic(256));
+    let table = TuneTable::load(std::path::Path::new(TUNE_PATH)).unwrap_or_default();
+    if !table.entries.is_empty() {
+        eprintln!("loaded {} tuned entries from {TUNE_PATH}", table.entries.len());
+    }
+    let simd = simd_level().label();
 
     eprintln!("materializing dataset at scale {scale}...");
     let tensors = load_dataset(kind, scale);
     let mut records = Vec::new();
-    println!("tensor,name,nnz,kernel,format,time_s,gflops,oi,strategy");
+    println!("tensor,name,nnz,kernel,format,time_s,gflops,oi,strategy,simd,tuned");
     for bt in &tensors {
+        let bucket = TensorBucket::from_stats(&bt.stats).key();
         for k in Kernel::ALL {
             for fmt in [Format::Coo, Format::Hicoo] {
-                let run = run_host(bt, k, fmt, &ctx);
+                let entry = table.lookup(k, format_kind(fmt), &bucket);
+                let row_ctx = entry.map_or(ctx, |e| ctx.with_tuning(e.params));
+                let tuned = entry.is_some();
+                let run = run_host(bt, k, fmt, &row_ctx);
                 let (flops, bytes) = mode_avg_cost(bt, k, fmt);
                 let strategy = run.strategy.clone().unwrap_or_default();
                 println!(
-                    "{},{},{},{},{},{:.6e},{:.4},{:.4},{}",
+                    "{},{},{},{},{},{:.6e},{:.4},{:.4},{},{},{}",
                     bt.profile.id,
                     bt.profile.name,
                     bt.stats.nnz,
@@ -102,7 +199,9 @@ fn main() {
                     run.time,
                     run.gflops,
                     flops / bytes,
-                    strategy
+                    strategy,
+                    simd,
+                    tuned
                 );
                 if json {
                     records.push(Record {
@@ -115,26 +214,34 @@ fn main() {
                         gflops: run.gflops,
                         oi: flops / bytes,
                         strategy,
+                        simd: simd.to_string(),
+                        tuned,
                     });
                 }
             }
         }
         // The serial-atomic vs owner-computes vs privatized MTTKRP ablation
         // (COO only; the atomic baseline lives in this crate).
+        let entry = table.lookup(Kernel::Mttkrp, FormatKind::Coo, &bucket);
+        let abl_ctx = entry.map_or(ctx, |e| ctx.with_tuning(e.params));
+        let tuned = entry.is_some();
         for variant in [MttkrpVariant::Atomic, MttkrpVariant::Owner, MttkrpVariant::Privatized] {
-            let run = run_host_mttkrp_variant(bt, variant, &ctx);
+            let run = run_host_mttkrp_variant(bt, variant, &abl_ctx);
             let (flops, bytes) = mode_avg_cost(bt, Kernel::Mttkrp, Format::Coo);
             let strategy = run.strategy.clone().unwrap_or_default();
             println!(
-                "{},{},{},MTTKRP[{}],coo,{:.6e},{:.4},{:.4},{}",
+                "{},{},{},MTTKRP[{}],{},{:.6e},{:.4},{:.4},{},{},{}",
                 bt.profile.id,
                 bt.profile.name,
                 bt.stats.nnz,
                 variant,
+                Format::Coo,
                 run.time,
                 run.gflops,
                 flops / bytes,
-                strategy
+                strategy,
+                simd,
+                tuned
             );
             if json {
                 records.push(Record {
@@ -142,11 +249,13 @@ fn main() {
                     name: bt.profile.name.to_string(),
                     nnz: bt.stats.nnz,
                     kernel: format!("MTTKRP[{variant}]"),
-                    format: "coo".to_string(),
+                    format: Format::Coo.to_string(),
                     time_ns: run.time * 1e9,
                     gflops: run.gflops,
                     oi: flops / bytes,
                     strategy,
+                    simd: simd.to_string(),
+                    tuned,
                 });
             }
         }

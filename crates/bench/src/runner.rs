@@ -90,8 +90,7 @@ pub fn run_host(bt: &BenchTensor, kernel: Kernel, format: Format, ctx: &Ctx) -> 
                         time_reps(|| plan.execute_values(&v, &mut out, ctx).expect("ttv"))
                     }
                     Format::Hicoo => {
-                        let plan =
-                            TtvHicooPlan::new(x, n, crate::datasets::BLOCK_SIZE).expect("plan");
+                        let plan = TtvHicooPlan::new(x, n, ctx.block_size()).expect("plan");
                         let mut out = vec![0.0f32; plan.num_fibers()];
                         time_reps(|| plan.execute_values(&v, &mut out, ctx).expect("ttv"))
                     }
@@ -112,8 +111,7 @@ pub fn run_host(bt: &BenchTensor, kernel: Kernel, format: Format, ctx: &Ctx) -> 
                         time_reps(|| plan.execute_values(&u, &mut out, ctx).expect("ttm"))
                     }
                     Format::Hicoo => {
-                        let plan =
-                            TtmHicooPlan::new(x, n, crate::datasets::BLOCK_SIZE).expect("plan");
+                        let plan = TtmHicooPlan::new(x, n, ctx.block_size()).expect("plan");
                         let mut out = vec![0.0f32; plan.num_fibers() * RANK];
                         time_reps(|| plan.execute_values(&u, &mut out, ctx).expect("ttm"))
                     }
@@ -127,6 +125,11 @@ pub fn run_host(bt: &BenchTensor, kernel: Kernel, format: Format, ctx: &Ctx) -> 
             let factors: Vec<DenseMatrix<f32>> = (0..order)
                 .map(|mm| seeded_matrix(x.shape().dim(mm) as usize, RANK, 11 + mm as u64))
                 .collect();
+            // A tuned block size differing from the pre-built blocking means
+            // re-blocking the tensor — pre-processing, like plan construction.
+            let reblocked = (ctx.block_size() != bt.hicoo.block_size())
+                .then(|| pasta_core::HiCooTensor::from_coo(x, ctx.block_size()).expect("hicoo"));
+            let hicoo = reblocked.as_ref().unwrap_or(&bt.hicoo);
             let mut total = 0.0;
             let mut strategies: Vec<String> = Vec::new();
             for n in 0..order {
@@ -138,7 +141,7 @@ pub fn run_host(bt: &BenchTensor, kernel: Kernel, format: Format, ctx: &Ctx) -> 
                     }),
                     Format::Hicoo => time_reps(|| {
                         let (_, run) =
-                            mttkrp_hicoo_traced(&bt.hicoo, &factors, n, ctx).expect("mttkrp");
+                            mttkrp_hicoo_traced(hicoo, &factors, n, ctx).expect("mttkrp");
                         note = run.strategy.to_string();
                     }),
                 };

@@ -26,10 +26,10 @@ use pasta_kernels::dense_ref::{
     mttkrp_dense, tew_dense, ts_dense, ttm_dense, ttv_dense, ORACLE_MAX_ENTRIES,
 };
 use pasta_kernels::{
-    mttkrp_coo, mttkrp_csf_root, mttkrp_hicoo, registry, tew_coo_same_pattern, tew_csf, tew_fcoo,
-    tew_ghicoo, tew_hicoo, tew_scoo, tew_shicoo, ts_coo, ts_csf, ts_fcoo, ts_ghicoo, ts_hicoo,
-    ts_scoo, ts_shicoo, ttm_coo, ttm_hicoo, ttm_scoo, ttv_coo, ttv_csf_leaf, ttv_fcoo, ttv_hicoo,
-    BackendKind, Combo, Ctx, EwOp, FormatKind, Kernel, StrategyChoice, TsOp,
+    force_simd, mttkrp_coo, mttkrp_csf_root, mttkrp_hicoo, registry, tew_coo_same_pattern, tew_csf,
+    tew_fcoo, tew_ghicoo, tew_hicoo, tew_scoo, tew_shicoo, ts_coo, ts_csf, ts_fcoo, ts_ghicoo,
+    ts_hicoo, ts_scoo, ts_shicoo, ttm_coo, ttm_hicoo, ttm_scoo, ttv_coo, ttv_csf_leaf, ttv_fcoo,
+    ttv_hicoo, BackendKind, Combo, Ctx, EwOp, FormatKind, Kernel, SimdLevel, StrategyChoice, TsOp,
 };
 use pasta_par::Schedule;
 use pasta_simt::{launch, p100};
@@ -360,6 +360,23 @@ pub fn skip_reason(
 const POOLS: [usize; 2] = [1, 4];
 const MTTKRP_POOLS: [usize; 2] = [2, 4];
 
+/// Runs `f` with the process-wide SIMD dispatch pinned to `level`
+/// (capped by what the host supports), restoring auto-detection afterwards
+/// even across unwinds. Cells execute sequentially in [`run_matrix`], so
+/// pinning is race-free within a run; on hosts without AVX2 both pinned
+/// runs execute the scalar body and the cell degenerates to `x == x`.
+fn with_simd<T>(level: SimdLevel, f: impl FnOnce() -> T) -> T {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            force_simd(None);
+        }
+    }
+    let _reset = Reset;
+    force_simd(Some(level));
+    f()
+}
+
 fn cpu_ctx(threads: usize) -> Ctx {
     Ctx::new(threads, Schedule::Static)
 }
@@ -455,6 +472,19 @@ fn push_combo_cells(cs: &mut Vec<Cell>, combo: Combo) {
                     Ok((got, want))
                 }));
             }
+            // SIMD dispatch parity: the vectorized gather_dot reduces in
+            // fixed-width lanes, so it gets its own ULP budget against the
+            // forced-scalar kernel.
+            cs.push(Cell::new("ttv/coo/cpu/simd/t1".into(), TTV_BUDGET, |cc| {
+                let ctx = Ctx::sequential();
+                let got =
+                    with_simd(SimdLevel::Avx2Fma, || ttv_coo(&cc.x, &cc.v, cc.case.mode, &ctx))?
+                        .to_dense(ORACLE_MAX_ENTRIES);
+                let want =
+                    with_simd(SimdLevel::Scalar, || ttv_coo(&cc.x, &cc.v, cc.case.mode, &ctx))?
+                        .to_dense(ORACLE_MAX_ENTRIES);
+                Ok((got, want))
+            }));
         }
         (Kernel::Ttv, FormatKind::Hicoo, Cpu) => {
             for t in POOLS {
@@ -466,6 +496,20 @@ fn push_combo_cells(cs: &mut Vec<Cell>, combo: Combo) {
                     Ok((got, want))
                 }));
             }
+            cs.push(Cell::new("ttv/hicoo/cpu/simd/t1".into(), TTV_BUDGET, |cc| {
+                let ctx = Ctx::sequential();
+                let got = with_simd(SimdLevel::Avx2Fma, || {
+                    ttv_hicoo(&cc.x, &cc.v, cc.case.mode, cc.case.block, &ctx)
+                })?
+                .to_coo()
+                .to_dense(ORACLE_MAX_ENTRIES);
+                let want = with_simd(SimdLevel::Scalar, || {
+                    ttv_hicoo(&cc.x, &cc.v, cc.case.mode, cc.case.block, &ctx)
+                })?
+                .to_coo()
+                .to_dense(ORACLE_MAX_ENTRIES);
+                Ok((got, want))
+            }));
         }
         (Kernel::Ttv, FormatKind::Csf, Cpu) => {
             for t in POOLS {
@@ -516,6 +560,20 @@ fn push_combo_cells(cs: &mut Vec<Cell>, combo: Combo) {
                     Ok((got, want))
                 }));
             }
+            // TTM accumulates through axpy, which is lane-local under SIMD:
+            // bit-identity (budget 0) against forced-scalar, by construction.
+            cs.push(Cell::new("ttm/coo/cpu/simd/t1".into(), 0, |cc| {
+                let ctx = Ctx::sequential();
+                let got =
+                    with_simd(SimdLevel::Avx2Fma, || ttm_coo(&cc.x, &cc.u, cc.case.mode, &ctx))?
+                        .to_coo()
+                        .to_dense(ORACLE_MAX_ENTRIES);
+                let want =
+                    with_simd(SimdLevel::Scalar, || ttm_coo(&cc.x, &cc.u, cc.case.mode, &ctx))?
+                        .to_coo()
+                        .to_dense(ORACLE_MAX_ENTRIES);
+                Ok((got, want))
+            }));
         }
         (Kernel::Ttm, FormatKind::Hicoo, Cpu) => {
             for t in POOLS {
@@ -581,6 +639,18 @@ fn push_combo_cells(cs: &mut Vec<Cell>, combo: Combo) {
                     },
                 ));
             }
+            // The Khatri-Rao inner loops are mul_assign/add_assign —
+            // lane-local under SIMD, so bit-identity (budget 0) holds.
+            cs.push(Cell::new("mttkrp/coo/cpu/simd/t1".into(), 0, |cc| {
+                let ctx = Ctx::sequential();
+                let got = with_simd(SimdLevel::Avx2Fma, || {
+                    mttkrp_coo(&cc.x, &cc.factors, cc.case.mode, &ctx)
+                })?;
+                let want = with_simd(SimdLevel::Scalar, || {
+                    mttkrp_coo(&cc.x, &cc.factors, cc.case.mode, &ctx)
+                })?;
+                Ok((got.as_slice().to_vec(), want.as_slice().to_vec()))
+            }));
         }
         (Kernel::Mttkrp, FormatKind::Hicoo, Cpu) => {
             for t in POOLS {

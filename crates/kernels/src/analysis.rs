@@ -204,6 +204,20 @@ pub struct MttkrpSchedParams {
 ///   [`MttkrpStrategy::PrivatizedSparse`], whose hashed accumulators scale
 ///   with touched rows instead of `out_rows`.
 pub fn choose_mttkrp_strategy(p: &MttkrpSchedParams) -> MttkrpStrategy {
+    choose_mttkrp_strategy_with(p, DEFAULT_DENSE_THRESHOLD)
+}
+
+/// The built-in dense-privatization threshold `T` in `threads·rows ≤ T·nnz`
+/// (the `4×` of [`choose_mttkrp_strategy`]); the measured autotuner in
+/// [`tune`](crate::tune) calibrates a per-bucket replacement.
+pub const DEFAULT_DENSE_THRESHOLD: usize = 4;
+
+/// [`choose_mttkrp_strategy`] with an explicit dense-privatization
+/// threshold `T` (measured by the autotuner) in place of the built-in
+/// [`DEFAULT_DENSE_THRESHOLD`]. The small-output clause
+/// (`out_rows·rank ≤ 2¹⁶`) stays a hard floor regardless of `T`: one tiny
+/// accumulator per worker is never worth hashing.
+pub fn choose_mttkrp_strategy_with(p: &MttkrpSchedParams, threshold: usize) -> MttkrpStrategy {
     if p.threads <= 1 || p.nnz <= 1 {
         return MttkrpStrategy::Sequential;
     }
@@ -211,7 +225,9 @@ pub fn choose_mttkrp_strategy(p: &MttkrpSchedParams) -> MttkrpStrategy {
         return MttkrpStrategy::Owner;
     }
     let dense_cells = p.threads.saturating_mul(p.out_rows);
-    if dense_cells <= 4 * p.nnz || p.out_rows.saturating_mul(p.rank) <= (1 << 16) {
+    if dense_cells <= threshold.saturating_mul(p.nnz)
+        || p.out_rows.saturating_mul(p.rank) <= (1 << 16)
+    {
         MttkrpStrategy::PrivatizedDense
     } else {
         MttkrpStrategy::PrivatizedSparse

@@ -17,7 +17,7 @@
 //! monomorphized generic code performs the same operations in the same
 //! order, keeping results bit-identical per thread count and schedule.
 
-use crate::microkernel::{axpy, gather_dot};
+use crate::microkernel::{axpy, gather_dot, prefetch_read};
 use crate::pipeline::Ctx;
 use pasta_core::{
     CooTensor, Coord, DenseMatrix, Error, FiberCursor, FiberIndex, GHiCooTensor, ModeIndex, Result,
@@ -298,7 +298,15 @@ pub fn ttm_exec<V: Value, C: FiberCursor<V> + Sync>(
                 // so each fiber's R-slot row is owned by one worker.
                 let row = unsafe { shared.slice_mut(f * r..(f + 1) * r) };
                 row.fill(V::ZERO);
-                for x in cur.fiber_entries(f) {
+                let ents = cur.fiber_entries(f);
+                let end = ents.end;
+                for x in ents {
+                    // The U rows are gathered through the sparse index, so
+                    // prefetch ahead where the hardware prefetcher cannot.
+                    let ahead = x + 8;
+                    if ahead < end {
+                        prefetch_read(u.as_slice(), kind[ahead] as usize * r);
+                    }
                     axpy(row, vals[x], u.row(kind[x] as usize));
                 }
             }

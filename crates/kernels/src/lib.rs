@@ -64,13 +64,15 @@ pub mod tew;
 pub mod ts;
 pub mod ttm;
 pub mod ttv;
+pub mod tune;
 
 pub use analysis::{
-    choose_mttkrp_strategy, kernel_cost, resort_pays_off, CostParams, Kernel, KernelCost,
-    MttkrpSchedParams, MttkrpStrategy,
+    choose_mttkrp_strategy, choose_mttkrp_strategy_with, kernel_cost, resort_pays_off, CostParams,
+    Kernel, KernelCost, MttkrpSchedParams, MttkrpStrategy, DEFAULT_DENSE_THRESHOLD,
 };
 pub use csf::{mttkrp_csf_root, ttv_csf_leaf, CsfTtvPlan};
 pub use fcoo::ttv_fcoo;
+pub use microkernel::{force_simd, prefetch_read, simd_level, SimdLevel};
 pub use mttkrp::{
     mttkrp_coo, mttkrp_coo_traced, mttkrp_hicoo, mttkrp_hicoo_traced, MttkrpCooPlan, MttkrpRun,
 };
@@ -87,3 +89,7 @@ pub use ts::{
 };
 pub use ttm::{ttm_coo, ttm_hicoo, ttm_scoo, TtmCooPlan, TtmHicooPlan};
 pub use ttv::{ttv_coo, ttv_hicoo, TtvCooPlan, TtvHicooPlan};
+pub use tune::{
+    host_llc_bytes, tune_tensor, TensorBucket, TuneEntry, TuneTable, TunedParams,
+    DEFAULT_BLOCK_SIZE,
+};

@@ -19,22 +19,30 @@
 //!   thread. Bit-identical to the sequential kernel.
 //! - **privatized reduction** — otherwise, each worker accumulates into a
 //!   private buffer (dense, or a hashed [`SparseAcc`] for hyper-sparse
-//!   outputs) over a static non-zero chunk; buffers merge on the pool via
-//!   [`tree_reduce`]. Deterministic for a fixed thread count; differs from
-//!   sequential only by floating-point association (ULP-level).
+//!   outputs) over a static non-zero chunk. Dense buffers merge through the
+//!   LLC-tiled reduction in `merge_privatized_dense` (destination tile stays
+//!   cache-resident across all buffers); sparse accumulators tree-merge on
+//!   the pool via [`tree_reduce`]. Both are deterministic for a fixed
+//!   thread count; they differ from sequential only by floating-point
+//!   association (ULP-level).
 //!
 //! The inner rank loops run through the unrolled
 //! [`microkernel`](crate::microkernel)s. Per-strategy work counters are
 //! kept in [`mttkrp_counters`].
 
-use crate::analysis::{choose_mttkrp_strategy, MttkrpSchedParams, MttkrpStrategy};
-use crate::microkernel::{add_assign, mul_assign};
+use crate::analysis::{choose_mttkrp_strategy_with, MttkrpSchedParams, MttkrpStrategy};
+use crate::microkernel::{add_assign, mul_assign, prefetch_read};
 use crate::pipeline::{mttkrp_counters, Ctx, StrategyChoice};
 use crate::pipeline::{owner_ranges, SparseAcc};
 use pasta_core::sort::mode_first_order;
 use pasta_core::{CooTensor, Coord, DenseMatrix, Error, HiCooTensor, Result, Shape, Value};
 use pasta_par::{parallel_for, tree_reduce, Schedule, SharedSlice};
 use std::sync::atomic::Ordering;
+
+/// How many entries ahead the accumulation loops prefetch the factor rows
+/// the Khatri-Rao product will gather. The row indices come from the sparse
+/// index columns, so the hardware stride prefetcher cannot follow them.
+const PF_DIST: usize = 8;
 
 fn check_factors<V: Value>(shape: &Shape, factors: &[DenseMatrix<V>], n: usize) -> Result<usize> {
     shape.check_mode(n)?;
@@ -83,20 +91,19 @@ pub struct MttkrpRun {
 /// non-decreasing. A forced `Owner` on unsorted rows falls back to
 /// privatization (owner-computes would race); a forced `Privatized` picks
 /// dense vs. sparse from the cost model.
-fn resolve_strategy(
-    choice: StrategyChoice,
-    p: &MttkrpSchedParams,
-    rows_sorted: bool,
-) -> MttkrpStrategy {
+fn resolve_strategy(ctx: &Ctx, p: &MttkrpSchedParams, rows_sorted: bool) -> MttkrpStrategy {
     if p.threads <= 1 || p.nnz <= 1 {
         return MttkrpStrategy::Sequential;
     }
-    match choice {
-        StrategyChoice::Auto => choose_mttkrp_strategy(p),
+    let threshold = ctx.dense_threshold();
+    match ctx.mttkrp {
+        StrategyChoice::Auto => choose_mttkrp_strategy_with(p, threshold),
         StrategyChoice::Owner if rows_sorted => MttkrpStrategy::Owner,
         StrategyChoice::Owner | StrategyChoice::Privatized => {
-            match choose_mttkrp_strategy(&MttkrpSchedParams { mode_outermost_sorted: false, ..*p })
-            {
+            match choose_mttkrp_strategy_with(
+                &MttkrpSchedParams { mode_outermost_sorted: false, ..*p },
+                threshold,
+            ) {
                 MttkrpStrategy::Sequential => MttkrpStrategy::Sequential,
                 s => s,
             }
@@ -166,7 +173,7 @@ pub fn mttkrp_coo_traced<V: Value>(
         threads: ctx.threads,
         mode_outermost_sorted: sorted,
     };
-    let strategy = resolve_strategy(ctx.mttkrp, &p, sorted);
+    let strategy = resolve_strategy(ctx, &p, sorted);
 
     let c = mttkrp_counters();
     match strategy {
@@ -201,15 +208,7 @@ pub fn mttkrp_coo_traced<V: Value>(
                     coo_range(x, factors, n, r, chunk, buf);
                 },
             );
-            let merged = tree_reduce(bufs, ctx.threads, |dst, src| {
-                mttkrp_counters()
-                    .merge_bytes
-                    .fetch_add((src.len() * V::BYTES) as u64, Ordering::Relaxed);
-                add_assign(dst, &src);
-            });
-            if let Some(m) = merged {
-                out.as_mut_slice().copy_from_slice(&m);
-            }
+            merge_privatized_dense(out.as_mut_slice(), &bufs, ctx.threads);
         }
         MttkrpStrategy::PrivatizedSparse => {
             c.privatized_nnz.fetch_add(x.nnz() as u64, Ordering::Relaxed);
@@ -220,7 +219,16 @@ pub fn mttkrp_coo_traced<V: Value>(
                 || SparseAcc::<V>::new(r, per_worker),
                 |acc, chunk| {
                     let mut tmp = vec![V::ZERO; r];
+                    let end = chunk.end;
                     for xx in chunk {
+                        let ahead = xx + PF_DIST;
+                        if ahead < end {
+                            for (m, f) in factors.iter().enumerate() {
+                                if m != n {
+                                    prefetch_read(f.as_slice(), x.mode_inds(m)[ahead] as usize * r);
+                                }
+                            }
+                        }
                         khatri_rao_row(x, factors, n, xx, &mut tmp);
                         add_assign(acc.row_mut(x.mode_inds(n)[xx]), &tmp);
                     }
@@ -271,6 +279,52 @@ where
     bufs.into_iter().map(|b| b.expect("participant wrote its buffer")).collect()
 }
 
+/// Merges per-worker dense accumulators into the (zeroed) output, tiled for
+/// LLC residency.
+///
+/// The naive pairwise tree-reduce streams whole `rows × R` buffers through
+/// the cache once per tree level: for outputs larger than the LLC every
+/// level re-misses the full working set. Here the output is cut into tiles
+/// sized by the working-set model in [`merge_tile_len`] (destination tile +
+/// one streaming source tile within half the LLC), and each tile accumulates
+/// *all* buffers before the next tile starts, so the destination stays
+/// resident across the whole reduction depth.
+///
+/// Buffers are applied in participant order regardless of which worker owns
+/// a tile, so the result is deterministic for a fixed participant count —
+/// the same contract the tree-reduce had.
+fn merge_privatized_dense<V: Value>(out: &mut [V], bufs: &[Vec<V>], threads: usize) {
+    let len = out.len();
+    mttkrp_counters()
+        .merge_bytes
+        .fetch_add((bufs.len() * len * V::BYTES) as u64, Ordering::Relaxed);
+    let tile = merge_tile_len::<V>();
+    let ntiles = len.div_ceil(tile.max(1)).max(1);
+    let shared = SharedSlice::new(out);
+    parallel_for(ntiles, threads, Schedule::Static, |ts| {
+        for t in ts {
+            let lo = t * tile;
+            let hi = ((t + 1) * tile).min(len);
+            // SAFETY: tiles partition `out`; each tile index is visited by
+            // exactly one worker.
+            let dst = unsafe { shared.slice_mut(lo..hi) };
+            for buf in bufs {
+                add_assign(dst, &buf[lo..hi]);
+            }
+        }
+    });
+}
+
+/// Tile length (in values) for [`merge_privatized_dense`]: the destination
+/// tile plus one streaming source tile should fit in half the last-level
+/// cache (`2 · tile · BYTES ≤ LLC/2`), leaving the other half for the fill
+/// phase's factor rows. The LLC size comes from
+/// [`host_llc_bytes`](crate::tune::host_llc_bytes) (`PASTA_LLC_BYTES`
+/// override, else a conservative default).
+fn merge_tile_len<V: Value>() -> usize {
+    (crate::tune::host_llc_bytes() / (4 * V::BYTES)).max(1024)
+}
+
 /// Sequential accumulation of `chunk` into `out` (full output slice).
 fn coo_range<V: Value>(
     x: &CooTensor<V>,
@@ -295,7 +349,16 @@ fn coo_range_offset<V: Value>(
     row0: usize,
 ) {
     let mut tmp = vec![V::ZERO; r];
+    let end = chunk.end;
     for xx in chunk {
+        let ahead = xx + PF_DIST;
+        if ahead < end {
+            for (m, f) in factors.iter().enumerate() {
+                if m != n {
+                    prefetch_read(f.as_slice(), x.mode_inds(m)[ahead] as usize * r);
+                }
+            }
+        }
         khatri_rao_row(x, factors, n, xx, &mut tmp);
         let i = x.mode_inds(n)[xx] as usize - row0;
         add_assign(&mut out[i * r..(i + 1) * r], &tmp);
@@ -432,7 +495,7 @@ pub fn mttkrp_hicoo_traced<V: Value>(
         threads: ctx.threads,
         mode_outermost_sorted: sorted,
     };
-    let strategy = resolve_strategy(ctx.mttkrp, &p, sorted);
+    let strategy = resolve_strategy(ctx, &p, sorted);
 
     let c = mttkrp_counters();
     match strategy {
@@ -473,15 +536,7 @@ pub fn mttkrp_hicoo_traced<V: Value>(
                 || vec![V::ZERO; rows * r],
                 |buf, blocks| hicoo_blocks(x, factors, n, r, blocks, buf),
             );
-            let merged = tree_reduce(bufs, ctx.threads, |dst, src| {
-                mttkrp_counters()
-                    .merge_bytes
-                    .fetch_add((src.len() * V::BYTES) as u64, Ordering::Relaxed);
-                add_assign(dst, &src);
-            });
-            if let Some(m) = merged {
-                out.as_mut_slice().copy_from_slice(&m);
-            }
+            merge_privatized_dense(out.as_mut_slice(), &bufs, ctx.threads);
         }
     }
     let strategy =
@@ -518,7 +573,19 @@ fn hicoo_blocks_offset<V: Value>(
         for (m, base) in bases.iter_mut().enumerate() {
             *base = (x.mode_binds(m)[b] as usize) << bits;
         }
+        let be = x.block_range(b).end;
         for xx in x.block_range(b) {
+            let ahead = xx + PF_DIST;
+            if ahead < be {
+                // Within a block the per-mode row window is bases[m] + eind,
+                // so the gathered rows are prefetchable the same way.
+                for (m, f) in factors.iter().enumerate() {
+                    if m != n {
+                        let row = bases[m] + x.mode_einds(m)[ahead] as usize;
+                        prefetch_read(f.as_slice(), row * r);
+                    }
+                }
+            }
             tmp.fill(x.vals()[xx]);
             for (m, f) in factors.iter().enumerate() {
                 if m != n {

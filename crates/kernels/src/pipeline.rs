@@ -173,17 +173,20 @@ pub struct Ctx {
     pub schedule: Schedule,
     /// MTTKRP scheduling strategy (default: cost-model auto-selection).
     pub mttkrp: StrategyChoice,
+    /// Measured scheduling parameters (from the [`tune`](crate::tune)
+    /// tables); `None` means the built-in model constants apply.
+    pub tuning: Option<crate::tune::TunedParams>,
 }
 
 impl Ctx {
     /// A context with explicit thread count and schedule.
     pub fn new(threads: usize, schedule: Schedule) -> Self {
-        Self { threads: threads.max(1), schedule, mttkrp: StrategyChoice::Auto }
+        Self { threads: threads.max(1), schedule, mttkrp: StrategyChoice::Auto, tuning: None }
     }
 
     /// Single-threaded execution.
     pub fn sequential() -> Self {
-        Self { threads: 1, schedule: Schedule::Static, mttkrp: StrategyChoice::Auto }
+        Self { threads: 1, schedule: Schedule::Static, mttkrp: StrategyChoice::Auto, tuning: None }
     }
 
     /// All available cores with the suite's default dynamic schedule
@@ -193,6 +196,7 @@ impl Ctx {
             threads: pasta_par::default_threads(),
             schedule: Schedule::default_dynamic(),
             mttkrp: StrategyChoice::Auto,
+            tuning: None,
         }
     }
 
@@ -200,6 +204,29 @@ impl Ctx {
     pub fn with_mttkrp(mut self, choice: StrategyChoice) -> Self {
         self.mttkrp = choice;
         self
+    }
+
+    /// The same context carrying measured tuning parameters. If the
+    /// context's schedule is dynamic, its chunk size follows the tuned one;
+    /// static/guided schedules are left alone (they have no chunk knob).
+    pub fn with_tuning(mut self, params: crate::tune::TunedParams) -> Self {
+        if matches!(self.schedule, Schedule::Dynamic(_)) {
+            self.schedule = Schedule::Dynamic(params.chunk.max(1));
+        }
+        self.tuning = Some(params);
+        self
+    }
+
+    /// The dense-privatization threshold the MTTKRP strategy choice should
+    /// use: the tuned one if present, else the model default.
+    pub fn dense_threshold(&self) -> usize {
+        self.tuning.map(|t| t.dense_threshold).unwrap_or(crate::analysis::DEFAULT_DENSE_THRESHOLD)
+    }
+
+    /// The HiCOO block size plans built under this context should use: the
+    /// tuned one if present, else the suite default `B = 128`.
+    pub fn block_size(&self) -> u32 {
+        self.tuning.map(|t| t.block_size).unwrap_or(crate::tune::DEFAULT_BLOCK_SIZE)
     }
 
     /// Whether this context runs on one thread.

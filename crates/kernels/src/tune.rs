@@ -1,0 +1,891 @@
+//! Measured autotuning of scheduling parameters.
+//!
+//! The cost models in [`analysis`](crate::analysis) separate *regimes* with
+//! hard-coded constants (dynamic chunk 256, dense-privatization threshold 4,
+//! HiCOO block size 128). Within a regime the best setting is
+//! tensor-dependent — Liu et al. observe the same for their unified GPU
+//! scheduling parameters — so this module runs a small *measured* search per
+//! `(kernel, format, tensor-stats bucket)` and persists the winners:
+//!
+//! - **chunk size** of the dynamic loop schedule (TTV/TTM value loops);
+//! - **dense-privatization threshold** `T` in `threads·rows ≤ T·nnz`
+//!   (MTTKRP strategy choice), calibrated from a forced dense-vs-sparse
+//!   privatized measurement;
+//! - **HiCOO block size** `B` (locality/compression trade-off), measured by
+//!   rebuilding the blocked plan per candidate and timing only the value
+//!   computation.
+//!
+//! Results are keyed by a coarse [`TensorBucket`] (non-zero scale, density
+//! class, fiber balance) rather than by tensor identity, so a table tuned on
+//! one dataset generalizes to like-shaped tensors. [`TuneTable`] serializes
+//! to `results/TUNE_host.json` (written by `hostrun --tune`) and is loaded
+//! back at bench time: [`Ctx::with_tuning`](crate::Ctx::with_tuning) carries
+//! a [`TunedParams`] into the kernels, where the strategy choice and the
+//! plan construction consult it instead of the built-in constants.
+
+use crate::analysis::{Kernel, DEFAULT_DENSE_THRESHOLD};
+use crate::pipeline::{Ctx, FormatKind, StrategyChoice};
+use crate::{mttkrp_coo_traced, mttkrp_hicoo_traced, TtmCooPlan, TtmHicooPlan};
+use crate::{TtvCooPlan, TtvHicooPlan};
+use pasta_core::{
+    seeded_matrix, seeded_vector, CooTensor, DenseMatrix, DenseVector, Error, HiCooTensor, Result,
+    TensorStats,
+};
+use pasta_par::Schedule;
+use std::time::Instant;
+
+/// Dynamic-schedule chunk sizes the search measures.
+pub const CHUNK_CANDIDATES: [usize; 3] = [64, 256, 1024];
+
+/// HiCOO block sizes the search measures (all within the valid `2..=256`).
+pub const BLOCK_CANDIDATES: [u32; 3] = [16, 64, 128];
+
+/// Default HiCOO block size (the paper fixes `B = 128`).
+pub const DEFAULT_BLOCK_SIZE: u32 = 128;
+
+/// Timed repetitions per search point (min is taken; one warm-up first).
+const TUNE_REPS: usize = 3;
+
+/// Factor rank used by the search (the suite's default `R = 16`).
+const TUNE_RANK: usize = 16;
+
+/// The host's last-level cache size in bytes, used by the working-set
+/// models (LLC-tiled privatized merge, tile sizing).
+///
+/// Override with `PASTA_LLC_BYTES`; defaults to a conservative 32 MiB.
+pub fn host_llc_bytes() -> usize {
+    static LLC: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *LLC.get_or_init(|| {
+        std::env::var("PASTA_LLC_BYTES")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&b| b > 0)
+            .unwrap_or(32 << 20)
+    })
+}
+
+/// Measured scheduling parameters a [`Ctx`] can carry into the kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TunedParams {
+    /// Dynamic-schedule chunk size for the parallel value loops.
+    pub chunk: usize,
+    /// Dense-privatization threshold `T` in `threads·rows ≤ T·nnz`
+    /// (see [`choose_mttkrp_strategy_with`](crate::analysis::choose_mttkrp_strategy_with)).
+    pub dense_threshold: usize,
+    /// HiCOO block size `B` for blocked plans.
+    pub block_size: u32,
+}
+
+impl Default for TunedParams {
+    fn default() -> Self {
+        Self {
+            chunk: Schedule::DEFAULT_CHUNK,
+            dense_threshold: DEFAULT_DENSE_THRESHOLD,
+            block_size: DEFAULT_BLOCK_SIZE,
+        }
+    }
+}
+
+/// The coarse tensor-statistics key a tuning entry generalizes over.
+///
+/// Buckets deliberately quantize hard: the measured search separates
+/// settings that differ by integer factors across *shapes* of tensors, not
+/// within near-identical ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorBucket {
+    /// Non-zero scale: 0 `<10⁴`, 1 `<10⁵`, 2 `<10⁶`, 3 `≥10⁶`.
+    pub nnz_class: u8,
+    /// Density: 0 dense-ish (`≥10⁻³`), 1 sparse (`≥10⁻⁶`), 2 hyper-sparse.
+    pub density_class: u8,
+    /// Fiber balance: 0 balanced, 1 skewed (some mode's longest fiber is
+    /// ≥ 4× that mode's mean fiber length).
+    pub balance_class: u8,
+}
+
+impl TensorBucket {
+    /// Buckets the statistics of a tensor.
+    pub fn from_stats(stats: &TensorStats) -> Self {
+        let nnz_class = match stats.nnz {
+            n if n < 10_000 => 0,
+            n if n < 100_000 => 1,
+            n if n < 1_000_000 => 2,
+            _ => 3,
+        };
+        let density_class = if stats.density >= 1e-3 {
+            0
+        } else if stats.density >= 1e-6 {
+            1
+        } else {
+            2
+        };
+        let skewed = stats.fiber_counts.iter().zip(&stats.max_fiber_lens).any(|(&mf, &max)| {
+            mf > 0 && max as f64 >= 4.0 * (stats.nnz as f64 / mf as f64).max(1.0)
+        });
+        Self { nnz_class, density_class, balance_class: u8::from(skewed) }
+    }
+
+    /// The stable string key used in the persisted table.
+    pub fn key(&self) -> String {
+        let nnz = ["xs", "s", "m", "l"][self.nnz_class.min(3) as usize];
+        let den = ["dense", "sparse", "hyper"][self.density_class.min(2) as usize];
+        let bal = ["balanced", "skewed"][self.balance_class.min(1) as usize];
+        format!("nnz:{nnz}|den:{den}|fib:{bal}")
+    }
+}
+
+impl std::fmt::Display for TensorBucket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.key())
+    }
+}
+
+/// One tuned `(kernel, format, bucket)` row with its measured evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneEntry {
+    /// The kernel the search measured.
+    pub kernel: Kernel,
+    /// The input format the search measured.
+    pub format: FormatKind,
+    /// The [`TensorBucket::key`] of the tensor the entry was tuned on.
+    pub bucket: String,
+    /// Worker count the measurements ran with.
+    pub threads: usize,
+    /// The winning parameters.
+    pub params: TunedParams,
+    /// Time at the default parameters (nanoseconds, min over reps).
+    pub baseline_ns: f64,
+    /// Time at the winning parameters (nanoseconds, min over reps).
+    pub tuned_ns: f64,
+}
+
+impl TuneEntry {
+    /// Measured speedup of the tuned parameters over the defaults.
+    pub fn speedup(&self) -> f64 {
+        if self.tuned_ns > 0.0 {
+            self.baseline_ns / self.tuned_ns
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A persisted set of [`TuneEntry`] rows (`results/TUNE_host.json`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TuneTable {
+    /// All tuned rows.
+    pub entries: Vec<TuneEntry>,
+}
+
+impl TuneTable {
+    /// Looks up the tuned parameters for a kernel × format × bucket.
+    pub fn lookup(&self, kernel: Kernel, format: FormatKind, bucket: &str) -> Option<&TuneEntry> {
+        self.entries.iter().find(|e| e.kernel == kernel && e.format == format && e.bucket == bucket)
+    }
+
+    /// Adds or replaces the entry for `e`'s (kernel, format, bucket).
+    pub fn upsert(&mut self, e: TuneEntry) {
+        if let Some(slot) = self
+            .entries
+            .iter_mut()
+            .find(|x| x.kernel == e.kernel && x.format == e.format && x.bucket == e.bucket)
+        {
+            *slot = e;
+        } else {
+            self.entries.push(e);
+        }
+    }
+
+    /// Serializes the table (stable field order, newline-terminated).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"llc_bytes\": {},\n", host_llc_bytes()));
+        s.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"format\": \"{}\", \"bucket\": \"{}\", \
+                 \"threads\": {}, \"chunk\": {}, \"dense_threshold\": {}, \"block_size\": {}, \
+                 \"baseline_ns\": {:.1}, \"tuned_ns\": {:.1}}}{}\n",
+                e.kernel,
+                e.format.label(),
+                e.bucket,
+                e.threads,
+                e.params.chunk,
+                e.params.dense_threshold,
+                e.params.block_size,
+                e.baseline_ns,
+                e.tuned_ns,
+                if i + 1 < self.entries.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses a table serialized by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OperandMismatch`] on malformed JSON or unknown
+    /// kernel/format labels.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let root = json::parse(text)?;
+        let entries = match root.get("entries") {
+            Some(json::Json::Arr(items)) => items,
+            _ => return Err(bad("missing \"entries\" array")),
+        };
+        let mut table = TuneTable::default();
+        for item in entries {
+            let kernel = kernel_from_label(item.str_field("kernel")?)?;
+            let format = format_from_label(item.str_field("format")?)?;
+            let bucket = item.str_field("bucket")?.to_string();
+            let params = TunedParams {
+                chunk: item.num_field("chunk")? as usize,
+                dense_threshold: item.num_field("dense_threshold")? as usize,
+                block_size: item.num_field("block_size")? as u32,
+            };
+            table.entries.push(TuneEntry {
+                kernel,
+                format,
+                bucket,
+                threads: item.num_field("threads")? as usize,
+                params,
+                baseline_ns: item.num_field("baseline_ns")?,
+                tuned_ns: item.num_field("tuned_ns")?,
+            });
+        }
+        Ok(table)
+    }
+
+    /// Writes the table to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OperandMismatch`] wrapping the I/O failure.
+    pub fn save(&self, path: &std::path::Path) -> Result<()> {
+        std::fs::write(path, self.to_json())
+            .map_err(|e| bad(&format!("writing {}: {e}", path.display())))
+    }
+
+    /// Reads a table from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OperandMismatch`] on I/O or parse failure.
+    pub fn load(path: &std::path::Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| bad(&format!("reading {}: {e}", path.display())))?;
+        Self::from_json(&text)
+    }
+}
+
+fn bad(what: &str) -> Error {
+    Error::OperandMismatch { what: format!("tune table: {what}") }
+}
+
+fn kernel_from_label(s: &str) -> Result<Kernel> {
+    Kernel::ALL
+        .into_iter()
+        .find(|k| k.to_string() == s)
+        .ok_or_else(|| bad(&format!("unknown kernel {s:?}")))
+}
+
+fn format_from_label(s: &str) -> Result<FormatKind> {
+    FormatKind::ALL
+        .into_iter()
+        .find(|f| f.label() == s)
+        .ok_or_else(|| bad(&format!("unknown format {s:?}")))
+}
+
+/// Minimum of `TUNE_REPS` timed runs (after one warm-up), in nanoseconds.
+fn measure_ns<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..TUNE_REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn ctx_with(threads: usize, params: TunedParams) -> Ctx {
+    Ctx::new(threads, Schedule::Dynamic(params.chunk)).with_tuning(params)
+}
+
+/// Runs the measured search for one tensor and returns one [`TuneEntry`]
+/// per contraction kernel × {COO, HiCOO}.
+///
+/// Mode 0 is measured (tuning all modes would triple the cost for
+/// parameters that are not mode-specific). Plan construction — sorting,
+/// blocking, fiber discovery — is pre-processing and excluded from the
+/// timings, exactly like the bench harness.
+///
+/// # Errors
+///
+/// Returns an error if a plan cannot be built (e.g. first-order tensors).
+pub fn tune_tensor(
+    x: &CooTensor<f32>,
+    stats: &TensorStats,
+    threads: usize,
+) -> Result<Vec<TuneEntry>> {
+    let bucket = TensorBucket::from_stats(stats).key();
+    let n = 0usize;
+    let mut entries = Vec::new();
+
+    let v: DenseVector<f32> = seeded_vector(x.shape().dim(n) as usize, 7);
+    let u: DenseMatrix<f32> = seeded_matrix(x.shape().dim(n) as usize, TUNE_RANK, 9);
+    let factors: Vec<DenseMatrix<f32>> = (0..x.order())
+        .map(|m| seeded_matrix(x.shape().dim(m) as usize, TUNE_RANK, 11 + m as u64))
+        .collect();
+
+    // TTV / TTM over COO: chunk-size search on a fixed plan.
+    {
+        let plan = TtvCooPlan::new(x, n)?;
+        let mut out = vec![0.0f32; plan.num_fibers()];
+        let (params, baseline_ns, tuned_ns) = search_chunk(threads, |ctx| {
+            let r = plan.execute_values(&v, &mut out, ctx);
+            debug_assert!(r.is_ok());
+        })?;
+        entries.push(TuneEntry {
+            kernel: Kernel::Ttv,
+            format: FormatKind::Coo,
+            bucket: bucket.clone(),
+            threads,
+            params,
+            baseline_ns,
+            tuned_ns,
+        });
+    }
+    {
+        let plan = TtmCooPlan::new(x, n)?;
+        let mut out = vec![0.0f32; plan.num_fibers() * TUNE_RANK];
+        let (params, baseline_ns, tuned_ns) = search_chunk(threads, |ctx| {
+            let r = plan.execute_values(&u, &mut out, ctx);
+            debug_assert!(r.is_ok());
+        })?;
+        entries.push(TuneEntry {
+            kernel: Kernel::Ttm,
+            format: FormatKind::Coo,
+            bucket: bucket.clone(),
+            threads,
+            params,
+            baseline_ns,
+            tuned_ns,
+        });
+    }
+
+    // TTV / TTM over HiCOO: block-size search (plan rebuilt per candidate,
+    // untimed), then the chunk search at the winning block size.
+    {
+        let v = &v;
+        let entry = search_block_then_chunk(threads, |bs| {
+            let plan = TtvHicooPlan::new(x, n, bs)?;
+            let mut out = vec![0.0f32; plan.num_fibers()];
+            Ok(Box::new(move |ctx: &Ctx| {
+                let r = plan.execute_values(v, &mut out, ctx);
+                debug_assert!(r.is_ok());
+            }))
+        })?;
+        entries.push(finish(entry, Kernel::Ttv, FormatKind::Hicoo, &bucket, threads));
+    }
+    {
+        let u = &u;
+        let entry = search_block_then_chunk(threads, |bs| {
+            let plan = TtmHicooPlan::new(x, n, bs)?;
+            let mut out = vec![0.0f32; plan.num_fibers() * TUNE_RANK];
+            Ok(Box::new(move |ctx: &Ctx| {
+                let r = plan.execute_values(u, &mut out, ctx);
+                debug_assert!(r.is_ok());
+            }))
+        })?;
+        entries.push(finish(entry, Kernel::Ttm, FormatKind::Hicoo, &bucket, threads));
+    }
+
+    // MTTKRP over COO: calibrate the dense-privatization threshold from a
+    // forced dense-vs-sparse measurement. Privatization needs at least two
+    // workers, so the calibration runs on max(threads, 2) — on a one-core
+    // host this still ranks total work (merge traffic vs hash overhead).
+    {
+        let tm = threads.max(2);
+        let rows = x.shape().dim(n) as usize;
+        let forced = |threshold: usize| {
+            let params = TunedParams { dense_threshold: threshold, ..TunedParams::default() };
+            let ctx = ctx_with(tm, params).with_mttkrp(StrategyChoice::Privatized);
+            measure_ns(|| {
+                let r = mttkrp_coo_traced(x, &factors, n, &ctx);
+                debug_assert!(r.is_ok());
+            })
+        };
+        let dense_ns = forced(usize::MAX);
+        let sparse_ns = forced(0);
+        // Calibrate T so this bucket's dense_cells/nnz ratio lands on the
+        // measured winner's side of `threads·rows ≤ T·nnz`.
+        let ratio = (tm.saturating_mul(rows)).div_ceil(x.nnz().max(1));
+        let dense_threshold = if dense_ns <= sparse_ns {
+            ratio.max(DEFAULT_DENSE_THRESHOLD)
+        } else {
+            ratio.saturating_sub(1).min(DEFAULT_DENSE_THRESHOLD)
+        };
+        let params = TunedParams { dense_threshold, ..TunedParams::default() };
+        let baseline_ns = measure_ns(|| {
+            let r = mttkrp_coo_traced(x, &factors, n, &ctx_with(threads, TunedParams::default()));
+            debug_assert!(r.is_ok());
+        });
+        // When calibration keeps the default threshold, the tuned run is
+        // the baseline run — don't re-measure noise into the table.
+        let tuned_ns = if params == TunedParams::default() {
+            baseline_ns
+        } else {
+            measure_ns(|| {
+                let r = mttkrp_coo_traced(x, &factors, n, &ctx_with(threads, params));
+                debug_assert!(r.is_ok());
+            })
+        };
+        entries.push(TuneEntry {
+            kernel: Kernel::Mttkrp,
+            format: FormatKind::Coo,
+            bucket: bucket.clone(),
+            threads,
+            params,
+            baseline_ns,
+            tuned_ns,
+        });
+    }
+
+    // MTTKRP over HiCOO: block-size search (conversion untimed).
+    {
+        let mut best: Option<(u32, f64)> = None;
+        let mut baseline_ns = f64::NAN;
+        for bs in BLOCK_CANDIDATES {
+            let h = HiCooTensor::from_coo(x, bs)?;
+            let ctx = ctx_with(threads, TunedParams::default());
+            let ns = measure_ns(|| {
+                let r = mttkrp_hicoo_traced(&h, &factors, n, &ctx);
+                debug_assert!(r.is_ok());
+            });
+            if bs == DEFAULT_BLOCK_SIZE {
+                baseline_ns = ns;
+            }
+            if best.is_none_or(|(_, b)| ns < b) {
+                best = Some((bs, ns));
+            }
+        }
+        let (block_size, tuned_ns) = best.expect("non-empty candidate set");
+        if baseline_ns.is_nan() {
+            baseline_ns = tuned_ns;
+        }
+        entries.push(TuneEntry {
+            kernel: Kernel::Mttkrp,
+            format: FormatKind::Hicoo,
+            bucket: bucket.clone(),
+            threads,
+            params: TunedParams { block_size, ..TunedParams::default() },
+            baseline_ns,
+            tuned_ns,
+        });
+    }
+
+    Ok(entries)
+}
+
+/// Intermediate result of the HiCOO searches.
+struct Searched {
+    params: TunedParams,
+    baseline_ns: f64,
+    tuned_ns: f64,
+}
+
+fn finish(
+    s: Searched,
+    kernel: Kernel,
+    format: FormatKind,
+    bucket: &str,
+    threads: usize,
+) -> TuneEntry {
+    TuneEntry {
+        kernel,
+        format,
+        bucket: bucket.to_string(),
+        threads,
+        params: s.params,
+        baseline_ns: s.baseline_ns,
+        tuned_ns: s.tuned_ns,
+    }
+}
+
+/// Measures `run` at every chunk candidate; returns winning params plus
+/// the default-chunk baseline time.
+fn search_chunk<F: FnMut(&Ctx)>(threads: usize, mut run: F) -> Result<(TunedParams, f64, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    let mut baseline_ns = f64::NAN;
+    for chunk in CHUNK_CANDIDATES {
+        let params = TunedParams { chunk, ..TunedParams::default() };
+        let ctx = ctx_with(threads, params);
+        let ns = measure_ns(|| run(&ctx));
+        if chunk == Schedule::DEFAULT_CHUNK {
+            baseline_ns = ns;
+        }
+        if best.is_none_or(|(_, b)| ns < b) {
+            best = Some((chunk, ns));
+        }
+    }
+    let (chunk, tuned_ns) = best.expect("non-empty candidate set");
+    if baseline_ns.is_nan() {
+        baseline_ns = tuned_ns;
+    }
+    Ok((TunedParams { chunk, ..TunedParams::default() }, baseline_ns, tuned_ns))
+}
+
+/// Block-size search with the default chunk, then a chunk search at the
+/// winning block size. `build` constructs the (untimed) plan per block
+/// size and returns the timed value-computation closure.
+fn search_block_then_chunk<'a, B>(threads: usize, mut build: B) -> Result<Searched>
+where
+    B: FnMut(u32) -> Result<Box<dyn FnMut(&Ctx) + 'a>>,
+{
+    let mut best: Option<(u32, f64)> = None;
+    let mut baseline_ns = f64::NAN;
+    for bs in BLOCK_CANDIDATES {
+        let mut run = build(bs)?;
+        let ctx = ctx_with(threads, TunedParams::default());
+        let ns = measure_ns(|| run(&ctx));
+        if bs == DEFAULT_BLOCK_SIZE {
+            baseline_ns = ns;
+        }
+        if best.is_none_or(|(_, b)| ns < b) {
+            best = Some((bs, ns));
+        }
+    }
+    let (block_size, mut tuned_ns) = best.expect("non-empty candidate set");
+    if baseline_ns.is_nan() {
+        baseline_ns = tuned_ns;
+    }
+    // Chunk refinement at the winning block size.
+    let mut run = build(block_size)?;
+    let mut chunk = Schedule::DEFAULT_CHUNK;
+    for c in CHUNK_CANDIDATES {
+        if c == Schedule::DEFAULT_CHUNK {
+            continue; // already measured as part of the block search
+        }
+        let params = TunedParams { chunk: c, block_size, ..TunedParams::default() };
+        let ns = measure_ns(|| run(&ctx_with(threads, params)));
+        if ns < tuned_ns {
+            tuned_ns = ns;
+            chunk = c;
+        }
+    }
+    Ok(Searched {
+        params: TunedParams { chunk, block_size, ..TunedParams::default() },
+        baseline_ns,
+        tuned_ns,
+    })
+}
+
+/// A deliberately small JSON reader: just what [`TuneTable::from_json`]
+/// needs (objects, arrays, strings without escapes, numbers, bools, null).
+mod json {
+    use super::bad;
+    use pasta_core::Result;
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        /// A number (all JSON numbers read as `f64`).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// A boolean.
+        Bool(bool),
+        /// `null`.
+        Null,
+        /// An array.
+        Arr(Vec<Json>),
+        /// An object, in source order.
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        /// Object member by key.
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// Required string member.
+        pub fn str_field(&self, key: &str) -> Result<&str> {
+            match self.get(key) {
+                Some(Json::Str(s)) => Ok(s),
+                _ => Err(bad(&format!("missing string field {key:?}"))),
+            }
+        }
+
+        /// Required numeric member.
+        pub fn num_field(&self, key: &str) -> Result<f64> {
+            match self.get(key) {
+                Some(Json::Num(n)) => Ok(*n),
+                _ => Err(bad(&format!("missing numeric field {key:?}"))),
+            }
+        }
+    }
+
+    /// Parses a single JSON value (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Json> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(bad(&format!("trailing garbage at byte {pos}")));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Json> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => Ok(Json::Str(string(b, pos)?)),
+            Some(b't') => lit(b, pos, "true", Json::Bool(true)),
+            Some(b'f') => lit(b, pos, "false", Json::Bool(false)),
+            Some(b'n') => lit(b, pos, "null", Json::Null),
+            Some(_) => number(b, pos),
+            None => Err(bad("unexpected end of input")),
+        }
+    }
+
+    fn lit(b: &[u8], pos: &mut usize, word: &str, v: Json) -> Result<Json> {
+        if b[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(v)
+        } else {
+            Err(bad(&format!("expected {word} at byte {pos}", pos = *pos)))
+        }
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Json> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| bad(&format!("bad number at byte {start}")))
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String> {
+        *pos += 1; // opening quote
+        let start = *pos;
+        while *pos < b.len() && b[*pos] != b'"' {
+            if b[*pos] == b'\\' {
+                return Err(bad("string escapes are not supported"));
+            }
+            *pos += 1;
+        }
+        if *pos >= b.len() {
+            return Err(bad("unterminated string"));
+        }
+        let s =
+            std::str::from_utf8(&b[start..*pos]).map_err(|_| bad("non-UTF-8 string"))?.to_string();
+        *pos += 1; // closing quote
+        Ok(s)
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<Json> {
+        *pos += 1; // '['
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(bad(&format!("expected , or ] at byte {pos}", pos = *pos))),
+            }
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<Json> {
+        *pos += 1; // '{'
+        let mut members = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b'"') {
+                return Err(bad(&format!("expected key at byte {pos}", pos = *pos)));
+            }
+            let key = string(b, pos)?;
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b':') {
+                return Err(bad(&format!("expected : at byte {pos}", pos = *pos)));
+            }
+            *pos += 1;
+            members.push((key, value(b, pos)?));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(bad(&format!("expected , or }} at byte {pos}", pos = *pos))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_core::Shape;
+
+    fn table() -> TuneTable {
+        TuneTable {
+            entries: vec![
+                TuneEntry {
+                    kernel: Kernel::Ttv,
+                    format: FormatKind::Coo,
+                    bucket: "nnz:s|den:sparse|fib:balanced".into(),
+                    threads: 4,
+                    params: TunedParams { chunk: 1024, ..TunedParams::default() },
+                    baseline_ns: 1000.0,
+                    tuned_ns: 800.0,
+                },
+                TuneEntry {
+                    kernel: Kernel::Mttkrp,
+                    format: FormatKind::Hicoo,
+                    bucket: "nnz:l|den:hyper|fib:skewed".into(),
+                    threads: 4,
+                    params: TunedParams { block_size: 32, dense_threshold: 9, chunk: 64 },
+                    baseline_ns: 5.5,
+                    tuned_ns: 4.5,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let t = table();
+        let parsed = TuneTable::from_json(&t.to_json()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn lookup_and_upsert() {
+        let mut t = table();
+        let hit = t
+            .lookup(Kernel::Ttv, FormatKind::Coo, "nnz:s|den:sparse|fib:balanced")
+            .expect("present");
+        assert_eq!(hit.params.chunk, 1024);
+        assert!((hit.speedup() - 1.25).abs() < 1e-12);
+        assert!(t.lookup(Kernel::Ttv, FormatKind::Coo, "nnz:l|den:hyper|fib:skewed").is_none());
+
+        let mut e = t.entries[0].clone();
+        e.params.chunk = 64;
+        t.upsert(e);
+        assert_eq!(t.entries.len(), 2, "upsert replaces, not appends");
+        assert_eq!(
+            t.lookup(Kernel::Ttv, FormatKind::Coo, "nnz:s|den:sparse|fib:balanced")
+                .unwrap()
+                .params
+                .chunk,
+            64
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(TuneTable::from_json("").is_err());
+        assert!(TuneTable::from_json("{}").is_err());
+        assert!(TuneTable::from_json("{\"entries\": [{\"kernel\": \"NOPE\"}]}").is_err());
+        assert!(TuneTable::from_json("{\"entries\": []} garbage").is_err());
+        let ok = TuneTable::from_json("{\"entries\": []}").unwrap();
+        assert!(ok.entries.is_empty());
+    }
+
+    #[test]
+    fn buckets_quantize_stats() {
+        let small = TensorStats {
+            order: 3,
+            dims: vec![10, 10, 10],
+            nnz: 500,
+            density: 0.5,
+            fiber_counts: vec![100, 100, 100],
+            max_fiber_lens: vec![5, 5, 5],
+        };
+        let b = TensorBucket::from_stats(&small);
+        assert_eq!(b.key(), "nnz:xs|den:dense|fib:balanced");
+
+        let skewed = TensorStats {
+            order: 3,
+            dims: vec![1 << 20, 1 << 20, 1 << 20],
+            nnz: 2_000_000,
+            density: 1e-12,
+            fiber_counts: vec![1_000, 1_000, 1_000],
+            max_fiber_lens: vec![100_000, 10, 10],
+        };
+        let b = TensorBucket::from_stats(&skewed);
+        assert_eq!(b.key(), "nnz:l|den:hyper|fib:skewed");
+        assert_ne!(TensorBucket::from_stats(&small), TensorBucket::from_stats(&skewed));
+    }
+
+    #[test]
+    fn llc_default_is_positive() {
+        assert!(host_llc_bytes() > 0);
+    }
+
+    #[test]
+    fn tune_tensor_produces_entries_per_kernel_format() {
+        let entries: Vec<(Vec<u32>, f32)> = (0..4000u32)
+            .map(|i| (vec![i % 37, (i * 7) % 41, (i * 13) % 43], 1.0 + (i % 5) as f32))
+            .collect();
+        let mut x = CooTensor::from_entries(Shape::new(vec![37, 41, 43]), entries).unwrap();
+        x.dedup_sum();
+        let stats = TensorStats::compute(&x);
+        let got = tune_tensor(&x, &stats, 2).unwrap();
+        assert_eq!(got.len(), 6);
+        let bucket = TensorBucket::from_stats(&stats).key();
+        for e in &got {
+            assert_eq!(e.bucket, bucket);
+            assert!(e.baseline_ns > 0.0 && e.tuned_ns > 0.0);
+            // Search entries pick an argmin over candidates that include
+            // the default, so they can never lose to the baseline. The
+            // MTTKRP/COO threshold is *calibrated* (measured under forced
+            // strategies), not searched, so only the searches are bounded.
+            let calibrated = e.kernel == Kernel::Mttkrp && e.format == FormatKind::Coo;
+            if !calibrated {
+                assert!(e.tuned_ns <= e.baseline_ns + 1.0, "argmin lost: {e:?}");
+            }
+            assert!(CHUNK_CANDIDATES.contains(&e.params.chunk));
+            if e.format == FormatKind::Hicoo {
+                assert!(BLOCK_CANDIDATES.contains(&e.params.block_size));
+            }
+        }
+        // The table built from these entries round-trips.
+        let t = TuneTable { entries: got };
+        assert_eq!(TuneTable::from_json(&t.to_json()).unwrap(), t);
+    }
+}

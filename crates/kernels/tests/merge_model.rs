@@ -1,0 +1,100 @@
+//! Working-set validation of the LLC-tiled privatized-reduction merge.
+//!
+//! `mttkrp`'s `merge_privatized_dense` folds every worker's private dense
+//! accumulator into the output tile-by-tile, sized so one destination tile
+//! plus one source tile stay within half the last-level cache
+//! (`tile = LLC / (4 · BYTES)`, the formula in `merge_tile_len`). This test
+//! replays both merge orders' exact access streams through the
+//! `pasta-memsim` cache model and checks the tiling removes the repeated
+//! destination evictions the old buffer-major order paid: with buffers
+//! larger than the cache, the destination is re-fetched from DRAM once per
+//! buffer pass under buffer-major order, but stays resident across all
+//! buffers under tile-major order.
+
+use pasta_memsim::{Cache, CacheConfig};
+
+const VAL_BYTES: u64 = 4; // f32 accumulators
+const LINE: usize = 64;
+
+/// Simulated LLC: small enough that the test arrays exceed it the way real
+/// accumulators exceed a real LLC.
+const LLC_BYTES: usize = 64 * 1024;
+
+/// The tile-length formula mirrored from `merge_tile_len` (values, not
+/// bytes): destination tile + source tile ≤ half the cache.
+fn tile_len() -> usize {
+    LLC_BYTES / (4 * VAL_BYTES as usize)
+}
+
+/// Streams one `add_assign(dst[lo..hi], buf[lo..hi])` through the model.
+fn stream_add(cache: &mut Cache, dst_base: u64, buf_base: u64, lo: usize, hi: usize) {
+    let mut a = lo;
+    while a < hi {
+        cache.access(dst_base + (a as u64) * VAL_BYTES);
+        cache.access(buf_base + (a as u64) * VAL_BYTES);
+        a += LINE / VAL_BYTES as usize; // one access per touched line
+    }
+}
+
+/// Disjoint base addresses for the output and each private buffer.
+fn bases(len: usize, bufs: usize) -> (u64, Vec<u64>) {
+    let span = (len as u64) * VAL_BYTES + 4096;
+    (0, (0..bufs).map(|b| (b as u64 + 1) * span).collect())
+}
+
+fn buffer_major_misses(len: usize, bufs: usize) -> u64 {
+    let (dst, srcs) = bases(len, bufs);
+    let mut cache = Cache::new(CacheConfig::with_size(LLC_BYTES));
+    for &src in &srcs {
+        stream_add(&mut cache, dst, src, 0, len);
+    }
+    cache.stats().miss_bytes(LINE)
+}
+
+fn tile_major_misses(len: usize, bufs: usize) -> u64 {
+    let (dst, srcs) = bases(len, bufs);
+    let mut cache = Cache::new(CacheConfig::with_size(LLC_BYTES));
+    let tile = tile_len();
+    let mut lo = 0;
+    while lo < len {
+        let hi = (lo + tile).min(len);
+        for &src in &srcs {
+            stream_add(&mut cache, dst, src, lo, hi);
+        }
+        lo = hi;
+    }
+    cache.stats().miss_bytes(LINE)
+}
+
+#[test]
+fn tiled_merge_keeps_destination_resident() {
+    // Accumulators 8× the LLC, 4 workers — the regime the tiling targets.
+    let len = 8 * LLC_BYTES / VAL_BYTES as usize;
+    let bufs = 4;
+    let tiled = tile_major_misses(len, bufs);
+    let untiled = buffer_major_misses(len, bufs);
+    // Compulsory traffic both orders must pay: every buffer read once,
+    // the destination fetched once.
+    let compulsory = ((bufs as u64) + 1) * (len as u64) * VAL_BYTES;
+    assert!(tiled < untiled, "tiling should reduce merge traffic: tiled={tiled} untiled={untiled}");
+    // Buffer-major order re-fetches the destination per buffer pass
+    // (~2·len·B·bufs with write-allocate); tile-major order must stay close
+    // to compulsory — within 25% slack for conflict misses.
+    assert!(
+        (tiled as f64) < 1.25 * compulsory as f64,
+        "tiled merge should be near-compulsory: tiled={tiled} compulsory={compulsory}"
+    );
+    assert!(
+        (untiled as f64) > 1.5 * compulsory as f64,
+        "buffer-major order should pay repeated destination refetches: \
+         untiled={untiled} compulsory={compulsory}"
+    );
+}
+
+#[test]
+fn small_outputs_are_one_tile() {
+    // Outputs that fit in a tile degenerate to the old single-pass merge:
+    // both orders produce identical traffic.
+    let len = tile_len() / 2;
+    assert_eq!(tile_major_misses(len, 4), buffer_major_misses(len, 4));
+}

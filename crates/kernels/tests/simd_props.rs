@@ -1,0 +1,174 @@
+//! Property tests for the runtime-dispatched SIMD microkernels.
+//!
+//! The dispatch contract under test (see `microkernel`'s module docs):
+//!
+//! - `mul_assign` / `add_assign` / `axpy` are *lane-local* — the vector
+//!   bodies must be bit-identical to the portable scalar bodies for every
+//!   length, including the unaligned tails;
+//! - `gather_dot` reassociates its reduction into fixed-width lanes, so it
+//!   carries a ULP budget instead of bit-identity;
+//! - the `PASTA_SIMD` environment override and `force_simd` pin dispatch,
+//!   which the CI gate uses to run this whole suite under both paths.
+//!
+//! Lengths are drawn from `0..64` so every combination of full 8/4-lane
+//! blocks and scalar tail (0–7 elements) is exercised.
+
+use pasta_core::Coord;
+use pasta_kernels::microkernel::{add_assign_at, axpy_at, gather_dot_at, mul_assign_at};
+use pasta_kernels::{force_simd, simd_level, SimdLevel};
+use proptest::prelude::ProptestConfig;
+
+/// ULP distance between two f32s of the same sign (test values are finite).
+fn ulp_f32(a: f32, b: f32) -> u64 {
+    let to_ordered = |x: f32| {
+        let bits = x.to_bits() as i32;
+        if bits < 0 {
+            i32::MIN.wrapping_sub(bits)
+        } else {
+            bits
+        }
+    };
+    (to_ordered(a) as i64 - to_ordered(b) as i64).unsigned_abs()
+}
+
+/// The budget mirrored from the conformance matrix's SIMD gather cells.
+const GATHER_ULPS: u64 = 256;
+
+const LEVELS: [SimdLevel; 2] = [SimdLevel::Scalar, SimdLevel::Avx2Fma];
+
+/// `force_simd` is process-global and the test harness runs tests on
+/// parallel threads, so every test that touches the override serializes
+/// through this lock (and restores auto-detection before releasing it).
+static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+proptest::proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Element-wise multiply: bit-identical across dispatch levels, f32.
+    #[test]
+    fn prop_mul_assign_bit_identical_f32(
+        seed in proptest::collection::vec((-100.0f32..100.0, -4.0f32..4.0), 0..64),
+    ) {
+        let base: Vec<f32> = seed.iter().map(|p| p.0).collect();
+        let row: Vec<f32> = seed.iter().map(|p| p.1).collect();
+        let mut want = base.clone();
+        mul_assign_at(SimdLevel::Scalar, &mut want, &row);
+        let mut got = base;
+        mul_assign_at(SimdLevel::Avx2Fma, &mut got, &row);
+        proptest::prop_assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// Element-wise add: bit-identical across dispatch levels, f64.
+    #[test]
+    fn prop_add_assign_bit_identical_f64(
+        seed in proptest::collection::vec((-1e6f64..1e6, -1e-3f64..1e-3), 0..64),
+    ) {
+        let base: Vec<f64> = seed.iter().map(|p| p.0).collect();
+        let row: Vec<f64> = seed.iter().map(|p| p.1).collect();
+        let mut want = base.clone();
+        add_assign_at(SimdLevel::Scalar, &mut want, &row);
+        let mut got = base;
+        add_assign_at(SimdLevel::Avx2Fma, &mut got, &row);
+        proptest::prop_assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// axpy: bit-identical across dispatch levels for both value types —
+    /// the AVX2 body multiplies then adds (no FMA contraction) precisely so
+    /// this property holds.
+    #[test]
+    fn prop_axpy_bit_identical(
+        seed in proptest::collection::vec((-50.0f32..50.0, -2.0f32..2.0), 0..64),
+        a in -3.0f32..3.0,
+    ) {
+        let base: Vec<f32> = seed.iter().map(|p| p.0).collect();
+        let row: Vec<f32> = seed.iter().map(|p| p.1).collect();
+        let mut want32 = base.clone();
+        axpy_at(SimdLevel::Scalar, &mut want32, a, &row);
+        let mut got32 = base.clone();
+        axpy_at(SimdLevel::Avx2Fma, &mut got32, a, &row);
+        proptest::prop_assert_eq!(
+            got32.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want32.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        let base64: Vec<f64> = base.iter().map(|&v| v as f64).collect();
+        let row64: Vec<f64> = row.iter().map(|&v| v as f64).collect();
+        let mut want64 = base64.clone();
+        axpy_at(SimdLevel::Scalar, &mut want64, a as f64, &row64);
+        let mut got64 = base64;
+        axpy_at(SimdLevel::Avx2Fma, &mut got64, a as f64, &row64);
+        proptest::prop_assert_eq!(
+            got64.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want64.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// gather_dot: the fixed-lane reduction stays within the conformance
+    /// budget of the single-accumulator scalar body. Terms are kept
+    /// positive so the ULP comparison is meaningful (mixed signs cancel
+    /// and make *any* reassociated sum arbitrarily far in relative terms).
+    #[test]
+    fn prop_gather_dot_within_budget(
+        seed in proptest::collection::vec((0.1f32..10.0, 0u8..32), 0..64),
+        vlen in 1usize..48,
+    ) {
+        let vals: Vec<f32> = seed.iter().map(|p| p.0).collect();
+        let v: Vec<f32> = (0..vlen).map(|i| 0.5 + (i as f32) * 0.125).collect();
+        let idx: Vec<Coord> = seed.iter().map(|p| Coord::from(p.1) % vlen as Coord).collect();
+        let want = gather_dot_at(SimdLevel::Scalar, &vals, &idx, &v, 0..vals.len());
+        let got = gather_dot_at(SimdLevel::Avx2Fma, &vals, &idx, &v, 0..vals.len());
+        proptest::prop_assert!(
+            ulp_f32(got, want) <= GATHER_ULPS,
+            "scalar={} simd={} ulps={}", want, got, ulp_f32(got, want)
+        );
+    }
+
+    /// Pinned-level entry points never depend on the global override: for
+    /// any forced global level, `*_at` still computes its own level's
+    /// result.
+    #[test]
+    fn prop_pinned_levels_ignore_global_override(
+        seed in proptest::collection::vec(0.5f32..2.0, 0..64),
+        global in proptest::sample::select(vec![0usize, 1]),
+    ) {
+        let guard = OVERRIDE_LOCK.lock().unwrap();
+        force_simd(Some(LEVELS[global]));
+        let row = seed.clone();
+        let mut a = seed.clone();
+        mul_assign_at(SimdLevel::Scalar, &mut a, &row);
+        let mut b = seed.clone();
+        mul_assign_at(SimdLevel::Avx2Fma, &mut b, &row);
+        force_simd(None);
+        drop(guard);
+        proptest::prop_assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// The `PASTA_SIMD` environment override resolves as documented. The CI
+/// gate runs the test suite twice — default and `PASTA_SIMD=scalar` — so
+/// both arms of this assertion are exercised on AVX2 hosts.
+#[test]
+fn env_override_resolves() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    match std::env::var("PASTA_SIMD").as_deref() {
+        Ok("scalar") => assert_eq!(simd_level(), SimdLevel::Scalar),
+        _ => {
+            // Auto-detection: whatever was picked must round-trip through
+            // force_simd and never exceed what the host supports.
+            let auto = simd_level();
+            force_simd(Some(SimdLevel::Scalar));
+            assert_eq!(simd_level(), SimdLevel::Scalar);
+            force_simd(None);
+            assert_eq!(simd_level(), auto);
+        }
+    }
+}
