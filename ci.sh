@@ -27,6 +27,9 @@ PASTA_BENCH_SCALE=0.02 cargo bench -p pasta-bench --bench mttkrp -- --test
 echo "==> Tuner smoke (--tune on s1 completes and round-trips its JSON)"
 cargo run --release -q -p pasta-bench --bin hostrun -- --tune s1 0.02 2 > /dev/null
 
+echo "==> Fused e2e smoke (CPD-ALS + Tucker ablation rows on one profile)"
+cargo run --release -q -p pasta-bench --bin hostrun -- --e2e s1 0.02 2 | grep -c "TUCKER-HOOI" > /dev/null
+
 echo "==> Conformance matrix (quick tier + selftest)"
 cargo run --release -q -p pasta-conformance -- quick
 cargo run --release -q -p pasta-conformance -- selftest

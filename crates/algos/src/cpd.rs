@@ -6,8 +6,11 @@
 //! SPD solve.
 
 use pasta_core::linalg::{gram, hadamard, normalize_columns, Cholesky};
-use pasta_core::{seeded_matrix, CooTensor, DenseMatrix, Error, Result, Value};
-use pasta_kernels::{mttkrp_coo, mttkrp_hicoo, Ctx};
+use pasta_core::{seeded_matrix, CooTensor, DenseMatrix, Error, Result, TensorStats, Value};
+use pasta_kernels::{
+    mttkrp_coo, mttkrp_hicoo, Ctx, FormatKind, FusedAlsSweep, FusionChoice, Kernel, TensorBucket,
+    TuneTable,
+};
 
 /// Which kernel backend CP-ALS drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +47,38 @@ impl Default for CpdOptions {
             seed: 1,
             ctx: Ctx::sequential(),
             backend: CpdBackend::Coo,
+        }
+    }
+}
+
+impl CpdOptions {
+    /// The MTTKRP format this run drives, per the backend.
+    fn format(&self) -> FormatKind {
+        match self.backend {
+            CpdBackend::Coo => FormatKind::Coo,
+            CpdBackend::Hicoo(_) => FormatKind::Hicoo,
+        }
+    }
+
+    /// Applies measured tuned parameters from a [`TuneTable`] (the
+    /// `results/TUNE_host.json` produced by `hostrun --tune`) to the
+    /// execution context via [`Ctx::with_tuning`]: the MTTKRP row for the
+    /// backend's format matching the tensor's bucket drives the sweep's
+    /// schedule. No matching row leaves the context untouched.
+    pub fn with_tuning_from(mut self, table: &TuneTable, stats: &TensorStats) -> Self {
+        let bucket = TensorBucket::from_stats(stats).key();
+        if let Some(e) = table.lookup(Kernel::Mttkrp, self.format(), &bucket) {
+            self.ctx = self.ctx.with_tuning(e.params);
+        }
+        self
+    }
+
+    /// [`Self::with_tuning_from`] against a table file on disk; a missing
+    /// or unreadable table leaves the options unchanged.
+    pub fn load_tuning(self, path: &std::path::Path, stats: &TensorStats) -> Self {
+        match TuneTable::load(path) {
+            Ok(table) => self.with_tuning_from(&table, stats),
+            Err(_) => self,
         }
     }
 }
@@ -123,14 +158,36 @@ pub fn cp_als<V: Value>(x: &CooTensor<V>, opts: &CpdOptions) -> Result<CpdModel<
         .collect();
     let mut lambda = vec![V::ONE; r];
 
+    let norm_x = x.vals().iter().map(|&v| (v * v).to_f64()).sum::<f64>().sqrt();
+    let mut fit = 0.0f64;
+    let mut iters = 0;
+
+    // Fusing the ALS sweep never enlarges the working set (the per-mode
+    // outputs are the factor matrices themselves), so `Auto` fuses;
+    // `Materialize` forces the kernel-at-a-time baseline for ablation.
+    if opts.ctx.fusion != FusionChoice::Materialize {
+        let block = match opts.backend {
+            CpdBackend::Coo => 0,
+            CpdBackend::Hicoo(b) => b,
+        };
+        let mut plan = FusedAlsSweep::new(x, opts.format(), block, &factors, &opts.ctx)?;
+        for sweep in 0..opts.max_iters {
+            iters = sweep + 1;
+            plan.sweep(&mut factors, &mut lambda)?;
+            let new_fit = compute_fit(x, &factors, &lambda, norm_x, &plan.gram_hadamard());
+            if sweep > 0 && (new_fit - fit).abs() < opts.tol {
+                fit = new_fit;
+                break;
+            }
+            fit = new_fit;
+        }
+        return Ok(CpdModel { factors, lambda, fit, iters });
+    }
+
     let hicoo = match opts.backend {
         CpdBackend::Coo => None,
         CpdBackend::Hicoo(b) => Some(pasta_core::HiCooTensor::from_coo(x, b)?),
     };
-
-    let norm_x = x.vals().iter().map(|&v| (v * v).to_f64()).sum::<f64>().sqrt();
-    let mut fit = 0.0f64;
-    let mut iters = 0;
 
     for sweep in 0..opts.max_iters {
         iters = sweep + 1;
@@ -165,7 +222,15 @@ pub fn cp_als<V: Value>(x: &CooTensor<V>, opts: &CpdOptions) -> Result<CpdModel<
             factors[n] = a;
         }
 
-        let new_fit = compute_fit(x, &factors, &lambda, norm_x);
+        let mut had: Option<DenseMatrix<V>> = None;
+        for f in &factors {
+            let g = gram(f);
+            had = Some(match had {
+                Some(acc) => hadamard(&acc, &g),
+                None => g,
+            });
+        }
+        let new_fit = compute_fit(x, &factors, &lambda, norm_x, &had.expect("at least one factor"));
         if sweep > 0 && (new_fit - fit).abs() < opts.tol {
             fit = new_fit;
             break;
@@ -177,12 +242,15 @@ pub fn cp_als<V: Value>(x: &CooTensor<V>, opts: &CpdOptions) -> Result<CpdModel<
 }
 
 /// `1 − ‖X − X̂‖ / ‖X‖` computed without materializing `X̂`:
-/// `‖X − X̂‖² = ‖X‖² − 2⟨X, X̂⟩ + ‖X̂‖²`.
+/// `‖X − X̂‖² = ‖X‖² − 2⟨X, X̂⟩ + ‖X̂‖²`. The caller supplies
+/// `had = ∘_m A_mᵀA_m` (the fused sweep folds its Gram cache; the
+/// kernel-at-a-time baseline recomputes every Gram).
 fn compute_fit<V: Value>(
     x: &CooTensor<V>,
     factors: &[DenseMatrix<V>],
     lambda: &[V],
     norm_x: f64,
+    had: &DenseMatrix<V>,
 ) -> f64 {
     let r = lambda.len();
     let order = x.order();
@@ -201,15 +269,6 @@ fn compute_fit<V: Value>(
         inner += (val * s).to_f64();
     }
     // ||model||^2 = λᵀ (∘_m A_mᵀA_m) λ.
-    let mut had: Option<DenseMatrix<V>> = None;
-    for f in factors {
-        let g = gram(f);
-        had = Some(match had {
-            Some(acc) => hadamard(&acc, &g),
-            None => g,
-        });
-    }
-    let had = had.expect("at least one factor");
     let mut norm_model_sq = 0.0f64;
     for p in 0..r {
         for q in 0..r {
@@ -323,6 +382,84 @@ mod tests {
             cp_als(&x, &CpdOptions { rank: 2, max_iters: 150, tol: 1e-12, ..Default::default() })
                 .unwrap();
         assert!(m.fit > 0.99, "fit {}", m.fit);
+    }
+
+    #[test]
+    fn fused_sweep_is_bit_identical_to_kernel_at_a_time() {
+        // The fused route caches plans and Grams but performs the same
+        // arithmetic in the same order, so trajectories are identical —
+        // not merely close.
+        let x = rank_r_tensor(&[7, 6, 5], 3, 13);
+        let run = |fusion| {
+            cp_als(
+                &x,
+                &CpdOptions {
+                    rank: 3,
+                    max_iters: 15,
+                    tol: 0.0,
+                    ctx: Ctx::sequential().with_fusion(fusion),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let fused = run(FusionChoice::Auto);
+        let mat = run(FusionChoice::Materialize);
+        assert_eq!(fused.fit, mat.fit);
+        assert_eq!(fused.lambda, mat.lambda);
+        for (a, b) in fused.factors.iter().zip(&mat.factors) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn fused_sweep_reuses_plans_across_iterations() {
+        use pasta_kernels::fused_counters;
+        let x = rank_r_tensor(&[6, 6, 6], 2, 21);
+        let before = fused_counters().snapshot();
+        let m = cp_als(
+            &x,
+            &CpdOptions {
+                rank: 2,
+                max_iters: 10,
+                tol: 0.0,
+                backend: CpdBackend::Hicoo(4),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(m.fit > 0.9);
+        let after = fused_counters().snapshot();
+        // One HiCOO conversion for the whole run, reused every sweep.
+        assert!(after.plan_cache_hits >= before.plan_cache_hits + 10 * 3);
+        assert!(after.fused_chains >= before.fused_chains + 10);
+    }
+
+    #[test]
+    fn tuned_parameter_loading_applies_to_ctx() {
+        use pasta_kernels::{TuneEntry, TuneTable, TunedParams};
+        let x = rank_r_tensor(&[6, 5, 4], 2, 2);
+        let stats = TensorStats::compute(&x);
+        let bucket = TensorBucket::from_stats(&stats).key();
+        let mut table = TuneTable::default();
+        table.upsert(TuneEntry {
+            kernel: Kernel::Mttkrp,
+            format: FormatKind::Coo,
+            bucket,
+            threads: 1,
+            params: TunedParams { chunk: 512, dense_threshold: 8, block_size: 32 },
+            baseline_ns: 10.0,
+            tuned_ns: 5.0,
+        });
+        let opts = CpdOptions::default().with_tuning_from(&table, &stats);
+        assert_eq!(opts.ctx.tuning.map(|t| t.chunk), Some(512));
+        // HiCOO backend looks up the HiCOO row; no row -> untouched.
+        let opts_h = CpdOptions { backend: CpdBackend::Hicoo(4), ..Default::default() }
+            .with_tuning_from(&table, &stats);
+        assert!(opts_h.ctx.tuning.is_none());
+        let opts_missing = CpdOptions::default()
+            .load_tuning(std::path::Path::new("/nonexistent/tune.json"), &stats);
+        assert!(opts_missing.ctx.tuning.is_none());
     }
 
     #[test]

@@ -4,11 +4,28 @@
 //!
 //! Each HOOI sweep updates factor `U⁽ⁿ⁾` from the leading eigenvectors of
 //! the Gram matrix of `Y₍ₙ₎`, where `Y = X ×₁ U⁽¹⁾ ⋯ ×ₙ₋₁ U⁽ⁿ⁻¹⁾ ×ₙ₊₁ …` is
-//! a chain of sparse TTM calls.
+//! a chain of sparse TTM products.
+//!
+//! The chain runs on one of two routes, dispatched by the
+//! fuse-vs-materialize cost model (overridable via
+//! [`Ctx::fusion`](pasta_kernels::Ctx)):
+//!
+//! - **fused** (the default where the model allows): one
+//!   [`FusedTtmChainPlan`] per skip mode, built once and reused across
+//!   every sweep, executing the whole chain in a single pass through
+//!   per-thread workspaces — no intermediate sparse tensors, no
+//!   `to_coo()` round-trips;
+//! - **materialized** ([`ttm_chain`]): the kernel-at-a-time baseline that
+//!   builds one semi-sparse intermediate per step, kept for ablation and
+//!   regression-tested against the fused route.
 
 use crate::eig::{leading_vectors, sym_eig};
-use pasta_core::{CooTensor, DenseMatrix, Error, Result, Shape, Value};
-use pasta_kernels::{ttm_coo, ttm_scoo, Ctx};
+use pasta_core::{CooTensor, DenseMatrix, Error, Result, SemiCooTensor, Shape, TensorStats, Value};
+use pasta_kernels::{
+    choose_fusion, fused_counters, ttm_coo, ttm_scoo, Ctx, FormatKind, FuseDecision,
+    FusedTtmChainPlan, FusionChoice, FusionParams, Kernel, TensorBucket, TuneTable,
+};
+use std::sync::atomic::Ordering;
 
 /// Tucker/HOOI options.
 #[derive(Debug, Clone)]
@@ -29,6 +46,30 @@ impl Default for TuckerOptions {
     }
 }
 
+impl TuckerOptions {
+    /// Applies measured tuned parameters from a [`TuneTable`] (the
+    /// `results/TUNE_host.json` produced by `hostrun --tune`) to the
+    /// execution context via [`Ctx::with_tuning`]: the TTM row matching
+    /// the tensor's bucket drives the chain's schedule. No matching row
+    /// leaves the context untouched.
+    pub fn with_tuning_from(mut self, table: &TuneTable, stats: &TensorStats) -> Self {
+        let bucket = TensorBucket::from_stats(stats).key();
+        if let Some(e) = table.lookup(Kernel::Ttm, FormatKind::Coo, &bucket) {
+            self.ctx = self.ctx.with_tuning(e.params);
+        }
+        self
+    }
+
+    /// [`Self::with_tuning_from`] against a table file on disk; a missing
+    /// or unreadable table leaves the options unchanged.
+    pub fn load_tuning(self, path: &std::path::Path, stats: &TensorStats) -> Self {
+        match TuneTable::load(path) {
+            Ok(table) => self.with_tuning_from(&table, stats),
+            Err(_) => self,
+        }
+    }
+}
+
 /// A Tucker model: core tensor (dense, row-major) plus orthonormal factors.
 #[derive(Debug, Clone)]
 pub struct TuckerModel<V> {
@@ -43,12 +84,17 @@ pub struct TuckerModel<V> {
     pub energy: f64,
 }
 
-/// TTM-chain: multiplies `x` by `Uᵀ` in every mode except `skip`
-/// (pass `skip = order` to contract every mode). Returns a COO tensor.
+/// Kernel-at-a-time TTM-chain: multiplies `x` by `Uᵀ` in every mode except
+/// `skip` (pass `skip = order` to contract every mode), materializing one
+/// semi-sparse intermediate per step. Returns a COO tensor.
 ///
 /// Our TTM convention is `Y = X ×_n U` with `U ∈ R^{I_n × R}` summing over
 /// `i_n`, i.e. exactly the `X ×_n Uᵀ` of the Kolda-Bader convention — so a
 /// chain over all modes shrinks `X` to the `R₁ × ⋯ × R_N` core.
+///
+/// This is the ablation baseline the fused route
+/// ([`FusedTtmChainPlan`]) is measured against; every intermediate it
+/// builds bumps the `materialized_intermediates` counter.
 ///
 /// # Errors
 ///
@@ -59,27 +105,59 @@ pub fn ttm_chain<V: Value>(
     skip: usize,
     ctx: &Ctx,
 ) -> Result<CooTensor<V>> {
+    let c = fused_counters();
     // First product leaves COO; later products stay semi-sparse (ttm_scoo),
     // avoiding repeated expansion — the point of the sCOO format.
-    let mut semi: Option<pasta_core::SemiCooTensor<V>> = None;
+    let mut semi: Option<SemiCooTensor<V>> = None;
     for (n, u) in factors.iter().enumerate() {
         if n == skip {
             continue;
         }
+        c.materialized_intermediates.fetch_add(1, Ordering::Relaxed);
         semi = Some(match semi {
             None => ttm_coo(x, u, n, ctx)?,
             // sCOO requires at least one sparse mode; when the chain is
             // about to densify the last one, fall back through COO.
             Some(prev) if prev.dense_modes().len() + 1 >= prev.shape().order() => {
+                c.materialized_intermediates.fetch_add(1, Ordering::Relaxed);
                 ttm_coo(&prev.to_coo(), u, n, ctx)?
             }
             Some(prev) => ttm_scoo(&prev, u, n, ctx)?,
         });
     }
     Ok(match semi {
-        Some(s) => s.to_coo(),
+        Some(s) => {
+            c.materialized_intermediates.fetch_add(1, Ordering::Relaxed);
+            s.to_coo()
+        }
         None => x.clone(),
     })
+}
+
+/// Whether this run's chains execute fused, per the context override or
+/// the [`choose_fusion`] cost model (sized for the widest chain of the
+/// run).
+fn fusion_decision<V: Value>(x: &CooTensor<V>, ranks: &[usize], ctx: &Ctx) -> bool {
+    match ctx.fusion {
+        FusionChoice::Fuse => true,
+        FusionChoice::Materialize => false,
+        FusionChoice::Auto => {
+            let order = x.order();
+            let rank_prod: usize = ranks.iter().product();
+            // Worst chain over skip modes: most output fibers × widest block.
+            let out_fibers =
+                (0..order).map(|n| (x.shape().dim(n) as usize).min(x.nnz())).max().unwrap_or(0);
+            let dense_volume = (0..order).map(|n| rank_prod / ranks[n].max(1)).max().unwrap_or(1);
+            let p = FusionParams {
+                nnz: x.nnz(),
+                out_fibers,
+                dense_volume,
+                steps: order.saturating_sub(1),
+                threads: ctx.threads,
+            };
+            choose_fusion(&p) == FuseDecision::Fuse
+        }
+    }
 }
 
 /// Runs HOOI.
@@ -128,21 +206,38 @@ pub fn tucker_hooi<V: Value>(x: &CooTensor<V>, opts: &TuckerOptions) -> Result<T
         })
         .collect();
 
+    let fused = fusion_decision(x, &opts.ranks, &opts.ctx);
+    // Per-run plan cache: one fused chain plan per skip mode (index
+    // `order` is the full contraction for the core), each holding its
+    // skip-outermost sorted copy — the sort is paid once per run, not
+    // once per sweep.
+    let mut chain_plans: Vec<Option<FusedTtmChainPlan<V>>> = (0..=order).map(|_| None).collect();
+
     for _ in 0..opts.max_iters.max(1) {
         for n in 0..order {
             // Y = X x_{m != n} U_m ; U_n <- leading eigvecs of Y_(n) Y_(n)^T.
-            let y = ttm_chain(x, &factors, n, &opts.ctx)?;
             let in_dim = x.shape().dim(n) as usize;
-            let w = gram_of_matricization(&y, n, in_dim);
+            let w = if fused {
+                let plan = cached_plan(&mut chain_plans, x, n, &opts.ctx)?;
+                let y = plan.execute(&factors, &opts.ctx)?;
+                gram_of_scoo(&y, in_dim)
+            } else {
+                let y = ttm_chain(x, &factors, n, &opts.ctx)?;
+                gram_of_matricization(&y, n, in_dim)
+            };
             let eig = sym_eig(&w, 30);
             factors[n] = leading_vectors(&eig, opts.ranks[n]);
         }
     }
 
     // Core = X x_1 U_1 ... x_N U_N, densified.
-    let core_coo = ttm_chain(x, &factors, order, &opts.ctx)?;
     let core_shape = Shape::new(opts.ranks.iter().map(|&r| r as u32).collect());
-    let core = core_coo.to_dense(1 << 22);
+    let core = if fused {
+        let plan = cached_plan(&mut chain_plans, x, order, &opts.ctx)?;
+        plan.execute_full(&factors, &opts.ctx)?
+    } else {
+        ttm_chain(x, &factors, order, &opts.ctx)?.to_dense(1 << 22)
+    };
 
     let norm_x = x.vals().iter().map(|&v| (v * v).to_f64()).sum::<f64>().sqrt();
     let norm_core = core.iter().map(|&v| (v * v).to_f64()).sum::<f64>().sqrt();
@@ -152,6 +247,46 @@ pub fn tucker_hooi<V: Value>(x: &CooTensor<V>, opts: &TuckerOptions) -> Result<T
         factors,
         energy: if norm_x > 0.0 { norm_core / norm_x } else { 0.0 },
     })
+}
+
+/// Fetches the fused chain plan for `skip` from the per-run cache,
+/// building it on first use.
+fn cached_plan<'p, V: Value>(
+    plans: &'p mut [Option<FusedTtmChainPlan<V>>],
+    x: &CooTensor<V>,
+    skip: usize,
+    ctx: &Ctx,
+) -> Result<&'p FusedTtmChainPlan<V>> {
+    if plans[skip].is_none() {
+        plans[skip] = Some(FusedTtmChainPlan::new(x, skip, ctx)?);
+    } else {
+        fused_counters().plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(plans[skip].as_ref().expect("just built"))
+}
+
+/// `Y₍ₙ₎ Y₍ₙ₎ᵀ` straight from the fused chain's semi-sparse output: fiber
+/// `f` of `y` *is* row `i_f` of the matricization (its dense block spans
+/// every column), so the Gram is pairwise fiber dot products.
+fn gram_of_scoo<V: Value>(y: &SemiCooTensor<V>, in_dim: usize) -> DenseMatrix<V> {
+    let nf = y.num_fibers();
+    let mut w = DenseMatrix::<V>::zeros(in_dim, in_dim);
+    for f in 0..nf {
+        let i = y.sparse_inds(0)[f] as usize;
+        let fv = y.fiber_vals(f);
+        for g in f..nf {
+            let j = y.sparse_inds(0)[g] as usize;
+            let mut dot = V::ZERO;
+            for (a, b) in fv.iter().zip(y.fiber_vals(g)) {
+                dot += *a * *b;
+            }
+            w.set(i, j, w.get(i, j) + dot);
+            if g != f {
+                w.set(j, i, w.get(j, i) + dot);
+            }
+        }
+    }
+    w
 }
 
 /// `Y₍ₙ₎ Y₍ₙ₎ᵀ` (size `I_n × I_n`) computed directly from the sparse `Y`
@@ -243,6 +378,90 @@ mod tests {
             (0..3).map(|m| seeded_matrix(4, 2, m as u64)).collect();
         let core = ttm_chain(&x, &factors, 3, &Ctx::sequential()).unwrap();
         assert_eq!(core.shape().dims(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn fused_and_materialized_routes_agree() {
+        // The satellite regression: the fused chain must reproduce the
+        // kernel-at-a-time chain (and make its to_coo() round-trip
+        // unreachable) to tight budget on a non-trivial tensor.
+        let mut x = CooTensor::<f64>::new(Shape::new(vec![7, 6, 5]));
+        let mut s = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..60 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let c = [(s % 7) as u32, ((s >> 8) % 6) as u32, ((s >> 16) % 5) as u32];
+            x.push(&c, ((s >> 24) % 100) as f64 / 10.0 - 5.0).unwrap();
+        }
+        x.dedup_sum();
+        let opts = |fusion| TuckerOptions {
+            ranks: vec![3, 3, 3],
+            max_iters: 3,
+            ctx: Ctx::sequential().with_fusion(fusion),
+            ..Default::default()
+        };
+        let fused = tucker_hooi(&x, &opts(FusionChoice::Fuse)).unwrap();
+        let mat = tucker_hooi(&x, &opts(FusionChoice::Materialize)).unwrap();
+        assert!(
+            (fused.energy - mat.energy).abs() < 1e-9,
+            "fused {} vs materialized {}",
+            fused.energy,
+            mat.energy
+        );
+        for (a, b) in fused.core.iter().zip(&mat.core) {
+            assert!((a.abs() - b.abs()).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fused_route_materializes_no_intermediates() {
+        let x = diag_tensor(6);
+        let c = fused_counters();
+        let before = c.snapshot();
+        let m = tucker_hooi(
+            &x,
+            &TuckerOptions {
+                ranks: vec![2, 2, 2],
+                max_iters: 2,
+                ctx: Ctx::sequential().with_fusion(FusionChoice::Fuse),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(m.energy > 0.0);
+        let after = c.snapshot();
+        assert_eq!(
+            after.materialized_intermediates, before.materialized_intermediates,
+            "fused Tucker must not materialize intermediate sparse tensors"
+        );
+        assert!(after.fused_chains > before.fused_chains);
+        // 2 sweeps × 3 modes reuse 3 plans; the core plan is built once.
+        assert!(after.plan_cache_hits >= before.plan_cache_hits + 3);
+    }
+
+    #[test]
+    fn tuned_parameter_loading_applies_to_ctx() {
+        use pasta_kernels::{TuneEntry, TunedParams};
+        let x = diag_tensor(5);
+        let stats = TensorStats::compute(&x);
+        let bucket = TensorBucket::from_stats(&stats).key();
+        let mut table = TuneTable::default();
+        table.upsert(TuneEntry {
+            kernel: Kernel::Ttm,
+            format: FormatKind::Coo,
+            bucket,
+            threads: 1,
+            params: TunedParams { chunk: 1024, dense_threshold: 4, block_size: 64 },
+            baseline_ns: 10.0,
+            tuned_ns: 5.0,
+        });
+        let opts = TuckerOptions::default().with_tuning_from(&table, &stats);
+        assert_eq!(opts.ctx.tuning.map(|t| t.chunk), Some(1024));
+        // Missing file: options unchanged.
+        let opts2 = TuckerOptions::default()
+            .load_tuning(std::path::Path::new("/nonexistent/tune.json"), &stats);
+        assert!(opts2.ctx.tuning.is_none());
     }
 
     #[test]

@@ -2,11 +2,17 @@
 //! complement to the modeled Figures 4–7 (this machine is a fifth,
 //! "Host" platform column).
 //!
-//! Usage: `hostrun [--json] [--tune] [real|synthetic|<profile-id>] [scale] [threads]`
-//! (a profile id like `s1` selects one tensor, `--tune` only)
+//! Usage: `hostrun [--json] [--tune] [--e2e] [real|synthetic|<profile-id>] [scale] [threads]`
+//! (a profile id like `s1` selects one tensor)
 //!
 //! With `--json`, the per-run records are additionally written to
 //! `results/BENCH_host.json` for downstream tooling.
+//!
+//! With `--e2e`, each tensor additionally gets four end-to-end
+//! decomposition rows — CP-ALS and Tucker/HOOI, each fused (expression
+//! plans + per-thread workspaces) and materialized (kernel-at-a-time
+//! baseline) — carrying a `fused` column so the ablation is queryable
+//! downstream. Kernel rows leave the column empty (JSON `null`).
 //!
 //! With `--tune`, the measured parameter search in `pasta_kernels::tune`
 //! runs instead of the benchmark: per tensor it searches chunk size, HiCOO
@@ -16,7 +22,10 @@
 //! and execute each kernel × format under its tuned parameters.
 
 use pasta_bench::datasets::{load_dataset, load_one, DatasetKind};
-use pasta_bench::runner::{mode_avg_cost, run_host, run_host_mttkrp_variant, MttkrpVariant};
+use pasta_bench::runner::{
+    mode_avg_cost, run_host, run_host_cpd, run_host_mttkrp_variant, run_host_tucker, HostRun,
+    MttkrpVariant,
+};
 use pasta_kernels::{simd_level, tune_tensor, Ctx, FormatKind, Kernel, TensorBucket, TuneTable};
 use pasta_par::Schedule;
 use pasta_platform::Format;
@@ -35,6 +44,8 @@ struct Record {
     strategy: String,
     simd: String,
     tuned: bool,
+    /// `Some` only on end-to-end ablation rows: whether the fused route ran.
+    fused: Option<bool>,
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
@@ -60,11 +71,12 @@ fn write_json(path: &std::path::Path, records: &[Record]) -> std::io::Result<()>
     writeln!(f, "[")?;
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 == records.len() { "" } else { "," };
+        let fused = r.fused.map_or("null".to_string(), |b| b.to_string());
         writeln!(
             f,
             "  {{\"tensor\": \"{}\", \"name\": \"{}\", \"nnz\": {}, \"kernel\": \"{}\", \
              \"format\": \"{}\", \"time_ns\": {:.1}, \"gflops\": {:.4}, \"oi\": {:.4}, \
-             \"strategy\": \"{}\", \"simd\": \"{}\", \"tuned\": {}}}{}",
+             \"strategy\": \"{}\", \"simd\": \"{}\", \"tuned\": {}, \"fused\": {}}}{}",
             json_escape(&r.tensor),
             json_escape(&r.name),
             r.nnz,
@@ -76,6 +88,7 @@ fn write_json(path: &std::path::Path, records: &[Record]) -> std::io::Result<()>
             json_escape(&r.strategy),
             json_escape(&r.simd),
             r.tuned,
+            fused,
             comma
         )?;
     }
@@ -156,7 +169,8 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let tune = args.iter().any(|a| a == "--tune");
-    args.retain(|a| a != "--json" && a != "--tune");
+    let e2e = args.iter().any(|a| a == "--e2e");
+    args.retain(|a| a != "--json" && a != "--tune" && a != "--e2e");
     let kind: DatasetKind = args
         .first()
         .map(|s| s.parse().unwrap_or(DatasetKind::Synthetic))
@@ -176,9 +190,13 @@ fn main() {
     let simd = simd_level().label();
 
     eprintln!("materializing dataset at scale {scale}...");
-    let tensors = load_dataset(kind, scale);
+    // A profile id as the first argument (e.g. `r3`) selects one tensor.
+    let tensors = match args.first().and_then(|key| load_one(key, scale)) {
+        Some(bt) => vec![bt],
+        None => load_dataset(kind, scale),
+    };
     let mut records = Vec::new();
-    println!("tensor,name,nnz,kernel,format,time_s,gflops,oi,strategy,simd,tuned");
+    println!("tensor,name,nnz,kernel,format,time_s,gflops,oi,strategy,simd,tuned,fused");
     for bt in &tensors {
         let bucket = TensorBucket::from_stats(&bt.stats).key();
         for k in Kernel::ALL {
@@ -190,7 +208,7 @@ fn main() {
                 let (flops, bytes) = mode_avg_cost(bt, k, fmt);
                 let strategy = run.strategy.clone().unwrap_or_default();
                 println!(
-                    "{},{},{},{},{},{:.6e},{:.4},{:.4},{},{},{}",
+                    "{},{},{},{},{},{:.6e},{:.4},{:.4},{},{},{},",
                     bt.profile.id,
                     bt.profile.name,
                     bt.stats.nnz,
@@ -216,6 +234,7 @@ fn main() {
                         strategy,
                         simd: simd.to_string(),
                         tuned,
+                        fused: None,
                     });
                 }
             }
@@ -230,7 +249,7 @@ fn main() {
             let (flops, bytes) = mode_avg_cost(bt, Kernel::Mttkrp, Format::Coo);
             let strategy = run.strategy.clone().unwrap_or_default();
             println!(
-                "{},{},{},MTTKRP[{}],{},{:.6e},{:.4},{:.4},{},{},{}",
+                "{},{},{},MTTKRP[{}],{},{:.6e},{:.4},{:.4},{},{},{},",
                 bt.profile.id,
                 bt.profile.name,
                 bt.stats.nnz,
@@ -256,7 +275,55 @@ fn main() {
                     strategy,
                     simd: simd.to_string(),
                     tuned,
+                    fused: None,
                 });
+            }
+        }
+        // The end-to-end fused-vs-materialized ablation: CP-ALS and
+        // Tucker/HOOI rows, one per route, carrying the `fused` column.
+        if e2e {
+            let entry = table.lookup(Kernel::Mttkrp, FormatKind::Coo, &bucket);
+            let e2e_ctx = entry.map_or(ctx, |e| ctx.with_tuning(e.params));
+            let tuned = entry.is_some();
+            type E2eRunner = fn(&pasta_bench::datasets::BenchTensor, bool, &Ctx) -> HostRun;
+            for (kernel, runner) in [
+                ("CPD-ALS", run_host_cpd as E2eRunner),
+                ("TUCKER-HOOI", run_host_tucker as E2eRunner),
+            ] {
+                for fused in [true, false] {
+                    let run = runner(bt, fused, &e2e_ctx);
+                    let strategy = run.strategy.clone().unwrap_or_default();
+                    println!(
+                        "{},{},{},{},{},{:.6e},{:.4},,{},{},{},{}",
+                        bt.profile.id,
+                        bt.profile.name,
+                        bt.stats.nnz,
+                        kernel,
+                        Format::Coo,
+                        run.time,
+                        run.gflops,
+                        strategy,
+                        simd,
+                        tuned,
+                        fused
+                    );
+                    if json {
+                        records.push(Record {
+                            tensor: bt.profile.id.to_string(),
+                            name: bt.profile.name.to_string(),
+                            nnz: bt.stats.nnz,
+                            kernel: kernel.to_string(),
+                            format: Format::Coo.to_string(),
+                            time_ns: run.time * 1e9,
+                            gflops: run.gflops,
+                            oi: 0.0,
+                            strategy,
+                            simd: simd.to_string(),
+                            tuned,
+                            fused: Some(fused),
+                        });
+                    }
+                }
             }
         }
     }

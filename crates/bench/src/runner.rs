@@ -7,11 +7,12 @@
 //! counts, exactly as the paper computes its y-axes.
 
 use crate::datasets::{BenchTensor, RANK};
+use pasta_algos::{cp_als, tucker_hooi, CpdBackend, CpdOptions, TuckerOptions};
 use pasta_core::{seeded_matrix, seeded_vector, CooTensor, DenseMatrix, DenseVector, Value};
 use pasta_kernels::{
     kernel_cost, mttkrp_coo_traced, mttkrp_hicoo_traced, tew_values_into, ts_values_into,
-    CostParams, Ctx, EwOp, Kernel, MttkrpCooPlan, StrategyChoice, TsOp, TtmCooPlan, TtmHicooPlan,
-    TtvCooPlan, TtvHicooPlan,
+    CostParams, Ctx, EwOp, FusionChoice, Kernel, MttkrpCooPlan, StrategyChoice, TsOp, TtmCooPlan,
+    TtmHicooPlan, TtvCooPlan, TtvHicooPlan,
 };
 use pasta_par::{parallel_for, Atomically};
 use pasta_platform::Format;
@@ -296,6 +297,79 @@ pub fn mode_avg_cost(bt: &BenchTensor, kernel: Kernel, format: Format) -> (f64, 
     (flops / order as f64, bytes / order as f64)
 }
 
+/// Decomposition rank for the end-to-end CPD/Tucker ablation rows.
+pub const E2E_RANK: usize = 8;
+/// ALS/HOOI sweeps per timed end-to-end run.
+pub const E2E_ITERS: usize = 5;
+/// Mode-length cap for the Tucker end-to-end tensor (see [`fold_dims`]).
+pub const TUCKER_DIM_CAP: u32 = 96;
+
+/// Folds coordinates modulo `cap` per mode (summing collisions), producing
+/// a tensor with every mode length at most `cap`.
+///
+/// The generator profiles keep paper-scale mode lengths (up to 2²⁰), but the
+/// Tucker/HOOI factor update runs a dense eigensolve per mode that is O(I³)
+/// in the mode length. Folding keeps the end-to-end run dominated by the
+/// sparse TTM chain — the code path the fused-vs-materialized ablation is
+/// measuring — rather than by dense linear algebra.
+pub fn fold_dims<V: Value>(x: &CooTensor<V>, cap: u32) -> CooTensor<V> {
+    let dims: Vec<u32> = x.shape().dims().iter().map(|&d| d.min(cap)).collect();
+    let mut out = CooTensor::new(pasta_core::Shape::new(dims));
+    for (e, &v) in x.vals().iter().enumerate() {
+        let folded: Vec<u32> = x.coords_of(e).iter().map(|&c| c % cap).collect();
+        out.push(&folded, v).expect("folded coords are in range");
+    }
+    out.dedup_sum();
+    out
+}
+
+/// Times one end-to-end CP-ALS run (rank [`E2E_RANK`], [`E2E_ITERS`] sweeps,
+/// zero tolerance so both routes do identical work). `fused = true` runs the
+/// fused-expression sweep ([`pasta_kernels::FusedAlsSweep`] via
+/// `FusionChoice::Auto`); `fused = false` forces the kernel-at-a-time
+/// baseline (`FusionChoice::Materialize`).
+pub fn run_host_cpd(bt: &BenchTensor, fused: bool, ctx: &Ctx) -> HostRun {
+    let choice = if fused { FusionChoice::Auto } else { FusionChoice::Materialize };
+    let opts = CpdOptions {
+        rank: E2E_RANK,
+        max_iters: E2E_ITERS,
+        tol: 0.0,
+        seed: 7,
+        ctx: ctx.with_fusion(choice),
+        backend: CpdBackend::Coo,
+    };
+    let start = Instant::now();
+    let model = cp_als(&bt.tensor, &opts).expect("CP-ALS on a generator profile succeeds");
+    let time = start.elapsed().as_secs_f64();
+    // Dominant cost: one MTTKRP per mode per sweep at 3·nnz·R flops.
+    let flops =
+        3.0 * bt.stats.nnz as f64 * E2E_RANK as f64 * bt.stats.order as f64 * model.iters as f64;
+    let strategy = Some(if fused { "fused".into() } else { "materialized".into() });
+    HostRun { time, flops, gflops: flops / time / 1e9, strategy }
+}
+
+/// Times one end-to-end Tucker/HOOI run over the dim-folded tensor
+/// ([`fold_dims`] at [`TUCKER_DIM_CAP`], ranks [`E2E_RANK`] per mode,
+/// [`E2E_ITERS`] sweeps). `fused = true` routes the per-mode TTM chains
+/// through [`pasta_kernels::FusedTtmChainPlan`]; `fused = false` forces the
+/// materializing `ttm_chain` baseline.
+pub fn run_host_tucker(bt: &BenchTensor, fused: bool, ctx: &Ctx) -> HostRun {
+    let x = fold_dims(&bt.tensor, TUCKER_DIM_CAP);
+    let choice = if fused { FusionChoice::Fuse } else { FusionChoice::Materialize };
+    let order = x.order();
+    let ranks = vec![E2E_RANK; order];
+    let opts = TuckerOptions { ranks, max_iters: E2E_ITERS, seed: 7, ctx: ctx.with_fusion(choice) };
+    let start = Instant::now();
+    let _model = tucker_hooi(&x, &opts).expect("Tucker on a folded generator profile succeeds");
+    let time = start.elapsed().as_secs_f64();
+    // Dominant sparse cost: one (order−1)-step TTM chain per mode per sweep,
+    // each step touching every remaining non-zero at 2·R flops.
+    let flops =
+        2.0 * x.nnz() as f64 * E2E_RANK as f64 * (order * (order - 1)) as f64 * E2E_ITERS as f64;
+    let strategy = Some(if fused { "fused".into() } else { "materialized".into() });
+    HostRun { time, flops, gflops: flops / time / 1e9, strategy }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +416,32 @@ mod tests {
         let (checked, _) = mttkrp_coo_traced(&bt.tensor, &factors, 0, &Ctx::sequential()).unwrap();
         for (a, b) in atomic.as_slice().iter().zip(checked.as_slice()) {
             assert!((a - b).abs() <= 1e-3 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fold_dims_caps_every_mode() {
+        let bt = load_one("regS", 0.01).unwrap();
+        let folded = fold_dims(&bt.tensor, 64);
+        assert!(folded.shape().dims().iter().all(|&d| d <= 64));
+        assert!(folded.nnz() > 0 && folded.nnz() <= bt.tensor.nnz());
+        let a: f64 = bt.tensor.vals().iter().map(|&v| v as f64).sum();
+        let b: f64 = folded.vals().iter().map(|&v| v as f64).sum();
+        assert!((a - b).abs() <= 1e-3 * a.abs().max(1.0), "folding preserves the value mass");
+    }
+
+    #[test]
+    fn e2e_runners_produce_finite_rows() {
+        let bt = load_one("regS", 0.002).unwrap();
+        let ctx = Ctx::new(2, pasta_par::Schedule::Static);
+        for fused in [true, false] {
+            let r = run_host_cpd(&bt, fused, &ctx);
+            assert!(r.time > 0.0 && r.gflops > 0.0, "cpd fused={fused}");
+            let want = if fused { "fused" } else { "materialized" };
+            assert_eq!(r.strategy.as_deref(), Some(want));
+            let r = run_host_tucker(&bt, fused, &ctx);
+            assert!(r.time > 0.0 && r.gflops > 0.0, "tucker fused={fused}");
+            assert_eq!(r.strategy.as_deref(), Some(want));
         }
     }
 

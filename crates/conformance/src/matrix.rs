@@ -18,6 +18,7 @@
 
 use crate::cases::{self, Case};
 use crate::oracle::worst_ulp;
+use pasta_core::linalg::{gram, hadamard, normalize_columns, Cholesky};
 use pasta_core::{
     seeded_matrix, seeded_vector, CooTensor, Coord, CsfTensor, DenseMatrix, DenseVector,
     FCooTensor, GHiCooTensor, HiCooTensor, Result, SHiCooTensor, SemiCooTensor,
@@ -26,10 +27,12 @@ use pasta_kernels::dense_ref::{
     mttkrp_dense, tew_dense, ts_dense, ttm_dense, ttv_dense, ORACLE_MAX_ENTRIES,
 };
 use pasta_kernels::{
-    force_simd, mttkrp_coo, mttkrp_csf_root, mttkrp_hicoo, registry, tew_coo_same_pattern, tew_csf,
-    tew_fcoo, tew_ghicoo, tew_hicoo, tew_scoo, tew_shicoo, ts_coo, ts_csf, ts_fcoo, ts_ghicoo,
-    ts_hicoo, ts_scoo, ts_shicoo, ttm_coo, ttm_hicoo, ttm_scoo, ttv_coo, ttv_csf_leaf, ttv_fcoo,
-    ttv_hicoo, BackendKind, Combo, Ctx, EwOp, FormatKind, Kernel, SimdLevel, StrategyChoice, TsOp,
+    force_simd, fused_registry, mttkrp_coo, mttkrp_csf_root, mttkrp_hicoo, registry,
+    tew_coo_same_pattern, tew_csf, tew_fcoo, tew_ghicoo, tew_hicoo, tew_scoo, tew_shicoo, ts_coo,
+    ts_csf, ts_fcoo, ts_ghicoo, ts_hicoo, ts_scoo, ts_shicoo, ttm_coo, ttm_hicoo, ttm_scoo,
+    ttv_coo, ttv_csf_leaf, ttv_fcoo, ttv_hicoo, BackendKind, Combo, Ctx, EwOp, FormatKind,
+    FusedAlsSweep, FusedExprKind, FusedRoute, FusedTtmChainPlan, FusedTtvPlan, Kernel, SimdLevel,
+    StrategyChoice, TsOp,
 };
 use pasta_par::Schedule;
 use pasta_simt::{launch, p100};
@@ -297,6 +300,13 @@ impl Cell {
 
 const TTV_BUDGET: u64 = 256;
 const TTM_BUDGET: u64 = 256;
+// Fused chains accumulate the whole expression in one pass while the
+// composed dense oracle rounds once per step, so chain cells carry wider
+// budgets than their single-kernel counterparts; the ALS sweep runs a
+// Cholesky solve whose conditioning amplifies MTTKRP rounding further.
+const FUSED_TTV_BUDGET: u64 = 512;
+const FUSED_TTM_BUDGET: u64 = 1024;
+const FUSED_ALS_BUDGET: u64 = 4096;
 const MTTKRP_SEQ_BUDGET: u64 = 512;
 const MTTKRP_PRIV_BUDGET: u64 = 1024;
 const MTTKRP_HICOO_BUDGET: u64 = 1024;
@@ -389,6 +399,9 @@ pub fn cells() -> Vec<Cell> {
     let mut cs = Vec::new();
     for combo in registry() {
         push_combo_cells(&mut cs, combo);
+    }
+    for route in fused_registry() {
+        push_fused_cells(&mut cs, route);
     }
     cs
 }
@@ -699,6 +712,190 @@ fn push_combo_cells(cs: &mut Vec<Cell>, combo: Combo) {
     }
 }
 
+/// Contracts `mode` of a dense row-major array with a vector (one step of
+/// the composed TTV-chain oracle). Removes `mode` from `dims`.
+fn dense_ttv_step(dims: &mut Vec<usize>, data: &[f32], mode: usize, v: &[f32]) -> Vec<f32> {
+    let dm = dims[mode];
+    let inner: usize = dims[mode + 1..].iter().product();
+    let outer: usize = dims[..mode].iter().product();
+    let mut out = vec![0.0f32; outer * inner];
+    for o in 0..outer {
+        for (k, &vk) in v.iter().enumerate().take(dm) {
+            let base = (o * dm + k) * inner;
+            for i in 0..inner {
+                out[o * inner + i] += data[base + i] * vk;
+            }
+        }
+    }
+    dims.remove(mode);
+    out
+}
+
+/// One dense TTM step (`Y = X ×_mode U`, summing over the mode index —
+/// the suite's TTM convention). Replaces `dims[mode]` with `U`'s columns.
+fn dense_ttm_step(dims: &mut [usize], data: &[f32], mode: usize, u: &DenseMatrix<f32>) -> Vec<f32> {
+    let dm = dims[mode];
+    let r = u.cols();
+    let inner: usize = dims[mode + 1..].iter().product();
+    let outer: usize = dims[..mode].iter().product();
+    let mut out = vec![0.0f32; outer * r * inner];
+    for o in 0..outer {
+        for k in 0..dm {
+            let base = (o * dm + k) * inner;
+            for rr in 0..r {
+                let w = u.get(k, rr);
+                let ob = (o * r + rr) * inner;
+                for i in 0..inner {
+                    out[ob + i] += data[base + i] * w;
+                }
+            }
+        }
+    }
+    dims[mode] = r;
+    out
+}
+
+/// Emits the conformance cells for one fused route: the fused executor
+/// compared against a *composed* oracle that materializes every
+/// intermediate (dense steps for the chains, the kernel-at-a-time sweep
+/// for ALS).
+fn push_fused_cells(cs: &mut Vec<Cell>, route: FusedRoute) {
+    use BackendKind::Cpu;
+    match (route.expr, route.format, route.backend) {
+        (FusedExprKind::TtvChain, FormatKind::Coo, Cpu) => {
+            for t in POOLS {
+                cs.push(Cell::new(format!("{route}/t{t}"), FUSED_TTV_BUDGET, move |cc| {
+                    let order = cc.case.order();
+                    // Contract the trailing min(order−1, 2) modes in one
+                    // fused pass.
+                    let first = order.saturating_sub(2).max(1);
+                    let contract: Vec<usize> = (first..order).collect();
+                    let vecs: Vec<DenseVector<f32>> = contract
+                        .iter()
+                        .map(|&m| seeded_vector(cc.x.shape().dim(m) as usize, 31 + m as u64))
+                        .collect();
+                    let ctx = cpu_ctx(t);
+                    let plan = FusedTtvPlan::new(&cc.x, &contract, &ctx)?;
+                    let refs: Vec<&DenseVector<f32>> = vecs.iter().collect();
+                    let got = plan.execute(&refs, &ctx)?.to_dense(ORACLE_MAX_ENTRIES);
+                    let mut dims: Vec<usize> =
+                        cc.x.shape().dims().iter().map(|&d| d as usize).collect();
+                    let mut want = cc.x.to_dense(ORACLE_MAX_ENTRIES);
+                    // Highest mode first so remaining indices stay valid.
+                    for (j, &m) in contract.iter().enumerate().rev() {
+                        want = dense_ttv_step(&mut dims, &want, m, vecs[j].as_slice());
+                    }
+                    Ok((got, want))
+                }));
+            }
+        }
+        (FusedExprKind::TtmChain, FormatKind::Coo, Cpu) => {
+            for t in POOLS {
+                cs.push(Cell::new(format!("{route}/t{t}"), FUSED_TTM_BUDGET, move |cc| {
+                    let order = cc.case.order();
+                    let skip = cc.case.mode;
+                    let ctx = cpu_ctx(t);
+                    let dense_x = cc.x.to_dense(ORACLE_MAX_ENTRIES);
+                    let base_dims: Vec<usize> =
+                        cc.x.shape().dims().iter().map(|&d| d as usize).collect();
+                    // Skip-mode chain (the HOOI sweep body)…
+                    let plan = FusedTtmChainPlan::new(&cc.x, skip, &ctx)?;
+                    let mut got =
+                        plan.execute(&cc.factors, &ctx)?.to_coo().to_dense(ORACLE_MAX_ENTRIES);
+                    let mut dims = base_dims.clone();
+                    let mut want = dense_x.clone();
+                    for m in 0..order {
+                        if m != skip {
+                            want = dense_ttm_step(&mut dims, &want, m, &cc.factors[m]);
+                        }
+                    }
+                    // …and the full contraction (the Tucker core).
+                    let full = FusedTtmChainPlan::new(&cc.x, order, &ctx)?;
+                    got.extend(full.execute_full(&cc.factors, &ctx)?);
+                    let mut dims2 = base_dims;
+                    let mut acc = dense_x;
+                    for m in 0..order {
+                        acc = dense_ttm_step(&mut dims2, &acc, m, &cc.factors[m]);
+                    }
+                    want.extend(acc);
+                    Ok((got, want))
+                }));
+            }
+        }
+        (FusedExprKind::AlsSweep, fmt, Cpu) => {
+            for t in POOLS {
+                cs.push(Cell::new(format!("{route}/t{t}"), FUSED_ALS_BUDGET, move |cc| {
+                    let ctx = cpu_ctx(t);
+                    let r = cc.case.rank;
+                    let fused = (|| -> Result<Vec<f32>> {
+                        let mut ff = cc.factors.clone();
+                        let mut lf = vec![1.0f32; r];
+                        let mut plan = FusedAlsSweep::new(&cc.x, fmt, cc.case.block, &ff, &ctx)?;
+                        plan.sweep(&mut ff, &mut lf)?;
+                        let mut got: Vec<f32> =
+                            ff.iter().flat_map(|f| f.as_slice().to_vec()).collect();
+                        got.extend_from_slice(&lf);
+                        Ok(got)
+                    })();
+                    // Composed kernel-at-a-time sweep: MTTKRP, recomputed
+                    // Grams, Cholesky solve, normalize — per mode.
+                    let composed = (|| -> Result<Vec<f32>> {
+                        let mut fm = cc.factors.clone();
+                        let mut lm = vec![1.0f32; r];
+                        let hic = match fmt {
+                            FormatKind::Hicoo => Some(HiCooTensor::from_coo(&cc.x, cc.case.block)?),
+                            _ => None,
+                        };
+                        for n in 0..cc.case.order() {
+                            let m_out = match &hic {
+                                Some(h) => mttkrp_hicoo(h, &fm, n, &ctx)?,
+                                None => mttkrp_coo(&cc.x, &fm, n, &ctx)?,
+                            };
+                            let mut v: Option<DenseMatrix<f32>> = None;
+                            for (m, f) in fm.iter().enumerate() {
+                                if m == n {
+                                    continue;
+                                }
+                                let g = gram(f);
+                                v = Some(match v {
+                                    Some(acc) => hadamard(&acc, &g),
+                                    None => g,
+                                });
+                            }
+                            let v = v.expect("order >= 2");
+                            let ch = Cholesky::factor(&v, 1e-10f32).ok_or_else(|| {
+                                pasta_core::Error::OperandMismatch {
+                                    what: "gram Hadamard product not positive definite".into(),
+                                }
+                            })?;
+                            let mut a = m_out;
+                            ch.solve_rows(&mut a);
+                            let norms = normalize_columns(&mut a);
+                            for (l, nn) in lm.iter_mut().zip(&norms) {
+                                *l = if *nn == 0.0 { 0.0 } else { *nn };
+                            }
+                            fm[n] = a;
+                        }
+                        let mut want: Vec<f32> =
+                            fm.iter().flat_map(|f| f.as_slice().to_vec()).collect();
+                        want.extend_from_slice(&lm);
+                        Ok(want)
+                    })();
+                    match (fused, composed) {
+                        (Ok(got), Ok(want)) => Ok((got, want)),
+                        // Degenerate cases (e.g. rank > nnz) make the Gram
+                        // Hadamard singular; the contract is that both
+                        // routes reject them identically.
+                        (Err(_), Err(_)) => Ok((Vec::new(), Vec::new())),
+                        (Ok(_), Err(e)) | (Err(e), Ok(_)) => Err(e),
+                    }
+                }));
+            }
+        }
+        _ => {}
+    }
+}
+
 /// A deliberate output perturbation, used by `selftest` (and tests) to
 /// prove the harness catches, shrinks and replays a bug. The perturbation
 /// is applied to the matching cell's first output value, far outside any
@@ -897,6 +1094,9 @@ mod tests {
         assert!(ids.contains(&"mttkrp/csf/cpu/t4"));
         assert!(ids.contains(&"mttkrp/coo/cpu/owner/t2"));
         assert!(ids.contains(&"mttkrp/hicoo/gpu"));
+        assert!(ids.contains(&"fused-ttvchain/coo/cpu/t1"));
+        assert!(ids.contains(&"fused-ttmchain/coo/cpu/t4"));
+        assert!(ids.contains(&"fused-alssweep/hicoo/cpu/t4"));
         // Ids are unique.
         let mut sorted = ids.clone();
         sorted.sort_unstable();
@@ -934,9 +1134,21 @@ mod tests {
     #[test]
     fn every_cell_maps_to_a_registered_combo() {
         let reg: Vec<String> = registry().iter().map(ToString::to_string).collect();
+        let fused_reg: Vec<String> = fused_registry().iter().map(ToString::to_string).collect();
         for cell in cells() {
             let parts: Vec<&str> = cell.id.split('/').collect();
             let (k, f, b) = (parts[0], parts[1], parts[2]);
+            // Fused cells map to the fused-route registry, not the
+            // single-kernel combo registry.
+            if let Some(expr) = k.strip_prefix("fused-") {
+                let route = format!("fused-{expr}/{f}/{b}");
+                assert!(
+                    fused_reg.contains(&route),
+                    "cell {} maps to unregistered fused route {route}",
+                    cell.id
+                );
+                continue;
+            }
             // GPU element-wise cells for non-COO formats run the registered
             // COO value loop over that format's value array (the paper's
             // shared-value-loop observation), so they map to the COO combo.
@@ -946,6 +1158,18 @@ mod tests {
                 format!("{k}/{f}/{b}")
             };
             assert!(reg.contains(&combo), "cell {} maps to unregistered combo {combo}", cell.id);
+        }
+    }
+
+    #[test]
+    fn every_fused_route_has_cells() {
+        let ids: Vec<String> = cells().into_iter().map(|c| c.id).collect();
+        for route in fused_registry() {
+            let prefix = route.to_string();
+            assert!(
+                ids.iter().any(|id| id.starts_with(&format!("{prefix}/"))),
+                "fused route {prefix} has no conformance cell"
+            );
         }
     }
 

@@ -246,6 +246,61 @@ pub fn resort_pays_off(p: &MttkrpSchedParams) -> bool {
     p.threads > 1 && p.threads.saturating_mul(p.out_rows) > 2 * p.nnz
 }
 
+/// Inputs to the fuse-vs-materialize cost model for kernel chains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionParams {
+    /// Input non-zero count.
+    pub nnz: usize,
+    /// Distinct output fibers (upper bound: `nnz`).
+    pub out_fibers: usize,
+    /// Values per output fiber on the fused path (`∏R_m` for a TTM chain,
+    /// 1 for a TTV product, `R` for an ALS sweep).
+    pub dense_volume: usize,
+    /// Chain length — how many intermediate tensors the kernel-at-a-time
+    /// path would materialize.
+    pub steps: usize,
+    /// Requested worker count.
+    pub threads: usize,
+}
+
+/// What the fuse-vs-materialize model decided for a kernel chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuseDecision {
+    /// Execute the chain fused through per-thread workspaces.
+    Fuse,
+    /// Materialize each intermediate (the kernel-at-a-time baseline).
+    Materialize,
+}
+
+/// Trade-off factor of [`choose_fusion`]: fuse while workspace traffic is
+/// within this multiple of what the materialized path writes, sorts, and
+/// re-reads per step.
+pub const FUSE_WORKSPACE_FACTOR: usize = 8;
+
+/// Picks fused vs. kernel-at-a-time execution for a chain.
+///
+/// The materialized path pays, per step, an `O(nnz)` intermediate write, a
+/// re-sort/group pass over it, and a read-back — roughly
+/// `3·steps·nnz` value-moves plus allocator traffic. The fused path pays
+/// the workspace: `out_fibers × dense_volume` resident values (per worker
+/// for privatized workspaces). Fusing wins unless the workspace dwarfs the
+/// per-step traffic it saves:
+/// `threads·out_fibers·dense_volume > 8·steps·nnz ⇒ Materialize`.
+///
+/// The model is coarse on purpose (like the MTTKRP strategy model): it
+/// separates regimes, and the dispatched choice is counted and
+/// overridable from [`Ctx::fusion`](crate::pipeline::Ctx::fusion).
+pub fn choose_fusion(p: &FusionParams) -> FuseDecision {
+    let workspace =
+        p.threads.max(1).saturating_mul(p.out_fibers).saturating_mul(p.dense_volume.max(1));
+    let saved = FUSE_WORKSPACE_FACTOR.saturating_mul(p.steps.max(1)).saturating_mul(p.nnz.max(1));
+    if workspace > saved {
+        FuseDecision::Materialize
+    } else {
+        FuseDecision::Fuse
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,5 +420,31 @@ mod tests {
         assert!(!resort_pays_off(&sched(1_000_000, 1_000, 8, false)));
         // Never for one thread.
         assert!(!resort_pays_off(&sched(10, 1_000_000, 1, false)));
+    }
+
+    #[test]
+    fn fusion_regimes() {
+        // Typical Tucker chain: fibers ≤ nnz, modest dense volume — fuse.
+        let p = FusionParams {
+            nnz: 100_000,
+            out_fibers: 5_000,
+            dense_volume: 64,
+            steps: 2,
+            threads: 1,
+        };
+        assert_eq!(choose_fusion(&p), FuseDecision::Fuse);
+        // TTV product: dense_volume 1 — always fuses.
+        let p =
+            FusionParams { nnz: 1_000, out_fibers: 1_000, dense_volume: 1, steps: 3, threads: 8 };
+        assert_eq!(choose_fusion(&p), FuseDecision::Fuse);
+        // Workspace blow-up: huge fiber count × wide blocks × many workers.
+        let p = FusionParams {
+            nnz: 10_000,
+            out_fibers: 10_000,
+            dense_volume: 4_096,
+            steps: 2,
+            threads: 8,
+        };
+        assert_eq!(choose_fusion(&p), FuseDecision::Materialize);
     }
 }

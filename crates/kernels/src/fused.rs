@@ -1,0 +1,969 @@
+//! Fused kernel-chain executors: TTV∘TTV multi-mode products, the TTM
+//! chains of a Tucker sweep, and the full CP-ALS sweep, each run in one
+//! pass through per-thread [`workspace`](crate::workspace)s instead of
+//! materializing and re-sorting intermediate sparse tensors.
+//!
+//! The expression grammar is deliberately tiny — the three chain shapes
+//! the decompositions in `pasta-algos` actually execute (see
+//! [`FusedExprKind`](crate::pipeline::FusedExprKind)):
+//!
+//! ```text
+//! ttvchain :=  X ×_{m₁} v₁ ×_{m₂} v₂ ⋯            (FusedTtvPlan)
+//! ttmchain :=  X ×_{m≠skip} U_m                    (FusedTtmChainPlan)
+//! alssweep :=  ∀n: solve(hadamard-grams, mttkrp(X, n)) → normalize
+//!                                                  (FusedAlsSweep)
+//! ```
+//!
+//! Each plan separates untimed preprocessing (one sort of a tensor copy,
+//! fiber-run discovery, format conversion — all cached and reused across
+//! decomposition sweeps) from the timed execute, matching the suite's
+//! plan→execute convention. On the fused path no intermediate sparse
+//! tensor is ever built: output fibers are runs of the sorted copy, every
+//! worker accumulates into a dense scratch block per output fiber or a
+//! hashed [`SparseAcc`](crate::pipeline::SparseAcc) (selected by
+//! [`choose_workspace`]), and sparse accumulators merge through the
+//! deterministic tree reduction. The [`fused_counters`] global records
+//! what ran so benches and tests can assert the no-materialization
+//! invariant.
+
+use crate::analysis::{resort_pays_off, Kernel, MttkrpSchedParams};
+use crate::microkernel::axpy;
+use crate::mttkrp::{mttkrp_coo, mttkrp_hicoo, MttkrpCooPlan};
+use crate::pipeline::{BackendKind, Ctx, FormatKind, KernelPlan, StrategyChoice};
+use crate::workspace::{choose_workspace, fused_counters, FusedWorkspace, WorkspaceKind};
+use pasta_core::linalg::{gram, hadamard, normalize_columns, Cholesky};
+use pasta_core::sort::mode_first_order;
+use pasta_core::{
+    CooTensor, Coord, DenseMatrix, DenseVector, Error, HiCooTensor, Result, SemiCooTensor, Shape,
+    Value,
+};
+use pasta_par::{parallel_for, tree_reduce, Schedule, SharedSlice};
+use std::sync::atomic::Ordering;
+
+/// The output fiber owning entry `e` of a sorted tensor whose fiber runs
+/// begin at `starts` (non-empty, `starts[0] == 0`).
+#[inline]
+fn fiber_of(starts: &[usize], e: usize) -> usize {
+    starts.partition_point(|&s| s <= e) - 1
+}
+
+/// Splits `0..n` into `parts` near-equal contiguous chunks.
+fn even_chunks(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1).min(n.max(1));
+    let per = n / parts;
+    let rem = n % parts;
+    (0..parts)
+        .map(|id| {
+            let start = id * per + id.min(rem);
+            start..start + per + usize::from(id < rem)
+        })
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Runs `make` on each of `parts` workers, collecting the per-worker
+/// results (the privatized fan-out used by the sparse-workspace paths).
+fn privatized<T: Send, F: Fn(usize) -> T + Sync>(parts: usize, threads: usize, make: F) -> Vec<T> {
+    let mut slots: Vec<Option<T>> = (0..parts).map(|_| None).collect();
+    {
+        let shared = SharedSlice::new(&mut slots);
+        parallel_for(parts, threads, Schedule::Static, |ids| {
+            for id in ids {
+                // SAFETY: participant ids partition 0..parts, one slot each.
+                unsafe { shared.write(id, Some(make(id))) };
+            }
+        });
+    }
+    slots.into_iter().map(|s| s.expect("worker wrote its slot")).collect()
+}
+
+/// A fused multi-mode TTV product `X ×_{m₁} v₁ ×_{m₂} v₂ ⋯` executed in
+/// one pass — no intermediate order-(N−1) tensors, no re-sorts between
+/// steps.
+///
+/// The plan sorts one copy of the tensor with the *kept* modes outermost,
+/// so each output value is a contiguous run of input entries; execute
+/// reduces each run with the product of the contracted vector gathers.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{CooTensor, DenseVector, Shape};
+/// use pasta_kernels::{fused::FusedTtvPlan, Ctx};
+///
+/// # fn main() -> Result<(), pasta_core::Error> {
+/// let x = CooTensor::from_entries(
+///     Shape::new(vec![2, 3, 4]),
+///     vec![(vec![0, 1, 2], 2.0_f64), (vec![0, 2, 3], 5.0)],
+/// )?;
+/// let ctx = Ctx::sequential();
+/// let plan = FusedTtvPlan::new(&x, &[1, 2], &ctx)?;
+/// let v1 = DenseVector::from_vec(vec![1.0, 10.0, 100.0]);
+/// let v2 = DenseVector::from_vec(vec![1.0, 1.0, 3.0, 7.0]);
+/// let y = plan.execute(&[&v1, &v2], &ctx)?;
+/// // y[0] = 2·10·3 + 5·100·7 = 3560
+/// assert_eq!(y.get(&[0]), Some(3560.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FusedTtvPlan<V> {
+    x: CooTensor<V>,
+    kept: Vec<usize>,
+    contract: Vec<usize>,
+    fiber_starts: Vec<usize>,
+}
+
+impl<V: Value> FusedTtvPlan<V> {
+    /// Plans the fused product contracting `contract` (distinct modes; at
+    /// least one mode must remain). Sorts one tensor copy kept-modes-first.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid/duplicate modes, contracting every mode, and
+    /// unregistered routes.
+    pub fn new(x: &CooTensor<V>, contract: &[usize], ctx: &Ctx) -> Result<Self> {
+        KernelPlan::new(Kernel::Ttv, FormatKind::Coo, BackendKind::Cpu, ctx)?;
+        let order = x.order();
+        let mut contract = contract.to_vec();
+        contract.sort_unstable();
+        contract.dedup();
+        if contract.is_empty() {
+            return Err(Error::OperandMismatch { what: "no modes to contract".into() });
+        }
+        for &m in &contract {
+            x.shape().check_mode(m)?;
+        }
+        if contract.len() >= order {
+            return Err(Error::OperandMismatch {
+                what: format!("contracting all {order} modes leaves no output mode"),
+            });
+        }
+        let kept: Vec<usize> = (0..order).filter(|m| !contract.contains(m)).collect();
+        let mut sorted = x.clone();
+        let mode_order: Vec<usize> = kept.iter().chain(contract.iter()).copied().collect();
+        if sorted.sort_state().mode_order() != Some(&mode_order[..]) {
+            sorted.sort_by_mode_order_threads(&mode_order, ctx.threads);
+        }
+        let fiber_starts = kept_runs(&sorted, &kept);
+        fused_counters().plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+        Ok(Self { x: sorted, kept, contract, fiber_starts })
+    }
+
+    /// The contracted modes, sorted ascending (vectors passed to execute
+    /// align with this order).
+    pub fn contracted_modes(&self) -> &[usize] {
+        &self.contract
+    }
+
+    /// The number of output values (distinct kept-mode fibers).
+    pub fn num_fibers(&self) -> usize {
+        self.fiber_starts.len()
+    }
+
+    /// The output shape (kept-mode dimensions).
+    pub fn out_shape(&self) -> Shape {
+        Shape::new(self.kept.iter().map(|&m| self.x.shape().dim(m)).collect())
+    }
+
+    /// The timed value computation into a pre-allocated `out` of length
+    /// [`Self::num_fibers`], with the workspace kind picked by
+    /// [`choose_workspace`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects vector count/length mismatches.
+    pub fn execute_values(&self, vecs: &[&DenseVector<V>], out: &mut [V], ctx: &Ctx) -> Result<()> {
+        let kind = choose_workspace(
+            self.num_fibers(),
+            1,
+            self.x.nnz(),
+            ctx.threads,
+            ctx.dense_threshold(),
+        );
+        self.execute_values_with(vecs, out, ctx, kind)
+    }
+
+    /// [`Self::execute_values`] with an explicit workspace kind: `Dense`
+    /// runs owner-computes over the sorted fiber runs (each output value is
+    /// its own scratch slot); `Sparse` privatizes a hashed accumulator per
+    /// worker over even entry chunks and tree-merges.
+    ///
+    /// # Errors
+    ///
+    /// Rejects vector count/length mismatches.
+    pub fn execute_values_with(
+        &self,
+        vecs: &[&DenseVector<V>],
+        out: &mut [V],
+        ctx: &Ctx,
+        kind: WorkspaceKind,
+    ) -> Result<()> {
+        if vecs.len() != self.contract.len() {
+            return Err(Error::OperandMismatch {
+                what: format!("expected {} vectors, got {}", self.contract.len(), vecs.len()),
+            });
+        }
+        for (&m, v) in self.contract.iter().zip(vecs) {
+            if v.len() != self.x.shape().dim(m) as usize {
+                return Err(Error::OperandMismatch {
+                    what: format!(
+                        "vector for mode {m} has length {} but the mode has dimension {}",
+                        v.len(),
+                        self.x.shape().dim(m)
+                    ),
+                });
+            }
+        }
+        if out.len() != self.num_fibers() {
+            return Err(Error::OperandMismatch {
+                what: format!("output length {} vs {} fibers", out.len(), self.num_fibers()),
+            });
+        }
+        let c = fused_counters();
+        c.fused_chains.fetch_add(1, Ordering::Relaxed);
+        c.fused_entries.fetch_add(self.x.nnz() as u64, Ordering::Relaxed);
+
+        let nnz = self.x.nnz();
+        let contrib = |e: usize| {
+            let mut p = self.x.vals()[e];
+            for (k, &m) in self.contract.iter().enumerate() {
+                p *= vecs[k].as_slice()[self.x.mode_inds(m)[e] as usize];
+            }
+            p
+        };
+        match kind {
+            WorkspaceKind::Dense => {
+                let starts = &self.fiber_starts;
+                let shared = SharedSlice::new(out);
+                parallel_for(starts.len(), ctx.threads, ctx.schedule, |fs| {
+                    for f in fs.clone() {
+                        let lo = starts[f];
+                        let hi = if f + 1 < starts.len() { starts[f + 1] } else { nnz };
+                        let mut acc = V::ZERO;
+                        for e in lo..hi {
+                            acc += contrib(e);
+                        }
+                        // SAFETY: fiber indices partition the output;
+                        // parallel_for ranges are disjoint.
+                        unsafe { shared.write(f, acc) };
+                    }
+                });
+            }
+            WorkspaceKind::Sparse => {
+                let chunks = even_chunks(nnz, ctx.threads);
+                let accs = privatized(chunks.len(), ctx.threads, |id| {
+                    let range = chunks[id].clone();
+                    let expect = range.len().min(self.num_fibers());
+                    let mut ws = FusedWorkspace::new(WorkspaceKind::Sparse, 0, 1, expect);
+                    for e in range {
+                        ws.row_mut(fiber_of(&self.fiber_starts, e) as u32)[0] += contrib(e);
+                    }
+                    ws
+                });
+                if let Some(merged) = tree_reduce(accs, ctx.threads, |dst, src| dst.merge(&src)) {
+                    merged.drain_into(out);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the full product as a COO tensor over the kept modes
+    /// (pre-allocated pattern plus [`Self::execute_values`]).
+    ///
+    /// # Errors
+    ///
+    /// Rejects vector count/length mismatches.
+    pub fn execute(&self, vecs: &[&DenseVector<V>], ctx: &Ctx) -> Result<CooTensor<V>> {
+        let mut vals = vec![V::ZERO; self.num_fibers()];
+        self.execute_values(vecs, &mut vals, ctx)?;
+        let mut inds: Vec<Vec<Coord>> = vec![Vec::with_capacity(vals.len()); self.kept.len()];
+        for &s in &self.fiber_starts {
+            for (k, &m) in self.kept.iter().enumerate() {
+                inds[k].push(self.x.mode_inds(m)[s]);
+            }
+        }
+        let mut y = CooTensor::from_parts(self.out_shape(), inds, vals)?;
+        y.assume_sorted_by((0..self.kept.len()).collect());
+        Ok(y)
+    }
+}
+
+/// Start offsets of the runs of equal kept-mode coordinates in a tensor
+/// sorted kept-modes-first.
+fn kept_runs<V: Value>(x: &CooTensor<V>, kept: &[usize]) -> Vec<usize> {
+    let mut starts = Vec::new();
+    for e in 0..x.nnz() {
+        if e == 0 || kept.iter().any(|&m| x.mode_inds(m)[e] != x.mode_inds(m)[e - 1]) {
+            starts.push(e);
+        }
+    }
+    starts
+}
+
+/// The fused TTM chain of a Tucker sweep: `Y = X ×_{m≠skip} U_m` in one
+/// pass over the non-zeros.
+///
+/// The plan sorts one tensor copy mode-`skip`-outermost (cached by the
+/// caller across HOOI sweeps, so the sort is paid once per run, not once
+/// per chain step). Each distinct `i_skip` is one output fiber; per input
+/// entry the executor expands `val · ⊗_{m≠skip} U_m[i_m, :]` iteratively
+/// into a small scratch and adds it to the fiber's dense block — no
+/// intermediate semi-sparse tensor, no `to_coo()` round-trips.
+///
+/// With `skip == order` every mode is contracted and
+/// [`execute_full`](Self::execute_full) produces the dense core directly.
+#[derive(Debug)]
+pub struct FusedTtmChainPlan<V> {
+    x: CooTensor<V>,
+    skip: usize,
+    cmodes: Vec<usize>,
+    fiber_starts: Vec<usize>,
+}
+
+impl<V: Value> FusedTtmChainPlan<V> {
+    /// Plans the chain that contracts every mode except `skip` (pass
+    /// `skip == order` to contract all modes).
+    ///
+    /// # Errors
+    ///
+    /// Rejects an out-of-range `skip` (beyond `order`), order-one tensors,
+    /// and unregistered routes.
+    pub fn new(x: &CooTensor<V>, skip: usize, ctx: &Ctx) -> Result<Self> {
+        KernelPlan::new(Kernel::Ttm, FormatKind::Coo, BackendKind::Cpu, ctx)?;
+        let order = x.order();
+        if order < 2 {
+            return Err(Error::InvalidMode { mode: skip, order });
+        }
+        if skip > order {
+            return Err(Error::InvalidMode { mode: skip, order });
+        }
+        let mut sorted = x.clone();
+        let fiber_starts = if skip < order {
+            if sorted.sort_state().outermost() != Some(skip) {
+                sorted.sort_by_mode_order_threads(&mode_first_order(order, skip), ctx.threads);
+            }
+            let col = sorted.mode_inds(skip);
+            (0..sorted.nnz()).filter(|&e| e == 0 || col[e] != col[e - 1]).collect()
+        } else {
+            Vec::new()
+        };
+        fused_counters().plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+        let cmodes = (0..order).filter(|&m| m != skip).collect();
+        Ok(Self { x: sorted, skip, cmodes, fiber_starts })
+    }
+
+    /// The skipped (kept-sparse) mode; `order` means full contraction.
+    pub fn skip(&self) -> usize {
+        self.skip
+    }
+
+    /// The number of output fibers (distinct `i_skip` values); zero when
+    /// the plan contracts every mode.
+    pub fn num_fibers(&self) -> usize {
+        self.fiber_starts.len()
+    }
+
+    fn check_factors(&self, factors: &[DenseMatrix<V>]) -> Result<usize> {
+        let order = self.x.order();
+        if factors.len() != order {
+            return Err(Error::OperandMismatch {
+                what: format!("expected {order} factor matrices, got {}", factors.len()),
+            });
+        }
+        let mut dvol = 1usize;
+        for (m, u) in factors.iter().enumerate() {
+            if m == self.skip {
+                continue;
+            }
+            if u.rows() != self.x.shape().dim(m) as usize {
+                return Err(Error::OperandMismatch {
+                    what: format!(
+                        "factor {m} has {} rows but mode {m} has dimension {}",
+                        u.rows(),
+                        self.x.shape().dim(m)
+                    ),
+                });
+            }
+            if u.cols() == 0 {
+                return Err(Error::OperandMismatch {
+                    what: format!("factor {m} has rank 0; rank must be at least 1"),
+                });
+            }
+            dvol *= u.cols();
+        }
+        Ok(dvol)
+    }
+
+    /// Expands entry `e` as `val · ⊗_{m≠skip} U_m[i_m, :]` and adds it
+    /// into `acc` (length `dvol`, row-major over the non-skip modes in
+    /// increasing mode order). `tmp` is caller-provided scratch.
+    #[inline]
+    fn accumulate_entry(
+        &self,
+        e: usize,
+        factors: &[DenseMatrix<V>],
+        tmp: &mut Vec<V>,
+        acc: &mut [V],
+    ) {
+        let (&last, init) = self.cmodes.split_last().expect("at least one contracted mode");
+        tmp.clear();
+        tmp.push(self.x.vals()[e]);
+        for &m in init {
+            let row = factors[m].row(self.x.mode_inds(m)[e] as usize);
+            let prev = tmp.len();
+            for t in 0..prev {
+                let a = tmp[t];
+                for &u in row {
+                    tmp.push(a * u);
+                }
+            }
+            tmp.drain(..prev);
+        }
+        let row = factors[last].row(self.x.mode_inds(last)[e] as usize);
+        let r = row.len();
+        for (t, &a) in tmp.iter().enumerate() {
+            axpy(&mut acc[t * r..(t + 1) * r], a, row);
+        }
+    }
+
+    /// Executes the chain as a semi-sparse tensor: sparse mode `skip`,
+    /// dense modes everywhere else (one `∏R_m` block per distinct
+    /// `i_skip`), with the workspace kind picked by [`choose_workspace`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects factor mismatches and full-contraction plans (use
+    /// [`Self::execute_full`]).
+    pub fn execute(&self, factors: &[DenseMatrix<V>], ctx: &Ctx) -> Result<SemiCooTensor<V>> {
+        let dvol = self.check_factors(factors)?;
+        let kind = choose_workspace(
+            self.num_fibers(),
+            dvol,
+            self.x.nnz(),
+            ctx.threads,
+            ctx.dense_threshold(),
+        );
+        self.execute_with(factors, ctx, kind)
+    }
+
+    /// [`Self::execute`] with an explicit workspace kind: `Dense` runs
+    /// owner-computes over the sorted fiber runs, writing each output
+    /// block directly; `Sparse` privatizes a hashed accumulator keyed by
+    /// output fiber per worker and tree-merges.
+    ///
+    /// # Errors
+    ///
+    /// Rejects factor mismatches and full-contraction plans.
+    pub fn execute_with(
+        &self,
+        factors: &[DenseMatrix<V>],
+        ctx: &Ctx,
+        kind: WorkspaceKind,
+    ) -> Result<SemiCooTensor<V>> {
+        let dvol = self.check_factors(factors)?;
+        let order = self.x.order();
+        if self.skip >= order {
+            return Err(Error::InvalidMode { mode: self.skip, order });
+        }
+        let c = fused_counters();
+        c.fused_chains.fetch_add(1, Ordering::Relaxed);
+        c.fused_entries.fetch_add(self.x.nnz() as u64, Ordering::Relaxed);
+
+        let nnz = self.x.nnz();
+        let nf = self.num_fibers();
+        let mut vals = vec![V::ZERO; nf * dvol];
+        match kind {
+            WorkspaceKind::Dense => {
+                let starts = &self.fiber_starts;
+                let shared = SharedSlice::new(&mut vals);
+                parallel_for(nf, ctx.threads, ctx.schedule, |fs| {
+                    let mut tmp = Vec::with_capacity(dvol);
+                    // SAFETY: fiber ranges are disjoint, so the val
+                    // regions [start·dvol, end·dvol) are too.
+                    let block = unsafe { shared.slice_mut(fs.start * dvol..fs.end * dvol) };
+                    for f in fs.clone() {
+                        let lo = starts[f];
+                        let hi = if f + 1 < starts.len() { starts[f + 1] } else { nnz };
+                        let off = (f - fs.start) * dvol;
+                        for e in lo..hi {
+                            self.accumulate_entry(
+                                e,
+                                factors,
+                                &mut tmp,
+                                &mut block[off..off + dvol],
+                            );
+                        }
+                    }
+                });
+            }
+            WorkspaceKind::Sparse => {
+                let chunks = even_chunks(nnz, ctx.threads);
+                let accs = privatized(chunks.len(), ctx.threads, |id| {
+                    let range = chunks[id].clone();
+                    let expect = range.len().min(nf);
+                    let mut ws = FusedWorkspace::new(WorkspaceKind::Sparse, 0, dvol, expect);
+                    let mut tmp = Vec::with_capacity(dvol);
+                    for e in range {
+                        let f = fiber_of(&self.fiber_starts, e) as u32;
+                        self.accumulate_entry(e, factors, &mut tmp, ws.row_mut(f));
+                    }
+                    ws
+                });
+                if let Some(merged) = tree_reduce(accs, ctx.threads, |dst, src| dst.merge(&src)) {
+                    merged.drain_into(&mut vals);
+                }
+            }
+        }
+
+        let dims: Vec<Coord> =
+            (0..order)
+                .map(|m| {
+                    if m == self.skip {
+                        self.x.shape().dim(m)
+                    } else {
+                        factors[m].cols() as Coord
+                    }
+                })
+                .collect();
+        let dense_modes: Vec<usize> = (0..order).filter(|&m| m != self.skip).collect();
+        let skip_inds: Vec<Coord> =
+            self.fiber_starts.iter().map(|&s| self.x.mode_inds(self.skip)[s]).collect();
+        SemiCooTensor::from_fibers(Shape::new(dims), dense_modes, vec![skip_inds], vals)
+    }
+
+    /// Executes a full-contraction chain (`skip == order`) straight to the
+    /// dense core, row-major over the factor ranks in mode order — the
+    /// `to_coo()`/`to_dense()` round-trip of the unfused chain disappears.
+    ///
+    /// # Errors
+    ///
+    /// Rejects factor mismatches and partial-contraction plans (use
+    /// [`Self::execute`]).
+    pub fn execute_full(&self, factors: &[DenseMatrix<V>], ctx: &Ctx) -> Result<Vec<V>> {
+        let dvol = self.check_factors(factors)?;
+        if self.skip < self.x.order() {
+            return Err(Error::InvalidMode { mode: self.skip, order: self.x.order() });
+        }
+        let c = fused_counters();
+        c.fused_chains.fetch_add(1, Ordering::Relaxed);
+        c.fused_entries.fetch_add(self.x.nnz() as u64, Ordering::Relaxed);
+
+        let nnz = self.x.nnz();
+        let chunks = even_chunks(nnz, ctx.threads);
+        let parts = privatized(chunks.len(), ctx.threads, |id| {
+            let mut ws = FusedWorkspace::new(WorkspaceKind::Dense, 1, dvol, 1);
+            let mut tmp = Vec::with_capacity(dvol);
+            for e in chunks[id].clone() {
+                self.accumulate_entry(e, factors, &mut tmp, ws.row_mut(0));
+            }
+            ws
+        });
+        let mut core = vec![V::ZERO; dvol];
+        if let Some(merged) = tree_reduce(parts, ctx.threads, |dst, src| dst.merge(&src)) {
+            merged.drain_into(&mut core);
+        }
+        Ok(core)
+    }
+}
+
+/// One fused CP-ALS sweep: MTTKRP → Hadamard-of-Grams → Cholesky solve →
+/// normalize for every mode, with the sweep-invariant products cached
+/// across iterations.
+///
+/// Arithmetic is bit-identical to the kernel-at-a-time loop — the wins
+/// come from *not redoing work*, all of it cached in the per-run plan:
+///
+/// - per-mode [`MttkrpCooPlan`]s are built once (only where the schedule
+///   analysis says a mode-outermost re-sort pays off), so re-sorts happen
+///   once per run instead of once per sweep;
+/// - the HiCOO conversion (for the HiCOO backend) happens once;
+/// - factor Gram matrices are cached and updated incrementally — one
+///   `gram()` per factor update instead of `N−1` per mode plus `N` more
+///   for the fit, collapsing `O(N²)` Gram computations per sweep to
+///   `O(N)`.
+#[derive(Debug)]
+pub struct FusedAlsSweep<'a, V> {
+    x: &'a CooTensor<V>,
+    format: FormatKind,
+    hicoo: Option<HiCooTensor<V>>,
+    plans: Vec<Option<MttkrpCooPlan<V>>>,
+    grams: Vec<DenseMatrix<V>>,
+    rank: usize,
+    ctx: Ctx,
+}
+
+impl<'a, V: Value> FusedAlsSweep<'a, V> {
+    /// Builds the per-run plan: validates the route against the registry,
+    /// converts/sorts as the schedule analysis dictates, and seeds the
+    /// Gram cache from the initial factors.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unregistered routes, non-COO/HiCOO formats, and factor
+    /// shape mismatches.
+    pub fn new(
+        x: &'a CooTensor<V>,
+        format: FormatKind,
+        block: u32,
+        factors: &[DenseMatrix<V>],
+        ctx: &Ctx,
+    ) -> Result<Self> {
+        KernelPlan::new(Kernel::Mttkrp, format, BackendKind::Cpu, ctx)?;
+        let order = x.order();
+        if factors.len() != order {
+            return Err(Error::OperandMismatch {
+                what: format!("expected {order} factor matrices, got {}", factors.len()),
+            });
+        }
+        let rank = factors[0].cols();
+        for (m, f) in factors.iter().enumerate() {
+            if f.cols() != rank || f.rows() != x.shape().dim(m) as usize {
+                return Err(Error::OperandMismatch {
+                    what: format!(
+                        "factor {m} is {}×{} but mode {m} needs {}×{rank}",
+                        f.rows(),
+                        f.cols(),
+                        x.shape().dim(m)
+                    ),
+                });
+            }
+        }
+        let c = fused_counters();
+        let (hicoo, plans) = match format {
+            FormatKind::Coo => {
+                let mut plans = Vec::with_capacity(order);
+                for n in 0..order {
+                    let sorted = x.sort_state().outermost() == Some(n);
+                    let p = MttkrpSchedParams {
+                        nnz: x.nnz(),
+                        out_rows: x.shape().dim(n) as usize,
+                        rank,
+                        threads: ctx.threads,
+                        mode_outermost_sorted: sorted,
+                    };
+                    let build = match ctx.mttkrp {
+                        StrategyChoice::Privatized => false,
+                        StrategyChoice::Owner => !sorted,
+                        StrategyChoice::Auto => !sorted && resort_pays_off(&p),
+                    };
+                    if build {
+                        c.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+                        plans.push(Some(MttkrpCooPlan::new(x, n, ctx)?));
+                    } else {
+                        plans.push(None);
+                    }
+                }
+                (None, plans)
+            }
+            FormatKind::Hicoo => {
+                c.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+                (Some(HiCooTensor::from_coo(x, block)?), Vec::new())
+            }
+            other => {
+                return Err(Error::OperandMismatch {
+                    what: format!("fused ALS sweep supports coo and hicoo, not {other}"),
+                })
+            }
+        };
+        let grams = factors.iter().map(gram).collect();
+        Ok(Self { x, format, hicoo, plans, grams, rank, ctx: *ctx })
+    }
+
+    /// The decomposition rank `R`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Runs one ALS sweep in place: for each mode, MTTKRP against the
+    /// cached plan, solve against the cached Grams, normalize, and update
+    /// the mode's Gram.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors; fails when the Gram Hadamard product is
+    /// not positive definite.
+    pub fn sweep(&mut self, factors: &mut [DenseMatrix<V>], lambda: &mut [V]) -> Result<()> {
+        let order = self.x.order();
+        let c = fused_counters();
+        c.fused_chains.fetch_add(1, Ordering::Relaxed);
+        for n in 0..order {
+            c.fused_entries.fetch_add(self.x.nnz() as u64, Ordering::Relaxed);
+            let m_out = match (&self.hicoo, &self.plans.get(n).and_then(|p| p.as_ref())) {
+                (Some(h), _) => {
+                    c.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    mttkrp_hicoo(h, factors, n, &self.ctx)?
+                }
+                (None, Some(plan)) => {
+                    c.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    plan.execute(factors)?.0
+                }
+                (None, None) => mttkrp_coo(self.x, factors, n, &self.ctx)?,
+            };
+            // V = hadamard of the cached grams of all factors but n, folded
+            // in increasing mode order (bit-identical to recomputing each
+            // gram in the kernel-at-a-time loop).
+            let mut v: Option<DenseMatrix<V>> = None;
+            for m in 0..order {
+                if m == n {
+                    continue;
+                }
+                c.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+                v = Some(match v {
+                    Some(acc) => hadamard(&acc, &self.grams[m]),
+                    None => self.grams[m].clone(),
+                });
+            }
+            let v = v.expect("order >= 2");
+            let ridge = V::from_f64(1e-10);
+            let ch = Cholesky::factor(&v, ridge).ok_or_else(|| Error::OperandMismatch {
+                what: "gram Hadamard product not positive definite".into(),
+            })?;
+            let mut a = m_out;
+            ch.solve_rows(&mut a);
+            let norms = normalize_columns(&mut a);
+            for (l, nn) in lambda.iter_mut().zip(&norms) {
+                *l = if *nn == V::ZERO { V::ZERO } else { *nn };
+            }
+            self.grams[n] = gram(&a);
+            factors[n] = a;
+        }
+        Ok(())
+    }
+
+    /// The Hadamard product of *all* cached Grams (`∘_m A_mᵀA_m`), folded
+    /// in mode order — the model-norm term of the fit computation, reusing
+    /// the sweep's cache instead of recomputing every Gram.
+    pub fn gram_hadamard(&self) -> DenseMatrix<V> {
+        let c = fused_counters();
+        let mut had: Option<DenseMatrix<V>> = None;
+        for g in &self.grams {
+            c.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+            had = Some(match had {
+                Some(acc) => hadamard(&acc, g),
+                None => g.clone(),
+            });
+        }
+        had.expect("at least one factor")
+    }
+
+    /// Which format backend the sweep drives.
+    pub fn format(&self) -> FormatKind {
+        self.format
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ttv_coo;
+    use crate::{ttm_coo, ttm_scoo};
+    use pasta_core::seeded_vector;
+
+    fn test_tensor(dims: &[u32], nnz: usize, seed: u64) -> CooTensor<f64> {
+        let shape = Shape::new(dims.to_vec());
+        let mut x = CooTensor::new(shape);
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..nnz {
+            let coords: Vec<Coord> = dims.iter().map(|&d| (next() % d as u64) as Coord).collect();
+            let v = (next() % 1000) as f64 / 100.0 - 5.0;
+            x.push(&coords, v).unwrap();
+        }
+        x.dedup_sum();
+        x
+    }
+
+    #[test]
+    fn fused_ttv_matches_composed_kernels() {
+        let x = test_tensor(&[7, 6, 5, 4], 160, 3);
+        let ctx = Ctx::sequential();
+        let vecs: Vec<DenseVector<f64>> = vec![seeded_vector(6, 11), seeded_vector(4, 12)];
+        let plan = FusedTtvPlan::new(&x, &[1, 3], &ctx).unwrap();
+        let fused = plan.execute(&[&vecs[0], &vecs[1]], &ctx).unwrap();
+        // Composed: contract mode 3 first (indices above stay put), then 1.
+        let step = ttv_coo(&x, &vecs[1], 3, &ctx).unwrap();
+        let composed = ttv_coo(&step, &vecs[0], 1, &ctx).unwrap();
+        let df = fused.to_dense(1 << 12);
+        let dc = composed.to_dense(1 << 12);
+        for (a, b) in df.iter().zip(&dc) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ttv_dense_and_sparse_workspaces_agree() {
+        let x = test_tensor(&[9, 8, 7], 200, 5);
+        let v = seeded_vector::<f64>(7, 21);
+        for threads in [1usize, 2, 4] {
+            let ctx = Ctx::new(threads, Schedule::Static);
+            let plan = FusedTtvPlan::new(&x, &[2], &ctx).unwrap();
+            let mut dense = vec![0.0; plan.num_fibers()];
+            let mut sparse = vec![0.0; plan.num_fibers()];
+            plan.execute_values_with(&[&v], &mut dense, &ctx, WorkspaceKind::Dense).unwrap();
+            plan.execute_values_with(&[&v], &mut sparse, &ctx, WorkspaceKind::Sparse).unwrap();
+            for (a, b) in dense.iter().zip(&sparse) {
+                assert!((a - b).abs() < 1e-9, "t={threads}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_ttm_chain_matches_kernel_at_a_time() {
+        let x = test_tensor(&[6, 5, 4], 80, 9);
+        let ctx = Ctx::sequential();
+        let factors: Vec<DenseMatrix<f64>> = vec![
+            pasta_core::seeded_matrix(6, 3, 1),
+            pasta_core::seeded_matrix(5, 2, 2),
+            pasta_core::seeded_matrix(4, 2, 3),
+        ];
+        for skip in 0..3usize {
+            let plan = FusedTtmChainPlan::new(&x, skip, &ctx).unwrap();
+            for kind in [WorkspaceKind::Dense, WorkspaceKind::Sparse] {
+                let fused = plan.execute_with(&factors, &ctx, kind).unwrap();
+                // Kernel-at-a-time: ttm_coo then ttm_scoo per remaining mode.
+                let mut semi = None;
+                for (m, u) in factors.iter().enumerate() {
+                    if m == skip {
+                        continue;
+                    }
+                    semi = Some(match semi {
+                        None => ttm_coo(&x, u, m, &ctx).unwrap(),
+                        Some(prev) => ttm_scoo(&prev, u, m, &ctx).unwrap(),
+                    });
+                }
+                let want = semi.unwrap().to_coo().to_dense(1 << 12);
+                let got = fused.to_coo().to_dense(1 << 12);
+                assert_eq!(got.len(), want.len());
+                for (a, b) in got.iter().zip(&want) {
+                    assert!((a - b).abs() < 1e-9, "skip={skip} {kind}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn execute_full_contracts_every_mode() {
+        let x = test_tensor(&[5, 4, 3], 40, 13);
+        let ctx = Ctx::sequential();
+        let factors: Vec<DenseMatrix<f64>> = vec![
+            pasta_core::seeded_matrix(5, 2, 4),
+            pasta_core::seeded_matrix(4, 2, 5),
+            pasta_core::seeded_matrix(3, 2, 6),
+        ];
+        let plan = FusedTtmChainPlan::new(&x, 3, &ctx).unwrap();
+        let core = plan.execute_full(&factors, &ctx).unwrap();
+        assert_eq!(core.len(), 8);
+        // Reference: chain two ttm_coo products then contract the last
+        // mode by hand against the dense expansion.
+        let mut want = vec![0.0f64; 8];
+        for e in 0..x.nnz() {
+            let v = x.vals()[e];
+            for r0 in 0..2 {
+                for r1 in 0..2 {
+                    for r2 in 0..2 {
+                        want[r0 * 4 + r1 * 2 + r2] += v
+                            * factors[0].get(x.mode_inds(0)[e] as usize, r0)
+                            * factors[1].get(x.mode_inds(1)[e] as usize, r1)
+                            * factors[2].get(x.mode_inds(2)[e] as usize, r2);
+                    }
+                }
+            }
+        }
+        for (a, b) in core.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fused_path_materializes_nothing() {
+        let x = test_tensor(&[8, 7, 6], 120, 17);
+        let ctx = Ctx::sequential();
+        let factors: Vec<DenseMatrix<f64>> = vec![
+            pasta_core::seeded_matrix(8, 2, 1),
+            pasta_core::seeded_matrix(7, 2, 2),
+            pasta_core::seeded_matrix(6, 2, 3),
+        ];
+        let before = fused_counters().snapshot();
+        let plan = FusedTtmChainPlan::new(&x, 0, &ctx).unwrap();
+        let _ = plan.execute(&factors, &ctx).unwrap();
+        let after = fused_counters().snapshot();
+        assert_eq!(after.materialized_intermediates, before.materialized_intermediates);
+        assert!(after.fused_entries >= before.fused_entries + x.nnz() as u64);
+        assert!(after.fused_chains > before.fused_chains);
+    }
+
+    #[test]
+    fn als_sweep_matches_kernel_at_a_time_loop() {
+        let x = test_tensor(&[6, 5, 4], 60, 23);
+        let ctx = Ctx::sequential();
+        let r = 3;
+        let init: Vec<DenseMatrix<f64>> = (0..3)
+            .map(|m| {
+                let mut f = pasta_core::seeded_matrix(x.shape().dim(m) as usize, r, 100 + m as u64);
+                normalize_columns(&mut f);
+                f
+            })
+            .collect();
+        // Fused sweep.
+        let mut fused_factors = init.clone();
+        let mut fused_lambda = vec![1.0f64; r];
+        let mut sweep = FusedAlsSweep::new(&x, FormatKind::Coo, 0, &init, &ctx).unwrap();
+        sweep.sweep(&mut fused_factors, &mut fused_lambda).unwrap();
+        // Reference: the kernel-at-a-time loop, grams recomputed each time.
+        let mut factors = init;
+        let mut lambda = vec![1.0f64; r];
+        for n in 0..3 {
+            let m_out = mttkrp_coo(&x, &factors, n, &ctx).unwrap();
+            let mut v: Option<DenseMatrix<f64>> = None;
+            for (m, f) in factors.iter().enumerate() {
+                if m == n {
+                    continue;
+                }
+                let g = gram(f);
+                v = Some(match v {
+                    Some(acc) => hadamard(&acc, &g),
+                    None => g,
+                });
+            }
+            let ch = Cholesky::factor(&v.unwrap(), 1e-10).unwrap();
+            let mut a = m_out;
+            ch.solve_rows(&mut a);
+            let norms = normalize_columns(&mut a);
+            for (l, nn) in lambda.iter_mut().zip(&norms) {
+                *l = if *nn == 0.0 { 0.0 } else { *nn };
+            }
+            factors[n] = a;
+        }
+        for (fa, ra) in fused_factors.iter().zip(&factors) {
+            for (a, b) in fa.as_slice().iter().zip(ra.as_slice()) {
+                assert_eq!(a, b, "fused sweep must be bit-identical");
+            }
+        }
+        assert_eq!(fused_lambda, lambda);
+    }
+
+    #[test]
+    fn als_sweep_rejects_bad_routes() {
+        let x = test_tensor(&[4, 4], 10, 1);
+        let ctx = Ctx::sequential();
+        let f: Vec<DenseMatrix<f64>> = (0..2).map(|m| pasta_core::seeded_matrix(4, 2, m)).collect();
+        assert!(FusedAlsSweep::new(&x, FormatKind::Scoo, 0, &f, &ctx).is_err());
+        assert!(FusedAlsSweep::new(&x, FormatKind::Coo, 0, &f[..1], &ctx).is_err());
+    }
+
+    #[test]
+    fn ttv_plan_rejects_bad_modes() {
+        let x = test_tensor(&[4, 4, 4], 10, 1);
+        let ctx = Ctx::sequential();
+        assert!(FusedTtvPlan::new(&x, &[], &ctx).is_err());
+        assert!(FusedTtvPlan::new(&x, &[3], &ctx).is_err());
+        assert!(FusedTtvPlan::new(&x, &[0, 1, 2], &ctx).is_err());
+    }
+}

@@ -57,6 +57,7 @@ pub mod csf;
 pub mod dense_ref;
 pub mod fcoo;
 pub mod fibers;
+pub mod fused;
 pub mod microkernel;
 pub mod mttkrp;
 pub mod pipeline;
@@ -65,20 +66,24 @@ pub mod ts;
 pub mod ttm;
 pub mod ttv;
 pub mod tune;
+pub mod workspace;
 
 pub use analysis::{
-    choose_mttkrp_strategy, choose_mttkrp_strategy_with, kernel_cost, resort_pays_off, CostParams,
-    Kernel, KernelCost, MttkrpSchedParams, MttkrpStrategy, DEFAULT_DENSE_THRESHOLD,
+    choose_fusion, choose_mttkrp_strategy, choose_mttkrp_strategy_with, kernel_cost,
+    resort_pays_off, CostParams, FuseDecision, FusionParams, Kernel, KernelCost, MttkrpSchedParams,
+    MttkrpStrategy, DEFAULT_DENSE_THRESHOLD, FUSE_WORKSPACE_FACTOR,
 };
 pub use csf::{mttkrp_csf_root, ttv_csf_leaf, CsfTtvPlan};
 pub use fcoo::ttv_fcoo;
+pub use fused::{FusedAlsSweep, FusedTtmChainPlan, FusedTtvPlan};
 pub use microkernel::{force_simd, prefetch_read, simd_level, SimdLevel};
 pub use mttkrp::{
     mttkrp_coo, mttkrp_coo_traced, mttkrp_hicoo, mttkrp_hicoo_traced, MttkrpCooPlan, MttkrpRun,
 };
 pub use pipeline::{
-    mttkrp_counters, registry, BackendKind, Combo, CounterSnapshot, Ctx, EwOp, ExecRoute,
-    FormatKind, KernelPlan, MttkrpCounters, StrategyChoice, TsOp,
+    fused_registry, mttkrp_counters, registry, BackendKind, Combo, CounterSnapshot, Ctx, EwOp,
+    ExecRoute, FormatKind, FusedExprKind, FusedRoute, FusionChoice, KernelPlan, MttkrpCounters,
+    StrategyChoice, TsOp,
 };
 pub use tew::{
     tew_any, tew_coo, tew_coo_general, tew_coo_same_pattern, tew_csf, tew_fcoo, tew_ghicoo,
@@ -92,4 +97,7 @@ pub use ttv::{ttv_coo, ttv_hicoo, TtvCooPlan, TtvHicooPlan};
 pub use tune::{
     host_llc_bytes, tune_tensor, TensorBucket, TuneEntry, TuneTable, TunedParams,
     DEFAULT_BLOCK_SIZE,
+};
+pub use workspace::{
+    choose_workspace, fused_counters, FusedCounters, FusedSnapshot, FusedWorkspace, WorkspaceKind,
 };

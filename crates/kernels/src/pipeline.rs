@@ -152,6 +152,22 @@ pub enum StrategyChoice {
     Privatized,
 }
 
+/// Whether kernel *chains* (TTM chains, multi-mode TTV products, the CP-ALS
+/// sweep) execute fused through per-thread workspaces or materialize every
+/// intermediate sparse tensor (see [`fused`](crate::fused)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FusionChoice {
+    /// Let the fuse-vs-materialize cost model in
+    /// [`analysis`](crate::analysis) pick (the default).
+    #[default]
+    Auto,
+    /// Force the fused path (workspaces, no intermediate tensors).
+    Fuse,
+    /// Force the kernel-at-a-time path (materialized intermediates) — the
+    /// ablation baseline.
+    Materialize,
+}
+
 /// How a kernel should execute: worker count and loop schedule.
 ///
 /// # Examples
@@ -176,17 +192,31 @@ pub struct Ctx {
     /// Measured scheduling parameters (from the [`tune`](crate::tune)
     /// tables); `None` means the built-in model constants apply.
     pub tuning: Option<crate::tune::TunedParams>,
+    /// Fuse-vs-materialize choice for kernel chains (default: cost model).
+    pub fusion: FusionChoice,
 }
 
 impl Ctx {
     /// A context with explicit thread count and schedule.
     pub fn new(threads: usize, schedule: Schedule) -> Self {
-        Self { threads: threads.max(1), schedule, mttkrp: StrategyChoice::Auto, tuning: None }
+        Self {
+            threads: threads.max(1),
+            schedule,
+            mttkrp: StrategyChoice::Auto,
+            tuning: None,
+            fusion: FusionChoice::Auto,
+        }
     }
 
     /// Single-threaded execution.
     pub fn sequential() -> Self {
-        Self { threads: 1, schedule: Schedule::Static, mttkrp: StrategyChoice::Auto, tuning: None }
+        Self {
+            threads: 1,
+            schedule: Schedule::Static,
+            mttkrp: StrategyChoice::Auto,
+            tuning: None,
+            fusion: FusionChoice::Auto,
+        }
     }
 
     /// All available cores with the suite's default dynamic schedule
@@ -197,12 +227,20 @@ impl Ctx {
             schedule: Schedule::default_dynamic(),
             mttkrp: StrategyChoice::Auto,
             tuning: None,
+            fusion: FusionChoice::Auto,
         }
     }
 
     /// The same context with a forced MTTKRP strategy.
     pub fn with_mttkrp(mut self, choice: StrategyChoice) -> Self {
         self.mttkrp = choice;
+        self
+    }
+
+    /// The same context with a forced fuse-vs-materialize choice for
+    /// kernel chains.
+    pub fn with_fusion(mut self, choice: FusionChoice) -> Self {
+        self.fusion = choice;
         self
     }
 
@@ -624,6 +662,79 @@ pub fn registry() -> Vec<Combo> {
         combos.push(Combo { kernel, format, backend: Gpu });
     }
     combos
+}
+
+/// A fused kernel-chain expression shape (see [`fused`](crate::fused)).
+///
+/// These are the *chains* the fused-expression layer executes through
+/// per-thread workspaces instead of materializing intermediates; they sit
+/// beside the single-kernel [`Kernel`] enum rather than extending it, so
+/// the five-kernel cost tables and tuners are untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FusedExprKind {
+    /// Multi-mode TTV∘TTV product: contract several modes with vectors in
+    /// one pass ([`FusedTtvPlan`](crate::fused::FusedTtvPlan)).
+    TtvChain,
+    /// The TTM chain of a Tucker sweep: contract every mode but one with
+    /// factor matrices ([`FusedTtmChainPlan`](crate::fused::FusedTtmChainPlan)).
+    TtmChain,
+    /// One CP-ALS sweep: MTTKRP → Hadamard-of-Grams → solve → normalize
+    /// with cached grams and plans ([`FusedAlsSweep`](crate::fused::FusedAlsSweep)).
+    AlsSweep,
+}
+
+impl FusedExprKind {
+    /// All fused expression shapes.
+    pub const ALL: [FusedExprKind; 3] =
+        [FusedExprKind::TtvChain, FusedExprKind::TtmChain, FusedExprKind::AlsSweep];
+
+    /// The lowercase label used in conformance cell ids.
+    pub fn label(self) -> &'static str {
+        match self {
+            FusedExprKind::TtvChain => "ttvchain",
+            FusedExprKind::TtmChain => "ttmchain",
+            FusedExprKind::AlsSweep => "alssweep",
+        }
+    }
+}
+
+impl std::fmt::Display for FusedExprKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One implemented (fused expression, input format, backend) route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FusedRoute {
+    /// Which chain shape.
+    pub expr: FusedExprKind,
+    /// The input tensor format the chain reads.
+    pub format: FormatKind,
+    /// Where it runs.
+    pub backend: BackendKind,
+}
+
+impl std::fmt::Display for FusedRoute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fused-{}/{}/{}", self.expr, self.format, self.backend)
+    }
+}
+
+/// Every fused chain route the suite implements.
+///
+/// Like [`registry`], this is the source of truth for coverage: the
+/// conformance matrix generates `fused-*` cells from it (composed dense
+/// oracles, explicit per-cell ULP budgets), and the completeness tests
+/// fail if a fused driver exists without a registered route.
+pub fn fused_registry() -> Vec<FusedRoute> {
+    use BackendKind::Cpu;
+    vec![
+        FusedRoute { expr: FusedExprKind::TtvChain, format: FormatKind::Coo, backend: Cpu },
+        FusedRoute { expr: FusedExprKind::TtmChain, format: FormatKind::Coo, backend: Cpu },
+        FusedRoute { expr: FusedExprKind::AlsSweep, format: FormatKind::Coo, backend: Cpu },
+        FusedRoute { expr: FusedExprKind::AlsSweep, format: FormatKind::Hicoo, backend: Cpu },
+    ]
 }
 
 /// How a planned kernel will execute.

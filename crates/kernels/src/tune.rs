@@ -24,9 +24,9 @@
 //! plan construction consult it instead of the built-in constants.
 
 use crate::analysis::{Kernel, DEFAULT_DENSE_THRESHOLD};
-use crate::pipeline::{Ctx, FormatKind, StrategyChoice};
+use crate::pipeline::{Ctx, EwOp, FormatKind, StrategyChoice, TsOp};
 use crate::{mttkrp_coo_traced, mttkrp_hicoo_traced, TtmCooPlan, TtmHicooPlan};
-use crate::{TtvCooPlan, TtvHicooPlan};
+use crate::{tew_values_into, ts_values_into, TtvCooPlan, TtvHicooPlan};
 use pasta_core::{
     seeded_matrix, seeded_vector, CooTensor, DenseMatrix, DenseVector, Error, HiCooTensor, Result,
     TensorStats,
@@ -313,7 +313,8 @@ fn ctx_with(threads: usize, params: TunedParams) -> Ctx {
 }
 
 /// Runs the measured search for one tensor and returns one [`TuneEntry`]
-/// per contraction kernel × {COO, HiCOO}.
+/// per contraction kernel × {COO, HiCOO} plus one COO row each for the
+/// streaming kernels (TEW, TS), so the table covers all five kernels.
 ///
 /// Mode 0 is measured (tuning all modes would triple the cost for
 /// parameters that are not mode-specific). Plan construction — sorting,
@@ -337,6 +338,43 @@ pub fn tune_tensor(
     let factors: Vec<DenseMatrix<f32>> = (0..x.order())
         .map(|m| seeded_matrix(x.shape().dim(m) as usize, TUNE_RANK, 11 + m as u64))
         .collect();
+
+    // TEW / TS over COO: chunk-size search on the streaming value loops.
+    // (Structure is shared across formats, so the COO row covers the
+    // value-pass schedule for every format.)
+    {
+        let ys: Vec<f32> = x.vals().iter().map(|&v| v * 0.5 + 1.0).collect();
+        let mut out = vec![0.0f32; x.nnz()];
+        let (params, baseline_ns, tuned_ns) = search_chunk(threads, |ctx| {
+            let r = tew_values_into(EwOp::Add, x.vals(), &ys, &mut out, ctx);
+            debug_assert!(r.is_ok());
+        })?;
+        entries.push(TuneEntry {
+            kernel: Kernel::Tew,
+            format: FormatKind::Coo,
+            bucket: bucket.clone(),
+            threads,
+            params,
+            baseline_ns,
+            tuned_ns,
+        });
+    }
+    {
+        let mut out = vec![0.0f32; x.nnz()];
+        let (params, baseline_ns, tuned_ns) = search_chunk(threads, |ctx| {
+            let r = ts_values_into(TsOp::Mul, x.vals(), 1.5, &mut out, ctx);
+            debug_assert!(r.is_ok());
+        })?;
+        entries.push(TuneEntry {
+            kernel: Kernel::Ts,
+            format: FormatKind::Coo,
+            bucket: bucket.clone(),
+            threads,
+            params,
+            baseline_ns,
+            tuned_ns,
+        });
+    }
 
     // TTV / TTM over COO: chunk-size search on a fixed plan.
     {
@@ -866,7 +904,12 @@ mod tests {
         x.dedup_sum();
         let stats = TensorStats::compute(&x);
         let got = tune_tensor(&x, &stats, 2).unwrap();
-        assert_eq!(got.len(), 6);
+        assert_eq!(got.len(), 8);
+        // All five kernels are covered (TEW/TS added by the fused-
+        // expression PR so decomposition runs can load a full table).
+        for k in Kernel::ALL {
+            assert!(got.iter().any(|e| e.kernel == k), "missing {k:?}");
+        }
         let bucket = TensorBucket::from_stats(&stats).key();
         for e in &got {
             assert_eq!(e.bucket, bucket);

@@ -1,0 +1,290 @@
+//! Per-thread workspaces for the fused-expression layer, plus the
+//! process-wide fusion counters.
+//!
+//! A fused chain (see [`fused`](crate::fused)) never materializes an
+//! intermediate sparse tensor; instead every worker accumulates into a
+//! *workspace* — either a dense scratch block indexed by output row
+//! (Kjolstad-style dense workspace) or the open-addressing
+//! [`SparseAcc`] accumulator when the output is hyper-sparse relative to
+//! its index space. [`choose_workspace`] encodes the selection rule;
+//! [`FusedWorkspace`] is the tagged union the fused executors accumulate
+//! into; [`fused_counters`] exposes `mttkrp_counters()`-style
+//! instrumentation so benches and tests can assert that the fused path
+//! materialized nothing.
+
+use crate::pipeline::SparseAcc;
+use pasta_core::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which accumulator a fused executor hands each worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkspaceKind {
+    /// A zeroed dense scratch block of `rows × width` values, indexed
+    /// directly by output row.
+    Dense,
+    /// The open-addressing [`SparseAcc`]: capacity scales with rows
+    /// actually touched, not the index space.
+    Sparse,
+}
+
+impl WorkspaceKind {
+    /// The lowercase label used in logs and cell ids.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkspaceKind::Dense => "dense",
+            WorkspaceKind::Sparse => "sparse",
+        }
+    }
+}
+
+impl std::fmt::Display for WorkspaceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Dense-workspace cap: above this many scratch *values* per worker the
+/// dense block stops being an obvious win and the touched-rows estimate
+/// decides instead.
+pub const DENSE_WS_CAP: usize = 1 << 16;
+
+/// Picks the workspace for a fused chain whose output index space has
+/// `rows` rows of `width` values each, fed by `nnz` input non-zeros on
+/// `threads` workers.
+///
+/// Mirrors the MTTKRP dense-vs-sparse privatization rule: dense when the
+/// per-worker scratch is absolutely small (`rows·width ≤ 2^16`) or when
+/// the output is dense relative to the work (`threads·rows ≤ 4·nnz`, the
+/// [`DEFAULT_DENSE_THRESHOLD`](crate::analysis::DEFAULT_DENSE_THRESHOLD)
+/// rule); sparse otherwise, so hyper-sparse outputs never allocate the
+/// full index space per worker.
+pub fn choose_workspace(
+    rows: usize,
+    width: usize,
+    nnz: usize,
+    threads: usize,
+    dense_threshold: usize,
+) -> WorkspaceKind {
+    if rows.saturating_mul(width) <= DENSE_WS_CAP {
+        return WorkspaceKind::Dense;
+    }
+    if threads.max(1).saturating_mul(rows) <= dense_threshold.saturating_mul(nnz.max(1)) {
+        WorkspaceKind::Dense
+    } else {
+        WorkspaceKind::Sparse
+    }
+}
+
+/// One worker's accumulator: a dense scratch block or a [`SparseAcc`].
+///
+/// Both variants expose the same `row_mut`/`merge`/`drain_into` surface,
+/// so fused executors are written once and instantiated per
+/// [`WorkspaceKind`].
+#[derive(Debug)]
+pub enum FusedWorkspace<V> {
+    /// Dense scratch: `rows × width` values, row-major.
+    Dense {
+        /// The scratch block (`rows × width`).
+        buf: Vec<V>,
+        /// Row width in values.
+        width: usize,
+    },
+    /// Hashed scratch keyed by output row.
+    Sparse(SparseAcc<V>),
+}
+
+impl<V: Value> FusedWorkspace<V> {
+    /// Allocates a workspace of the given kind for `rows × width` output
+    /// slots, expecting about `expected_rows` distinct rows to be touched.
+    pub fn new(kind: WorkspaceKind, rows: usize, width: usize, expected_rows: usize) -> Self {
+        let ws = match kind {
+            WorkspaceKind::Dense => {
+                FusedWorkspace::Dense { buf: vec![V::ZERO; rows * width], width }
+            }
+            WorkspaceKind::Sparse => {
+                FusedWorkspace::Sparse(SparseAcc::new(width, expected_rows.max(1)))
+            }
+        };
+        fused_counters().workspace_bytes.fetch_add(ws.bytes() as u64, Ordering::Relaxed);
+        ws
+    }
+
+    /// Which kind this workspace is.
+    pub fn kind(&self) -> WorkspaceKind {
+        match self {
+            FusedWorkspace::Dense { .. } => WorkspaceKind::Dense,
+            FusedWorkspace::Sparse(_) => WorkspaceKind::Sparse,
+        }
+    }
+
+    /// The workspace's memory footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        match self {
+            FusedWorkspace::Dense { buf, .. } => buf.len() * V::BYTES,
+            FusedWorkspace::Sparse(acc) => acc.bytes(),
+        }
+    }
+
+    /// The `width`-wide accumulator block for output row `row`, zeroed on
+    /// first touch.
+    #[inline]
+    pub fn row_mut(&mut self, row: u32) -> &mut [V] {
+        match self {
+            FusedWorkspace::Dense { buf, width } => {
+                let w = *width;
+                &mut buf[row as usize * w..(row as usize + 1) * w]
+            }
+            FusedWorkspace::Sparse(acc) => acc.row_mut(row),
+        }
+    }
+
+    /// Folds `other` into `self` (the deterministic tree-reduction merge).
+    /// Both sides must share kind and width.
+    pub fn merge(&mut self, other: &FusedWorkspace<V>) {
+        match (self, other) {
+            (FusedWorkspace::Dense { buf, .. }, FusedWorkspace::Dense { buf: ob, .. }) => {
+                debug_assert_eq!(buf.len(), ob.len());
+                crate::microkernel::add_assign(buf, ob);
+            }
+            (FusedWorkspace::Sparse(acc), FusedWorkspace::Sparse(oa)) => acc.merge(oa),
+            _ => panic!("cannot merge dense and sparse workspaces"),
+        }
+    }
+
+    /// Adds every accumulated row into a dense output (row-major, same
+    /// width).
+    pub fn drain_into(&self, out: &mut [V]) {
+        match self {
+            FusedWorkspace::Dense { buf, .. } => {
+                debug_assert_eq!(buf.len(), out.len());
+                crate::microkernel::add_assign(out, buf);
+            }
+            FusedWorkspace::Sparse(acc) => acc.drain_into(out),
+        }
+    }
+}
+
+/// Process-wide instrumentation for the fused-expression layer.
+///
+/// Same pattern as [`MttkrpCounters`](crate::pipeline::MttkrpCounters):
+/// `Ctx` stays `Copy`, so the counters live in one global reachable
+/// through [`fused_counters`]. The key invariant the suite asserts with
+/// these: a fused chain bumps `fused_entries` but never
+/// `materialized_intermediates`; only the kernel-at-a-time baseline bumps
+/// the latter.
+#[derive(Debug, Default)]
+pub struct FusedCounters {
+    /// Input non-zeros processed by fused chain executions.
+    pub fused_entries: AtomicU64,
+    /// Fused chain executions (one per sweep·mode, or per TTV product).
+    pub fused_chains: AtomicU64,
+    /// Bytes allocated as per-thread workspaces.
+    pub workspace_bytes: AtomicU64,
+    /// Intermediate sparse tensors materialized by kernel-at-a-time
+    /// chains (the ablation baseline; zero on the fused path).
+    pub materialized_intermediates: AtomicU64,
+    /// Cached per-run plans (sorted copies, format conversions, grams)
+    /// reused instead of rebuilt.
+    pub plan_cache_hits: AtomicU64,
+    /// Per-run plans built for the first time.
+    pub plan_cache_misses: AtomicU64,
+}
+
+/// A point-in-time copy of the [`FusedCounters`] values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FusedSnapshot {
+    /// Input non-zeros processed by fused chain executions.
+    pub fused_entries: u64,
+    /// Fused chain executions.
+    pub fused_chains: u64,
+    /// Bytes allocated as per-thread workspaces.
+    pub workspace_bytes: u64,
+    /// Intermediate sparse tensors materialized by unfused chains.
+    pub materialized_intermediates: u64,
+    /// Cached per-run plans reused.
+    pub plan_cache_hits: u64,
+    /// Per-run plans built.
+    pub plan_cache_misses: u64,
+}
+
+impl FusedCounters {
+    /// Reads all counters at once (each relaxed; the set is not atomic).
+    pub fn snapshot(&self) -> FusedSnapshot {
+        FusedSnapshot {
+            fused_entries: self.fused_entries.load(Ordering::Relaxed),
+            fused_chains: self.fused_chains.load(Ordering::Relaxed),
+            workspace_bytes: self.workspace_bytes.load(Ordering::Relaxed),
+            materialized_intermediates: self.materialized_intermediates.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.fused_entries.store(0, Ordering::Relaxed);
+        self.fused_chains.store(0, Ordering::Relaxed);
+        self.workspace_bytes.store(0, Ordering::Relaxed);
+        self.materialized_intermediates.store(0, Ordering::Relaxed);
+        self.plan_cache_hits.store(0, Ordering::Relaxed);
+        self.plan_cache_misses.store(0, Ordering::Relaxed);
+    }
+}
+
+static FUSED_COUNTERS: FusedCounters = FusedCounters {
+    fused_entries: AtomicU64::new(0),
+    fused_chains: AtomicU64::new(0),
+    workspace_bytes: AtomicU64::new(0),
+    materialized_intermediates: AtomicU64::new(0),
+    plan_cache_hits: AtomicU64::new(0),
+    plan_cache_misses: AtomicU64::new(0),
+};
+
+/// The process-wide fused-expression counters.
+pub fn fused_counters() -> &'static FusedCounters {
+    &FUSED_COUNTERS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_when_small_sparse_when_hyper_sparse() {
+        // Tiny output: always dense.
+        assert_eq!(choose_workspace(100, 16, 10, 8, 4), WorkspaceKind::Dense);
+        // Output rows dwarf the nnz feeding them: sparse.
+        assert_eq!(choose_workspace(10_000_000, 16, 1_000, 4, 4), WorkspaceKind::Sparse);
+        // Dense relative to work even though absolutely large.
+        assert_eq!(choose_workspace(1 << 20, 1, 1 << 22, 1, 4), WorkspaceKind::Dense);
+    }
+
+    #[test]
+    fn workspace_variants_accumulate_identically() {
+        for kind in [WorkspaceKind::Dense, WorkspaceKind::Sparse] {
+            let mut a = FusedWorkspace::<f64>::new(kind, 8, 3, 4);
+            let mut b = FusedWorkspace::<f64>::new(kind, 8, 3, 4);
+            a.row_mut(2)[1] += 1.5;
+            a.row_mut(5)[0] += 2.0;
+            b.row_mut(2)[1] += 0.5;
+            b.row_mut(7)[2] += 4.0;
+            a.merge(&b);
+            let mut out = vec![0.0; 24];
+            a.drain_into(&mut out);
+            assert_eq!(out[2 * 3 + 1], 2.0);
+            assert_eq!(out[5 * 3], 2.0);
+            assert_eq!(out[7 * 3 + 2], 4.0);
+            assert_eq!(out.iter().filter(|v| **v != 0.0).count(), 3);
+            assert_eq!(a.kind(), kind);
+            assert!(a.bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn counters_record_workspace_allocation() {
+        let before = fused_counters().snapshot();
+        let ws = FusedWorkspace::<f32>::new(WorkspaceKind::Dense, 4, 4, 4);
+        let after = fused_counters().snapshot();
+        assert!(after.workspace_bytes >= before.workspace_bytes + ws.bytes() as u64);
+    }
+}

@@ -1,0 +1,310 @@
+//! Property-based tests for the fused-expression layer: fused TTV∘TTV and
+//! TTM chains and the fused ALS sweep against composed kernel-at-a-time
+//! references, across tensor orders 3–4, pool sizes 1/2/4, and both
+//! workspace kinds — plus the no-materialization counter invariant.
+//!
+//! The composed references here call the raw kernels directly (never
+//! `pasta::algos::ttm_chain`), so this binary's counter assertions cannot
+//! race against legitimate `materialized_intermediates` bumps.
+
+use pasta::core::linalg::{gram, hadamard, normalize_columns, Cholesky};
+use pasta::core::{
+    seeded_matrix, seeded_vector, CooTensor, DenseMatrix, DenseVector, SemiCooTensor, Shape,
+};
+use pasta::kernels::{
+    fused_counters, mttkrp_coo, ttm_coo, ttm_scoo, ttv_coo, Ctx, FormatKind, FusedAlsSweep,
+    FusedTtmChainPlan, FusedTtvPlan, WorkspaceKind,
+};
+use pasta::par::Schedule;
+use pasta_conformance::oracle::worst_ulp;
+use proptest::prelude::*;
+
+fn ctx_with(threads: usize) -> Ctx {
+    Ctx::new(threads, Schedule::Static)
+}
+
+/// Explicit ULP budgets. The fused chains accumulate the whole expression
+/// in one pass while the composed references round once per kernel step,
+/// so the chain budgets sit above the single-kernel conformance budgets;
+/// the ALS budget absorbs the Cholesky solve's conditioning.
+const TTV_CHAIN_ULP: u64 = 512;
+const TTM_CHAIN_ULP: u64 = 1024;
+const ALS_SWEEP_ULP: u64 = 4096;
+
+const POOLS: [usize; 3] = [1, 2, 4];
+
+fn tensor_from(dims: &[u32], entries: Vec<(Vec<u32>, f64)>) -> CooTensor<f64> {
+    let mut t = CooTensor::new(Shape::new(dims.to_vec()));
+    for (coords, v) in entries {
+        t.push(&coords, v).unwrap();
+    }
+    t.dedup_sum();
+    t
+}
+
+fn entries3() -> impl Strategy<Value = Vec<(Vec<u32>, f64)>> {
+    proptest::collection::vec(
+        ((0u32..10, 0u32..7, 0u32..6), -50i32..50)
+            .prop_map(|((i, j, k), v)| (vec![i, j, k], f64::from(v) / 8.0)),
+        1..50,
+    )
+}
+
+fn entries4() -> impl Strategy<Value = Vec<(Vec<u32>, f64)>> {
+    proptest::collection::vec(
+        ((0u32..6, 0u32..5, 0u32..4, 0u32..3), -50i32..50)
+            .prop_map(|((i, j, k, l), v)| (vec![i, j, k, l], f64::from(v) / 8.0)),
+        1..40,
+    )
+}
+
+/// Kernel-at-a-time TTV chain: contracts the given modes one `ttv_coo` at
+/// a time, materializing each intermediate. Contracts the highest mode
+/// first so the remaining mode indices stay valid.
+fn composed_ttv_chain(
+    x: &CooTensor<f64>,
+    contract: &[usize],
+    vecs: &[DenseVector<f64>],
+    ctx: &Ctx,
+) -> CooTensor<f64> {
+    let mut cur = x.clone();
+    for (j, &m) in contract.iter().enumerate().rev() {
+        cur = ttv_coo(&cur, &vecs[j], m, ctx).unwrap();
+    }
+    cur
+}
+
+/// Kernel-at-a-time TTM chain (the `pasta::algos::ttm_chain` algorithm,
+/// restated over the raw kernels so no fused counters are touched).
+fn composed_ttm_chain(
+    x: &CooTensor<f64>,
+    factors: &[DenseMatrix<f64>],
+    skip: usize,
+    ctx: &Ctx,
+) -> CooTensor<f64> {
+    let mut semi: Option<SemiCooTensor<f64>> = None;
+    for (n, u) in factors.iter().enumerate() {
+        if n == skip {
+            continue;
+        }
+        semi = Some(match semi {
+            None => ttm_coo(x, u, n, ctx).unwrap(),
+            Some(prev) if prev.dense_modes().len() + 1 >= prev.shape().order() => {
+                ttm_coo(&prev.to_coo(), u, n, ctx).unwrap()
+            }
+            Some(prev) => ttm_scoo(&prev, u, n, ctx).unwrap(),
+        });
+    }
+    match semi {
+        Some(s) => s.to_coo(),
+        None => x.clone(),
+    }
+}
+
+/// One kernel-at-a-time ALS sweep (MTTKRP, recomputed Grams, Cholesky
+/// solve, normalize), mutating `factors`/`lambda` in place. Returns false
+/// when the Gram Hadamard is singular (degenerate case).
+fn composed_als_sweep(
+    x: &CooTensor<f64>,
+    factors: &mut [DenseMatrix<f64>],
+    lambda: &mut [f64],
+    ctx: &Ctx,
+) -> bool {
+    for n in 0..x.order() {
+        let m_out = mttkrp_coo(x, factors, n, ctx).unwrap();
+        let mut v: Option<DenseMatrix<f64>> = None;
+        for (m, f) in factors.iter().enumerate() {
+            if m == n {
+                continue;
+            }
+            let g = gram(f);
+            v = Some(match v {
+                Some(acc) => hadamard(&acc, &g),
+                None => g,
+            });
+        }
+        let Some(ch) = Cholesky::factor(&v.expect("order >= 2"), 1e-10) else {
+            return false;
+        };
+        let mut a = m_out;
+        ch.solve_rows(&mut a);
+        let norms = normalize_columns(&mut a);
+        for (l, nn) in lambda.iter_mut().zip(&norms) {
+            *l = if *nn == 0.0 { 0.0 } else { *nn };
+        }
+        factors[n] = a;
+    }
+    true
+}
+
+fn unit_factors(x: &CooTensor<f64>, rank: usize, seed: u64) -> Vec<DenseMatrix<f64>> {
+    (0..x.order())
+        .map(|m| {
+            let mut f = seeded_matrix(x.shape().dim(m) as usize, rank, seed + m as u64);
+            normalize_columns(&mut f);
+            f
+        })
+        .collect()
+}
+
+fn check_ttv_chain(x: &CooTensor<f64>, contract: &[usize]) {
+    let vecs: Vec<DenseVector<f64>> =
+        contract.iter().map(|&m| seeded_vector(x.shape().dim(m) as usize, 17 + m as u64)).collect();
+    let refs: Vec<&DenseVector<f64>> = vecs.iter().collect();
+    let want = composed_ttv_chain(x, contract, &vecs, &Ctx::sequential()).to_dense(1 << 22);
+    for threads in POOLS {
+        let ctx = ctx_with(threads);
+        let plan = FusedTtvPlan::new(x, contract, &ctx).unwrap();
+        // The auto-dispatched route…
+        let got = plan.execute(&refs, &ctx).unwrap().to_dense(1 << 22);
+        let w = worst_ulp(&got, &want).unwrap_or(u64::MAX);
+        assert!(w <= TTV_CHAIN_ULP, "t{threads} auto: worst {w} ULP");
+        // …and both workspace kinds explicitly: each must agree with the
+        // auto route's fiber values to the same budget.
+        let auto_vals = plan.execute(&refs, &ctx).unwrap();
+        for kind in [WorkspaceKind::Dense, WorkspaceKind::Sparse] {
+            let mut vals = vec![0.0f64; plan.num_fibers()];
+            plan.execute_values_with(&refs, &mut vals, &ctx, kind).unwrap();
+            let w = worst_ulp(&vals, auto_vals.vals()).unwrap_or(u64::MAX);
+            assert!(w <= TTV_CHAIN_ULP, "t{threads} {kind}: worst {w} ULP vs auto route");
+        }
+    }
+}
+
+fn check_ttm_chain(x: &CooTensor<f64>, rank: usize) {
+    let factors: Vec<DenseMatrix<f64>> = (0..x.order())
+        .map(|m| seeded_matrix(x.shape().dim(m) as usize, rank, 29 + m as u64))
+        .collect();
+    for skip in 0..x.order() {
+        let want = composed_ttm_chain(x, &factors, skip, &Ctx::sequential()).to_dense(1 << 22);
+        for threads in POOLS {
+            let ctx = ctx_with(threads);
+            let plan = FusedTtmChainPlan::new(x, skip, &ctx).unwrap();
+            let got = plan.execute(&factors, &ctx).unwrap().to_coo().to_dense(1 << 22);
+            let w = worst_ulp(&got, &want).unwrap_or(u64::MAX);
+            assert!(w <= TTM_CHAIN_ULP, "skip {skip} t{threads}: worst {w} ULP");
+        }
+    }
+    // Full contraction (the Tucker core) against the composed chain.
+    let want = composed_ttm_chain(x, &factors, x.order(), &Ctx::sequential()).to_dense(1 << 22);
+    for threads in POOLS {
+        let ctx = ctx_with(threads);
+        let plan = FusedTtmChainPlan::new(x, x.order(), &ctx).unwrap();
+        let got = plan.execute_full(&factors, &ctx).unwrap();
+        let w = worst_ulp(&got, &want).unwrap_or(u64::MAX);
+        assert!(w <= TTM_CHAIN_ULP, "full t{threads}: worst {w} ULP");
+    }
+}
+
+fn check_als_sweep(x: &CooTensor<f64>, rank: usize, sweeps: usize) {
+    for threads in POOLS {
+        let ctx = ctx_with(threads);
+        let mut ff = unit_factors(x, rank, 5);
+        let mut lf = vec![1.0f64; rank];
+        let mut plan = FusedAlsSweep::new(x, FormatKind::Coo, 0, &ff, &ctx).unwrap();
+        let mut fm = unit_factors(x, rank, 5);
+        let mut lm = vec![1.0f64; rank];
+        for _ in 0..sweeps {
+            if !composed_als_sweep(x, &mut fm, &mut lm, &ctx) {
+                // Degenerate Gram: the fused route must reject it too.
+                assert!(plan.sweep(&mut ff, &mut lf).is_err());
+                return;
+            }
+            plan.sweep(&mut ff, &mut lf).unwrap();
+        }
+        for (a, b) in ff.iter().zip(&fm) {
+            let w = worst_ulp(a.as_slice(), b.as_slice()).unwrap_or(u64::MAX);
+            assert!(w <= ALS_SWEEP_ULP, "t{threads} factors: worst {w} ULP");
+        }
+        let w = worst_ulp(&lf, &lm).unwrap_or(u64::MAX);
+        assert!(w <= ALS_SWEEP_ULP, "t{threads} lambda: worst {w} ULP");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fused TTV∘TTV equals the composed two-TTV chain, order 3.
+    #[test]
+    fn prop_ttv_chain_order3(entries in entries3()) {
+        let x = tensor_from(&[10, 7, 6], entries);
+        check_ttv_chain(&x, &[1, 2]);
+    }
+
+    /// Fused TTV∘TTV equals the composed chain on order 4, including a
+    /// non-adjacent contracted-mode pair.
+    #[test]
+    fn prop_ttv_chain_order4(entries in entries4()) {
+        let x = tensor_from(&[6, 5, 4, 3], entries);
+        check_ttv_chain(&x, &[2, 3]);
+        check_ttv_chain(&x, &[1, 3]);
+    }
+
+    /// Fused TTM chains (every skip mode + full contraction) equal the
+    /// kernel-at-a-time chain, order 3.
+    #[test]
+    fn prop_ttm_chain_order3(entries in entries3()) {
+        let x = tensor_from(&[10, 7, 6], entries);
+        check_ttm_chain(&x, 3);
+    }
+
+    /// Fused TTM chains equal the kernel-at-a-time chain, order 4.
+    #[test]
+    fn prop_ttm_chain_order4(entries in entries4()) {
+        let x = tensor_from(&[6, 5, 4, 3], entries);
+        check_ttm_chain(&x, 2);
+    }
+
+    /// The fused ALS sweep tracks the kernel-at-a-time sweep over multiple
+    /// iterations, order 3.
+    #[test]
+    fn prop_als_sweep_order3(entries in entries3()) {
+        let x = tensor_from(&[10, 7, 6], entries);
+        check_als_sweep(&x, 2, 3);
+    }
+
+    /// The fused ALS sweep tracks the kernel-at-a-time sweep, order 4.
+    #[test]
+    fn prop_als_sweep_order4(entries in entries4()) {
+        let x = tensor_from(&[6, 5, 4, 3], entries);
+        check_als_sweep(&x, 2, 2);
+    }
+}
+
+/// The acceptance invariant: fused execution materializes no intermediate
+/// sparse tensors — the counter only moves on the kernel-at-a-time paths,
+/// none of which run in this test binary.
+#[test]
+fn fused_paths_materialize_no_intermediates() {
+    let x = tensor_from(
+        &[10, 7, 6],
+        (0..60u32).map(|i| (vec![i % 10, (i * 3) % 7, (i * 5) % 6], f64::from(i) - 30.0)).collect(),
+    );
+    let ctx = ctx_with(2);
+    let before = fused_counters().snapshot();
+
+    let v1 = seeded_vector::<f64>(7, 1);
+    let v2 = seeded_vector::<f64>(6, 2);
+    let ttv = FusedTtvPlan::new(&x, &[1, 2], &ctx).unwrap();
+    ttv.execute(&[&v1, &v2], &ctx).unwrap();
+
+    let factors: Vec<DenseMatrix<f64>> =
+        (0..3).map(|m| seeded_matrix(x.shape().dim(m) as usize, 3, m as u64)).collect();
+    let ttm = FusedTtmChainPlan::new(&x, 0, &ctx).unwrap();
+    ttm.execute(&factors, &ctx).unwrap();
+    let core = FusedTtmChainPlan::new(&x, 3, &ctx).unwrap();
+    core.execute_full(&factors, &ctx).unwrap();
+
+    let mut ff = unit_factors(&x, 2, 9);
+    let mut lf = vec![1.0f64; 2];
+    let mut als = FusedAlsSweep::new(&x, FormatKind::Coo, 0, &ff, &ctx).unwrap();
+    als.sweep(&mut ff, &mut lf).unwrap();
+
+    let after = fused_counters().snapshot();
+    assert_eq!(
+        after.materialized_intermediates, before.materialized_intermediates,
+        "fused paths must not materialize intermediate sparse tensors"
+    );
+    assert!(after.fused_chains >= before.fused_chains + 4);
+    assert!(after.workspace_bytes > before.workspace_bytes);
+}
