@@ -30,8 +30,16 @@ cargo run --release -q -p pasta-bench --bin hostrun -- --tune s1 0.02 2 > /dev/n
 echo "==> Fused e2e smoke (CPD-ALS + Tucker ablation rows on one profile)"
 cargo run --release -q -p pasta-bench --bin hostrun -- --e2e s1 0.02 2 | grep -c "TUCKER-HOOI" > /dev/null
 
+echo "==> Traced hostrun smoke (valid chrome trace + advisory regression gate)"
+cargo run --release -q -p pasta-bench --bin hostrun -- --trace \
+  --check-regress results/BENCH_host.json --regress-advisory s1 0.02 2 > /dev/null
+cargo run --release -q -p pasta-bench --bin hostrun -- --check-trace results/TRACE_host.json
+
 echo "==> Conformance matrix (quick tier + selftest)"
 cargo run --release -q -p pasta-conformance -- quick
 cargo run --release -q -p pasta-conformance -- selftest
+
+echo "==> Conformance quick under PASTA_TRACE=1 (tracing must not perturb numerics)"
+PASTA_TRACE=1 cargo run --release -q -p pasta-conformance -- quick
 
 echo "==> CI gate passed"

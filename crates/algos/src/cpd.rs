@@ -414,9 +414,10 @@ mod tests {
 
     #[test]
     fn fused_sweep_reuses_plans_across_iterations() {
-        use pasta_kernels::fused_counters;
+        use pasta_kernels::{counters, CounterId};
         let x = rank_r_tensor(&[6, 6, 6], 2, 21);
-        let before = fused_counters().snapshot();
+        pasta_kernels::obs::set_counting(true);
+        let before = counters().snapshot();
         let m = cp_als(
             &x,
             &CpdOptions {
@@ -429,10 +430,12 @@ mod tests {
         )
         .unwrap();
         assert!(m.fit > 0.9);
-        let after = fused_counters().snapshot();
+        let after = counters().snapshot();
         // One HiCOO conversion for the whole run, reused every sweep.
-        assert!(after.plan_cache_hits >= before.plan_cache_hits + 10 * 3);
-        assert!(after.fused_chains >= before.fused_chains + 10);
+        assert!(
+            after[CounterId::FusedPlanCacheHits] >= before[CounterId::FusedPlanCacheHits] + 10 * 3
+        );
+        assert!(after[CounterId::FusedChains] >= before[CounterId::FusedChains] + 10);
     }
 
     #[test]

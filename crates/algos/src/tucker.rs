@@ -22,10 +22,9 @@
 use crate::eig::{leading_vectors, sym_eig};
 use pasta_core::{CooTensor, DenseMatrix, Error, Result, SemiCooTensor, Shape, TensorStats, Value};
 use pasta_kernels::{
-    choose_fusion, fused_counters, ttm_coo, ttm_scoo, Ctx, FormatKind, FuseDecision,
+    choose_fusion, counters, ttm_coo, ttm_scoo, CounterId, Ctx, FormatKind, FuseDecision,
     FusedTtmChainPlan, FusionChoice, FusionParams, Kernel, TensorBucket, TuneTable,
 };
-use std::sync::atomic::Ordering;
 
 /// Tucker/HOOI options.
 #[derive(Debug, Clone)]
@@ -94,7 +93,7 @@ pub struct TuckerModel<V> {
 ///
 /// This is the ablation baseline the fused route
 /// ([`FusedTtmChainPlan`]) is measured against; every intermediate it
-/// builds bumps the `materialized_intermediates` counter.
+/// builds bumps the `fused.materialized_intermediates` counter.
 ///
 /// # Errors
 ///
@@ -105,7 +104,7 @@ pub fn ttm_chain<V: Value>(
     skip: usize,
     ctx: &Ctx,
 ) -> Result<CooTensor<V>> {
-    let c = fused_counters();
+    let c = counters();
     // First product leaves COO; later products stay semi-sparse (ttm_scoo),
     // avoiding repeated expansion — the point of the sCOO format.
     let mut semi: Option<SemiCooTensor<V>> = None;
@@ -113,13 +112,13 @@ pub fn ttm_chain<V: Value>(
         if n == skip {
             continue;
         }
-        c.materialized_intermediates.fetch_add(1, Ordering::Relaxed);
+        c.add(CounterId::FusedMaterialized, 1);
         semi = Some(match semi {
             None => ttm_coo(x, u, n, ctx)?,
             // sCOO requires at least one sparse mode; when the chain is
             // about to densify the last one, fall back through COO.
             Some(prev) if prev.dense_modes().len() + 1 >= prev.shape().order() => {
-                c.materialized_intermediates.fetch_add(1, Ordering::Relaxed);
+                c.add(CounterId::FusedMaterialized, 1);
                 ttm_coo(&prev.to_coo(), u, n, ctx)?
             }
             Some(prev) => ttm_scoo(&prev, u, n, ctx)?,
@@ -127,7 +126,7 @@ pub fn ttm_chain<V: Value>(
     }
     Ok(match semi {
         Some(s) => {
-            c.materialized_intermediates.fetch_add(1, Ordering::Relaxed);
+            c.add(CounterId::FusedMaterialized, 1);
             s.to_coo()
         }
         None => x.clone(),
@@ -260,7 +259,7 @@ fn cached_plan<'p, V: Value>(
     if plans[skip].is_none() {
         plans[skip] = Some(FusedTtmChainPlan::new(x, skip, ctx)?);
     } else {
-        fused_counters().plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+        counters().add(CounterId::FusedPlanCacheHits, 1);
     }
     Ok(plans[skip].as_ref().expect("just built"))
 }
@@ -417,7 +416,8 @@ mod tests {
     #[test]
     fn fused_route_materializes_no_intermediates() {
         let x = diag_tensor(6);
-        let c = fused_counters();
+        pasta_kernels::obs::set_counting(true);
+        let c = counters();
         let before = c.snapshot();
         let m = tucker_hooi(
             &x,
@@ -432,12 +432,13 @@ mod tests {
         assert!(m.energy > 0.0);
         let after = c.snapshot();
         assert_eq!(
-            after.materialized_intermediates, before.materialized_intermediates,
+            after[CounterId::FusedMaterialized],
+            before[CounterId::FusedMaterialized],
             "fused Tucker must not materialize intermediate sparse tensors"
         );
-        assert!(after.fused_chains > before.fused_chains);
+        assert!(after[CounterId::FusedChains] > before[CounterId::FusedChains]);
         // 2 sweeps × 3 modes reuse 3 plans; the core plan is built once.
-        assert!(after.plan_cache_hits >= before.plan_cache_hits + 3);
+        assert!(after[CounterId::FusedPlanCacheHits] >= before[CounterId::FusedPlanCacheHits] + 3);
     }
 
     #[test]

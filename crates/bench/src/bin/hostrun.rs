@@ -2,11 +2,32 @@
 //! complement to the modeled Figures 4–7 (this machine is a fifth,
 //! "Host" platform column).
 //!
-//! Usage: `hostrun [--json] [--tune] [--e2e] [real|synthetic|<profile-id>] [scale] [threads]`
+//! Usage: `hostrun [--json] [--tune] [--e2e] [--trace]
+//! [--check-regress <baseline.json>] [--regress-tol <frac>]
+//! [--regress-advisory] [--check-trace <trace.json>]
+//! [real|synthetic|<profile-id>] [scale] [threads]`
 //! (a profile id like `s1` selects one tensor)
 //!
 //! With `--json`, the per-run records are additionally written to
-//! `results/BENCH_host.json` for downstream tooling.
+//! `results/BENCH_host.json` for downstream tooling. Every CSV/JSON row
+//! carries the Table I model cost (`flops`, `bytes_moved`) and the achieved
+//! bandwidth (`achieved_gbps`) alongside the GFLOPS, and a per-run
+//! roofline-gap report (model vs measured per kernel × format × bucket)
+//! prints to stderr after the table.
+//!
+//! With `--trace`, pasta-obs span recording is enabled for the run and the
+//! collected per-thread events (sort passes, HiCOO conversions, kernel
+//! strategies, fused chains, pool broadcasts, per-worker task/steal/idle
+//! stats) are exported as chrome://tracing JSON to
+//! `results/TRACE_host.json`. `--check-trace <path>` validates such a file
+//! (schema + span nesting) and exits non-zero if it is malformed.
+//!
+//! With `--check-regress <baseline.json>`, the current run is diffed
+//! against the committed baseline keyed by (tensor, kernel, format); rows
+//! slower than baseline × (1 + tolerance) fail the gate (exit 1) unless
+//! `--regress-advisory` is given. The tolerance defaults to 0.5 (1.5×) and
+//! can be set via `--regress-tol` or `PASTA_REGRESS_TOL`. A malformed
+//! baseline always fails hard, advisory mode or not.
 //!
 //! With `--e2e`, each tensor additionally gets four end-to-end
 //! decomposition rows — CP-ALS and Tucker/HOOI, each fused (expression
@@ -22,15 +43,20 @@
 //! and execute each kernel × format under its tuned parameters.
 
 use pasta_bench::datasets::{load_dataset, load_one, DatasetKind};
+use pasta_bench::regress::{diff, parse_baseline, BenchRow};
 use pasta_bench::runner::{
     mode_avg_cost, run_host, run_host_cpd, run_host_mttkrp_variant, run_host_tucker, HostRun,
     MttkrpVariant,
 };
-use pasta_kernels::{simd_level, tune_tensor, Ctx, FormatKind, Kernel, TensorBucket, TuneTable};
+use pasta_kernels::{
+    roofline_report, simd_level, tune_tensor, Ctx, FormatKind, Kernel, RooflineSample,
+    TensorBucket, TuneTable,
+};
 use pasta_par::Schedule;
 use pasta_platform::Format;
 
 const TUNE_PATH: &str = "results/TUNE_host.json";
+const TRACE_PATH: &str = "results/TRACE_host.json";
 
 struct Record {
     tensor: String,
@@ -46,6 +72,12 @@ struct Record {
     tuned: bool,
     /// `Some` only on end-to-end ablation rows: whether the fused route ran.
     fused: Option<bool>,
+    /// Table I model flop count for the run (mode-averaged).
+    flops: f64,
+    /// Table I model upper-bound bytes moved (mode-averaged; 0 on e2e rows).
+    bytes_moved: f64,
+    /// Model bytes over measured time, in GB/s (0 on e2e rows).
+    achieved_gbps: f64,
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
@@ -76,7 +108,8 @@ fn write_json(path: &std::path::Path, records: &[Record]) -> std::io::Result<()>
             f,
             "  {{\"tensor\": \"{}\", \"name\": \"{}\", \"nnz\": {}, \"kernel\": \"{}\", \
              \"format\": \"{}\", \"time_ns\": {:.1}, \"gflops\": {:.4}, \"oi\": {:.4}, \
-             \"strategy\": \"{}\", \"simd\": \"{}\", \"tuned\": {}, \"fused\": {}}}{}",
+             \"strategy\": \"{}\", \"simd\": \"{}\", \"tuned\": {}, \"fused\": {}, \
+             \"flops\": {:.1}, \"bytes_moved\": {:.1}, \"achieved_gbps\": {:.4}}}{}",
             json_escape(&r.tensor),
             json_escape(&r.name),
             r.nnz,
@@ -89,6 +122,9 @@ fn write_json(path: &std::path::Path, records: &[Record]) -> std::io::Result<()>
             json_escape(&r.simd),
             r.tuned,
             fused,
+            r.flops,
+            r.bytes_moved,
+            r.achieved_gbps,
             comma
         )?;
     }
@@ -100,6 +136,99 @@ fn format_kind(fmt: Format) -> FormatKind {
     match fmt {
         Format::Coo => FormatKind::Coo,
         Format::Hicoo => FormatKind::Hicoo,
+    }
+}
+
+/// Removes `flag <value>` from `args`, returning the value if present.
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
+/// Validates a chrome-trace file and exits non-zero if it is malformed.
+fn check_trace_main(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match pasta_obs::validate_chrome_trace(&text) {
+        Ok(spans) => eprintln!("{path}: valid chrome trace, {spans} nested span pairs"),
+        Err(e) => {
+            eprintln!("{path}: invalid trace: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Appends per-worker pool stats as instant events and writes the trace.
+fn export_trace() {
+    for ws in pasta_par::pool::global().worker_stats() {
+        pasta_obs::instant("pool", "pool.worker", "", ws.tasks, ws.steals, ws.idle_ns);
+    }
+    let path = std::path::Path::new(TRACE_PATH);
+    match pasta_obs::write_chrome_trace(path) {
+        Ok(()) => eprintln!("wrote trace to {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Diffs the current records against a committed baseline; exits non-zero
+/// on regression (unless advisory) or on a malformed baseline (always).
+fn regress_main(baseline_path: &str, records: &[Record], tol: f64, advisory: bool) {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to read baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let baseline = match parse_baseline(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("malformed baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let current: Vec<BenchRow> = records
+        .iter()
+        .map(|r| BenchRow {
+            tensor: r.tensor.clone(),
+            kernel: r.kernel.clone(),
+            format: r.format.clone(),
+            time_ns: r.time_ns,
+        })
+        .collect();
+    let report = diff(&current, &baseline, tol);
+    eprintln!(
+        "regression gate vs {baseline_path}: {} keys compared, {} unmatched, tolerance {:.2}x",
+        report.compared,
+        report.unmatched,
+        1.0 + tol
+    );
+    for line in &report.regressions {
+        eprintln!("  REGRESSED {line}");
+    }
+    if report.ok() {
+        eprintln!("no regressions");
+    } else if advisory {
+        eprintln!(
+            "{} regression(s); advisory mode, not failing the gate",
+            report.regressions.len()
+        );
+    } else {
+        std::process::exit(1);
     }
 }
 
@@ -170,7 +299,26 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let tune = args.iter().any(|a| a == "--tune");
     let e2e = args.iter().any(|a| a == "--e2e");
-    args.retain(|a| a != "--json" && a != "--tune" && a != "--e2e");
+    let trace = args.iter().any(|a| a == "--trace");
+    let advisory = args.iter().any(|a| a == "--regress-advisory");
+    args.retain(|a| {
+        a != "--json"
+            && a != "--tune"
+            && a != "--e2e"
+            && a != "--trace"
+            && a != "--regress-advisory"
+    });
+    let check_trace = take_value_flag(&mut args, "--check-trace");
+    let check_regress = take_value_flag(&mut args, "--check-regress");
+    let tol = take_value_flag(&mut args, "--regress-tol")
+        .or_else(|| std::env::var("PASTA_REGRESS_TOL").ok())
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|&t| t >= 0.0)
+        .unwrap_or(0.5);
+    if let Some(path) = check_trace {
+        check_trace_main(&path);
+        return;
+    }
     let kind: DatasetKind = args
         .first()
         .map(|s| s.parse().unwrap_or(DatasetKind::Synthetic))
@@ -181,6 +329,9 @@ fn main() {
     if tune {
         tune_main(args.first().map(String::as_str), kind, scale, threads);
         return;
+    }
+    if trace {
+        pasta_obs::set_tracing(true);
     }
     let ctx = Ctx::new(threads, Schedule::Dynamic(256));
     let table = TuneTable::load(std::path::Path::new(TUNE_PATH)).unwrap_or_default();
@@ -196,7 +347,11 @@ fn main() {
         None => load_dataset(kind, scale),
     };
     let mut records = Vec::new();
-    println!("tensor,name,nnz,kernel,format,time_s,gflops,oi,strategy,simd,tuned,fused");
+    let mut samples: Vec<RooflineSample> = Vec::new();
+    println!(
+        "tensor,name,nnz,kernel,format,time_s,gflops,oi,strategy,simd,tuned,fused,\
+         flops,bytes_moved,achieved_gbps"
+    );
     for bt in &tensors {
         let bucket = TensorBucket::from_stats(&bt.stats).key();
         for k in Kernel::ALL {
@@ -206,9 +361,18 @@ fn main() {
                 let tuned = entry.is_some();
                 let run = run_host(bt, k, fmt, &row_ctx);
                 let (flops, bytes) = mode_avg_cost(bt, k, fmt);
+                let gbps = bytes / run.time / 1e9;
                 let strategy = run.strategy.clone().unwrap_or_default();
+                samples.push(RooflineSample {
+                    kernel: k,
+                    format: fmt.to_string(),
+                    bucket: bucket.clone(),
+                    time_s: run.time,
+                    flops,
+                    bytes,
+                });
                 println!(
-                    "{},{},{},{},{},{:.6e},{:.4},{:.4},{},{},{},",
+                    "{},{},{},{},{},{:.6e},{:.4},{:.4},{},{},{},,{:.4e},{:.4e},{:.4}",
                     bt.profile.id,
                     bt.profile.name,
                     bt.stats.nnz,
@@ -219,24 +383,28 @@ fn main() {
                     flops / bytes,
                     strategy,
                     simd,
-                    tuned
+                    tuned,
+                    flops,
+                    bytes,
+                    gbps
                 );
-                if json {
-                    records.push(Record {
-                        tensor: bt.profile.id.to_string(),
-                        name: bt.profile.name.to_string(),
-                        nnz: bt.stats.nnz,
-                        kernel: k.to_string(),
-                        format: fmt.to_string(),
-                        time_ns: run.time * 1e9,
-                        gflops: run.gflops,
-                        oi: flops / bytes,
-                        strategy,
-                        simd: simd.to_string(),
-                        tuned,
-                        fused: None,
-                    });
-                }
+                records.push(Record {
+                    tensor: bt.profile.id.to_string(),
+                    name: bt.profile.name.to_string(),
+                    nnz: bt.stats.nnz,
+                    kernel: k.to_string(),
+                    format: fmt.to_string(),
+                    time_ns: run.time * 1e9,
+                    gflops: run.gflops,
+                    oi: flops / bytes,
+                    strategy,
+                    simd: simd.to_string(),
+                    tuned,
+                    fused: None,
+                    flops,
+                    bytes_moved: bytes,
+                    achieved_gbps: gbps,
+                });
             }
         }
         // The serial-atomic vs owner-computes vs privatized MTTKRP ablation
@@ -247,9 +415,10 @@ fn main() {
         for variant in [MttkrpVariant::Atomic, MttkrpVariant::Owner, MttkrpVariant::Privatized] {
             let run = run_host_mttkrp_variant(bt, variant, &abl_ctx);
             let (flops, bytes) = mode_avg_cost(bt, Kernel::Mttkrp, Format::Coo);
+            let gbps = bytes / run.time / 1e9;
             let strategy = run.strategy.clone().unwrap_or_default();
             println!(
-                "{},{},{},MTTKRP[{}],{},{:.6e},{:.4},{:.4},{},{},{},",
+                "{},{},{},MTTKRP[{}],{},{:.6e},{:.4},{:.4},{},{},{},,{:.4e},{:.4e},{:.4}",
                 bt.profile.id,
                 bt.profile.name,
                 bt.stats.nnz,
@@ -260,24 +429,28 @@ fn main() {
                 flops / bytes,
                 strategy,
                 simd,
-                tuned
+                tuned,
+                flops,
+                bytes,
+                gbps
             );
-            if json {
-                records.push(Record {
-                    tensor: bt.profile.id.to_string(),
-                    name: bt.profile.name.to_string(),
-                    nnz: bt.stats.nnz,
-                    kernel: format!("MTTKRP[{variant}]"),
-                    format: Format::Coo.to_string(),
-                    time_ns: run.time * 1e9,
-                    gflops: run.gflops,
-                    oi: flops / bytes,
-                    strategy,
-                    simd: simd.to_string(),
-                    tuned,
-                    fused: None,
-                });
-            }
+            records.push(Record {
+                tensor: bt.profile.id.to_string(),
+                name: bt.profile.name.to_string(),
+                nnz: bt.stats.nnz,
+                kernel: format!("MTTKRP[{variant}]"),
+                format: Format::Coo.to_string(),
+                time_ns: run.time * 1e9,
+                gflops: run.gflops,
+                oi: flops / bytes,
+                strategy,
+                simd: simd.to_string(),
+                tuned,
+                fused: None,
+                flops,
+                bytes_moved: bytes,
+                achieved_gbps: gbps,
+            });
         }
         // The end-to-end fused-vs-materialized ablation: CP-ALS and
         // Tucker/HOOI rows, one per route, carrying the `fused` column.
@@ -294,7 +467,7 @@ fn main() {
                     let run = runner(bt, fused, &e2e_ctx);
                     let strategy = run.strategy.clone().unwrap_or_default();
                     println!(
-                        "{},{},{},{},{},{:.6e},{:.4},,{},{},{},{}",
+                        "{},{},{},{},{},{:.6e},{:.4},,{},{},{},{},{:.4e},,",
                         bt.profile.id,
                         bt.profile.name,
                         bt.stats.nnz,
@@ -305,33 +478,44 @@ fn main() {
                         strategy,
                         simd,
                         tuned,
-                        fused
+                        fused,
+                        run.flops
                     );
-                    if json {
-                        records.push(Record {
-                            tensor: bt.profile.id.to_string(),
-                            name: bt.profile.name.to_string(),
-                            nnz: bt.stats.nnz,
-                            kernel: kernel.to_string(),
-                            format: Format::Coo.to_string(),
-                            time_ns: run.time * 1e9,
-                            gflops: run.gflops,
-                            oi: 0.0,
-                            strategy,
-                            simd: simd.to_string(),
-                            tuned,
-                            fused: Some(fused),
-                        });
-                    }
+                    records.push(Record {
+                        tensor: bt.profile.id.to_string(),
+                        name: bt.profile.name.to_string(),
+                        nnz: bt.stats.nnz,
+                        kernel: kernel.to_string(),
+                        format: Format::Coo.to_string(),
+                        time_ns: run.time * 1e9,
+                        gflops: run.gflops,
+                        oi: 0.0,
+                        strategy,
+                        simd: simd.to_string(),
+                        tuned,
+                        fused: Some(fused),
+                        flops: run.flops,
+                        bytes_moved: 0.0,
+                        achieved_gbps: 0.0,
+                    });
                 }
             }
         }
     }
+    // The per-run roofline-gap report: model-predicted vs measured rates
+    // per (kernel, format, tensor bucket), on stderr below the CSV.
+    eprint!("{}", roofline_report(&samples));
     if json {
         let path = std::path::Path::new("results/BENCH_host.json");
         match write_json(path, &records) {
             Ok(()) => eprintln!("wrote {} records to {}", records.len(), path.display()),
             Err(e) => eprintln!("failed to write {}: {e}", path.display()),
         }
+    }
+    if trace {
+        export_trace();
+    }
+    if let Some(baseline) = check_regress {
+        regress_main(&baseline, &records, tol, advisory);
     }
 }

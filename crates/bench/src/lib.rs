@@ -23,9 +23,11 @@ pub mod datasets;
 pub mod figures;
 pub mod gpu;
 pub mod observations;
+pub mod regress;
 pub mod runner;
 pub mod tables;
 
 pub use datasets::{load_dataset, load_one, BenchTensor, DatasetKind, BLOCK_SIZE, RANK};
 pub use figures::{figure_rows, model_row, to_csv, FigureRow};
+pub use regress::{diff, parse_baseline, BenchRow, RegressReport};
 pub use runner::{mttkrp_coo_atomic, run_host, run_host_mttkrp_variant, HostRun, MttkrpVariant};

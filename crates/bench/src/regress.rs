@@ -1,0 +1,160 @@
+//! The perf-regression gate behind `hostrun --check-regress`.
+//!
+//! A committed `results/BENCH_host.json` is the baseline; the current run's
+//! records are diffed against it keyed by `(tensor, kernel, format)`. A row
+//! regresses when its time exceeds the baseline by more than the noise
+//! tolerance (`--regress-tol`, `PASTA_REGRESS_TOL`; a fraction, so `0.5`
+//! allows 1.5× the baseline time). Keys present on only one side are
+//! reported but never fail the gate — datasets and kernels grow between
+//! baselines. Malformed baselines always fail hard, advisory mode or not.
+
+use pasta_obs::json::{self, Json};
+use std::collections::BTreeMap;
+
+/// One comparable benchmark row: the diff key plus its measured time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Tensor profile id (`"s1"`, `"r3"`, …).
+    pub tensor: String,
+    /// Kernel label, including ablation decorations (`"MTTKRP[atomic]"`).
+    pub kernel: String,
+    /// Format label (`"coo"`, `"hicoo"`).
+    pub format: String,
+    /// Measured time in nanoseconds.
+    pub time_ns: f64,
+}
+
+impl BenchRow {
+    fn key(&self) -> String {
+        format!("{}/{}/{}", self.tensor, self.kernel, self.format)
+    }
+}
+
+/// The outcome of one baseline diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressReport {
+    /// Keys compared on both sides.
+    pub compared: usize,
+    /// Baseline keys missing from the current run, and vice versa.
+    pub unmatched: usize,
+    /// One line per regressed key: `key: current vs baseline (ratio)`.
+    pub regressions: Vec<String>,
+}
+
+impl RegressReport {
+    /// Whether the gate passes (no row regressed).
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Parses a `BENCH_host.json` baseline into comparable rows.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem: not a JSON
+/// array, a non-object element, or a missing/mistyped field.
+pub fn parse_baseline(text: &str) -> Result<Vec<BenchRow>, String> {
+    let root = json::parse(text)?;
+    let Json::Arr(items) = root else {
+        return Err("baseline root must be a JSON array of records".into());
+    };
+    let mut rows = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let err = |e: String| format!("record {i}: {e}");
+        rows.push(BenchRow {
+            tensor: item.str_field("tensor").map_err(err)?.to_string(),
+            kernel: item.str_field("kernel").map_err(err)?.to_string(),
+            format: item.str_field("format").map_err(err)?.to_string(),
+            time_ns: item.num_field("time_ns").map_err(err)?,
+        });
+    }
+    Ok(rows)
+}
+
+/// Diffs the current run against a baseline with fractional tolerance
+/// `tol`. Duplicate keys (mode-averaged reruns) keep the fastest time on
+/// both sides, so the diff is deterministic and noise-friendly.
+pub fn diff(current: &[BenchRow], baseline: &[BenchRow], tol: f64) -> RegressReport {
+    let fastest = |rows: &[BenchRow]| {
+        let mut map: BTreeMap<String, f64> = BTreeMap::new();
+        for r in rows {
+            let t = map.entry(r.key()).or_insert(f64::INFINITY);
+            *t = t.min(r.time_ns);
+        }
+        map
+    };
+    let cur = fastest(current);
+    let base = fastest(baseline);
+    let mut compared = 0;
+    let mut regressions = Vec::new();
+    for (key, &b) in &base {
+        let Some(&c) = cur.get(key) else { continue };
+        compared += 1;
+        if c > b * (1.0 + tol) && c - b > 1.0 {
+            regressions.push(format!(
+                "{key}: {:.3e} ns vs baseline {:.3e} ns ({:.2}x, tol {:.2}x)",
+                c,
+                b,
+                c / b,
+                1.0 + tol
+            ));
+        }
+    }
+    let unmatched = (base.len() - compared) + (cur.len() - compared);
+    RegressReport { compared, unmatched, regressions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(tensor: &str, kernel: &str, format: &str, time_ns: f64) -> BenchRow {
+        BenchRow { tensor: tensor.into(), kernel: kernel.into(), format: format.into(), time_ns }
+    }
+
+    #[test]
+    fn parses_real_shaped_baseline() {
+        let text = r#"[
+  {"tensor": "s1", "name": "regS", "nnz": 10, "kernel": "TTV", "format": "coo",
+   "time_ns": 1200.5, "gflops": 1.0, "oi": 0.16, "strategy": "", "simd": "avx2",
+   "tuned": false, "fused": null}
+]"#;
+        let rows = parse_baseline(text).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].key(), "s1/TTV/coo");
+        assert!((rows[0].time_ns - 1200.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_malformed_baselines() {
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("[{\"tensor\": 3}]").is_err());
+        assert!(parse_baseline("[{\"tensor\": \"s1\", \"kernel\": \"TTV\"}]").is_err());
+        assert!(parse_baseline("not json").is_err());
+    }
+
+    #[test]
+    fn flags_only_out_of_tolerance_rows() {
+        let base = vec![row("s1", "TTV", "coo", 1000.0), row("s1", "TTM", "coo", 1000.0)];
+        let cur = vec![
+            row("s1", "TTV", "coo", 1400.0), // within 1.5x
+            row("s1", "TTM", "coo", 1600.0), // regressed
+            row("s2", "TTV", "coo", 9.0),    // unmatched: never fails
+        ];
+        let report = diff(&cur, &base, 0.5);
+        assert_eq!(report.compared, 2);
+        assert_eq!(report.unmatched, 1);
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].starts_with("s1/TTM/coo"));
+        assert!(!report.ok());
+        assert!(diff(&base, &base, 0.5).ok());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_fastest_side() {
+        let base = vec![row("s1", "TTV", "coo", 1000.0)];
+        let cur = vec![row("s1", "TTV", "coo", 5000.0), row("s1", "TTV", "coo", 1001.0)];
+        assert!(diff(&cur, &base, 0.5).ok());
+    }
+}

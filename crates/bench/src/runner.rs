@@ -14,6 +14,7 @@ use pasta_kernels::{
     CostParams, Ctx, EwOp, FusionChoice, Kernel, MttkrpCooPlan, StrategyChoice, TsOp, TtmCooPlan,
     TtmHicooPlan, TtvCooPlan, TtvHicooPlan,
 };
+use pasta_obs::span_detail;
 use pasta_par::{parallel_for, Atomically};
 use pasta_platform::Format;
 use std::time::Instant;
@@ -55,6 +56,14 @@ pub fn run_host(bt: &BenchTensor, kernel: Kernel, format: Format, ctx: &Ctx) -> 
     let x = &bt.tensor;
     let order = x.order();
     let m = x.nnz() as f64;
+    let _span = span_detail(
+        "bench",
+        "bench.run_host",
+        kernel.label(),
+        x.nnz() as u64,
+        ctx.threads as u64,
+        0,
+    );
 
     match kernel {
         Kernel::Tew => {

@@ -15,6 +15,7 @@ use crate::morton::morton_cmp;
 use crate::shape::{Coord, Shape};
 use crate::sort::{par_sort_keys, sort_permutation};
 use crate::value::Value;
+use pasta_obs::{counters, span_detail, CounterId};
 
 /// Checks a HiCOO block size and returns `log2(B)`.
 ///
@@ -98,6 +99,15 @@ impl<V: Value> HiCooTensor<V> {
         let bits = block_bits_for(block_size)?;
         let order = coo.order();
         let m = coo.nnz();
+        counters().add(CounterId::HicooConversions, 1);
+        let _span = span_detail(
+            "convert",
+            "convert.hicoo",
+            "",
+            m as u64,
+            block_size as u64,
+            threads as u64,
+        );
 
         let block_coord = |x: usize| -> Vec<Coord> {
             (0..order).map(|md| coo.mode_inds(md)[x] >> bits).collect()

@@ -7,6 +7,7 @@
 //! array and the value array with a single gather each.
 
 use crate::shape::Coord;
+use pasta_obs::{counters, span_detail, CounterId};
 use pasta_par::SharedSlice;
 use std::cmp::Ordering;
 
@@ -120,7 +121,17 @@ pub fn par_sort_keys<K: RadixKey>(keys: &[K], threads: usize) -> Vec<u32> {
     let mut cur: Vec<(K, u32)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
     let mut buf = cur.clone();
     let threads = threads.max(1).min(n);
-    if threads == 1 || n < PAR_THRESHOLD {
+    counters().add(CounterId::SortEntries, n as u64);
+    let serial = threads == 1 || n < PAR_THRESHOLD;
+    let _span = span_detail(
+        "sort",
+        "sort.radix",
+        if serial { "serial" } else { "parallel" },
+        n as u64,
+        passes as u64,
+        threads as u64,
+    );
+    if serial {
         serial_radix_passes(&mut cur, &mut buf, passes);
     } else {
         parallel_radix_passes(&mut cur, &mut buf, passes, threads);
@@ -142,6 +153,7 @@ fn serial_radix_passes<K: RadixKey>(
         if hist.iter().any(|&c| c as usize == n) {
             continue; // single-bucket pass: a stable no-op
         }
+        counters().add(CounterId::SortRadixPasses, 1);
         let mut offs = [0u32; RADIX];
         let mut sum = 0u32;
         for (o, &c) in offs.iter_mut().zip(&hist) {
@@ -195,6 +207,7 @@ fn parallel_radix_passes<K: RadixKey>(
         if totals.iter().any(|&c| c as usize == n) {
             continue;
         }
+        counters().add(CounterId::SortRadixPasses, 1);
         // Scatter offsets: digit-major, thread-minor, so each thread writes
         // its chunk's entries for a digit after every lower-ranked thread's
         // — the ordering that makes the parallel pass stable.

@@ -46,17 +46,23 @@ impl Kernel {
     pub fn is_streaming(self) -> bool {
         matches!(self, Kernel::Tew | Kernel::Ts)
     }
-}
 
-impl std::fmt::Display for Kernel {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
+    /// The kernel's display name as a static string (span labels and the
+    /// roofline report need `&'static str`, not a formatter).
+    pub fn label(self) -> &'static str {
+        match self {
             Kernel::Tew => "TEW",
             Kernel::Ts => "TS",
             Kernel::Ttv => "TTV",
             Kernel::Ttm => "TTM",
             Kernel::Mttkrp => "MTTKRP",
-        })
+        }
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -159,16 +165,22 @@ impl MttkrpStrategy {
     pub fn is_privatized(self) -> bool {
         matches!(self, MttkrpStrategy::PrivatizedDense | MttkrpStrategy::PrivatizedSparse)
     }
-}
 
-impl std::fmt::Display for MttkrpStrategy {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
+    /// The strategy's lowercase name as a static string (span detail tags
+    /// need `&'static str`).
+    pub fn label(self) -> &'static str {
+        match self {
             MttkrpStrategy::Sequential => "sequential",
             MttkrpStrategy::Owner => "owner",
             MttkrpStrategy::PrivatizedDense => "privatized-dense",
             MttkrpStrategy::PrivatizedSparse => "privatized-sparse",
-        })
+        }
+    }
+}
+
+impl std::fmt::Display for MttkrpStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -301,6 +313,112 @@ pub fn choose_fusion(p: &FusionParams) -> FuseDecision {
     }
 }
 
+/// One measured kernel execution, ready for roofline-gap comparison.
+///
+/// `flops`/`bytes` come from the Table I model ([`kernel_cost`]); `time_s`
+/// is the measured wall time. The bench harness collects one sample per
+/// timed repetition and feeds them to [`roofline_report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflineSample {
+    /// Which kernel ran.
+    pub kernel: Kernel,
+    /// Format label (`"coo"`, `"hicoo"`, …).
+    pub format: String,
+    /// Tensor-bucket label from the tuner taxonomy.
+    pub bucket: String,
+    /// Measured wall time in seconds.
+    pub time_s: f64,
+    /// Model flop count for the run.
+    pub flops: f64,
+    /// Model upper-bound bytes moved for the run.
+    pub bytes: f64,
+}
+
+/// The model-vs-measured gap for one (aggregated) sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflineGap {
+    /// Measured GFLOP/s (model flops over measured time).
+    pub achieved_gflops: f64,
+    /// Measured GB/s (model bytes over measured time).
+    pub achieved_gbps: f64,
+    /// Operational intensity of the model (flops / bytes).
+    pub oi: f64,
+    /// The roofline bound: `min(peak_gflops, oi × peak_gbps)`.
+    pub bound_gflops: f64,
+    /// Achieved fraction of the bound, in `[0, ∞)` (model is an upper
+    /// bound on traffic, so > 1 means the model under-counts reuse).
+    pub fraction: f64,
+}
+
+/// Host peak compute and bandwidth `(GFLOP/s, GB/s)` for roofline bounds.
+///
+/// Reads `PASTA_PEAK_GFLOPS` / `PASTA_PEAK_GBPS`; without calibration it
+/// falls back to deliberately conservative single-socket defaults, so the
+/// printed fractions are comparable run-to-run rather than absolute.
+pub fn host_peaks() -> (f64, f64) {
+    let read = |key: &str, default: f64| {
+        std::env::var(key).ok().and_then(|v| v.parse().ok()).filter(|&v| v > 0.0).unwrap_or(default)
+    };
+    (read("PASTA_PEAK_GFLOPS", 32.0), read("PASTA_PEAK_GBPS", 16.0))
+}
+
+/// Compares one sample against the roofline defined by the given peaks.
+pub fn roofline_gap(s: &RooflineSample, peak_gflops: f64, peak_gbps: f64) -> RooflineGap {
+    let t = s.time_s.max(1e-12);
+    let oi = s.flops / s.bytes.max(1.0);
+    let bound_gflops = peak_gflops.min(oi * peak_gbps);
+    let achieved_gflops = s.flops / t / 1e9;
+    RooflineGap {
+        achieved_gflops,
+        achieved_gbps: s.bytes / t / 1e9,
+        oi,
+        bound_gflops,
+        fraction: achieved_gflops / bound_gflops.max(1e-12),
+    }
+}
+
+/// Renders the per-`(kernel, format, bucket)` roofline-gap table.
+///
+/// Samples sharing a key are aggregated (times, flops and bytes summed —
+/// equivalent to a time-weighted average of their rates) and compared
+/// against [`host_peaks`]. Returns the empty string for no samples.
+pub fn roofline_report(samples: &[RooflineSample]) -> String {
+    use std::collections::BTreeMap;
+    if samples.is_empty() {
+        return String::new();
+    }
+    let (peak_gflops, peak_gbps) = host_peaks();
+    let mut groups: BTreeMap<(&str, &str, &str), RooflineSample> = BTreeMap::new();
+    for s in samples {
+        groups
+            .entry((s.kernel.label(), s.format.as_str(), s.bucket.as_str()))
+            .and_modify(|acc| {
+                acc.time_s += s.time_s;
+                acc.flops += s.flops;
+                acc.bytes += s.bytes;
+            })
+            .or_insert_with(|| s.clone());
+    }
+    let mut out = format!(
+        "roofline gap vs model (peaks {peak_gflops:.1} GFLOP/s, {peak_gbps:.1} GB/s; \
+         calibrate via PASTA_PEAK_GFLOPS/PASTA_PEAK_GBPS)\n{:<8} {:<8} {:<16} {:>8} {:>12} \
+         {:>12} {:>10} {:>7}\n",
+        "kernel", "format", "bucket", "oi", "bound GF/s", "meas GF/s", "meas GB/s", "frac"
+    );
+    for ((kernel, format, bucket), agg) in &groups {
+        let g = roofline_gap(agg, peak_gflops, peak_gbps);
+        out.push_str(&format!(
+            "{kernel:<8} {format:<8} {bucket:<16} {:>8.4} {:>12.3} {:>12.3} {:>10.3} {:>6.1}%\n",
+            g.oi,
+            g.bound_gflops,
+            g.achieved_gflops,
+            g.achieved_gbps,
+            g.fraction * 100.0
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,6 +538,30 @@ mod tests {
         assert!(!resort_pays_off(&sched(1_000_000, 1_000, 8, false)));
         // Never for one thread.
         assert!(!resort_pays_off(&sched(10, 1_000_000, 1, false)));
+    }
+
+    #[test]
+    fn roofline_gap_and_report() {
+        let s = RooflineSample {
+            kernel: Kernel::Mttkrp,
+            format: "coo".into(),
+            bucket: "large".into(),
+            time_s: 1.0,
+            flops: 4e9,
+            bytes: 16e9,
+        };
+        let g = roofline_gap(&s, 32.0, 16.0);
+        assert!((g.oi - 0.25).abs() < 1e-12);
+        assert!((g.bound_gflops - 4.0).abs() < 1e-12); // bandwidth-bound
+        assert!((g.achieved_gflops - 4.0).abs() < 1e-9);
+        assert!((g.fraction - 1.0).abs() < 1e-9);
+        let report = roofline_report(&[s.clone(), s]);
+        assert!(report.contains("MTTKRP"));
+        assert!(report.contains("coo"));
+        assert!(report.contains("large"));
+        // Aggregation is rate-preserving: two identical samples, same gap.
+        assert!(report.contains("100.0%"));
+        assert!(roofline_report(&[]).is_empty());
     }
 
     #[test]

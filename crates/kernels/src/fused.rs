@@ -22,23 +22,23 @@
 //! worker accumulates into a dense scratch block per output fiber or a
 //! hashed [`SparseAcc`](crate::pipeline::SparseAcc) (selected by
 //! [`choose_workspace`]), and sparse accumulators merge through the
-//! deterministic tree reduction. The [`fused_counters`] global records
-//! what ran so benches and tests can assert the no-materialization
-//! invariant.
+//! deterministic tree reduction. The `fused.*` counters of the unified
+//! [`pasta_obs`] registry record what ran so benches and tests can assert
+//! the no-materialization invariant.
 
 use crate::analysis::{resort_pays_off, Kernel, MttkrpSchedParams};
 use crate::microkernel::axpy;
 use crate::mttkrp::{mttkrp_coo, mttkrp_hicoo, MttkrpCooPlan};
 use crate::pipeline::{BackendKind, Ctx, FormatKind, KernelPlan, StrategyChoice};
-use crate::workspace::{choose_workspace, fused_counters, FusedWorkspace, WorkspaceKind};
+use crate::workspace::{choose_workspace, FusedWorkspace, WorkspaceKind};
 use pasta_core::linalg::{gram, hadamard, normalize_columns, Cholesky};
 use pasta_core::sort::mode_first_order;
 use pasta_core::{
     CooTensor, Coord, DenseMatrix, DenseVector, Error, HiCooTensor, Result, SemiCooTensor, Shape,
     Value,
 };
+use pasta_obs::{counters, span_detail, CounterId};
 use pasta_par::{parallel_for, tree_reduce, Schedule, SharedSlice};
-use std::sync::atomic::Ordering;
 
 /// The output fiber owning entry `e` of a sorted tensor whose fiber runs
 /// begin at `starts` (non-empty, `starts[0] == 0`).
@@ -146,7 +146,7 @@ impl<V: Value> FusedTtvPlan<V> {
             sorted.sort_by_mode_order_threads(&mode_order, ctx.threads);
         }
         let fiber_starts = kept_runs(&sorted, &kept);
-        fused_counters().plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+        counters().add(CounterId::FusedPlanCacheMisses, 1);
         Ok(Self { x: sorted, kept, contract, fiber_starts })
     }
 
@@ -220,9 +220,11 @@ impl<V: Value> FusedTtvPlan<V> {
                 what: format!("output length {} vs {} fibers", out.len(), self.num_fibers()),
             });
         }
-        let c = fused_counters();
-        c.fused_chains.fetch_add(1, Ordering::Relaxed);
-        c.fused_entries.fetch_add(self.x.nnz() as u64, Ordering::Relaxed);
+        let c = counters();
+        c.add(CounterId::FusedChains, 1);
+        c.add(CounterId::FusedEntries, self.x.nnz() as u64);
+        let _span =
+            span_detail("kernel", "fused.ttv_chain", kind.label(), self.x.nnz() as u64, 0, 0);
 
         let nnz = self.x.nnz();
         let contrib = |e: usize| {
@@ -349,7 +351,7 @@ impl<V: Value> FusedTtmChainPlan<V> {
         } else {
             Vec::new()
         };
-        fused_counters().plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+        counters().add(CounterId::FusedPlanCacheMisses, 1);
         let cmodes = (0..order).filter(|&m| m != skip).collect();
         Ok(Self { x: sorted, skip, cmodes, fiber_starts })
     }
@@ -467,9 +469,11 @@ impl<V: Value> FusedTtmChainPlan<V> {
         if self.skip >= order {
             return Err(Error::InvalidMode { mode: self.skip, order });
         }
-        let c = fused_counters();
-        c.fused_chains.fetch_add(1, Ordering::Relaxed);
-        c.fused_entries.fetch_add(self.x.nnz() as u64, Ordering::Relaxed);
+        let c = counters();
+        c.add(CounterId::FusedChains, 1);
+        c.add(CounterId::FusedEntries, self.x.nnz() as u64);
+        let _span =
+            span_detail("kernel", "fused.ttm_chain", kind.label(), self.x.nnz() as u64, 0, 0);
 
         let nnz = self.x.nnz();
         let nf = self.num_fibers();
@@ -546,9 +550,10 @@ impl<V: Value> FusedTtmChainPlan<V> {
         if self.skip < self.x.order() {
             return Err(Error::InvalidMode { mode: self.skip, order: self.x.order() });
         }
-        let c = fused_counters();
-        c.fused_chains.fetch_add(1, Ordering::Relaxed);
-        c.fused_entries.fetch_add(self.x.nnz() as u64, Ordering::Relaxed);
+        let c = counters();
+        c.add(CounterId::FusedChains, 1);
+        c.add(CounterId::FusedEntries, self.x.nnz() as u64);
+        let _span = span_detail("kernel", "fused.ttm_full", "", self.x.nnz() as u64, 0, 0);
 
         let nnz = self.x.nnz();
         let chunks = even_chunks(nnz, ctx.threads);
@@ -630,7 +635,7 @@ impl<'a, V: Value> FusedAlsSweep<'a, V> {
                 });
             }
         }
-        let c = fused_counters();
+        let c = counters();
         let (hicoo, plans) = match format {
             FormatKind::Coo => {
                 let mut plans = Vec::with_capacity(order);
@@ -649,7 +654,7 @@ impl<'a, V: Value> FusedAlsSweep<'a, V> {
                         StrategyChoice::Auto => !sorted && resort_pays_off(&p),
                     };
                     if build {
-                        c.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+                        c.add(CounterId::FusedPlanCacheMisses, 1);
                         plans.push(Some(MttkrpCooPlan::new(x, n, ctx)?));
                     } else {
                         plans.push(None);
@@ -658,7 +663,7 @@ impl<'a, V: Value> FusedAlsSweep<'a, V> {
                 (None, plans)
             }
             FormatKind::Hicoo => {
-                c.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+                c.add(CounterId::FusedPlanCacheMisses, 1);
                 (Some(HiCooTensor::from_coo(x, block)?), Vec::new())
             }
             other => {
@@ -686,17 +691,25 @@ impl<'a, V: Value> FusedAlsSweep<'a, V> {
     /// not positive definite.
     pub fn sweep(&mut self, factors: &mut [DenseMatrix<V>], lambda: &mut [V]) -> Result<()> {
         let order = self.x.order();
-        let c = fused_counters();
-        c.fused_chains.fetch_add(1, Ordering::Relaxed);
+        let c = counters();
+        c.add(CounterId::FusedChains, 1);
+        let _span = span_detail(
+            "kernel",
+            "fused.als_sweep",
+            self.format.label(),
+            self.x.nnz() as u64,
+            self.rank as u64,
+            0,
+        );
         for n in 0..order {
-            c.fused_entries.fetch_add(self.x.nnz() as u64, Ordering::Relaxed);
+            c.add(CounterId::FusedEntries, self.x.nnz() as u64);
             let m_out = match (&self.hicoo, &self.plans.get(n).and_then(|p| p.as_ref())) {
                 (Some(h), _) => {
-                    c.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    c.add(CounterId::FusedPlanCacheHits, 1);
                     mttkrp_hicoo(h, factors, n, &self.ctx)?
                 }
                 (None, Some(plan)) => {
-                    c.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    c.add(CounterId::FusedPlanCacheHits, 1);
                     plan.execute(factors)?.0
                 }
                 (None, None) => mttkrp_coo(self.x, factors, n, &self.ctx)?,
@@ -709,7 +722,7 @@ impl<'a, V: Value> FusedAlsSweep<'a, V> {
                 if m == n {
                     continue;
                 }
-                c.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+                c.add(CounterId::FusedPlanCacheHits, 1);
                 v = Some(match v {
                     Some(acc) => hadamard(&acc, &self.grams[m]),
                     None => self.grams[m].clone(),
@@ -736,10 +749,10 @@ impl<'a, V: Value> FusedAlsSweep<'a, V> {
     /// in mode order — the model-norm term of the fit computation, reusing
     /// the sweep's cache instead of recomputing every Gram.
     pub fn gram_hadamard(&self) -> DenseMatrix<V> {
-        let c = fused_counters();
+        let c = counters();
         let mut had: Option<DenseMatrix<V>> = None;
         for g in &self.grams {
-            c.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+            c.add(CounterId::FusedPlanCacheHits, 1);
             had = Some(match had {
                 Some(acc) => hadamard(&acc, g),
                 None => g.clone(),
@@ -890,13 +903,14 @@ mod tests {
             pasta_core::seeded_matrix(7, 2, 2),
             pasta_core::seeded_matrix(6, 2, 3),
         ];
-        let before = fused_counters().snapshot();
+        pasta_obs::set_counting(true);
+        let before = counters().snapshot();
         let plan = FusedTtmChainPlan::new(&x, 0, &ctx).unwrap();
         let _ = plan.execute(&factors, &ctx).unwrap();
-        let after = fused_counters().snapshot();
-        assert_eq!(after.materialized_intermediates, before.materialized_intermediates);
-        assert!(after.fused_entries >= before.fused_entries + x.nnz() as u64);
-        assert!(after.fused_chains > before.fused_chains);
+        let after = counters().snapshot();
+        assert_eq!(after[CounterId::FusedMaterialized], before[CounterId::FusedMaterialized]);
+        assert!(after[CounterId::FusedEntries] >= before[CounterId::FusedEntries] + x.nnz() as u64);
+        assert!(after[CounterId::FusedChains] > before[CounterId::FusedChains]);
     }
 
     #[test]

@@ -69,9 +69,10 @@ pub mod tune;
 pub mod workspace;
 
 pub use analysis::{
-    choose_fusion, choose_mttkrp_strategy, choose_mttkrp_strategy_with, kernel_cost,
-    resort_pays_off, CostParams, FuseDecision, FusionParams, Kernel, KernelCost, MttkrpSchedParams,
-    MttkrpStrategy, DEFAULT_DENSE_THRESHOLD, FUSE_WORKSPACE_FACTOR,
+    choose_fusion, choose_mttkrp_strategy, choose_mttkrp_strategy_with, host_peaks, kernel_cost,
+    resort_pays_off, roofline_gap, roofline_report, CostParams, FuseDecision, FusionParams, Kernel,
+    KernelCost, MttkrpSchedParams, MttkrpStrategy, RooflineGap, RooflineSample,
+    DEFAULT_DENSE_THRESHOLD, FUSE_WORKSPACE_FACTOR,
 };
 pub use csf::{mttkrp_csf_root, ttv_csf_leaf, CsfTtvPlan};
 pub use fcoo::ttv_fcoo;
@@ -81,9 +82,8 @@ pub use mttkrp::{
     mttkrp_coo, mttkrp_coo_traced, mttkrp_hicoo, mttkrp_hicoo_traced, MttkrpCooPlan, MttkrpRun,
 };
 pub use pipeline::{
-    fused_registry, mttkrp_counters, registry, BackendKind, Combo, CounterSnapshot, Ctx, EwOp,
-    ExecRoute, FormatKind, FusedExprKind, FusedRoute, FusionChoice, KernelPlan, MttkrpCounters,
-    StrategyChoice, TsOp,
+    fused_registry, registry, BackendKind, Combo, Ctx, EwOp, ExecRoute, FormatKind, FusedExprKind,
+    FusedRoute, FusionChoice, KernelPlan, StrategyChoice, TsOp,
 };
 pub use tew::{
     tew_any, tew_coo, tew_coo_general, tew_coo_same_pattern, tew_csf, tew_fcoo, tew_ghicoo,
@@ -98,6 +98,9 @@ pub use tune::{
     host_llc_bytes, tune_tensor, TensorBucket, TuneEntry, TuneTable, TunedParams,
     DEFAULT_BLOCK_SIZE,
 };
-pub use workspace::{
-    choose_workspace, fused_counters, FusedCounters, FusedSnapshot, FusedWorkspace, WorkspaceKind,
-};
+pub use workspace::{choose_workspace, FusedWorkspace, WorkspaceKind};
+
+// The unified observability registry, re-exported so downstream crates
+// (pasta-algos, the bench harness) need no direct pasta-obs dependency.
+pub use pasta_obs as obs;
+pub use pasta_obs::{counters, CounterId, CounterRegistry, CounterSnapshot};

@@ -28,16 +28,16 @@
 //!
 //! The inner rank loops run through the unrolled
 //! [`microkernel`](crate::microkernel)s. Per-strategy work counters are
-//! kept in [`mttkrp_counters`].
+//! kept under the `mttkrp.*` names of the unified [`pasta_obs`] registry.
 
 use crate::analysis::{choose_mttkrp_strategy_with, MttkrpSchedParams, MttkrpStrategy};
 use crate::microkernel::{add_assign, mul_assign, prefetch_read};
-use crate::pipeline::{mttkrp_counters, Ctx, StrategyChoice};
 use crate::pipeline::{owner_ranges, SparseAcc};
+use crate::pipeline::{Ctx, StrategyChoice};
 use pasta_core::sort::mode_first_order;
 use pasta_core::{CooTensor, Coord, DenseMatrix, Error, HiCooTensor, Result, Shape, Value};
+use pasta_obs::{counters, instant, span, span_detail, CounterId};
 use pasta_par::{parallel_for, tree_reduce, Schedule, SharedSlice};
-use std::sync::atomic::Ordering;
 
 /// How many entries ahead the accumulation loops prefetch the factor rows
 /// the Khatri-Rao product will gather. The row indices come from the sparse
@@ -175,14 +175,16 @@ pub fn mttkrp_coo_traced<V: Value>(
     };
     let strategy = resolve_strategy(ctx, &p, sorted);
 
-    let c = mttkrp_counters();
+    let c = counters();
+    let _span =
+        span_detail("kernel", "mttkrp.coo", strategy.label(), x.nnz() as u64, r as u64, n as u64);
     match strategy {
         MttkrpStrategy::Sequential => {
-            c.sequential_nnz.fetch_add(x.nnz() as u64, Ordering::Relaxed);
+            c.add(CounterId::MttkrpSequentialNnz, x.nnz() as u64);
             coo_range(x, factors, n, r, 0..x.nnz(), out.as_mut_slice());
         }
         MttkrpStrategy::Owner => {
-            c.owner_nnz.fetch_add(x.nnz() as u64, Ordering::Relaxed);
+            c.add(CounterId::MttkrpOwnerNnz, x.nnz() as u64);
             let ranges = owner_ranges(x.mode_inds(n), ctx.threads);
             let shared = SharedSlice::new(out.as_mut_slice());
             parallel_for(ranges.len(), ctx.threads, Schedule::Static, |ks| {
@@ -199,7 +201,7 @@ pub fn mttkrp_coo_traced<V: Value>(
             });
         }
         MttkrpStrategy::PrivatizedDense => {
-            c.privatized_nnz.fetch_add(x.nnz() as u64, Ordering::Relaxed);
+            c.add(CounterId::MttkrpPrivatizedNnz, x.nnz() as u64);
             let bufs = privatized_fill(
                 ctx.threads,
                 x.nnz(),
@@ -211,7 +213,7 @@ pub fn mttkrp_coo_traced<V: Value>(
             merge_privatized_dense(out.as_mut_slice(), &bufs, ctx.threads);
         }
         MttkrpStrategy::PrivatizedSparse => {
-            c.privatized_nnz.fetch_add(x.nnz() as u64, Ordering::Relaxed);
+            c.add(CounterId::MttkrpPrivatizedNnz, x.nnz() as u64);
             let per_worker = (x.nnz() / ctx.threads.max(1) + 1).min(rows);
             let bufs = privatized_fill(
                 ctx.threads,
@@ -234,8 +236,9 @@ pub fn mttkrp_coo_traced<V: Value>(
                     }
                 },
             );
+            let _merge = span("kernel", "mttkrp.merge");
             let merged = tree_reduce(bufs, ctx.threads, |dst, src| {
-                mttkrp_counters().merge_bytes.fetch_add(src.bytes() as u64, Ordering::Relaxed);
+                counters().add(CounterId::MttkrpMergeBytes, src.bytes() as u64);
                 dst.merge(&src);
             });
             if let Some(m) = merged {
@@ -295,9 +298,8 @@ where
 /// the same contract the tree-reduce had.
 fn merge_privatized_dense<V: Value>(out: &mut [V], bufs: &[Vec<V>], threads: usize) {
     let len = out.len();
-    mttkrp_counters()
-        .merge_bytes
-        .fetch_add((bufs.len() * len * V::BYTES) as u64, Ordering::Relaxed);
+    let _span = span("kernel", "mttkrp.merge");
+    counters().add(CounterId::MttkrpMergeBytes, (bufs.len() * len * V::BYTES) as u64);
     let tile = merge_tile_len::<V>();
     let ntiles = len.div_ceil(tile.max(1)).max(1);
     let shared = SharedSlice::new(out);
@@ -420,7 +422,8 @@ impl<V: Value> MttkrpCooPlan<V> {
             && (ctx.mttkrp == StrategyChoice::Owner || crate::analysis::resort_pays_off(&p))
         {
             x.sort_by_mode_order_threads(&mode_first_order(x.order(), n), ctx.threads);
-            mttkrp_counters().resorts.fetch_add(1, Ordering::Relaxed);
+            counters().add(CounterId::MttkrpResorts, 1);
+            instant("kernel", "mttkrp.resort", "", x.nnz() as u64, n as u64, 0);
             resorted = true;
         }
         Ok(Self { x, n, ctx: *ctx, resorted })
@@ -497,14 +500,16 @@ pub fn mttkrp_hicoo_traced<V: Value>(
     };
     let strategy = resolve_strategy(ctx, &p, sorted);
 
-    let c = mttkrp_counters();
+    let c = counters();
+    let _span =
+        span_detail("kernel", "mttkrp.hicoo", strategy.label(), x.nnz() as u64, r as u64, n as u64);
     match strategy {
         MttkrpStrategy::Sequential => {
-            c.sequential_nnz.fetch_add(x.nnz() as u64, Ordering::Relaxed);
+            c.add(CounterId::MttkrpSequentialNnz, x.nnz() as u64);
             hicoo_blocks(x, factors, n, r, 0..x.num_blocks(), out.as_mut_slice());
         }
         MttkrpStrategy::Owner => {
-            c.owner_nnz.fetch_add(x.nnz() as u64, Ordering::Relaxed);
+            c.add(CounterId::MttkrpOwnerNnz, x.nnz() as u64);
             // Cut block ranges where binds[n] changes: all entries of a
             // binds[n] group share the same output row window, so groups
             // are write-disjoint.
@@ -529,7 +534,7 @@ pub fn mttkrp_hicoo_traced<V: Value>(
             // privatized flavors chunk block ranges; hyper-sparse outputs
             // still get the dense buffer because HiCOO mode dims are
             // bounded by binds·2^bits in practice. Counted as dense.
-            c.privatized_nnz.fetch_add(x.nnz() as u64, Ordering::Relaxed);
+            c.add(CounterId::MttkrpPrivatizedNnz, x.nnz() as u64);
             let bufs = privatized_fill(
                 ctx.threads,
                 x.num_blocks(),
@@ -771,11 +776,12 @@ mod tests {
             })
             .collect();
         let ctx = Ctx::new(4, pasta_par::Schedule::Static);
-        let before = mttkrp_counters().snapshot();
+        pasta_obs::set_counting(true);
+        let before = counters().get(CounterId::MttkrpResorts);
         let plan = MttkrpCooPlan::new(&x, 1, &ctx).unwrap();
         assert!(plan.resorted());
         assert_eq!(plan.tensor().sort_state().outermost(), Some(1));
-        assert!(mttkrp_counters().snapshot().resorts > before.resorts);
+        assert!(counters().get(CounterId::MttkrpResorts) > before);
         let (got, run) = plan.execute(&fs).unwrap();
         assert_eq!(run.strategy, MttkrpStrategy::Owner);
         assert!(run.resorted);
@@ -869,14 +875,16 @@ mod tests {
     fn counters_accumulate() {
         let x = bigger();
         let fs = factors_for(&x, 4);
-        let c = mttkrp_counters();
+        pasta_obs::set_counting(true);
+        let c = counters();
         let before = c.snapshot();
         mttkrp_coo(&x, &fs, 0, &Ctx::sequential()).unwrap();
         let ctx = Ctx::new(4, pasta_par::Schedule::Static).with_mttkrp(StrategyChoice::Privatized);
         mttkrp_coo(&x, &fs, 0, &ctx).unwrap();
         let after = c.snapshot();
-        assert!(after.sequential_nnz >= before.sequential_nnz + x.nnz() as u64);
-        assert!(after.privatized_nnz >= before.privatized_nnz + x.nnz() as u64);
-        assert!(after.merge_bytes > before.merge_bytes);
+        let d = |id| after[id] - before[id];
+        assert!(d(CounterId::MttkrpSequentialNnz) >= x.nnz() as u64);
+        assert!(d(CounterId::MttkrpPrivatizedNnz) >= x.nnz() as u64);
+        assert!(d(CounterId::MttkrpMergeBytes) > 0);
     }
 }

@@ -14,8 +14,8 @@
 use crate::analysis::Kernel;
 use crate::microkernel::add_assign;
 use pasta_core::{Coord, Value};
+use pasta_obs::{counters, instant, CounterId};
 use pasta_par::Schedule;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The four element-wise binary operators of the TEW kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -279,76 +279,6 @@ impl Default for Ctx {
     }
 }
 
-/// Process-wide instrumentation for the MTTKRP scheduling layer.
-///
-/// `Ctx` stays `Copy`, so the counters live in one global reachable through
-/// [`mttkrp_counters`]; every traced MTTKRP execution adds to them. The
-/// bench harness snapshots them around a run to report how much work each
-/// strategy handled and what the privatized merge cost.
-#[derive(Debug, Default)]
-pub struct MttkrpCounters {
-    /// Non-zeros processed by owner-computes schedules.
-    pub owner_nnz: AtomicU64,
-    /// Non-zeros processed by privatized-reduction schedules.
-    pub privatized_nnz: AtomicU64,
-    /// Non-zeros processed sequentially.
-    pub sequential_nnz: AtomicU64,
-    /// Bytes moved merging worker-private accumulators.
-    pub merge_bytes: AtomicU64,
-    /// Times a plan re-sorted a tensor to enable owner-computes.
-    pub resorts: AtomicU64,
-}
-
-/// A point-in-time copy of the [`MttkrpCounters`] values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CounterSnapshot {
-    /// Non-zeros processed by owner-computes schedules.
-    pub owner_nnz: u64,
-    /// Non-zeros processed by privatized-reduction schedules.
-    pub privatized_nnz: u64,
-    /// Non-zeros processed sequentially.
-    pub sequential_nnz: u64,
-    /// Bytes moved merging worker-private accumulators.
-    pub merge_bytes: u64,
-    /// Times a plan re-sorted a tensor to enable owner-computes.
-    pub resorts: u64,
-}
-
-impl MttkrpCounters {
-    /// Reads all counters at once (each relaxed; the set is not atomic).
-    pub fn snapshot(&self) -> CounterSnapshot {
-        CounterSnapshot {
-            owner_nnz: self.owner_nnz.load(Ordering::Relaxed),
-            privatized_nnz: self.privatized_nnz.load(Ordering::Relaxed),
-            sequential_nnz: self.sequential_nnz.load(Ordering::Relaxed),
-            merge_bytes: self.merge_bytes.load(Ordering::Relaxed),
-            resorts: self.resorts.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Resets every counter to zero.
-    pub fn reset(&self) {
-        self.owner_nnz.store(0, Ordering::Relaxed);
-        self.privatized_nnz.store(0, Ordering::Relaxed);
-        self.sequential_nnz.store(0, Ordering::Relaxed);
-        self.merge_bytes.store(0, Ordering::Relaxed);
-        self.resorts.store(0, Ordering::Relaxed);
-    }
-}
-
-static COUNTERS: MttkrpCounters = MttkrpCounters {
-    owner_nnz: AtomicU64::new(0),
-    privatized_nnz: AtomicU64::new(0),
-    sequential_nnz: AtomicU64::new(0),
-    merge_bytes: AtomicU64::new(0),
-    resorts: AtomicU64::new(0),
-};
-
-/// The process-wide MTTKRP scheduling counters.
-pub fn mttkrp_counters() -> &'static MttkrpCounters {
-    &COUNTERS
-}
-
 #[cfg(test)]
 mod ctx_tests {
     use super::*;
@@ -365,15 +295,13 @@ mod ctx_tests {
     }
 
     #[test]
-    fn counter_snapshot_roundtrip() {
-        // The global is shared across tests; only verify delta behavior.
-        let c = mttkrp_counters();
-        let before = c.snapshot();
-        c.owner_nnz.fetch_add(5, Ordering::Relaxed);
-        c.merge_bytes.fetch_add(64, Ordering::Relaxed);
-        let after = c.snapshot();
-        assert!(after.owner_nnz >= before.owner_nnz + 5);
-        assert!(after.merge_bytes >= before.merge_bytes + 64);
+    fn plans_built_counter_accumulates() {
+        // The registry is shared across tests; only verify delta behavior.
+        pasta_obs::set_counting(true);
+        let before = counters().get(CounterId::PlansBuilt);
+        KernelPlan::new(Kernel::Ttv, FormatKind::Coo, BackendKind::Cpu, &Ctx::sequential())
+            .unwrap();
+        assert!(counters().get(CounterId::PlansBuilt) > before);
     }
 }
 
@@ -791,6 +719,8 @@ impl KernelPlan {
             BackendKind::Cpu if ctx.is_sequential() => ExecRoute::SerialCpu,
             BackendKind::Cpu => ExecRoute::PoolCpu { threads: ctx.threads },
         };
+        counters().add(CounterId::PlansBuilt, 1);
+        instant("plan", "pipeline.plan", combo.format.label(), ctx.threads as u64, 0, 0);
         Ok(Self { combo, route, mttkrp: ctx.mttkrp })
     }
 

@@ -228,29 +228,32 @@ impl TuneTable {
     /// Returns [`Error::OperandMismatch`] on malformed JSON or unknown
     /// kernel/format labels.
     pub fn from_json(text: &str) -> Result<Self> {
-        let root = json::parse(text)?;
+        use pasta_obs::json;
+        let root = json::parse(text).map_err(|e| bad(&e))?;
         let entries = match root.get("entries") {
             Some(json::Json::Arr(items)) => items,
             _ => return Err(bad("missing \"entries\" array")),
         };
         let mut table = TuneTable::default();
         for item in entries {
-            let kernel = kernel_from_label(item.str_field("kernel")?)?;
-            let format = format_from_label(item.str_field("format")?)?;
-            let bucket = item.str_field("bucket")?.to_string();
+            let sf = |k| item.str_field(k).map_err(|e| bad(&e));
+            let nf = |k| item.num_field(k).map_err(|e| bad(&e));
+            let kernel = kernel_from_label(sf("kernel")?)?;
+            let format = format_from_label(sf("format")?)?;
+            let bucket = sf("bucket")?.to_string();
             let params = TunedParams {
-                chunk: item.num_field("chunk")? as usize,
-                dense_threshold: item.num_field("dense_threshold")? as usize,
-                block_size: item.num_field("block_size")? as u32,
+                chunk: nf("chunk")? as usize,
+                dense_threshold: nf("dense_threshold")? as usize,
+                block_size: nf("block_size")? as u32,
             };
             table.entries.push(TuneEntry {
                 kernel,
                 format,
                 bucket,
-                threads: item.num_field("threads")? as usize,
+                threads: nf("threads")? as usize,
                 params,
-                baseline_ns: item.num_field("baseline_ns")?,
-                tuned_ns: item.num_field("tuned_ns")?,
+                baseline_ns: nf("baseline_ns")?,
+                tuned_ns: nf("tuned_ns")?,
             });
         }
         Ok(table)
@@ -617,181 +620,6 @@ where
         baseline_ns,
         tuned_ns,
     })
-}
-
-/// A deliberately small JSON reader: just what [`TuneTable::from_json`]
-/// needs (objects, arrays, strings without escapes, numbers, bools, null).
-mod json {
-    use super::bad;
-    use pasta_core::Result;
-
-    /// A parsed JSON value.
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Json {
-        /// A number (all JSON numbers read as `f64`).
-        Num(f64),
-        /// A string.
-        Str(String),
-        /// A boolean.
-        Bool(bool),
-        /// `null`.
-        Null,
-        /// An array.
-        Arr(Vec<Json>),
-        /// An object, in source order.
-        Obj(Vec<(String, Json)>),
-    }
-
-    impl Json {
-        /// Object member by key.
-        pub fn get(&self, key: &str) -> Option<&Json> {
-            match self {
-                Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-                _ => None,
-            }
-        }
-
-        /// Required string member.
-        pub fn str_field(&self, key: &str) -> Result<&str> {
-            match self.get(key) {
-                Some(Json::Str(s)) => Ok(s),
-                _ => Err(bad(&format!("missing string field {key:?}"))),
-            }
-        }
-
-        /// Required numeric member.
-        pub fn num_field(&self, key: &str) -> Result<f64> {
-            match self.get(key) {
-                Some(Json::Num(n)) => Ok(*n),
-                _ => Err(bad(&format!("missing numeric field {key:?}"))),
-            }
-        }
-    }
-
-    /// Parses a single JSON value (trailing whitespace allowed).
-    pub fn parse(text: &str) -> Result<Json> {
-        let bytes = text.as_bytes();
-        let mut pos = 0;
-        let v = value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(bad(&format!("trailing garbage at byte {pos}")));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(b: &[u8], pos: &mut usize) {
-        while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
-            *pos += 1;
-        }
-    }
-
-    fn value(b: &[u8], pos: &mut usize) -> Result<Json> {
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b'{') => object(b, pos),
-            Some(b'[') => array(b, pos),
-            Some(b'"') => Ok(Json::Str(string(b, pos)?)),
-            Some(b't') => lit(b, pos, "true", Json::Bool(true)),
-            Some(b'f') => lit(b, pos, "false", Json::Bool(false)),
-            Some(b'n') => lit(b, pos, "null", Json::Null),
-            Some(_) => number(b, pos),
-            None => Err(bad("unexpected end of input")),
-        }
-    }
-
-    fn lit(b: &[u8], pos: &mut usize, word: &str, v: Json) -> Result<Json> {
-        if b[*pos..].starts_with(word.as_bytes()) {
-            *pos += word.len();
-            Ok(v)
-        } else {
-            Err(bad(&format!("expected {word} at byte {pos}", pos = *pos)))
-        }
-    }
-
-    fn number(b: &[u8], pos: &mut usize) -> Result<Json> {
-        let start = *pos;
-        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
-            *pos += 1;
-        }
-        std::str::from_utf8(&b[start..*pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Json::Num)
-            .ok_or_else(|| bad(&format!("bad number at byte {start}")))
-    }
-
-    fn string(b: &[u8], pos: &mut usize) -> Result<String> {
-        *pos += 1; // opening quote
-        let start = *pos;
-        while *pos < b.len() && b[*pos] != b'"' {
-            if b[*pos] == b'\\' {
-                return Err(bad("string escapes are not supported"));
-            }
-            *pos += 1;
-        }
-        if *pos >= b.len() {
-            return Err(bad("unterminated string"));
-        }
-        let s =
-            std::str::from_utf8(&b[start..*pos]).map_err(|_| bad("non-UTF-8 string"))?.to_string();
-        *pos += 1; // closing quote
-        Ok(s)
-    }
-
-    fn array(b: &[u8], pos: &mut usize) -> Result<Json> {
-        *pos += 1; // '['
-        let mut items = Vec::new();
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b']') {
-            *pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(value(b, pos)?);
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b']') => {
-                    *pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(bad(&format!("expected , or ] at byte {pos}", pos = *pos))),
-            }
-        }
-    }
-
-    fn object(b: &[u8], pos: &mut usize) -> Result<Json> {
-        *pos += 1; // '{'
-        let mut members = Vec::new();
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b'}') {
-            *pos += 1;
-            return Ok(Json::Obj(members));
-        }
-        loop {
-            skip_ws(b, pos);
-            if b.get(*pos) != Some(&b'"') {
-                return Err(bad(&format!("expected key at byte {pos}", pos = *pos)));
-            }
-            let key = string(b, pos)?;
-            skip_ws(b, pos);
-            if b.get(*pos) != Some(&b':') {
-                return Err(bad(&format!("expected : at byte {pos}", pos = *pos)));
-            }
-            *pos += 1;
-            members.push((key, value(b, pos)?));
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b'}') => {
-                    *pos += 1;
-                    return Ok(Json::Obj(members));
-                }
-                _ => return Err(bad(&format!("expected , or }} at byte {pos}", pos = *pos))),
-            }
-        }
-    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,4 @@
-//! Per-thread workspaces for the fused-expression layer, plus the
-//! process-wide fusion counters.
+//! Per-thread workspaces for the fused-expression layer.
 //!
 //! A fused chain (see [`fused`](crate::fused)) never materializes an
 //! intermediate sparse tensor; instead every worker accumulates into a
@@ -8,13 +7,14 @@
 //! [`SparseAcc`] accumulator when the output is hyper-sparse relative to
 //! its index space. [`choose_workspace`] encodes the selection rule;
 //! [`FusedWorkspace`] is the tagged union the fused executors accumulate
-//! into; [`fused_counters`] exposes `mttkrp_counters()`-style
-//! instrumentation so benches and tests can assert that the fused path
-//! materialized nothing.
+//! into. Allocations are recorded under
+//! [`CounterId::FusedWorkspaceBytes`] in the unified
+//! [`pasta_obs`] registry so benches and tests can assert that the fused
+//! path materialized nothing.
 
 use crate::pipeline::SparseAcc;
 use pasta_core::Value;
-use std::sync::atomic::{AtomicU64, Ordering};
+use pasta_obs::{counters, CounterId};
 
 /// Which accumulator a fused executor hands each worker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,7 +105,7 @@ impl<V: Value> FusedWorkspace<V> {
                 FusedWorkspace::Sparse(SparseAcc::new(width, expected_rows.max(1)))
             }
         };
-        fused_counters().workspace_bytes.fetch_add(ws.bytes() as u64, Ordering::Relaxed);
+        counters().add(CounterId::FusedWorkspaceBytes, ws.bytes() as u64);
         ws
     }
 
@@ -164,87 +164,6 @@ impl<V: Value> FusedWorkspace<V> {
     }
 }
 
-/// Process-wide instrumentation for the fused-expression layer.
-///
-/// Same pattern as [`MttkrpCounters`](crate::pipeline::MttkrpCounters):
-/// `Ctx` stays `Copy`, so the counters live in one global reachable
-/// through [`fused_counters`]. The key invariant the suite asserts with
-/// these: a fused chain bumps `fused_entries` but never
-/// `materialized_intermediates`; only the kernel-at-a-time baseline bumps
-/// the latter.
-#[derive(Debug, Default)]
-pub struct FusedCounters {
-    /// Input non-zeros processed by fused chain executions.
-    pub fused_entries: AtomicU64,
-    /// Fused chain executions (one per sweep·mode, or per TTV product).
-    pub fused_chains: AtomicU64,
-    /// Bytes allocated as per-thread workspaces.
-    pub workspace_bytes: AtomicU64,
-    /// Intermediate sparse tensors materialized by kernel-at-a-time
-    /// chains (the ablation baseline; zero on the fused path).
-    pub materialized_intermediates: AtomicU64,
-    /// Cached per-run plans (sorted copies, format conversions, grams)
-    /// reused instead of rebuilt.
-    pub plan_cache_hits: AtomicU64,
-    /// Per-run plans built for the first time.
-    pub plan_cache_misses: AtomicU64,
-}
-
-/// A point-in-time copy of the [`FusedCounters`] values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct FusedSnapshot {
-    /// Input non-zeros processed by fused chain executions.
-    pub fused_entries: u64,
-    /// Fused chain executions.
-    pub fused_chains: u64,
-    /// Bytes allocated as per-thread workspaces.
-    pub workspace_bytes: u64,
-    /// Intermediate sparse tensors materialized by unfused chains.
-    pub materialized_intermediates: u64,
-    /// Cached per-run plans reused.
-    pub plan_cache_hits: u64,
-    /// Per-run plans built.
-    pub plan_cache_misses: u64,
-}
-
-impl FusedCounters {
-    /// Reads all counters at once (each relaxed; the set is not atomic).
-    pub fn snapshot(&self) -> FusedSnapshot {
-        FusedSnapshot {
-            fused_entries: self.fused_entries.load(Ordering::Relaxed),
-            fused_chains: self.fused_chains.load(Ordering::Relaxed),
-            workspace_bytes: self.workspace_bytes.load(Ordering::Relaxed),
-            materialized_intermediates: self.materialized_intermediates.load(Ordering::Relaxed),
-            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
-            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Resets every counter to zero.
-    pub fn reset(&self) {
-        self.fused_entries.store(0, Ordering::Relaxed);
-        self.fused_chains.store(0, Ordering::Relaxed);
-        self.workspace_bytes.store(0, Ordering::Relaxed);
-        self.materialized_intermediates.store(0, Ordering::Relaxed);
-        self.plan_cache_hits.store(0, Ordering::Relaxed);
-        self.plan_cache_misses.store(0, Ordering::Relaxed);
-    }
-}
-
-static FUSED_COUNTERS: FusedCounters = FusedCounters {
-    fused_entries: AtomicU64::new(0),
-    fused_chains: AtomicU64::new(0),
-    workspace_bytes: AtomicU64::new(0),
-    materialized_intermediates: AtomicU64::new(0),
-    plan_cache_hits: AtomicU64::new(0),
-    plan_cache_misses: AtomicU64::new(0),
-};
-
-/// The process-wide fused-expression counters.
-pub fn fused_counters() -> &'static FusedCounters {
-    &FUSED_COUNTERS
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,9 +201,10 @@ mod tests {
 
     #[test]
     fn counters_record_workspace_allocation() {
-        let before = fused_counters().snapshot();
+        pasta_obs::set_counting(true);
+        let before = counters().get(CounterId::FusedWorkspaceBytes);
         let ws = FusedWorkspace::<f32>::new(WorkspaceKind::Dense, 4, 4, 4);
-        let after = fused_counters().snapshot();
-        assert!(after.workspace_bytes >= before.workspace_bytes + ws.bytes() as u64);
+        let after = counters().get(CounterId::FusedWorkspaceBytes);
+        assert!(after >= before + ws.bytes() as u64);
     }
 }

@@ -35,7 +35,7 @@ pub mod schedule;
 pub mod shared;
 
 pub use atomic::{AtomicF32, AtomicF64, Atomically};
-pub use pool::{threads_spawned, Pool};
+pub use pool::{threads_spawned, Pool, WorkerStats};
 pub use reduce::tree_reduce;
 pub use schedule::Schedule;
 pub use shared::SharedSlice;

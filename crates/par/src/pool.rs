@@ -30,6 +30,7 @@
 //!   and stale queue entries for a drained job return before touching the
 //!   closure pointer.
 
+use pasta_obs::{counters, span_detail, CounterId};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -122,10 +123,33 @@ impl JobCore {
     }
 }
 
+/// Lifetime telemetry for one worker, recorded only while `pasta-obs`
+/// counting is enabled (the increments sit off the task hot path: one per
+/// pop and one per park, never per loop iteration).
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    tasks: AtomicU64,
+    steals: AtomicU64,
+    idle_ns: AtomicU64,
+}
+
+/// A snapshot of one worker's lifetime telemetry (see [`Pool::worker_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tasks the worker executed (broadcast shares and one-off closures).
+    pub tasks: u64,
+    /// Of those, tasks popped from another worker's queue.
+    pub steals: u64,
+    /// Nanoseconds the worker spent parked with no work available.
+    pub idle_ns: u64,
+}
+
 /// State shared between the pool handle and its workers.
 struct Shared {
     /// One deque per worker; owner pops the front, thieves pop the back.
     queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Per-worker telemetry, same indexing as `queues`.
+    stats: Vec<WorkerCounters>,
     /// Round-robin cursor for task placement.
     next_queue: AtomicUsize,
     /// Bumped on every push; prevents lost wake-ups (see module docs).
@@ -155,6 +179,10 @@ impl Shared {
         for offset in 1..n {
             let victim = (me + offset) % n;
             if let Some(task) = self.queues[victim].lock().unwrap().pop_back() {
+                if pasta_obs::counting() {
+                    self.stats[me].steals.fetch_add(1, Ordering::Relaxed);
+                    counters().add(CounterId::PoolSteals, 1);
+                }
                 return Some(task);
             }
         }
@@ -165,6 +193,10 @@ impl Shared {
         loop {
             let generation = self.generation.load(Ordering::SeqCst);
             if let Some(task) = self.find_task(me) {
+                if pasta_obs::counting() {
+                    self.stats[me].tasks.fetch_add(1, Ordering::Relaxed);
+                    counters().add(CounterId::PoolTasks, 1);
+                }
                 task.execute();
                 continue;
             }
@@ -179,8 +211,14 @@ impl Shared {
             }
             // The generation check above makes a plain `wait` sound; the
             // timeout is a belt-and-suspenders liveness fallback only.
+            let parked = pasta_obs::counting().then(std::time::Instant::now);
             let (_guard, _) =
                 self.wake.wait_timeout(guard, std::time::Duration::from_millis(50)).unwrap();
+            if let Some(parked) = parked {
+                let ns = parked.elapsed().as_nanos() as u64;
+                self.stats[me].idle_ns.fetch_add(ns, Ordering::Relaxed);
+                counters().add(CounterId::PoolIdleNs, ns);
+            }
         }
     }
 }
@@ -207,6 +245,7 @@ impl Pool {
     pub fn new(workers: usize) -> Self {
         let shared = Arc::new(Shared {
             queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            stats: (0..workers).map(|_| WorkerCounters::default()).collect(),
             next_queue: AtomicUsize::new(0),
             generation: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
@@ -231,6 +270,21 @@ impl Pool {
         self.shared.queues.len()
     }
 
+    /// Snapshots every worker's lifetime telemetry (tasks run, tasks
+    /// stolen, nanoseconds parked). Recorded only while `pasta-obs`
+    /// counting is enabled; all-zero otherwise.
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.shared
+            .stats
+            .iter()
+            .map(|s| WorkerStats {
+                tasks: s.tasks.load(Ordering::Relaxed),
+                steals: s.steals.load(Ordering::Relaxed),
+                idle_ns: s.idle_ns.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
     /// Runs `f(id)` for every `id in 0..participants`, fanning out across
     /// the workers with the caller participating. Returns once every
     /// participant has finished; panics in `f` are re-thrown here.
@@ -245,6 +299,14 @@ impl Pool {
             }
             return;
         }
+        let _span = span_detail(
+            "pool",
+            "pool.broadcast",
+            "",
+            participants as u64,
+            self.workers() as u64,
+            0,
+        );
         let wide: &(dyn Fn(usize) + Sync) = &f;
         // SAFETY: erasing the lifetime is sound because this function waits
         // for `finished == participants` before returning (see module docs).

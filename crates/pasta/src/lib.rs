@@ -17,7 +17,9 @@
 //! - [`platform`] (`pasta-platform`) — Table III platforms, Rooflines, ERT,
 //!   the calibrated performance model;
 //! - [`simt`] (`pasta-simt`) — the GPU simulator and GPU kernels;
-//! - [`algos`] (`pasta-algos`) — CP-ALS, Tucker/HOOI, tensor power method.
+//! - [`algos`] (`pasta-algos`) — CP-ALS, Tucker/HOOI, tensor power method;
+//! - [`obs`] (`pasta-obs`) — unified tracing spans, the counter registry,
+//!   and the chrome://tracing exporter.
 //!
 //! # Quickstart
 //!
@@ -44,6 +46,7 @@ pub use pasta_core as core;
 pub use pasta_gen as gen;
 pub use pasta_kernels as kernels;
 pub use pasta_memsim as memsim;
+pub use pasta_obs as obs;
 pub use pasta_par as par;
 pub use pasta_platform as platform;
 pub use pasta_simt as simt;

@@ -17,6 +17,7 @@
 use crate::device::DeviceSpec;
 use crate::trace::{coalesce_warp, Accessor, ThreadTrace};
 use pasta_memsim::{Cache, CacheConfig};
+use pasta_obs::{counters, span_detail, CounterId};
 use std::collections::HashMap;
 
 /// A kernel runnable on the simulator.
@@ -94,6 +95,8 @@ pub fn launch<K: GpuKernel>(device: &DeviceSpec, kernel: &mut K) -> LaunchStats 
     let grid = kernel.grid_dim();
     let block_dim = kernel.block_dim();
     assert!(grid == 0 || block_dim > 0, "empty blocks");
+    counters().add(CounterId::SimLaunches, 1);
+    let _span = span_detail("sim", "sim.launch", "", grid as u64, block_dim as u64, 0);
     let warp = device.warp_size as usize;
 
     // Sectored L2: lines equal the DRAM sector so adjacent sectors do not

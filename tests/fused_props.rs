@@ -5,14 +5,14 @@
 //!
 //! The composed references here call the raw kernels directly (never
 //! `pasta::algos::ttm_chain`), so this binary's counter assertions cannot
-//! race against legitimate `materialized_intermediates` bumps.
+//! race against legitimate `fused.materialized_intermediates` bumps.
 
 use pasta::core::linalg::{gram, hadamard, normalize_columns, Cholesky};
 use pasta::core::{
     seeded_matrix, seeded_vector, CooTensor, DenseMatrix, DenseVector, SemiCooTensor, Shape,
 };
 use pasta::kernels::{
-    fused_counters, mttkrp_coo, ttm_coo, ttm_scoo, ttv_coo, Ctx, FormatKind, FusedAlsSweep,
+    counters, mttkrp_coo, ttm_coo, ttm_scoo, ttv_coo, CounterId, Ctx, FormatKind, FusedAlsSweep,
     FusedTtmChainPlan, FusedTtvPlan, WorkspaceKind,
 };
 use pasta::par::Schedule;
@@ -281,7 +281,8 @@ fn fused_paths_materialize_no_intermediates() {
         (0..60u32).map(|i| (vec![i % 10, (i * 3) % 7, (i * 5) % 6], f64::from(i) - 30.0)).collect(),
     );
     let ctx = ctx_with(2);
-    let before = fused_counters().snapshot();
+    pasta::obs::set_counting(true);
+    let before = counters().snapshot();
 
     let v1 = seeded_vector::<f64>(7, 1);
     let v2 = seeded_vector::<f64>(6, 2);
@@ -300,11 +301,12 @@ fn fused_paths_materialize_no_intermediates() {
     let mut als = FusedAlsSweep::new(&x, FormatKind::Coo, 0, &ff, &ctx).unwrap();
     als.sweep(&mut ff, &mut lf).unwrap();
 
-    let after = fused_counters().snapshot();
+    let after = counters().snapshot();
     assert_eq!(
-        after.materialized_intermediates, before.materialized_intermediates,
+        after[CounterId::FusedMaterialized],
+        before[CounterId::FusedMaterialized],
         "fused paths must not materialize intermediate sparse tensors"
     );
-    assert!(after.fused_chains >= before.fused_chains + 4);
-    assert!(after.workspace_bytes > before.workspace_bytes);
+    assert!(after[CounterId::FusedChains] >= before[CounterId::FusedChains] + 4);
+    assert!(after[CounterId::FusedWorkspaceBytes] > before[CounterId::FusedWorkspaceBytes]);
 }

@@ -1,0 +1,59 @@
+//! With counting disabled, every counter in the registry must stay
+//! exactly zero-delta across a workload that would otherwise bump every
+//! subsystem (sort, HiCOO conversion, MTTKRP scheduling, fused chains,
+//! pool workers).
+//!
+//! This lives in its own test binary: `set_counting(false)` is
+//! process-global, and cargo runs each test binary as a separate process,
+//! so disabling here cannot break the delta assertions in the other
+//! suites (which run with the default counting-on state).
+
+use pasta::core::{seeded_matrix, seeded_vector, CooTensor, DenseMatrix, DenseVector, Shape};
+use pasta::kernels::{mttkrp_coo, ttv_coo, Ctx, FusedTtvPlan};
+use pasta::par::Schedule;
+
+fn tensor() -> CooTensor<f64> {
+    let mut t = CooTensor::new(Shape::new(vec![12, 9, 8]));
+    for e in 0..200u32 {
+        let coords = vec![e % 12, (e * 7 + 1) % 9, (e * 3 + 2) % 8];
+        t.push(&coords, f64::from(e % 17) - 8.0).unwrap();
+    }
+    t.dedup_sum();
+    t
+}
+
+#[test]
+fn all_counters_zero_delta_when_disabled() {
+    pasta::obs::set_counting(false);
+    let before = pasta::obs::counters().snapshot();
+
+    let x = tensor();
+    for threads in [1usize, 2, 4] {
+        let ctx = Ctx::new(threads, Schedule::Static);
+        // Sort + HiCOO conversion path.
+        let hicoo = pasta::core::HiCooTensor::from_coo(&x, 4).unwrap();
+        assert_eq!(hicoo.nnz(), x.nnz());
+        // TTV and the MTTKRP strategy dispatch (merge, resort, nnz counters).
+        let v: DenseVector<f64> = seeded_vector(8, 7);
+        ttv_coo(&x, &v, 2, &ctx).unwrap();
+        let factors: Vec<DenseMatrix<f64>> =
+            (0..3).map(|m| seeded_matrix(x.shape().dim(m) as usize, 4, 3 + m as u64)).collect();
+        mttkrp_coo(&x, &factors, 0, &ctx).unwrap();
+        // Fused TTV chain (plan-cache, chain, workspace counters).
+        let v1: DenseVector<f64> = seeded_vector(9, 5);
+        let v2: DenseVector<f64> = seeded_vector(8, 6);
+        let plan = FusedTtvPlan::new(&x, &[1, 2], &ctx).unwrap();
+        plan.execute(&[&v1, &v2], &ctx).unwrap();
+    }
+
+    let after = pasta::obs::counters().snapshot();
+    for ((name, b), (_, a)) in before.iter().zip(after.iter()) {
+        assert_eq!(b, a, "counter {name} moved while counting was disabled");
+    }
+    // Tracing defaults off in this process: no events either.
+    let events = pasta::obs::snapshot_events();
+    assert!(
+        events.iter().all(|(_, evs, _)| evs.is_empty()),
+        "span events recorded while tracing was disabled"
+    );
+}
