@@ -35,6 +35,15 @@ cargo run --release -q -p pasta-bench --bin hostrun -- --trace \
   --check-regress results/BENCH_host.json --regress-advisory s1 0.02 2 > /dev/null
 cargo run --release -q -p pasta-bench --bin hostrun -- --check-trace results/TRACE_host.json
 
+echo "==> Serve loadgen smoke (seeded stream, warm-pass cache hits, replay round-trip)"
+cargo run --release -q -p pasta-bench --bin servebench -- \
+  --passes 2 --count 60 --scale 0.01 --check --write-reqs results/SERVE_ci.reqs > /dev/null
+cargo run --release -q -p pasta-bench --bin servebench -- \
+  --reqs results/SERVE_ci.reqs --passes 2 --scale 0.01 --check > /dev/null
+cargo run --release -q -p pasta-bench --bin servebench -- \
+  --passes 1 --count 40 --scale 0.01 --no-cache --check > /dev/null
+rm -f results/SERVE_ci.reqs
+
 echo "==> Conformance matrix (quick tier + selftest)"
 cargo run --release -q -p pasta-conformance -- quick
 cargo run --release -q -p pasta-conformance -- selftest

@@ -1,0 +1,354 @@
+//! Closed-loop load generator for the `pasta-serve` serving layer.
+//!
+//! Materializes a catalog of Table II synthetic profiles, expands a
+//! seeded power-law `.reqs` stream (`pasta_gen::StreamSpec`) into
+//! service requests, and drives them through a [`Server`] in submission
+//! windows for one or more passes. Each pass reports request count,
+//! p50/p99 latency (nearest-rank, `pasta_serve::LatencyStats`),
+//! closed-loop throughput, and the `serve.*` / `cache.*` /
+//! `convert.*` counter deltas — so cache effectiveness is measured from
+//! the same counter registry the rest of the suite uses.
+//!
+//! Usage: `servebench [--reqs <file>] [--write-reqs <file>] [--json]
+//! [--check] [--no-cache] [--passes n] [--threads n] [--shards n]
+//! [--window n] [--profile id] [--scale f] [--tensors n] [--count n]
+//! [--seed n]`
+//!
+//! `--reqs` replays a committed `.reqs` header bit-for-bit;
+//! `--write-reqs` saves the header of the current run. With `--json`,
+//! per-pass rows (tensor/kernel/format/time_ns, compatible with the
+//! `hostrun --check-regress` baseline schema) are written to
+//! `results/SERVE_host.json`. `--check` exits non-zero unless every
+//! pass sustained nonzero throughput and — from the second pass on —
+//! the conversion cache showed hits and strictly fewer misses than the
+//! cold pass, asserting the cache actually absorbed re-conversions.
+
+use pasta_gen::{GenRequest, ReqKind, StreamSpec};
+use pasta_kernels::{counters, CounterId, CounterSnapshot, EwOp, TsOp};
+use pasta_serve::{
+    Catalog, LatencyStats, LatencySummary, MttkrpRoute, OpSpec, Request, Server, ServerConfig,
+};
+
+/// The paper's fixed HiCOO block size, reused for served HiCOO routes.
+const BLOCK_SIZE: u32 = 128;
+const JSON_PATH: &str = "results/SERVE_host.json";
+
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let i = args.iter().position(|a| a == flag);
+    if let Some(i) = i {
+        args.remove(i);
+        return true;
+    }
+    false
+}
+
+fn parse_or_exit<T: std::str::FromStr>(val: &str, what: &str) -> T {
+    val.parse().unwrap_or_else(|_| {
+        eprintln!("bad {what}: {val}");
+        std::process::exit(2);
+    })
+}
+
+/// Builds the catalog: `spec.tensors` synthetic profiles starting at
+/// `spec.profile`, materialized at `spec.scale`.
+fn build_catalog(spec: &StreamSpec) -> Catalog {
+    let profiles = pasta_gen::synthetic_profiles();
+    let start = profiles.iter().position(|p| p.id == spec.profile).unwrap_or_else(|| {
+        eprintln!("unknown profile {} (expected a synthetic id like s1)", spec.profile);
+        std::process::exit(2);
+    });
+    let mut catalog = Catalog::new();
+    for i in 0..spec.tensors {
+        let p = &profiles[(start + i) % profiles.len()];
+        let tensor = p.generate_scaled(spec.scale).expect("built-in profile generates");
+        catalog.insert(i as u32, p.id, tensor);
+    }
+    catalog
+}
+
+/// Maps one stream entry onto a concrete service request against the
+/// catalog (mode reduced by the tensor's order, ranks clamped for jobs).
+fn to_request(g: &GenRequest, catalog: &Catalog) -> Request {
+    let id = g.tensor as u32;
+    let order = catalog.get(id).expect("stream indexes the catalog").tensor.order();
+    let mode = g.mode % order;
+    let op = match g.kind {
+        ReqKind::Tew => OpSpec::Tew { op: EwOp::ALL[(g.seed % 4) as usize], seed: g.seed },
+        ReqKind::Ts => OpSpec::Ts {
+            op: TsOp::ALL[(g.seed % 4) as usize],
+            // Bounded away from zero so Div stays finite.
+            scalar: 0.5 + (g.seed % 64) as f32 * 0.25,
+        },
+        ReqKind::Ttv => OpSpec::Ttv { mode, seed: g.seed },
+        ReqKind::Ttm => OpSpec::Ttm { mode, rank: g.rank, seed: g.seed },
+        ReqKind::Mttkrp => OpSpec::Mttkrp {
+            mode,
+            rank: g.rank,
+            seed: g.seed,
+            route: if g.seed.is_multiple_of(2) {
+                MttkrpRoute::Coo
+            } else {
+                MttkrpRoute::Hicoo(BLOCK_SIZE)
+            },
+        },
+        ReqKind::Cpd => OpSpec::Cpd { rank: g.rank.min(4), sweeps: 1, seed: g.seed },
+        ReqKind::Tucker => OpSpec::Tucker { rank: g.rank.min(4), sweeps: 1, seed: g.seed },
+    };
+    Request { tensor: id, op }
+}
+
+/// One pass's report: the latency digest plus counter deltas.
+struct PassReport {
+    summary: LatencySummary,
+    requests: u64,
+    batches: u64,
+    shard_tasks: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+    conversions: u64,
+}
+
+fn delta(after: &CounterSnapshot, before: &CounterSnapshot, id: CounterId) -> u64 {
+    after.get(id) - before.get(id)
+}
+
+/// Drives the full stream through the server once, in `window`-sized
+/// submission windows.
+fn run_pass(server: &mut Server, requests: &[Request], window: usize) -> PassReport {
+    let before = counters().snapshot();
+    let mut lat = LatencyStats::new();
+    let t0 = std::time::Instant::now();
+    for chunk in requests.chunks(window.max(1)) {
+        let responses = server.submit(chunk.iter().copied()).unwrap_or_else(|e| {
+            eprintln!("dispatch failed: {e}");
+            std::process::exit(1);
+        });
+        for r in &responses {
+            lat.record(r.latency_ns);
+        }
+    }
+    let elapsed = t0.elapsed().as_nanos() as u64;
+    let after = counters().snapshot();
+    let summary = lat.summary(elapsed.max(1)).unwrap_or_else(|| {
+        eprintln!("empty request stream");
+        std::process::exit(1);
+    });
+    PassReport {
+        summary,
+        requests: delta(&after, &before, CounterId::ServeRequests),
+        batches: delta(&after, &before, CounterId::ServeBatches),
+        shard_tasks: delta(&after, &before, CounterId::ServeShardTasks),
+        cache_hits: delta(&after, &before, CounterId::CacheHits),
+        cache_misses: delta(&after, &before, CounterId::CacheMisses),
+        cache_evictions: delta(&after, &before, CounterId::CacheEvictions),
+        conversions: delta(&after, &before, CounterId::HicooConversions),
+    }
+}
+
+fn write_json(path: &std::path::Path, spec: &StreamSpec, reports: &[PassReport]) {
+    use std::io::Write;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path).expect("create json"));
+    writeln!(f, "[").unwrap();
+    for (i, r) in reports.iter().enumerate() {
+        let comma = if i + 1 == reports.len() { "" } else { "," };
+        writeln!(
+            f,
+            "  {{\"tensor\": \"{}\", \"kernel\": \"SERVE[p{}]\", \"format\": \"mix\", \
+             \"time_ns\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \"throughput_rps\": {:.2}, \
+             \"requests\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}{}",
+            spec.profile,
+            i + 1,
+            r.summary.p99_ns as f64,
+            r.summary.p50_ns,
+            r.summary.p99_ns,
+            r.summary.throughput_rps,
+            r.requests,
+            r.cache_hits,
+            r.cache_misses,
+            comma
+        )
+        .unwrap();
+    }
+    writeln!(f, "]").unwrap();
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let reqs_path = take_value_flag(&mut args, "--reqs");
+    let write_reqs = take_value_flag(&mut args, "--write-reqs");
+    let json = take_flag(&mut args, "--json");
+    let check = take_flag(&mut args, "--check");
+    let no_cache = take_flag(&mut args, "--no-cache");
+    let passes: usize =
+        take_value_flag(&mut args, "--passes").map_or(2, |v| parse_or_exit(&v, "--passes"));
+    let threads: usize =
+        take_value_flag(&mut args, "--threads").map_or(2, |v| parse_or_exit(&v, "--threads"));
+    let shards: usize =
+        take_value_flag(&mut args, "--shards").map_or(2, |v| parse_or_exit(&v, "--shards"));
+    let window: usize =
+        take_value_flag(&mut args, "--window").map_or(16, |v| parse_or_exit(&v, "--window"));
+
+    let mut spec = match reqs_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("failed to read {path}: {e}");
+                std::process::exit(2);
+            });
+            StreamSpec::parse(&text).unwrap_or_else(|e| {
+                eprintln!("bad .reqs header: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => StreamSpec::default(),
+    };
+    if let Some(v) = take_value_flag(&mut args, "--profile") {
+        spec.profile = v;
+    }
+    if let Some(v) = take_value_flag(&mut args, "--scale") {
+        spec.scale = parse_or_exit(&v, "--scale");
+    }
+    if let Some(v) = take_value_flag(&mut args, "--tensors") {
+        spec.tensors = parse_or_exit(&v, "--tensors");
+    }
+    if let Some(v) = take_value_flag(&mut args, "--count") {
+        spec.count = parse_or_exit(&v, "--count");
+    }
+    if let Some(v) = take_value_flag(&mut args, "--seed") {
+        spec.seed = parse_or_exit(&v, "--seed");
+    }
+    if !args.is_empty() {
+        eprintln!("unexpected arguments: {args:?}");
+        std::process::exit(2);
+    }
+    if let Some(path) = write_reqs {
+        std::fs::write(&path, spec.render()).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+
+    let catalog = build_catalog(&spec);
+    let nnz: usize = catalog.ids().iter().map(|&id| catalog.get(id).unwrap().tensor.nnz()).sum();
+    println!(
+        "catalog: {} tensors from {} at scale {} ({} nnz total); stream: {} requests, seed {}",
+        catalog.len(),
+        spec.profile,
+        spec.scale,
+        nnz,
+        spec.count,
+        spec.seed
+    );
+
+    let cfg = ServerConfig {
+        threads,
+        shards,
+        cache_bytes: if no_cache { 0 } else { ServerConfig::default().cache_bytes },
+        ..ServerConfig::default()
+    };
+    let mut server = Server::new(catalog, cfg);
+    let requests: Vec<Request> =
+        spec.generate().iter().map(|g| to_request(g, server.catalog())).collect();
+
+    let mut reports = Vec::new();
+    println!(
+        "{:<6} {:>9} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>11} {:>10} {:>12}",
+        "pass",
+        "requests",
+        "batches",
+        "shard_tasks",
+        "p50_us",
+        "p99_us",
+        "rps",
+        "cache_hits",
+        "cache_miss",
+        "evictions",
+        "conversions"
+    );
+    for pass in 1..=passes.max(1) {
+        let r = run_pass(&mut server, &requests, window);
+        println!(
+            "{:<6} {:>9} {:>8} {:>12} {:>10.1} {:>10.1} {:>10.1} {:>10} {:>11} {:>10} {:>12}",
+            pass,
+            r.requests,
+            r.batches,
+            r.shard_tasks,
+            r.summary.p50_ns as f64 / 1e3,
+            r.summary.p99_ns as f64 / 1e3,
+            r.summary.throughput_rps,
+            r.cache_hits,
+            r.cache_misses,
+            r.cache_evictions,
+            r.conversions
+        );
+        reports.push(r);
+    }
+
+    if json {
+        write_json(std::path::Path::new(JSON_PATH), &spec, &reports);
+        println!("wrote {JSON_PATH}");
+    }
+
+    if check {
+        let mut failures: Vec<String> = Vec::new();
+        for (i, r) in reports.iter().enumerate() {
+            if r.summary.throughput_rps <= 0.0 {
+                failures.push(format!("pass {}: zero throughput", i + 1));
+            }
+            if r.requests != spec.count as u64 {
+                failures.push(format!(
+                    "pass {}: {} requests served, expected {}",
+                    i + 1,
+                    r.requests,
+                    spec.count
+                ));
+            }
+        }
+        if no_cache {
+            for (i, r) in reports.iter().enumerate() {
+                if r.cache_hits + r.cache_misses + r.cache_evictions != 0 {
+                    failures.push(format!("pass {}: cache counters moved while disabled", i + 1));
+                }
+            }
+        } else if reports.len() >= 2 {
+            let (cold, warm) = (&reports[0], reports.last().unwrap());
+            if warm.cache_hits == 0 {
+                failures.push("warm pass: no cache hits".into());
+            }
+            if warm.cache_misses >= cold.cache_misses.max(1) {
+                failures.push(format!(
+                    "warm pass: {} conversions vs {} cold — cache absorbed nothing",
+                    warm.cache_misses, cold.cache_misses
+                ));
+            }
+            if warm.conversions > cold.conversions {
+                failures.push("warm pass: more HiCOO conversions than cold".into());
+            }
+        } else {
+            failures.push("--check needs --passes >= 2 (cold + warm)".into());
+        }
+        if failures.is_empty() {
+            println!("check OK: sustained throughput, cache effective on warm pass");
+        } else {
+            for f in &failures {
+                eprintln!("check FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -35,6 +35,10 @@ use pasta_kernels::{
     StrategyChoice, TsOp,
 };
 use pasta_par::Schedule;
+use pasta_serve::{
+    direct_eval, serve_registry, Catalog as ServeCatalog, MttkrpRoute, OpSpec,
+    Request as ServeRequest, ServeRoute, Server, ServerConfig,
+};
 use pasta_simt::{launch, p100};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -402,6 +406,9 @@ pub fn cells() -> Vec<Cell> {
     }
     for route in fused_registry() {
         push_fused_cells(&mut cs, route);
+    }
+    for route in serve_registry() {
+        push_serve_cells(&mut cs, route);
     }
     cs
 }
@@ -896,6 +903,95 @@ fn push_fused_cells(cs: &mut Vec<Cell>, route: FusedRoute) {
     }
 }
 
+/// Submits each spec to a fresh sharded, cache-enabled server twice (the
+/// second pass answers from the conversion cache) and pairs every served
+/// response against [`direct_eval`] on the same tensor, so one cell pins
+/// both the cold and the cache-warm dispatch path.
+fn serve_pair(cc: &CaseCtx, specs: &[OpSpec]) -> Result<(Vec<f32>, Vec<f32>)> {
+    let mut catalog = ServeCatalog::new();
+    catalog.insert(0, cc.case.label.clone(), cc.x.clone());
+    let cfg = ServerConfig { threads: 2, shards: 3, shard_nnz_threshold: 1, cache_bytes: 1 << 20 };
+    let mut server = Server::new(catalog, cfg);
+    let (mut got, mut want) = (Vec::new(), Vec::new());
+    for &op in specs {
+        let served = server
+            .submit([ServeRequest { tensor: 0, op }])
+            .and_then(|cold| Ok((cold, server.submit([ServeRequest { tensor: 0, op }])?)));
+        let direct = direct_eval(&cc.x, &op);
+        match (served, direct) {
+            (Ok((cold, warm)), Ok(d)) => {
+                for resp in cold.into_iter().chain(warm) {
+                    got.extend(resp.values);
+                    want.extend_from_slice(&d);
+                }
+            }
+            // Degenerate configurations (e.g. rank > nnz decompositions)
+            // must be rejected identically on both sides.
+            (Err(_), Err(_)) => {}
+            (Ok(_), Err(e)) | (Err(e), Ok(_)) => return Err(e),
+        }
+    }
+    Ok((got, want))
+}
+
+/// Emits one differential cell per serving-layer route: the served
+/// response against [`direct_eval`]. Budgets mirror the underlying
+/// kernels — element-wise lanes, owner-computes MTTKRP and the
+/// sequential decomposition jobs are bit-identical contracts, while
+/// TTV/TTM reuse the single-kernel reduction budgets.
+fn push_serve_cells(cs: &mut Vec<Cell>, route: &ServeRoute) {
+    let id = format!("serve-{}/{}/cpu", route.op, route.format);
+    match (route.op, route.format) {
+        ("tew", FormatKind::Coo) => cs.push(Cell::new(id, 0, |cc| {
+            let specs: Vec<OpSpec> =
+                EwOp::ALL.into_iter().map(|op| OpSpec::Tew { op, seed: cc.case.seed }).collect();
+            serve_pair(cc, &specs)
+        })),
+        ("ts", FormatKind::Coo) => cs.push(Cell::new(id, 0, |cc| {
+            let specs: Vec<OpSpec> =
+                TsOp::ALL.into_iter().map(|op| OpSpec::Ts { op, scalar: TS_SCALAR }).collect();
+            serve_pair(cc, &specs)
+        })),
+        ("ttv", FormatKind::Csf) => cs.push(Cell::new(id, TTV_BUDGET, |cc| {
+            serve_pair(cc, &[OpSpec::Ttv { mode: cc.case.mode, seed: cc.case.seed }])
+        })),
+        ("ttm", FormatKind::Coo) => cs.push(Cell::new(id, TTM_BUDGET, |cc| {
+            let spec =
+                OpSpec::Ttm { mode: cc.case.mode, rank: cc.case.rank.max(1), seed: cc.case.seed };
+            serve_pair(cc, &[spec])
+        })),
+        ("mttkrp", FormatKind::Coo) => cs.push(Cell::new(id, 0, |cc| {
+            let spec = OpSpec::Mttkrp {
+                mode: cc.case.mode,
+                rank: cc.case.rank.max(1),
+                seed: cc.case.seed,
+                route: MttkrpRoute::Coo,
+            };
+            serve_pair(cc, &[spec])
+        })),
+        ("mttkrp", FormatKind::Hicoo) => cs.push(Cell::new(id, 0, |cc| {
+            let spec = OpSpec::Mttkrp {
+                mode: cc.case.mode,
+                rank: cc.case.rank.max(1),
+                seed: cc.case.seed,
+                route: MttkrpRoute::Hicoo(cc.case.block),
+            };
+            serve_pair(cc, &[spec])
+        })),
+        ("cpd", FormatKind::Coo) => cs.push(Cell::new(id, 0, |cc| {
+            serve_pair(
+                cc,
+                &[OpSpec::Cpd { rank: cc.case.rank.max(1), sweeps: 2, seed: cc.case.seed }],
+            )
+        })),
+        ("tucker", FormatKind::Coo) => cs.push(Cell::new(id, 0, |cc| {
+            let spec = OpSpec::Tucker { rank: cc.case.rank.max(1), sweeps: 1, seed: cc.case.seed };
+            serve_pair(cc, &[spec])
+        })),
+        _ => {}
+    }
+}
+
 /// A deliberate output perturbation, used by `selftest` (and tests) to
 /// prove the harness catches, shrinks and replays a bug. The perturbation
 /// is applied to the matching cell's first output value, far outside any
@@ -1097,14 +1193,22 @@ mod tests {
         assert!(ids.contains(&"fused-ttvchain/coo/cpu/t1"));
         assert!(ids.contains(&"fused-ttmchain/coo/cpu/t4"));
         assert!(ids.contains(&"fused-alssweep/hicoo/cpu/t4"));
+        assert!(ids.contains(&"serve-tew/coo/cpu"));
+        assert!(ids.contains(&"serve-mttkrp/hicoo/cpu"));
+        assert!(ids.contains(&"serve-cpd/coo/cpu"));
         // Ids are unique.
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), ids.len());
-        // Element-wise cells are all bit-identical contracts.
+        // Element-wise cells are all bit-identical contracts, served or
+        // direct.
         for c in &cs {
-            if c.id.starts_with("tew/") || c.id.starts_with("ts/") {
+            if c.id.starts_with("tew/")
+                || c.id.starts_with("ts/")
+                || c.id.starts_with("serve-tew/")
+                || c.id.starts_with("serve-ts/")
+            {
                 assert_eq!(c.budget, 0, "{}", c.id);
             }
         }
@@ -1138,6 +1242,17 @@ mod tests {
         for cell in cells() {
             let parts: Vec<&str> = cell.id.split('/').collect();
             let (k, f, b) = (parts[0], parts[1], parts[2]);
+            // Serve cells map to the serving-layer route registry.
+            if let Some(op) = k.strip_prefix("serve-") {
+                assert!(
+                    serve_registry()
+                        .iter()
+                        .any(|r| r.op == op && r.format.to_string() == f && b == "cpu"),
+                    "cell {} maps to unregistered serve route serve-{op}/{f}/{b}",
+                    cell.id
+                );
+                continue;
+            }
             // Fused cells map to the fused-route registry, not the
             // single-kernel combo registry.
             if let Some(expr) = k.strip_prefix("fused-") {
@@ -1170,6 +1285,15 @@ mod tests {
                 ids.iter().any(|id| id.starts_with(&format!("{prefix}/"))),
                 "fused route {prefix} has no conformance cell"
             );
+        }
+    }
+
+    #[test]
+    fn every_serve_route_has_cells() {
+        let ids: Vec<String> = cells().into_iter().map(|c| c.id).collect();
+        for route in serve_registry() {
+            let id = format!("serve-{}/{}/cpu", route.op, route.format);
+            assert!(ids.contains(&id), "serve route {id} has no conformance cell");
         }
     }
 

@@ -29,8 +29,10 @@ pub mod kron;
 pub mod mimic;
 pub mod powerlaw;
 pub mod profiles;
+pub mod requests;
 
 pub use kron::KroneckerGen;
 pub use mimic::{extract_features, feature_distance, MimicSpec, ModeProfile};
 pub use powerlaw::{ModeDist, PowerLawGen};
 pub use profiles::{find_profile, real_profiles, synthetic_profiles, Method, TensorProfile};
+pub use requests::{GenRequest, OpMix, ReqKind, StreamSpec};

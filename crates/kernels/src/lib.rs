@@ -82,8 +82,8 @@ pub use mttkrp::{
     mttkrp_coo, mttkrp_coo_traced, mttkrp_hicoo, mttkrp_hicoo_traced, MttkrpCooPlan, MttkrpRun,
 };
 pub use pipeline::{
-    fused_registry, registry, BackendKind, Combo, Ctx, EwOp, ExecRoute, FormatKind, FusedExprKind,
-    FusedRoute, FusionChoice, KernelPlan, StrategyChoice, TsOp,
+    fused_registry, owner_ranges, registry, BackendKind, Combo, Ctx, EwOp, ExecRoute, FormatKind,
+    FusedExprKind, FusedRoute, FusionChoice, KernelPlan, StrategyChoice, TsOp,
 };
 pub use tew::{
     tew_any, tew_coo, tew_coo_general, tew_coo_same_pattern, tew_csf, tew_fcoo, tew_ghicoo,

@@ -74,6 +74,18 @@ counter_ids! {
     PoolIdleNs => "pool.idle_ns",
     /// Simulated GPU kernel launches.
     SimLaunches => "sim.launches",
+    /// Requests admitted by the serving layer.
+    ServeRequests => "serve.requests",
+    /// Batches of compatible requests dispatched by the serving layer.
+    ServeBatches => "serve.batches",
+    /// Owner-computes shard tasks issued by the serving layer.
+    ServeShardTasks => "serve.shard_tasks",
+    /// Conversion products served from the cache.
+    CacheHits => "cache.hits",
+    /// Conversion products built because the cache had no entry.
+    CacheMisses => "cache.misses",
+    /// Conversion products evicted to stay under the cache byte budget.
+    CacheEvictions => "cache.evictions",
 }
 
 /// Number of registered counters.

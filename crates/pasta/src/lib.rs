@@ -19,7 +19,9 @@
 //! - [`simt`] (`pasta-simt`) — the GPU simulator and GPU kernels;
 //! - [`algos`] (`pasta-algos`) — CP-ALS, Tucker/HOOI, tensor power method;
 //! - [`obs`] (`pasta-obs`) — unified tracing spans, the counter registry,
-//!   and the chrome://tracing exporter.
+//!   and the chrome://tracing exporter;
+//! - [`serve`] (`pasta-serve`) — the sharded tensor-algebra service with
+//!   request batching and conversion-product caching.
 //!
 //! # Quickstart
 //!
@@ -49,4 +51,5 @@ pub use pasta_memsim as memsim;
 pub use pasta_obs as obs;
 pub use pasta_par as par;
 pub use pasta_platform as platform;
+pub use pasta_serve as serve;
 pub use pasta_simt as simt;

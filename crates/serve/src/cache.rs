@@ -1,0 +1,210 @@
+//! The conversion-product cache: sorted COO copies, HiCOO blockings, and
+//! pre-processed kernel plans, keyed by tensor id + product parameters.
+//!
+//! Conversions dominate the cost of a cold request (a HiCOO blocking or a
+//! CSF build walks every non-zero); under sustained traffic the same
+//! products are needed over and over, so the server keeps them in an
+//! LRU-evicted table with a byte budget. Every lookup lands on exactly
+//! one of the `cache.hits` / `cache.misses` counters, and every eviction
+//! on `cache.evictions`, so load tests can verify cache behavior from
+//! counter deltas alone. A disabled cache is represented by the server
+//! holding no `ConvCache` at all — the counters then stay untouched
+//! (zero-delta), not merely at a 100% miss rate.
+
+use crate::request::TensorId;
+use pasta_core::{CooTensor, HiCooTensor, Result};
+use pasta_kernels::{CsfTtvPlan, TtmCooPlan};
+use pasta_obs::{counters, instant, CounterId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What product of which parameters a cache entry holds.
+///
+/// The key carries every parameter that changes the product's bytes:
+/// the sort mode, the block size, the contracted mode. Tensor identity is
+/// the other half of the full key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProductKey {
+    /// Mode-outermost sorted COO copy (owner-computes precondition).
+    SortedCoo {
+        /// The outermost mode.
+        mode: usize,
+    },
+    /// HiCOO blocking with this block size.
+    Hicoo {
+        /// Block edge length (power of two).
+        block: u32,
+    },
+    /// Pre-processed CSF TTV plan contracting this mode.
+    CsfTtv {
+        /// The contracted (leaf) mode.
+        mode: usize,
+    },
+    /// Pre-processed semi-sparse TTM plan contracting this mode.
+    TtmPlan {
+        /// The contracted mode.
+        mode: usize,
+    },
+}
+
+/// A cached conversion product.
+#[derive(Debug)]
+pub enum Product {
+    /// See [`ProductKey::SortedCoo`].
+    SortedCoo(CooTensor<f32>),
+    /// See [`ProductKey::Hicoo`].
+    Hicoo(HiCooTensor<f32>),
+    /// See [`ProductKey::CsfTtv`].
+    CsfTtv(CsfTtvPlan<f32>),
+    /// See [`ProductKey::TtmPlan`].
+    TtmPlan(TtmCooPlan<f32>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    product: Arc<Product>,
+    bytes: usize,
+    stamp: u64,
+}
+
+/// The LRU conversion-product cache.
+#[derive(Debug)]
+pub struct ConvCache {
+    cap_bytes: usize,
+    used_bytes: usize,
+    clock: u64,
+    map: HashMap<(TensorId, ProductKey), Entry>,
+}
+
+impl ConvCache {
+    /// A cache bounded to roughly `cap_bytes` of product storage.
+    pub fn new(cap_bytes: usize) -> Self {
+        Self { cap_bytes, used_bytes: 0, clock: 0, map: HashMap::new() }
+    }
+
+    /// Number of resident products.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Estimated bytes held by resident products.
+    pub fn bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Returns the cached product for `(tensor, key)`, building it with
+    /// `build` on a miss. `bytes_hint` is the caller's size estimate
+    /// (used for the eviction budget; products larger than the whole
+    /// budget are returned without being cached).
+    ///
+    /// The boolean is `true` on a hit. Bumps `cache.hits` /
+    /// `cache.misses` accordingly, and `cache.evictions` once per entry
+    /// evicted to make room.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build` failures (the failed key is not cached).
+    pub fn get_or_build(
+        &mut self,
+        tensor: TensorId,
+        key: ProductKey,
+        bytes_hint: usize,
+        build: impl FnOnce() -> Result<Product>,
+    ) -> Result<(Arc<Product>, bool)> {
+        self.clock += 1;
+        if let Some(e) = self.map.get_mut(&(tensor, key)) {
+            e.stamp = self.clock;
+            counters().add(CounterId::CacheHits, 1);
+            instant("serve", "cache.hit", "", u64::from(tensor), e.bytes as u64, 0);
+            return Ok((Arc::clone(&e.product), true));
+        }
+        counters().add(CounterId::CacheMisses, 1);
+        instant("serve", "cache.miss", "", u64::from(tensor), bytes_hint as u64, 0);
+        let product = Arc::new(build()?);
+        if bytes_hint <= self.cap_bytes {
+            while self.used_bytes + bytes_hint > self.cap_bytes && !self.map.is_empty() {
+                self.evict_lru();
+            }
+            self.used_bytes += bytes_hint;
+            let stamp = self.clock;
+            self.map.insert(
+                (tensor, key),
+                Entry { product: Arc::clone(&product), bytes: bytes_hint, stamp },
+            );
+        }
+        Ok((product, false))
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k);
+        if let Some(k) = victim {
+            if let Some(e) = self.map.remove(&k) {
+                self.used_bytes -= e.bytes;
+                counters().add(CounterId::CacheEvictions, 1);
+                instant("serve", "cache.evict", "", u64::from(k.0), e.bytes as u64, 0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_core::Shape;
+
+    fn product() -> Result<Product> {
+        Ok(Product::SortedCoo(CooTensor::new(Shape::new(vec![2, 2]))))
+    }
+
+    #[test]
+    fn hit_after_miss_and_lru_eviction() {
+        let mut c = ConvCache::new(100);
+        let k0 = ProductKey::SortedCoo { mode: 0 };
+        let k1 = ProductKey::SortedCoo { mode: 1 };
+        let k2 = ProductKey::Hicoo { block: 4 };
+
+        let (_, hit) = c.get_or_build(1, k0, 40, product).unwrap();
+        assert!(!hit);
+        let (_, hit) = c.get_or_build(1, k0, 40, || panic!("must not rebuild")).unwrap();
+        assert!(hit);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 40);
+
+        // Fill to capacity, then overflow: the least-recently-used entry
+        // (k1 — k0 was touched by the hit above... k1 is older) goes.
+        c.get_or_build(1, k1, 40, product).unwrap();
+        c.get_or_build(1, k0, 40, || panic!("still cached")).unwrap();
+        c.get_or_build(1, k2, 40, product).unwrap();
+        assert_eq!(c.len(), 2, "one entry evicted to fit");
+        let (_, hit) = c.get_or_build(1, k1, 40, product).unwrap();
+        assert!(!hit, "k1 was the LRU victim");
+        let (_, hit) = c.get_or_build(1, k2, 40, || panic!("k2 stays")).unwrap();
+        assert!(hit);
+    }
+
+    #[test]
+    fn oversized_products_bypass_the_cache() {
+        let mut c = ConvCache::new(10);
+        let k = ProductKey::TtmPlan { mode: 0 };
+        let (_, hit) = c.get_or_build(1, k, 1000, product).unwrap();
+        assert!(!hit);
+        assert_eq!(c.len(), 0, "too big to cache");
+        let (_, hit) = c.get_or_build(1, k, 1000, product).unwrap();
+        assert!(!hit, "never cached, so never a hit");
+    }
+
+    #[test]
+    fn distinct_tensors_do_not_collide() {
+        let mut c = ConvCache::new(1000);
+        let k = ProductKey::CsfTtv { mode: 1 };
+        c.get_or_build(1, k, 10, product).unwrap();
+        let (_, hit) = c.get_or_build(2, k, 10, product).unwrap();
+        assert!(!hit);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,83 @@
+//! The catalog of resident tensors the server answers requests against.
+//!
+//! Tensors are loaded once (from `pasta-gen` profiles or test fixtures)
+//! and stay resident for the server's lifetime; requests reference them
+//! by [`TensorId`]. The catalog is deliberately dumb — ownership and
+//! lookup only. Conversion products derived from a resident tensor live
+//! in the [`ConvCache`](crate::cache::ConvCache), not here, so cache pressure
+//! can evict a blocking without evicting the tensor itself.
+
+use crate::request::TensorId;
+use pasta_core::CooTensor;
+use std::collections::BTreeMap;
+
+/// One resident tensor plus its human-readable name.
+#[derive(Debug, Clone)]
+pub struct ResidentTensor {
+    /// Display name (profile id or fixture label).
+    pub name: String,
+    /// The tensor itself, in canonical COO.
+    pub tensor: CooTensor<f32>,
+}
+
+/// The id-keyed table of resident tensors.
+///
+/// A `BTreeMap` keeps [`ids`](Catalog::ids) in deterministic order, which
+/// the load generator relies on to map stream indices to tensors
+/// reproducibly.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    entries: BTreeMap<TensorId, ResidentTensor>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Makes `tensor` resident under `id`, replacing any previous holder.
+    pub fn insert(&mut self, id: TensorId, name: impl Into<String>, tensor: CooTensor<f32>) {
+        self.entries.insert(id, ResidentTensor { name: name.into(), tensor });
+    }
+
+    /// Looks up a resident tensor.
+    pub fn get(&self, id: TensorId) -> Option<&ResidentTensor> {
+        self.entries.get(&id)
+    }
+
+    /// All resident ids, ascending.
+    pub fn ids(&self) -> Vec<TensorId> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Number of resident tensors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_core::Shape;
+
+    #[test]
+    fn insert_lookup_replace() {
+        let mut cat = Catalog::new();
+        assert!(cat.is_empty());
+        let t = CooTensor::<f32>::new(Shape::new(vec![2, 2]));
+        cat.insert(7, "a", t.clone());
+        cat.insert(3, "b", t.clone());
+        cat.insert(7, "a2", t);
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.ids(), vec![3, 7]);
+        assert_eq!(cat.get(7).unwrap().name, "a2");
+        assert!(cat.get(8).is_none());
+    }
+}

@@ -1,0 +1,82 @@
+//! The direct reference path: every [`OpSpec`] evaluated as a plain
+//! kernel call, with no catalog, batching, sharding, or caching.
+//!
+//! This is the other half of the differential contract. The test tier
+//! (`tests/serve_props.rs`, the `serve-*` conformance cells) compares
+//! every served [`Response`](crate::Response) against [`direct_eval`]
+//! on the same tensor and spec; [`OpSpec::budget`] says how close they
+//! must be (0 ULP for everything except the TTV/TTM reduction routes).
+//!
+//! The reference deliberately re-derives all of its own operands and
+//! conversions — it shares the *derivation rules* with the server (the
+//! functions in [`crate::request`]) but none of its state, so a cache
+//! bug on the service side cannot silently infect the reference.
+
+use crate::request::{
+    canonical_vals, contraction_matrix, contraction_vector, cpd_options, factor_set,
+    pattern_operand, sorted_by_mode, tucker_options, MttkrpRoute, OpSpec,
+};
+use pasta_algos::{cp_als, tucker_hooi};
+use pasta_core::{CooTensor, HiCooTensor, Result};
+use pasta_kernels::{
+    mttkrp_coo, mttkrp_hicoo, tew_coo_same_pattern, ts_coo, ttm_coo, ttv_coo, Ctx,
+};
+
+/// Evaluates `op` against `x` as a direct sequential kernel call and
+/// returns the canonical value stream — the reference a served response
+/// is compared against.
+///
+/// # Errors
+///
+/// Propagates kernel and decomposition errors. A spec that fails here
+/// must also fail through the service (and vice versa); the test tier
+/// checks outcome parity as well as value parity.
+pub fn direct_eval(x: &CooTensor<f32>, op: &OpSpec) -> Result<Vec<f32>> {
+    let ctx = Ctx::sequential();
+    match *op {
+        OpSpec::Tew { op, seed } => {
+            let y = pattern_operand(x, seed);
+            Ok(canonical_vals(&tew_coo_same_pattern(op, x, &y, &ctx)?))
+        }
+        OpSpec::Ts { op, scalar } => Ok(canonical_vals(&ts_coo(op, x, scalar, &ctx)?)),
+        OpSpec::Ttv { mode, seed } => {
+            let v = contraction_vector(x, mode, seed);
+            Ok(canonical_vals(&ttv_coo(x, &v, mode, &ctx)?))
+        }
+        OpSpec::Ttm { mode, rank, seed } => {
+            let u = contraction_matrix(x, mode, rank, seed);
+            Ok(canonical_vals(&ttm_coo(x, &u, mode, &ctx)?.to_coo()))
+        }
+        OpSpec::Mttkrp { mode, rank, seed, route } => {
+            let factors = factor_set(x, rank, seed);
+            let out = match route {
+                // The reference for the sharded owner-computes route is
+                // the sequential kernel over the *sorted* copy — the same
+                // contract the owner conformance cells pin at 0 ULP.
+                MttkrpRoute::Coo => mttkrp_coo(&sorted_by_mode(x, mode), &factors, mode, &ctx)?,
+                MttkrpRoute::Hicoo(block) => {
+                    let h = HiCooTensor::from_coo(x, block)?;
+                    mttkrp_hicoo(&h, &factors, mode, &ctx)?
+                }
+            };
+            Ok(out.as_slice().to_vec())
+        }
+        OpSpec::Cpd { rank, sweeps, seed } => {
+            let model = cp_als(x, &cpd_options(rank, sweeps, seed))?;
+            let mut vals: Vec<f32> = Vec::new();
+            for f in &model.factors {
+                vals.extend_from_slice(f.as_slice());
+            }
+            vals.extend_from_slice(&model.lambda);
+            Ok(vals)
+        }
+        OpSpec::Tucker { rank, sweeps, seed } => {
+            let model = tucker_hooi(x, &tucker_options(x, rank, sweeps, seed))?;
+            let mut vals = model.core.clone();
+            for f in &model.factors {
+                vals.extend_from_slice(f.as_slice());
+            }
+            Ok(vals)
+        }
+    }
+}

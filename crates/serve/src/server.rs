@@ -1,0 +1,443 @@
+//! The server: admission → batch → dispatch → reply.
+//!
+//! Requests are validated and queued at admission ([`Server::enqueue`],
+//! `serve.requests`), then [`Server::drain`] groups the queue into
+//! batches of compatible requests — same tensor, same conversion product
+//! — so each batch resolves its product against the
+//! [`ConvCache`] exactly once (`serve.batches`).
+//! Dispatch routes every request through the `KernelPlan` registry and
+//! onto the `pasta-par` pool via the kernel entry points; MTTKRP-COO
+//! requests over large tensors are sharded owner-computes style across
+//! mode-outermost ranges of the cached sorted copy (`serve.shard_tasks`),
+//! which is what keeps the parallel response bit-identical to the
+//! sequential reference. Replies come back in admission order.
+//!
+//! Every lifecycle stage is spanned under the `serve` category
+//! (`serve.admit` / `serve.batch` / `serve.dispatch` / `serve.reply`),
+//! so a traced run shows the full request timeline in the chrome trace.
+
+use crate::cache::{ConvCache, Product, ProductKey};
+use crate::catalog::Catalog;
+use crate::request::{
+    canonical_vals, contraction_matrix, contraction_vector, cpd_options, csf_ttv_order, factor_set,
+    pattern_operand, sorted_by_mode, tucker_options, MttkrpRoute, OpSpec, Request, Response,
+    TensorId,
+};
+use pasta_algos::{cp_als, tucker_hooi};
+use pasta_core::{CooTensor, CsfTensor, Error, HiCooTensor, Result};
+use pasta_kernels::{
+    mttkrp_coo, mttkrp_hicoo, owner_ranges, tew_coo_same_pattern, ts_coo, BackendKind, CsfTtvPlan,
+    Ctx, FormatKind, Kernel, KernelPlan, StrategyChoice, TtmCooPlan,
+};
+use pasta_obs::{counters, instant, span, span_detail, CounterId};
+use pasta_par::Schedule;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Pool width for element-wise / TTV / TTM dispatches (≥ 1).
+    pub threads: usize,
+    /// Shard count for owner-computes MTTKRP dispatches (≥ 1).
+    pub shards: usize,
+    /// Tensors with fewer non-zeros than this are never sharded.
+    pub shard_nnz_threshold: usize,
+    /// Conversion-cache byte budget; `0` disables caching entirely (the
+    /// `cache.*` counters then stay zero-delta, not just cold).
+    pub cache_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { threads: 2, shards: 2, shard_nnz_threshold: 1 << 10, cache_bytes: 64 << 20 }
+    }
+}
+
+/// A queued request plus its admission slot (reply position).
+#[derive(Debug)]
+struct Pending {
+    slot: usize,
+    req: Request,
+}
+
+/// Requests in one batch share the tensor and the conversion product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BatchKey {
+    tensor: TensorId,
+    class: OpClass,
+}
+
+/// The product-equivalence class of an op (everything that decides which
+/// conversion product, if any, the request needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpClass {
+    Tew,
+    Ts,
+    Ttv(usize),
+    Ttm(usize),
+    MttkrpCoo(usize),
+    MttkrpHicoo(u32),
+    Cpd,
+    Tucker,
+}
+
+fn class(op: &OpSpec) -> OpClass {
+    match *op {
+        OpSpec::Tew { .. } => OpClass::Tew,
+        OpSpec::Ts { .. } => OpClass::Ts,
+        OpSpec::Ttv { mode, .. } => OpClass::Ttv(mode),
+        OpSpec::Ttm { mode, .. } => OpClass::Ttm(mode),
+        OpSpec::Mttkrp { mode, route: MttkrpRoute::Coo, .. } => OpClass::MttkrpCoo(mode),
+        OpSpec::Mttkrp { route: MttkrpRoute::Hicoo(block), .. } => OpClass::MttkrpHicoo(block),
+        OpSpec::Cpd { .. } => OpClass::Cpd,
+        OpSpec::Tucker { .. } => OpClass::Tucker,
+    }
+}
+
+fn product_key(class: OpClass) -> Option<ProductKey> {
+    match class {
+        OpClass::Ttv(mode) => Some(ProductKey::CsfTtv { mode }),
+        OpClass::Ttm(mode) => Some(ProductKey::TtmPlan { mode }),
+        OpClass::MttkrpCoo(mode) => Some(ProductKey::SortedCoo { mode }),
+        OpClass::MttkrpHicoo(block) => Some(ProductKey::Hicoo { block }),
+        OpClass::Tew | OpClass::Ts | OpClass::Cpd | OpClass::Tucker => None,
+    }
+}
+
+fn build_product(x: &CooTensor<f32>, key: ProductKey) -> Result<Product> {
+    match key {
+        ProductKey::SortedCoo { mode } => Ok(Product::SortedCoo(sorted_by_mode(x, mode))),
+        ProductKey::Hicoo { block } => Ok(Product::Hicoo(HiCooTensor::from_coo(x, block)?)),
+        ProductKey::CsfTtv { mode } => {
+            let csf = CsfTensor::from_coo(x, &csf_ttv_order(x.order(), mode))?;
+            Ok(Product::CsfTtv(CsfTtvPlan::new(&csf)?))
+        }
+        ProductKey::TtmPlan { mode } => Ok(Product::TtmPlan(TtmCooPlan::new(x, mode)?)),
+    }
+}
+
+/// Routes a kernel-class dispatch through the pipeline registry (bumps
+/// `pipeline.plans_built` and rejects unregistered combos, exactly like a
+/// direct `KernelPlan` user).
+fn validate_route(kernel: Kernel, format: FormatKind, ctx: &Ctx) -> Result<()> {
+    KernelPlan::new(kernel, format, BackendKind::Cpu, ctx).map(|_| ())
+}
+
+/// The sharded tensor-algebra server.
+#[derive(Debug)]
+pub struct Server {
+    catalog: Catalog,
+    cfg: ServerConfig,
+    cache: Option<ConvCache>,
+    queue: Vec<Pending>,
+}
+
+impl Server {
+    /// A server over `catalog` with the given knobs. `cache_bytes = 0`
+    /// runs cacheless (every batch rebuilds its conversion product).
+    pub fn new(catalog: Catalog, cfg: ServerConfig) -> Self {
+        let cache = (cfg.cache_bytes > 0).then(|| ConvCache::new(cfg.cache_bytes));
+        Self { catalog, cfg, cache, queue: Vec::new() }
+    }
+
+    /// The resident-tensor catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The conversion cache, if enabled.
+    pub fn cache(&self) -> Option<&ConvCache> {
+        self.cache.as_ref()
+    }
+
+    /// Admits one request into the queue.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown tensor ids and specs that fail
+    /// [`OpSpec::validate`] against the resident tensor. Rejected
+    /// requests are not queued and do not count toward `serve.requests`.
+    pub fn enqueue(&mut self, req: Request) -> Result<()> {
+        let _g = span("serve", "serve.admit");
+        let resident = self.catalog.get(req.tensor).ok_or_else(|| Error::OperandMismatch {
+            what: format!("no resident tensor with id {}", req.tensor),
+        })?;
+        req.op.validate(&resident.tensor)?;
+        counters().add(CounterId::ServeRequests, 1);
+        let slot = self.queue.len();
+        self.queue.push(Pending { slot, req });
+        Ok(())
+    }
+
+    /// Drains the queue: batches compatible requests, resolves each
+    /// batch's conversion product once, dispatches, and returns the
+    /// responses in admission order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first dispatch failure; the queue is consumed
+    /// either way (admission-time validation makes dispatch failures
+    /// unreachable for well-formed catalogs).
+    pub fn drain(&mut self) -> Result<Vec<Response>> {
+        let pending = std::mem::take(&mut self.queue);
+        if pending.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = pending.len();
+
+        // Group into batches, preserving first-arrival order.
+        let mut batches: Vec<(BatchKey, Vec<Pending>)> = Vec::new();
+        for p in pending {
+            let key = BatchKey { tensor: p.req.tensor, class: class(&p.req.op) };
+            match batches.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(p),
+                None => batches.push((key, vec![p])),
+            }
+        }
+
+        let mut out: Vec<Option<Response>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        for (key, members) in batches {
+            let _b = span_detail(
+                "serve",
+                "serve.batch",
+                "",
+                members.len() as u64,
+                u64::from(key.tensor),
+                0,
+            );
+            counters().add(CounterId::ServeBatches, 1);
+            let x = &self.catalog.get(key.tensor).expect("validated at admission").tensor;
+
+            // One product resolution per batch.
+            let bytes_hint = x.nnz() * (x.order() + 1) * std::mem::size_of::<f32>();
+            let (product, cache_hit) = match (product_key(key.class), self.cache.as_mut()) {
+                (None, _) => (None, false),
+                (Some(k), Some(cache)) => {
+                    let (p, hit) =
+                        cache.get_or_build(key.tensor, k, bytes_hint, || build_product(x, k))?;
+                    (Some(p), hit)
+                }
+                // Cache disabled: build ad hoc, touch no cache.* counter.
+                (Some(k), None) => (Some(Arc::new(build_product(x, k)?)), false),
+            };
+
+            for p in members {
+                let _d = span("serve", "serve.dispatch");
+                let t0 = Instant::now();
+                let (values, shards) = exec(&self.cfg, x, &p.req.op, product.as_deref())?;
+                let latency_ns = t0.elapsed().as_nanos() as u64;
+                out[p.slot] = Some(Response { values, shards, cache_hit, latency_ns });
+            }
+        }
+        instant("serve", "serve.reply", "", n as u64, 0, 0);
+        Ok(out.into_iter().map(|r| r.expect("every slot dispatched")).collect())
+    }
+
+    /// [`enqueue`](Self::enqueue)s every request, then
+    /// [`drain`](Self::drain)s — one closed-loop submission window.
+    ///
+    /// # Errors
+    ///
+    /// Admission and dispatch errors, as for the two steps.
+    pub fn submit(&mut self, reqs: impl IntoIterator<Item = Request>) -> Result<Vec<Response>> {
+        for r in reqs {
+            self.enqueue(r)?;
+        }
+        self.drain()
+    }
+}
+
+/// How many owner-computes shards a tensor of `nnz` non-zeros gets.
+fn shards_for(cfg: &ServerConfig, nnz: usize) -> usize {
+    if nnz >= cfg.shard_nnz_threshold {
+        cfg.shards.max(1)
+    } else {
+        1
+    }
+}
+
+/// Executes one request against its resolved conversion product.
+/// Returns the canonical value stream and the partition count used.
+fn exec(
+    cfg: &ServerConfig,
+    x: &CooTensor<f32>,
+    op: &OpSpec,
+    product: Option<&Product>,
+) -> Result<(Vec<f32>, usize)> {
+    let threads = cfg.threads.max(1);
+    let ctx = Ctx::new(threads, Schedule::Static);
+    match *op {
+        OpSpec::Tew { op, seed } => {
+            validate_route(Kernel::Tew, FormatKind::Coo, &ctx)?;
+            let y = pattern_operand(x, seed);
+            let z = tew_coo_same_pattern(op, x, &y, &ctx)?;
+            Ok((canonical_vals(&z), threads))
+        }
+        OpSpec::Ts { op, scalar } => {
+            validate_route(Kernel::Ts, FormatKind::Coo, &ctx)?;
+            let z = ts_coo(op, x, scalar, &ctx)?;
+            Ok((canonical_vals(&z), threads))
+        }
+        OpSpec::Ttv { mode, seed } => {
+            validate_route(Kernel::Ttv, FormatKind::Csf, &ctx)?;
+            let Some(Product::CsfTtv(plan)) = product else {
+                return Err(Error::OperandMismatch { what: "ttv product missing".into() });
+            };
+            let v = contraction_vector(x, mode, seed);
+            Ok((canonical_vals(&plan.execute(&v, &ctx)?), threads))
+        }
+        OpSpec::Ttm { mode, rank, seed } => {
+            validate_route(Kernel::Ttm, FormatKind::Coo, &ctx)?;
+            let Some(Product::TtmPlan(plan)) = product else {
+                return Err(Error::OperandMismatch { what: "ttm product missing".into() });
+            };
+            let u = contraction_matrix(x, mode, rank, seed);
+            Ok((canonical_vals(&plan.execute(&u, &ctx)?.to_coo()), threads))
+        }
+        OpSpec::Mttkrp { mode, rank, seed, route: MttkrpRoute::Coo } => {
+            let shards = shards_for(cfg, x.nnz());
+            let shard_ctx = Ctx::new(shards, Schedule::Static).with_mttkrp(StrategyChoice::Owner);
+            validate_route(Kernel::Mttkrp, FormatKind::Coo, &shard_ctx)?;
+            let Some(Product::SortedCoo(sorted)) = product else {
+                return Err(Error::OperandMismatch { what: "sorted product missing".into() });
+            };
+            // Owner-computes over mode-outermost ranges of the sorted
+            // copy: bit-identical to the sequential reference by the
+            // conformance contract, at any shard count.
+            let ranges = owner_ranges(sorted.mode_inds(mode), shards);
+            let tasks = ranges.iter().filter(|r| !r.is_empty()).count().max(1);
+            counters().add(CounterId::ServeShardTasks, tasks as u64);
+            let factors = factor_set(x, rank, seed);
+            let out = mttkrp_coo(sorted, &factors, mode, &shard_ctx)?;
+            Ok((out.as_slice().to_vec(), tasks))
+        }
+        OpSpec::Mttkrp { mode, rank, seed, route: MttkrpRoute::Hicoo(_) } => {
+            // The HiCOO route is cache-accelerated but not sharded: its
+            // privatized parallel schedule is not bit-stable across
+            // worker counts, and the differential contract wins.
+            let seq = Ctx::sequential();
+            validate_route(Kernel::Mttkrp, FormatKind::Hicoo, &seq)?;
+            let Some(Product::Hicoo(h)) = product else {
+                return Err(Error::OperandMismatch { what: "hicoo product missing".into() });
+            };
+            let factors = factor_set(x, rank, seed);
+            let out = mttkrp_hicoo(h, &factors, mode, &seq)?;
+            Ok((out.as_slice().to_vec(), 1))
+        }
+        OpSpec::Cpd { rank, sweeps, seed } => {
+            let model = cp_als(x, &cpd_options(rank, sweeps, seed))?;
+            let mut vals: Vec<f32> = Vec::new();
+            for f in &model.factors {
+                vals.extend_from_slice(f.as_slice());
+            }
+            vals.extend_from_slice(&model.lambda);
+            Ok((vals, 1))
+        }
+        OpSpec::Tucker { rank, sweeps, seed } => {
+            let model = tucker_hooi(x, &tucker_options(x, rank, sweeps, seed))?;
+            let mut vals = model.core.clone();
+            for f in &model.factors {
+                vals.extend_from_slice(f.as_slice());
+            }
+            Ok((vals, 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_core::Shape;
+    use pasta_kernels::EwOp;
+
+    fn catalog() -> Catalog {
+        let mut t = CooTensor::new(Shape::new(vec![8, 7, 6]));
+        for e in 0..150u32 {
+            t.push(&[e % 8, (e * 3 + 1) % 7, (e * 5 + 2) % 6], (f64::from(e % 13) * 0.5) as f32)
+                .unwrap();
+        }
+        t.dedup_sum();
+        let mut cat = Catalog::new();
+        cat.insert(0, "t0", t);
+        cat
+    }
+
+    #[test]
+    fn admission_rejects_unknown_tensor_and_bad_mode() {
+        let mut s = Server::new(catalog(), ServerConfig::default());
+        let bad_id =
+            Request { tensor: 9, op: OpSpec::Ts { op: pasta_kernels::TsOp::Mul, scalar: 2.0 } };
+        assert!(s.enqueue(bad_id).is_err());
+        let bad_mode = Request { tensor: 0, op: OpSpec::Ttv { mode: 5, seed: 1 } };
+        assert!(s.enqueue(bad_mode).is_err());
+        assert!(s.drain().unwrap().is_empty(), "nothing was admitted");
+    }
+
+    #[test]
+    fn batching_resolves_one_product_for_compatible_requests() {
+        let mut s = Server::new(catalog(), ServerConfig::default());
+        let reqs =
+            (0..4).map(|i| Request { tensor: 0, op: OpSpec::Ttv { mode: 1, seed: 100 + i } });
+        let responses = s.submit(reqs).unwrap();
+        assert_eq!(responses.len(), 4);
+        // One CSF build for the whole batch...
+        assert_eq!(s.cache().unwrap().len(), 1);
+        // ...and a second window hits it.
+        let again =
+            s.submit([Request { tensor: 0, op: OpSpec::Ttv { mode: 1, seed: 100 } }]).unwrap();
+        assert!(again[0].cache_hit);
+        assert_eq!(again[0].values, responses[0].values, "same request, same response");
+    }
+
+    #[test]
+    fn responses_come_back_in_admission_order() {
+        let mut s = Server::new(catalog(), ServerConfig::default());
+        // Interleave two batch classes; replies must not be regrouped.
+        let reqs = vec![
+            Request { tensor: 0, op: OpSpec::Ts { op: pasta_kernels::TsOp::Mul, scalar: 2.0 } },
+            Request { tensor: 0, op: OpSpec::Tew { op: EwOp::Add, seed: 7 } },
+            Request { tensor: 0, op: OpSpec::Ts { op: pasta_kernels::TsOp::Mul, scalar: 3.0 } },
+        ];
+        let rs = s.submit(reqs).unwrap();
+        assert_eq!(rs.len(), 3);
+        // ts(*2) then ts(*3): element-wise scaling keeps the value stream
+        // proportional; the middle slot is the TEW response.
+        let direct2 = crate::direct_eval(
+            &s.catalog().get(0).unwrap().tensor,
+            &OpSpec::Ts { op: pasta_kernels::TsOp::Mul, scalar: 2.0 },
+        )
+        .unwrap();
+        assert_eq!(rs[0].values, direct2);
+        let direct3 = crate::direct_eval(
+            &s.catalog().get(0).unwrap().tensor,
+            &OpSpec::Ts { op: pasta_kernels::TsOp::Mul, scalar: 3.0 },
+        )
+        .unwrap();
+        assert_eq!(rs[2].values, direct3);
+    }
+
+    #[test]
+    fn cacheless_server_still_answers() {
+        let cfg = ServerConfig { cache_bytes: 0, ..Default::default() };
+        let mut s = Server::new(catalog(), cfg);
+        assert!(s.cache().is_none());
+        let r = s
+            .submit([Request { tensor: 0, op: OpSpec::Ttm { mode: 2, rank: 3, seed: 5 } }])
+            .unwrap();
+        assert!(!r[0].cache_hit);
+        assert!(!r[0].values.is_empty());
+    }
+
+    #[test]
+    fn sharded_mttkrp_matches_direct() {
+        let cfg = ServerConfig { shards: 4, shard_nnz_threshold: 1, ..Default::default() };
+        let mut s = Server::new(catalog(), cfg);
+        let op = OpSpec::Mttkrp { mode: 0, rank: 4, seed: 11, route: MttkrpRoute::Coo };
+        let r = s.submit([Request { tensor: 0, op }]).unwrap();
+        assert!(r[0].shards > 1, "large-enough tensor must shard");
+        let direct = crate::direct_eval(&s.catalog().get(0).unwrap().tensor, &op).unwrap();
+        assert_eq!(r[0].values, direct, "owner-computes shards must be bit-identical");
+    }
+}

@@ -1,0 +1,104 @@
+//! Counter contracts for the serving layer, isolated in their own test
+//! binary: `serve.*`/`cache.*` counters are process-global, so delta
+//! assertions would race against any parallel test that touches a server.
+//! This binary holds exactly one `#[test]` so every phase runs alone.
+
+use pasta::core::{CooTensor, Shape};
+use pasta::kernels::{counters, CounterId, EwOp};
+use pasta::serve::{Catalog, MttkrpRoute, OpSpec, Request, Server, ServerConfig};
+
+fn tensor() -> CooTensor<f32> {
+    let mut t = CooTensor::new(Shape::new(vec![8, 6, 5]));
+    for i in 0..40u32 {
+        t.push(&[i % 8, (i * 3) % 6, (i * 7) % 5], f32::from(i as u16) - 20.0).unwrap();
+    }
+    t.dedup_sum();
+    t
+}
+
+fn server(cache_bytes: usize) -> Server {
+    let mut catalog = Catalog::new();
+    catalog.insert(0, "counters", tensor());
+    Server::new(
+        catalog,
+        ServerConfig { threads: 2, shards: 4, shard_nnz_threshold: 1, cache_bytes },
+    )
+}
+
+/// A conversion-heavy window: TTV (CSF plan), TTM (plan), both MTTKRP
+/// routes (sorted copy, HiCOO blocking), plus one element-wise request.
+fn window() -> Vec<Request> {
+    let seed = 11;
+    [
+        OpSpec::Tew { op: EwOp::Add, seed },
+        OpSpec::Ttv { mode: 1, seed },
+        OpSpec::Ttm { mode: 0, rank: 3, seed },
+        OpSpec::Mttkrp { mode: 0, rank: 3, seed, route: MttkrpRoute::Coo },
+        OpSpec::Mttkrp { mode: 1, rank: 3, seed, route: MttkrpRoute::Hicoo(4) },
+    ]
+    .into_iter()
+    .map(|op| Request { tensor: 0, op })
+    .collect()
+}
+
+#[test]
+fn serve_and_cache_counter_contracts() {
+    // Phase 1 — caching disabled: serve.* counters move, cache.* counters
+    // are zero-delta (not merely cold: the cacheless path must never
+    // touch them).
+    pasta::obs::set_counting(true);
+    let before = counters().snapshot();
+    let mut cacheless = server(0);
+    for _ in 0..2 {
+        let n = cacheless.submit(window()).unwrap().len();
+        assert_eq!(n, window().len());
+    }
+    let after = counters().snapshot();
+    for id in [CounterId::CacheHits, CounterId::CacheMisses, CounterId::CacheEvictions] {
+        assert_eq!(after[id], before[id], "cacheless server moved {id:?}");
+    }
+    assert_eq!(
+        after[CounterId::ServeRequests],
+        before[CounterId::ServeRequests] + 2 * window().len() as u64
+    );
+    assert!(after[CounterId::ServeBatches] > before[CounterId::ServeBatches]);
+    assert!(
+        after[CounterId::ServeShardTasks] > before[CounterId::ServeShardTasks],
+        "sharded owner-computes MTTKRP must issue shard tasks"
+    );
+
+    // Phase 2 — caching enabled: the cold pass misses and builds, the
+    // warm pass answers every conversion-backed request from the cache
+    // without a single new miss.
+    let mut cached = server(64 << 20);
+    let mid = counters().snapshot();
+    cached.submit(window()).unwrap();
+    let cold = counters().snapshot();
+    assert!(cold[CounterId::CacheMisses] > mid[CounterId::CacheMisses]);
+    assert_eq!(cold[CounterId::CacheHits], mid[CounterId::CacheHits]);
+    cached.submit(window()).unwrap();
+    let warm = counters().snapshot();
+    assert!(warm[CounterId::CacheHits] > cold[CounterId::CacheHits]);
+    assert_eq!(warm[CounterId::CacheMisses], cold[CounterId::CacheMisses]);
+
+    // Phase 3 — counting disabled: the whole serving path is zero-delta
+    // (the observability layer's global contract extends to serve.* and
+    // cache.*).
+    pasta::obs::set_counting(false);
+    let base = counters().snapshot();
+    let mut quiet = server(64 << 20);
+    quiet.submit(window()).unwrap();
+    quiet.submit(window()).unwrap();
+    let still = counters().snapshot();
+    for id in [
+        CounterId::ServeRequests,
+        CounterId::ServeBatches,
+        CounterId::ServeShardTasks,
+        CounterId::CacheHits,
+        CounterId::CacheMisses,
+        CounterId::CacheEvictions,
+    ] {
+        assert_eq!(still[id], base[id], "counting disabled but {id:?} moved");
+    }
+    pasta::obs::set_counting(true);
+}
