@@ -27,8 +27,13 @@ PASTA_BENCH_SCALE=0.02 cargo bench -p pasta-bench --bench mttkrp -- --test
 echo "==> Tuner smoke (--tune on s1 completes and round-trips its JSON)"
 cargo run --release -q -p pasta-bench --bin hostrun -- --tune s1 0.02 2 > /dev/null
 
-echo "==> Fused e2e smoke (CPD-ALS + Tucker ablation rows on one profile)"
-cargo run --release -q -p pasta-bench --bin hostrun -- --e2e s1 0.02 2 | grep -c "TUCKER-HOOI" > /dev/null
+echo "==> Fused e2e smoke (CPD-ALS + Tucker ablation + graph-lowered CPD rows)"
+E2E_OUT=$(cargo run --release -q -p pasta-bench --bin hostrun -- --e2e s1 0.02 2)
+grep -c "TUCKER-HOOI" <<< "$E2E_OUT" > /dev/null
+grep -c "CPD-GRAPH" <<< "$E2E_OUT" > /dev/null
+
+echo "==> Expression-graph proptests under PASTA_TRACE=1 (tracing must not perturb lowering)"
+PASTA_TRACE=1 cargo test -q -p pasta --test expr_props
 
 echo "==> Traced hostrun smoke (valid chrome trace + advisory regression gate)"
 cargo run --release -q -p pasta-bench --bin hostrun -- --trace \

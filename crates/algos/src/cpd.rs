@@ -61,7 +61,8 @@ impl CpdOptions {
     }
 
     /// Applies measured tuned parameters from a [`TuneTable`] (the
-    /// `results/TUNE_host.json` produced by `hostrun --tune`) to the
+    /// host-keyed `results/TUNE_<hostkey>.json` produced by
+    /// `hostrun --tune`) to the
     /// execution context via [`Ctx::with_tuning`]: the MTTKRP row for the
     /// backend's format matching the tensor's bucket drives the sweep's
     /// schedule. No matching row leaves the context untouched.
@@ -165,6 +166,8 @@ pub fn cp_als<V: Value>(x: &CooTensor<V>, opts: &CpdOptions) -> Result<CpdModel<
     // Fusing the ALS sweep never enlarges the working set (the per-mode
     // outputs are the factor matrices themselves), so `Auto` fuses;
     // `Materialize` forces the kernel-at-a-time baseline for ablation.
+    // The fused sweep is an expression program: `FusedAlsSweep` lowers a
+    // `mttkrp(leaf)` graph once per run and rebinds factors each mode.
     if opts.ctx.fusion != FusionChoice::Materialize {
         let block = match opts.backend {
             CpdBackend::Coo => 0,

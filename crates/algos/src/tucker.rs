@@ -10,11 +10,12 @@
 //! fuse-vs-materialize cost model (overridable via
 //! [`Ctx::fusion`](pasta_kernels::Ctx)):
 //!
-//! - **fused** (the default where the model allows): one
-//!   [`FusedTtmChainPlan`] per skip mode, built once and reused across
-//!   every sweep, executing the whole chain in a single pass through
-//!   per-thread workspaces — no intermediate sparse tensors, no
-//!   `to_coo()` round-trips;
+//! - **fused** (the default where the model allows): one lowered
+//!   expression plan per skip mode — a `ttm_all_but` graph with factor
+//!   slots run through [`pasta_kernels::lower`] — built once and reused
+//!   across every sweep (factors rebound per execution), executing the
+//!   whole chain in a single pass through per-thread workspaces — no
+//!   intermediate sparse tensors, no `to_coo()` round-trips;
 //! - **materialized** ([`ttm_chain`]): the kernel-at-a-time baseline that
 //!   builds one semi-sparse intermediate per step, kept for ablation and
 //!   regression-tested against the fused route.
@@ -22,8 +23,9 @@
 use crate::eig::{leading_vectors, sym_eig};
 use pasta_core::{CooTensor, DenseMatrix, Error, Result, SemiCooTensor, Shape, TensorStats, Value};
 use pasta_kernels::{
-    choose_fusion, counters, ttm_coo, ttm_scoo, CounterId, Ctx, FormatKind, FuseDecision,
-    FusedTtmChainPlan, FusionChoice, FusionParams, Kernel, TensorBucket, TuneTable,
+    choose_fusion, counters, lower, ttm_coo, ttm_scoo, Bindings, CounterId, Ctx, ExprGraph,
+    ExprOut, ExprPlan, FormatKind, FuseDecision, FusionChoice, FusionParams, Kernel, MatOperand,
+    TensorBucket, TuneTable,
 };
 
 /// Tucker/HOOI options.
@@ -47,7 +49,8 @@ impl Default for TuckerOptions {
 
 impl TuckerOptions {
     /// Applies measured tuned parameters from a [`TuneTable`] (the
-    /// `results/TUNE_host.json` produced by `hostrun --tune`) to the
+    /// host-keyed `results/TUNE_<hostkey>.json` produced by
+    /// `hostrun --tune`) to the
     /// execution context via [`Ctx::with_tuning`]: the TTM row matching
     /// the tensor's bucket drives the chain's schedule. No matching row
     /// leaves the context untouched.
@@ -91,9 +94,9 @@ pub struct TuckerModel<V> {
 /// `i_n`, i.e. exactly the `X ×_n Uᵀ` of the Kolda-Bader convention — so a
 /// chain over all modes shrinks `X` to the `R₁ × ⋯ × R_N` core.
 ///
-/// This is the ablation baseline the fused route
-/// ([`FusedTtmChainPlan`]) is measured against; every intermediate it
-/// builds bumps the `fused.materialized_intermediates` counter.
+/// This is the ablation baseline the fused expression-graph route is
+/// measured against; every intermediate it builds bumps the
+/// `fused.materialized_intermediates` counter.
 ///
 /// # Errors
 ///
@@ -206,19 +209,23 @@ pub fn tucker_hooi<V: Value>(x: &CooTensor<V>, opts: &TuckerOptions) -> Result<T
         .collect();
 
     let fused = fusion_decision(x, &opts.ranks, &opts.ctx);
-    // Per-run plan cache: one fused chain plan per skip mode (index
+    // Per-run plan cache: one lowered expression plan per skip mode (index
     // `order` is the full contraction for the core), each holding its
     // skip-outermost sorted copy — the sort is paid once per run, not
-    // once per sweep.
-    let mut chain_plans: Vec<Option<FusedTtmChainPlan<V>>> = (0..=order).map(|_| None).collect();
+    // once per sweep. Factors are bound per execution through slots, so
+    // the plans survive the factor updates between sweeps.
+    let mut chain_plans: Vec<Option<ExprPlan<V>>> = (0..=order).map(|_| None).collect();
 
     for _ in 0..opts.max_iters.max(1) {
         for n in 0..order {
             // Y = X x_{m != n} U_m ; U_n <- leading eigvecs of Y_(n) Y_(n)^T.
             let in_dim = x.shape().dim(n) as usize;
             let w = if fused {
-                let plan = cached_plan(&mut chain_plans, x, n, &opts.ctx)?;
-                let y = plan.execute(&factors, &opts.ctx)?;
+                let plan = cached_plan(&mut chain_plans, x, &opts.ranks, n, &opts.ctx)?;
+                let y = match plan.execute(&Bindings::with_mats(factors.iter().collect()))? {
+                    ExprOut::Semi(y) => y,
+                    _ => unreachable!("partial TTM chains produce semi-sparse tensors"),
+                };
                 gram_of_scoo(&y, in_dim)
             } else {
                 let y = ttm_chain(x, &factors, n, &opts.ctx)?;
@@ -232,8 +239,11 @@ pub fn tucker_hooi<V: Value>(x: &CooTensor<V>, opts: &TuckerOptions) -> Result<T
     // Core = X x_1 U_1 ... x_N U_N, densified.
     let core_shape = Shape::new(opts.ranks.iter().map(|&r| r as u32).collect());
     let core = if fused {
-        let plan = cached_plan(&mut chain_plans, x, order, &opts.ctx)?;
-        plan.execute_full(&factors, &opts.ctx)?
+        let plan = cached_plan(&mut chain_plans, x, &opts.ranks, order, &opts.ctx)?;
+        match plan.execute(&Bindings::with_mats(factors.iter().collect()))? {
+            ExprOut::Dense { vals, .. } => vals,
+            _ => unreachable!("full contraction produces a dense block"),
+        }
     } else {
         ttm_chain(x, &factors, order, &opts.ctx)?.to_dense(1 << 22)
     };
@@ -248,16 +258,40 @@ pub fn tucker_hooi<V: Value>(x: &CooTensor<V>, opts: &TuckerOptions) -> Result<T
     })
 }
 
-/// Fetches the fused chain plan for `skip` from the per-run cache,
-/// building it on first use.
-fn cached_plan<'p, V: Value>(
-    plans: &'p mut [Option<FusedTtmChainPlan<V>>],
-    x: &CooTensor<V>,
+/// Lowers the `ttm_all_but(skip)` expression graph for one chain of the
+/// run: every factor is a [`MatOperand::Slot`] keyed by its mode, so one
+/// plan serves every sweep with the current factors bound at execute
+/// time. Fusion is forced — the fuse-vs-materialize decision was already
+/// made for the whole run by [`fusion_decision`].
+fn build_chain_plan<'x, V: Value>(
+    x: &'x CooTensor<V>,
+    ranks: &[usize],
     skip: usize,
     ctx: &Ctx,
-) -> Result<&'p FusedTtmChainPlan<V>> {
+) -> Result<ExprPlan<'x, V>> {
+    let mut fctx = *ctx;
+    fctx.fusion = FusionChoice::Fuse;
+    let mut g = ExprGraph::new();
+    let leaf = g.leaf(x);
+    let mats: Vec<MatOperand<V>> = (0..x.order())
+        .filter(|&m| m != skip)
+        .map(|m| MatOperand::Slot { slot: m, cols: ranks[m] })
+        .collect();
+    let root = g.ttm_all_but(leaf, skip, mats)?;
+    lower(&g, root, &fctx)
+}
+
+/// Fetches the lowered chain plan for `skip` from the per-run cache,
+/// building it on first use.
+fn cached_plan<'p, 'x, V: Value>(
+    plans: &'p mut [Option<ExprPlan<'x, V>>],
+    x: &'x CooTensor<V>,
+    ranks: &[usize],
+    skip: usize,
+    ctx: &Ctx,
+) -> Result<&'p ExprPlan<'x, V>> {
     if plans[skip].is_none() {
-        plans[skip] = Some(FusedTtmChainPlan::new(x, skip, ctx)?);
+        plans[skip] = Some(build_chain_plan(x, ranks, skip, ctx)?);
     } else {
         counters().add(CounterId::FusedPlanCacheHits, 1);
     }

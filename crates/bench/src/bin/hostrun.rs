@@ -29,24 +29,27 @@
 //! can be set via `--regress-tol` or `PASTA_REGRESS_TOL`. A malformed
 //! baseline always fails hard, advisory mode or not.
 //!
-//! With `--e2e`, each tensor additionally gets four end-to-end
+//! With `--e2e`, each tensor additionally gets five end-to-end
 //! decomposition rows — CP-ALS and Tucker/HOOI, each fused (expression
 //! plans + per-thread workspaces) and materialized (kernel-at-a-time
-//! baseline) — carrying a `fused` column so the ablation is queryable
-//! downstream. Kernel rows leave the column empty (JSON `null`).
+//! baseline), plus a `CPD-GRAPH` row that drives the ALS sweep directly
+//! through a planner-lowered expression graph — carrying a `fused` column
+//! so the ablation is queryable downstream. Kernel rows leave the column
+//! empty (JSON `null`).
 //!
 //! With `--tune`, the measured parameter search in `pasta_kernels::tune`
 //! runs instead of the benchmark: per tensor it searches chunk size, HiCOO
 //! block size and the MTTKRP dense-privatization threshold, persists the
-//! winners to `results/TUNE_host.json` (verifying the file round-trips),
-//! and prints the before/after rows. Subsequent plain runs load that table
+//! winners to the host-keyed `results/TUNE_<hostkey>.json` (verifying the
+//! file round-trips), and prints the before/after rows. Subsequent plain
+//! runs load that table — falling back to the legacy `TUNE_host.json` —
 //! and execute each kernel × format under its tuned parameters.
 
 use pasta_bench::datasets::{load_dataset, load_one, DatasetKind};
 use pasta_bench::regress::{diff, parse_baseline, BenchRow};
 use pasta_bench::runner::{
-    mode_avg_cost, run_host, run_host_cpd, run_host_mttkrp_variant, run_host_tucker, HostRun,
-    MttkrpVariant,
+    mode_avg_cost, run_host, run_host_cpd, run_host_cpd_graph, run_host_mttkrp_variant,
+    run_host_tucker, HostRun, MttkrpVariant,
 };
 use pasta_kernels::{
     roofline_report, simd_level, tune_tensor, Ctx, FormatKind, Kernel, RooflineSample,
@@ -55,7 +58,7 @@ use pasta_kernels::{
 use pasta_par::Schedule;
 use pasta_platform::Format;
 
-const TUNE_PATH: &str = "results/TUNE_host.json";
+const RESULTS_DIR: &str = "results";
 const TRACE_PATH: &str = "results/TRACE_host.json";
 
 struct Record {
@@ -241,8 +244,10 @@ fn tune_main(selector: Option<&str>, kind: DatasetKind, scale: f64, threads: usi
         Some(bt) => vec![bt],
         None => load_dataset(kind, scale),
     };
-    let path = std::path::Path::new(TUNE_PATH);
-    let mut table = TuneTable::load(path).unwrap_or_default();
+    let dir = std::path::Path::new(RESULTS_DIR);
+    let path = TuneTable::host_path(dir);
+    let mut table = TuneTable::load_host(dir).unwrap_or_default();
+    table.host = pasta_kernels::host_key();
     println!("kernel,format,bucket,threads,chunk,dense_threshold,block_size,baseline_ns,tuned_ns,speedup");
     for bt in &tensors {
         eprintln!("tuning on {} ({} nnz)...", bt.profile.name, bt.stats.nnz);
@@ -270,10 +275,8 @@ fn tune_main(selector: Option<&str>, kind: DatasetKind, scale: f64, threads: usi
             table.upsert(e);
         }
     }
-    if let Some(dir) = path.parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    match table.save(path) {
+    let _ = std::fs::create_dir_all(dir);
+    match table.save(&path) {
         Ok(()) => eprintln!("wrote {} entries to {}", table.entries.len(), path.display()),
         Err(e) => {
             eprintln!("failed to write tune table: {e}");
@@ -281,7 +284,7 @@ fn tune_main(selector: Option<&str>, kind: DatasetKind, scale: f64, threads: usi
         }
     }
     // The table a later run loads must reproduce what was just measured.
-    match TuneTable::load(path) {
+    match TuneTable::load(&path) {
         Ok(back) if back == table => eprintln!("round-trip verified"),
         Ok(_) => {
             eprintln!("round-trip mismatch: reloaded table differs");
@@ -334,9 +337,10 @@ fn main() {
         pasta_obs::set_tracing(true);
     }
     let ctx = Ctx::new(threads, Schedule::Dynamic(256));
-    let table = TuneTable::load(std::path::Path::new(TUNE_PATH)).unwrap_or_default();
+    let table = TuneTable::load_host(std::path::Path::new(RESULTS_DIR)).unwrap_or_default();
     if !table.entries.is_empty() {
-        eprintln!("loaded {} tuned entries from {TUNE_PATH}", table.entries.len());
+        let host = if table.host.is_empty() { "legacy table".into() } else { table.host.clone() };
+        eprintln!("loaded {} tuned entries ({host})", table.entries.len());
     }
     let simd = simd_level().label();
 
@@ -500,6 +504,40 @@ fn main() {
                     });
                 }
             }
+            // The planner-driven expression-graph route: a third CPD
+            // column (graph vs canned-fused vs materialized).
+            let run = run_host_cpd_graph(bt, &e2e_ctx);
+            let strategy = run.strategy.clone().unwrap_or_default();
+            println!(
+                "{},{},{},CPD-GRAPH,{},{:.6e},{:.4},,{},{},{},true,{:.4e},,",
+                bt.profile.id,
+                bt.profile.name,
+                bt.stats.nnz,
+                Format::Coo,
+                run.time,
+                run.gflops,
+                strategy,
+                simd,
+                tuned,
+                run.flops
+            );
+            records.push(Record {
+                tensor: bt.profile.id.to_string(),
+                name: bt.profile.name.to_string(),
+                nnz: bt.stats.nnz,
+                kernel: "CPD-GRAPH".to_string(),
+                format: Format::Coo.to_string(),
+                time_ns: run.time * 1e9,
+                gflops: run.gflops,
+                oi: 0.0,
+                strategy,
+                simd: simd.to_string(),
+                tuned,
+                fused: Some(true),
+                flops: run.flops,
+                bytes_moved: 0.0,
+                achieved_gbps: 0.0,
+            });
         }
     }
     // The per-run roofline-gap report: model-predicted vs measured rates

@@ -26,7 +26,8 @@
 use pasta_gen::{GenRequest, ReqKind, StreamSpec};
 use pasta_kernels::{counters, CounterId, CounterSnapshot, EwOp, TsOp};
 use pasta_serve::{
-    Catalog, LatencyStats, LatencySummary, MttkrpRoute, OpSpec, Request, Server, ServerConfig,
+    Catalog, ExprSpec, ExprStep, LatencyStats, LatencySummary, MttkrpRoute, OpSpec, Request,
+    Server, ServerConfig,
 };
 
 /// The paper's fixed HiCOO block size, reused for served HiCOO routes.
@@ -104,6 +105,27 @@ fn to_request(g: &GenRequest, catalog: &Catalog) -> Request {
         },
         ReqKind::Cpd => OpSpec::Cpd { rank: g.rank.min(4), sweeps: 1, seed: g.seed },
         ReqKind::Tucker => OpSpec::Tucker { rank: g.rank.min(4), sweeps: 1, seed: g.seed },
+        ReqKind::Expr => {
+            // A mixed TTV→TTM→TS chain that stays well-formed on any
+            // order ≥ 2 catalog tensor: contract the drawn mode, then
+            // multiply the (post-contraction) first remaining mode.
+            let steps = if order >= 3 {
+                [
+                    Some(ExprStep::Ttv { mode }),
+                    Some(ExprStep::Ttm { mode: 0, rank: g.rank }),
+                    Some(ExprStep::Ts { op: TsOp::Mul, scalar: 0.5 + (g.seed % 8) as f32 * 0.5 }),
+                    None,
+                ]
+            } else {
+                [
+                    Some(ExprStep::Ttv { mode }),
+                    Some(ExprStep::Ts { op: TsOp::Mul, scalar: 0.5 + (g.seed % 8) as f32 * 0.5 }),
+                    None,
+                    None,
+                ]
+            };
+            OpSpec::Expr { spec: ExprSpec { steps, seed: g.seed } }
+        }
     };
     Request { tensor: id, op }
 }

@@ -10,9 +10,9 @@ use crate::datasets::{BenchTensor, RANK};
 use pasta_algos::{cp_als, tucker_hooi, CpdBackend, CpdOptions, TuckerOptions};
 use pasta_core::{seeded_matrix, seeded_vector, CooTensor, DenseMatrix, DenseVector, Value};
 use pasta_kernels::{
-    kernel_cost, mttkrp_coo_traced, mttkrp_hicoo_traced, tew_values_into, ts_values_into,
-    CostParams, Ctx, EwOp, FusionChoice, Kernel, MttkrpCooPlan, StrategyChoice, TsOp, TtmCooPlan,
-    TtmHicooPlan, TtvCooPlan, TtvHicooPlan,
+    kernel_cost, lower, mttkrp_coo_traced, mttkrp_hicoo_traced, tew_values_into, ts_values_into,
+    Bindings, CostParams, Ctx, EwOp, ExprGraph, ExprOut, FormatKind, FusionChoice, Kernel,
+    MttkrpCooPlan, StrategyChoice, TsOp, TtmCooPlan, TtmHicooPlan, TtvCooPlan, TtvHicooPlan,
 };
 use pasta_obs::span_detail;
 use pasta_par::{parallel_for, Atomically};
@@ -357,6 +357,64 @@ pub fn run_host_cpd(bt: &BenchTensor, fused: bool, ctx: &Ctx) -> HostRun {
     HostRun { time, flops, gflops: flops / time / 1e9, strategy }
 }
 
+/// Times an end-to-end CP-ALS run driven directly through a lowered
+/// expression graph: the driver builds the one-edge `mttkrp` graph, lowers
+/// it once through the planner, then rebinds the factor set per mode per
+/// sweep — the planner-driven route the canned fused sweep wraps, measured
+/// without the `cp_als` orchestration around it. Emitted as a third CPD
+/// column (`CPD-GRAPH`, strategy `graph`) next to the canned-fused and
+/// materialized rows.
+///
+/// # Panics
+///
+/// Panics only on internal errors (generator profiles are well-formed and
+/// their Gram Hadamard products positive definite).
+pub fn run_host_cpd_graph(bt: &BenchTensor, ctx: &Ctx) -> HostRun {
+    use pasta_core::linalg::{gram, hadamard, normalize_columns, Cholesky};
+    let x = &bt.tensor;
+    let order = x.order();
+    let mut factors: Vec<DenseMatrix<f32>> = (0..order)
+        .map(|m| seeded_matrix(x.shape().dim(m) as usize, E2E_RANK, 7 + m as u64))
+        .collect();
+    let mut lambda = [1.0f32; E2E_RANK];
+    let start = Instant::now();
+    let mut g = ExprGraph::new();
+    let leaf = g.leaf(x);
+    let root = g.mttkrp(leaf, E2E_RANK, FormatKind::Coo, ctx.block_size()).expect("mttkrp node");
+    let plan = lower(&g, root, ctx).expect("lowering succeeds");
+    let mut grams: Vec<DenseMatrix<f32>> = factors.iter().map(gram).collect();
+    for _ in 0..E2E_ITERS {
+        for n in 0..order {
+            let m_out = match plan.execute(&Bindings::mttkrp(&factors, n)).expect("mttkrp") {
+                ExprOut::Matrix(m) => m,
+                _ => unreachable!("the mttkrp head yields a matrix"),
+            };
+            let mut v: Option<DenseMatrix<f32>> = None;
+            for (m, gm) in grams.iter().enumerate() {
+                if m != n {
+                    v = Some(match v {
+                        Some(acc) => hadamard(&acc, gm),
+                        None => gm.clone(),
+                    });
+                }
+            }
+            let v = v.expect("order >= 2");
+            let ch = Cholesky::factor(&v, 1e-10f32).expect("positive definite");
+            let mut a = m_out;
+            ch.solve_rows(&mut a);
+            let norms = normalize_columns(&mut a);
+            for (l, nn) in lambda.iter_mut().zip(&norms) {
+                *l = *nn;
+            }
+            grams[n] = gram(&a);
+            factors[n] = a;
+        }
+    }
+    let time = start.elapsed().as_secs_f64();
+    let flops = 3.0 * bt.stats.nnz as f64 * E2E_RANK as f64 * order as f64 * E2E_ITERS as f64;
+    HostRun { time, flops, gflops: flops / time / 1e9, strategy: Some("graph".into()) }
+}
+
 /// Times one end-to-end Tucker/HOOI run over the dim-folded tensor
 /// ([`fold_dims`] at [`TUCKER_DIM_CAP`], ranks [`E2E_RANK`] per mode,
 /// [`E2E_ITERS`] sweeps). `fused = true` routes the per-mode TTM chains
@@ -452,6 +510,9 @@ mod tests {
             assert!(r.time > 0.0 && r.gflops > 0.0, "tucker fused={fused}");
             assert_eq!(r.strategy.as_deref(), Some(want));
         }
+        let r = run_host_cpd_graph(&bt, &ctx);
+        assert!(r.time > 0.0 && r.gflops > 0.0, "graph-CPD");
+        assert_eq!(r.strategy.as_deref(), Some("graph"));
     }
 
     #[test]

@@ -27,16 +27,16 @@ use pasta_kernels::dense_ref::{
     mttkrp_dense, tew_dense, ts_dense, ttm_dense, ttv_dense, ORACLE_MAX_ENTRIES,
 };
 use pasta_kernels::{
-    force_simd, fused_registry, mttkrp_coo, mttkrp_csf_root, mttkrp_hicoo, registry,
-    tew_coo_same_pattern, tew_csf, tew_fcoo, tew_ghicoo, tew_hicoo, tew_scoo, tew_shicoo, ts_coo,
-    ts_csf, ts_fcoo, ts_ghicoo, ts_hicoo, ts_scoo, ts_shicoo, ttm_coo, ttm_hicoo, ttm_scoo,
-    ttv_coo, ttv_csf_leaf, ttv_fcoo, ttv_hicoo, BackendKind, Combo, Ctx, EwOp, FormatKind,
-    FusedAlsSweep, FusedExprKind, FusedRoute, FusedTtmChainPlan, FusedTtvPlan, Kernel, SimdLevel,
-    StrategyChoice, TsOp,
+    expr_registry, force_simd, fused_registry, lower, mttkrp_coo, mttkrp_csf_root, mttkrp_hicoo,
+    registry, tew_coo_same_pattern, tew_csf, tew_fcoo, tew_ghicoo, tew_hicoo, tew_scoo, tew_shicoo,
+    ts_coo, ts_csf, ts_fcoo, ts_ghicoo, ts_hicoo, ts_scoo, ts_shicoo, ttm_coo, ttm_hicoo, ttm_scoo,
+    ttv_coo, ttv_csf_leaf, ttv_fcoo, ttv_hicoo, BackendKind, Bindings, Combo, Ctx, EwOp, ExprGraph,
+    ExprOut, ExprRoute, FormatKind, FusedAlsSweep, FusedExprKind, FusedRoute, FusedTtmChainPlan,
+    FusedTtvPlan, Kernel, MatOperand, SimdLevel, StrategyChoice, TsOp, VecOperand,
 };
 use pasta_par::Schedule;
 use pasta_serve::{
-    direct_eval, serve_registry, Catalog as ServeCatalog, MttkrpRoute, OpSpec,
+    direct_eval, serve_registry, Catalog as ServeCatalog, ExprSpec, ExprStep, MttkrpRoute, OpSpec,
     Request as ServeRequest, ServeRoute, Server, ServerConfig,
 };
 use pasta_simt::{launch, p100};
@@ -406,6 +406,9 @@ pub fn cells() -> Vec<Cell> {
     }
     for route in fused_registry() {
         push_fused_cells(&mut cs, route);
+    }
+    for route in expr_registry() {
+        push_expr_cells(&mut cs, route);
     }
     for route in serve_registry() {
         push_serve_cells(&mut cs, route);
@@ -903,6 +906,151 @@ fn push_fused_cells(cs: &mut Vec<Cell>, route: FusedRoute) {
     }
 }
 
+/// Flattens any [`ExprOut`] into the dense comparison space the oracles
+/// live in (sparse variants through the dense image, dense variants as
+/// their row-major payload).
+fn expr_out_dense(out: ExprOut<f32>) -> Vec<f32> {
+    match out {
+        ExprOut::Coo(t) => t.to_dense(ORACLE_MAX_ENTRIES),
+        ExprOut::Semi(s) => s.to_coo().to_dense(ORACLE_MAX_ENTRIES),
+        ExprOut::Dense { vals, .. } => vals,
+        ExprOut::Matrix(m) => m.as_slice().to_vec(),
+    }
+}
+
+/// Emits the conformance cells for one expression-graph route: a graph is
+/// built, lowered through the planner, executed, and compared against the
+/// same expression composed kernel-at-a-time (or against the dense step
+/// oracles), so the cells pin the whole lower-then-execute pipeline
+/// rather than any single kernel.
+#[allow(clippy::too_many_lines)]
+fn push_expr_cells(cs: &mut Vec<Cell>, route: ExprRoute) {
+    use BackendKind::Cpu;
+    match (route.label, route.format, route.backend) {
+        // A mixed TEW→TTV(→TTM) chain lowered as one graph vs the same
+        // steps as separate kernel calls with materialized intermediates.
+        ("chain", FormatKind::Coo, Cpu) => {
+            for t in POOLS {
+                cs.push(Cell::new(format!("{route}/t{t}"), FUSED_TTM_BUDGET, move |cc| {
+                    let order = cc.case.order();
+                    let last = order - 1;
+                    let ctx = cpu_ctx(t);
+                    let v =
+                        seeded_vector::<f32>(cc.x.shape().dim(last) as usize, cc.case.seed ^ 0xE1);
+                    let rank = cc.case.rank.max(1);
+                    let u = seeded_matrix::<f32>(
+                        cc.x.shape().dim(0) as usize,
+                        rank,
+                        cc.case.seed ^ 0xE2,
+                    );
+                    let mut g = ExprGraph::new();
+                    let leaf = g.leaf(&cc.x);
+                    let e = g.tew(leaf, EwOp::Mul, cc.y.clone())?;
+                    let mut root = g.ttv(e, last, VecOperand::Owned(v.clone()))?;
+                    if order >= 3 {
+                        root = g.ttm(root, 0, MatOperand::Owned(u.clone()))?;
+                    }
+                    let plan = lower(&g, root, &ctx)?;
+                    let got = expr_out_dense(plan.execute(&Bindings::none())?);
+                    let step1 = tew_coo_same_pattern(EwOp::Mul, &cc.x, &cc.y, &ctx)?;
+                    let step2 = ttv_coo(&step1, &v, last, &ctx)?;
+                    let want = if order >= 3 {
+                        ttm_coo(&step2, &u, 0, &ctx)?.to_coo().to_dense(ORACLE_MAX_ENTRIES)
+                    } else {
+                        step2.to_dense(ORACLE_MAX_ENTRIES)
+                    };
+                    Ok((got, want))
+                }));
+            }
+        }
+        // Multi-mode TTV product through ttv_multi vs the composed dense
+        // TTV step oracle (the fused-ttvchain comparison space).
+        ("ttv", FormatKind::Coo, Cpu) => {
+            for t in POOLS {
+                cs.push(Cell::new(format!("{route}/t{t}"), FUSED_TTV_BUDGET, move |cc| {
+                    let order = cc.case.order();
+                    let first = order.saturating_sub(2).max(1);
+                    let contract: Vec<usize> = (first..order).collect();
+                    let vecs: Vec<DenseVector<f32>> = contract
+                        .iter()
+                        .map(|&m| seeded_vector(cc.x.shape().dim(m) as usize, 31 + m as u64))
+                        .collect();
+                    let ctx = cpu_ctx(t);
+                    let mut g = ExprGraph::new();
+                    let leaf = g.leaf(&cc.x);
+                    let ops = vecs.iter().cloned().map(VecOperand::Owned).collect();
+                    let root = g.ttv_multi(leaf, &contract, ops)?;
+                    let plan = lower(&g, root, &ctx)?;
+                    let got = expr_out_dense(plan.execute(&Bindings::none())?);
+                    let mut dims: Vec<usize> =
+                        cc.x.shape().dims().iter().map(|&d| d as usize).collect();
+                    let mut want = cc.x.to_dense(ORACLE_MAX_ENTRIES);
+                    for (j, &m) in contract.iter().enumerate().rev() {
+                        want = dense_ttv_step(&mut dims, &want, m, vecs[j].as_slice());
+                    }
+                    Ok((got, want))
+                }));
+            }
+        }
+        // Full contraction to a dense core (ttm_all_but with no skip) vs
+        // the composed dense TTM step oracle.
+        ("contract", FormatKind::Coo, Cpu) => {
+            for t in POOLS {
+                cs.push(Cell::new(format!("{route}/t{t}"), FUSED_TTM_BUDGET, move |cc| {
+                    let order = cc.case.order();
+                    let ctx = cpu_ctx(t);
+                    let mut g = ExprGraph::new();
+                    let leaf = g.leaf(&cc.x);
+                    let mats: Vec<MatOperand<f32>> =
+                        cc.factors.iter().map(|f| MatOperand::Owned(f.clone())).collect();
+                    let root = g.ttm_all_but(leaf, order, mats)?;
+                    let plan = lower(&g, root, &ctx)?;
+                    let got = expr_out_dense(plan.execute(&Bindings::none())?);
+                    let mut dims: Vec<usize> =
+                        cc.x.shape().dims().iter().map(|&d| d as usize).collect();
+                    let mut want = cc.x.to_dense(ORACLE_MAX_ENTRIES);
+                    for m in 0..order {
+                        want = dense_ttm_step(&mut dims, &want, m, &cc.factors[m]);
+                    }
+                    Ok((got, want))
+                }));
+            }
+        }
+        // The planner-cached MTTKRP head, rebound per mode, vs the
+        // sequential kernel (the head may pick a parallel strategy, so it
+        // carries the privatized-reduction budget).
+        ("mttkrp", FormatKind::Coo, Cpu) => {
+            for t in POOLS {
+                cs.push(Cell::new(format!("{route}/t{t}"), MTTKRP_PRIV_BUDGET, move |cc| {
+                    let ctx = cpu_ctx(t);
+                    let mut g = ExprGraph::new();
+                    let leaf = g.leaf(&cc.x);
+                    let root = g.mttkrp(leaf, cc.case.rank, FormatKind::Coo, cc.case.block)?;
+                    let plan = lower(&g, root, &ctx)?;
+                    let (mut got, mut want) = (Vec::new(), Vec::new());
+                    // One lowering serves every mode — the rebinding
+                    // contract the ALS driver relies on.
+                    for n in 0..cc.case.order() {
+                        let out = match plan.execute(&Bindings::mttkrp(&cc.factors, n))? {
+                            ExprOut::Matrix(m) => m,
+                            _ => {
+                                return Err(pasta_core::Error::OperandMismatch {
+                                    what: "mttkrp head did not produce a matrix".into(),
+                                })
+                            }
+                        };
+                        got.extend_from_slice(out.as_slice());
+                        let seq = mttkrp_coo(&cc.x, &cc.factors, n, &Ctx::sequential())?;
+                        want.extend_from_slice(seq.as_slice());
+                    }
+                    Ok((got, want))
+                }));
+            }
+        }
+        _ => {}
+    }
+}
+
 /// Submits each spec to a fresh sharded, cache-enabled server twice (the
 /// second pass answers from the conversion cache) and pairs every served
 /// response against [`direct_eval`] on the same tensor, so one cell pins
@@ -987,6 +1135,18 @@ fn push_serve_cells(cs: &mut Vec<Cell>, route: &ServeRoute) {
         ("tucker", FormatKind::Coo) => cs.push(Cell::new(id, 0, |cc| {
             let spec = OpSpec::Tucker { rank: cc.case.rank.max(1), sweeps: 1, seed: cc.case.seed };
             serve_pair(cc, &[spec])
+        })),
+        // Composite expression chains: the served (lowered, fused,
+        // cached) plan against direct kernel-at-a-time evaluation. The
+        // budget matches the TTM-bearing fused-chain cells.
+        ("expr", FormatKind::Coo) => cs.push(Cell::new(id, FUSED_TTM_BUDGET, |cc| {
+            let mut steps = [None; 4];
+            steps[0] = Some(ExprStep::Ttv { mode: cc.case.mode });
+            steps[1] = Some(ExprStep::Ts { op: TsOp::Mul, scalar: TS_SCALAR });
+            if cc.case.order() >= 3 {
+                steps[2] = Some(ExprStep::Ttm { mode: 0, rank: cc.case.rank.max(1) });
+            }
+            serve_pair(cc, &[OpSpec::Expr { spec: ExprSpec { steps, seed: cc.case.seed } }])
         })),
         _ => {}
     }
@@ -1193,9 +1353,13 @@ mod tests {
         assert!(ids.contains(&"fused-ttvchain/coo/cpu/t1"));
         assert!(ids.contains(&"fused-ttmchain/coo/cpu/t4"));
         assert!(ids.contains(&"fused-alssweep/hicoo/cpu/t4"));
+        assert!(ids.contains(&"expr-chain/coo/cpu/t1"));
+        assert!(ids.contains(&"expr-contract/coo/cpu/t4"));
+        assert!(ids.contains(&"expr-mttkrp/coo/cpu/t1"));
         assert!(ids.contains(&"serve-tew/coo/cpu"));
         assert!(ids.contains(&"serve-mttkrp/hicoo/cpu"));
         assert!(ids.contains(&"serve-cpd/coo/cpu"));
+        assert!(ids.contains(&"serve-expr/coo/cpu"));
         // Ids are unique.
         let mut sorted = ids.clone();
         sorted.sort_unstable();
@@ -1239,6 +1403,7 @@ mod tests {
     fn every_cell_maps_to_a_registered_combo() {
         let reg: Vec<String> = registry().iter().map(ToString::to_string).collect();
         let fused_reg: Vec<String> = fused_registry().iter().map(ToString::to_string).collect();
+        let expr_reg: Vec<String> = expr_registry().iter().map(ToString::to_string).collect();
         for cell in cells() {
             let parts: Vec<&str> = cell.id.split('/').collect();
             let (k, f, b) = (parts[0], parts[1], parts[2]);
@@ -1264,6 +1429,16 @@ mod tests {
                 );
                 continue;
             }
+            // Expression-graph cells map to the expr-route registry.
+            if k.starts_with("expr-") {
+                let route = format!("{k}/{f}/{b}");
+                assert!(
+                    expr_reg.contains(&route),
+                    "cell {} maps to unregistered expr route {route}",
+                    cell.id
+                );
+                continue;
+            }
             // GPU element-wise cells for non-COO formats run the registered
             // COO value loop over that format's value array (the paper's
             // shared-value-loop observation), so they map to the COO combo.
@@ -1284,6 +1459,18 @@ mod tests {
             assert!(
                 ids.iter().any(|id| id.starts_with(&format!("{prefix}/"))),
                 "fused route {prefix} has no conformance cell"
+            );
+        }
+    }
+
+    #[test]
+    fn every_expr_route_has_cells() {
+        let ids: Vec<String> = cells().into_iter().map(|c| c.id).collect();
+        for route in expr_registry() {
+            let prefix = route.to_string();
+            assert!(
+                ids.iter().any(|id| id.starts_with(&format!("{prefix}/"))),
+                "expr route {prefix} has no conformance cell"
             );
         }
     }

@@ -32,11 +32,13 @@ pub enum ReqKind {
     Cpd,
     /// Tucker-HOOI decomposition job.
     Tucker,
+    /// Composite expression-graph job (a lowered multi-step chain).
+    Expr,
 }
 
 impl ReqKind {
     /// All kinds, in mix-line order.
-    pub const ALL: [ReqKind; 7] = [
+    pub const ALL: [ReqKind; 8] = [
         ReqKind::Tew,
         ReqKind::Ts,
         ReqKind::Ttv,
@@ -44,6 +46,7 @@ impl ReqKind {
         ReqKind::Mttkrp,
         ReqKind::Cpd,
         ReqKind::Tucker,
+        ReqKind::Expr,
     ];
 
     /// The lowercase label used in `.reqs` mix lines.
@@ -56,6 +59,7 @@ impl ReqKind {
             ReqKind::Mttkrp => "mttkrp",
             ReqKind::Cpd => "cpd",
             ReqKind::Tucker => "tucker",
+            ReqKind::Expr => "expr",
         }
     }
 
@@ -69,16 +73,17 @@ impl ReqKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpMix {
     /// Weights indexed like [`ReqKind::ALL`].
-    pub weights: [u32; 7],
+    pub weights: [u32; 8],
 }
 
 impl Default for OpMix {
     /// The servebench default: streaming kernels dominate, decomposition
-    /// jobs are rare, and Tucker is off (its dense per-mode eigensolve is
-    /// cubic in the mode dimension — not a service-scale op on large
-    /// catalog tensors).
+    /// jobs are rare, and Tucker and composite expression jobs are off
+    /// (Tucker's dense per-mode eigensolve is cubic in the mode
+    /// dimension; expr chains are opted into per stream so legacy `.reqs`
+    /// headers replay bit-identically).
     fn default() -> Self {
-        Self { weights: [3, 3, 2, 1, 2, 1, 0] }
+        Self { weights: [3, 3, 2, 1, 2, 1, 0, 0] }
     }
 }
 
@@ -226,7 +231,9 @@ impl StreamSpec {
                 }
                 "skew" => spec.skew = val.parse().map_err(|_| bad(format!("bad skew `{val}`")))?,
                 "mix" => {
-                    let mut weights = [0u32; 7];
+                    // Unlisted kinds get weight 0, so legacy seven-item
+                    // mix lines (pre-expr) parse unchanged.
+                    let mut weights = [0u32; 8];
                     for item in val.split_whitespace() {
                         let (label, w) = item
                             .split_once(':')
@@ -295,7 +302,7 @@ mod tests {
             tensors: 5,
             count: 64,
             skew: 1.0,
-            mix: OpMix { weights: [1, 0, 4, 2, 3, 0, 1] },
+            mix: OpMix { weights: [1, 0, 4, 2, 3, 0, 1, 2] },
         };
         let text = spec.render();
         let back = StreamSpec::parse(&text).unwrap();
@@ -318,7 +325,7 @@ mod tests {
     #[test]
     fn mix_weights_gate_kinds() {
         // Only TTV has weight: every request is a TTV.
-        let mut weights = [0u32; 7];
+        let mut weights = [0u32; 8];
         weights[2] = 5;
         let spec = StreamSpec { mix: OpMix { weights }, count: 50, ..StreamSpec::default() };
         assert!(spec.generate().iter().all(|r| r.kind == ReqKind::Ttv));
@@ -336,6 +343,25 @@ mod tests {
         let cold = stream.iter().filter(|r| r.tensor == 7).count();
         assert!(hot > cold, "power-law popularity must favor tensor 0 ({hot} vs {cold})");
         assert!(stream.iter().all(|r| r.rank >= 1 && r.rank <= 8 && r.mode < 4));
+    }
+
+    #[test]
+    fn legacy_seven_item_mix_lines_still_parse() {
+        let text = "pasta-reqs v1\nmix tew:1 ts:1 ttv:1 ttm:1 mttkrp:1 cpd:1 tucker:1\n";
+        let spec = StreamSpec::parse(text).unwrap();
+        assert_eq!(spec.mix.weight(ReqKind::Expr), 0, "expr defaults off");
+        assert!(spec.generate().iter().all(|r| r.kind != ReqKind::Expr));
+    }
+
+    #[test]
+    fn expr_weight_produces_expr_requests() {
+        let mut weights = [0u32; 8];
+        weights[7] = 3;
+        let spec = StreamSpec { mix: OpMix { weights }, count: 20, ..StreamSpec::default() };
+        assert!(spec.generate().iter().all(|r| r.kind == ReqKind::Expr));
+        // And the header round-trips with the new label.
+        let back = StreamSpec::parse(&spec.render()).unwrap();
+        assert_eq!(back.mix.weight(ReqKind::Expr), 3);
     }
 
     #[test]

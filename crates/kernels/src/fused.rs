@@ -3,9 +3,7 @@
 //! pass through per-thread [`workspace`](crate::workspace)s instead of
 //! materializing and re-sorting intermediate sparse tensors.
 //!
-//! The expression grammar is deliberately tiny — the three chain shapes
-//! the decompositions in `pasta-algos` actually execute (see
-//! [`FusedExprKind`](crate::pipeline::FusedExprKind)):
+//! The three chain shapes (see [`FusedExprKind`](crate::pipeline::FusedExprKind)):
 //!
 //! ```text
 //! ttvchain :=  X ×_{m₁} v₁ ×_{m₂} v₂ ⋯            (FusedTtvPlan)
@@ -13,6 +11,14 @@
 //! alssweep :=  ∀n: solve(hadamard-grams, mttkrp(X, n)) → normalize
 //!                                                  (FusedAlsSweep)
 //! ```
+//!
+//! Since the expression-graph layer landed these are thin wrappers: each
+//! plan validates its canned shape, then delegates evaluation to the
+//! shared engine in [`expr`](crate::expr) — [`ContractionPlan`] for the
+//! contraction chains, a lowered MTTKRP-head [`ExprPlan`]
+//! for the ALS sweep. The wrapper keeps the historical API, error
+//! messages, and counter semantics; the loops live in one place, so the
+//! canned and planner-driven paths are bit-identical by construction.
 //!
 //! Each plan separates untimed preprocessing (one sort of a tensor copy,
 //! fiber-run discovery, format conversion — all cached and reused across
@@ -26,56 +32,13 @@
 //! [`pasta_obs`] registry record what ran so benches and tests can assert
 //! the no-materialization invariant.
 
-use crate::analysis::{resort_pays_off, Kernel, MttkrpSchedParams};
-use crate::microkernel::axpy;
-use crate::mttkrp::{mttkrp_coo, mttkrp_hicoo, MttkrpCooPlan};
-use crate::pipeline::{BackendKind, Ctx, FormatKind, KernelPlan, StrategyChoice};
-use crate::workspace::{choose_workspace, FusedWorkspace, WorkspaceKind};
+use crate::analysis::Kernel;
+use crate::expr::{lower, Bindings, ContractionPlan, ExprGraph, ExprOut, ExprPlan};
+use crate::pipeline::{BackendKind, Ctx, FormatKind, KernelPlan};
+use crate::workspace::{choose_workspace, WorkspaceKind};
 use pasta_core::linalg::{gram, hadamard, normalize_columns, Cholesky};
-use pasta_core::sort::mode_first_order;
-use pasta_core::{
-    CooTensor, Coord, DenseMatrix, DenseVector, Error, HiCooTensor, Result, SemiCooTensor, Shape,
-    Value,
-};
+use pasta_core::{CooTensor, DenseMatrix, DenseVector, Error, Result, SemiCooTensor, Shape, Value};
 use pasta_obs::{counters, span_detail, CounterId};
-use pasta_par::{parallel_for, tree_reduce, Schedule, SharedSlice};
-
-/// The output fiber owning entry `e` of a sorted tensor whose fiber runs
-/// begin at `starts` (non-empty, `starts[0] == 0`).
-#[inline]
-fn fiber_of(starts: &[usize], e: usize) -> usize {
-    starts.partition_point(|&s| s <= e) - 1
-}
-
-/// Splits `0..n` into `parts` near-equal contiguous chunks.
-fn even_chunks(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
-    let parts = parts.max(1).min(n.max(1));
-    let per = n / parts;
-    let rem = n % parts;
-    (0..parts)
-        .map(|id| {
-            let start = id * per + id.min(rem);
-            start..start + per + usize::from(id < rem)
-        })
-        .filter(|r| !r.is_empty())
-        .collect()
-}
-
-/// Runs `make` on each of `parts` workers, collecting the per-worker
-/// results (the privatized fan-out used by the sparse-workspace paths).
-fn privatized<T: Send, F: Fn(usize) -> T + Sync>(parts: usize, threads: usize, make: F) -> Vec<T> {
-    let mut slots: Vec<Option<T>> = (0..parts).map(|_| None).collect();
-    {
-        let shared = SharedSlice::new(&mut slots);
-        parallel_for(parts, threads, Schedule::Static, |ids| {
-            for id in ids {
-                // SAFETY: participant ids partition 0..parts, one slot each.
-                unsafe { shared.write(id, Some(make(id))) };
-            }
-        });
-    }
-    slots.into_iter().map(|s| s.expect("worker wrote its slot")).collect()
-}
 
 /// A fused multi-mode TTV product `X ×_{m₁} v₁ ×_{m₂} v₂ ⋯` executed in
 /// one pass — no intermediate order-(N−1) tensors, no re-sorts between
@@ -84,6 +47,7 @@ fn privatized<T: Send, F: Fn(usize) -> T + Sync>(parts: usize, threads: usize, m
 /// The plan sorts one copy of the tensor with the *kept* modes outermost,
 /// so each output value is a contiguous run of input entries; execute
 /// reduces each run with the product of the contracted vector gathers.
+/// Evaluation delegates to the vector-only case of [`ContractionPlan`].
 ///
 /// # Examples
 ///
@@ -108,10 +72,7 @@ fn privatized<T: Send, F: Fn(usize) -> T + Sync>(parts: usize, threads: usize, m
 /// ```
 #[derive(Debug)]
 pub struct FusedTtvPlan<V> {
-    x: CooTensor<V>,
-    kept: Vec<usize>,
-    contract: Vec<usize>,
-    fiber_starts: Vec<usize>,
+    inner: ContractionPlan<V>,
 }
 
 impl<V: Value> FusedTtvPlan<V> {
@@ -139,31 +100,24 @@ impl<V: Value> FusedTtvPlan<V> {
                 what: format!("contracting all {order} modes leaves no output mode"),
             });
         }
-        let kept: Vec<usize> = (0..order).filter(|m| !contract.contains(m)).collect();
-        let mut sorted = x.clone();
-        let mode_order: Vec<usize> = kept.iter().chain(contract.iter()).copied().collect();
-        if sorted.sort_state().mode_order() != Some(&mode_order[..]) {
-            sorted.sort_by_mode_order_threads(&mode_order, ctx.threads);
-        }
-        let fiber_starts = kept_runs(&sorted, &kept);
-        counters().add(CounterId::FusedPlanCacheMisses, 1);
-        Ok(Self { x: sorted, kept, contract, fiber_starts })
+        let inner = ContractionPlan::new(x.clone(), &contract, &[], ctx)?;
+        Ok(Self { inner })
     }
 
     /// The contracted modes, sorted ascending (vectors passed to execute
     /// align with this order).
     pub fn contracted_modes(&self) -> &[usize] {
-        &self.contract
+        self.inner.vec_modes()
     }
 
     /// The number of output values (distinct kept-mode fibers).
     pub fn num_fibers(&self) -> usize {
-        self.fiber_starts.len()
+        self.inner.num_fibers()
     }
 
     /// The output shape (kept-mode dimensions).
     pub fn out_shape(&self) -> Shape {
-        Shape::new(self.kept.iter().map(|&m| self.x.shape().dim(m)).collect())
+        self.inner.out_shape()
     }
 
     /// The timed value computation into a pre-allocated `out` of length
@@ -177,7 +131,7 @@ impl<V: Value> FusedTtvPlan<V> {
         let kind = choose_workspace(
             self.num_fibers(),
             1,
-            self.x.nnz(),
+            self.inner.base().nnz(),
             ctx.threads,
             ctx.dense_threshold(),
         );
@@ -199,76 +153,7 @@ impl<V: Value> FusedTtvPlan<V> {
         ctx: &Ctx,
         kind: WorkspaceKind,
     ) -> Result<()> {
-        if vecs.len() != self.contract.len() {
-            return Err(Error::OperandMismatch {
-                what: format!("expected {} vectors, got {}", self.contract.len(), vecs.len()),
-            });
-        }
-        for (&m, v) in self.contract.iter().zip(vecs) {
-            if v.len() != self.x.shape().dim(m) as usize {
-                return Err(Error::OperandMismatch {
-                    what: format!(
-                        "vector for mode {m} has length {} but the mode has dimension {}",
-                        v.len(),
-                        self.x.shape().dim(m)
-                    ),
-                });
-            }
-        }
-        if out.len() != self.num_fibers() {
-            return Err(Error::OperandMismatch {
-                what: format!("output length {} vs {} fibers", out.len(), self.num_fibers()),
-            });
-        }
-        let c = counters();
-        c.add(CounterId::FusedChains, 1);
-        c.add(CounterId::FusedEntries, self.x.nnz() as u64);
-        let _span =
-            span_detail("kernel", "fused.ttv_chain", kind.label(), self.x.nnz() as u64, 0, 0);
-
-        let nnz = self.x.nnz();
-        let contrib = |e: usize| {
-            let mut p = self.x.vals()[e];
-            for (k, &m) in self.contract.iter().enumerate() {
-                p *= vecs[k].as_slice()[self.x.mode_inds(m)[e] as usize];
-            }
-            p
-        };
-        match kind {
-            WorkspaceKind::Dense => {
-                let starts = &self.fiber_starts;
-                let shared = SharedSlice::new(out);
-                parallel_for(starts.len(), ctx.threads, ctx.schedule, |fs| {
-                    for f in fs.clone() {
-                        let lo = starts[f];
-                        let hi = if f + 1 < starts.len() { starts[f + 1] } else { nnz };
-                        let mut acc = V::ZERO;
-                        for e in lo..hi {
-                            acc += contrib(e);
-                        }
-                        // SAFETY: fiber indices partition the output;
-                        // parallel_for ranges are disjoint.
-                        unsafe { shared.write(f, acc) };
-                    }
-                });
-            }
-            WorkspaceKind::Sparse => {
-                let chunks = even_chunks(nnz, ctx.threads);
-                let accs = privatized(chunks.len(), ctx.threads, |id| {
-                    let range = chunks[id].clone();
-                    let expect = range.len().min(self.num_fibers());
-                    let mut ws = FusedWorkspace::new(WorkspaceKind::Sparse, 0, 1, expect);
-                    for e in range {
-                        ws.row_mut(fiber_of(&self.fiber_starts, e) as u32)[0] += contrib(e);
-                    }
-                    ws
-                });
-                if let Some(merged) = tree_reduce(accs, ctx.threads, |dst, src| dst.merge(&src)) {
-                    merged.drain_into(out);
-                }
-            }
-        }
-        Ok(())
+        self.inner.execute_into(vecs, &[], out, ctx, kind)
     }
 
     /// Computes the full product as a COO tensor over the kept modes
@@ -280,28 +165,8 @@ impl<V: Value> FusedTtvPlan<V> {
     pub fn execute(&self, vecs: &[&DenseVector<V>], ctx: &Ctx) -> Result<CooTensor<V>> {
         let mut vals = vec![V::ZERO; self.num_fibers()];
         self.execute_values(vecs, &mut vals, ctx)?;
-        let mut inds: Vec<Vec<Coord>> = vec![Vec::with_capacity(vals.len()); self.kept.len()];
-        for &s in &self.fiber_starts {
-            for (k, &m) in self.kept.iter().enumerate() {
-                inds[k].push(self.x.mode_inds(m)[s]);
-            }
-        }
-        let mut y = CooTensor::from_parts(self.out_shape(), inds, vals)?;
-        y.assume_sorted_by((0..self.kept.len()).collect());
-        Ok(y)
+        self.inner.assemble_coo(vals)
     }
-}
-
-/// Start offsets of the runs of equal kept-mode coordinates in a tensor
-/// sorted kept-modes-first.
-fn kept_runs<V: Value>(x: &CooTensor<V>, kept: &[usize]) -> Vec<usize> {
-    let mut starts = Vec::new();
-    for e in 0..x.nnz() {
-        if e == 0 || kept.iter().any(|&m| x.mode_inds(m)[e] != x.mode_inds(m)[e - 1]) {
-            starts.push(e);
-        }
-    }
-    starts
 }
 
 /// The fused TTM chain of a Tucker sweep: `Y = X ×_{m≠skip} U_m` in one
@@ -312,16 +177,16 @@ fn kept_runs<V: Value>(x: &CooTensor<V>, kept: &[usize]) -> Vec<usize> {
 /// per chain step). Each distinct `i_skip` is one output fiber; per input
 /// entry the executor expands `val · ⊗_{m≠skip} U_m[i_m, :]` iteratively
 /// into a small scratch and adds it to the fiber's dense block — no
-/// intermediate semi-sparse tensor, no `to_coo()` round-trips.
+/// intermediate semi-sparse tensor, no `to_coo()` round-trips. Evaluation
+/// delegates to the matrix-only case of [`ContractionPlan`].
 ///
 /// With `skip == order` every mode is contracted and
 /// [`execute_full`](Self::execute_full) produces the dense core directly.
 #[derive(Debug)]
 pub struct FusedTtmChainPlan<V> {
-    x: CooTensor<V>,
+    inner: ContractionPlan<V>,
     skip: usize,
-    cmodes: Vec<usize>,
-    fiber_starts: Vec<usize>,
+    order: usize,
 }
 
 impl<V: Value> FusedTtmChainPlan<V> {
@@ -341,19 +206,9 @@ impl<V: Value> FusedTtmChainPlan<V> {
         if skip > order {
             return Err(Error::InvalidMode { mode: skip, order });
         }
-        let mut sorted = x.clone();
-        let fiber_starts = if skip < order {
-            if sorted.sort_state().outermost() != Some(skip) {
-                sorted.sort_by_mode_order_threads(&mode_first_order(order, skip), ctx.threads);
-            }
-            let col = sorted.mode_inds(skip);
-            (0..sorted.nnz()).filter(|&e| e == 0 || col[e] != col[e - 1]).collect()
-        } else {
-            Vec::new()
-        };
-        counters().add(CounterId::FusedPlanCacheMisses, 1);
-        let cmodes = (0..order).filter(|&m| m != skip).collect();
-        Ok(Self { x: sorted, skip, cmodes, fiber_starts })
+        let cmodes: Vec<usize> = (0..order).filter(|&m| m != skip).collect();
+        let inner = ContractionPlan::new(x.clone(), &[], &cmodes, ctx)?;
+        Ok(Self { inner, skip, order })
     }
 
     /// The skipped (kept-sparse) mode; `order` means full contraction.
@@ -364,11 +219,11 @@ impl<V: Value> FusedTtmChainPlan<V> {
     /// The number of output fibers (distinct `i_skip` values); zero when
     /// the plan contracts every mode.
     pub fn num_fibers(&self) -> usize {
-        self.fiber_starts.len()
+        self.inner.num_fibers()
     }
 
     fn check_factors(&self, factors: &[DenseMatrix<V>]) -> Result<usize> {
-        let order = self.x.order();
+        let order = self.order;
         if factors.len() != order {
             return Err(Error::OperandMismatch {
                 what: format!("expected {order} factor matrices, got {}", factors.len()),
@@ -379,12 +234,12 @@ impl<V: Value> FusedTtmChainPlan<V> {
             if m == self.skip {
                 continue;
             }
-            if u.rows() != self.x.shape().dim(m) as usize {
+            if u.rows() != self.inner.base().shape().dim(m) as usize {
                 return Err(Error::OperandMismatch {
                     what: format!(
                         "factor {m} has {} rows but mode {m} has dimension {}",
                         u.rows(),
-                        self.x.shape().dim(m)
+                        self.inner.base().shape().dim(m)
                     ),
                 });
             }
@@ -398,36 +253,9 @@ impl<V: Value> FusedTtmChainPlan<V> {
         Ok(dvol)
     }
 
-    /// Expands entry `e` as `val · ⊗_{m≠skip} U_m[i_m, :]` and adds it
-    /// into `acc` (length `dvol`, row-major over the non-skip modes in
-    /// increasing mode order). `tmp` is caller-provided scratch.
-    #[inline]
-    fn accumulate_entry(
-        &self,
-        e: usize,
-        factors: &[DenseMatrix<V>],
-        tmp: &mut Vec<V>,
-        acc: &mut [V],
-    ) {
-        let (&last, init) = self.cmodes.split_last().expect("at least one contracted mode");
-        tmp.clear();
-        tmp.push(self.x.vals()[e]);
-        for &m in init {
-            let row = factors[m].row(self.x.mode_inds(m)[e] as usize);
-            let prev = tmp.len();
-            for t in 0..prev {
-                let a = tmp[t];
-                for &u in row {
-                    tmp.push(a * u);
-                }
-            }
-            tmp.drain(..prev);
-        }
-        let row = factors[last].row(self.x.mode_inds(last)[e] as usize);
-        let r = row.len();
-        for (t, &a) in tmp.iter().enumerate() {
-            axpy(&mut acc[t * r..(t + 1) * r], a, row);
-        }
+    /// The execute matrices in contracted-mode order (ascending non-skip).
+    fn contract_mats<'f>(&self, factors: &'f [DenseMatrix<V>]) -> Vec<&'f DenseMatrix<V>> {
+        self.inner.mat_modes().iter().map(|&m| &factors[m]).collect()
     }
 
     /// Executes the chain as a semi-sparse tensor: sparse mode `skip`,
@@ -443,7 +271,7 @@ impl<V: Value> FusedTtmChainPlan<V> {
         let kind = choose_workspace(
             self.num_fibers(),
             dvol,
-            self.x.nnz(),
+            self.inner.base().nnz(),
             ctx.threads,
             ctx.dense_threshold(),
         );
@@ -465,76 +293,13 @@ impl<V: Value> FusedTtmChainPlan<V> {
         kind: WorkspaceKind,
     ) -> Result<SemiCooTensor<V>> {
         let dvol = self.check_factors(factors)?;
-        let order = self.x.order();
-        if self.skip >= order {
-            return Err(Error::InvalidMode { mode: self.skip, order });
+        if self.skip >= self.order {
+            return Err(Error::InvalidMode { mode: self.skip, order: self.order });
         }
-        let c = counters();
-        c.add(CounterId::FusedChains, 1);
-        c.add(CounterId::FusedEntries, self.x.nnz() as u64);
-        let _span =
-            span_detail("kernel", "fused.ttm_chain", kind.label(), self.x.nnz() as u64, 0, 0);
-
-        let nnz = self.x.nnz();
-        let nf = self.num_fibers();
-        let mut vals = vec![V::ZERO; nf * dvol];
-        match kind {
-            WorkspaceKind::Dense => {
-                let starts = &self.fiber_starts;
-                let shared = SharedSlice::new(&mut vals);
-                parallel_for(nf, ctx.threads, ctx.schedule, |fs| {
-                    let mut tmp = Vec::with_capacity(dvol);
-                    // SAFETY: fiber ranges are disjoint, so the val
-                    // regions [start·dvol, end·dvol) are too.
-                    let block = unsafe { shared.slice_mut(fs.start * dvol..fs.end * dvol) };
-                    for f in fs.clone() {
-                        let lo = starts[f];
-                        let hi = if f + 1 < starts.len() { starts[f + 1] } else { nnz };
-                        let off = (f - fs.start) * dvol;
-                        for e in lo..hi {
-                            self.accumulate_entry(
-                                e,
-                                factors,
-                                &mut tmp,
-                                &mut block[off..off + dvol],
-                            );
-                        }
-                    }
-                });
-            }
-            WorkspaceKind::Sparse => {
-                let chunks = even_chunks(nnz, ctx.threads);
-                let accs = privatized(chunks.len(), ctx.threads, |id| {
-                    let range = chunks[id].clone();
-                    let expect = range.len().min(nf);
-                    let mut ws = FusedWorkspace::new(WorkspaceKind::Sparse, 0, dvol, expect);
-                    let mut tmp = Vec::with_capacity(dvol);
-                    for e in range {
-                        let f = fiber_of(&self.fiber_starts, e) as u32;
-                        self.accumulate_entry(e, factors, &mut tmp, ws.row_mut(f));
-                    }
-                    ws
-                });
-                if let Some(merged) = tree_reduce(accs, ctx.threads, |dst, src| dst.merge(&src)) {
-                    merged.drain_into(&mut vals);
-                }
-            }
-        }
-
-        let dims: Vec<Coord> =
-            (0..order)
-                .map(|m| {
-                    if m == self.skip {
-                        self.x.shape().dim(m)
-                    } else {
-                        factors[m].cols() as Coord
-                    }
-                })
-                .collect();
-        let dense_modes: Vec<usize> = (0..order).filter(|&m| m != self.skip).collect();
-        let skip_inds: Vec<Coord> =
-            self.fiber_starts.iter().map(|&s| self.x.mode_inds(self.skip)[s]).collect();
-        SemiCooTensor::from_fibers(Shape::new(dims), dense_modes, vec![skip_inds], vals)
+        let mats = self.contract_mats(factors);
+        let mut vals = vec![V::ZERO; self.num_fibers() * dvol];
+        self.inner.execute_into(&[], &mats, &mut vals, ctx, kind)?;
+        self.inner.assemble_semi(vals, &mats)
     }
 
     /// Executes a full-contraction chain (`skip == order`) straight to the
@@ -546,30 +311,11 @@ impl<V: Value> FusedTtmChainPlan<V> {
     /// Rejects factor mismatches and partial-contraction plans (use
     /// [`Self::execute`]).
     pub fn execute_full(&self, factors: &[DenseMatrix<V>], ctx: &Ctx) -> Result<Vec<V>> {
-        let dvol = self.check_factors(factors)?;
-        if self.skip < self.x.order() {
-            return Err(Error::InvalidMode { mode: self.skip, order: self.x.order() });
+        self.check_factors(factors)?;
+        if self.skip < self.order {
+            return Err(Error::InvalidMode { mode: self.skip, order: self.order });
         }
-        let c = counters();
-        c.add(CounterId::FusedChains, 1);
-        c.add(CounterId::FusedEntries, self.x.nnz() as u64);
-        let _span = span_detail("kernel", "fused.ttm_full", "", self.x.nnz() as u64, 0, 0);
-
-        let nnz = self.x.nnz();
-        let chunks = even_chunks(nnz, ctx.threads);
-        let parts = privatized(chunks.len(), ctx.threads, |id| {
-            let mut ws = FusedWorkspace::new(WorkspaceKind::Dense, 1, dvol, 1);
-            let mut tmp = Vec::with_capacity(dvol);
-            for e in chunks[id].clone() {
-                self.accumulate_entry(e, factors, &mut tmp, ws.row_mut(0));
-            }
-            ws
-        });
-        let mut core = vec![V::ZERO; dvol];
-        if let Some(merged) = tree_reduce(parts, ctx.threads, |dst, src| dst.merge(&src)) {
-            merged.drain_into(&mut core);
-        }
-        Ok(core)
+        self.inner.execute_full(&[], &self.contract_mats(factors), ctx)
     }
 }
 
@@ -577,13 +323,15 @@ impl<V: Value> FusedTtmChainPlan<V> {
 /// normalize for every mode, with the sweep-invariant products cached
 /// across iterations.
 ///
-/// Arithmetic is bit-identical to the kernel-at-a-time loop — the wins
-/// come from *not redoing work*, all of it cached in the per-run plan:
+/// The per-run MTTKRP state is a lowered expression plan — a one-edge
+/// graph `mttkrp(leaf)` run through [`lower`], whose head caches the
+/// per-mode [`MttkrpCooPlan`](crate::mttkrp::MttkrpCooPlan)s (built only
+/// where the schedule analysis says a mode-outermost re-sort pays off) or
+/// the one-time HiCOO conversion. Arithmetic is bit-identical to the
+/// kernel-at-a-time loop — the wins come from *not redoing work*:
 ///
-/// - per-mode [`MttkrpCooPlan`]s are built once (only where the schedule
-///   analysis says a mode-outermost re-sort pays off), so re-sorts happen
-///   once per run instead of once per sweep;
-/// - the HiCOO conversion (for the HiCOO backend) happens once;
+/// - per-mode MTTKRP plans and conversions are built once per run instead
+///   of once per sweep;
 /// - factor Gram matrices are cached and updated incrementally — one
 ///   `gram()` per factor update instead of `N−1` per mode plus `N` more
 ///   for the fit, collapsing `O(N²)` Gram computations per sweep to
@@ -592,17 +340,16 @@ impl<V: Value> FusedTtmChainPlan<V> {
 pub struct FusedAlsSweep<'a, V> {
     x: &'a CooTensor<V>,
     format: FormatKind,
-    hicoo: Option<HiCooTensor<V>>,
-    plans: Vec<Option<MttkrpCooPlan<V>>>,
+    plan: ExprPlan<'a, V>,
     grams: Vec<DenseMatrix<V>>,
     rank: usize,
-    ctx: Ctx,
 }
 
 impl<'a, V: Value> FusedAlsSweep<'a, V> {
-    /// Builds the per-run plan: validates the route against the registry,
-    /// converts/sorts as the schedule analysis dictates, and seeds the
-    /// Gram cache from the initial factors.
+    /// Builds the per-run plan: validates the factor set, lowers the
+    /// MTTKRP expression graph (which validates the route against the
+    /// registry and converts/sorts as the schedule analysis dictates), and
+    /// seeds the Gram cache from the initial factors.
     ///
     /// # Errors
     ///
@@ -615,7 +362,6 @@ impl<'a, V: Value> FusedAlsSweep<'a, V> {
         factors: &[DenseMatrix<V>],
         ctx: &Ctx,
     ) -> Result<Self> {
-        KernelPlan::new(Kernel::Mttkrp, format, BackendKind::Cpu, ctx)?;
         let order = x.order();
         if factors.len() != order {
             return Err(Error::OperandMismatch {
@@ -635,45 +381,12 @@ impl<'a, V: Value> FusedAlsSweep<'a, V> {
                 });
             }
         }
-        let c = counters();
-        let (hicoo, plans) = match format {
-            FormatKind::Coo => {
-                let mut plans = Vec::with_capacity(order);
-                for n in 0..order {
-                    let sorted = x.sort_state().outermost() == Some(n);
-                    let p = MttkrpSchedParams {
-                        nnz: x.nnz(),
-                        out_rows: x.shape().dim(n) as usize,
-                        rank,
-                        threads: ctx.threads,
-                        mode_outermost_sorted: sorted,
-                    };
-                    let build = match ctx.mttkrp {
-                        StrategyChoice::Privatized => false,
-                        StrategyChoice::Owner => !sorted,
-                        StrategyChoice::Auto => !sorted && resort_pays_off(&p),
-                    };
-                    if build {
-                        c.add(CounterId::FusedPlanCacheMisses, 1);
-                        plans.push(Some(MttkrpCooPlan::new(x, n, ctx)?));
-                    } else {
-                        plans.push(None);
-                    }
-                }
-                (None, plans)
-            }
-            FormatKind::Hicoo => {
-                c.add(CounterId::FusedPlanCacheMisses, 1);
-                (Some(HiCooTensor::from_coo(x, block)?), Vec::new())
-            }
-            other => {
-                return Err(Error::OperandMismatch {
-                    what: format!("fused ALS sweep supports coo and hicoo, not {other}"),
-                })
-            }
-        };
+        let mut g = ExprGraph::new();
+        let leaf = g.leaf(x);
+        let root = g.mttkrp(leaf, rank, format, block)?;
+        let plan = lower(&g, root, ctx)?;
         let grams = factors.iter().map(gram).collect();
-        Ok(Self { x, format, hicoo, plans, grams, rank, ctx: *ctx })
+        Ok(Self { x, format, plan, grams, rank })
     }
 
     /// The decomposition rank `R`.
@@ -702,17 +415,9 @@ impl<'a, V: Value> FusedAlsSweep<'a, V> {
             0,
         );
         for n in 0..order {
-            c.add(CounterId::FusedEntries, self.x.nnz() as u64);
-            let m_out = match (&self.hicoo, &self.plans.get(n).and_then(|p| p.as_ref())) {
-                (Some(h), _) => {
-                    c.add(CounterId::FusedPlanCacheHits, 1);
-                    mttkrp_hicoo(h, factors, n, &self.ctx)?
-                }
-                (None, Some(plan)) => {
-                    c.add(CounterId::FusedPlanCacheHits, 1);
-                    plan.execute(factors)?.0
-                }
-                (None, None) => mttkrp_coo(self.x, factors, n, &self.ctx)?,
+            let m_out = match self.plan.execute(&Bindings::mttkrp(factors, n))? {
+                ExprOut::Matrix(m) => m,
+                _ => unreachable!("mttkrp graphs produce matrices"),
             };
             // V = hadamard of the cached grams of all factors but n, folded
             // in increasing mode order (bit-identical to recomputing each
@@ -771,8 +476,9 @@ impl<'a, V: Value> FusedAlsSweep<'a, V> {
 mod tests {
     use super::*;
     use crate::ttv_coo;
-    use crate::{ttm_coo, ttm_scoo};
-    use pasta_core::seeded_vector;
+    use crate::{mttkrp_coo, ttm_coo, ttm_scoo};
+    use pasta_core::{seeded_vector, Coord};
+    use pasta_par::Schedule;
 
     fn test_tensor(dims: &[u32], nnz: usize, seed: u64) -> CooTensor<f64> {
         let shape = Shape::new(dims.to_vec());

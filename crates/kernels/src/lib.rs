@@ -55,6 +55,7 @@
 pub mod analysis;
 pub mod csf;
 pub mod dense_ref;
+pub mod expr;
 pub mod fcoo;
 pub mod fibers;
 pub mod fused;
@@ -75,6 +76,10 @@ pub use analysis::{
     DEFAULT_DENSE_THRESHOLD, FUSE_WORKSPACE_FACTOR,
 };
 pub use csf::{mttkrp_csf_root, ttv_csf_leaf, CsfTtvPlan};
+pub use expr::{
+    expr_registry, lower, Bindings, ContractionPlan, ExprGraph, ExprId, ExprOut, ExprPlan,
+    ExprRoute, LeafTensor, MatOperand, VecOperand,
+};
 pub use fcoo::ttv_fcoo;
 pub use fused::{FusedAlsSweep, FusedTtmChainPlan, FusedTtvPlan};
 pub use microkernel::{force_simd, prefetch_read, simd_level, SimdLevel};
@@ -95,7 +100,7 @@ pub use ts::{
 pub use ttm::{ttm_coo, ttm_hicoo, ttm_scoo, TtmCooPlan, TtmHicooPlan};
 pub use ttv::{ttv_coo, ttv_hicoo, TtvCooPlan, TtvHicooPlan};
 pub use tune::{
-    host_llc_bytes, tune_tensor, TensorBucket, TuneEntry, TuneTable, TunedParams,
+    host_key, host_llc_bytes, tune_tensor, TensorBucket, TuneEntry, TuneTable, TunedParams,
     DEFAULT_BLOCK_SIZE,
 };
 pub use workspace::{choose_workspace, FusedWorkspace, WorkspaceKind};

@@ -18,10 +18,14 @@
 //! Results are keyed by a coarse [`TensorBucket`] (non-zero scale, density
 //! class, fiber balance) rather than by tensor identity, so a table tuned on
 //! one dataset generalizes to like-shaped tensors. [`TuneTable`] serializes
-//! to `results/TUNE_host.json` (written by `hostrun --tune`) and is loaded
-//! back at bench time: [`Ctx::with_tuning`](crate::Ctx::with_tuning) carries
-//! a [`TunedParams`] into the kernels, where the strategy choice and the
-//! plan construction consult it instead of the built-in constants.
+//! to `results/TUNE_<hostkey>.json` (written by `hostrun --tune`; see
+//! [`host_key`]) with a `host` field recording the measuring machine, so
+//! tables from several hosts coexist in one `results/` directory;
+//! [`TuneTable::load_host`] falls back to the legacy single-host filename
+//! `TUNE_host.json`. Loaded back at bench time,
+//! [`Ctx::with_tuning`](crate::Ctx::with_tuning) carries a [`TunedParams`]
+//! into the kernels, where the strategy choice and the plan construction
+//! consult it instead of the built-in constants.
 
 use crate::analysis::{Kernel, DEFAULT_DENSE_THRESHOLD};
 use crate::pipeline::{Ctx, EwOp, FormatKind, StrategyChoice, TsOp};
@@ -62,6 +66,37 @@ pub fn host_llc_bytes() -> usize {
             .filter(|&b| b > 0)
             .unwrap_or(32 << 20)
     })
+}
+
+/// A filesystem-safe key identifying the measuring host, used to name
+/// per-host table files (`results/TUNE_<hostkey>.json`).
+///
+/// Resolution order: the `HOSTNAME` environment variable, then
+/// `/etc/hostname`, then the literal `"host"` — the last of which makes
+/// the default filename coincide with the legacy single-host name, so
+/// hosts without a name keep reading and writing the old file.
+pub fn host_key() -> String {
+    let raw = std::env::var("HOSTNAME")
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .or_else(|| std::fs::read_to_string("/etc/hostname").ok().filter(|s| !s.trim().is_empty()))
+        .unwrap_or_default();
+    sanitize_host_key(&raw)
+}
+
+/// Reduces a raw host name to `[A-Za-z0-9._-]` (everything else becomes
+/// `-`), defaulting to `"host"` when nothing survives.
+fn sanitize_host_key(raw: &str) -> String {
+    let key: String = raw
+        .trim()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') { c } else { '-' })
+        .collect();
+    if key.is_empty() {
+        "host".into()
+    } else {
+        key
+    }
 }
 
 /// Measured scheduling parameters a [`Ctx`] can carry into the kernels.
@@ -169,9 +204,12 @@ impl TuneEntry {
     }
 }
 
-/// A persisted set of [`TuneEntry`] rows (`results/TUNE_host.json`).
+/// A persisted set of [`TuneEntry`] rows (`results/TUNE_<hostkey>.json`).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TuneTable {
+    /// [`host_key`] of the machine the entries were measured on (empty in
+    /// tables written before host-keying was introduced).
+    pub host: String,
     /// All tuned rows.
     pub entries: Vec<TuneEntry>,
 }
@@ -198,6 +236,8 @@ impl TuneTable {
     /// Serializes the table (stable field order, newline-terminated).
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
+        let host = if self.host.is_empty() { String::new() } else { sanitize_host_key(&self.host) };
+        s.push_str(&format!("  \"host\": \"{host}\",\n"));
         s.push_str(&format!("  \"llc_bytes\": {},\n", host_llc_bytes()));
         s.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
@@ -235,6 +275,11 @@ impl TuneTable {
             _ => return Err(bad("missing \"entries\" array")),
         };
         let mut table = TuneTable::default();
+        // Legacy (pre-host-keying) tables have no "host" member; they load
+        // with an empty host and keep working.
+        if let Some(json::Json::Str(h)) = root.get("host") {
+            table.host = h.clone();
+        }
         for item in entries {
             let sf = |k| item.str_field(k).map_err(|e| bad(&e));
             let nf = |k| item.num_field(k).map_err(|e| bad(&e));
@@ -278,6 +323,27 @@ impl TuneTable {
         let text = std::fs::read_to_string(path)
             .map_err(|e| bad(&format!("reading {}: {e}", path.display())))?;
         Self::from_json(&text)
+    }
+
+    /// The host-keyed table path under `dir`: `TUNE_<hostkey>.json`.
+    pub fn host_path(dir: &std::path::Path) -> std::path::PathBuf {
+        dir.join(format!("TUNE_{}.json", host_key()))
+    }
+
+    /// Loads this host's table from `dir`, falling back to the legacy
+    /// single-host filename `TUNE_host.json` when no per-host file exists
+    /// (so tables written before host-keying keep being picked up).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OperandMismatch`] on I/O or parse failure of
+    /// whichever file was selected.
+    pub fn load_host(dir: &std::path::Path) -> Result<Self> {
+        let keyed = Self::host_path(dir);
+        if keyed.exists() {
+            return Self::load(&keyed);
+        }
+        Self::load(&dir.join("TUNE_host.json"))
     }
 }
 
@@ -629,6 +695,7 @@ mod tests {
 
     fn table() -> TuneTable {
         TuneTable {
+            host: String::new(),
             entries: vec![
                 TuneEntry {
                     kernel: Kernel::Ttv,
@@ -724,6 +791,50 @@ mod tests {
     }
 
     #[test]
+    fn host_field_round_trips_and_legacy_tables_load() {
+        let mut t = table();
+        t.host = "bench-box-01".into();
+        let parsed = TuneTable::from_json(&t.to_json()).unwrap();
+        assert_eq!(parsed, t);
+        // A legacy (pre-host-keying) serialization has no "host" member.
+        let legacy = "{\n  \"entries\": []\n}\n";
+        let old = TuneTable::from_json(legacy).unwrap();
+        assert!(old.host.is_empty());
+    }
+
+    #[test]
+    fn host_keys_are_filesystem_safe() {
+        assert_eq!(sanitize_host_key("bench-box-01"), "bench-box-01");
+        assert_eq!(sanitize_host_key("  node/7:a b\n"), "node-7-a-b");
+        assert_eq!(sanitize_host_key(""), "host");
+        assert_eq!(sanitize_host_key("\n"), "host");
+        let key = host_key();
+        assert!(!key.is_empty());
+        assert!(key.chars().all(|c| c.is_ascii_alphanumeric() || "._-".contains(c)));
+    }
+
+    #[test]
+    fn load_host_prefers_keyed_file_and_falls_back_to_legacy() {
+        let dir = std::env::temp_dir().join(format!("pasta_tune_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Only the legacy file exists: load_host falls back to it.
+        let mut legacy = table();
+        legacy.host = String::new();
+        legacy.save(&dir.join("TUNE_host.json")).unwrap();
+        let loaded = TuneTable::load_host(&dir).unwrap();
+        assert_eq!(loaded.entries.len(), legacy.entries.len());
+        // The host-keyed file, once present, wins over the legacy one.
+        let mut keyed = table();
+        keyed.host = host_key();
+        keyed.entries.truncate(1);
+        keyed.save(&TuneTable::host_path(&dir)).unwrap();
+        let loaded = TuneTable::load_host(&dir).unwrap();
+        assert_eq!(loaded.entries.len(), 1);
+        assert_eq!(loaded.host, host_key());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn tune_tensor_produces_entries_per_kernel_format() {
         let entries: Vec<(Vec<u32>, f32)> = (0..4000u32)
             .map(|i| (vec![i % 37, (i * 7) % 41, (i * 13) % 43], 1.0 + (i % 5) as f32))
@@ -756,7 +867,7 @@ mod tests {
             }
         }
         // The table built from these entries round-trips.
-        let t = TuneTable { entries: got };
+        let t = TuneTable { host: String::new(), entries: got };
         assert_eq!(TuneTable::from_json(&t.to_json()).unwrap(), t);
     }
 }

@@ -86,6 +86,14 @@ counter_ids! {
     CacheMisses => "cache.misses",
     /// Conversion products evicted to stay under the cache byte budget.
     CacheEvictions => "cache.evictions",
+    /// Expression graphs lowered to executable plans.
+    ExprPlans => "expr.plans",
+    /// Expression-graph edges the planner chose to evaluate fused.
+    ExprFusedEdges => "expr.fused_edges",
+    /// Expression-graph edges the planner chose to materialize.
+    ExprMaterializedEdges => "expr.materialized_edges",
+    /// Lowered expression plans re-executed instead of re-lowered.
+    ExprPlanCacheHits => "expr.plan_cache_hits",
 }
 
 /// Number of registered counters.

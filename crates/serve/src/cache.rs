@@ -13,7 +13,7 @@
 
 use crate::request::TensorId;
 use pasta_core::{CooTensor, HiCooTensor, Result};
-use pasta_kernels::{CsfTtvPlan, TtmCooPlan};
+use pasta_kernels::{CsfTtvPlan, ExprPlan, TtmCooPlan};
 use pasta_obs::{counters, instant, CounterId};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -45,6 +45,14 @@ pub enum ProductKey {
         /// The contracted mode.
         mode: usize,
     },
+    /// A lowered expression plan for a composite request, keyed by the
+    /// spec's [`signature`](crate::ExprSpec::signature) (the plan holds
+    /// the subexpression conversion products — sorted copies, fiber
+    /// runs — so repeated graph traffic skips re-planning entirely).
+    Expr {
+        /// [`crate::ExprSpec::signature`] of the lowered spec.
+        sig: u64,
+    },
 }
 
 /// A cached conversion product.
@@ -58,6 +66,9 @@ pub enum Product {
     CsfTtv(CsfTtvPlan<f32>),
     /// See [`ProductKey::TtmPlan`].
     TtmPlan(TtmCooPlan<f32>),
+    /// See [`ProductKey::Expr`]. The plan owns its tensor (`Arc`), so the
+    /// product is self-contained like every other cache entry.
+    Expr(Box<ExprPlan<'static, f32>>),
 }
 
 #[derive(Debug)]

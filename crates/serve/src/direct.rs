@@ -13,8 +13,9 @@
 //! bug on the service side cannot silently infect the reference.
 
 use crate::request::{
-    canonical_vals, contraction_matrix, contraction_vector, cpd_options, factor_set,
-    pattern_operand, sorted_by_mode, tucker_options, MttkrpRoute, OpSpec,
+    canonical_vals, contraction_matrix, contraction_vector, cpd_options, expr_step_matrix,
+    expr_step_vector, factor_set, pattern_operand, sorted_by_mode, tucker_options, ExprStep,
+    MttkrpRoute, OpSpec,
 };
 use pasta_algos::{cp_als, tucker_hooi};
 use pasta_core::{CooTensor, HiCooTensor, Result};
@@ -77,6 +78,30 @@ pub fn direct_eval(x: &CooTensor<f32>, op: &OpSpec) -> Result<Vec<f32>> {
                 vals.extend_from_slice(f.as_slice());
             }
             Ok(vals)
+        }
+        OpSpec::Expr { spec } => {
+            // The chain evaluated kernel-at-a-time, one materialized
+            // intermediate per step — the ablation the service's lowered
+            // (fused) plan is differentially tested against.
+            let mut cur = x.clone();
+            for (i, step) in spec.steps.iter().flatten().enumerate() {
+                cur = match *step {
+                    ExprStep::Tew { op } => {
+                        tew_coo_same_pattern(op, &cur, &pattern_operand(&cur, spec.seed), &ctx)?
+                    }
+                    ExprStep::Ts { op, scalar } => ts_coo(op, &cur, scalar, &ctx)?,
+                    ExprStep::Ttv { mode } => {
+                        let v = expr_step_vector(cur.shape().dim(mode) as usize, spec.seed, i);
+                        ttv_coo(&cur, &v, mode, &ctx)?
+                    }
+                    ExprStep::Ttm { mode, rank } => {
+                        let u =
+                            expr_step_matrix(cur.shape().dim(mode) as usize, rank, spec.seed, i);
+                        ttm_coo(&cur, &u, mode, &ctx)?.to_coo()
+                    }
+                };
+            }
+            Ok(canonical_vals(&cur))
         }
     }
 }

@@ -4,9 +4,11 @@
 //! up as a long-running front-end for sustained traffic:
 //!
 //! - a [`Catalog`] of resident tensors, addressed by [`TensorId`];
-//! - [`Request`]s ([`OpSpec`]: TEW/TS/TTV/TTM/MTTKRP kernels plus
-//!   CPD/Tucker jobs) whose operands are *derived* deterministically from
-//!   the request seed, so any response can be re-computed independently;
+//! - [`Request`]s ([`OpSpec`]: TEW/TS/TTV/TTM/MTTKRP kernels, CPD/Tucker
+//!   jobs, plus composite [`OpSpec::Expr`] chains lowered through the
+//!   `pasta_kernels::expr` planner) whose operands are *derived*
+//!   deterministically from the request seed, so any response can be
+//!   re-computed independently;
 //! - a [`Server`] that batches compatible requests, resolves each
 //!   batch's conversion product (sorted COO, HiCOO blocking, CSF/TTM
 //!   plans) against an LRU [`ConvCache`] once, and dispatches onto the
@@ -60,7 +62,7 @@ pub mod stats;
 pub use cache::{ConvCache, Product, ProductKey};
 pub use catalog::{Catalog, ResidentTensor};
 pub use direct::direct_eval;
-pub use request::{MttkrpRoute, OpSpec, Request, Response, TensorId};
+pub use request::{ExprSpec, ExprStep, MttkrpRoute, OpSpec, Request, Response, TensorId};
 pub use server::{Server, ServerConfig};
 pub use stats::{LatencyStats, LatencySummary};
 
@@ -93,6 +95,7 @@ pub fn serve_registry() -> &'static [ServeRoute] {
         ServeRoute { op: "mttkrp", format: FormatKind::Hicoo, kernel: Some(Kernel::Mttkrp) },
         ServeRoute { op: "cpd", format: FormatKind::Coo, kernel: None },
         ServeRoute { op: "tucker", format: FormatKind::Coo, kernel: None },
+        ServeRoute { op: "expr", format: FormatKind::Coo, kernel: None },
     ]
 }
 
@@ -103,7 +106,7 @@ mod tests {
     #[test]
     fn registry_routes_are_unique_and_kernel_backed() {
         let routes = serve_registry();
-        assert_eq!(routes.len(), 8);
+        assert_eq!(routes.len(), 9);
         for (i, a) in routes.iter().enumerate() {
             for b in &routes[i + 1..] {
                 assert!(

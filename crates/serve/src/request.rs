@@ -13,7 +13,8 @@ use pasta_algos::{CpdBackend, CpdOptions, TuckerOptions};
 use pasta_core::{
     seeded_matrix, seeded_vector, CooTensor, DenseMatrix, DenseVector, Error, Result,
 };
-use pasta_kernels::{Ctx, EwOp, Kernel, TsOp};
+use pasta_kernels::{lower, Ctx, EwOp, ExprGraph, ExprPlan, Kernel, MatOperand, TsOp, VecOperand};
+use std::sync::Arc;
 
 /// Catalog key for a resident tensor.
 pub type TensorId = u32;
@@ -25,6 +26,92 @@ pub enum MttkrpRoute {
     Coo,
     /// HiCOO MTTKRP over the cached blocking with this block size.
     Hicoo(u32),
+}
+
+/// One step of a composite [`OpSpec::Expr`] chain, applied in order to
+/// the (chain-relative) running tensor.
+///
+/// Modes are relative to the tensor's shape *at that point in the chain*:
+/// a `Ttv` removes its mode, a `Ttm` replaces the mode's dimension with
+/// the rank — exactly the [`pasta_kernels::ExprGraph`] convention.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExprStep {
+    /// Element-wise against a derived same-pattern operand. Only valid as
+    /// the first step (the operand pattern is the resident tensor's).
+    Tew {
+        /// Element-wise operator.
+        op: EwOp,
+    },
+    /// Tensor-scalar `∘ scalar`.
+    Ts {
+        /// Scalar operator.
+        op: TsOp,
+        /// The scalar operand.
+        scalar: f32,
+    },
+    /// Contract `mode` with a derived vector.
+    Ttv {
+        /// Contracted mode (chain-relative).
+        mode: usize,
+    },
+    /// Multiply `mode` by a derived `dim(mode) × rank` matrix.
+    Ttm {
+        /// Multiplied mode (chain-relative).
+        mode: usize,
+        /// Output rank (matrix columns, ≥ 1).
+        rank: usize,
+    },
+}
+
+/// A composite expression job: up to four [`ExprStep`]s lowered through
+/// the expression-graph planner and executed as one (mostly) fused plan.
+///
+/// All derived operands flow from `seed` plus the step position, so the
+/// spec is self-contained and the direct reference can re-derive them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExprSpec {
+    /// The chain's steps, in order; trailing `None` slots are unused
+    /// (steps must be contiguous from slot 0).
+    pub steps: [Option<ExprStep>; 4],
+    /// Seed for derived operands.
+    pub seed: u64,
+}
+
+impl ExprSpec {
+    /// A stable 64-bit signature over every field — the conversion-cache
+    /// key under which the lowered plan (and its sorted copy) is stored,
+    /// so repeated graph traffic skips re-planning and re-sorting.
+    pub fn signature(&self) -> u64 {
+        let mut h = self.seed ^ 0xE09A_1D5E_ED00_0001;
+        let mut mix = |v: u64| {
+            let mut s = h ^ v.wrapping_mul(0xA24B_AED4_963E_E407);
+            h = splitmix(&mut s);
+        };
+        for s in &self.steps {
+            match s {
+                None => mix(0),
+                Some(ExprStep::Tew { op }) => {
+                    mix(1);
+                    mix(EwOp::ALL.iter().position(|o| o == op).unwrap_or(0) as u64);
+                }
+                Some(ExprStep::Ts { op, scalar }) => {
+                    mix(2);
+                    mix(TsOp::ALL.iter().position(|o| o == op).unwrap_or(0) as u64);
+                    mix(u64::from(scalar.to_bits()));
+                }
+                Some(ExprStep::Ttv { mode }) => {
+                    mix(3);
+                    mix(*mode as u64);
+                }
+                Some(ExprStep::Ttm { mode, rank }) => {
+                    mix(4);
+                    mix(*mode as u64);
+                    mix(*rank as u64);
+                }
+            }
+        }
+        h
+    }
 }
 
 /// One kernel request or decomposition job against a resident tensor.
@@ -94,6 +181,11 @@ pub enum OpSpec {
         /// Seed for factor initialization.
         seed: u64,
     },
+    /// A composite expression job lowered through the graph planner.
+    Expr {
+        /// The chain to lower and execute.
+        spec: ExprSpec,
+    },
 }
 
 impl OpSpec {
@@ -107,6 +199,7 @@ impl OpSpec {
             OpSpec::Mttkrp { .. } => "mttkrp",
             OpSpec::Cpd { .. } => "cpd",
             OpSpec::Tucker { .. } => "tucker",
+            OpSpec::Expr { .. } => "expr",
         }
     }
 
@@ -119,7 +212,7 @@ impl OpSpec {
             OpSpec::Ttv { .. } => Some(Kernel::Ttv),
             OpSpec::Ttm { .. } => Some(Kernel::Ttm),
             OpSpec::Mttkrp { .. } => Some(Kernel::Mttkrp),
-            OpSpec::Cpd { .. } | OpSpec::Tucker { .. } => None,
+            OpSpec::Cpd { .. } | OpSpec::Tucker { .. } | OpSpec::Expr { .. } => None,
         }
     }
 
@@ -134,6 +227,9 @@ impl OpSpec {
     pub fn budget(&self) -> u64 {
         match self {
             OpSpec::Ttv { .. } | OpSpec::Ttm { .. } => 256,
+            // A chain compounds up to four reduction steps, so it gets the
+            // fused-chain conformance budget rather than a single kernel's.
+            OpSpec::Expr { .. } => 1024,
             _ => 0,
         }
     }
@@ -193,6 +289,71 @@ impl OpSpec {
                 }
                 need_pos(rank, "rank")?;
                 need_pos(sweeps, "sweeps")
+            }
+            OpSpec::Expr { spec } => {
+                // Replays the chain against the shape, tracking how each
+                // step transforms it — the same walk the graph builder and
+                // the direct reference take.
+                if spec.steps[0].is_none() {
+                    return Err(Error::OperandMismatch {
+                        what: "expr chain needs at least one step".into(),
+                    });
+                }
+                let mut dims = x.shape().dims().to_vec();
+                let mut seen_none = false;
+                for (i, s) in spec.steps.iter().enumerate() {
+                    let Some(step) = s else {
+                        seen_none = true;
+                        continue;
+                    };
+                    if seen_none {
+                        return Err(Error::OperandMismatch {
+                            what: "expr steps must be contiguous from slot 0".into(),
+                        });
+                    }
+                    match *step {
+                        ExprStep::Tew { .. } => {
+                            if i != 0 {
+                                return Err(Error::OperandMismatch {
+                                    what: "tew must be the first expr step".into(),
+                                });
+                            }
+                        }
+                        ExprStep::Ts { .. } => {}
+                        ExprStep::Ttv { mode } => {
+                            if dims.len() < 2 {
+                                return Err(Error::OperandMismatch {
+                                    what: format!(
+                                        "expr ttv step {i} needs order >= 2, got {}",
+                                        dims.len()
+                                    ),
+                                });
+                            }
+                            if mode >= dims.len() {
+                                return Err(Error::OperandMismatch {
+                                    what: format!(
+                                        "expr ttv step {i}: mode {mode} out of range for order {}",
+                                        dims.len()
+                                    ),
+                                });
+                            }
+                            dims.remove(mode);
+                        }
+                        ExprStep::Ttm { mode, rank } => {
+                            if mode >= dims.len() {
+                                return Err(Error::OperandMismatch {
+                                    what: format!(
+                                        "expr ttm step {i}: mode {mode} out of range for order {}",
+                                        dims.len()
+                                    ),
+                                });
+                            }
+                            need_pos(rank, "expr ttm rank")?;
+                            dims[mode] = rank as u32;
+                        }
+                    }
+                }
+                Ok(())
             }
         }
     }
@@ -306,6 +467,55 @@ pub fn tucker_options(x: &CooTensor<f32>, rank: usize, sweeps: usize, seed: u64)
     let ranks =
         (0..x.order()).map(|m| rank.min(x.shape().dim(m) as usize).max(1)).collect::<Vec<_>>();
     TuckerOptions { ranks, max_iters: sweeps, seed, ctx: Ctx::sequential() }
+}
+
+/// Derives the contraction vector for expr chain step `step` (the length
+/// is the contracted mode's dimension *at that point in the chain*).
+pub fn expr_step_vector(len: usize, seed: u64, step: usize) -> DenseVector<f32> {
+    seeded_vector(len, seed ^ (0x77_0100 + step as u64))
+}
+
+/// Derives the multiplication matrix for expr chain step `step`.
+pub fn expr_step_matrix(rows: usize, rank: usize, seed: u64, step: usize) -> DenseMatrix<f32> {
+    seeded_matrix(rows, rank, seed ^ (0x77_0200 + step as u64))
+}
+
+/// Lowers an [`ExprSpec`] against `x` into an executable plan: builds the
+/// graph step by step (deriving every operand from the spec seed — the
+/// exact derivation [`crate::direct_eval`] replays kernel-at-a-time) and
+/// hands it to the [`pasta_kernels::expr`] planner. The returned plan
+/// owns an `Arc` of the tensor, so the server can cache it as a
+/// conversion product outliving any one batch.
+///
+/// # Errors
+///
+/// Propagates graph-builder and lowering errors (all unreachable for
+/// specs that passed [`OpSpec::validate`]).
+pub fn expr_plan(
+    x: &Arc<CooTensor<f32>>,
+    spec: &ExprSpec,
+    ctx: &Ctx,
+) -> Result<ExprPlan<'static, f32>> {
+    let mut g = ExprGraph::new();
+    let mut dims: Vec<u32> = x.shape().dims().to_vec();
+    let mut cur = g.leaf_shared(Arc::clone(x));
+    for (i, step) in spec.steps.iter().flatten().enumerate() {
+        cur = match *step {
+            ExprStep::Tew { op } => g.tew(cur, op, pattern_operand(x, spec.seed))?,
+            ExprStep::Ts { op, scalar } => g.ts(cur, op, scalar)?,
+            ExprStep::Ttv { mode } => {
+                let v = expr_step_vector(dims[mode] as usize, spec.seed, i);
+                dims.remove(mode);
+                g.ttv(cur, mode, VecOperand::Owned(v))?
+            }
+            ExprStep::Ttm { mode, rank } => {
+                let u = expr_step_matrix(dims[mode] as usize, rank, spec.seed, i);
+                dims[mode] = rank as u32;
+                g.ttm(cur, mode, MatOperand::Owned(u))?
+            }
+        };
+    }
+    lower(&g, cur, ctx)
 }
 
 /// Canonicalizes a sparse result for comparison: values in fully

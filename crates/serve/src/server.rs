@@ -19,15 +19,15 @@
 use crate::cache::{ConvCache, Product, ProductKey};
 use crate::catalog::Catalog;
 use crate::request::{
-    canonical_vals, contraction_matrix, contraction_vector, cpd_options, csf_ttv_order, factor_set,
-    pattern_operand, sorted_by_mode, tucker_options, MttkrpRoute, OpSpec, Request, Response,
-    TensorId,
+    canonical_vals, contraction_matrix, contraction_vector, cpd_options, csf_ttv_order, expr_plan,
+    factor_set, pattern_operand, sorted_by_mode, tucker_options, MttkrpRoute, OpSpec, Request,
+    Response, TensorId,
 };
 use pasta_algos::{cp_als, tucker_hooi};
 use pasta_core::{CooTensor, CsfTensor, Error, HiCooTensor, Result};
 use pasta_kernels::{
-    mttkrp_coo, mttkrp_hicoo, owner_ranges, tew_coo_same_pattern, ts_coo, BackendKind, CsfTtvPlan,
-    Ctx, FormatKind, Kernel, KernelPlan, StrategyChoice, TtmCooPlan,
+    mttkrp_coo, mttkrp_hicoo, owner_ranges, tew_coo_same_pattern, ts_coo, BackendKind, Bindings,
+    CsfTtvPlan, Ctx, ExprOut, FormatKind, Kernel, KernelPlan, StrategyChoice, TtmCooPlan,
 };
 use pasta_obs::{counters, instant, span, span_detail, CounterId};
 use pasta_par::Schedule;
@@ -80,6 +80,7 @@ enum OpClass {
     MttkrpHicoo(u32),
     Cpd,
     Tucker,
+    Expr(u64),
 }
 
 fn class(op: &OpSpec) -> OpClass {
@@ -92,6 +93,7 @@ fn class(op: &OpSpec) -> OpClass {
         OpSpec::Mttkrp { route: MttkrpRoute::Hicoo(block), .. } => OpClass::MttkrpHicoo(block),
         OpSpec::Cpd { .. } => OpClass::Cpd,
         OpSpec::Tucker { .. } => OpClass::Tucker,
+        OpSpec::Expr { spec } => OpClass::Expr(spec.signature()),
     }
 }
 
@@ -101,11 +103,17 @@ fn product_key(class: OpClass) -> Option<ProductKey> {
         OpClass::Ttm(mode) => Some(ProductKey::TtmPlan { mode }),
         OpClass::MttkrpCoo(mode) => Some(ProductKey::SortedCoo { mode }),
         OpClass::MttkrpHicoo(block) => Some(ProductKey::Hicoo { block }),
+        OpClass::Expr(sig) => Some(ProductKey::Expr { sig }),
         OpClass::Tew | OpClass::Ts | OpClass::Cpd | OpClass::Tucker => None,
     }
 }
 
-fn build_product(x: &CooTensor<f32>, key: ProductKey) -> Result<Product> {
+fn build_product(
+    cfg: &ServerConfig,
+    x: &CooTensor<f32>,
+    key: ProductKey,
+    op: &OpSpec,
+) -> Result<Product> {
     match key {
         ProductKey::SortedCoo { mode } => Ok(Product::SortedCoo(sorted_by_mode(x, mode))),
         ProductKey::Hicoo { block } => Ok(Product::Hicoo(HiCooTensor::from_coo(x, block)?)),
@@ -114,6 +122,18 @@ fn build_product(x: &CooTensor<f32>, key: ProductKey) -> Result<Product> {
             Ok(Product::CsfTtv(CsfTtvPlan::new(&csf)?))
         }
         ProductKey::TtmPlan { mode } => Ok(Product::TtmPlan(TtmCooPlan::new(x, mode)?)),
+        ProductKey::Expr { .. } => {
+            let OpSpec::Expr { spec } = op else {
+                return Err(Error::OperandMismatch {
+                    what: "expr product key for a non-expr op".into(),
+                });
+            };
+            // The plan bakes in the dispatch context; lowering validates
+            // every kernel edge against the registry (same PlansBuilt
+            // semantics as the other routes' validate_route calls).
+            let ctx = Ctx::new(cfg.threads.max(1), Schedule::Static);
+            Ok(Product::Expr(Box::new(expr_plan(&Arc::new(x.clone()), spec, &ctx)?)))
+        }
     }
 }
 
@@ -212,15 +232,20 @@ impl Server {
 
             // One product resolution per batch.
             let bytes_hint = x.nnz() * (x.order() + 1) * std::mem::size_of::<f32>();
+            // Batch members share the class, so the first member's op is
+            // representative for product building (for Expr, the class is
+            // the spec signature — same class, same lowered plan).
+            let op0 = members[0].req.op;
             let (product, cache_hit) = match (product_key(key.class), self.cache.as_mut()) {
                 (None, _) => (None, false),
                 (Some(k), Some(cache)) => {
-                    let (p, hit) =
-                        cache.get_or_build(key.tensor, k, bytes_hint, || build_product(x, k))?;
+                    let (p, hit) = cache.get_or_build(key.tensor, k, bytes_hint, || {
+                        build_product(&self.cfg, x, k, &op0)
+                    })?;
                     (Some(p), hit)
                 }
                 // Cache disabled: build ad hoc, touch no cache.* counter.
-                (Some(k), None) => (Some(Arc::new(build_product(x, k)?)), false),
+                (Some(k), None) => (Some(Arc::new(build_product(&self.cfg, x, k, &op0)?)), false),
             };
 
             for p in members {
@@ -343,6 +368,21 @@ fn exec(
             }
             Ok((vals, 1))
         }
+        OpSpec::Expr { .. } => {
+            // The whole chain is the cached conversion product: a lowered
+            // plan whose operands were baked in at build time, so execute
+            // is a single (fused where the planner chose so) pass.
+            let Some(Product::Expr(plan)) = product else {
+                return Err(Error::OperandMismatch { what: "expr product missing".into() });
+            };
+            let vals = match plan.execute(&Bindings::none())? {
+                ExprOut::Coo(t) => canonical_vals(&t),
+                ExprOut::Semi(s) => canonical_vals(&s.to_coo()),
+                ExprOut::Dense { vals, .. } => vals,
+                ExprOut::Matrix(m) => m.as_slice().to_vec(),
+            };
+            Ok((vals, threads))
+        }
     }
 }
 
@@ -428,6 +468,41 @@ mod tests {
             .unwrap();
         assert!(!r[0].cache_hit);
         assert!(!r[0].values.is_empty());
+    }
+
+    #[test]
+    fn expr_requests_cache_the_lowered_plan_and_match_direct() {
+        use crate::request::{ExprSpec, ExprStep};
+        let mut s = Server::new(catalog(), ServerConfig::default());
+        let spec = ExprSpec {
+            steps: [
+                Some(ExprStep::Tew { op: EwOp::Mul }),
+                Some(ExprStep::Ttv { mode: 2 }),
+                Some(ExprStep::Ttm { mode: 1, rank: 3 }),
+                Some(ExprStep::Ts { op: pasta_kernels::TsOp::Mul, scalar: 0.5 }),
+            ],
+            seed: 77,
+        };
+        let op = OpSpec::Expr { spec };
+        let rs = s.submit([Request { tensor: 0, op }, Request { tensor: 0, op }]).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].values, rs[1].values);
+        // One lowered plan cached for the batch; a second window hits it.
+        assert_eq!(s.cache().unwrap().len(), 1);
+        let again = s.submit([Request { tensor: 0, op }]).unwrap();
+        assert!(again[0].cache_hit, "repeated graph traffic must skip re-planning");
+        // Differential contract against the kernel-at-a-time reference.
+        let direct = crate::direct_eval(&s.catalog().get(0).unwrap().tensor, &op).unwrap();
+        assert_eq!(again[0].values.len(), direct.len());
+        let budget = op.budget() as f32;
+        for (a, b) in again[0].values.iter().zip(&direct) {
+            assert!((a - b).abs() <= budget * f32::EPSILON * b.abs().max(1.0), "{a} vs {b}");
+        }
+        // Malformed chains are rejected at admission.
+        let bad = OpSpec::Expr {
+            spec: ExprSpec { steps: [Some(ExprStep::Ttv { mode: 9 }), None, None, None], seed: 1 },
+        };
+        assert!(s.enqueue(Request { tensor: 0, op: bad }).is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! With counting disabled, every counter in the registry must stay
 //! exactly zero-delta across a workload that would otherwise bump every
 //! subsystem (sort, HiCOO conversion, MTTKRP scheduling, fused chains,
-//! pool workers).
+//! expression-graph lowering, pool workers).
 //!
 //! This lives in its own test binary: `set_counting(false)` is
 //! process-global, and cargo runs each test binary as a separate process,
@@ -9,7 +9,10 @@
 //! suites (which run with the default counting-on state).
 
 use pasta::core::{seeded_matrix, seeded_vector, CooTensor, DenseMatrix, DenseVector, Shape};
-use pasta::kernels::{mttkrp_coo, ttv_coo, Ctx, FusedTtvPlan};
+use pasta::kernels::{
+    lower, mttkrp_coo, ttv_coo, Bindings, Ctx, EwOp, ExprGraph, FusedTtvPlan, MatOperand,
+    VecOperand,
+};
 use pasta::par::Schedule;
 
 fn tensor() -> CooTensor<f64> {
@@ -44,6 +47,16 @@ fn all_counters_zero_delta_when_disabled() {
         let v2: DenseVector<f64> = seeded_vector(8, 6);
         let plan = FusedTtvPlan::new(&x, &[1, 2], &ctx).unwrap();
         plan.execute(&[&v1, &v2], &ctx).unwrap();
+        // Expression-graph lowering and execution (expr plan/edge counters,
+        // plan-cache hits on the re-execution).
+        let mut g = ExprGraph::new();
+        let leaf = g.leaf(&x);
+        let e = g.tew(leaf, EwOp::Mul, x.like_pattern(1.5)).unwrap();
+        let e = g.ttv(e, 2, VecOperand::Owned(seeded_vector(8, 11))).unwrap();
+        let root = g.ttm(e, 0, MatOperand::Owned(seeded_matrix(12, 3, 12))).unwrap();
+        let eplan = lower(&g, root, &ctx).unwrap();
+        eplan.execute(&Bindings::none()).unwrap();
+        eplan.execute(&Bindings::none()).unwrap();
     }
 
     let after = pasta::obs::counters().snapshot();
